@@ -1,0 +1,31 @@
+//! Tree-construction cost (the TV1 "creation of profile tree" phase):
+//! build time as a function of profile count, plus the DFSA flattening
+//! pass.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ens_bench::BenchWorkload;
+use ens_filter::{Dfsa, ProfileTree, TreeConfig};
+use std::hint::black_box;
+
+fn bench_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tree_build");
+    for p in [100usize, 400, 1600] {
+        let w = BenchWorkload::stock(p, 1);
+        group.throughput(Throughput::Elements(p as u64));
+        group.bench_with_input(BenchmarkId::new("stock", p), &w, |b, w| {
+            b.iter(|| {
+                ProfileTree::build(black_box(&w.profiles), &TreeConfig::default())
+                    .expect("workload is valid")
+            });
+        });
+    }
+    let w = BenchWorkload::stock(400, 1);
+    let tree = ProfileTree::build(&w.profiles, &TreeConfig::default()).expect("valid");
+    group.bench_function("dfsa_flatten/stock_400", |b| {
+        b.iter(|| Dfsa::from_tree(black_box(&tree)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_build);
+criterion_main!(benches);

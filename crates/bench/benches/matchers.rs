@@ -1,0 +1,86 @@
+//! Matching-algorithm comparison (paper §2's algorithm classes):
+//! profile tree (pointer form and flattened DFSA) vs the naive
+//! per-profile scan vs the counting algorithm, on the environmental and
+//! stock workloads.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ens_bench::BenchWorkload;
+use ens_filter::baseline::{CountingMatcher, NaiveMatcher};
+use ens_filter::{Dfsa, ProfileTree, TreeConfig};
+use std::hint::black_box;
+
+fn bench_matchers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matchers");
+    for workload in [
+        BenchWorkload::environmental(200, 2048),
+        BenchWorkload::stock(300, 2048),
+    ] {
+        group.throughput(Throughput::Elements(workload.events.len() as u64));
+        let tree = ProfileTree::build(&workload.profiles, &TreeConfig::default())
+            .expect("workload is valid");
+        let dfsa = Dfsa::from_tree(&tree);
+        let naive = NaiveMatcher::new(&workload.profiles).expect("workload is valid");
+        let counting = CountingMatcher::new(&workload.profiles).expect("workload is valid");
+
+        group.bench_with_input(
+            BenchmarkId::new("tree", workload.name),
+            &workload.events,
+            |b, events| {
+                b.iter(|| {
+                    let mut n = 0usize;
+                    for e in events {
+                        n += tree.match_event(black_box(e)).expect("valid").profiles().len();
+                    }
+                    n
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("dfsa", workload.name),
+            &workload.events,
+            |b, events| {
+                b.iter(|| {
+                    let mut n = 0usize;
+                    for e in events {
+                        n += dfsa.match_event(black_box(e)).expect("valid").len();
+                    }
+                    n
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("naive", workload.name),
+            &workload.events,
+            |b, events| {
+                b.iter(|| {
+                    let mut n = 0usize;
+                    for e in events {
+                        n += naive.match_event(black_box(e)).expect("valid").profiles().len();
+                    }
+                    n
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("counting", workload.name),
+            &workload.events,
+            |b, events| {
+                b.iter(|| {
+                    let mut n = 0usize;
+                    for e in events {
+                        n += counting
+                            .match_event(black_box(e))
+                            .expect("valid")
+                            .profiles()
+                            .len();
+                    }
+                    n
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_matchers);
+criterion_main!(benches);

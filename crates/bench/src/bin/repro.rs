@@ -1,0 +1,182 @@
+//! Regenerates every table and figure of the paper's evaluation.
+//!
+//! Usage:
+//!
+//! ```text
+//! repro [fig4a|fig4b|fig5a|fig5b|fig5c|fig6a|fig6b|tv|adaptive|ablation|all] [--json] [--csv DIR]
+//! ```
+//!
+//! With no argument, `all` is run. `--json` prints machine-readable
+//! output; `--csv DIR` additionally writes one CSV per figure into
+//! `DIR`.
+
+use std::io::Write as _;
+use std::process::ExitCode;
+
+use ens_workloads::{FigureTable, TaExperiment, WorkloadError};
+
+struct Options {
+    json: bool,
+    csv_dir: Option<String>,
+}
+
+fn main() -> ExitCode {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let json = take_flag(&mut args, "--json");
+    let csv_dir = take_value(&mut args, "--csv");
+    let opts = Options { json, csv_dir };
+    let what = args.first().map(String::as_str).unwrap_or("all").to_owned();
+    if args.len() > 1 {
+        eprintln!("unexpected arguments: {:?}", &args[1..]);
+        return ExitCode::from(2);
+    }
+    match run(&what, &opts) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn take_flag(args: &mut Vec<String>, flag: &str) -> bool {
+    if let Some(pos) = args.iter().position(|a| a == flag) {
+        args.remove(pos);
+        true
+    } else {
+        false
+    }
+}
+
+fn take_value(args: &mut Vec<String>, flag: &str) -> Option<String> {
+    let pos = args.iter().position(|a| a == flag)?;
+    args.remove(pos);
+    if pos < args.len() {
+        Some(args.remove(pos))
+    } else {
+        None
+    }
+}
+
+fn run(what: &str, opts: &Options) -> Result<(), WorkloadError> {
+    match what {
+        "fig4a" => table(ens_workloads::figure_4a()?, opts),
+        "fig4b" => table(ens_workloads::figure_4b()?, opts),
+        "fig5a" | "fig5b" | "fig5c" => {
+            let [a, b, c] = ens_workloads::figure_5()?;
+            match what {
+                "fig5a" => table(a, opts),
+                "fig5b" => table(b, opts),
+                _ => table(c, opts),
+            }
+        }
+        "fig6a" => table(ens_workloads::figure_6(TaExperiment::Wide)?, opts),
+        "fig6b" => table(ens_workloads::figure_6(TaExperiment::Small)?, opts),
+        "ablation" => table(ens_workloads::ablation_table()?, opts),
+        "search" => table(ens_workloads::search_strategy_table()?, opts),
+        "tv" => tv(opts),
+        "adaptive" => adaptive(opts),
+        "all" => {
+            table(ens_workloads::figure_4a()?, opts)?;
+            table(ens_workloads::figure_4b()?, opts)?;
+            let [a, b, c] = ens_workloads::figure_5()?;
+            table(a, opts)?;
+            table(b, opts)?;
+            table(c, opts)?;
+            table(ens_workloads::figure_6(TaExperiment::Wide)?, opts)?;
+            table(ens_workloads::figure_6(TaExperiment::Small)?, opts)?;
+            table(ens_workloads::ablation_table()?, opts)?;
+            table(ens_workloads::search_strategy_table()?, opts)?;
+            adaptive(opts)?;
+            tv(opts)
+        }
+        other => {
+            eprintln!(
+                "unknown target `{other}`; expected one of fig4a fig4b fig5a fig5b fig5c fig6a fig6b tv adaptive ablation search all"
+            );
+            Err(WorkloadError::Shape(format!("unknown target {other}")))
+        }
+    }
+}
+
+fn table(t: FigureTable, opts: &Options) -> Result<(), WorkloadError> {
+    if opts.json {
+        println!("{}", serde_json::to_string_pretty(&t).expect("figures serialize"));
+    } else {
+        println!("{}", t.render());
+    }
+    if let Some(dir) = &opts.csv_dir {
+        std::fs::create_dir_all(dir)
+            .and_then(|()| {
+                let mut f = std::fs::File::create(format!("{dir}/{}.csv", t.id))?;
+                f.write_all(t.to_csv().as_bytes())
+            })
+            .map_err(|e| WorkloadError::Shape(format!("cannot write CSV: {e}")))?;
+    }
+    Ok(())
+}
+
+fn tv(opts: &Options) -> Result<(), WorkloadError> {
+    let report = ens_workloads::run_tv_suite(7)?;
+    if opts.json {
+        println!(
+            "{{\"tv1_build_ms\": {:.1}, \"tv1_avg_ops\": {:.3}, \"tv1_events\": {}, \"tv2_avg_ops\": {:.3}, \"tv3_avg_ops\": {:.3}, \"tv4_expected_ops\": {:.3}}}",
+            report.tv1_build_ms,
+            report.tv1.avg_ops,
+            report.tv1.events,
+            report.tv2.avg_ops,
+            report.tv3.avg_ops,
+            report.tv4_expected_ops
+        );
+        return Ok(());
+    }
+    println!("== tv — test scenarios TV1-TV4 (§4.3 protocol) ==");
+    println!(
+        "TV1  tree creation: {:.1} ms for 10,000 profiles; {:.3} ops/event over {} events (converged: {})",
+        report.tv1_build_ms, report.tv1.avg_ops, report.tv1.events, report.tv1.converged
+    );
+    println!(
+        "TV2  full tree reuse: {:.3} ops/event over {} events (converged: {})",
+        report.tv2.avg_ops, report.tv2.events, report.tv2.converged
+    );
+    println!(
+        "TV3  single attribute, 4,000 events: {:.3} ops/event",
+        report.tv3.avg_ops
+    );
+    println!(
+        "TV4  single attribute, analytic (Eq. 2): {:.3} ops/event  (TV3 vs TV4 gap: {:+.3})",
+        report.tv4_expected_ops,
+        report.tv3.avg_ops - report.tv4_expected_ops
+    );
+    println!();
+    Ok(())
+}
+
+fn adaptive(opts: &Options) -> Result<(), WorkloadError> {
+    let rows = ens_workloads::adaptive_sweep(7)?;
+    if opts.json {
+        let body: Vec<String> = rows
+            .iter()
+            .map(|r| {
+                format!(
+                    "{{\"threshold\": {}, \"avg_ops\": {:.3}, \"rebuilds\": {}}}",
+                    r.threshold, r.avg_ops, r.rebuilds
+                )
+            })
+            .collect();
+        println!("[{}]", body.join(", "));
+        return Ok(());
+    }
+    println!("== adaptive — drift-threshold sweep (two-peak drifting stream) ==");
+    println!("{:<12}{:>12}{:>10}", "threshold", "avg ops", "rebuilds");
+    for r in &rows {
+        let label = if r.threshold > 2.0 {
+            "off".to_owned()
+        } else {
+            format!("{:.2}", r.threshold)
+        };
+        println!("{label:<12}{:>12.3}{:>10}", r.avg_ops, r.rebuilds);
+    }
+    println!();
+    Ok(())
+}

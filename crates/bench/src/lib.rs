@@ -1,0 +1,117 @@
+//! Shared workload setups for the Criterion benches and the `repro`
+//! figure-regeneration binary.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use ens_dist::JointDist;
+use ens_types::{Event, ProfileSet, Schema};
+use ens_workloads::EventGenerator;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A ready-to-bench workload: profiles, event model, and a batch of
+/// pre-sampled events.
+#[derive(Debug, Clone)]
+pub struct BenchWorkload {
+    /// Scenario name.
+    pub name: &'static str,
+    /// The schema.
+    pub schema: Schema,
+    /// Subscriptions.
+    pub profiles: ProfileSet,
+    /// Event model.
+    pub joint: JointDist,
+    /// Pre-sampled events (so sampling cost stays out of the measured
+    /// loop).
+    pub events: Vec<Event>,
+}
+
+impl BenchWorkload {
+    fn new(
+        name: &'static str,
+        profiles: ProfileSet,
+        joint: JointDist,
+        n_events: usize,
+        seed: u64,
+    ) -> Self {
+        let schema = profiles.schema().clone();
+        let generator = EventGenerator::new(&schema, joint.clone()).expect("consistent workload");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let events = (0..n_events).map(|_| generator.sample(&mut rng)).collect();
+        BenchWorkload {
+            name,
+            schema,
+            profiles,
+            joint,
+            events,
+        }
+    }
+
+    /// The environmental-monitoring scenario (paper Example 1 style).
+    #[must_use]
+    pub fn environmental(p: usize, n_events: usize) -> Self {
+        let mut rng = StdRng::seed_from_u64(11);
+        let profiles =
+            ens_workloads::scenario::environmental_profiles(p, &mut rng).expect("static scenario");
+        let joint = ens_workloads::scenario::environmental_event_model().expect("static scenario");
+        Self::new("environmental", profiles, joint, n_events, 12)
+    }
+
+    /// The stock-ticker scenario (§1 motivation).
+    #[must_use]
+    pub fn stock(p: usize, n_events: usize) -> Self {
+        let mut rng = StdRng::seed_from_u64(21);
+        let profiles = ens_workloads::scenario::stock_profiles(p, &mut rng).expect("static scenario");
+        let joint = ens_workloads::scenario::stock_event_model().expect("static scenario");
+        Self::new("stock", profiles, joint, n_events, 22)
+    }
+
+    /// The single-attribute TV workload with the given catalog names.
+    #[must_use]
+    pub fn single_attr(pe: &'static str, pp: &'static str, n_events: usize) -> Self {
+        let (profiles, joint) = ens_workloads::single_attribute_setup(
+            pe,
+            pp,
+            ens_workloads::experiments::SINGLE_ATTR_PROFILES,
+            ens_workloads::experiments::SINGLE_ATTR_DOMAIN,
+            31,
+        )
+        .expect("catalog names are valid");
+        Self::new("single-attr", profiles, joint, n_events, 32)
+    }
+
+    /// The TA1 multi-attribute workload.
+    #[must_use]
+    pub fn multi_attr(n_events: usize) -> Self {
+        let (profiles, joint) = ens_workloads::multi_attribute_setup(
+            ens_workloads::TaExperiment::Wide,
+            "gauss",
+            40,
+            100,
+            77,
+        )
+        .expect("static workload");
+        Self::new("multi-attr", profiles, joint, n_events, 42)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workloads_construct() {
+        let w = BenchWorkload::environmental(50, 10);
+        assert_eq!(w.events.len(), 10);
+        assert_eq!(w.profiles.len(), 50);
+        let w = BenchWorkload::stock(50, 10);
+        assert_eq!(w.schema.len(), 3);
+        let w = BenchWorkload::single_attr("d39", "gauss", 5);
+        assert_eq!(w.schema.len(), 1);
+        let w = BenchWorkload::multi_attr(5);
+        assert_eq!(w.schema.len(), 5);
+        assert_eq!(w.joint.arity(), 5);
+        assert_eq!(w.name, "multi-attr");
+    }
+}

@@ -1,0 +1,193 @@
+use ens_types::{Event, ProfileId, ProfileSet, Schema};
+
+use super::BaselineOutcome;
+use crate::subrange::AttributePartition;
+use crate::FilterError;
+
+/// The counting algorithm (predicate-index family of Fabret et al. /
+/// Aguilera et al.).
+///
+/// One subrange index per attribute maps an event value to the profiles
+/// whose predicate it satisfies; a per-profile counter of satisfied
+/// predicates is incremented, and a profile matches when its counter
+/// reaches its number of specified predicates. Don't-care-only profiles
+/// match unconditionally.
+///
+/// Operation accounting: one operation per binary-search step in the
+/// per-attribute subrange index plus one per counter increment.
+///
+/// # Example
+///
+/// ```
+/// use ens_filter::baseline::CountingMatcher;
+/// use ens_types::{Schema, Domain, Predicate, ProfileSet, Event};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let schema = Schema::builder().attribute("x", Domain::int(0, 99))?.build();
+/// let mut ps = ProfileSet::new(&schema);
+/// ps.insert_with(|b| b.predicate("x", Predicate::between(10, 19)))?;
+/// let matcher = CountingMatcher::new(&ps)?;
+/// let e = Event::builder(&schema).value("x", 15)?.build();
+/// assert!(matcher.match_event(&e)?.is_match());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct CountingMatcher {
+    schema: Schema,
+    partitions: Vec<AttributePartition>,
+    /// Per profile: number of non-don't-care predicates.
+    required: Vec<u32>,
+    /// Profiles with no predicates at all (match everything).
+    unconditional: Vec<ProfileId>,
+}
+
+impl CountingMatcher {
+    /// Builds the per-attribute predicate indexes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates predicate lowering errors.
+    pub fn new(profiles: &ProfileSet) -> Result<Self, FilterError> {
+        let schema = profiles.schema().clone();
+        let mut partitions = Vec::with_capacity(schema.len());
+        for (id, a) in schema.iter() {
+            partitions.push(AttributePartition::build(profiles.iter(), id, a.domain())?);
+        }
+        let mut required = Vec::with_capacity(profiles.len());
+        let mut unconditional = Vec::new();
+        for p in profiles.iter() {
+            let r = p.specified_len() as u32;
+            if r == 0 {
+                unconditional.push(p.id());
+            }
+            required.push(r);
+        }
+        Ok(CountingMatcher {
+            schema,
+            partitions,
+            required,
+            unconditional,
+        })
+    }
+
+    /// Number of profiles indexed.
+    #[must_use]
+    pub fn profile_count(&self) -> usize {
+        self.required.len()
+    }
+
+    /// Matches one event.
+    ///
+    /// # Errors
+    ///
+    /// Propagates domain errors for ill-typed event values.
+    pub fn match_event(&self, event: &Event) -> Result<BaselineOutcome, FilterError> {
+        let mut counters = vec![0u32; self.required.len()];
+        let mut ops = 0u64;
+        for (id, a) in self.schema.iter() {
+            let Some(v) = event.value(id) else { continue };
+            let idx = a.domain().index_of(v)?;
+            let part = &self.partitions[id.index()];
+            // Binary-search the cell: log2(#cells) comparisons.
+            let cells = part.cells().len().max(1);
+            ops += (usize::BITS - (cells - 1).leading_zeros()).max(1) as u64;
+            let cell = &part.cells()[part.cell_of(idx)];
+            for pid in cell.profiles() {
+                counters[pid.index()] += 1;
+                ops += 1;
+            }
+        }
+        let mut matched: Vec<ProfileId> = self.unconditional.clone();
+        for (k, (have, need)) in counters.iter().zip(&self.required).enumerate() {
+            if *need > 0 && have == need {
+                matched.push(ProfileId::new(k as u32));
+            }
+        }
+        Ok(BaselineOutcome::new(matched, ops))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ens_types::{Domain, Predicate};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn agrees_with_oracle_on_random_workload() {
+        let schema = Schema::builder()
+            .attribute("x", Domain::int(0, 49))
+            .unwrap()
+            .attribute("y", Domain::int(0, 19))
+            .unwrap()
+            .build();
+        let mut rng = StdRng::seed_from_u64(21);
+        let mut ps = ProfileSet::new(&schema);
+        for _ in 0..60 {
+            ps.insert_with(|mut b| {
+                if rng.gen_bool(0.7) {
+                    let a = rng.gen_range(0..50);
+                    let c = rng.gen_range(0..50);
+                    b = b.predicate("x", Predicate::between(a.min(c), a.max(c)))?;
+                }
+                if rng.gen_bool(0.5) {
+                    b = b.predicate("y", Predicate::eq(rng.gen_range(0..20)))?;
+                }
+                Ok(b)
+            })
+            .unwrap();
+        }
+        let m = CountingMatcher::new(&ps).unwrap();
+        for _ in 0..400 {
+            let e = Event::builder(&schema)
+                .value("x", rng.gen_range(0..50))
+                .unwrap()
+                .value("y", rng.gen_range(0..20))
+                .unwrap()
+                .build();
+            assert_eq!(
+                m.match_event(&e).unwrap().profiles(),
+                ps.matches(&e).unwrap().as_slice()
+            );
+        }
+    }
+
+    #[test]
+    fn partial_events_only_match_unspecified_profiles() {
+        let schema = Schema::builder()
+            .attribute("x", Domain::int(0, 9))
+            .unwrap()
+            .attribute("y", Domain::int(0, 9))
+            .unwrap()
+            .build();
+        let mut ps = ProfileSet::new(&schema);
+        ps.insert_with(|b| b.predicate("x", Predicate::eq(5))).unwrap();
+        ps.insert_with(|b| b.predicate("y", Predicate::eq(5))).unwrap();
+        ps.insert_with(|b| Ok(b)).unwrap();
+        let m = CountingMatcher::new(&ps).unwrap();
+        let e = Event::builder(&schema).value("x", 5).unwrap().build();
+        let out = m.match_event(&e).unwrap();
+        assert_eq!(out.profiles(), &[ProfileId::new(0), ProfileId::new(2)]);
+    }
+
+    #[test]
+    fn ops_scale_with_matching_predicates_not_profiles() {
+        let schema = Schema::builder()
+            .attribute("x", Domain::int(0, 999))
+            .unwrap()
+            .build();
+        let mut ps = ProfileSet::new(&schema);
+        // 100 profiles on distinct values: an event hits at most one.
+        for v in 0..100 {
+            ps.insert_with(|b| b.predicate("x", Predicate::eq(v * 10))).unwrap();
+        }
+        let m = CountingMatcher::new(&ps).unwrap();
+        let e = Event::builder(&schema).value("x", 500).unwrap().build();
+        let out = m.match_event(&e).unwrap();
+        assert_eq!(out.profiles().len(), 1);
+        // log2 of ~201 cells (~8) + 1 increment: far below p = 100.
+        assert!(out.ops() < 20, "ops = {}", out.ops());
+    }
+}

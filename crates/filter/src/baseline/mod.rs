@@ -1,0 +1,54 @@
+//! Baseline matching algorithms the tree is evaluated against.
+//!
+//! The paper's related-work section distinguishes "simple algorithms,
+//! clustering, and tree-based algorithms" (§2). Two baselines are
+//! provided for cross-validation and the throughput benchmarks:
+//!
+//! * [`NaiveMatcher`] — the simple algorithm: evaluate every profile's
+//!   predicates directly against the event;
+//! * [`CountingMatcher`] — the counting / predicate-index family
+//!   (Fabret et al., Aguilera et al.): one interval index per attribute
+//!   plus per-profile satisfied-predicate counters.
+
+mod counting;
+mod naive;
+
+pub use counting::CountingMatcher;
+pub use naive::NaiveMatcher;
+
+use ens_types::ProfileId;
+use serde::{Deserialize, Serialize};
+
+/// Result of a baseline match, with the same operation accounting as the
+/// tree (comparisons performed).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BaselineOutcome {
+    profiles: Vec<ProfileId>,
+    ops: u64,
+}
+
+impl BaselineOutcome {
+    pub(crate) fn new(mut profiles: Vec<ProfileId>, ops: u64) -> Self {
+        profiles.sort_unstable();
+        profiles.dedup();
+        BaselineOutcome { profiles, ops }
+    }
+
+    /// Ids of matched profiles, ascending.
+    #[must_use]
+    pub fn profiles(&self) -> &[ProfileId] {
+        &self.profiles
+    }
+
+    /// Comparison operations performed.
+    #[must_use]
+    pub fn ops(&self) -> u64 {
+        self.ops
+    }
+
+    /// Whether any profile matched.
+    #[must_use]
+    pub fn is_match(&self) -> bool {
+        !self.profiles.is_empty()
+    }
+}

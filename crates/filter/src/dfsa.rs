@@ -1,0 +1,458 @@
+//! Flattened DFSA form of a profile tree.
+//!
+//! §3: "from a given set of profiles, a deterministic finite state
+//! automaton (DFSA) is created". [`Dfsa`] lowers a [`ProfileTree`] into
+//! contiguous state tables matched with an iterative loop and binary
+//! search per state — the representation used for raw-throughput
+//! matching, where operation counting is not needed. Semantics are
+//! identical to [`ProfileTree::match_event`] (asserted by tests and the
+//! `matchers` bench).
+
+use ens_types::{AttrId, Event, ProfileId};
+
+use crate::tree::{NodeRef, ProfileTree, Star};
+use crate::FilterError;
+
+/// Transition target of a DFSA state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Target {
+    State(u32),
+    Leaf(u32),
+    Reject,
+}
+
+#[derive(Debug, Clone)]
+struct FlatState {
+    attr: AttrId,
+    /// Edge lower bounds (sorted), parallel with `uppers`/`targets`.
+    lowers: Vec<u64>,
+    uppers: Vec<u64>,
+    targets: Vec<Target>,
+    /// Where values outside every edge go (`(*)`/`*`), if anywhere.
+    star: Target,
+}
+
+/// The flattened automaton.
+///
+/// # Example
+///
+/// ```
+/// use ens_filter::{Dfsa, ProfileTree, TreeConfig};
+/// use ens_types::{Schema, Domain, Predicate, ProfileSet, Event};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let schema = Schema::builder().attribute("x", Domain::int(0, 99))?.build();
+/// let mut ps = ProfileSet::new(&schema);
+/// ps.insert_with(|b| b.predicate("x", Predicate::between(10, 19)))?;
+/// let tree = ProfileTree::build(&ps, &TreeConfig::default())?;
+/// let dfsa = Dfsa::from_tree(&tree);
+/// let e = Event::builder(&schema).value("x", 15)?.build();
+/// assert_eq!(dfsa.match_event(&e)?.len(), 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Dfsa {
+    schema: ens_types::Schema,
+    states: Vec<FlatState>,
+    leaves: Vec<Vec<ProfileId>>,
+    root: Target,
+}
+
+impl Dfsa {
+    /// Lowers a profile tree into flat state tables.
+    #[must_use]
+    pub fn from_tree(tree: &ProfileTree) -> Self {
+        let mut dfsa = Dfsa {
+            schema: tree.schema().clone(),
+            states: Vec::new(),
+            leaves: Vec::new(),
+            root: Target::Reject,
+        };
+        dfsa.root = dfsa.lower(tree.root());
+        dfsa
+    }
+
+    fn lower(&mut self, node: &NodeRef) -> Target {
+        match node {
+            NodeRef::Leaf(ids) => {
+                if ids.is_empty() {
+                    Target::Reject
+                } else {
+                    self.leaves.push(ids.clone());
+                    Target::Leaf(self.leaves.len() as u32 - 1)
+                }
+            }
+            NodeRef::Inner(n) => {
+                // Reserve the slot first so the layout is depth-first
+                // with parents before children.
+                let slot = self.states.len();
+                self.states.push(FlatState {
+                    attr: n.attr,
+                    lowers: Vec::new(),
+                    uppers: Vec::new(),
+                    targets: Vec::new(),
+                    star: Target::Reject,
+                });
+                let mut lowers = Vec::with_capacity(n.edges.len());
+                let mut uppers = Vec::with_capacity(n.edges.len());
+                let mut targets = Vec::with_capacity(n.edges.len());
+                for e in &n.edges {
+                    lowers.push(e.interval.lo());
+                    uppers.push(e.interval.hi());
+                    targets.push(self.lower(&e.child));
+                }
+                let star = match &n.star {
+                    Star::None => Target::Reject,
+                    Star::All(child) | Star::Else(child) => self.lower(child),
+                };
+                let s = &mut self.states[slot];
+                s.lowers = lowers;
+                s.uppers = uppers;
+                s.targets = targets;
+                s.star = star;
+                Target::State(slot as u32)
+            }
+        }
+    }
+
+    /// Number of states.
+    #[must_use]
+    pub fn state_count(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Hash-consing minimisation: merges structurally identical states
+    /// and leaves bottom-up, producing an equivalent automaton that is
+    /// usually much smaller (don't-care profiles duplicate subtrees
+    /// along sibling edges; minimisation shares them again).
+    #[must_use]
+    pub fn minimize(&self) -> Dfsa {
+        use std::collections::HashMap;
+
+        // 1. Dedup leaves by content.
+        let mut leaf_canon: HashMap<&[ProfileId], u32> = HashMap::new();
+        let mut new_leaves: Vec<Vec<ProfileId>> = Vec::new();
+        let mut leaf_map: Vec<u32> = Vec::with_capacity(self.leaves.len());
+        for leaf in &self.leaves {
+            let id = *leaf_canon.entry(leaf.as_slice()).or_insert_with(|| {
+                new_leaves.push(leaf.clone());
+                new_leaves.len() as u32 - 1
+            });
+            leaf_map.push(id);
+        }
+
+        // 2. Post-order over the reachable states (children before
+        // parents, works for any DAG layout), canonicalising each state
+        // against already-minimised children. Unreachable states are
+        // dropped as a side effect.
+        let mut order: Vec<usize> = Vec::with_capacity(self.states.len());
+        let mut visited = vec![false; self.states.len()];
+        if let Target::State(root) = self.root {
+            // Iterative post-order DFS.
+            let mut stack: Vec<(usize, bool)> = vec![(root as usize, false)];
+            while let Some((s, expanded)) = stack.pop() {
+                if expanded {
+                    order.push(s);
+                    continue;
+                }
+                if visited[s] {
+                    continue;
+                }
+                visited[s] = true;
+                stack.push((s, true));
+                let state = &self.states[s];
+                for t in state.targets.iter().chain(std::iter::once(&state.star)) {
+                    if let Target::State(c) = t {
+                        if !visited[*c as usize] {
+                            stack.push((*c as usize, false));
+                        }
+                    }
+                }
+            }
+        }
+
+        type StateKey = (u32, Vec<u64>, Vec<u64>, Vec<(u8, u32)>, (u8, u32));
+        let encode = |t: Target, state_map: &[u32], leaf_map: &[u32]| -> (u8, u32) {
+            match t {
+                Target::Reject => (0, 0),
+                Target::Leaf(l) => (1, leaf_map[l as usize]),
+                Target::State(s) => (2, state_map[s as usize]),
+            }
+        };
+        let decode = |(tag, v): (u8, u32)| -> Target {
+            match tag {
+                0 => Target::Reject,
+                1 => Target::Leaf(v),
+                _ => Target::State(v),
+            }
+        };
+        let mut state_canon: HashMap<StateKey, u32> = HashMap::new();
+        let mut new_states: Vec<FlatState> = Vec::new();
+        let mut state_map: Vec<u32> = vec![0; self.states.len()];
+        for idx in order {
+            let s = &self.states[idx];
+            let targets: Vec<(u8, u32)> = s
+                .targets
+                .iter()
+                .map(|t| encode(*t, &state_map, &leaf_map))
+                .collect();
+            let star = encode(s.star, &state_map, &leaf_map);
+            let key: StateKey = (
+                s.attr.index() as u32,
+                s.lowers.clone(),
+                s.uppers.clone(),
+                targets.clone(),
+                star,
+            );
+            let id = *state_canon.entry(key).or_insert_with(|| {
+                new_states.push(FlatState {
+                    attr: s.attr,
+                    lowers: s.lowers.clone(),
+                    uppers: s.uppers.clone(),
+                    targets: targets.iter().map(|t| decode(*t)).collect(),
+                    star: decode(star),
+                });
+                new_states.len() as u32 - 1
+            });
+            state_map[idx] = id;
+        }
+
+        let root = match self.root {
+            Target::Reject => Target::Reject,
+            Target::Leaf(l) => Target::Leaf(leaf_map[l as usize]),
+            Target::State(s) => Target::State(state_map[s as usize]),
+        };
+        Dfsa {
+            schema: self.schema.clone(),
+            states: new_states,
+            leaves: new_leaves,
+            root,
+        }
+    }
+
+    /// Number of distinct leaves.
+    #[must_use]
+    pub fn leaf_count(&self) -> usize {
+        self.leaves.len()
+    }
+
+    /// Matches an event; returns matched profile ids ascending.
+    ///
+    /// # Errors
+    ///
+    /// Propagates domain errors for ill-typed event values.
+    pub fn match_event(&self, event: &Event) -> Result<Vec<ProfileId>, FilterError> {
+        let mut indices: Vec<Option<u64>> = Vec::with_capacity(self.schema.len());
+        for (id, a) in self.schema.iter() {
+            match event.value(id) {
+                None => indices.push(None),
+                Some(v) => indices.push(Some(a.domain().index_of(v)?)),
+            }
+        }
+        Ok(self.match_indices(&indices))
+    }
+
+    /// Matches pre-resolved domain indices (one per schema attribute,
+    /// `None` for missing values). This is the hot path used by the
+    /// throughput benchmarks.
+    #[must_use]
+    pub fn match_indices(&self, indices: &[Option<u64>]) -> Vec<ProfileId> {
+        let mut t = self.root;
+        loop {
+            match t {
+                Target::Reject => return Vec::new(),
+                Target::Leaf(l) => return self.leaves[l as usize].clone(),
+                Target::State(s) => {
+                    let state = &self.states[s as usize];
+                    let idx = indices.get(state.attr.index()).copied().flatten();
+                    t = match idx {
+                        None => state.star,
+                        Some(v) => {
+                            // Binary search: last edge with lower <= v.
+                            let k = state.lowers.partition_point(|lo| *lo <= v);
+                            if k > 0 && v < state.uppers[k - 1] {
+                                state.targets[k - 1]
+                            } else {
+                                state.star
+                            }
+                        }
+                    };
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::{ProfileTree, TreeConfig};
+    use ens_types::{Domain, Predicate, ProfileSet, Schema};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_profiles(seed: u64, n: usize) -> (Schema, ProfileSet) {
+        let schema = Schema::builder()
+            .attribute("x", Domain::int(0, 49))
+            .unwrap()
+            .attribute("y", Domain::int(0, 49))
+            .unwrap()
+            .attribute("z", Domain::int(0, 9))
+            .unwrap()
+            .build();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut ps = ProfileSet::new(&schema);
+        for _ in 0..n {
+            let names = ["x", "y", "z"];
+            ps.insert_with(|mut b| {
+                for name in names {
+                    let roll: f64 = rng.gen();
+                    let hi = if name == "z" { 9 } else { 49 };
+                    if roll < 0.3 {
+                        continue; // don't care
+                    } else if roll < 0.6 {
+                        b = b.predicate(name, Predicate::eq(rng.gen_range(0..=hi)))?;
+                    } else {
+                        let a = rng.gen_range(0..=hi);
+                        let c = rng.gen_range(0..=hi);
+                        b = b.predicate(name, Predicate::between(a.min(c), a.max(c)))?;
+                    }
+                }
+                Ok(b)
+            })
+            .unwrap();
+        }
+        (schema, ps)
+    }
+
+    #[test]
+    fn dfsa_agrees_with_tree_and_oracle() {
+        let (schema, ps) = random_profiles(7, 40);
+        let tree = ProfileTree::build(&ps, &TreeConfig::default()).unwrap();
+        let dfsa = Dfsa::from_tree(&tree);
+        let mut rng = StdRng::seed_from_u64(8);
+        for _ in 0..500 {
+            let e = ens_types::Event::builder(&schema)
+                .value("x", rng.gen_range(0..50))
+                .unwrap()
+                .value("y", rng.gen_range(0..50))
+                .unwrap()
+                .value("z", rng.gen_range(0..10))
+                .unwrap()
+                .build();
+            let oracle = ps.matches(&e).unwrap();
+            let via_tree = tree.match_event(&e).unwrap();
+            let via_dfsa = dfsa.match_event(&e).unwrap();
+            assert_eq!(via_tree.profiles(), oracle.as_slice());
+            assert_eq!(via_dfsa, oracle);
+        }
+    }
+
+    #[test]
+    fn missing_values_follow_star() {
+        let (schema, ps) = random_profiles(11, 20);
+        let tree = ProfileTree::build(&ps, &TreeConfig::default()).unwrap();
+        let dfsa = Dfsa::from_tree(&tree);
+        let e = ens_types::Event::builder(&schema)
+            .value("y", 25)
+            .unwrap()
+            .build();
+        assert_eq!(
+            dfsa.match_event(&e).unwrap(),
+            ps.matches(&e).unwrap(),
+            "partial events agree with the oracle"
+        );
+    }
+
+    #[test]
+    fn structure_is_compact() {
+        let (_, ps) = random_profiles(3, 30);
+        let tree = ProfileTree::build(&ps, &TreeConfig::default()).unwrap();
+        let dfsa = Dfsa::from_tree(&tree);
+        assert_eq!(dfsa.state_count(), tree.node_count());
+        assert!(dfsa.leaf_count() <= tree.leaf_count());
+    }
+
+    #[test]
+    fn minimize_preserves_semantics_and_shrinks() {
+        // Multi-interval predicates produce several edges leading to
+        // identical subtrees; minimisation must share them.
+        let schema = Schema::builder()
+            .attribute("x", Domain::int(0, 19))
+            .unwrap()
+            .attribute("y", Domain::int(0, 19))
+            .unwrap()
+            .build();
+        let mut ps = ProfileSet::new(&schema);
+        ps.insert_with(|b| {
+            b.predicate("x", Predicate::in_set([3, 7, 11]))?
+                .predicate("y", Predicate::le(10))
+        })
+        .unwrap();
+        ps.insert_with(|b| b.predicate("x", Predicate::in_set([5, 15]))).unwrap();
+        // One don't-care-on-x profile that appears below every x edge.
+        ps.insert_with(|b| b.predicate("y", Predicate::eq(5))).unwrap();
+        let tree = ProfileTree::build(&ps, &TreeConfig::default()).unwrap();
+        let dfsa = Dfsa::from_tree(&tree);
+        let min = dfsa.minimize();
+        assert!(
+            min.state_count() < dfsa.state_count(),
+            "{} vs {}",
+            min.state_count(),
+            dfsa.state_count()
+        );
+        assert!(min.leaf_count() <= dfsa.leaf_count());
+        for x in 0..20 {
+            for y in 0..20 {
+                let e = ens_types::Event::builder(&schema)
+                    .value("x", x)
+                    .unwrap()
+                    .value("y", y)
+                    .unwrap()
+                    .build();
+                assert_eq!(min.match_event(&e).unwrap(), dfsa.match_event(&e).unwrap());
+            }
+        }
+    }
+
+    #[test]
+    fn minimize_random_workloads_agree() {
+        let (schema, ps) = random_profiles(17, 35);
+        let tree = ProfileTree::build(&ps, &TreeConfig::default()).unwrap();
+        let dfsa = Dfsa::from_tree(&tree);
+        let min = dfsa.minimize();
+        assert!(min.state_count() <= dfsa.state_count());
+        let mut rng = StdRng::seed_from_u64(18);
+        for _ in 0..300 {
+            let e = ens_types::Event::builder(&schema)
+                .value("x", rng.gen_range(0..50))
+                .unwrap()
+                .value("y", rng.gen_range(0..50))
+                .unwrap()
+                .value("z", rng.gen_range(0..10))
+                .unwrap()
+                .build();
+            assert_eq!(min.match_event(&e).unwrap(), dfsa.match_event(&e).unwrap());
+        }
+        // Idempotence: minimising twice changes nothing further.
+        let twice = min.minimize();
+        assert_eq!(twice.state_count(), min.state_count());
+        assert_eq!(twice.leaf_count(), min.leaf_count());
+    }
+
+    #[test]
+    fn match_indices_short_circuit() {
+        let schema = Schema::builder()
+            .attribute("x", Domain::int(0, 9))
+            .unwrap()
+            .build();
+        let mut ps = ProfileSet::new(&schema);
+        ps.insert_with(|b| b.predicate("x", Predicate::eq(5))).unwrap();
+        let tree = ProfileTree::build(&ps, &TreeConfig::default()).unwrap();
+        let dfsa = Dfsa::from_tree(&tree);
+        assert_eq!(dfsa.match_indices(&[Some(5)]).len(), 1);
+        assert!(dfsa.match_indices(&[Some(4)]).is_empty());
+        assert!(dfsa.match_indices(&[None]).is_empty());
+    }
+}

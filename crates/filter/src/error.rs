@@ -1,0 +1,108 @@
+use std::fmt;
+
+use ens_dist::DistError;
+use ens_types::TypesError;
+
+/// Errors produced by the profile-tree filter.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum FilterError {
+    /// A data-model operation failed (bad value, unknown attribute, …).
+    Types(TypesError),
+    /// A distribution operation failed.
+    Dist(DistError),
+    /// A distribution-dependent ordering or measure was requested but no
+    /// event model was supplied in the configuration.
+    MissingDistribution {
+        /// What needed the distribution (e.g. "value order EventProb").
+        needed_by: String,
+    },
+    /// The tree cannot be built from an empty profile set.
+    EmptyProfileSet,
+    /// The supplied event model does not match the schema.
+    ModelMismatch {
+        /// Human-readable description of the mismatch.
+        message: String,
+    },
+    /// Exact A3 attribute ordering was requested for too many attributes
+    /// (the paper notes its cost is `O(n! · (2p-1))`).
+    TooManyAttributes {
+        /// Number of attributes requested.
+        n: usize,
+        /// Maximum supported by the exact search.
+        max: usize,
+    },
+}
+
+impl fmt::Display for FilterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FilterError::Types(e) => write!(f, "{e}"),
+            FilterError::Dist(e) => write!(f, "{e}"),
+            FilterError::MissingDistribution { needed_by } => {
+                write!(f, "no event distribution model supplied, required by {needed_by}")
+            }
+            FilterError::EmptyProfileSet => write!(f, "profile set is empty"),
+            FilterError::ModelMismatch { message } => {
+                write!(f, "event model does not fit the schema: {message}")
+            }
+            FilterError::TooManyAttributes { n, max } => write!(
+                f,
+                "exact A3 ordering supports at most {max} attributes, got {n}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for FilterError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FilterError::Types(e) => Some(e),
+            FilterError::Dist(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TypesError> for FilterError {
+    fn from(e: TypesError) -> Self {
+        FilterError::Types(e)
+    }
+}
+
+impl From<DistError> for FilterError {
+    fn from(e: DistError) -> Self {
+        FilterError::Dist(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_sources() {
+        use std::error::Error;
+        let e: FilterError = TypesError::NonFiniteValue.into();
+        assert!(e.source().is_some());
+        let e: FilterError = DistError::EmptyPmf.into();
+        assert!(e.source().is_some());
+        assert!(FilterError::EmptyProfileSet.source().is_none());
+    }
+
+    #[test]
+    fn display_messages() {
+        let e = FilterError::MissingDistribution {
+            needed_by: "value order EventProb".into(),
+        };
+        assert!(e.to_string().contains("EventProb"));
+        let e = FilterError::TooManyAttributes { n: 12, max: 8 };
+        assert!(e.to_string().contains("12"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync + 'static>() {}
+        assert_send_sync::<FilterError>();
+    }
+}

@@ -1,0 +1,82 @@
+//! Distribution-based profile-tree event filter.
+//!
+//! This crate is the primary contribution of Hinze & Bittner, *Efficient
+//! Distribution-Based Event Filtering* (ICDCSW 2002): a content-based
+//! publish/subscribe matcher built on a profile tree (one level per
+//! attribute, edges labelled with value subranges), extended with
+//! distribution-aware optimisations:
+//!
+//! * **Value reordering** (Measures V1–V3, [`ValueOrder`]): the edges of
+//!   every node are scanned in order of event probability, profile
+//!   probability or their product, with lookup-table early termination;
+//! * **Attribute reordering** (Measures A1–A3, [`AttributeMeasure`]):
+//!   tree levels ordered by zero-subdomain selectivity so non-matching
+//!   events are rejected as early as possible;
+//! * an **analytic cost model** ([`CostModel`]) implementing the paper's
+//!   Eq. 2 — expected comparison operations per event under arbitrary
+//!   event/profile distributions;
+//! * **statistic objects** ([`FilterStatistics`]) and an
+//!   [`AdaptiveFilter`] that restructures the tree when the observed
+//!   event distribution drifts;
+//! * a flattened [`Dfsa`] form for raw-throughput matching and the
+//!   [`baseline`] matchers (naive and counting) for comparison.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use ens_filter::{ProfileTree, TreeConfig};
+//! use ens_types::{Schema, Domain, Predicate, ProfileSet, Event};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let schema = Schema::builder()
+//!     .attribute("temperature", Domain::int(-30, 50))?
+//!     .attribute("humidity", Domain::int(0, 100))?
+//!     .build();
+//! let mut profiles = ProfileSet::new(&schema);
+//! profiles.insert_with(|b| {
+//!     b.predicate("temperature", Predicate::ge(35))?
+//!         .predicate("humidity", Predicate::ge(90))
+//! })?;
+//!
+//! let tree = ProfileTree::build(&profiles, &TreeConfig::default())?;
+//! let event = Event::builder(&schema)
+//!     .value("temperature", 40)?
+//!     .value("humidity", 95)?
+//!     .build();
+//! let outcome = tree.match_event(&event)?;
+//! assert!(outcome.is_match());
+//! println!("matched {} profiles in {} comparisons", outcome.profiles().len(), outcome.ops());
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod adaptive;
+pub mod baseline;
+mod cost;
+mod dfsa;
+mod error;
+mod order;
+mod selectivity;
+mod statistics;
+mod subrange;
+mod tree;
+
+pub use adaptive::{AdaptiveFilter, AdaptivePolicy};
+pub use cost::{expected_ops, CostBreakdown, CostModel, LevelCost, ProfileCost};
+pub use dfsa::Dfsa;
+pub use error::FilterError;
+pub use order::{
+    binary_hit_cost, binary_miss_cost, Direction, NodeOrdering, SearchStrategy, ValueOrder,
+};
+pub use selectivity::{
+    attribute_selectivities, order_attributes, AttributeMeasure, A3_MAX_ATTRIBUTES,
+};
+pub use statistics::FilterStatistics;
+pub use subrange::{AttributePartition, Cell};
+pub use tree::{AttributeOrder, MatchOutcome, ProfileTree, TreeConfig};
+
+/// Convenience result alias used across this crate.
+pub type Result<T> = std::result::Result<T, FilterError>;

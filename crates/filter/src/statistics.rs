@@ -1,0 +1,339 @@
+//! Statistic objects: counters for events, attributes, operators and
+//! values (paper §4.2).
+//!
+//! The prototype of the paper keeps counters that can either be filled
+//! by observing real events or "manipulated … in order to simulate a
+//! distribution". [`FilterStatistics`] does both: it bins observed event
+//! values into the per-attribute subrange partition, counts which
+//! operators the profile set uses, and can synthesise the empirical
+//! event model the adaptive filter rebuilds trees from.
+
+use std::collections::BTreeMap;
+
+use ens_dist::{Density, DistOverDomain, Histogram, JointDist, Pmf};
+use ens_types::{AttrId, Event, Operator, ProfileSet};
+
+use crate::subrange::AttributePartition;
+use crate::FilterError;
+
+/// Counters over a profile set and its observed event stream.
+///
+/// # Example
+///
+/// ```
+/// use ens_filter::FilterStatistics;
+/// use ens_types::{Schema, Domain, Predicate, ProfileSet, Event, Operator};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let schema = Schema::builder().attribute("x", Domain::int(0, 99))?.build();
+/// let mut ps = ProfileSet::new(&schema);
+/// ps.insert_with(|b| b.predicate("x", Predicate::between(10, 19)))?;
+/// let mut stats = FilterStatistics::new(&ps)?;
+/// assert_eq!(stats.operator_count(Operator::Between), 1);
+///
+/// let e = Event::builder(&schema).value("x", 15)?.build();
+/// stats.record_event(&e)?;
+/// assert_eq!(stats.events_posted(), 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct FilterStatistics {
+    schema: ens_types::Schema,
+    partitions: Vec<AttributePartition>,
+    event_hists: Vec<Histogram>,
+    profile_counts: Vec<Vec<u64>>,
+    operator_counts: BTreeMap<Operator, u64>,
+    events_posted: u64,
+}
+
+impl FilterStatistics {
+    /// Builds statistics for `profiles`: partitions every attribute and
+    /// counts profile references per cell and per operator.
+    ///
+    /// # Errors
+    ///
+    /// Propagates predicate lowering errors.
+    pub fn new(profiles: &ProfileSet) -> Result<Self, FilterError> {
+        let schema = profiles.schema();
+        let mut partitions = Vec::with_capacity(schema.len());
+        let mut profile_counts = Vec::with_capacity(schema.len());
+        let mut event_hists = Vec::with_capacity(schema.len());
+        for (id, a) in schema.iter() {
+            let part = AttributePartition::build(profiles.iter(), id, a.domain())?;
+            profile_counts.push(part.cells().iter().map(|c| c.profiles().len() as u64).collect());
+            event_hists.push(Histogram::new(part.cells().len()));
+            partitions.push(part);
+        }
+        let mut operator_counts = BTreeMap::new();
+        for p in profiles.iter() {
+            for pred in p.predicates() {
+                *operator_counts.entry(pred.operator()).or_insert(0) += 1;
+            }
+        }
+        Ok(FilterStatistics {
+            schema: schema.clone(),
+            partitions,
+            event_hists,
+            profile_counts,
+            operator_counts,
+            events_posted: 0,
+        })
+    }
+
+    /// The per-attribute partitions (schema order).
+    #[must_use]
+    pub fn partitions(&self) -> &[AttributePartition] {
+        &self.partitions
+    }
+
+    /// Total number of events recorded.
+    #[must_use]
+    pub fn events_posted(&self) -> u64 {
+        self.events_posted
+    }
+
+    /// Number of profile predicates using `op` (the paper's operator
+    /// counters; don't-care positions count under
+    /// [`Operator::DontCare`]).
+    #[must_use]
+    pub fn operator_count(&self, op: Operator) -> u64 {
+        self.operator_counts.get(&op).copied().unwrap_or(0)
+    }
+
+    /// Records an observed event into the per-attribute value counters.
+    ///
+    /// # Errors
+    ///
+    /// Propagates domain errors for ill-typed values.
+    pub fn record_event(&mut self, event: &Event) -> Result<(), FilterError> {
+        for attr in 0..self.partitions.len() {
+            let id = AttrId::new(attr as u32);
+            if let Some(v) = event.value(id) {
+                let idx = self.schema.attribute(id).domain().index_of(v)?;
+                let cell = self.partitions[attr].cell_of(idx);
+                self.event_hists[attr].record(cell);
+            }
+        }
+        self.events_posted += 1;
+        Ok(())
+    }
+
+    /// Records a raw `(attribute, domain index)` observation. This is
+    /// the §4.2 counter-manipulation entry point ("for a test … the
+    /// statistic objects are initialized for chosen distributions").
+    pub fn record_value_index(&mut self, attr: AttrId, index: u64) {
+        let part = &self.partitions[attr.index()];
+        if index < part.domain_size() {
+            let cell = part.cell_of(index);
+            self.event_hists[attr.index()].record(cell);
+        }
+    }
+
+    /// Initialises the event counters of `attr` from a distribution, as
+    /// if `scale` events had been posted with that distribution.
+    pub fn simulate_event_distribution(&mut self, attr: AttrId, dist: &DistOverDomain, scale: u64) {
+        let part = &self.partitions[attr.index()];
+        let hist = &mut self.event_hists[attr.index()];
+        hist.clear();
+        for (k, cell) in part.cells().iter().enumerate() {
+            let mass = dist.mass_of(cell.interval());
+            hist.record_n(k, (mass * scale as f64).round() as u64);
+        }
+    }
+
+    /// Empirical event PMF over the cells of `attr` (Laplace-smoothed so
+    /// it is usable before any event arrives).
+    ///
+    /// # Errors
+    ///
+    /// Propagates distribution errors.
+    pub fn event_pmf(&self, attr: AttrId) -> Result<Pmf, FilterError> {
+        Ok(self.event_hists[attr.index()].to_smoothed_pmf(0.5)?)
+    }
+
+    /// Profile PMF over the cells of `attr` (fraction of profiles
+    /// referencing each cell).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if no profile references the attribute at all.
+    pub fn profile_pmf(&self, attr: AttrId) -> Result<Pmf, FilterError> {
+        Ok(Pmf::from_weights(
+            self.profile_counts[attr.index()]
+                .iter()
+                .map(|c| *c as f64)
+                .collect(),
+        )?)
+    }
+
+    /// Converts the empirical event histogram of `attr` into a density
+    /// over the attribute's domain (a mixture of uniform windows, one
+    /// per cell).
+    ///
+    /// # Errors
+    ///
+    /// Propagates distribution errors.
+    pub fn empirical_marginal(&self, attr: AttrId) -> Result<DistOverDomain, FilterError> {
+        let part = &self.partitions[attr.index()];
+        let pmf = self.event_pmf(attr)?;
+        let d = part.domain_size() as f64;
+        let parts: Vec<(f64, Density)> = part
+            .cells()
+            .iter()
+            .enumerate()
+            .filter(|(k, _)| pmf.prob(*k) > 0.0)
+            .map(|(k, cell)| {
+                (
+                    pmf.prob(k),
+                    Density::window(cell.interval().lo() as f64 / d, cell.interval().hi() as f64 / d),
+                )
+            })
+            .collect();
+        Ok(DistOverDomain::new(Density::Mixture(parts), part.domain_size()))
+    }
+
+    /// The full empirical (independence-assuming) event model.
+    ///
+    /// # Errors
+    ///
+    /// Propagates distribution errors.
+    pub fn empirical_model(&self) -> Result<JointDist, FilterError> {
+        let marginals: Result<Vec<_>, _> = (0..self.partitions.len())
+            .map(|j| self.empirical_marginal(AttrId::new(j as u32)))
+            .collect();
+        Ok(JointDist::independent(marginals?)?)
+    }
+
+    /// Applies exponential forgetting to all event counters.
+    pub fn decay(&mut self) {
+        for h in &mut self.event_hists {
+            h.decay();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ens_types::{Domain, Predicate, Schema};
+
+    fn setup() -> (Schema, ProfileSet) {
+        let schema = Schema::builder()
+            .attribute("x", Domain::int(0, 99))
+            .unwrap()
+            .attribute("y", Domain::int(0, 9))
+            .unwrap()
+            .build();
+        let mut ps = ProfileSet::new(&schema);
+        ps.insert_with(|b| b.predicate("x", Predicate::between(10, 19)))
+            .unwrap();
+        ps.insert_with(|b| {
+            b.predicate("x", Predicate::ge(50))?
+                .predicate("y", Predicate::eq(3))
+        })
+        .unwrap();
+        (schema, ps)
+    }
+
+    #[test]
+    fn operator_counters() {
+        let (_, ps) = setup();
+        let stats = FilterStatistics::new(&ps).unwrap();
+        assert_eq!(stats.operator_count(Operator::Between), 1);
+        assert_eq!(stats.operator_count(Operator::Ge), 1);
+        assert_eq!(stats.operator_count(Operator::Eq), 1);
+        // Profile 0 leaves y unspecified.
+        assert_eq!(stats.operator_count(Operator::DontCare), 1);
+        assert_eq!(stats.operator_count(Operator::Lt), 0);
+    }
+
+    #[test]
+    fn event_recording_bins_into_cells() {
+        let (schema, ps) = setup();
+        let mut stats = FilterStatistics::new(&ps).unwrap();
+        for x in [12, 14, 55] {
+            let e = Event::builder(&schema).value("x", x).unwrap().build();
+            stats.record_event(&e).unwrap();
+        }
+        assert_eq!(stats.events_posted(), 3);
+        let pmf = stats.event_pmf(AttrId::new(0)).unwrap();
+        // Cell layout on x: [0,10) zero, [10,20) P0, [20,50) zero,
+        // [50,100) P1. Two events in cell 1, one in cell 3.
+        assert!(pmf.prob(1) > pmf.prob(3));
+        assert!(pmf.prob(3) > pmf.prob(0));
+    }
+
+    #[test]
+    fn simulate_distribution_fills_counters() {
+        use ens_dist::{Density, DistOverDomain};
+        let (_, ps) = setup();
+        let mut stats = FilterStatistics::new(&ps).unwrap();
+        let dist = DistOverDomain::new(Density::window(0.5, 1.0), 100);
+        stats.simulate_event_distribution(AttrId::new(0), &dist, 10_000);
+        let pmf = stats.event_pmf(AttrId::new(0)).unwrap();
+        assert!(pmf.prob(3) > 0.9, "mass concentrated on [50,100): {pmf:?}");
+    }
+
+    #[test]
+    fn profile_pmf_reflects_reference_counts() {
+        let (_, ps) = setup();
+        let stats = FilterStatistics::new(&ps).unwrap();
+        let pmf = stats.profile_pmf(AttrId::new(0)).unwrap();
+        // Two referenced cells with one profile each; zero cells carry 0.
+        assert_eq!(pmf.prob(1), 0.5);
+        assert_eq!(pmf.prob(3), 0.5);
+    }
+
+    #[test]
+    fn empirical_model_round_trips_distribution() {
+        let (schema, ps) = setup();
+        let mut stats = FilterStatistics::new(&ps).unwrap();
+        for _ in 0..100 {
+            let e = Event::builder(&schema)
+                .value("x", 15)
+                .unwrap()
+                .value("y", 3)
+                .unwrap()
+                .build();
+            stats.record_event(&e).unwrap();
+        }
+        let model = stats.empirical_model().unwrap();
+        assert_eq!(model.arity(), 2);
+        // Almost all mass on x's cell [10,20).
+        let m = model.marginal(0);
+        assert!(m.mass_between(10, 20) > 0.9);
+        let my = model.marginal(1);
+        assert!(my.mass_between(3, 4) > 0.9);
+    }
+
+    #[test]
+    fn record_value_index_and_decay() {
+        let (_, ps) = setup();
+        let mut stats = FilterStatistics::new(&ps).unwrap();
+        for _ in 0..8 {
+            stats.record_value_index(AttrId::new(0), 15);
+        }
+        stats.record_value_index(AttrId::new(0), 1_000_000); // ignored
+        let before = stats.event_pmf(AttrId::new(0)).unwrap().prob(1);
+        stats.decay();
+        let after = stats.event_pmf(AttrId::new(0)).unwrap().prob(1);
+        assert!(before > 0.5);
+        assert!(after > 0.0 && after <= before);
+    }
+
+    #[test]
+    fn ill_typed_event_rejected() {
+        let (_schema, ps) = setup();
+        let mut stats = FilterStatistics::new(&ps).unwrap();
+        // Build an event against a *different* schema with wider domain.
+        let other = Schema::builder()
+            .attribute("x", Domain::int(0, 1000))
+            .unwrap()
+            .attribute("y", Domain::int(0, 9))
+            .unwrap()
+            .build();
+        let e = Event::builder(&other).value("x", 500).unwrap().build();
+        assert!(stats.record_event(&e).is_err());
+    }
+}

@@ -1,0 +1,1085 @@
+//! The profile tree: construction and event matching.
+//!
+//! From a profile set a deterministic matching structure of height `n`
+//! (one level per attribute) is built, following Gough & Smith's tree
+//! algorithm as described in §3 of the paper. Each inner node tests one
+//! attribute; its edges are the elementary value subranges referenced by
+//! the profiles alive on that branch, merged where adjacent subranges
+//! select identical profile sets (this reproduces the trees of Fig. 1
+//! and Fig. 2). Don't-care profiles flow down every edge and also down a
+//! dedicated `(*)`-edge (`*` when a node has no specific edges at all).
+//!
+//! Matching an event follows a single path; the number of comparison
+//! operations per node is governed by the configured [`SearchStrategy`]
+//! and recorded in the [`MatchOutcome`].
+
+use ens_dist::{DistOverDomain, JointDist};
+use ens_types::{AttrId, Event, IndexInterval, ProfileId, ProfileSet, Schema};
+use serde::{Deserialize, Serialize};
+
+use crate::order::{NodeOrdering, SearchStrategy};
+use crate::selectivity::AttributeMeasure;
+use crate::subrange::AttributePartition;
+use crate::{Direction, FilterError};
+
+/// How the tree's levels (attributes) are ordered.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[non_exhaustive]
+#[derive(Default)]
+pub enum AttributeOrder {
+    /// Schema declaration order (the paper's "natural order … according
+    /// to their index-number").
+    #[default]
+    Natural,
+    /// An explicit permutation of all schema attributes.
+    Explicit(Vec<AttrId>),
+    /// Order by an attribute-selectivity measure (A1–A3). `Descending`
+    /// puts the most selective attribute at the root (the paper's
+    /// recommended direction); `Ascending` is its worst case.
+    Selectivity {
+        /// The measure to rank attributes by.
+        measure: AttributeMeasure,
+        /// Rank direction.
+        direction: Direction,
+    },
+}
+
+
+/// Configuration of a [`ProfileTree`].
+///
+/// # Example
+///
+/// ```
+/// use ens_filter::{TreeConfig, SearchStrategy, ValueOrder, Direction};
+///
+/// let config = TreeConfig {
+///     search: SearchStrategy::Linear(ValueOrder::EventProb(Direction::Descending)),
+///     ..TreeConfig::default()
+/// };
+/// assert!(config.search.needs_event_model());
+/// ```
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+#[serde(default)]
+pub struct TreeConfig {
+    /// Attribute (level) order.
+    pub attribute_order: AttributeOrder,
+    /// Per-node edge search strategy.
+    pub search: SearchStrategy,
+    /// Event distribution model (one marginal per schema attribute).
+    /// Required by distribution-dependent orders (V1/V3, A2/A3);
+    /// optional otherwise.
+    pub event_model: Option<JointDist>,
+    /// Ablation: disable the lookup-table early-termination rule of
+    /// §4.2/Example 5 for linear scans — a miss then costs a full node
+    /// scan. Binary search is unaffected.
+    pub disable_early_termination: bool,
+    /// Ablation: keep elementary subranges unmerged instead of
+    /// coalescing adjacent cells with identical profile sets (the
+    /// merging that produces the compact Fig. 1/Fig. 2 edges).
+    pub disable_cell_merging: bool,
+    /// Optional per-profile priority weights (indexed by profile id).
+    /// Weights scale each profile's contribution to the profile
+    /// distribution `Pp`, so the V2/V3 orderings serve high-priority
+    /// subscriptions first (the paper's "faster notifications for
+    /// profiles with high priority", §4.3). `None` weights every profile
+    /// equally.
+    pub profile_weights: Option<Vec<f64>>,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum NodeRef {
+    Inner(Box<Node>),
+    Leaf(Vec<ProfileId>),
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct Node {
+    pub(crate) attr: AttrId,
+    /// Edges in natural (ascending interval) order.
+    pub(crate) edges: Vec<Edge>,
+    pub(crate) ordering: NodeOrdering,
+    pub(crate) star: Star,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct Edge {
+    pub(crate) interval: IndexInterval,
+    pub(crate) child: NodeRef,
+}
+
+/// Don't-care continuation of a node.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum Star {
+    /// No don't-care profiles: values outside every edge are rejected.
+    None,
+    /// `*`: the node has no specific edges; every value passes with one
+    /// operation.
+    All(Box<NodeRef>),
+    /// `(*)`: taken after the specific edges have been excluded, at one
+    /// additional operation.
+    Else(Box<NodeRef>),
+}
+
+/// Result of matching one event against a [`ProfileTree`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MatchOutcome {
+    profiles: Vec<ProfileId>,
+    ops: u64,
+    per_level: Vec<u64>,
+}
+
+impl MatchOutcome {
+    /// Ids of the matched profiles, ascending.
+    #[must_use]
+    pub fn profiles(&self) -> &[ProfileId] {
+        &self.profiles
+    }
+
+    /// Total comparison operations spent (the paper's performance
+    /// metric).
+    #[must_use]
+    pub fn ops(&self) -> u64 {
+        self.ops
+    }
+
+    /// Operations spent per tree level (level = position in
+    /// [`ProfileTree::attribute_order`]).
+    #[must_use]
+    pub fn per_level(&self) -> &[u64] {
+        &self.per_level
+    }
+
+    /// Whether any profile matched.
+    #[must_use]
+    pub fn is_match(&self) -> bool {
+        !self.profiles.is_empty()
+    }
+}
+
+/// The distribution-aware profile tree (the paper's core structure).
+///
+/// # Example
+///
+/// ```
+/// use ens_filter::{ProfileTree, TreeConfig};
+/// use ens_types::{Schema, Domain, Predicate, ProfileSet, Event};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let schema = Schema::builder()
+///     .attribute("temperature", Domain::int(-30, 50))?
+///     .attribute("humidity", Domain::int(0, 100))?
+///     .build();
+/// let mut ps = ProfileSet::new(&schema);
+/// ps.insert_with(|b| {
+///     b.predicate("temperature", Predicate::ge(35))?
+///         .predicate("humidity", Predicate::ge(90))
+/// })?;
+/// let tree = ProfileTree::build(&ps, &TreeConfig::default())?;
+/// let hot = Event::builder(&schema)
+///     .value("temperature", 40)?
+///     .value("humidity", 95)?
+///     .build();
+/// assert!(tree.match_event(&hot)?.is_match());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct ProfileTree {
+    schema: Schema,
+    config: TreeConfig,
+    attribute_order: Vec<AttrId>,
+    partitions: Vec<AttributePartition>,
+    marginals: Option<Vec<DistOverDomain>>,
+    root: NodeRef,
+    profile_count: usize,
+}
+
+impl ProfileTree {
+    /// Builds the tree for `profiles` under `config`.
+    ///
+    /// # Errors
+    ///
+    /// * [`FilterError::MissingDistribution`] if a distribution-dependent
+    ///   order is configured without an event model;
+    /// * [`FilterError::ModelMismatch`] if the event model's arity or
+    ///   domain sizes disagree with the schema;
+    /// * predicate lowering errors from the data model.
+    pub fn build(profiles: &ProfileSet, config: &TreeConfig) -> Result<Self, FilterError> {
+        let schema = profiles.schema().clone();
+
+        // Validate / extract the event model.
+        let marginals = match &config.event_model {
+            Some(joint) => {
+                if joint.arity() != schema.len() {
+                    return Err(FilterError::ModelMismatch {
+                        message: format!(
+                            "model has {} attributes, schema has {}",
+                            joint.arity(),
+                            schema.len()
+                        ),
+                    });
+                }
+                for (j, (_, a)) in schema.iter().enumerate() {
+                    if joint.domain_size(j) != a.domain().size() {
+                        return Err(FilterError::ModelMismatch {
+                            message: format!(
+                                "attribute `{}`: model size {} vs domain size {}",
+                                a.name(),
+                                joint.domain_size(j),
+                                a.domain().size()
+                            ),
+                        });
+                    }
+                }
+                Some((0..schema.len()).map(|j| joint.marginal(j)).collect::<Vec<_>>())
+            }
+            None => None,
+        };
+        if config.search.needs_event_model() && marginals.is_none() {
+            return Err(FilterError::MissingDistribution {
+                needed_by: format!("search strategy `{}`", config.search.label()),
+            });
+        }
+        if let Some(w) = &config.profile_weights {
+            if w.len() != profiles.len() {
+                return Err(FilterError::ModelMismatch {
+                    message: format!(
+                        "{} profile weights for {} profiles",
+                        w.len(),
+                        profiles.len()
+                    ),
+                });
+            }
+            if w.iter().any(|x| !x.is_finite() || *x <= 0.0) {
+                return Err(FilterError::ModelMismatch {
+                    message: "profile weights must be finite and positive".into(),
+                });
+            }
+        }
+
+        // Global per-attribute partitions (used by selectivity measures,
+        // statistics and the cost model).
+        let mut partitions = Vec::with_capacity(schema.len());
+        for (id, a) in schema.iter() {
+            partitions.push(AttributePartition::build(profiles.iter(), id, a.domain())?);
+        }
+
+        // Resolve the attribute order.
+        let attribute_order = match &config.attribute_order {
+            AttributeOrder::Natural => schema.ids().collect(),
+            AttributeOrder::Explicit(order) => {
+                let mut seen = vec![false; schema.len()];
+                for id in order {
+                    if id.index() >= schema.len() || seen[id.index()] {
+                        return Err(FilterError::ModelMismatch {
+                            message: format!("explicit order is not a permutation (at {id})"),
+                        });
+                    }
+                    seen[id.index()] = true;
+                }
+                if order.len() != schema.len() {
+                    return Err(FilterError::ModelMismatch {
+                        message: "explicit order must list every attribute".into(),
+                    });
+                }
+                order.clone()
+            }
+            AttributeOrder::Selectivity { measure, direction } => {
+                crate::selectivity::order_attributes(
+                    *measure,
+                    *direction,
+                    profiles,
+                    &partitions,
+                    marginals.as_deref(),
+                    config.search,
+                )?
+            }
+        };
+
+        let alive: Vec<ProfileId> = profiles.iter().map(ens_types::Profile::id).collect();
+        // For the merging ablation every node keeps the global cut
+        // points instead of re-decomposing per branch.
+        let global_cuts: Option<Vec<Vec<u64>>> = config.disable_cell_merging.then(|| {
+            partitions
+                .iter()
+                .map(|p| {
+                    let mut cuts: Vec<u64> = p.cells().iter().map(|c| c.interval().lo()).collect();
+                    cuts.push(p.domain_size());
+                    cuts
+                })
+                .collect()
+        });
+        let builder = TreeBuilder {
+            profiles,
+            schema: &schema,
+            order: &attribute_order,
+            marginals: marginals.as_deref(),
+            strategy: config.search,
+            early_termination: !config.disable_early_termination,
+            global_cuts,
+            weights: config.profile_weights.clone(),
+        };
+        let root = builder.build_node(&alive, 0)?;
+
+        Ok(ProfileTree {
+            schema,
+            config: config.clone(),
+            attribute_order,
+            partitions,
+            marginals,
+            root,
+            profile_count: profiles.len(),
+        })
+    }
+
+    /// The schema this tree was built for.
+    #[must_use]
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// The configuration the tree was built with.
+    #[must_use]
+    pub fn config(&self) -> &TreeConfig {
+        &self.config
+    }
+
+    /// The resolved attribute order: `attribute_order()[k]` is tested at
+    /// level `k`.
+    #[must_use]
+    pub fn attribute_order(&self) -> &[AttrId] {
+        &self.attribute_order
+    }
+
+    /// Global per-attribute partitions (schema order, not tree order).
+    #[must_use]
+    pub fn partitions(&self) -> &[AttributePartition] {
+        &self.partitions
+    }
+
+    /// Per-attribute event marginals, if an event model was supplied
+    /// (schema order).
+    #[must_use]
+    pub fn marginals(&self) -> Option<&[DistOverDomain]> {
+        self.marginals.as_deref()
+    }
+
+    /// Number of profiles indexed.
+    #[must_use]
+    pub fn profile_count(&self) -> usize {
+        self.profile_count
+    }
+
+    pub(crate) fn root(&self) -> &NodeRef {
+        &self.root
+    }
+
+    /// Matches one event, counting comparison operations.
+    ///
+    /// # Errors
+    ///
+    /// Propagates domain errors for ill-typed event values.
+    pub fn match_event(&self, event: &Event) -> Result<MatchOutcome, FilterError> {
+        let mut out = MatchOutcome {
+            profiles: Vec::new(),
+            ops: 0,
+            per_level: vec![0; self.attribute_order.len()],
+        };
+        self.walk(&self.root, event, 0, &mut out)?;
+        out.profiles.sort_unstable();
+        out.profiles.dedup();
+        Ok(out)
+    }
+
+    fn walk(
+        &self,
+        node: &NodeRef,
+        event: &Event,
+        level: usize,
+        out: &mut MatchOutcome,
+    ) -> Result<(), FilterError> {
+        let node = match node {
+            NodeRef::Leaf(ids) => {
+                out.profiles.extend_from_slice(ids);
+                return Ok(());
+            }
+            NodeRef::Inner(n) => n,
+        };
+        let domain = self.schema.attribute(node.attr).domain();
+        let value = event.value(node.attr);
+
+        // A missing attribute satisfies only don't-care predicates: the
+        // event descends the star edge (if any) without scanning.
+        let Some(value) = value else {
+            match &node.star {
+                Star::None => return Ok(()),
+                Star::All(child) | Star::Else(child) => {
+                    out.ops += 1;
+                    out.per_level[level] += 1;
+                    return self.walk(child, event, level + 1, out);
+                }
+            }
+        };
+        let idx = domain.index_of(value)?;
+
+        if node.edges.is_empty() {
+            // `*` edge: all values pass at one operation.
+            if let Star::All(child) = &node.star {
+                out.ops += 1;
+                out.per_level[level] += 1;
+                return self.walk(child, event, level + 1, out);
+            }
+            return Ok(());
+        }
+
+        // Locate the edge containing `idx` (model bookkeeping; the
+        // counted operations come from the precomputed ordering).
+        let g = node.edges.partition_point(|e| e.interval.hi() <= idx);
+        let hit = node
+            .edges
+            .get(g)
+            .is_some_and(|e| e.interval.contains(idx));
+        if hit {
+            let cost = u64::from(node.ordering.hit_cost[g]);
+            out.ops += cost;
+            out.per_level[level] += cost;
+            return self.walk(&node.edges[g].child, event, level + 1, out);
+        }
+
+        // Miss: pay the early-termination scan, then fall to `(*)`.
+        let cost = u64::from(node.ordering.miss_cost[g]);
+        out.ops += cost;
+        out.per_level[level] += cost;
+        if let Star::Else(child) = &node.star {
+            out.ops += 1;
+            out.per_level[level] += 1;
+            return self.walk(child, event, level + 1, out);
+        }
+        Ok(())
+    }
+
+    /// Renders the tree in the style of the paper's Fig. 1: one line per
+    /// edge, labelled with the attribute name and the inclusive value
+    /// range (`*` for all-values edges, `(*)` for the else edge), leaves
+    /// listing the matched profiles.
+    ///
+    /// ```text
+    /// a1 [30, 34] -> a2 [90, 100] -> (leaf) {p2, p5}
+    /// ```
+    #[must_use]
+    pub fn render(&self) -> String {
+        fn label(schema: &Schema, attr: AttrId, interval: &IndexInterval) -> String {
+            let domain = schema.attribute(attr).domain();
+            let name = schema.attribute(attr).name();
+            if interval.len() == 1 {
+                format!("{name} = {}", domain.value_at(interval.lo()))
+            } else {
+                format!(
+                    "{name} in [{}, {}]",
+                    domain.value_at(interval.lo()),
+                    domain.value_at(interval.hi() - 1)
+                )
+            }
+        }
+        fn leaf_text(ids: &[ProfileId]) -> String {
+            let names: Vec<String> = ids.iter().map(ToString::to_string).collect();
+            format!("{{{}}}", names.join(", "))
+        }
+        fn walk(schema: &Schema, node: &NodeRef, indent: usize, out: &mut String) {
+            let pad = "  ".repeat(indent);
+            match node {
+                NodeRef::Leaf(ids) => {
+                    out.push_str(&format!("{pad}=> {}\n", leaf_text(ids)));
+                }
+                NodeRef::Inner(n) => {
+                    let name = schema.attribute(n.attr).name();
+                    for e in &n.edges {
+                        out.push_str(&format!("{pad}{}\n", label(schema, n.attr, &e.interval)));
+                        walk(schema, &e.child, indent + 1, out);
+                    }
+                    match &n.star {
+                        Star::None => {}
+                        Star::All(child) => {
+                            out.push_str(&format!("{pad}{name} = *\n"));
+                            walk(schema, child, indent + 1, out);
+                        }
+                        Star::Else(child) => {
+                            out.push_str(&format!("{pad}{name} = (*)\n"));
+                            walk(schema, child, indent + 1, out);
+                        }
+                    }
+                }
+            }
+        }
+        let mut out = String::new();
+        walk(&self.schema, &self.root, 0, &mut out);
+        out
+    }
+
+    /// Number of inner nodes.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        fn count(n: &NodeRef) -> usize {
+            match n {
+                NodeRef::Leaf(_) => 0,
+                NodeRef::Inner(node) => {
+                    let mut c = 1;
+                    for e in &node.edges {
+                        c += count(&e.child);
+                    }
+                    match &node.star {
+                        Star::None => {}
+                        Star::All(ch) | Star::Else(ch) => c += count(ch),
+                    }
+                    c
+                }
+            }
+        }
+        count(&self.root)
+    }
+
+    /// Number of edges (including `*`/`(*)` edges).
+    #[must_use]
+    pub fn edge_count(&self) -> usize {
+        fn count(n: &NodeRef) -> usize {
+            match n {
+                NodeRef::Leaf(_) => 0,
+                NodeRef::Inner(node) => {
+                    let mut c = node.edges.len();
+                    for e in &node.edges {
+                        c += count(&e.child);
+                    }
+                    match &node.star {
+                        Star::None => {}
+                        Star::All(ch) | Star::Else(ch) => c += 1 + count(ch),
+                    }
+                    c
+                }
+            }
+        }
+        count(&self.root)
+    }
+
+    /// Number of leaves.
+    #[must_use]
+    pub fn leaf_count(&self) -> usize {
+        fn count(n: &NodeRef) -> usize {
+            match n {
+                NodeRef::Leaf(_) => 1,
+                NodeRef::Inner(node) => {
+                    let mut c = 0;
+                    for e in &node.edges {
+                        c += count(&e.child);
+                    }
+                    match &node.star {
+                        Star::None => {}
+                        Star::All(ch) | Star::Else(ch) => c += count(ch),
+                    }
+                    c
+                }
+            }
+        }
+        count(&self.root)
+    }
+}
+
+struct TreeBuilder<'a> {
+    profiles: &'a ProfileSet,
+    schema: &'a Schema,
+    order: &'a [AttrId],
+    marginals: Option<&'a [DistOverDomain]>,
+    strategy: SearchStrategy,
+    early_termination: bool,
+    /// `Some` when cell merging is ablated: per-attribute global cut
+    /// points forced into every node's decomposition.
+    global_cuts: Option<Vec<Vec<u64>>>,
+    /// Per-profile priority weights (id-indexed), defaulting to 1.
+    weights: Option<Vec<f64>>,
+}
+
+impl TreeBuilder<'_> {
+    /// Total priority mass of a set of profiles (1 per profile when no
+    /// weights are configured).
+    fn profile_mass(&self, ids: &[ProfileId]) -> f64 {
+        match &self.weights {
+            None => ids.len() as f64,
+            Some(w) => ids.iter().map(|id| w[id.index()]).sum(),
+        }
+    }
+
+    fn build_node(&self, alive: &[ProfileId], level: usize) -> Result<NodeRef, FilterError> {
+        if alive.is_empty() {
+            return Ok(NodeRef::Leaf(Vec::new()));
+        }
+        if level == self.order.len() {
+            let mut ids = alive.to_vec();
+            ids.sort_unstable();
+            return Ok(NodeRef::Leaf(ids));
+        }
+        let attr = self.order[level];
+        let domain = self.schema.attribute(attr).domain();
+
+        let mut dont_care: Vec<ProfileId> = Vec::new();
+        let mut specific: Vec<ProfileId> = Vec::new();
+        for id in alive {
+            let p = self.profiles.get(*id).expect("alive ids are valid");
+            if p.predicate(attr).is_dont_care() {
+                dont_care.push(*id);
+            } else {
+                specific.push(*id);
+            }
+        }
+
+        if specific.is_empty() {
+            // All alive profiles ignore this attribute: a single `*`
+            // edge.
+            let child = self.build_node(alive, level + 1)?;
+            return Ok(NodeRef::Inner(Box::new(Node {
+                attr,
+                edges: Vec::new(),
+                ordering: NodeOrdering {
+                    visit: Vec::new(),
+                    hit_cost: Vec::new(),
+                    miss_cost: vec![0],
+                },
+                star: Star::All(Box::new(child)),
+            })));
+        }
+
+        // Per-branch elementary decomposition over the *specific*
+        // profiles alive here (merging makes the Fig. 2 edges like
+        // `[30, 100)` appear when profiles collapse).
+        let spec_profiles = specific
+            .iter()
+            .map(|id| self.profiles.get(*id).expect("alive ids are valid"));
+        let part = match &self.global_cuts {
+            None => AttributePartition::build(spec_profiles, attr, domain)?,
+            Some(cuts) => AttributePartition::build_with_cuts(
+                spec_profiles,
+                attr,
+                domain,
+                false,
+                &cuts[attr.index()],
+            )?,
+        };
+
+        let mut edges: Vec<Edge> = Vec::new();
+        let mut edge_pe: Vec<f64> = Vec::new();
+        let mut edge_pp: Vec<f64> = Vec::new();
+        let mut gap_pe: Vec<f64> = vec![0.0];
+        let marginal = self.marginals.map(|m| &m[attr.index()]);
+        for cell in part.cells() {
+            if cell.is_zero() {
+                let pe = marginal.map_or(0.0, |m| m.mass_of(cell.interval()));
+                *gap_pe.last_mut().expect("gap_pe is non-empty") += pe;
+                continue;
+            }
+            let mut child_ids = cell.profiles().to_vec();
+            child_ids.extend_from_slice(&dont_care);
+            let child = self.build_node(&child_ids, level + 1)?;
+            edge_pe.push(marginal.map_or(0.0, |m| m.mass_of(cell.interval())));
+            edge_pp.push(self.profile_mass(cell.profiles()) / self.profile_mass(&specific));
+            edges.push(Edge {
+                interval: *cell.interval(),
+                child,
+            });
+            gap_pe.push(0.0);
+        }
+
+        let edge_intervals: Vec<IndexInterval> = edges.iter().map(|e| e.interval).collect();
+        let mut ordering = NodeOrdering::compute_with_geometry(
+            self.strategy,
+            &edge_pe,
+            &edge_pp,
+            &gap_pe,
+            &edge_intervals,
+            domain.size(),
+        );
+        if !self.early_termination && matches!(self.strategy, SearchStrategy::Linear(_)) {
+            // Ablation: without the lookup table every miss scans the
+            // whole node.
+            let full = edges.len().max(1) as u32;
+            for mc in &mut ordering.miss_cost {
+                *mc = full;
+            }
+        }
+        let star = if dont_care.is_empty() {
+            Star::None
+        } else {
+            Star::Else(Box::new(self.build_node(&dont_care, level + 1)?))
+        };
+
+        Ok(NodeRef::Inner(Box::new(Node {
+            attr,
+            edges,
+            ordering,
+            star,
+        })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::order::ValueOrder;
+    use ens_types::{Domain, Predicate};
+
+    /// Example 1 of the paper.
+    pub(crate) fn example1() -> (Schema, ProfileSet) {
+        let schema = Schema::builder()
+            .attribute("a1", Domain::int(-30, 50))
+            .unwrap()
+            .attribute("a2", Domain::int(0, 100))
+            .unwrap()
+            .attribute("a3", Domain::int(1, 100))
+            .unwrap()
+            .build();
+        let mut ps = ProfileSet::new(&schema);
+        ps.insert_with(|b| {
+            b.predicate("a1", Predicate::ge(35))?
+                .predicate("a2", Predicate::ge(90))
+        })
+        .unwrap();
+        ps.insert_with(|b| {
+            b.predicate("a1", Predicate::ge(30))?
+                .predicate("a2", Predicate::ge(90))
+        })
+        .unwrap();
+        ps.insert_with(|b| {
+            b.predicate("a1", Predicate::ge(30))?
+                .predicate("a2", Predicate::ge(90))?
+                .predicate("a3", Predicate::between(35, 50))
+        })
+        .unwrap();
+        ps.insert_with(|b| {
+            b.predicate("a1", Predicate::between(-30, -20))?
+                .predicate("a2", Predicate::le(5))?
+                .predicate("a3", Predicate::between(40, 100))
+        })
+        .unwrap();
+        ps.insert_with(|b| {
+            b.predicate("a1", Predicate::ge(30))?
+                .predicate("a2", Predicate::ge(80))
+        })
+        .unwrap();
+        (schema, ps)
+    }
+
+    fn event(schema: &Schema, a1: i64, a2: i64, a3: i64) -> Event {
+        Event::builder(schema)
+            .value("a1", a1)
+            .unwrap()
+            .value("a2", a2)
+            .unwrap()
+            .value("a3", a3)
+            .unwrap()
+            .build()
+    }
+
+    #[test]
+    fn paper_event_matches_p2_p5() {
+        let (schema, ps) = example1();
+        let tree = ProfileTree::build(&ps, &TreeConfig::default()).unwrap();
+        let out = tree.match_event(&event(&schema, 30, 90, 2)).unwrap();
+        assert_eq!(
+            out.profiles(),
+            &[ProfileId::new(1), ProfileId::new(4)],
+            "paper: the filtering path finds P2 and P5"
+        );
+        assert!(out.ops() > 0);
+    }
+
+    #[test]
+    fn tree_agrees_with_oracle_on_grid() {
+        let (schema, ps) = example1();
+        for config in [
+            TreeConfig::default(),
+            TreeConfig {
+                search: SearchStrategy::Binary,
+                ..TreeConfig::default()
+            },
+            TreeConfig {
+                attribute_order: AttributeOrder::Explicit(vec![
+                    AttrId::new(2),
+                    AttrId::new(0),
+                    AttrId::new(1),
+                ]),
+                ..TreeConfig::default()
+            },
+            TreeConfig {
+                search: SearchStrategy::Linear(ValueOrder::Natural(Direction::Descending)),
+                ..TreeConfig::default()
+            },
+        ] {
+            let tree = ProfileTree::build(&ps, &config).unwrap();
+            for a1 in (-30..=50).step_by(5) {
+                for a2 in (0..=100).step_by(10) {
+                    for a3 in [1, 35, 40, 50, 70, 100] {
+                        let e = event(&schema, a1, a2, a3);
+                        let expect = ps.matches(&e).unwrap();
+                        let got = tree.match_event(&e).unwrap();
+                        assert_eq!(got.profiles(), expect.as_slice(), "{config:?} at ({a1},{a2},{a3})");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn missing_attribute_reaches_only_dont_care() {
+        let (schema, ps) = example1();
+        let tree = ProfileTree::build(&ps, &TreeConfig::default()).unwrap();
+        // a3 missing: P3/P4 (which specify a3) must not match; P2/P5 do.
+        let e = Event::builder(&schema)
+            .value("a1", 30)
+            .unwrap()
+            .value("a2", 95)
+            .unwrap()
+            .build();
+        let out = tree.match_event(&e).unwrap();
+        assert_eq!(out.profiles(), &[ProfileId::new(1), ProfileId::new(4)]);
+        // a1 missing: nothing specifies don't-care on a1, so no match.
+        let e = Event::builder(&schema).value("a2", 95).unwrap().build();
+        assert!(!tree.match_event(&e).unwrap().is_match());
+    }
+
+    #[test]
+    fn per_level_ops_sum_to_total() {
+        let (schema, ps) = example1();
+        let tree = ProfileTree::build(&ps, &TreeConfig::default()).unwrap();
+        let out = tree.match_event(&event(&schema, 40, 95, 40)).unwrap();
+        assert_eq!(out.per_level().iter().sum::<u64>(), out.ops());
+        assert_eq!(out.per_level().len(), 3);
+    }
+
+    #[test]
+    fn natural_linear_costs_match_hand_count() {
+        let (schema, ps) = example1();
+        let tree = ProfileTree::build(&ps, &TreeConfig::default()).unwrap();
+        // Event (30, 90, 2): level a1 edges are [-30,-20], [30,35), [35,50];
+        // 30 sits in the second edge -> 2 ops. Level a2 edges (branch of
+        // P2,P3,P5): [80,90), [90,100]; 90 in the second -> 2 ops. Level
+        // a3: edges [35,50] (P3 + dc); 2 misses at cost 1, then (*) at 1
+        // -> 2 ops. Total 6.
+        let out = tree.match_event(&event(&schema, 30, 90, 2)).unwrap();
+        assert_eq!(out.per_level(), &[2, 2, 2]);
+        assert_eq!(out.ops(), 6);
+    }
+
+    #[test]
+    fn rejected_event_pays_early_termination_only() {
+        let (schema, ps) = example1();
+        let tree = ProfileTree::build(&ps, &TreeConfig::default()).unwrap();
+        // a1 = 0 falls in the gap between [-30,-20] and [30,35): the
+        // natural ascending scan stops at the second edge (2 ops) and
+        // there is no (*) at the root.
+        let out = tree.match_event(&event(&schema, 0, 90, 2)).unwrap();
+        assert!(!out.is_match());
+        assert_eq!(out.ops(), 2);
+        assert_eq!(out.per_level(), &[2, 0, 0]);
+    }
+
+    #[test]
+    fn structure_counts() {
+        let (_, ps) = example1();
+        let tree = ProfileTree::build(&ps, &TreeConfig::default()).unwrap();
+        assert!(tree.node_count() > 3);
+        assert!(tree.leaf_count() >= 5);
+        assert!(tree.edge_count() >= tree.leaf_count());
+        assert_eq!(tree.profile_count(), 5);
+        assert_eq!(tree.attribute_order().len(), 3);
+    }
+
+    #[test]
+    fn render_reproduces_fig1_structure() {
+        let (_, ps) = example1();
+        let tree = ProfileTree::build(&ps, &TreeConfig::default()).unwrap();
+        let text = tree.render();
+        // Root edges of Fig. 1 (inclusive integer-grid rendering).
+        assert!(text.contains("a1 in [-30, -20]"), "{text}");
+        assert!(text.contains("a1 in [30, 34]"), "{text}");
+        assert!(text.contains("a1 in [35, 50]"), "{text}");
+        // The (*) else-edge below a3 (P2/P5 are don't-care there).
+        assert!(text.contains("a3 = (*)"), "{text}");
+        // The P1/P2/P3/P5 leaf below [35,50] -> [90,100] -> [35,50]
+        // (ids are zero-based: paper's P1 is p0).
+        assert!(text.contains("=> {p0, p1, p2, p4}"), "{text}");
+        // The paper's filtering-example leaf {P2, P5}.
+        assert!(text.contains("=> {p1, p4}"), "{text}");
+    }
+
+    #[test]
+    fn interpolation_and_hash_strategies_agree_with_oracle() {
+        let (schema, ps) = example1();
+        for search in [SearchStrategy::Interpolation, SearchStrategy::Hash] {
+            let tree = ProfileTree::build(
+                &ps,
+                &TreeConfig {
+                    search,
+                    ..TreeConfig::default()
+                },
+            )
+            .unwrap();
+            for a1 in (-30..=50).step_by(10) {
+                for a2 in (0..=100).step_by(20) {
+                    for a3 in [1, 37, 45, 90] {
+                        let e = event(&schema, a1, a2, a3);
+                        assert_eq!(
+                            tree.match_event(&e).unwrap().profiles(),
+                            ps.matches(&e).unwrap().as_slice(),
+                            "{search:?} at ({a1},{a2},{a3})"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn hash_strategy_costs_one_op_on_equality_nodes() {
+        let schema = Schema::builder()
+            .attribute("x", Domain::int(0, 99))
+            .unwrap()
+            .build();
+        let mut ps = ProfileSet::new(&schema);
+        for v in [3, 17, 42, 81] {
+            ps.insert_with(|b| b.predicate("x", Predicate::eq(v))).unwrap();
+        }
+        let tree = ProfileTree::build(
+            &ps,
+            &TreeConfig {
+                search: SearchStrategy::Hash,
+                ..TreeConfig::default()
+            },
+        )
+        .unwrap();
+        let hit = Event::builder(&schema).value("x", 42).unwrap().build();
+        assert_eq!(tree.match_event(&hit).unwrap().ops(), 1);
+        let miss = Event::builder(&schema).value("x", 50).unwrap().build();
+        assert_eq!(tree.match_event(&miss).unwrap().ops(), 1);
+    }
+
+    #[test]
+    fn profile_weights_steer_v2_ordering() {
+        use crate::order::ValueOrder;
+        let schema = Schema::builder()
+            .attribute("x", Domain::int(0, 99))
+            .unwrap()
+            .build();
+        let mut ps = ProfileSet::new(&schema);
+        ps.insert_with(|b| b.predicate("x", Predicate::between(10, 19)))
+            .unwrap(); // p0, low values
+        ps.insert_with(|b| b.predicate("x", Predicate::between(80, 89)))
+            .unwrap(); // p1, high values
+        let v2 = SearchStrategy::Linear(ValueOrder::ProfileProb(Direction::Descending));
+        // Equal weights: natural tie-break scans p0's range first.
+        let equal = ProfileTree::build(
+            &ps,
+            &TreeConfig {
+                search: v2,
+                ..TreeConfig::default()
+            },
+        )
+        .unwrap();
+        let hi = Event::builder(&schema).value("x", 85).unwrap().build();
+        assert_eq!(equal.match_event(&hi).unwrap().ops(), 2);
+        // Prioritising p1 moves its range to the front of the node.
+        let weighted = ProfileTree::build(
+            &ps,
+            &TreeConfig {
+                search: v2,
+                profile_weights: Some(vec![1.0, 10.0]),
+                ..TreeConfig::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(weighted.match_event(&hi).unwrap().ops(), 1);
+        // Semantics unchanged.
+        let lo = Event::builder(&schema).value("x", 15).unwrap().build();
+        assert_eq!(
+            weighted.match_event(&lo).unwrap().profiles(),
+            ps.matches(&lo).unwrap().as_slice()
+        );
+    }
+
+    #[test]
+    fn profile_weights_are_validated() {
+        let (_, ps) = example1();
+        for bad in [vec![1.0; 3], vec![1.0, -1.0, 1.0, 1.0, 1.0], vec![f64::NAN; 5]] {
+            let config = TreeConfig {
+                profile_weights: Some(bad),
+                ..TreeConfig::default()
+            };
+            assert!(
+                matches!(ProfileTree::build(&ps, &config), Err(FilterError::ModelMismatch { .. })),
+                "invalid weights must be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_profile_set_matches_nothing() {
+        let (schema, _) = example1();
+        let ps = ProfileSet::new(&schema);
+        let tree = ProfileTree::build(&ps, &TreeConfig::default()).unwrap();
+        let out = tree.match_event(&event(&schema, 0, 0, 1)).unwrap();
+        assert!(!out.is_match());
+    }
+
+    #[test]
+    fn explicit_order_validation() {
+        let (_, ps) = example1();
+        let bad = TreeConfig {
+            attribute_order: AttributeOrder::Explicit(vec![AttrId::new(0), AttrId::new(0), AttrId::new(1)]),
+            ..TreeConfig::default()
+        };
+        assert!(matches!(
+            ProfileTree::build(&ps, &bad),
+            Err(FilterError::ModelMismatch { .. })
+        ));
+        let short = TreeConfig {
+            attribute_order: AttributeOrder::Explicit(vec![AttrId::new(0)]),
+            ..TreeConfig::default()
+        };
+        assert!(ProfileTree::build(&ps, &short).is_err());
+    }
+
+    #[test]
+    fn event_order_requires_model() {
+        let (_, ps) = example1();
+        let config = TreeConfig {
+            search: SearchStrategy::Linear(ValueOrder::EventProb(Direction::Descending)),
+            ..TreeConfig::default()
+        };
+        assert!(matches!(
+            ProfileTree::build(&ps, &config),
+            Err(FilterError::MissingDistribution { .. })
+        ));
+    }
+
+    #[test]
+    fn model_arity_validated() {
+        use ens_dist::{Density, DistOverDomain, JointDist};
+        let (_, ps) = example1();
+        let wrong_arity = JointDist::independent(vec![DistOverDomain::new(Density::Uniform, 81)]).unwrap();
+        let config = TreeConfig {
+            event_model: Some(wrong_arity),
+            ..TreeConfig::default()
+        };
+        assert!(matches!(
+            ProfileTree::build(&ps, &config),
+            Err(FilterError::ModelMismatch { .. })
+        ));
+        let wrong_size = JointDist::independent(vec![
+            DistOverDomain::new(Density::Uniform, 81),
+            DistOverDomain::new(Density::Uniform, 5),
+            DistOverDomain::new(Density::Uniform, 100),
+        ])
+        .unwrap();
+        let config = TreeConfig {
+            event_model: Some(wrong_size),
+            ..TreeConfig::default()
+        };
+        assert!(ProfileTree::build(&ps, &config).is_err());
+    }
+}

@@ -1,0 +1,343 @@
+//! The notification broker: subscriptions in, events in, notifications
+//! out — with the adaptive distribution-based filter in the middle.
+
+use std::collections::VecDeque;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+use crossbeam::channel::{unbounded, Sender};
+use ens_filter::{AdaptiveFilter, AdaptivePolicy, TreeConfig};
+use ens_types::{Event, Profile, ProfileBuilder, ProfileId, ProfileSet, Schema, TypesError};
+use parking_lot::RwLock;
+
+use crate::metrics::{Metrics, MetricsSnapshot};
+use crate::notify::{Notification, Subscriber};
+use crate::quench::QuenchAdvice;
+use crate::subscription::SubscriptionId;
+use crate::ServiceError;
+
+/// Broker configuration.
+#[derive(Debug, Clone, Default)]
+pub struct BrokerConfig {
+    /// Filter tree configuration (search strategy, attribute order).
+    pub tree: TreeConfig,
+    /// Adaptive restructuring policy.
+    pub adaptive: AdaptivePolicy,
+    /// How many recent events to keep for inspection (0 disables).
+    pub history_capacity: usize,
+    /// Drop events in the zero-subdomain before filtering (broker-side
+    /// quenching; producers can do the same with
+    /// [`Broker::quench_advice`]).
+    pub quench_inbound: bool,
+}
+
+/// Receipt returned by [`Broker::publish`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PublishReceipt {
+    /// Publish-order sequence number of the event.
+    pub sequence: u64,
+    /// Subscriptions notified by this event (empty if quenched).
+    pub matched: Vec<SubscriptionId>,
+    /// Comparison operations spent filtering (0 if quenched).
+    pub ops: u64,
+    /// Whether the inbound quench pre-filter dropped the event.
+    pub quenched: bool,
+}
+
+struct SubEntry {
+    id: SubscriptionId,
+    profile: Profile,
+    weight: f64,
+    sender: Sender<Notification>,
+    active: bool,
+}
+
+struct State {
+    subs: Vec<SubEntry>,
+    filter: AdaptiveFilter,
+    /// Dense profile id -> position in `subs` for the current filter.
+    index: Vec<usize>,
+    history: VecDeque<Event>,
+    next_id: u64,
+    sequence: u64,
+}
+
+/// A thread-safe event notification broker (a miniature GENAS, the
+/// system the paper's §5 announces on top of this filter algorithm).
+///
+/// # Example
+///
+/// ```
+/// use ens_service::{Broker, BrokerConfig};
+/// use ens_types::{Schema, Domain, Predicate, Event};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let schema = Schema::builder()
+///     .attribute("temperature", Domain::int(-30, 50))?
+///     .build();
+/// let broker = Broker::new(&schema, BrokerConfig::default())?;
+/// let alerts = broker.subscribe(|b| b.predicate("temperature", Predicate::ge(35)))?;
+///
+/// broker.publish(&Event::builder(&schema).value("temperature", 40)?.build())?;
+/// let n = alerts.try_recv().expect("heat alert");
+/// assert_eq!(n.subscription, alerts.id());
+/// # Ok(())
+/// # }
+/// ```
+pub struct Broker {
+    schema: Schema,
+    config: BrokerConfig,
+    state: RwLock<State>,
+    metrics: Arc<Metrics>,
+}
+
+impl Broker {
+    /// Creates a broker over `schema`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filter construction errors.
+    pub fn new(schema: &Schema, config: BrokerConfig) -> Result<Self, ServiceError> {
+        let profiles = ProfileSet::new(schema);
+        let filter = AdaptiveFilter::new(&profiles, config.tree.clone(), config.adaptive)?;
+        Ok(Broker {
+            schema: schema.clone(),
+            config,
+            state: RwLock::new(State {
+                subs: Vec::new(),
+                filter,
+                index: Vec::new(),
+                history: VecDeque::new(),
+                next_id: 0,
+                sequence: 0,
+            }),
+            metrics: Arc::new(Metrics::default()),
+        })
+    }
+
+    /// The broker's schema.
+    #[must_use]
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Registers a subscription built by `f` and returns the consumer
+    /// handle.
+    ///
+    /// # Errors
+    ///
+    /// Propagates profile building and filter rebuild errors.
+    pub fn subscribe<F>(&self, f: F) -> Result<Subscriber, ServiceError>
+    where
+        F: FnOnce(ProfileBuilder<'_>) -> Result<ProfileBuilder<'_>, TypesError>,
+    {
+        let profile = f(Profile::builder(&self.schema))?.build(ProfileId::new(0));
+        self.subscribe_profile(profile)
+    }
+
+    /// Registers a subscription from the textual profile syntax, e.g.
+    /// `profile(temperature >= 35; humidity = 90)`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates parse and filter rebuild errors.
+    pub fn subscribe_parsed(&self, text: &str) -> Result<Subscriber, ServiceError> {
+        let profile = ens_types::parse::parse_profile(&self.schema, text, ProfileId::new(0))?;
+        self.subscribe_profile(profile)
+    }
+
+    /// Registers a pre-built profile as a subscription.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filter rebuild errors.
+    pub fn subscribe_profile(&self, profile: Profile) -> Result<Subscriber, ServiceError> {
+        self.subscribe_profile_weighted(profile, 1.0)
+    }
+
+    /// Registers a subscription with a priority weight. Weights scale
+    /// the profile's share of the profile distribution `Pp`, so the
+    /// V2/V3 value orderings serve high-priority subscriptions first
+    /// (paper §4.3: "faster notifications for profiles with high
+    /// priority").
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServiceError::Filter`] for non-positive weights and
+    /// propagates filter rebuild errors.
+    pub fn subscribe_profile_weighted(
+        &self,
+        profile: Profile,
+        weight: f64,
+    ) -> Result<Subscriber, ServiceError> {
+        if !weight.is_finite() || weight <= 0.0 {
+            return Err(ServiceError::Filter(
+                ens_filter::FilterError::ModelMismatch {
+                    message: format!("subscription weight {weight} must be finite and positive"),
+                },
+            ));
+        }
+        let (tx, rx) = unbounded();
+        let mut state = self.state.write();
+        let id = SubscriptionId::new(state.next_id);
+        state.next_id += 1;
+        state.subs.push(SubEntry {
+            id,
+            profile,
+            weight,
+            sender: tx,
+            active: true,
+        });
+        Self::rebuild_locked(&self.schema, &mut state)?;
+        Ok(Subscriber::new(id, rx))
+    }
+
+    /// Cancels a subscription.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServiceError::UnknownSubscription`] if the id is not
+    /// live, and propagates rebuild errors.
+    pub fn unsubscribe(&self, id: SubscriptionId) -> Result<(), ServiceError> {
+        let mut state = self.state.write();
+        let before = state.subs.len();
+        state.subs.retain(|s| s.id != id);
+        if state.subs.len() == before {
+            return Err(ServiceError::UnknownSubscription(id));
+        }
+        Self::rebuild_locked(&self.schema, &mut state)
+    }
+
+    fn rebuild_locked(schema: &Schema, state: &mut State) -> Result<(), ServiceError> {
+        let mut profiles = ProfileSet::new(schema);
+        let mut index = Vec::with_capacity(state.subs.len());
+        let mut weights = Vec::with_capacity(state.subs.len());
+        for (pos, entry) in state.subs.iter().enumerate() {
+            if entry.active {
+                profiles.insert(entry.profile.clone());
+                index.push(pos);
+                weights.push(entry.weight);
+            }
+        }
+        let weights = if weights.iter().all(|w| (*w - 1.0).abs() < f64::EPSILON) {
+            None
+        } else {
+            Some(weights)
+        };
+        state.filter.set_profiles_weighted(&profiles, weights)?;
+        state.index = index;
+        Ok(())
+    }
+
+    /// Number of live subscriptions.
+    #[must_use]
+    pub fn subscription_count(&self) -> usize {
+        self.state.read().subs.iter().filter(|s| s.active).count()
+    }
+
+    /// Publishes one event: filters, delivers notifications, updates the
+    /// adaptive statistics and possibly restructures the tree.
+    ///
+    /// # Errors
+    ///
+    /// Propagates domain errors for ill-typed event values and filter
+    /// rebuild errors.
+    pub fn publish(&self, event: &Event) -> Result<PublishReceipt, ServiceError> {
+        let mut state = self.state.write();
+        let sequence = state.sequence;
+        state.sequence += 1;
+
+        if self.config.history_capacity > 0 {
+            if state.history.len() == self.config.history_capacity {
+                state.history.pop_front();
+            }
+            state.history.push_back(event.clone());
+        }
+
+        if self.config.quench_inbound {
+            let advice =
+                QuenchAdvice::from_partitions(&self.schema, state.filter.tree().partitions());
+            if !advice.allows(event)? {
+                self.metrics.quenched_events.fetch_add(1, Ordering::Relaxed);
+                self.metrics.events_published.fetch_add(1, Ordering::Relaxed);
+                return Ok(PublishReceipt {
+                    sequence,
+                    matched: Vec::new(),
+                    ops: 0,
+                    quenched: true,
+                });
+            }
+        }
+
+        let outcome = state.filter.process(event)?;
+        self.metrics.events_published.fetch_add(1, Ordering::Relaxed);
+        self.metrics
+            .total_ops
+            .fetch_add(outcome.ops(), Ordering::Relaxed);
+
+        let mut matched = Vec::with_capacity(outcome.profiles().len());
+        let mut dead: Vec<SubscriptionId> = Vec::new();
+        for pid in outcome.profiles() {
+            let pos = state.index[pid.index()];
+            let entry = &state.subs[pos];
+            let n = Notification {
+                subscription: entry.id,
+                sequence,
+                event: event.clone(),
+            };
+            if entry.sender.send(n).is_ok() {
+                matched.push(entry.id);
+                self.metrics.notifications_sent.fetch_add(1, Ordering::Relaxed);
+            } else {
+                self.metrics
+                    .dropped_notifications
+                    .fetch_add(1, Ordering::Relaxed);
+                dead.push(entry.id);
+            }
+        }
+        if !dead.is_empty() {
+            // Garbage-collect subscriptions whose consumers hung up.
+            state.subs.retain(|s| !dead.contains(&s.id));
+            Self::rebuild_locked(&self.schema, &mut state)?;
+        }
+        Ok(PublishReceipt {
+            sequence,
+            matched,
+            ops: outcome.ops(),
+            quenched: false,
+        })
+    }
+
+    /// Current quenching advice for producers.
+    #[must_use]
+    pub fn quench_advice(&self) -> QuenchAdvice {
+        let state = self.state.read();
+        QuenchAdvice::from_partitions(&self.schema, state.filter.tree().partitions())
+    }
+
+    /// Recently published events (newest last), up to the configured
+    /// history capacity.
+    #[must_use]
+    pub fn recent_events(&self) -> Vec<Event> {
+        self.state.read().history.iter().cloned().collect()
+    }
+
+    /// Counter snapshot.
+    #[must_use]
+    pub fn metrics(&self) -> MetricsSnapshot {
+        let state = self.state.read();
+        self.metrics.snapshot(
+            state.filter.rebuild_count(),
+            state.subs.iter().filter(|s| s.active).count(),
+        )
+    }
+}
+
+impl std::fmt::Debug for Broker {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Broker")
+            .field("schema", &self.schema)
+            .field("subscriptions", &self.subscription_count())
+            .finish_non_exhaustive()
+    }
+}

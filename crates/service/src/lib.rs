@@ -1,0 +1,327 @@
+//! Event notification service built on the distribution-based filter.
+//!
+//! The paper positions its algorithm inside an Event Notification
+//! Service (ENS) and announces GENAS, "a generic parameterized Event
+//! Notification System … based on the filter algorithm introduced here"
+//! (§5). This crate is that service layer:
+//!
+//! * [`Broker`] — thread-safe subscribe/publish hub delivering
+//!   [`Notification`]s over channels, filtering through an
+//!   [`AdaptiveFilter`](ens_filter::AdaptiveFilter) that restructures
+//!   its profile tree as the observed event distribution drifts;
+//! * [`QuenchAdvice`] — Elvin-style quenching (§2): producers learn
+//!   which value ranges no subscription references and can drop dead
+//!   events at the source;
+//! * [`CompositeDetector`] — composite events (sequence, conjunction,
+//!   disjunction over time windows), the §5 future-work extension;
+//! * [`MetricsSnapshot`] — service counters (events, notifications,
+//!   comparison operations, rebuilds).
+//!
+//! # Example
+//!
+//! ```
+//! use ens_service::{Broker, BrokerConfig};
+//! use ens_types::{Schema, Domain, Predicate, Event};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let schema = Schema::builder()
+//!     .attribute("temperature", Domain::int(-30, 50))?
+//!     .attribute("humidity", Domain::int(0, 100))?
+//!     .build();
+//! let broker = Broker::new(&schema, BrokerConfig::default())?;
+//!
+//! let alerts = broker.subscribe_parsed("profile(temperature >= 35; humidity >= 90)")?;
+//! broker.publish(
+//!     &Event::builder(&schema).value("temperature", 40)?.value("humidity", 95)?.build(),
+//! )?;
+//! assert!(alerts.try_recv().is_some());
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod broker;
+mod composite;
+mod error;
+mod metrics;
+mod notify;
+mod quench;
+mod subscription;
+
+pub use broker::{Broker, BrokerConfig, PublishReceipt};
+pub use composite::{CompositeDetector, CompositeExpr, CompositeId};
+pub use error::ServiceError;
+pub use metrics::MetricsSnapshot;
+pub use notify::{Notification, Subscriber};
+pub use quench::QuenchAdvice;
+pub use subscription::SubscriptionId;
+
+/// Convenience result alias used across this crate.
+pub type Result<T> = std::result::Result<T, ServiceError>;
+
+#[cfg(test)]
+mod broker_tests {
+    use super::*;
+    use ens_filter::{AdaptivePolicy, Direction, SearchStrategy, TreeConfig, ValueOrder};
+    use ens_types::{Domain, Event, Predicate, Schema};
+
+    fn schema() -> Schema {
+        Schema::builder()
+            .attribute("temperature", Domain::int(-30, 50))
+            .unwrap()
+            .attribute("humidity", Domain::int(0, 100))
+            .unwrap()
+            .build()
+    }
+
+    fn event(s: &Schema, t: i64, h: i64) -> Event {
+        Event::builder(s)
+            .value("temperature", t)
+            .unwrap()
+            .value("humidity", h)
+            .unwrap()
+            .build()
+    }
+
+    #[test]
+    fn subscribe_publish_notify() {
+        let s = schema();
+        let broker = Broker::new(&s, BrokerConfig::default()).unwrap();
+        let hot = broker
+            .subscribe(|b| b.predicate("temperature", Predicate::ge(35)))
+            .unwrap();
+        let humid = broker
+            .subscribe(|b| b.predicate("humidity", Predicate::ge(90)))
+            .unwrap();
+        assert_eq!(broker.subscription_count(), 2);
+
+        let receipt = broker.publish(&event(&s, 40, 95)).unwrap();
+        assert_eq!(receipt.matched.len(), 2);
+        assert_eq!(hot.try_recv().unwrap().sequence, 0);
+        assert_eq!(humid.try_recv().unwrap().sequence, 0);
+
+        let receipt = broker.publish(&event(&s, 40, 10)).unwrap();
+        assert_eq!(receipt.matched, vec![hot.id()]);
+        assert!(hot.try_recv().is_some());
+        assert!(humid.try_recv().is_none());
+    }
+
+    #[test]
+    fn unsubscribe_stops_notifications() {
+        let s = schema();
+        let broker = Broker::new(&s, BrokerConfig::default()).unwrap();
+        let hot = broker
+            .subscribe(|b| b.predicate("temperature", Predicate::ge(35)))
+            .unwrap();
+        broker.unsubscribe(hot.id()).unwrap();
+        assert!(broker.unsubscribe(hot.id()).is_err(), "double cancel");
+        let receipt = broker.publish(&event(&s, 40, 95)).unwrap();
+        assert!(receipt.matched.is_empty());
+        assert_eq!(broker.subscription_count(), 0);
+    }
+
+    #[test]
+    fn dropped_subscriber_is_garbage_collected() {
+        let s = schema();
+        let broker = Broker::new(&s, BrokerConfig::default()).unwrap();
+        let hot = broker
+            .subscribe(|b| b.predicate("temperature", Predicate::ge(35)))
+            .unwrap();
+        drop(hot);
+        broker.publish(&event(&s, 40, 95)).unwrap();
+        assert_eq!(broker.subscription_count(), 0);
+        assert_eq!(broker.metrics().dropped_notifications, 1);
+    }
+
+    #[test]
+    fn quench_inbound_drops_dead_events() {
+        let s = schema();
+        let config = BrokerConfig {
+            quench_inbound: true,
+            ..BrokerConfig::default()
+        };
+        let broker = Broker::new(&s, config).unwrap();
+        let _hot = broker
+            .subscribe(|b| b.predicate("temperature", Predicate::ge(35)))
+            .unwrap();
+        // humidity is don't-care everywhere; temperature < 35 is dead.
+        let receipt = broker.publish(&event(&s, 0, 50)).unwrap();
+        assert!(receipt.quenched);
+        assert_eq!(receipt.ops, 0);
+        let m = broker.metrics();
+        assert_eq!(m.quenched_events, 1);
+        // A matchable event passes.
+        let receipt = broker.publish(&event(&s, 40, 50)).unwrap();
+        assert!(!receipt.quenched);
+        assert_eq!(receipt.matched.len(), 1);
+    }
+
+    #[test]
+    fn history_ring_buffer() {
+        let s = schema();
+        let config = BrokerConfig {
+            history_capacity: 2,
+            ..BrokerConfig::default()
+        };
+        let broker = Broker::new(&s, config).unwrap();
+        for t in [1, 2, 3] {
+            broker.publish(&event(&s, t, 0)).unwrap();
+        }
+        let recent = broker.recent_events();
+        assert_eq!(recent.len(), 2);
+        let t0 = s.attr("temperature").unwrap();
+        assert_eq!(recent[0].value(t0), Some(&ens_types::Value::Int(2)));
+        assert_eq!(recent[1].value(t0), Some(&ens_types::Value::Int(3)));
+    }
+
+    #[test]
+    fn metrics_accumulate() {
+        let s = schema();
+        let broker = Broker::new(&s, BrokerConfig::default()).unwrap();
+        let sub = broker
+            .subscribe(|b| b.predicate("temperature", Predicate::ge(35)))
+            .unwrap();
+        for t in [40, 45, 0] {
+            broker.publish(&event(&s, t, 0)).unwrap();
+        }
+        let m = broker.metrics();
+        assert_eq!(m.events_published, 3);
+        assert_eq!(m.notifications_sent, 2);
+        assert!(m.total_ops > 0);
+        assert!(m.avg_ops_per_event() > 0.0);
+        assert_eq!(m.subscriptions, 1);
+        assert_eq!(sub.pending(), 2);
+        assert_eq!(sub.drain().len(), 2);
+    }
+
+    #[test]
+    fn adaptive_broker_restructures_under_drift() {
+        let s = schema();
+        let config = BrokerConfig {
+            tree: TreeConfig {
+                search: SearchStrategy::Linear(ValueOrder::EventProb(Direction::Descending)),
+                ..TreeConfig::default()
+            },
+            adaptive: AdaptivePolicy {
+                min_events: 50,
+                drift_threshold: 0.2,
+                decay_on_rebuild: true,
+            },
+            ..BrokerConfig::default()
+        };
+        let broker = Broker::new(&s, config).unwrap();
+        let _a = broker
+            .subscribe(|b| b.predicate("temperature", Predicate::between(-30, -20)))
+            .unwrap();
+        let _b = broker
+            .subscribe(|b| b.predicate("temperature", Predicate::between(40, 50)))
+            .unwrap();
+        for _ in 0..200 {
+            broker.publish(&event(&s, 45, 50)).unwrap();
+        }
+        assert!(broker.metrics().tree_rebuilds >= 1);
+        // Matching still correct after rebuilds.
+        let receipt = broker.publish(&event(&s, -25, 0)).unwrap();
+        assert_eq!(receipt.matched.len(), 1);
+    }
+
+    #[test]
+    fn weighted_subscriptions_are_served_first_under_v2() {
+        let s = schema();
+        let config = BrokerConfig {
+            tree: TreeConfig {
+                search: SearchStrategy::Linear(ValueOrder::ProfileProb(Direction::Descending)),
+                ..TreeConfig::default()
+            },
+            ..BrokerConfig::default()
+        };
+        let broker = Broker::new(&s, config).unwrap();
+        let low_priority = broker
+            .subscribe(|b| b.predicate("temperature", Predicate::between(-20, -10)))
+            .unwrap();
+        let vip_profile = ens_types::Profile::builder(&s)
+            .predicate("temperature", Predicate::between(40, 45))
+            .unwrap()
+            .build(ens_types::ProfileId::new(0));
+        let vip = broker.subscribe_profile_weighted(vip_profile.clone(), 50.0).unwrap();
+        // The VIP band sits naturally *after* the low-priority band, but
+        // the weighted V2 order scans it first: 1 op at the temperature
+        // node plus the `*` humidity level.
+        let receipt = broker.publish(&event(&s, 42, 0)).unwrap();
+        assert_eq!(receipt.matched, vec![vip.id()]);
+        assert_eq!(receipt.ops, 2);
+        // Control: without the weight the VIP band is scanned second.
+        let control = Broker::new(
+            &s,
+            BrokerConfig {
+                tree: TreeConfig {
+                    search: SearchStrategy::Linear(ValueOrder::ProfileProb(Direction::Descending)),
+                    ..TreeConfig::default()
+                },
+                ..BrokerConfig::default()
+            },
+        )
+        .unwrap();
+        let _a = control
+            .subscribe(|b| b.predicate("temperature", Predicate::between(-20, -10)))
+            .unwrap();
+        let _b = control.subscribe_profile(vip_profile).unwrap();
+        let receipt = control.publish(&event(&s, 42, 0)).unwrap();
+        assert_eq!(receipt.ops, 3, "unweighted V2 scans the VIP band second");
+        drop(low_priority);
+        // Invalid weights are rejected.
+        let p = ens_types::Profile::builder(&s).build(ens_types::ProfileId::new(0));
+        assert!(broker.subscribe_profile_weighted(p, 0.0).is_err());
+    }
+
+    #[test]
+    fn publish_rejects_ill_typed_events() {
+        let s = schema();
+        let broker = Broker::new(&s, BrokerConfig::default()).unwrap();
+        let other = Schema::builder()
+            .attribute("temperature", Domain::int(-1000, 1000))
+            .unwrap()
+            .attribute("humidity", Domain::int(0, 100))
+            .unwrap()
+            .build();
+        let bad = Event::builder(&other)
+            .value("temperature", 500)
+            .unwrap()
+            .build();
+        assert!(broker.publish(&bad).is_err());
+    }
+
+    #[test]
+    fn concurrent_publish_and_subscribe() {
+        use std::sync::Arc;
+        let s = schema();
+        let broker = Arc::new(Broker::new(&s, BrokerConfig::default()).unwrap());
+        let subs: Vec<_> = (0..4)
+            .map(|k| {
+                broker
+                    .subscribe(move |b| b.predicate("temperature", Predicate::ge(k * 10)))
+                    .unwrap()
+            })
+            .collect();
+        let mut handles = Vec::new();
+        for t in 0..4i64 {
+            let broker = Arc::clone(&broker);
+            let sc = s.clone();
+            handles.push(std::thread::spawn(move || {
+                for k in 0..50i64 {
+                    let temp = ((t * 13 + k * 7) % 80) - 30;
+                    broker.publish(&event(&sc, temp, 0)).unwrap();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let m = broker.metrics();
+        assert_eq!(m.events_published, 200);
+        let received: usize = subs.iter().map(|s| s.drain().len()).sum();
+        assert_eq!(received as u64, m.notifications_sent);
+    }
+}

@@ -1,0 +1,76 @@
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use serde::{Deserialize, Serialize};
+
+/// Lock-free service counters.
+#[derive(Debug, Default)]
+pub(crate) struct Metrics {
+    pub events_published: AtomicU64,
+    pub notifications_sent: AtomicU64,
+    pub total_ops: AtomicU64,
+    pub dropped_notifications: AtomicU64,
+    pub quenched_events: AtomicU64,
+}
+
+impl Metrics {
+    pub(crate) fn snapshot(&self, rebuilds: u64, subscriptions: usize) -> MetricsSnapshot {
+        MetricsSnapshot {
+            events_published: self.events_published.load(Ordering::Relaxed),
+            notifications_sent: self.notifications_sent.load(Ordering::Relaxed),
+            total_ops: self.total_ops.load(Ordering::Relaxed),
+            dropped_notifications: self.dropped_notifications.load(Ordering::Relaxed),
+            quenched_events: self.quenched_events.load(Ordering::Relaxed),
+            tree_rebuilds: rebuilds,
+            subscriptions,
+        }
+    }
+}
+
+/// A point-in-time view of the broker's counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    /// Events accepted by `publish`.
+    pub events_published: u64,
+    /// Notifications delivered to subscriber channels.
+    pub notifications_sent: u64,
+    /// Total comparison operations spent filtering.
+    pub total_ops: u64,
+    /// Notifications dropped because the subscriber hung up.
+    pub dropped_notifications: u64,
+    /// Events rejected by the quenching pre-filter.
+    pub quenched_events: u64,
+    /// Number of adaptive tree rebuilds.
+    pub tree_rebuilds: u64,
+    /// Live subscriptions at snapshot time.
+    pub subscriptions: usize,
+}
+
+impl MetricsSnapshot {
+    /// Average comparison operations per published event.
+    #[must_use]
+    pub fn avg_ops_per_event(&self) -> f64 {
+        if self.events_published == 0 {
+            0.0
+        } else {
+            self.total_ops as f64 / self.events_published as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_and_average() {
+        let m = Metrics::default();
+        m.events_published.store(4, Ordering::Relaxed);
+        m.total_ops.store(10, Ordering::Relaxed);
+        let s = m.snapshot(2, 3);
+        assert_eq!(s.tree_rebuilds, 2);
+        assert_eq!(s.subscriptions, 3);
+        assert!((s.avg_ops_per_event() - 2.5).abs() < 1e-12);
+        let empty = Metrics::default().snapshot(0, 0);
+        assert_eq!(empty.avg_ops_per_event(), 0.0);
+    }
+}

@@ -1,0 +1,68 @@
+use std::time::Duration;
+
+use crossbeam::channel::Receiver;
+use ens_types::Event;
+
+use crate::subscription::SubscriptionId;
+
+/// A delivered event notification.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Notification {
+    /// The subscription this notification belongs to.
+    pub subscription: SubscriptionId,
+    /// Sequence number of the event within the broker (publish order).
+    pub sequence: u64,
+    /// The matching event.
+    pub event: Event,
+}
+
+/// The consumer half of a subscription: a handle on the notification
+/// channel.
+///
+/// Dropping the subscriber closes the channel; the broker detects this
+/// and garbage-collects the subscription on the next publish.
+#[derive(Debug)]
+pub struct Subscriber {
+    id: SubscriptionId,
+    rx: Receiver<Notification>,
+}
+
+impl Subscriber {
+    pub(crate) fn new(id: SubscriptionId, rx: Receiver<Notification>) -> Self {
+        Subscriber { id, rx }
+    }
+
+    /// The subscription this handle consumes.
+    #[must_use]
+    pub fn id(&self) -> SubscriptionId {
+        self.id
+    }
+
+    /// Non-blocking receive.
+    #[must_use]
+    pub fn try_recv(&self) -> Option<Notification> {
+        self.rx.try_recv().ok()
+    }
+
+    /// Blocking receive with a timeout.
+    #[must_use]
+    pub fn recv_timeout(&self, timeout: Duration) -> Option<Notification> {
+        self.rx.recv_timeout(timeout).ok()
+    }
+
+    /// Drains everything currently queued.
+    #[must_use]
+    pub fn drain(&self) -> Vec<Notification> {
+        let mut out = Vec::new();
+        while let Some(n) = self.try_recv() {
+            out.push(n);
+        }
+        out
+    }
+
+    /// Number of queued notifications.
+    #[must_use]
+    pub fn pending(&self) -> usize {
+        self.rx.len()
+    }
+}

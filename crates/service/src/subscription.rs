@@ -1,0 +1,45 @@
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Stable identifier of a subscription, independent of the dense profile
+/// ids the filter re-assigns when the subscription set changes.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+#[serde(transparent)]
+pub struct SubscriptionId(u64);
+
+impl SubscriptionId {
+    /// Creates an id from a raw value.
+    #[must_use]
+    pub fn new(raw: u64) -> Self {
+        SubscriptionId(raw)
+    }
+
+    /// The raw value.
+    #[must_use]
+    pub fn get(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for SubscriptionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn id_round_trip() {
+        let id = SubscriptionId::new(42);
+        assert_eq!(id.get(), 42);
+        assert_eq!(id.to_string(), "s42");
+        let json = serde_json::to_string(&id).unwrap();
+        assert_eq!(json, "42");
+    }
+}

@@ -1,0 +1,336 @@
+use std::collections::HashMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{Domain, TypesError};
+
+/// Index of an attribute within a [`Schema`] (the paper's `j ∈ [1, n]`,
+/// zero-based here).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+#[serde(transparent)]
+pub struct AttrId(u32);
+
+impl AttrId {
+    /// Creates an attribute id from a raw index.
+    #[must_use]
+    pub fn new(index: u32) -> Self {
+        AttrId(index)
+    }
+
+    /// The raw index, usable to address dense per-attribute arrays.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl From<u32> for AttrId {
+    fn from(x: u32) -> Self {
+        AttrId(x)
+    }
+}
+
+impl fmt::Display for AttrId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "a{}", self.0)
+    }
+}
+
+/// A named attribute together with its value [`Domain`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Attribute {
+    name: String,
+    domain: Domain,
+}
+
+impl Attribute {
+    /// Creates an attribute.
+    #[must_use]
+    pub fn new(name: impl Into<String>, domain: Domain) -> Self {
+        Attribute {
+            name: name.into(),
+            domain,
+        }
+    }
+
+    /// The attribute's name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The attribute's domain.
+    #[must_use]
+    pub fn domain(&self) -> &Domain {
+        &self.domain
+    }
+}
+
+impl fmt::Display for Attribute {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.name, self.domain)
+    }
+}
+
+/// The fixed set of attributes `A` over which events and profiles are
+/// defined (paper §3: "for a given application, we consider a firm set A
+/// of attributes").
+///
+/// # Example
+///
+/// ```
+/// use ens_types::{Schema, Domain};
+/// # fn main() -> Result<(), ens_types::TypesError> {
+/// let schema = Schema::builder()
+///     .attribute("temperature", Domain::int(-30, 50))?
+///     .attribute("humidity", Domain::int(0, 100))?
+///     .attribute("radiation", Domain::int(1, 100))?
+///     .build();
+/// assert_eq!(schema.len(), 3);
+/// assert_eq!(schema.attr("humidity").unwrap().index(), 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Serialize)]
+#[serde(transparent)]
+pub struct Schema {
+    attributes: Vec<Attribute>,
+    #[serde(skip)]
+    by_name: HashMap<String, AttrId>,
+}
+
+impl<'de> Deserialize<'de> for Schema {
+    fn deserialize<D>(deserializer: D) -> Result<Self, D::Error>
+    where
+        D: serde::Deserializer<'de>,
+    {
+        let attributes = Vec::<Attribute>::deserialize(deserializer)?;
+        Schema::from_attributes(attributes).map_err(serde::de::Error::custom)
+    }
+}
+
+impl Schema {
+    /// Starts building a schema.
+    #[must_use]
+    pub fn builder() -> SchemaBuilder {
+        SchemaBuilder::default()
+    }
+
+    /// Builds a schema straight from attributes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TypesError::DuplicateAttribute`] on repeated names.
+    pub fn from_attributes<I>(attributes: I) -> Result<Self, TypesError>
+    where
+        I: IntoIterator<Item = Attribute>,
+    {
+        let mut b = Schema::builder();
+        for a in attributes {
+            b = b.push(a)?;
+        }
+        Ok(b.build())
+    }
+
+    /// Number of attributes `n`.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.attributes.len()
+    }
+
+    /// Whether the schema declares no attributes.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.attributes.is_empty()
+    }
+
+    /// Looks up an attribute id by name.
+    #[must_use]
+    pub fn attr(&self, name: &str) -> Option<AttrId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Looks up an attribute id by name, with a descriptive error.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TypesError::UnknownAttribute`] if `name` is not declared.
+    pub fn require(&self, name: &str) -> Result<AttrId, TypesError> {
+        self.attr(name)
+            .ok_or_else(|| TypesError::UnknownAttribute(name.to_owned()))
+    }
+
+    /// The attribute stored under `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this schema.
+    #[must_use]
+    pub fn attribute(&self, id: AttrId) -> &Attribute {
+        &self.attributes[id.index()]
+    }
+
+    /// The attribute stored under `id`, or `None` if out of range.
+    #[must_use]
+    pub fn get(&self, id: AttrId) -> Option<&Attribute> {
+        self.attributes.get(id.index())
+    }
+
+    /// Iterates over `(id, attribute)` pairs in declaration order.
+    pub fn iter(&self) -> impl Iterator<Item = (AttrId, &Attribute)> {
+        self.attributes
+            .iter()
+            .enumerate()
+            .map(|(i, a)| (AttrId(i as u32), a))
+    }
+
+    /// All attribute ids in declaration order (the "natural" attribute
+    /// order of the paper).
+    pub fn ids(&self) -> impl Iterator<Item = AttrId> + '_ {
+        (0..self.attributes.len()).map(|i| AttrId(i as u32))
+    }
+
+    fn rebuild_index(&mut self) {
+        self.by_name = self
+            .attributes
+            .iter()
+            .enumerate()
+            .map(|(i, a)| (a.name().to_owned(), AttrId(i as u32)))
+            .collect();
+    }
+}
+
+impl PartialEq for Schema {
+    fn eq(&self, other: &Self) -> bool {
+        self.attributes == other.attributes
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "schema(")?;
+        for (k, a) in self.attributes.iter().enumerate() {
+            if k > 0 {
+                write!(f, "; ")?;
+            }
+            write!(f, "{a}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// Incremental [`Schema`] construction.
+#[derive(Debug, Default)]
+pub struct SchemaBuilder {
+    attributes: Vec<Attribute>,
+}
+
+impl SchemaBuilder {
+    /// Appends an attribute by name and domain.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TypesError::DuplicateAttribute`] if the name repeats.
+    pub fn attribute(self, name: impl Into<String>, domain: Domain) -> Result<Self, TypesError> {
+        self.push(Attribute::new(name, domain))
+    }
+
+    /// Appends a pre-built attribute.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TypesError::DuplicateAttribute`] if the name repeats.
+    pub fn push(mut self, attribute: Attribute) -> Result<Self, TypesError> {
+        if self.attributes.iter().any(|a| a.name() == attribute.name()) {
+            return Err(TypesError::DuplicateAttribute(attribute.name().to_owned()));
+        }
+        self.attributes.push(attribute);
+        Ok(self)
+    }
+
+    /// Finalises the schema.
+    #[must_use]
+    pub fn build(self) -> Schema {
+        let mut s = Schema {
+            attributes: self.attributes,
+            by_name: HashMap::new(),
+        };
+        s.rebuild_index();
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> Schema {
+        Schema::builder()
+            .attribute("temperature", Domain::int(-30, 50))
+            .unwrap()
+            .attribute("humidity", Domain::int(0, 100))
+            .unwrap()
+            .build()
+    }
+
+    #[test]
+    fn lookup_by_name_and_id() {
+        let s = toy();
+        let h = s.attr("humidity").unwrap();
+        assert_eq!(h.index(), 1);
+        assert_eq!(s.attribute(h).name(), "humidity");
+        assert!(s.attr("pressure").is_none());
+        assert!(matches!(
+            s.require("pressure"),
+            Err(TypesError::UnknownAttribute(_))
+        ));
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let r = Schema::builder()
+            .attribute("x", Domain::Bool)
+            .unwrap()
+            .attribute("x", Domain::Bool);
+        assert!(matches!(r, Err(TypesError::DuplicateAttribute(_))));
+    }
+
+    #[test]
+    fn iteration_order_is_declaration_order() {
+        let s = toy();
+        let names: Vec<&str> = s.iter().map(|(_, a)| a.name()).collect();
+        assert_eq!(names, vec!["temperature", "humidity"]);
+        let ids: Vec<usize> = s.ids().map(AttrId::index).collect();
+        assert_eq!(ids, vec![0, 1]);
+    }
+
+    #[test]
+    fn serde_round_trip_rebuilds_name_index() {
+        let s = toy();
+        let json = serde_json::to_string(&s).unwrap();
+        let back: Schema = serde_json::from_str(&json).unwrap();
+        assert_eq!(s, back);
+        assert_eq!(back.attr("humidity").unwrap().index(), 1);
+    }
+
+    #[test]
+    fn deserialization_rejects_duplicates() {
+        let json = r#"[
+            {"name": "x", "domain": "Bool"},
+            {"name": "x", "domain": "Bool"}
+        ]"#;
+        let r: Result<Schema, _> = serde_json::from_str(json);
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn display_renders_all_attributes() {
+        let s = toy();
+        let text = s.to_string();
+        assert!(text.contains("temperature"));
+        assert!(text.contains("humidity"));
+    }
+}

@@ -1,0 +1,332 @@
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{FiniteF64, TypesError, Value};
+
+/// The set of admissible values of an attribute, as a finite ordered grid.
+///
+/// The distribution-based cost model of Hinze & Bittner works with finite
+/// domain sizes `d` and zero-subdomain sizes `d0`; every `Domain` therefore
+/// exposes a bijection between its points and the index range `0..d`
+/// ([`Domain::index_of`] / [`Domain::value_at`]). Continuous measurement
+/// ranges are modelled as float grids with an explicit resolution `step`,
+/// which is how the paper's example domains (temperature in °C, humidity
+/// in %) are discretised.
+///
+/// # Example
+///
+/// ```
+/// use ens_types::{Domain, Value};
+/// # fn main() -> Result<(), ens_types::TypesError> {
+/// let temp = Domain::int(-30, 50);
+/// assert_eq!(temp.size(), 81);
+/// assert_eq!(temp.index_of(&Value::Int(-30))?, 0);
+/// assert_eq!(temp.value_at(80), Value::Int(50));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum Domain {
+    /// Integers `lo..=hi`.
+    Int {
+        /// Smallest admissible value.
+        lo: i64,
+        /// Largest admissible value.
+        hi: i64,
+    },
+    /// Floats `lo, lo+step, …` up to and including (approximately) `hi`.
+    Float {
+        /// Smallest admissible value.
+        lo: FiniteF64,
+        /// Largest admissible value.
+        hi: FiniteF64,
+        /// Grid resolution (strictly positive).
+        step: FiniteF64,
+        /// Number of grid points (derived, cached).
+        size: u64,
+    },
+    /// An enumerated set of named categories, ordered as listed.
+    Categorical(Vec<String>),
+    /// The two booleans, ordered `false < true`.
+    Bool,
+}
+
+impl Domain {
+    /// Integer domain `lo..=hi`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hi < lo`; use [`Domain::try_int`] for fallible
+    /// construction.
+    #[must_use]
+    pub fn int(lo: i64, hi: i64) -> Self {
+        Domain::try_int(lo, hi).expect("integer domain bounds must satisfy lo <= hi")
+    }
+
+    /// Fallible integer domain construction.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TypesError::EmptyDomain`] if `hi < lo`.
+    pub fn try_int(lo: i64, hi: i64) -> Result<Self, TypesError> {
+        if hi < lo {
+            return Err(TypesError::EmptyDomain(format!("Int {{ lo: {lo}, hi: {hi} }}")));
+        }
+        Ok(Domain::Int { lo, hi })
+    }
+
+    /// Float grid domain from `lo` to `hi` with resolution `step`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TypesError::NonFiniteValue`] for non-finite inputs and
+    /// [`TypesError::EmptyDomain`] if `hi < lo` or `step <= 0`.
+    pub fn float(lo: f64, hi: f64, step: f64) -> Result<Self, TypesError> {
+        let lo = FiniteF64::new(lo)?;
+        let hi = FiniteF64::new(hi)?;
+        let step = FiniteF64::new(step)?;
+        if hi.get() < lo.get() || step.get() <= 0.0 {
+            return Err(TypesError::EmptyDomain(format!(
+                "Float {{ lo: {lo}, hi: {hi}, step: {step} }}"
+            )));
+        }
+        let size = ((hi.get() - lo.get()) / step.get()).round() as u64 + 1;
+        Ok(Domain::Float { lo, hi, step, size })
+    }
+
+    /// Categorical domain from a list of category names (order defines the
+    /// natural order of the domain).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TypesError::EmptyDomain`] for an empty list and
+    /// [`TypesError::DuplicateAttribute`] if a category repeats.
+    pub fn categorical<I, S>(categories: I) -> Result<Self, TypesError>
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let cats: Vec<String> = categories.into_iter().map(Into::into).collect();
+        if cats.is_empty() {
+            return Err(TypesError::EmptyDomain("Categorical([])".into()));
+        }
+        for (i, c) in cats.iter().enumerate() {
+            if cats[..i].contains(c) {
+                return Err(TypesError::DuplicateAttribute(c.clone()));
+            }
+        }
+        Ok(Domain::Categorical(cats))
+    }
+
+    /// Number of points in the domain (the paper's `d`).
+    #[must_use]
+    pub fn size(&self) -> u64 {
+        match self {
+            Domain::Int { lo, hi } => (hi - lo) as u64 + 1,
+            Domain::Float { size, .. } => *size,
+            Domain::Categorical(cats) => cats.len() as u64,
+            Domain::Bool => 2,
+        }
+    }
+
+    /// A short name for the domain's kind, used in error messages.
+    #[must_use]
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Domain::Int { .. } => "int",
+            Domain::Float { .. } => "float",
+            Domain::Categorical(_) => "string",
+            Domain::Bool => "bool",
+        }
+    }
+
+    /// Whether `value` has the kind this domain stores.
+    #[must_use]
+    pub fn accepts_kind(&self, value: &Value) -> bool {
+        matches!(
+            (self, value),
+            (Domain::Int { .. }, Value::Int(_))
+                | (Domain::Float { .. }, Value::Float(_))
+                | (Domain::Categorical(_), Value::Str(_))
+                | (Domain::Bool, Value::Bool(_))
+        )
+    }
+
+    /// Maps a value to its grid index in `0..size()`.
+    ///
+    /// Float values snap to the nearest grid point.
+    ///
+    /// Returns `None` if the value has the right kind but lies outside the
+    /// domain, and `None` for kind mismatches as well; use
+    /// [`Domain::index_of`] to distinguish the two with errors.
+    #[must_use]
+    pub fn try_index_of(&self, value: &Value) -> Option<u64> {
+        match (self, value) {
+            (Domain::Int { lo, hi }, Value::Int(x)) => {
+                (*lo <= *x && *x <= *hi).then(|| (x - lo) as u64)
+            }
+            (Domain::Float { lo, step, size, .. }, Value::Float(x)) => {
+                let k = ((x.get() - lo.get()) / step.get()).round();
+                (k >= 0.0 && (k as u64) < *size).then_some(k as u64)
+            }
+            (Domain::Categorical(cats), Value::Str(s)) => {
+                cats.iter().position(|c| c == s).map(|i| i as u64)
+            }
+            (Domain::Bool, Value::Bool(b)) => Some(u64::from(*b)),
+            _ => None,
+        }
+    }
+
+    /// Maps a value to its grid index, reporting descriptive errors.
+    ///
+    /// # Errors
+    ///
+    /// [`TypesError::TypeMismatch`] for kind mismatches,
+    /// [`TypesError::OutOfDomain`] for out-of-range values.
+    pub fn index_of(&self, value: &Value) -> Result<u64, TypesError> {
+        if !self.accepts_kind(value) {
+            return Err(TypesError::TypeMismatch {
+                attribute: String::new(),
+                expected: self.kind(),
+                found: value.kind().to_owned(),
+            });
+        }
+        self.try_index_of(value).ok_or_else(|| TypesError::OutOfDomain {
+            attribute: String::new(),
+            value: value.to_string(),
+        })
+    }
+
+    /// Maps a grid index back to its value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= self.size()`.
+    #[must_use]
+    pub fn value_at(&self, index: u64) -> Value {
+        assert!(
+            index < self.size(),
+            "index {index} out of bounds for domain of size {}",
+            self.size()
+        );
+        match self {
+            Domain::Int { lo, .. } => Value::Int(lo + index as i64),
+            Domain::Float { lo, step, .. } => {
+                let x = lo.get() + index as f64 * step.get();
+                Value::Float(FiniteF64::new(x).expect("grid point is finite"))
+            }
+            Domain::Categorical(cats) => Value::Str(cats[index as usize].clone()),
+            Domain::Bool => Value::Bool(index == 1),
+        }
+    }
+}
+
+impl fmt::Display for Domain {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Domain::Int { lo, hi } => write!(f, "[{lo}, {hi}]"),
+            Domain::Float { lo, hi, step, .. } => write!(f, "[{lo}, {hi}] step {step}"),
+            Domain::Categorical(cats) => write!(f, "{{{}}}", cats.join(", ")),
+            Domain::Bool => write!(f, "{{false, true}}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn int_domain_size_and_indexing() {
+        let d = Domain::int(-30, 50);
+        assert_eq!(d.size(), 81);
+        assert_eq!(d.try_index_of(&Value::Int(-30)), Some(0));
+        assert_eq!(d.try_index_of(&Value::Int(50)), Some(80));
+        assert_eq!(d.try_index_of(&Value::Int(51)), None);
+        assert_eq!(d.value_at(35), Value::Int(5));
+    }
+
+    #[test]
+    fn int_domain_rejects_reversed_bounds() {
+        assert!(Domain::try_int(5, 4).is_err());
+        assert!(Domain::try_int(5, 5).is_ok());
+    }
+
+    #[test]
+    fn float_domain_snaps_to_grid() {
+        let d = Domain::float(0.0, 1.0, 0.25).unwrap();
+        assert_eq!(d.size(), 5);
+        assert_eq!(d.try_index_of(&Value::float(0.26).unwrap()), Some(1));
+        assert_eq!(d.try_index_of(&Value::float(1.0).unwrap()), Some(4));
+        assert_eq!(d.try_index_of(&Value::float(1.2).unwrap()), None);
+        assert_eq!(d.value_at(2), Value::float(0.5).unwrap());
+    }
+
+    #[test]
+    fn float_domain_invalid_parameters() {
+        assert!(Domain::float(0.0, -1.0, 0.1).is_err());
+        assert!(Domain::float(0.0, 1.0, 0.0).is_err());
+        assert!(Domain::float(0.0, f64::NAN, 0.1).is_err());
+    }
+
+    #[test]
+    fn categorical_domain() {
+        let d = Domain::categorical(["low", "mid", "high"]).unwrap();
+        assert_eq!(d.size(), 3);
+        assert_eq!(d.try_index_of(&Value::from("mid")), Some(1));
+        assert_eq!(d.try_index_of(&Value::from("none")), None);
+        assert_eq!(d.value_at(2), Value::from("high"));
+        assert!(Domain::categorical(["a", "a"]).is_err());
+        assert!(Domain::categorical(Vec::<String>::new()).is_err());
+    }
+
+    #[test]
+    fn bool_domain() {
+        let d = Domain::Bool;
+        assert_eq!(d.size(), 2);
+        assert_eq!(d.try_index_of(&Value::Bool(false)), Some(0));
+        assert_eq!(d.try_index_of(&Value::Bool(true)), Some(1));
+        assert_eq!(d.value_at(1), Value::Bool(true));
+    }
+
+    #[test]
+    fn index_of_reports_kind_mismatch() {
+        let d = Domain::int(0, 10);
+        let err = d.index_of(&Value::from("five")).unwrap_err();
+        assert!(matches!(err, TypesError::TypeMismatch { .. }));
+        let err = d.index_of(&Value::Int(11)).unwrap_err();
+        assert!(matches!(err, TypesError::OutOfDomain { .. }));
+    }
+
+    #[test]
+    fn round_trip_all_indices() {
+        let domains = [
+            Domain::int(-3, 3),
+            Domain::float(0.0, 2.0, 0.5).unwrap(),
+            Domain::categorical(["a", "b", "c"]).unwrap(),
+            Domain::Bool,
+        ];
+        for d in &domains {
+            for i in 0..d.size() {
+                let v = d.value_at(i);
+                assert_eq!(d.try_index_of(&v), Some(i), "domain {d}, index {i}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn value_at_out_of_bounds_panics() {
+        let _ = Domain::int(0, 1).value_at(2);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let d = Domain::float(0.0, 1.0, 0.25).unwrap();
+        let json = serde_json::to_string(&d).unwrap();
+        let back: Domain = serde_json::from_str(&json).unwrap();
+        assert_eq!(d, back);
+    }
+}

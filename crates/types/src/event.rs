@@ -1,0 +1,269 @@
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{AttrId, Schema, TypesError, Value};
+
+/// A primitive event: one observed state transition, described as a
+/// collection of `(attribute, value)` pairs (paper §3, e.g.
+/// `event(temperature = 30; humidity = 90; radiation = 2)`).
+///
+/// Values are stored densely per schema position; attributes an event does
+/// not carry are `None` and only satisfy don't-care predicates.
+///
+/// # Example
+///
+/// ```
+/// use ens_types::{Schema, Domain, Event, Value};
+/// # fn main() -> Result<(), ens_types::TypesError> {
+/// let schema = Schema::builder()
+///     .attribute("temperature", Domain::int(-30, 50))?
+///     .attribute("humidity", Domain::int(0, 100))?
+///     .build();
+/// let e = Event::builder(&schema)
+///     .value("temperature", 30)?
+///     .value("humidity", 90)?
+///     .build();
+/// let t = schema.attr("temperature").unwrap();
+/// assert_eq!(e.value(t), Some(&Value::Int(30)));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Event {
+    values: Vec<Option<Value>>,
+}
+
+impl Event {
+    /// Starts building an event against `schema`.
+    #[must_use]
+    pub fn builder(schema: &Schema) -> EventBuilder<'_> {
+        EventBuilder {
+            schema,
+            values: vec![None; schema.len()],
+        }
+    }
+
+    /// Builds an event from dense per-attribute values.
+    ///
+    /// # Errors
+    ///
+    /// Returns a domain error if a value does not belong to its
+    /// attribute's domain, and [`TypesError::UnknownAttribute`] if the
+    /// number of values differs from the schema length.
+    pub fn from_values(
+        schema: &Schema,
+        values: Vec<Option<Value>>,
+    ) -> Result<Self, TypesError> {
+        if values.len() != schema.len() {
+            return Err(TypesError::UnknownAttribute(format!(
+                "expected {} values, got {}",
+                schema.len(),
+                values.len()
+            )));
+        }
+        for (i, v) in values.iter().enumerate() {
+            if let Some(v) = v {
+                let attr = schema.attribute(AttrId::new(i as u32));
+                attr.domain().index_of(v).map_err(|e| contextualise(e, attr.name()))?;
+            }
+        }
+        Ok(Event { values })
+    }
+
+    /// The value carried for `attr`, if any.
+    #[must_use]
+    pub fn value(&self, attr: AttrId) -> Option<&Value> {
+        self.values.get(attr.index()).and_then(Option::as_ref)
+    }
+
+    /// Number of attributes for which the event carries a value.
+    #[must_use]
+    pub fn specified_len(&self) -> usize {
+        self.values.iter().filter(|v| v.is_some()).count()
+    }
+
+    /// Whether every schema attribute carries a value.
+    #[must_use]
+    pub fn is_complete(&self) -> bool {
+        self.values.iter().all(Option::is_some)
+    }
+
+    /// Iterates over `(attribute id, value)` pairs that are present.
+    pub fn iter(&self) -> impl Iterator<Item = (AttrId, &Value)> {
+        self.values
+            .iter()
+            .enumerate()
+            .filter_map(|(i, v)| v.as_ref().map(|v| (AttrId::new(i as u32), v)))
+    }
+
+    /// Renders the event with attribute names from `schema`.
+    #[must_use]
+    pub fn display<'a>(&'a self, schema: &'a Schema) -> EventDisplay<'a> {
+        EventDisplay { event: self, schema }
+    }
+}
+
+fn contextualise(e: TypesError, attribute: &str) -> TypesError {
+    match e {
+        TypesError::TypeMismatch { expected, found, .. } => TypesError::TypeMismatch {
+            attribute: attribute.to_owned(),
+            expected,
+            found,
+        },
+        TypesError::OutOfDomain { value, .. } => TypesError::OutOfDomain {
+            attribute: attribute.to_owned(),
+            value,
+        },
+        other => other,
+    }
+}
+
+/// Helper returned by [`Event::display`].
+#[derive(Debug)]
+pub struct EventDisplay<'a> {
+    event: &'a Event,
+    schema: &'a Schema,
+}
+
+impl fmt::Display for EventDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "event(")?;
+        let mut first = true;
+        for (id, v) in self.event.iter() {
+            if !first {
+                write!(f, "; ")?;
+            }
+            first = false;
+            write!(f, "{} = {}", self.schema.attribute(id).name(), v)?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// Incremental [`Event`] construction with schema validation.
+#[derive(Debug)]
+pub struct EventBuilder<'a> {
+    schema: &'a Schema,
+    values: Vec<Option<Value>>,
+}
+
+impl EventBuilder<'_> {
+    /// Sets the value of the attribute called `name`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TypesError::UnknownAttribute`] for undeclared names and
+    /// domain errors for ill-typed or out-of-range values.
+    pub fn value(mut self, name: &str, value: impl Into<Value>) -> Result<Self, TypesError> {
+        let id = self.schema.require(name)?;
+        let value = value.into();
+        let attr = self.schema.attribute(id);
+        attr.domain()
+            .index_of(&value)
+            .map_err(|e| contextualise(e, attr.name()))?;
+        self.values[id.index()] = Some(value);
+        Ok(self)
+    }
+
+    /// Sets the value of the attribute with id `attr`.
+    ///
+    /// # Errors
+    ///
+    /// Returns domain errors for ill-typed or out-of-range values.
+    pub fn value_by_id(mut self, attr: AttrId, value: impl Into<Value>) -> Result<Self, TypesError> {
+        let value = value.into();
+        let a = self.schema.attribute(attr);
+        a.domain()
+            .index_of(&value)
+            .map_err(|e| contextualise(e, a.name()))?;
+        self.values[attr.index()] = Some(value);
+        Ok(self)
+    }
+
+    /// Finalises the event.
+    #[must_use]
+    pub fn build(self) -> Event {
+        Event { values: self.values }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Domain;
+
+    fn schema() -> Schema {
+        Schema::builder()
+            .attribute("temperature", Domain::int(-30, 50))
+            .unwrap()
+            .attribute("humidity", Domain::int(0, 100))
+            .unwrap()
+            .attribute("radiation", Domain::int(1, 100))
+            .unwrap()
+            .build()
+    }
+
+    #[test]
+    fn builder_validates_names_and_domains() {
+        let s = schema();
+        assert!(Event::builder(&s).value("pressure", 3).is_err());
+        assert!(Event::builder(&s).value("humidity", 101).is_err());
+        assert!(Event::builder(&s).value("humidity", "wet").is_err());
+        let e = Event::builder(&s).value("humidity", 90).unwrap().build();
+        assert_eq!(e.specified_len(), 1);
+        assert!(!e.is_complete());
+    }
+
+    #[test]
+    fn paper_event_round_trip() {
+        let s = schema();
+        let e = Event::builder(&s)
+            .value("temperature", 30)
+            .unwrap()
+            .value("humidity", 90)
+            .unwrap()
+            .value("radiation", 2)
+            .unwrap()
+            .build();
+        assert!(e.is_complete());
+        let t = s.attr("temperature").unwrap();
+        assert_eq!(e.value(t), Some(&Value::Int(30)));
+        let text = e.display(&s).to_string();
+        assert_eq!(text, "event(temperature = 30; humidity = 90; radiation = 2)");
+    }
+
+    #[test]
+    fn from_values_checks_arity_and_domains() {
+        let s = schema();
+        assert!(Event::from_values(&s, vec![None, None]).is_err());
+        assert!(Event::from_values(&s, vec![Some(Value::Int(200)), None, None]).is_err());
+        let e = Event::from_values(&s, vec![Some(Value::Int(0)), None, Some(Value::Int(1))])
+            .unwrap();
+        assert_eq!(e.specified_len(), 2);
+    }
+
+    #[test]
+    fn error_messages_carry_attribute_name() {
+        let s = schema();
+        let err = Event::builder(&s).value("humidity", 999).unwrap_err();
+        assert!(err.to_string().contains("humidity"), "{err}");
+    }
+
+    #[test]
+    fn iter_skips_missing() {
+        let s = schema();
+        let e = Event::builder(&s).value("radiation", 7).unwrap().build();
+        let pairs: Vec<(usize, &Value)> = e.iter().map(|(id, v)| (id.index(), v)).collect();
+        assert_eq!(pairs, vec![(2, &Value::Int(7))]);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let s = schema();
+        let e = Event::builder(&s).value("temperature", -5).unwrap().build();
+        let json = serde_json::to_string(&e).unwrap();
+        let back: Event = serde_json::from_str(&json).unwrap();
+        assert_eq!(e, back);
+    }
+}

@@ -1,0 +1,571 @@
+//! Textual profile and event syntax.
+//!
+//! The paper writes profiles and events as
+//! `profile(temperature >= 35; humidity = 90)` and
+//! `event(temperature = 30; humidity = 90; radiation = 2)`. This module
+//! parses exactly that surface syntax (a small profile-definition
+//! language, cf. §1 "various profile definition languages"):
+//!
+//! ```text
+//! profile( clause ; clause ; … )
+//! clause  = attr op value
+//!         | attr in [lo, hi]
+//!         | attr in {v1, v2, …}
+//!         | attr not in {v1, v2, …}
+//!         | attr = *
+//! op      = "=" | "!=" | "<" | "<=" | ">" | ">="
+//! value   = integer | float | "quoted string" | true | false | bare-word
+//! ```
+//!
+//! Bare words are treated as categorical (string) values. Whether an
+//! unquoted number is an integer or float is decided by the attribute's
+//! domain, so `temperature = 30` works for both int and float-grid
+//! domains.
+//!
+//! # Example
+//!
+//! ```
+//! use ens_types::{Schema, Domain};
+//! use ens_types::parse::{parse_profile, parse_event};
+//!
+//! # fn main() -> Result<(), ens_types::TypesError> {
+//! let schema = Schema::builder()
+//!     .attribute("temperature", Domain::int(-30, 50))?
+//!     .attribute("humidity", Domain::int(0, 100))?
+//!     .build();
+//! let p = parse_profile(&schema, "profile(temperature >= 35; humidity = 90)", 0.into())?;
+//! let e = parse_event(&schema, "event(temperature = 40; humidity = 90)")?;
+//! assert!(p.matches(&schema, &e)?);
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::{
+    Domain, Event, EventBuilder, Predicate, Profile, ProfileBuilder, ProfileId, Schema,
+    TypesError, Value,
+};
+
+/// Parses the textual profile syntax shown in the module docs.
+///
+/// # Errors
+///
+/// Returns [`TypesError::Parse`] for syntax errors and the usual schema /
+/// domain errors for unknown attributes or out-of-range values.
+pub fn parse_profile(schema: &Schema, input: &str, id: ProfileId) -> Result<Profile, TypesError> {
+    let mut p = Parser::new(input);
+    p.expect_ident("profile")?;
+    p.expect(Token::LParen)?;
+    let mut builder = Profile::builder(schema);
+    if !p.peek_is(Token::RParen) {
+        loop {
+            builder = parse_clause(schema, &mut p, builder)?;
+            if p.peek_is(Token::Semi) {
+                p.next()?;
+            } else {
+                break;
+            }
+        }
+    }
+    p.expect(Token::RParen)?;
+    p.expect_end()?;
+    Ok(builder.build(id))
+}
+
+/// Parses the textual event syntax shown in the module docs.
+///
+/// # Errors
+///
+/// Returns [`TypesError::Parse`] for syntax errors and the usual schema /
+/// domain errors for unknown attributes or out-of-range values.
+pub fn parse_event(schema: &Schema, input: &str) -> Result<Event, TypesError> {
+    let mut p = Parser::new(input);
+    p.expect_ident("event")?;
+    p.expect(Token::LParen)?;
+    let mut builder = Event::builder(schema);
+    if !p.peek_is(Token::RParen) {
+        loop {
+            builder = parse_assignment(schema, &mut p, builder)?;
+            if p.peek_is(Token::Semi) {
+                p.next()?;
+            } else {
+                break;
+            }
+        }
+    }
+    p.expect(Token::RParen)?;
+    p.expect_end()?;
+    Ok(builder.build())
+}
+
+fn parse_clause<'a>(
+    schema: &'a Schema,
+    p: &mut Parser<'_>,
+    builder: ProfileBuilder<'a>,
+) -> Result<ProfileBuilder<'a>, TypesError> {
+    let (name, name_pos) = p.ident()?;
+    let id = schema.attr(&name).ok_or(TypesError::UnknownAttribute(name.clone()))?;
+    let domain = schema.attribute(id).domain();
+    let tok = p.next()?;
+    let pred = match tok {
+        Token::Op(op) => {
+            if op == "=" && p.peek_is(Token::Star) {
+                p.next()?;
+                Predicate::DontCare
+            } else {
+                let v = parse_value(domain, p)?;
+                match op {
+                    "=" => Predicate::Eq(v),
+                    "!=" => Predicate::Ne(v),
+                    "<" => Predicate::Lt(v),
+                    "<=" => Predicate::Le(v),
+                    ">" => Predicate::Gt(v),
+                    ">=" => Predicate::Ge(v),
+                    _ => unreachable!("lexer only produces the six ops"),
+                }
+            }
+        }
+        Token::Ident(word) if word == "in" => parse_in(domain, p, false)?,
+        Token::Ident(word) if word == "not" => {
+            p.expect_ident("in")?;
+            parse_in(domain, p, true)?
+        }
+        other => {
+            return Err(p.error(format!("expected operator after `{name}`, found {other:?}"), name_pos))
+        }
+    };
+    builder.predicate_by_id(id, pred)
+}
+
+fn parse_in(domain: &Domain, p: &mut Parser<'_>, negated: bool) -> Result<Predicate, TypesError> {
+    match p.next()? {
+        Token::LBracket => {
+            if negated {
+                return Err(p.error_here("`not in` requires a {…} value set".into()));
+            }
+            let lo = parse_value(domain, p)?;
+            p.expect(Token::Comma)?;
+            let hi = parse_value(domain, p)?;
+            p.expect(Token::RBracket)?;
+            Ok(Predicate::Between(lo, hi))
+        }
+        Token::LBrace => {
+            let mut vs = vec![parse_value(domain, p)?];
+            while p.peek_is(Token::Comma) {
+                p.next()?;
+                vs.push(parse_value(domain, p)?);
+            }
+            p.expect(Token::RBrace)?;
+            Ok(if negated { Predicate::NotIn(vs) } else { Predicate::In(vs) })
+        }
+        other => Err(p.error_here(format!("expected `[` or `{{` after `in`, found {other:?}"))),
+    }
+}
+
+fn parse_assignment<'a>(
+    schema: &'a Schema,
+    p: &mut Parser<'_>,
+    builder: EventBuilder<'a>,
+) -> Result<EventBuilder<'a>, TypesError> {
+    let (name, _) = p.ident()?;
+    let id = schema.attr(&name).ok_or(TypesError::UnknownAttribute(name.clone()))?;
+    match p.next()? {
+        Token::Op("=") => {}
+        other => return Err(p.error_here(format!("expected `=` after `{name}`, found {other:?}"))),
+    }
+    let v = parse_value(schema.attribute(id).domain(), p)?;
+    builder.value_by_id(id, v)
+}
+
+fn parse_value(domain: &Domain, p: &mut Parser<'_>) -> Result<Value, TypesError> {
+    match p.next()? {
+        Token::Number(text) => {
+            // Decide int vs float from the target domain.
+            match domain {
+                Domain::Float { .. } => {
+                    let x: f64 = text
+                        .parse()
+                        .map_err(|_| p.error_here(format!("invalid number `{text}`")))?;
+                    Value::float(x)
+                }
+                _ => {
+                    let x: i64 = text.parse().map_err(|_| {
+                        p.error_here(format!("expected an integer for this domain, got `{text}`"))
+                    })?;
+                    Ok(Value::Int(x))
+                }
+            }
+        }
+        Token::Str(s) => Ok(Value::Str(s)),
+        Token::Ident(word) if word == "true" => Ok(Value::Bool(true)),
+        Token::Ident(word) if word == "false" => Ok(Value::Bool(false)),
+        Token::Ident(word) => Ok(Value::Str(word)),
+        other => Err(p.error_here(format!("expected a value, found {other:?}"))),
+    }
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Token {
+    Ident(String),
+    Number(String),
+    Str(String),
+    Op(&'static str),
+    LParen,
+    RParen,
+    LBracket,
+    RBracket,
+    LBrace,
+    RBrace,
+    Comma,
+    Semi,
+    Star,
+    End,
+}
+
+struct Parser<'a> {
+    input: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(input: &'a str) -> Self {
+        Parser {
+            input,
+            bytes: input.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn error(&self, message: String, position: usize) -> TypesError {
+        TypesError::Parse { message, position }
+    }
+
+    fn error_here(&self, message: String) -> TypesError {
+        self.error(message, self.pos)
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn next(&mut self) -> Result<Token, TypesError> {
+        self.skip_ws();
+        if self.pos >= self.bytes.len() {
+            return Ok(Token::End);
+        }
+        let start = self.pos;
+        let c = self.bytes[self.pos];
+        let tok = match c {
+            b'(' => {
+                self.pos += 1;
+                Token::LParen
+            }
+            b')' => {
+                self.pos += 1;
+                Token::RParen
+            }
+            b'[' => {
+                self.pos += 1;
+                Token::LBracket
+            }
+            b']' => {
+                self.pos += 1;
+                Token::RBracket
+            }
+            b'{' => {
+                self.pos += 1;
+                Token::LBrace
+            }
+            b'}' => {
+                self.pos += 1;
+                Token::RBrace
+            }
+            b',' => {
+                self.pos += 1;
+                Token::Comma
+            }
+            b';' => {
+                self.pos += 1;
+                Token::Semi
+            }
+            b'*' => {
+                self.pos += 1;
+                Token::Star
+            }
+            b'=' => {
+                self.pos += 1;
+                Token::Op("=")
+            }
+            b'!' => {
+                if self.bytes.get(self.pos + 1) == Some(&b'=') {
+                    self.pos += 2;
+                    Token::Op("!=")
+                } else {
+                    return Err(self.error("expected `!=`".into(), start));
+                }
+            }
+            b'<' => {
+                if self.bytes.get(self.pos + 1) == Some(&b'=') {
+                    self.pos += 2;
+                    Token::Op("<=")
+                } else {
+                    self.pos += 1;
+                    Token::Op("<")
+                }
+            }
+            b'>' => {
+                if self.bytes.get(self.pos + 1) == Some(&b'=') {
+                    self.pos += 2;
+                    Token::Op(">=")
+                } else {
+                    self.pos += 1;
+                    Token::Op(">")
+                }
+            }
+            b'"' => {
+                self.pos += 1;
+                let s0 = self.pos;
+                while self.pos < self.bytes.len() && self.bytes[self.pos] != b'"' {
+                    self.pos += 1;
+                }
+                if self.pos >= self.bytes.len() {
+                    return Err(self.error("unterminated string literal".into(), start));
+                }
+                let s = self.input[s0..self.pos].to_owned();
+                self.pos += 1;
+                Token::Str(s)
+            }
+            b'-' | b'+' | b'0'..=b'9' => {
+                self.pos += 1;
+                while self.pos < self.bytes.len()
+                    && matches!(self.bytes[self.pos], b'0'..=b'9' | b'.' | b'e' | b'E' | b'-' | b'+')
+                {
+                    // Only allow sign characters right after an exponent.
+                    if matches!(self.bytes[self.pos], b'-' | b'+')
+                        && !matches!(self.bytes[self.pos - 1], b'e' | b'E')
+                    {
+                        break;
+                    }
+                    self.pos += 1;
+                }
+                Token::Number(self.input[start..self.pos].to_owned())
+            }
+            c if c.is_ascii_alphabetic() || c == b'_' => {
+                while self.pos < self.bytes.len()
+                    && (self.bytes[self.pos].is_ascii_alphanumeric() || self.bytes[self.pos] == b'_')
+                {
+                    self.pos += 1;
+                }
+                Token::Ident(self.input[start..self.pos].to_owned())
+            }
+            other => {
+                return Err(self.error(format!("unexpected character `{}`", other as char), start))
+            }
+        };
+        Ok(tok)
+    }
+
+    fn peek(&mut self) -> Result<Token, TypesError> {
+        let save = self.pos;
+        let tok = self.next();
+        self.pos = save;
+        tok
+    }
+
+    fn peek_is(&mut self, tok: Token) -> bool {
+        self.peek().map(|t| t == tok).unwrap_or(false)
+    }
+
+    fn expect(&mut self, tok: Token) -> Result<(), TypesError> {
+        let at = self.pos;
+        let got = self.next()?;
+        if got == tok {
+            Ok(())
+        } else {
+            Err(self.error(format!("expected {tok:?}, found {got:?}"), at))
+        }
+    }
+
+    fn expect_ident(&mut self, word: &str) -> Result<(), TypesError> {
+        let at = self.pos;
+        match self.next()? {
+            Token::Ident(w) if w == word => Ok(()),
+            other => Err(self.error(format!("expected `{word}`, found {other:?}"), at)),
+        }
+    }
+
+    fn expect_end(&mut self) -> Result<(), TypesError> {
+        let at = self.pos;
+        match self.next()? {
+            Token::End => Ok(()),
+            other => Err(self.error(format!("trailing input: {other:?}"), at)),
+        }
+    }
+
+    fn ident(&mut self) -> Result<(String, usize), TypesError> {
+        self.skip_ws();
+        let at = self.pos;
+        match self.next()? {
+            Token::Ident(w) => Ok((w, at)),
+            other => Err(self.error(format!("expected an identifier, found {other:?}"), at)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Domain, ProfileId, Schema};
+
+    fn schema() -> Schema {
+        Schema::builder()
+            .attribute("temperature", Domain::int(-30, 50))
+            .unwrap()
+            .attribute("humidity", Domain::int(0, 100))
+            .unwrap()
+            .attribute("radiation", Domain::int(1, 100))
+            .unwrap()
+            .attribute("sky", Domain::categorical(["clear", "cloudy", "storm"]).unwrap())
+            .unwrap()
+            .attribute("ph", Domain::float(0.0, 14.0, 0.5).unwrap())
+            .unwrap()
+            .build()
+    }
+
+    fn profile(text: &str) -> Profile {
+        parse_profile(&schema(), text, ProfileId::new(0)).unwrap()
+    }
+
+    #[test]
+    fn parses_paper_profiles() {
+        let p = profile("profile(temperature >= 35; humidity >= 90)");
+        assert_eq!(p.specified_len(), 2);
+        let p = profile("profile(temperature in [-30, -20]; humidity <= 5; radiation in [40, 100])");
+        assert_eq!(p.specified_len(), 3);
+        assert_eq!(
+            p.predicate(schema().attr("radiation").unwrap()),
+            &Predicate::between(40, 100)
+        );
+    }
+
+    #[test]
+    fn parses_dont_care_star() {
+        let p = profile("profile(temperature >= 35; radiation = *)");
+        assert!(p.predicate(schema().attr("radiation").unwrap()).is_dont_care());
+        assert_eq!(p.specified_len(), 1);
+    }
+
+    #[test]
+    fn parses_value_sets() {
+        let p = profile("profile(sky in {clear, storm})");
+        let sky = schema().attr("sky").unwrap();
+        assert_eq!(
+            p.predicate(sky),
+            &Predicate::In(vec![Value::from("clear"), Value::from("storm")])
+        );
+        let p = profile("profile(sky not in {storm})");
+        assert_eq!(p.predicate(sky), &Predicate::NotIn(vec![Value::from("storm")]));
+    }
+
+    #[test]
+    fn parses_quoted_strings_and_floats() {
+        let p = profile("profile(sky = \"cloudy\"; ph <= 7.5)");
+        let s = schema();
+        assert_eq!(p.predicate(s.attr("sky").unwrap()), &Predicate::eq("cloudy"));
+        assert_eq!(
+            p.predicate(s.attr("ph").unwrap()),
+            &Predicate::Le(Value::float(7.5).unwrap())
+        );
+    }
+
+    #[test]
+    fn parses_all_comparison_operators() {
+        for (text, expect) in [
+            ("= 5", Predicate::eq(5)),
+            ("!= 5", Predicate::ne(5)),
+            ("< 5", Predicate::lt(5)),
+            ("<= 5", Predicate::le(5)),
+            ("> 5", Predicate::gt(5)),
+            (">= 5", Predicate::ge(5)),
+        ] {
+            let p = profile(&format!("profile(humidity {text})"));
+            assert_eq!(p.predicate(schema().attr("humidity").unwrap()), &expect, "{text}");
+        }
+    }
+
+    #[test]
+    fn parses_events() {
+        let s = schema();
+        let e = parse_event(&s, "event(temperature = 30; humidity = 90; radiation = 2)").unwrap();
+        assert_eq!(e.specified_len(), 3);
+        assert_eq!(e.value(s.attr("humidity").unwrap()), Some(&Value::Int(90)));
+        let e = parse_event(&s, "event(sky = storm)").unwrap();
+        assert_eq!(e.value(s.attr("sky").unwrap()), Some(&Value::from("storm")));
+    }
+
+    #[test]
+    fn parses_empty_profile_and_event() {
+        assert_eq!(profile("profile()").specified_len(), 0);
+        assert_eq!(parse_event(&schema(), "event()").unwrap().specified_len(), 0);
+    }
+
+    #[test]
+    fn negative_numbers_parse() {
+        let p = profile("profile(temperature >= -20)");
+        assert_eq!(
+            p.predicate(schema().attr("temperature").unwrap()),
+            &Predicate::ge(-20)
+        );
+    }
+
+    #[test]
+    fn syntax_errors_carry_positions() {
+        let s = schema();
+        let err = parse_profile(&s, "profile(humidity >< 3)", ProfileId::new(0)).unwrap_err();
+        assert!(matches!(err, TypesError::Parse { .. }), "{err:?}");
+        let err = parse_profile(&s, "profile(humidity = 3", ProfileId::new(0)).unwrap_err();
+        assert!(matches!(err, TypesError::Parse { .. }));
+        let err = parse_profile(&s, "profile(humidity = 3) junk", ProfileId::new(0)).unwrap_err();
+        assert!(matches!(err, TypesError::Parse { .. }));
+        let err = parse_profile(&s, "profile(humidity = \"x", ProfileId::new(0)).unwrap_err();
+        assert!(err.to_string().contains("unterminated"));
+    }
+
+    #[test]
+    fn semantic_errors_pass_through() {
+        let s = schema();
+        assert!(matches!(
+            parse_profile(&s, "profile(pressure = 3)", ProfileId::new(0)),
+            Err(TypesError::UnknownAttribute(_))
+        ));
+        assert!(matches!(
+            parse_profile(&s, "profile(humidity = 1000)", ProfileId::new(0)),
+            Err(TypesError::OutOfDomain { .. })
+        ));
+        assert!(parse_event(&s, "event(humidity = wet)").is_err());
+    }
+
+    #[test]
+    fn not_in_requires_braces() {
+        let s = schema();
+        assert!(parse_profile(&s, "profile(humidity not in [1, 2])", ProfileId::new(0)).is_err());
+    }
+
+    #[test]
+    fn display_and_parse_round_trip() {
+        let s = schema();
+        let texts = [
+            "profile(temperature >= 35; humidity = 90)",
+            "profile(sky in {clear, storm})",
+            "profile(temperature in [-30, -20]; radiation in [40, 100])",
+        ];
+        for text in texts {
+            let p = parse_profile(&s, text, ProfileId::new(0)).unwrap();
+            let rendered = p.display(&s).to_string();
+            let again = parse_profile(&s, &rendered, ProfileId::new(0)).unwrap();
+            assert_eq!(p.predicates(), again.predicates(), "{text} vs {rendered}");
+        }
+    }
+}

@@ -1,0 +1,323 @@
+use std::cmp::Ordering;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+
+use serde::{Deserialize, Serialize};
+
+use crate::TypesError;
+
+/// A finite (non-NaN, non-infinite) `f64` with total order and hashing.
+///
+/// Construction validates finiteness, so every `FiniteF64` is safely
+/// orderable and hashable. Negative zero is normalised to positive zero so
+/// that `-0.0 == 0.0` also holds for hashing.
+///
+/// # Example
+///
+/// ```
+/// use ens_types::FiniteF64;
+/// # fn main() -> Result<(), ens_types::TypesError> {
+/// let x = FiniteF64::new(1.5)?;
+/// assert!(x < FiniteF64::new(2.0)?);
+/// assert!(FiniteF64::new(f64::NAN).is_err());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, Serialize)]
+#[serde(transparent)]
+pub struct FiniteF64(f64);
+
+impl FiniteF64 {
+    /// Creates a finite float.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TypesError::NonFiniteValue`] if `x` is NaN or infinite.
+    pub fn new(x: f64) -> Result<Self, TypesError> {
+        if x.is_finite() {
+            // Normalise -0.0 so Eq/Hash agree.
+            Ok(FiniteF64(if x == 0.0 { 0.0 } else { x }))
+        } else {
+            Err(TypesError::NonFiniteValue)
+        }
+    }
+
+    /// Returns the wrapped `f64`.
+    #[must_use]
+    pub fn get(self) -> f64 {
+        self.0
+    }
+}
+
+impl PartialEq for FiniteF64 {
+    fn eq(&self, other: &Self) -> bool {
+        self.0 == other.0
+    }
+}
+impl Eq for FiniteF64 {}
+
+impl PartialOrd for FiniteF64 {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for FiniteF64 {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Finite floats always compare.
+        self.0.partial_cmp(&other.0).expect("finite floats compare")
+    }
+}
+
+impl Hash for FiniteF64 {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.0.to_bits().hash(state);
+    }
+}
+
+impl fmt::Display for FiniteF64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl<'de> Deserialize<'de> for FiniteF64 {
+    fn deserialize<D>(deserializer: D) -> Result<Self, D::Error>
+    where
+        D: serde::Deserializer<'de>,
+    {
+        let x = f64::deserialize(deserializer)?;
+        FiniteF64::new(x).map_err(serde::de::Error::custom)
+    }
+}
+
+impl TryFrom<f64> for FiniteF64 {
+    type Error = TypesError;
+    fn try_from(x: f64) -> Result<Self, TypesError> {
+        FiniteF64::new(x)
+    }
+}
+
+/// A typed attribute value carried by events and referenced by predicates.
+///
+/// Values of different kinds never compare equal; ordering across kinds is
+/// by kind tag (`Bool < Int < Float < Str`) purely so that collections of
+/// mixed values are well behaved — domains are always homogeneous, so
+/// cross-kind order never influences matching semantics.
+///
+/// # Example
+///
+/// ```
+/// use ens_types::Value;
+/// let a = Value::from(30);
+/// let b = Value::from("storm");
+/// assert_ne!(a, b);
+/// assert_eq!(a, Value::Int(30));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Value {
+    /// Boolean flag.
+    Bool(bool),
+    /// Signed integer value.
+    Int(i64),
+    /// Finite floating-point value.
+    Float(FiniteF64),
+    /// Categorical / string value.
+    Str(String),
+}
+
+impl Value {
+    /// Creates a float value.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TypesError::NonFiniteValue`] if `x` is NaN or infinite.
+    pub fn float(x: f64) -> Result<Self, TypesError> {
+        Ok(Value::Float(FiniteF64::new(x)?))
+    }
+
+    /// A short name for the value's kind, used in error messages.
+    #[must_use]
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Bool(_) => "bool",
+            Value::Int(_) => "int",
+            Value::Float(_) => "float",
+            Value::Str(_) => "string",
+        }
+    }
+
+    /// Returns the integer payload, if this is an [`Value::Int`].
+    #[must_use]
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// Returns the float payload, if this is a [`Value::Float`].
+    #[must_use]
+    pub fn as_float(&self) -> Option<f64> {
+        match self {
+            Value::Float(x) => Some(x.get()),
+            _ => None,
+        }
+    }
+
+    /// Returns the string payload, if this is a [`Value::Str`].
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Returns the boolean payload, if this is a [`Value::Bool`].
+    #[must_use]
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Int(x) => write!(f, "{x}"),
+            Value::Float(x) => write!(f, "{x}"),
+            Value::Str(s) => write!(f, "{s:?}"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(x: i64) -> Self {
+        Value::Int(x)
+    }
+}
+impl From<i32> for Value {
+    fn from(x: i32) -> Self {
+        Value::Int(i64::from(x))
+    }
+}
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Bool(b)
+    }
+}
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::Str(s.to_owned())
+    }
+}
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::Str(s)
+    }
+}
+impl From<FiniteF64> for Value {
+    fn from(x: FiniteF64) -> Self {
+        Value::Float(x)
+    }
+}
+impl TryFrom<f64> for Value {
+    type Error = TypesError;
+    fn try_from(x: f64) -> Result<Self, TypesError> {
+        Value::float(x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::hash_map::DefaultHasher;
+
+    fn hash_of<T: Hash>(t: &T) -> u64 {
+        let mut h = DefaultHasher::new();
+        t.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn finite_f64_rejects_nan_and_infinity() {
+        assert!(FiniteF64::new(f64::NAN).is_err());
+        assert!(FiniteF64::new(f64::INFINITY).is_err());
+        assert!(FiniteF64::new(f64::NEG_INFINITY).is_err());
+        assert!(FiniteF64::new(0.0).is_ok());
+    }
+
+    #[test]
+    fn negative_zero_normalised() {
+        let a = FiniteF64::new(-0.0).unwrap();
+        let b = FiniteF64::new(0.0).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(hash_of(&a), hash_of(&b));
+    }
+
+    #[test]
+    fn finite_f64_total_order() {
+        let mut xs = vec![
+            FiniteF64::new(3.0).unwrap(),
+            FiniteF64::new(-1.5).unwrap(),
+            FiniteF64::new(0.0).unwrap(),
+        ];
+        xs.sort();
+        let got: Vec<f64> = xs.into_iter().map(FiniteF64::get).collect();
+        assert_eq!(got, vec![-1.5, 0.0, 3.0]);
+    }
+
+    #[test]
+    fn value_conversions() {
+        assert_eq!(Value::from(5), Value::Int(5));
+        assert_eq!(Value::from(true), Value::Bool(true));
+        assert_eq!(Value::from("a"), Value::Str("a".into()));
+        assert_eq!(Value::try_from(2.5).unwrap().as_float(), Some(2.5));
+        assert!(Value::try_from(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn value_accessors() {
+        assert_eq!(Value::Int(7).as_int(), Some(7));
+        assert_eq!(Value::Int(7).as_float(), None);
+        assert_eq!(Value::from("x").as_str(), Some("x"));
+        assert_eq!(Value::Bool(true).as_bool(), Some(true));
+    }
+
+    #[test]
+    fn value_kind_names() {
+        assert_eq!(Value::Int(0).kind(), "int");
+        assert_eq!(Value::Bool(false).kind(), "bool");
+        assert_eq!(Value::float(1.0).unwrap().kind(), "float");
+        assert_eq!(Value::from("s").kind(), "string");
+    }
+
+    #[test]
+    fn value_display() {
+        assert_eq!(Value::Int(-3).to_string(), "-3");
+        assert_eq!(Value::from("hi").to_string(), "\"hi\"");
+        assert_eq!(Value::Bool(true).to_string(), "true");
+    }
+
+    #[test]
+    fn value_serde_round_trip() {
+        let vals = vec![
+            Value::Int(1),
+            Value::float(0.25).unwrap(),
+            Value::from("cat"),
+            Value::Bool(false),
+        ];
+        let json = serde_json::to_string(&vals).unwrap();
+        let back: Vec<Value> = serde_json::from_str(&json).unwrap();
+        assert_eq!(vals, back);
+    }
+
+    #[test]
+    fn nan_rejected_at_deserialization() {
+        let r: Result<FiniteF64, _> = serde_json::from_str("1e999");
+        assert!(r.is_err());
+    }
+}

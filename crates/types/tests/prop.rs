@@ -1,0 +1,136 @@
+//! Property-based tests for the `ens-types` data model invariants.
+
+use ens_types::{
+    Domain, IndexInterval, IntervalSet, Predicate, Profile, ProfileId, Schema, Value,
+};
+use proptest::prelude::*;
+
+fn arb_interval(max: u64) -> impl Strategy<Value = IndexInterval> {
+    (0..max, 0..max).prop_map(|(a, b)| IndexInterval::new(a.min(b), a.max(b)))
+}
+
+fn arb_interval_set(max: u64) -> impl Strategy<Value = IntervalSet> {
+    prop::collection::vec(arb_interval(max), 0..8).prop_map(IntervalSet::from_intervals)
+}
+
+proptest! {
+    /// Normalisation: sets are sorted, disjoint and non-adjacent.
+    #[test]
+    fn interval_set_is_normalised(s in arb_interval_set(64)) {
+        let ivs = s.as_slice();
+        for w in ivs.windows(2) {
+            prop_assert!(w[0].hi() < w[1].lo(), "sorted, disjoint, gap >= 1: {s}");
+        }
+        for iv in ivs {
+            prop_assert!(!iv.is_empty());
+        }
+    }
+
+    /// `contains` agrees with a linear scan over intervals.
+    #[test]
+    fn interval_set_contains_agrees_with_scan(s in arb_interval_set(64), i in 0u64..64) {
+        let scan = s.iter().any(|iv| iv.contains(i));
+        prop_assert_eq!(s.contains(i), scan);
+    }
+
+    /// Union and intersection behave pointwise.
+    #[test]
+    fn union_intersect_pointwise(a in arb_interval_set(48), b in arb_interval_set(48), i in 0u64..48) {
+        prop_assert_eq!(a.union(&b).contains(i), a.contains(i) || b.contains(i));
+        prop_assert_eq!(a.intersect(&b).contains(i), a.contains(i) && b.contains(i));
+    }
+
+    /// Complement is an involution and is pointwise correct within [0, d).
+    #[test]
+    fn complement_involution(a in arb_interval_set(48), i in 0u64..48) {
+        let c = a.complement(48);
+        prop_assert_eq!(c.contains(i), !a.contains(i));
+        prop_assert_eq!(c.complement(48), a.intersect(&IntervalSet::full(48)));
+    }
+
+    /// covered_len is preserved by the partition into set and complement.
+    #[test]
+    fn covered_len_partitions_domain(a in arb_interval_set(48)) {
+        let clipped = a.intersect(&IntervalSet::full(48));
+        prop_assert_eq!(clipped.covered_len() + a.complement(48).covered_len(), 48);
+    }
+}
+
+fn int_domain() -> Domain {
+    Domain::int(-20, 20)
+}
+
+fn arb_predicate() -> impl Strategy<Value = Predicate> {
+    let v = -20i64..=20;
+    prop_oneof![
+        Just(Predicate::DontCare),
+        v.clone().prop_map(Predicate::eq),
+        v.clone().prop_map(Predicate::ne),
+        v.clone().prop_map(Predicate::lt),
+        v.clone().prop_map(Predicate::le),
+        v.clone().prop_map(Predicate::gt),
+        v.clone().prop_map(Predicate::ge),
+        (v.clone(), v.clone()).prop_map(|(a, b)| Predicate::between(a.min(b), a.max(b))),
+        prop::collection::vec(v.clone(), 1..5).prop_map(Predicate::in_set),
+        prop::collection::vec(v, 1..5)
+            .prop_map(|vs| Predicate::NotIn(vs.into_iter().map(Value::Int).collect())),
+    ]
+}
+
+proptest! {
+    /// Interval lowering and direct evaluation agree on every domain point.
+    #[test]
+    fn predicate_lowering_is_sound(p in arb_predicate(), x in -20i64..=20) {
+        let d = int_domain();
+        let ivs = p.to_intervals(&d).unwrap();
+        let i = d.index_of(&Value::Int(x)).unwrap();
+        prop_assert_eq!(p.matches(&d, &Value::Int(x)).unwrap(), ivs.contains(i));
+    }
+
+    /// Profiles round-trip through their display syntax.
+    #[test]
+    fn profile_display_parse_round_trip(preds in prop::collection::vec(arb_predicate(), 3)) {
+        let schema = Schema::builder()
+            .attribute("a0", int_domain()).unwrap()
+            .attribute("a1", int_domain()).unwrap()
+            .attribute("a2", int_domain()).unwrap()
+            .build();
+        let p = Profile::from_predicates(&schema, ProfileId::new(0), preds).unwrap();
+        let text = p.display(&schema).to_string();
+        let back = ens_types::parse::parse_profile(&schema, &text, ProfileId::new(0)).unwrap();
+        // Compare by lowered semantics (display may normalise operator
+        // spellings, e.g. `in {5}` still parses as In).
+        for (a, b) in p.predicates().iter().zip(back.predicates()) {
+            let d = int_domain();
+            prop_assert_eq!(a.to_intervals(&d).unwrap(), b.to_intervals(&d).unwrap());
+        }
+    }
+
+    /// Serde round-trips preserve profile semantics.
+    #[test]
+    fn profile_serde_round_trip(preds in prop::collection::vec(arb_predicate(), 3)) {
+        let schema = Schema::builder()
+            .attribute("a0", int_domain()).unwrap()
+            .attribute("a1", int_domain()).unwrap()
+            .attribute("a2", int_domain()).unwrap()
+            .build();
+        let p = Profile::from_predicates(&schema, ProfileId::new(0), preds).unwrap();
+        let json = serde_json::to_string(&p).unwrap();
+        let back: Profile = serde_json::from_str(&json).unwrap();
+        prop_assert_eq!(p, back);
+    }
+
+    /// Domain index mapping is a bijection on every kind of domain.
+    #[test]
+    fn domain_index_bijection(seed in 0u64..4) {
+        let d = match seed {
+            0 => Domain::int(-5, 5),
+            1 => Domain::float(0.0, 3.0, 0.5).unwrap(),
+            2 => Domain::categorical(["a", "b", "c", "d"]).unwrap(),
+            _ => Domain::Bool,
+        };
+        for i in 0..d.size() {
+            prop_assert_eq!(d.try_index_of(&d.value_at(i)), Some(i));
+        }
+    }
+}

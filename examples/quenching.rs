@@ -1,0 +1,56 @@
+//! Quenching: reject unmatchable events at the producer (the Elvin
+//! mechanism of §2, realised through the zero-subdomain `D0`).
+//!
+//! Run with `cargo run --example quenching`.
+
+use ens::prelude::*;
+use ens::service::BrokerConfig;
+use ens::types::AttrId;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let schema = Schema::builder()
+        .attribute("temperature", Domain::int(-30, 50))?
+        .attribute("humidity", Domain::int(0, 100))?
+        .build();
+
+    let broker = Broker::new(
+        &schema,
+        BrokerConfig {
+            quench_inbound: true,
+            ..BrokerConfig::default()
+        },
+    )?;
+    let _heat = broker.subscribe_parsed("profile(temperature >= 40)")?;
+    let _frost = broker.subscribe_parsed("profile(temperature <= -15; humidity >= 80)")?;
+
+    // What may a producer drop at the source?
+    let advice = broker.quench_advice();
+    let coverage = advice.coverage_fractions();
+    println!("covered fraction per attribute: {coverage:?}");
+    for (id, a) in schema.iter() {
+        let dead: Vec<String> = advice.quenchable(id).iter().map(ToString::to_string).collect();
+        println!("  {}: {} quenchable interval(s): {}", a.name(), dead.len(), dead.join(", "));
+    }
+    let _ = AttrId::new(0);
+
+    // Publish a mixed stream; the broker-side pre-filter drops the dead
+    // ones before any tree work.
+    let mut quenched = 0;
+    for t in (-30..=50).step_by(5) {
+        let e = Event::builder(&schema)
+            .value("temperature", t)?
+            .value("humidity", 50)?
+            .build();
+        let receipt = broker.publish(&e)?;
+        quenched += i32::from(receipt.quenched);
+    }
+    let m = broker.metrics();
+    println!(
+        "published {} events; {} quenched without filtering, {} notifications, {:.2} ops/event overall",
+        m.events_published,
+        quenched,
+        m.notifications_sent,
+        m.avg_ops_per_event()
+    );
+    Ok(())
+}
