@@ -25,15 +25,19 @@ fn bench_ablations(c: &mut Criterion) {
             ..TreeConfig::default()
         };
         let tree = ProfileTree::build(&w.profiles, &config).expect("workload is valid");
-        group.bench_with_input(BenchmarkId::new(name, "d39-gauss"), &w.events, |b, events| {
-            b.iter(|| {
-                let mut ops = 0u64;
-                for e in events {
-                    ops += tree.match_event(black_box(e)).expect("valid").ops();
-                }
-                ops
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::new(name, "d39-gauss"),
+            &w.events,
+            |b, events| {
+                b.iter(|| {
+                    let mut ops = 0u64;
+                    for e in events {
+                        ops += tree.match_event(black_box(e)).expect("valid").ops();
+                    }
+                    ops
+                });
+            },
+        );
     }
     group.finish();
 }

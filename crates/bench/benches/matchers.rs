@@ -29,7 +29,11 @@ fn bench_matchers(c: &mut Criterion) {
                 b.iter(|| {
                     let mut n = 0usize;
                     for e in events {
-                        n += tree.match_event(black_box(e)).expect("valid").profiles().len();
+                        n += tree
+                            .match_event(black_box(e))
+                            .expect("valid")
+                            .profiles()
+                            .len();
                     }
                     n
                 });
@@ -55,7 +59,11 @@ fn bench_matchers(c: &mut Criterion) {
                 b.iter(|| {
                     let mut n = 0usize;
                     for e in events {
-                        n += naive.match_event(black_box(e)).expect("valid").profiles().len();
+                        n += naive
+                            .match_event(black_box(e))
+                            .expect("valid")
+                            .profiles()
+                            .len();
                     }
                     n
                 });

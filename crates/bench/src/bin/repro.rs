@@ -101,7 +101,10 @@ fn run(what: &str, opts: &Options) -> Result<(), WorkloadError> {
 
 fn table(t: FigureTable, opts: &Options) -> Result<(), WorkloadError> {
     if opts.json {
-        println!("{}", serde_json::to_string_pretty(&t).expect("figures serialize"));
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&t).expect("figures serialize")
+        );
     } else {
         println!("{}", t.render());
     }

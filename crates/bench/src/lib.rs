@@ -62,7 +62,8 @@ impl BenchWorkload {
     #[must_use]
     pub fn stock(p: usize, n_events: usize) -> Self {
         let mut rng = StdRng::seed_from_u64(21);
-        let profiles = ens_workloads::scenario::stock_profiles(p, &mut rng).expect("static scenario");
+        let profiles =
+            ens_workloads::scenario::stock_profiles(p, &mut rng).expect("static scenario");
         let joint = ens_workloads::scenario::stock_event_model().expect("static scenario");
         Self::new("stock", profiles, joint, n_events, 22)
     }

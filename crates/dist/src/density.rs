@@ -1,0 +1,420 @@
+//! Analytic density shapes over the normalised unit interval.
+
+use serde::{Deserialize, Serialize};
+
+use crate::DistError;
+
+/// A probability density over the normalised domain `[0, 1)`.
+///
+/// Densities are *shapes*: [`DistOverDomain`](crate::DistOverDomain)
+/// integrates them over a finite grid to obtain exact per-point masses.
+/// All shapes are normalised on construction or during discretisation,
+/// so mixture weights and step weights need not sum to one.
+///
+/// # Example
+///
+/// ```
+/// use ens_dist::Density;
+///
+/// // Example 2 of the paper: 80 % of events in the top window.
+/// let d = Density::Mixture(vec![
+///     (0.8, Density::window(65.0 / 81.0, 1.0)),
+///     (0.2, Density::window(0.0, 65.0 / 81.0)),
+/// ]);
+/// assert!((d.mass_between(65.0 / 81.0, 1.0) - 0.8).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum Density {
+    /// The uniform density (the catalog's `"equal"`).
+    Uniform,
+    /// Uniform on `[lo, hi)`, zero elsewhere.
+    Window {
+        /// Lower edge in `[0, 1]`.
+        lo: f64,
+        /// Upper edge in `[0, 1]`, `> lo`.
+        hi: f64,
+    },
+    /// A Gaussian truncated to `[0, 1]`.
+    Gaussian {
+        /// Mean in normalised coordinates.
+        mean: f64,
+        /// Standard deviation (strictly positive).
+        sd: f64,
+    },
+    /// Linearly falling density `f(x) = 2(1 - x)`.
+    Falling,
+    /// Linearly rising density `f(x) = 2x`.
+    Rising,
+    /// Truncated exponential `f(x) ∝ e^(-rate · x)`.
+    Exponential {
+        /// Decay rate (strictly positive).
+        rate: f64,
+    },
+    /// Zipf-like power law `f(x) ∝ (x + ε)^(-s)` with `ε = 0.01`,
+    /// matching the heavy head/long tail of rank-frequency data once
+    /// discretised onto a domain grid.
+    Zipf {
+        /// Exponent `s > 0` (1.0 ≈ classic Zipf).
+        exponent: f64,
+    },
+    /// Piecewise-constant density: `weights[k]` on the `k`-th of
+    /// equally wide bands.
+    Steps(Vec<f64>),
+    /// Weighted mixture of component densities.
+    Mixture(Vec<(f64, Density)>),
+}
+
+/// Offset keeping the zipf pole integrable at zero.
+const ZIPF_EPSILON: f64 = 0.01;
+
+impl Density {
+    /// Uniform window on `[lo, hi)` (normalised coordinates). Arguments
+    /// are clamped to `[0, 1]`; a degenerate window collapses to a
+    /// point mass at `lo` during discretisation.
+    #[must_use]
+    pub fn window(lo: f64, hi: f64) -> Self {
+        let lo = lo.clamp(0.0, 1.0);
+        let hi = hi.clamp(0.0, 1.0).max(lo);
+        Density::Window { lo, hi }
+    }
+
+    /// Gaussian with the given normalised mean and standard deviation,
+    /// truncated to `[0, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sd` is not strictly positive and finite.
+    #[must_use]
+    pub fn gaussian(mean: f64, sd: f64) -> Self {
+        assert!(
+            sd.is_finite() && sd > 0.0 && mean.is_finite(),
+            "gaussian(mean = {mean}, sd = {sd}) must be finite with sd > 0"
+        );
+        Density::Gaussian { mean, sd }
+    }
+
+    /// Linearly falling density (most mass at the low end of the
+    /// domain, like the radiation readings of the paper's monitoring
+    /// example).
+    #[must_use]
+    pub fn falling() -> Self {
+        Density::Falling
+    }
+
+    /// Linearly rising density.
+    #[must_use]
+    pub fn rising() -> Self {
+        Density::Rising
+    }
+
+    /// Truncated exponential with decay `rate`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DistError::InvalidDensity`] unless `rate` is finite
+    /// and strictly positive.
+    pub fn exponential(rate: f64) -> Result<Self, DistError> {
+        if !rate.is_finite() || rate <= 0.0 {
+            return Err(DistError::InvalidDensity(format!(
+                "exponential rate {rate} must be finite and positive"
+            )));
+        }
+        Ok(Density::Exponential { rate })
+    }
+
+    /// Zipf-like power law with exponent `s`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DistError::InvalidDensity`] unless `s` is finite and
+    /// strictly positive.
+    pub fn zipf(exponent: f64) -> Result<Self, DistError> {
+        if !exponent.is_finite() || exponent <= 0.0 {
+            return Err(DistError::InvalidDensity(format!(
+                "zipf exponent {exponent} must be finite and positive"
+            )));
+        }
+        Ok(Density::Zipf { exponent })
+    }
+
+    /// Piecewise-constant density over equally wide bands.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DistError::InvalidDensity`] for an empty weight list,
+    /// negative/non-finite weights, or all-zero weights.
+    pub fn steps<I>(weights: I) -> Result<Self, DistError>
+    where
+        I: IntoIterator<Item = f64>,
+    {
+        let w: Vec<f64> = weights.into_iter().collect();
+        if w.is_empty() {
+            return Err(DistError::InvalidDensity(
+                "steps need at least one band".into(),
+            ));
+        }
+        if w.iter().any(|x| !x.is_finite() || *x < 0.0) {
+            return Err(DistError::InvalidDensity(
+                "step weights must be finite and non-negative".into(),
+            ));
+        }
+        if w.iter().sum::<f64>() <= 0.0 {
+            return Err(DistError::InvalidDensity(
+                "step weights are all zero".into(),
+            ));
+        }
+        Ok(Density::Steps(w))
+    }
+
+    /// A peak of the given total `mass` on the window
+    /// `[pos, pos + width)` (all normalised), over a uniform background
+    /// carrying the remaining mass — the catalog's `peak_95_high`-style
+    /// shapes and the paper's "small range of data of high importance".
+    /// `peak(0.8, 0.1, 0.95)` puts 95 % of the mass on the band
+    /// starting at 80 % of the domain.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DistError::InvalidDensity`] unless `pos ∈ [0, 1]`,
+    /// `width ∈ (0, 1]` and `mass ∈ [0, 1]`.
+    pub fn peak(pos: f64, width: f64, mass: f64) -> Result<Self, DistError> {
+        if !(0.0..=1.0).contains(&pos) || !(0.0..=1.0).contains(&mass) {
+            return Err(DistError::InvalidDensity(format!(
+                "peak(pos = {pos}, mass = {mass}) must lie in [0, 1]"
+            )));
+        }
+        if !width.is_finite() || width <= 0.0 || width > 1.0 {
+            return Err(DistError::InvalidDensity(format!(
+                "peak width {width} must lie in (0, 1]"
+            )));
+        }
+        let lo = pos.min(1.0 - f64::EPSILON);
+        let hi = (pos + width).min(1.0);
+        Ok(Density::Mixture(vec![
+            (mass, Density::window(lo, hi)),
+            (1.0 - mass, Density::Uniform),
+        ]))
+    }
+
+    /// Unnormalised mass of `[a, b)` (normalised coordinates, clamped
+    /// to `[0, 1]`). Dividing by `mass_between(0, 1)` — which is 1 for
+    /// every shape except unnormalised mixtures/steps — yields the
+    /// probability.
+    #[must_use]
+    pub fn mass_between(&self, a: f64, b: f64) -> f64 {
+        let a = a.clamp(0.0, 1.0);
+        let b = b.clamp(0.0, 1.0);
+        if b <= a {
+            return 0.0;
+        }
+        match self {
+            Density::Uniform => b - a,
+            Density::Window { lo, hi } => {
+                if hi <= lo {
+                    // Degenerate window: point mass at lo. A point at
+                    // the domain's upper edge belongs to the last cell
+                    // (every query interval is half-open below 1.0).
+                    let p = lo.min(1.0 - f64::EPSILON);
+                    return f64::from(a <= p && p < b);
+                }
+                let overlap = (b.min(*hi) - a.max(*lo)).max(0.0);
+                overlap / (hi - lo)
+            }
+            Density::Gaussian { mean, sd } => {
+                let phi = |x: f64| normal_cdf((x - mean) / sd);
+                let total = phi(1.0) - phi(0.0);
+                if total <= 0.0 {
+                    // The truncation window carries no mass (mean far
+                    // outside [0, 1]): degrade to uniform.
+                    return b - a;
+                }
+                (phi(b) - phi(a)) / total
+            }
+            Density::Falling => {
+                // f(x) = 2(1 - x), F(x) = 2x - x^2.
+                let cdf = |x: f64| 2.0 * x - x * x;
+                cdf(b) - cdf(a)
+            }
+            Density::Rising => {
+                // f(x) = 2x, F(x) = x^2.
+                b * b - a * a
+            }
+            Density::Exponential { rate } => {
+                let cdf = |x: f64| 1.0 - (-rate * x).exp();
+                let total = cdf(1.0);
+                (cdf(b) - cdf(a)) / total
+            }
+            Density::Zipf { exponent } => {
+                let cdf = |x: f64| zipf_antiderivative(x, *exponent);
+                let total = cdf(1.0) - cdf(0.0);
+                (cdf(b) - cdf(a)) / total
+            }
+            Density::Steps(weights) => {
+                let n = weights.len() as f64;
+                let mut mass = 0.0;
+                for (k, w) in weights.iter().enumerate() {
+                    let lo = k as f64 / n;
+                    let hi = (k + 1) as f64 / n;
+                    let overlap = (b.min(hi) - a.max(lo)).max(0.0);
+                    mass += w * overlap * n;
+                }
+                // Normalise by the total step weight (each band spans
+                // 1/n, so full integral = sum of weights).
+                mass / weights.iter().sum::<f64>()
+            }
+            Density::Mixture(parts) => {
+                let total: f64 = parts.iter().map(|(w, _)| w).sum();
+                if total <= 0.0 {
+                    return 0.0;
+                }
+                parts
+                    .iter()
+                    .map(|(w, d)| w * d.mass_between(a, b))
+                    .sum::<f64>()
+                    / total
+            }
+        }
+    }
+}
+
+/// Antiderivative of `(x + ε)^(-s)`.
+fn zipf_antiderivative(x: f64, s: f64) -> f64 {
+    if (s - 1.0).abs() < 1e-12 {
+        (x + ZIPF_EPSILON).ln()
+    } else {
+        (x + ZIPF_EPSILON).powf(1.0 - s) / (1.0 - s)
+    }
+}
+
+/// Standard normal CDF via the Abramowitz & Stegun 7.1.26 `erf`
+/// approximation (absolute error < 1.5e-7, ample for event models).
+fn normal_cdf(z: f64) -> f64 {
+    0.5 * (1.0 + erf(z / std::f64::consts::SQRT_2))
+}
+
+fn erf(x: f64) -> f64 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.327_591_1 * x);
+    let poly = t
+        * (0.254_829_592
+            + t * (-0.284_496_736
+                + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
+    sign * (1.0 - poly * (-x * x).exp())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn total(d: &Density) -> f64 {
+        d.mass_between(0.0, 1.0)
+    }
+
+    #[test]
+    fn all_shapes_integrate_to_one() {
+        let shapes = [
+            Density::Uniform,
+            Density::window(0.2, 0.7),
+            Density::gaussian(0.5, 0.15),
+            Density::gaussian(0.9, 0.02),
+            Density::Falling,
+            Density::Rising,
+            Density::exponential(4.0).unwrap(),
+            Density::zipf(1.0).unwrap(),
+            Density::zipf(1.8).unwrap(),
+            Density::steps([3.0, 2.0, 1.0]).unwrap(),
+            Density::peak(0.8, 0.1, 0.9).unwrap(),
+            Density::Mixture(vec![(0.5, Density::Uniform), (0.5, Density::Falling)]),
+        ];
+        for d in &shapes {
+            assert!((total(d) - 1.0).abs() < 1e-9, "{d:?}: {}", total(d));
+        }
+    }
+
+    #[test]
+    fn mass_is_additive_and_monotone() {
+        let d = Density::gaussian(0.4, 0.2);
+        let whole = d.mass_between(0.1, 0.9);
+        let split = d.mass_between(0.1, 0.5) + d.mass_between(0.5, 0.9);
+        assert!((whole - split).abs() < 1e-12);
+        assert!(d.mass_between(0.3, 0.5) >= d.mass_between(0.8, 1.0));
+    }
+
+    #[test]
+    fn window_mass_is_exact() {
+        let d = Density::window(0.25, 0.75);
+        assert_eq!(d.mass_between(0.25, 0.75), 1.0);
+        assert_eq!(d.mass_between(0.0, 0.25), 0.0);
+        assert!((d.mass_between(0.25, 0.5) - 0.5).abs() < 1e-15);
+    }
+
+    #[test]
+    fn falling_prefers_low_rising_prefers_high() {
+        assert!(Density::Falling.mass_between(0.0, 0.5) > 0.7);
+        assert!(Density::Rising.mass_between(0.5, 1.0) > 0.7);
+        assert!(
+            Density::exponential(6.0).unwrap().mass_between(0.0, 0.25)
+                > Density::Falling.mass_between(0.0, 0.25)
+        );
+    }
+
+    #[test]
+    fn zipf_head_is_heavy() {
+        let z = Density::zipf(1.2).unwrap();
+        assert!(
+            z.mass_between(0.0, 0.1) > 0.5,
+            "{}",
+            z.mass_between(0.0, 0.1)
+        );
+        assert!(z.mass_between(0.9, 1.0) < 0.05);
+    }
+
+    #[test]
+    fn steps_respect_weights() {
+        let d = Density::steps([3.0, 1.0]).unwrap();
+        assert!((d.mass_between(0.0, 0.5) - 0.75).abs() < 1e-12);
+        assert!((d.mass_between(0.5, 1.0) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn peak_concentrates_mass() {
+        let d = Density::peak(0.8, 0.1, 0.9).unwrap();
+        let hot = d.mass_between(0.7, 0.9);
+        assert!(hot > 0.9, "{hot}");
+        assert!(Density::peak(1.5, 0.1, 0.9).is_err());
+        assert!(Density::peak(0.5, 0.0, 0.9).is_err());
+        assert!(Density::peak(0.5, 0.1, 1.5).is_err());
+    }
+
+    #[test]
+    fn invalid_parameters_are_rejected() {
+        assert!(Density::steps([]).is_err());
+        assert!(Density::steps([0.0, 0.0]).is_err());
+        assert!(Density::steps([-1.0, 2.0]).is_err());
+        assert!(Density::exponential(0.0).is_err());
+        assert!(Density::exponential(f64::NAN).is_err());
+        assert!(Density::zipf(-1.0).is_err());
+    }
+
+    #[test]
+    fn erf_matches_known_values() {
+        assert!((erf(0.0)).abs() < 1e-6);
+        assert!((erf(1.0) - 0.842_700_79).abs() < 1e-6);
+        assert!((erf(-1.0) + 0.842_700_79).abs() < 1e-6);
+        assert!((erf(2.0) - 0.995_322_27).abs() < 1e-6);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let d = Density::Mixture(vec![
+            (0.5, Density::gaussian(0.2, 0.03)),
+            (0.4, Density::window(0.6, 0.7)),
+            (0.1, Density::Uniform),
+        ]);
+        let json = serde_json::to_string(&d).unwrap();
+        let back: Density = serde_json::from_str(&json).unwrap();
+        assert_eq!(d, back);
+    }
+}

@@ -1,0 +1,74 @@
+use std::fmt;
+
+/// Errors produced by the distribution toolkit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum DistError {
+    /// A PMF was requested from no cells or from all-zero weights.
+    EmptyPmf,
+    /// A density was constructed from invalid parameters.
+    InvalidDensity(String),
+    /// Two distributions that must align (same cell count / arity)
+    /// do not.
+    ShapeMismatch {
+        /// Size of the left operand.
+        left: usize,
+        /// Size of the right operand.
+        right: usize,
+    },
+    /// A joint distribution needs at least one marginal, or a
+    /// constraint vector addressed attributes the joint does not have.
+    ArityMismatch {
+        /// What was supplied.
+        got: usize,
+        /// What the joint distribution has.
+        have: usize,
+    },
+    /// No catalog entry under this name.
+    UnknownDistribution(String),
+}
+
+impl fmt::Display for DistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DistError::EmptyPmf => write!(f, "probability mass function has no positive mass"),
+            DistError::InvalidDensity(msg) => write!(f, "invalid density: {msg}"),
+            DistError::ShapeMismatch { left, right } => {
+                write!(f, "distribution shapes disagree: {left} vs {right} cells")
+            }
+            DistError::ArityMismatch { got, have } => {
+                write!(
+                    f,
+                    "joint distribution arity mismatch: got {got}, have {have}"
+                )
+            }
+            DistError::UnknownDistribution(name) => {
+                write!(f, "unknown catalog distribution `{name}`")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DistError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_descriptive() {
+        assert!(DistError::EmptyPmf.to_string().contains("mass"));
+        assert!(DistError::UnknownDistribution("d99".into())
+            .to_string()
+            .contains("d99"));
+        assert!(DistError::ShapeMismatch { left: 3, right: 5 }
+            .to_string()
+            .contains("3 vs 5"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync + 'static>() {}
+        assert_send_sync::<DistError>();
+    }
+}

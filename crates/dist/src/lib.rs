@@ -1,0 +1,70 @@
+//! Distribution toolkit for the `ens` workspace.
+//!
+//! Hinze & Bittner, *Efficient Distribution-Based Event Filtering*
+//! (ICDCSW 2002), optimise a profile-tree filter using two
+//! distributions: the **event distribution** `Pe` (how often each
+//! attribute value occurs in the event stream) and the **profile
+//! distribution** `Pp` (how often profiles reference each value). This
+//! crate is the workspace's vocabulary for both:
+//!
+//! * [`Density`] — analytic shapes (uniform, windows, Gaussian, zipf,
+//!   exponential, steps, mixtures) over the normalised unit interval;
+//! * [`DistOverDomain`] — a density discretised over a finite domain
+//!   grid of `d` points, with exact interval masses and sampling;
+//! * [`Pmf`] — a bare probability mass function over arbitrary cells;
+//! * [`Histogram`] — observed-frequency counters with incremental
+//!   updates, exponential forgetting and Laplace smoothing (the paper's
+//!   "statistic objects" are built on these);
+//! * [`JointDist`] — per-attribute product distributions, the event
+//!   model the cost model (`ens-filter`) and workload generators
+//!   (`ens-workloads`) consume;
+//! * [`DistributionCatalog`] — the named distribution battery
+//!   (`"equal"`, `"gauss"`, `"falling"`, `"peak_95_high"`, `"d1"` …
+//!   `"d42"`) the experiment scenarios are parameterised by;
+//! * [`stats`] — running means and the 95 %-confidence precision
+//!   stopper the measured test series (TV1–TV3) terminate with.
+//!
+//! # Example
+//!
+//! ```
+//! use ens_dist::{Density, DistOverDomain, JointDist};
+//!
+//! # fn main() -> Result<(), ens_dist::DistError> {
+//! // 80 % of events in the top fifth of a 100-point domain.
+//! let dist = DistOverDomain::new(
+//!     Density::Mixture(vec![
+//!         (0.8, Density::window(0.8, 1.0)),
+//!         (0.2, Density::window(0.0, 0.8)),
+//!     ]),
+//!     100,
+//! );
+//! assert!((dist.mass_between(80, 100) - 0.8).abs() < 1e-12);
+//!
+//! let joint = JointDist::independent(vec![dist])?;
+//! assert_eq!(joint.arity(), 1);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod catalog;
+mod density;
+mod dist;
+mod error;
+mod histogram;
+mod joint;
+mod pmf;
+pub mod stats;
+
+pub use catalog::DistributionCatalog;
+pub use density::Density;
+pub use dist::DistOverDomain;
+pub use error::DistError;
+pub use histogram::Histogram;
+pub use joint::JointDist;
+pub use pmf::Pmf;
+
+/// Convenience result alias used across this crate.
+pub type Result<T> = std::result::Result<T, DistError>;

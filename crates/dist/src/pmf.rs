@@ -1,0 +1,148 @@
+//! Probability mass functions over arbitrary cell indices.
+
+use serde::{Deserialize, Serialize};
+
+use crate::DistError;
+
+/// A normalised probability mass function over `n` cells.
+///
+/// Unlike [`DistOverDomain`](crate::DistOverDomain), a `Pmf` carries no
+/// domain geometry: it is the representation used for per-subrange-cell
+/// probabilities (the statistic objects of §4.2) and for drift
+/// detection in the adaptive filter.
+///
+/// # Example
+///
+/// ```
+/// use ens_dist::Pmf;
+///
+/// # fn main() -> Result<(), ens_dist::DistError> {
+/// let p = Pmf::from_weights(vec![3.0, 1.0])?;
+/// assert_eq!(p.prob(0), 0.75);
+/// assert_eq!(p.prob(1), 0.25);
+/// assert_eq!(p.prob(2), 0.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Pmf {
+    probs: Vec<f64>,
+}
+
+impl Pmf {
+    /// Normalises non-negative weights into a PMF.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DistError::EmptyPmf`] when `weights` is empty or sums
+    /// to zero, and [`DistError::InvalidDensity`] for negative or
+    /// non-finite weights.
+    pub fn from_weights(weights: Vec<f64>) -> Result<Self, DistError> {
+        if weights.is_empty() {
+            return Err(DistError::EmptyPmf);
+        }
+        if weights.iter().any(|w| !w.is_finite() || *w < 0.0) {
+            return Err(DistError::InvalidDensity(
+                "PMF weights must be finite and non-negative".into(),
+            ));
+        }
+        let total: f64 = weights.iter().sum();
+        if total <= 0.0 {
+            return Err(DistError::EmptyPmf);
+        }
+        Ok(Pmf {
+            probs: weights.into_iter().map(|w| w / total).collect(),
+        })
+    }
+
+    /// Number of cells.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.probs.len()
+    }
+
+    /// Whether the PMF has no cells (never true for a constructed PMF).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.probs.is_empty()
+    }
+
+    /// Probability of cell `k` (0 beyond the last cell).
+    #[must_use]
+    pub fn prob(&self, k: usize) -> f64 {
+        self.probs.get(k).copied().unwrap_or(0.0)
+    }
+
+    /// Iterates over the cell probabilities.
+    pub fn iter(&self) -> impl Iterator<Item = f64> + '_ {
+        self.probs.iter().copied()
+    }
+
+    /// Total-variation-style L1 distance `Σ |p_k − q_k|` between two
+    /// PMFs over the same cells (0 = identical, 2 = disjoint support).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DistError::ShapeMismatch`] when the cell counts
+    /// differ.
+    pub fn l1_distance(&self, other: &Pmf) -> Result<f64, DistError> {
+        if self.len() != other.len() {
+            return Err(DistError::ShapeMismatch {
+                left: self.len(),
+                right: other.len(),
+            });
+        }
+        Ok(self
+            .probs
+            .iter()
+            .zip(&other.probs)
+            .map(|(p, q)| (p - q).abs())
+            .sum())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalisation_and_lookup() {
+        let p = Pmf::from_weights(vec![2.0, 0.0, 6.0]).unwrap();
+        assert_eq!(p.len(), 3);
+        assert!((p.prob(0) - 0.25).abs() < 1e-15);
+        assert_eq!(p.prob(1), 0.0);
+        assert!((p.prob(2) - 0.75).abs() < 1e-15);
+        assert_eq!(p.prob(99), 0.0);
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn invalid_weights_rejected() {
+        assert_eq!(Pmf::from_weights(vec![]), Err(DistError::EmptyPmf));
+        assert_eq!(Pmf::from_weights(vec![0.0, 0.0]), Err(DistError::EmptyPmf));
+        assert!(Pmf::from_weights(vec![-1.0, 2.0]).is_err());
+        assert!(Pmf::from_weights(vec![f64::NAN]).is_err());
+    }
+
+    #[test]
+    fn l1_distance_properties() {
+        let p = Pmf::from_weights(vec![1.0, 0.0]).unwrap();
+        let q = Pmf::from_weights(vec![0.0, 1.0]).unwrap();
+        assert_eq!(p.l1_distance(&p).unwrap(), 0.0);
+        assert_eq!(p.l1_distance(&q).unwrap(), 2.0);
+        assert_eq!(p.l1_distance(&q).unwrap(), q.l1_distance(&p).unwrap());
+        let r = Pmf::from_weights(vec![1.0, 1.0, 1.0]).unwrap();
+        assert!(matches!(
+            p.l1_distance(&r),
+            Err(DistError::ShapeMismatch { left: 2, right: 3 })
+        ));
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let p = Pmf::from_weights(vec![1.0, 2.0, 5.0]).unwrap();
+        let json = serde_json::to_string(&p).unwrap();
+        let back: Pmf = serde_json::from_str(&json).unwrap();
+        assert_eq!(p, back);
+    }
+}

@@ -1,0 +1,229 @@
+//! Sampling statistics: running moments and the precision stopper the
+//! measured test series (TV1–TV3) terminate with.
+//!
+//! The paper's protocol posts events "until a precision of 5 % with a
+//! confidence of 95 %" is reached; [`PrecisionStopper`] reproduces
+//! that rule over a [`RunningStats`] accumulator.
+
+use serde::{Deserialize, Serialize};
+
+/// Single-pass mean/variance accumulator (Welford's algorithm).
+///
+/// # Example
+///
+/// ```
+/// use ens_dist::stats::RunningStats;
+///
+/// let mut s = RunningStats::new();
+/// for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+///     s.push(x);
+/// }
+/// assert_eq!(s.len(), 8);
+/// assert!((s.mean() - 5.0).abs() < 1e-12);
+/// assert!((s.variance() - 32.0 / 7.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct RunningStats {
+    n: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl RunningStats {
+    /// An empty accumulator.
+    #[must_use]
+    pub fn new() -> Self {
+        RunningStats::default()
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+    }
+
+    /// Number of observations.
+    #[must_use]
+    pub fn len(&self) -> u64 {
+        self.n
+    }
+
+    /// Whether nothing has been recorded yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Sample mean (0 before the first observation).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Unbiased sample variance (0 with fewer than two observations).
+    #[must_use]
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    #[must_use]
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Standard error of the mean.
+    #[must_use]
+    pub fn std_error(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.std_dev() / (self.n as f64).sqrt()
+        }
+    }
+
+    /// Half-width of the 95 % confidence interval of the mean (normal
+    /// approximation, `1.96 · std_error`).
+    #[must_use]
+    pub fn half_width_95(&self) -> f64 {
+        1.96 * self.std_error()
+    }
+}
+
+/// Decides when a measured run has enough samples.
+///
+/// The run is done once at least `min_samples` observations were taken
+/// *and* the 95 % confidence half-width has shrunk below
+/// `rel_precision` times the current mean (absolute precision when the
+/// mean is zero).
+///
+/// # Example
+///
+/// ```
+/// use ens_dist::stats::{PrecisionStopper, RunningStats};
+///
+/// let stopper = PrecisionStopper::new(0.5, 4);
+/// let mut s = RunningStats::new();
+/// for x in [3.0, 3.1, 2.9, 3.0, 3.0] {
+///     s.push(x);
+/// }
+/// assert!(stopper.is_done(&s));
+/// assert!(!PrecisionStopper::new(1e-9, 4).is_done(&s));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PrecisionStopper {
+    /// Target relative half-width of the 95 % confidence interval.
+    pub rel_precision: f64,
+    /// Never stop before this many samples.
+    pub min_samples: u64,
+}
+
+impl PrecisionStopper {
+    /// A stopper with the given relative precision and minimum sample
+    /// count.
+    #[must_use]
+    pub fn new(rel_precision: f64, min_samples: u64) -> Self {
+        PrecisionStopper {
+            rel_precision,
+            min_samples,
+        }
+    }
+
+    /// The paper's protocol: 5 % precision at 95 % confidence, with a
+    /// sane minimum sample count.
+    #[must_use]
+    pub fn paper_default() -> Self {
+        PrecisionStopper::new(0.05, 1_000)
+    }
+
+    /// Whether `stats` satisfies the stopping rule.
+    #[must_use]
+    pub fn is_done(&self, stats: &RunningStats) -> bool {
+        if stats.len() < self.min_samples.max(2) {
+            return false;
+        }
+        let half = stats.half_width_95();
+        let mean = stats.mean().abs();
+        if mean > 0.0 {
+            half <= self.rel_precision * mean
+        } else {
+            half <= self.rel_precision
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn welford_matches_naive_formulas() {
+        let data = [1.0, -2.0, 0.5, 7.25, 3.0, 3.0, -1.5];
+        let mut s = RunningStats::new();
+        for x in data {
+            s.push(x);
+        }
+        let n = data.len() as f64;
+        let mean = data.iter().sum::<f64>() / n;
+        let var = data.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1.0);
+        assert!((s.mean() - mean).abs() < 1e-12);
+        assert!((s.variance() - var).abs() < 1e-12);
+        assert!((s.std_dev() - var.sqrt()).abs() < 1e-12);
+        assert!((s.std_error() - var.sqrt() / n.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_and_single_observation() {
+        let mut s = RunningStats::new();
+        assert!(s.is_empty());
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.variance(), 0.0);
+        s.push(4.0);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.mean(), 4.0);
+        assert_eq!(s.variance(), 0.0);
+    }
+
+    #[test]
+    fn stopper_requires_min_samples() {
+        let stopper = PrecisionStopper::new(10.0, 100);
+        let mut s = RunningStats::new();
+        for _ in 0..99 {
+            s.push(1.0);
+        }
+        assert!(!stopper.is_done(&s), "below min_samples");
+        s.push(1.0);
+        assert!(stopper.is_done(&s), "loose precision at min_samples");
+    }
+
+    #[test]
+    fn stopper_tracks_precision() {
+        // Alternating 0/2: mean 1, sd ~1. At n samples the half-width
+        // is ~1.96/sqrt(n), so 5% precision needs n ~ 1540.
+        let stopper = PrecisionStopper::new(0.05, 10);
+        let mut s = RunningStats::new();
+        let mut stopped_at = None;
+        for k in 0..10_000u64 {
+            s.push(f64::from(u32::from(k % 2 == 0)) * 2.0);
+            if stopper.is_done(&s) {
+                stopped_at = Some(k + 1);
+                break;
+            }
+        }
+        let n = stopped_at.expect("converges");
+        assert!((1_000..2_200).contains(&n), "stopped at {n}");
+    }
+
+    #[test]
+    fn paper_default_shape() {
+        let p = PrecisionStopper::paper_default();
+        assert!((p.rel_precision - 0.05).abs() < 1e-12);
+        assert!(p.min_samples >= 100);
+    }
+}

@@ -336,8 +336,7 @@ mod tests {
     #[test]
     fn works_without_event_model_in_config() {
         let (schema, ps) = setup();
-        let filter =
-            AdaptiveFilter::new(&ps, v1_config(), AdaptivePolicy::default()).unwrap();
+        let filter = AdaptiveFilter::new(&ps, v1_config(), AdaptivePolicy::default()).unwrap();
         // The seeded model is uniform-ish; matching still works.
         let out = filter.tree().match_event(&event(&schema, 12)).unwrap();
         assert!(out.is_match());

@@ -163,8 +163,10 @@ mod tests {
             .unwrap()
             .build();
         let mut ps = ProfileSet::new(&schema);
-        ps.insert_with(|b| b.predicate("x", Predicate::eq(5))).unwrap();
-        ps.insert_with(|b| b.predicate("y", Predicate::eq(5))).unwrap();
+        ps.insert_with(|b| b.predicate("x", Predicate::eq(5)))
+            .unwrap();
+        ps.insert_with(|b| b.predicate("y", Predicate::eq(5)))
+            .unwrap();
         ps.insert_with(|b| Ok(b)).unwrap();
         let m = CountingMatcher::new(&ps).unwrap();
         let e = Event::builder(&schema).value("x", 5).unwrap().build();
@@ -181,7 +183,8 @@ mod tests {
         let mut ps = ProfileSet::new(&schema);
         // 100 profiles on distinct values: an event hits at most one.
         for v in 0..100 {
-            ps.insert_with(|b| b.predicate("x", Predicate::eq(v * 10))).unwrap();
+            ps.insert_with(|b| b.predicate("x", Predicate::eq(v * 10)))
+                .unwrap();
         }
         let m = CountingMatcher::new(&ps).unwrap();
         let e = Event::builder(&schema).value("x", 500).unwrap().build();

@@ -122,7 +122,8 @@ mod tests {
                 .predicate("y", Predicate::eq(3))
         })
         .unwrap();
-        ps.insert_with(|b| b.predicate("x", Predicate::lt(10))).unwrap();
+        ps.insert_with(|b| b.predicate("x", Predicate::lt(10)))
+            .unwrap();
         ps.insert_with(|b| Ok(b)).unwrap(); // pure don't-care
         (schema, ps)
     }
@@ -170,7 +171,11 @@ mod tests {
         let m = NaiveMatcher::new(&ps).unwrap();
         let e = Event::builder(&schema).build();
         let out = m.match_event(&e).unwrap();
-        assert_eq!(out.profiles(), &[ProfileId::new(2)], "only the don't-care profile");
+        assert_eq!(
+            out.profiles(),
+            &[ProfileId::new(2)],
+            "only the don't-care profile"
+        );
     }
 
     #[test]

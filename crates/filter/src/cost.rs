@@ -180,11 +180,7 @@ impl<'a> CostModel<'a> {
         let schema = tree.schema();
         if joint.arity() != schema.len() {
             return Err(FilterError::ModelMismatch {
-                message: format!(
-                    "model arity {} vs schema {}",
-                    joint.arity(),
-                    schema.len()
-                ),
+                message: format!("model arity {} vs schema {}", joint.arity(), schema.len()),
             });
         }
         for (j, (_, a)) in schema.iter().enumerate() {
@@ -224,7 +220,8 @@ impl<'a> CostModel<'a> {
             match_probability: 0.0,
             expected_notifications: 0.0,
         };
-        let mut constraints: Vec<Option<IndexInterval>> = vec![None; n_levels.max(self.joint.arity())];
+        let mut constraints: Vec<Option<IndexInterval>> =
+            vec![None; n_levels.max(self.joint.arity())];
         self.walk(self.tree.root(), 0, &mut constraints, 0.0, &mut acc)?;
         Ok(CostBreakdown {
             per_level: acc.per_level,
@@ -295,7 +292,11 @@ impl<'a> CostModel<'a> {
 
                 // Gap slots (zero-subdomain parts at this node).
                 for g in 0..=n.edges.len() {
-                    let lo = if g == 0 { 0 } else { n.edges[g - 1].interval.hi() };
+                    let lo = if g == 0 {
+                        0
+                    } else {
+                        n.edges[g - 1].interval.hi()
+                    };
                     let hi = if g == n.edges.len() {
                         domain_size
                     } else {
@@ -348,7 +349,9 @@ struct Acc {
 ///
 /// See [`CostModel::new`] and [`CostModel::evaluate`].
 pub fn expected_ops(tree: &ProfileTree, joint: &JointDist) -> Result<f64, FilterError> {
-    Ok(CostModel::new(tree, joint)?.evaluate()?.expected_total_ops())
+    Ok(CostModel::new(tree, joint)?
+        .evaluate()?
+        .expected_total_ops())
 }
 
 #[cfg(test)]
@@ -369,12 +372,16 @@ mod golden {
             .unwrap()
             .build();
         let mut ps = ProfileSet::new(&schema);
-        ps.insert_with(|b| b.predicate("a1", Predicate::ge(35))).unwrap(); // P1
-        ps.insert_with(|b| b.predicate("a1", Predicate::ge(30))).unwrap(); // P2
-        ps.insert_with(|b| b.predicate("a1", Predicate::ge(30))).unwrap(); // P3
+        ps.insert_with(|b| b.predicate("a1", Predicate::ge(35)))
+            .unwrap(); // P1
+        ps.insert_with(|b| b.predicate("a1", Predicate::ge(30)))
+            .unwrap(); // P2
+        ps.insert_with(|b| b.predicate("a1", Predicate::ge(30)))
+            .unwrap(); // P3
         ps.insert_with(|b| b.predicate("a1", Predicate::between(-30, -20)))
             .unwrap(); // P4
-        ps.insert_with(|b| b.predicate("a1", Predicate::ge(30))).unwrap(); // P5
+        ps.insert_with(|b| b.predicate("a1", Predicate::ge(30)))
+            .unwrap(); // P5
         ps
     }
 
@@ -588,7 +595,8 @@ mod tests {
         .unwrap();
         ps.insert_with(|b| b.predicate("x", Predicate::between(15, 40)))
             .unwrap();
-        ps.insert_with(|b| b.predicate("y", Predicate::le(4))).unwrap();
+        ps.insert_with(|b| b.predicate("y", Predicate::le(4)))
+            .unwrap();
         ps.insert_with(|b| {
             b.predicate("x", Predicate::eq(25))?
                 .predicate("y", Predicate::eq(15))
@@ -614,10 +622,7 @@ mod tests {
                 ..TreeConfig::default()
             };
             let tree = crate::ProfileTree::build(&ps, &config).unwrap();
-            let analytic = CostModel::new(&tree, &joint)
-                .unwrap()
-                .evaluate()
-                .unwrap();
+            let analytic = CostModel::new(&tree, &joint).unwrap().evaluate().unwrap();
 
             let mut rng = StdRng::seed_from_u64(99);
             let n = 60_000;
@@ -667,7 +672,8 @@ mod tests {
             .unwrap()
             .build();
         let mut ps = ProfileSet::new(&schema);
-        ps.insert_with(|b| b.predicate("x", Predicate::between(0, 9))).unwrap();
+        ps.insert_with(|b| b.predicate("x", Predicate::between(0, 9)))
+            .unwrap();
         ps.insert_with(|b| b.predicate("x", Predicate::between(50, 59)))
             .unwrap();
         let joint =
@@ -699,7 +705,8 @@ mod tests {
             .unwrap()
             .build();
         let mut ps = ProfileSet::new(&schema);
-        ps.insert_with(|b| b.predicate("x", Predicate::eq(3))).unwrap();
+        ps.insert_with(|b| b.predicate("x", Predicate::eq(3)))
+            .unwrap();
         let tree = crate::ProfileTree::build(&ps, &TreeConfig::default()).unwrap();
         let wrong =
             JointDist::independent(vec![DistOverDomain::new(Density::Uniform, 11)]).unwrap();

@@ -390,9 +390,11 @@ mod tests {
                 .predicate("y", Predicate::le(10))
         })
         .unwrap();
-        ps.insert_with(|b| b.predicate("x", Predicate::in_set([5, 15]))).unwrap();
+        ps.insert_with(|b| b.predicate("x", Predicate::in_set([5, 15])))
+            .unwrap();
         // One don't-care-on-x profile that appears below every x edge.
-        ps.insert_with(|b| b.predicate("y", Predicate::eq(5))).unwrap();
+        ps.insert_with(|b| b.predicate("y", Predicate::eq(5)))
+            .unwrap();
         let tree = ProfileTree::build(&ps, &TreeConfig::default()).unwrap();
         let dfsa = Dfsa::from_tree(&tree);
         let min = dfsa.minimize();
@@ -448,7 +450,8 @@ mod tests {
             .unwrap()
             .build();
         let mut ps = ProfileSet::new(&schema);
-        ps.insert_with(|b| b.predicate("x", Predicate::eq(5))).unwrap();
+        ps.insert_with(|b| b.predicate("x", Predicate::eq(5)))
+            .unwrap();
         let tree = ProfileTree::build(&ps, &TreeConfig::default()).unwrap();
         let dfsa = Dfsa::from_tree(&tree);
         assert_eq!(dfsa.match_indices(&[Some(5)]).len(), 1);

@@ -40,7 +40,10 @@ impl fmt::Display for FilterError {
             FilterError::Types(e) => write!(f, "{e}"),
             FilterError::Dist(e) => write!(f, "{e}"),
             FilterError::MissingDistribution { needed_by } => {
-                write!(f, "no event distribution model supplied, required by {needed_by}")
+                write!(
+                    f,
+                    "no event distribution model supplied, required by {needed_by}"
+                )
             }
             FilterError::EmptyProfileSet => write!(f, "profile set is empty"),
             FilterError::ModelMismatch { message } => {

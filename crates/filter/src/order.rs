@@ -210,8 +210,16 @@ impl NodeOrdering {
                 let hit_cost = (0..m).map(|i| interpolation_cost(&keys, keys[i])).collect();
                 let miss_cost = (0..=m)
                     .map(|g| {
-                        let lo = if g == 0 { 0 } else { edge_intervals[g - 1].hi() };
-                        let hi = if g == m { domain_size } else { edge_intervals[g].lo() };
+                        let lo = if g == 0 {
+                            0
+                        } else {
+                            edge_intervals[g - 1].hi()
+                        };
+                        let hi = if g == m {
+                            domain_size
+                        } else {
+                            edge_intervals[g].lo()
+                        };
                         if hi <= lo {
                             1 // empty gap slot: cost never charged
                         } else {
@@ -258,15 +266,9 @@ impl NodeOrdering {
             }
         };
         let edge_key = |i: usize| (primary(edge_pe[i], edge_pp[i], i as f64), i as f64);
-        let gap_key = |g: usize| {
-            (
-                primary(gap_pe[g], 0.0, g as f64 - 0.5),
-                g as f64 - 0.5,
-            )
-        };
-        let key_lt = |a: (f64, f64), b: (f64, f64)| -> bool {
-            a.0 < b.0 || (a.0 == b.0 && a.1 < b.1)
-        };
+        let gap_key = |g: usize| (primary(gap_pe[g], 0.0, g as f64 - 0.5), g as f64 - 0.5);
+        let key_lt =
+            |a: (f64, f64), b: (f64, f64)| -> bool { a.0 < b.0 || (a.0 == b.0 && a.1 < b.1) };
 
         let mut visit: Vec<u32> = (0..m as u32).collect();
         visit.sort_by(|&a, &b| {
@@ -426,7 +428,12 @@ mod tests {
 
     #[test]
     fn binary_reproduces_paper_example2() {
-        let o = NodeOrdering::compute(SearchStrategy::Binary, &[0.02, 0.01, 0.80], &[0.0; 3], &[0.0; 4]);
+        let o = NodeOrdering::compute(
+            SearchStrategy::Binary,
+            &[0.02, 0.01, 0.80],
+            &[0.0; 3],
+            &[0.0; 4],
+        );
         assert_eq!(o.hit_cost, vec![2, 1, 2], "middle found first");
         // E = 0.02*2 + 0.01*1 + 0.8*2 = 1.65 (paper).
         let e: f64 = [0.02, 0.01, 0.80]

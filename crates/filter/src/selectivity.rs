@@ -153,20 +153,26 @@ fn a3_order(
 
     let mut best: Option<(f64, Vec<AttrId>)> = None;
     let mut perm: Vec<AttrId> = (0..n as u32).map(AttrId::new).collect();
-    permute(&mut perm, 0, &mut |order: &[AttrId]| -> Result<(), FilterError> {
-        let config = TreeConfig {
-            attribute_order: AttributeOrder::Explicit(order.to_vec()),
-            search: strategy,
-            event_model: Some(joint.clone()),
-            ..TreeConfig::default()
-        };
-        let tree = ProfileTree::build(profiles, &config)?;
-        let cost = CostModel::new(&tree, &joint)?.evaluate()?.expected_total_ops();
-        if best.as_ref().is_none_or(|(c, _)| cost < *c) {
-            best = Some((cost, order.to_vec()));
-        }
-        Ok(())
-    })?;
+    permute(
+        &mut perm,
+        0,
+        &mut |order: &[AttrId]| -> Result<(), FilterError> {
+            let config = TreeConfig {
+                attribute_order: AttributeOrder::Explicit(order.to_vec()),
+                search: strategy,
+                event_model: Some(joint.clone()),
+                ..TreeConfig::default()
+            };
+            let tree = ProfileTree::build(profiles, &config)?;
+            let cost = CostModel::new(&tree, &joint)?
+                .evaluate()?
+                .expected_total_ops();
+            if best.as_ref().is_none_or(|(c, _)| cost < *c) {
+                best = Some((cost, order.to_vec()));
+            }
+            Ok(())
+        },
+    )?;
     Ok(best.expect("at least one permutation").1)
 }
 
@@ -395,7 +401,8 @@ mod tests {
         }
         let schema = b.build();
         let mut ps = ProfileSet::new(&schema);
-        ps.insert_with(|b| b.predicate("x0", Predicate::eq(1))).unwrap();
+        ps.insert_with(|b| b.predicate("x0", Predicate::eq(1)))
+            .unwrap();
         let marginals: Vec<DistOverDomain> = (0..8)
             .map(|_| DistOverDomain::new(Density::Uniform, 10))
             .collect();

@@ -61,7 +61,12 @@ impl FilterStatistics {
         let mut event_hists = Vec::with_capacity(schema.len());
         for (id, a) in schema.iter() {
             let part = AttributePartition::build(profiles.iter(), id, a.domain())?;
-            profile_counts.push(part.cells().iter().map(|c| c.profiles().len() as u64).collect());
+            profile_counts.push(
+                part.cells()
+                    .iter()
+                    .map(|c| c.profiles().len() as u64)
+                    .collect(),
+            );
             event_hists.push(Histogram::new(part.cells().len()));
             partitions.push(part);
         }
@@ -186,11 +191,17 @@ impl FilterStatistics {
             .map(|(k, cell)| {
                 (
                     pmf.prob(k),
-                    Density::window(cell.interval().lo() as f64 / d, cell.interval().hi() as f64 / d),
+                    Density::window(
+                        cell.interval().lo() as f64 / d,
+                        cell.interval().hi() as f64 / d,
+                    ),
                 )
             })
             .collect();
-        Ok(DistOverDomain::new(Density::Mixture(parts), part.domain_size()))
+        Ok(DistOverDomain::new(
+            Density::Mixture(parts),
+            part.domain_size(),
+        ))
     }
 
     /// The full empirical (independence-assuming) event model.

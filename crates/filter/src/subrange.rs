@@ -382,7 +382,10 @@ mod tests {
         let part = partition("a2");
         for i in 0..part.domain_size() {
             let k = part.cell_of(i);
-            assert!(part.cells()[k].interval().contains(i), "index {i} -> cell {k}");
+            assert!(
+                part.cells()[k].interval().contains(i),
+                "index {i} -> cell {k}"
+            );
         }
     }
 
@@ -408,7 +411,8 @@ mod tests {
             .build();
         let mut ps = ProfileSet::new(&schema);
         for v in [3, 7, 3] {
-            ps.insert_with(|b| b.predicate("x", Predicate::eq(v))).unwrap();
+            ps.insert_with(|b| b.predicate("x", Predicate::eq(v)))
+                .unwrap();
         }
         let id = schema.attr("x").unwrap();
         let part = AttributePartition::build(ps.iter(), id, schema.attribute(id).domain()).unwrap();

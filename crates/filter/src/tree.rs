@@ -44,7 +44,6 @@ pub enum AttributeOrder {
     },
 }
 
-
 /// Configuration of a [`ProfileTree`].
 ///
 /// # Example
@@ -231,7 +230,11 @@ impl ProfileTree {
                         });
                     }
                 }
-                Some((0..schema.len()).map(|j| joint.marginal(j)).collect::<Vec<_>>())
+                Some(
+                    (0..schema.len())
+                        .map(|j| joint.marginal(j))
+                        .collect::<Vec<_>>(),
+                )
             }
             None => None,
         };
@@ -435,10 +438,7 @@ impl ProfileTree {
         // Locate the edge containing `idx` (model bookkeeping; the
         // counted operations come from the precomputed ordering).
         let g = node.edges.partition_point(|e| e.interval.hi() <= idx);
-        let hit = node
-            .edges
-            .get(g)
-            .is_some_and(|e| e.interval.contains(idx));
+        let hit = node.edges.get(g).is_some_and(|e| e.interval.contains(idx));
         if hit {
             let cost = u64::from(node.ordering.hit_cost[g]);
             out.ops += cost;
@@ -818,7 +818,11 @@ mod tests {
                         let e = event(&schema, a1, a2, a3);
                         let expect = ps.matches(&e).unwrap();
                         let got = tree.match_event(&e).unwrap();
-                        assert_eq!(got.profiles(), expect.as_slice(), "{config:?} at ({a1},{a2},{a3})");
+                        assert_eq!(
+                            got.profiles(),
+                            expect.as_slice(),
+                            "{config:?} at ({a1},{a2},{a3})"
+                        );
                     }
                 }
             }
@@ -943,7 +947,8 @@ mod tests {
             .build();
         let mut ps = ProfileSet::new(&schema);
         for v in [3, 17, 42, 81] {
-            ps.insert_with(|b| b.predicate("x", Predicate::eq(v))).unwrap();
+            ps.insert_with(|b| b.predicate("x", Predicate::eq(v)))
+                .unwrap();
         }
         let tree = ProfileTree::build(
             &ps,
@@ -1005,13 +1010,20 @@ mod tests {
     #[test]
     fn profile_weights_are_validated() {
         let (_, ps) = example1();
-        for bad in [vec![1.0; 3], vec![1.0, -1.0, 1.0, 1.0, 1.0], vec![f64::NAN; 5]] {
+        for bad in [
+            vec![1.0; 3],
+            vec![1.0, -1.0, 1.0, 1.0, 1.0],
+            vec![f64::NAN; 5],
+        ] {
             let config = TreeConfig {
                 profile_weights: Some(bad),
                 ..TreeConfig::default()
             };
             assert!(
-                matches!(ProfileTree::build(&ps, &config), Err(FilterError::ModelMismatch { .. })),
+                matches!(
+                    ProfileTree::build(&ps, &config),
+                    Err(FilterError::ModelMismatch { .. })
+                ),
                 "invalid weights must be rejected"
             );
         }
@@ -1030,7 +1042,11 @@ mod tests {
     fn explicit_order_validation() {
         let (_, ps) = example1();
         let bad = TreeConfig {
-            attribute_order: AttributeOrder::Explicit(vec![AttrId::new(0), AttrId::new(0), AttrId::new(1)]),
+            attribute_order: AttributeOrder::Explicit(vec![
+                AttrId::new(0),
+                AttrId::new(0),
+                AttrId::new(1),
+            ]),
             ..TreeConfig::default()
         };
         assert!(matches!(
@@ -1061,7 +1077,8 @@ mod tests {
     fn model_arity_validated() {
         use ens_dist::{Density, DistOverDomain, JointDist};
         let (_, ps) = example1();
-        let wrong_arity = JointDist::independent(vec![DistOverDomain::new(Density::Uniform, 81)]).unwrap();
+        let wrong_arity =
+            JointDist::independent(vec![DistOverDomain::new(Density::Uniform, 81)]).unwrap();
         let config = TreeConfig {
             event_model: Some(wrong_arity),
             ..TreeConfig::default()

@@ -259,7 +259,9 @@ impl Broker {
                 QuenchAdvice::from_partitions(&self.schema, state.filter.tree().partitions());
             if !advice.allows(event)? {
                 self.metrics.quenched_events.fetch_add(1, Ordering::Relaxed);
-                self.metrics.events_published.fetch_add(1, Ordering::Relaxed);
+                self.metrics
+                    .events_published
+                    .fetch_add(1, Ordering::Relaxed);
                 return Ok(PublishReceipt {
                     sequence,
                     matched: Vec::new(),
@@ -270,7 +272,9 @@ impl Broker {
         }
 
         let outcome = state.filter.process(event)?;
-        self.metrics.events_published.fetch_add(1, Ordering::Relaxed);
+        self.metrics
+            .events_published
+            .fetch_add(1, Ordering::Relaxed);
         self.metrics
             .total_ops
             .fetch_add(outcome.ops(), Ordering::Relaxed);
@@ -287,7 +291,9 @@ impl Broker {
             };
             if entry.sender.send(n).is_ok() {
                 matched.push(entry.id);
-                self.metrics.notifications_sent.fetch_add(1, Ordering::Relaxed);
+                self.metrics
+                    .notifications_sent
+                    .fetch_add(1, Ordering::Relaxed);
             } else {
                 self.metrics
                     .dropped_notifications

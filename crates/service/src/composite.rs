@@ -317,7 +317,10 @@ mod tests {
     fn and_requires_both_within_window() {
         let mut det = CompositeDetector::new();
         let id = det.register(
-            CompositeExpr::and(CompositeExpr::Primitive(s(0)), CompositeExpr::Primitive(s(1))),
+            CompositeExpr::and(
+                CompositeExpr::Primitive(s(0)),
+                CompositeExpr::Primitive(s(1)),
+            ),
             5,
         );
         assert!(det.observe(&[s(0)], 0).is_empty());
@@ -331,7 +334,10 @@ mod tests {
     fn or_fires_on_either() {
         let mut det = CompositeDetector::new();
         let id = det.register(
-            CompositeExpr::or(CompositeExpr::Primitive(s(0)), CompositeExpr::Primitive(s(1))),
+            CompositeExpr::or(
+                CompositeExpr::Primitive(s(0)),
+                CompositeExpr::Primitive(s(1)),
+            ),
             5,
         );
         assert_eq!(det.observe(&[s(1)], 0), vec![id]);
@@ -343,7 +349,10 @@ mod tests {
     fn seq_requires_strict_order() {
         let mut det = CompositeDetector::new();
         let id = det.register(
-            CompositeExpr::seq(CompositeExpr::Primitive(s(0)), CompositeExpr::Primitive(s(1))),
+            CompositeExpr::seq(
+                CompositeExpr::Primitive(s(0)),
+                CompositeExpr::Primitive(s(1)),
+            ),
             10,
         );
         // b before a: nothing.
@@ -354,7 +363,10 @@ mod tests {
         // Same-instant a and b does NOT satisfy a-then-b.
         let mut det2 = CompositeDetector::new();
         let id2 = det2.register(
-            CompositeExpr::seq(CompositeExpr::Primitive(s(0)), CompositeExpr::Primitive(s(1))),
+            CompositeExpr::seq(
+                CompositeExpr::Primitive(s(0)),
+                CompositeExpr::Primitive(s(1)),
+            ),
             10,
         );
         assert!(det2.observe(&[s(0), s(1)], 7).is_empty());
@@ -366,7 +378,10 @@ mod tests {
     fn seq_window_expiry() {
         let mut det = CompositeDetector::new();
         let id = det.register(
-            CompositeExpr::seq(CompositeExpr::Primitive(s(0)), CompositeExpr::Primitive(s(1))),
+            CompositeExpr::seq(
+                CompositeExpr::Primitive(s(0)),
+                CompositeExpr::Primitive(s(1)),
+            ),
             3,
         );
         det.observe(&[s(0)], 0);
@@ -397,10 +412,7 @@ mod tests {
     #[test]
     fn repeat_counts_occurrences_within_window() {
         let mut det = CompositeDetector::new();
-        let id = det.register(
-            CompositeExpr::repeat(CompositeExpr::Primitive(s(0)), 3),
-            10,
-        );
+        let id = det.register(CompositeExpr::repeat(CompositeExpr::Primitive(s(0)), 3), 10);
         assert!(det.observe(&[s(0)], 0).is_empty(), "1 of 3");
         assert!(det.observe(&[s(0)], 4).is_empty(), "2 of 3");
         assert_eq!(det.observe(&[s(0)], 8), vec![id], "3 within the window");
@@ -409,7 +421,10 @@ mod tests {
         assert_eq!(det.observe(&[s(0)], 12), vec![id]);
         // After a long gap the count restarts.
         assert!(det.observe(&[s(0)], 100).is_empty());
-        assert!(det.observe(&[s(2)], 101).is_empty(), "non-matching events don't count");
+        assert!(
+            det.observe(&[s(2)], 101).is_empty(),
+            "non-matching events don't count"
+        );
         assert!(det.observe(&[s(0)], 102).is_empty(), "2 of 3");
         assert_eq!(det.observe(&[s(0)], 103), vec![id]);
     }

@@ -245,7 +245,9 @@ mod broker_tests {
             .predicate("temperature", Predicate::between(40, 45))
             .unwrap()
             .build(ens_types::ProfileId::new(0));
-        let vip = broker.subscribe_profile_weighted(vip_profile.clone(), 50.0).unwrap();
+        let vip = broker
+            .subscribe_profile_weighted(vip_profile.clone(), 50.0)
+            .unwrap();
         // The VIP band sits naturally *after* the low-priority band, but
         // the weighted V2 order scans it first: 1 op at the temperature
         // node plus the `*` humidity level.

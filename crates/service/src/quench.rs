@@ -100,9 +100,7 @@ impl QuenchAdvice {
     pub fn coverage_fractions(&self) -> Vec<f64> {
         self.schema
             .iter()
-            .map(|(id, a)| {
-                self.covered[id.index()].covered_len() as f64 / a.domain().size() as f64
-            })
+            .map(|(id, a)| self.covered[id.index()].covered_len() as f64 / a.domain().size() as f64)
             .collect()
     }
 
@@ -197,7 +195,10 @@ mod tests {
         let (schema, ps) = setup();
         let q = advice(&schema, &ps);
         let fr = q.coverage_fractions();
-        assert!((fr[0] - 0.3).abs() < 1e-12, "x: [10,19] + [80,99] = 30 of 100");
+        assert!(
+            (fr[0] - 0.3).abs() < 1e-12,
+            "x: [10,19] + [80,99] = 30 of 100"
+        );
         assert_eq!(fr[1], 1.0, "y is covered by don't-care");
         let dead = q.quenchable(AttrId::new(0));
         assert_eq!(dead.len(), 2, "[0,10) and (19,80)");

@@ -51,7 +51,9 @@ fn fire_risk_pipeline_end_to_end() {
     )
     .unwrap();
 
-    let heat = broker.subscribe_parsed("profile(temperature >= 35)").unwrap();
+    let heat = broker
+        .subscribe_parsed("profile(temperature >= 35)")
+        .unwrap();
     let drought = broker.subscribe_parsed("profile(humidity <= 20)").unwrap();
     let storm = broker.subscribe_parsed("profile(wind >= 70)").unwrap();
 
@@ -71,8 +73,8 @@ fn fire_risk_pipeline_end_to_end() {
     let timeline = [
         (0u64, 25, 60, 10),
         (30, 38, 40, 20),
-        (45, 39, 10, 15), // heat AND drought complete here
-        (80, 37, 15, 90), // storm within 60 -> fire risk
+        (45, 39, 10, 15),  // heat AND drought complete here
+        (80, 37, 15, 90),  // storm within 60 -> fire risk
         (400, 36, 12, 95), // stale AND: no fire risk
     ];
     for (t, temp, hum, wind) in timeline {
@@ -113,7 +115,9 @@ fn fire_risk_pipeline_end_to_end() {
 fn churn_does_not_disturb_delivery() {
     let s = schema();
     let broker = Broker::new(&s, BrokerConfig::default()).unwrap();
-    let keep = broker.subscribe_parsed("profile(temperature >= 30)").unwrap();
+    let keep = broker
+        .subscribe_parsed("profile(temperature >= 30)")
+        .unwrap();
     for round in 0..10 {
         let temp = broker
             .subscribe(|b| b.predicate("humidity", Predicate::ge(50 + round)))
@@ -146,13 +150,21 @@ fn adaptive_rebuilds_do_not_lose_notifications() {
         },
     )
     .unwrap();
-    let hot = broker.subscribe_parsed("profile(temperature >= 35)").unwrap();
-    let cold = broker.subscribe_parsed("profile(temperature <= -15)").unwrap();
+    let hot = broker
+        .subscribe_parsed("profile(temperature >= 35)")
+        .unwrap();
+    let cold = broker
+        .subscribe_parsed("profile(temperature <= -15)")
+        .unwrap();
     let mut expected_hot = 0;
     let mut expected_cold = 0;
     for phase in 0..4 {
         for k in 0..100i64 {
-            let t = if phase % 2 == 0 { 40 + (k % 5) } else { -20 - (k % 5) };
+            let t = if phase % 2 == 0 {
+                40 + (k % 5)
+            } else {
+                -20 - (k % 5)
+            };
             broker.publish(&event(&s, t, 50, 10)).unwrap();
             if t >= 35 {
                 expected_hot += 1;
@@ -161,7 +173,10 @@ fn adaptive_rebuilds_do_not_lose_notifications() {
             }
         }
     }
-    assert!(broker.metrics().tree_rebuilds >= 1, "drift must trigger rebuilds");
+    assert!(
+        broker.metrics().tree_rebuilds >= 1,
+        "drift must trigger rebuilds"
+    );
     assert_eq!(hot.pending(), expected_hot);
     assert_eq!(cold.pending(), expected_cold);
 }

@@ -72,7 +72,9 @@ impl Domain {
     /// Returns [`TypesError::EmptyDomain`] if `hi < lo`.
     pub fn try_int(lo: i64, hi: i64) -> Result<Self, TypesError> {
         if hi < lo {
-            return Err(TypesError::EmptyDomain(format!("Int {{ lo: {lo}, hi: {hi} }}")));
+            return Err(TypesError::EmptyDomain(format!(
+                "Int {{ lo: {lo}, hi: {hi} }}"
+            )));
         }
         Ok(Domain::Int { lo, hi })
     }
@@ -193,10 +195,11 @@ impl Domain {
                 found: value.kind().to_owned(),
             });
         }
-        self.try_index_of(value).ok_or_else(|| TypesError::OutOfDomain {
-            attribute: String::new(),
-            value: value.to_string(),
-        })
+        self.try_index_of(value)
+            .ok_or_else(|| TypesError::OutOfDomain {
+                attribute: String::new(),
+                value: value.to_string(),
+            })
     }
 
     /// Maps a grid index back to its value.

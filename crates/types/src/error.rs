@@ -66,7 +66,10 @@ impl fmt::Display for TypesError {
             }
             TypesError::EmptyDomain(desc) => write!(f, "domain {desc} contains no points"),
             TypesError::InvalidRange { lo, hi } => {
-                write!(f, "invalid range: lower bound {lo} exceeds upper bound {hi}")
+                write!(
+                    f,
+                    "invalid range: lower bound {lo} exceeds upper bound {hi}"
+                )
             }
             TypesError::NonFiniteValue => write!(f, "floating-point value was not finite"),
             TypesError::Parse { message, position } => {

@@ -51,10 +51,7 @@ impl Event {
     /// Returns a domain error if a value does not belong to its
     /// attribute's domain, and [`TypesError::UnknownAttribute`] if the
     /// number of values differs from the schema length.
-    pub fn from_values(
-        schema: &Schema,
-        values: Vec<Option<Value>>,
-    ) -> Result<Self, TypesError> {
+    pub fn from_values(schema: &Schema, values: Vec<Option<Value>>) -> Result<Self, TypesError> {
         if values.len() != schema.len() {
             return Err(TypesError::UnknownAttribute(format!(
                 "expected {} values, got {}",
@@ -65,7 +62,9 @@ impl Event {
         for (i, v) in values.iter().enumerate() {
             if let Some(v) = v {
                 let attr = schema.attribute(AttrId::new(i as u32));
-                attr.domain().index_of(v).map_err(|e| contextualise(e, attr.name()))?;
+                attr.domain()
+                    .index_of(v)
+                    .map_err(|e| contextualise(e, attr.name()))?;
             }
         }
         Ok(Event { values })
@@ -100,13 +99,18 @@ impl Event {
     /// Renders the event with attribute names from `schema`.
     #[must_use]
     pub fn display<'a>(&'a self, schema: &'a Schema) -> EventDisplay<'a> {
-        EventDisplay { event: self, schema }
+        EventDisplay {
+            event: self,
+            schema,
+        }
     }
 }
 
 fn contextualise(e: TypesError, attribute: &str) -> TypesError {
     match e {
-        TypesError::TypeMismatch { expected, found, .. } => TypesError::TypeMismatch {
+        TypesError::TypeMismatch {
+            expected, found, ..
+        } => TypesError::TypeMismatch {
             attribute: attribute.to_owned(),
             expected,
             found,
@@ -171,7 +175,11 @@ impl EventBuilder<'_> {
     /// # Errors
     ///
     /// Returns domain errors for ill-typed or out-of-range values.
-    pub fn value_by_id(mut self, attr: AttrId, value: impl Into<Value>) -> Result<Self, TypesError> {
+    pub fn value_by_id(
+        mut self,
+        attr: AttrId,
+        value: impl Into<Value>,
+    ) -> Result<Self, TypesError> {
         let value = value.into();
         let a = self.schema.attribute(attr);
         a.domain()
@@ -184,7 +192,9 @@ impl EventBuilder<'_> {
     /// Finalises the event.
     #[must_use]
     pub fn build(self) -> Event {
-        Event { values: self.values }
+        Event {
+            values: self.values,
+        }
     }
 }
 
@@ -230,7 +240,10 @@ mod tests {
         let t = s.attr("temperature").unwrap();
         assert_eq!(e.value(t), Some(&Value::Int(30)));
         let text = e.display(&s).to_string();
-        assert_eq!(text, "event(temperature = 30; humidity = 90; radiation = 2)");
+        assert_eq!(
+            text,
+            "event(temperature = 30; humidity = 90; radiation = 2)"
+        );
     }
 
     #[test]
@@ -238,8 +251,8 @@ mod tests {
         let s = schema();
         assert!(Event::from_values(&s, vec![None, None]).is_err());
         assert!(Event::from_values(&s, vec![Some(Value::Int(200)), None, None]).is_err());
-        let e = Event::from_values(&s, vec![Some(Value::Int(0)), None, Some(Value::Int(1))])
-            .unwrap();
+        let e =
+            Event::from_values(&s, vec![Some(Value::Int(0)), None, Some(Value::Int(1))]).unwrap();
         assert_eq!(e.specified_len(), 2);
     }
 

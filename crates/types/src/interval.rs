@@ -28,10 +28,7 @@ impl IndexInterval {
     /// normalised to `[lo, lo)`.
     #[must_use]
     pub fn new(lo: u64, hi: u64) -> Self {
-        IndexInterval {
-            lo,
-            hi: hi.max(lo),
-        }
+        IndexInterval { lo, hi: hi.max(lo) }
     }
 
     /// The single-point interval `[i, i+1)`.
@@ -340,7 +337,8 @@ mod tests {
 
     #[test]
     fn set_union_intersect_complement() {
-        let a = IntervalSet::from_intervals(vec![IndexInterval::new(0, 5), IndexInterval::new(10, 15)]);
+        let a =
+            IntervalSet::from_intervals(vec![IndexInterval::new(0, 5), IndexInterval::new(10, 15)]);
         let b = IntervalSet::from_intervals(vec![IndexInterval::new(3, 12)]);
         let u = a.union(&b);
         assert_eq!(u.as_slice(), &[IndexInterval::new(0, 15)]);
@@ -373,7 +371,9 @@ mod tests {
 
     #[test]
     fn collect_from_iterator() {
-        let s: IntervalSet = (0..3).map(|k| IndexInterval::new(k * 4, k * 4 + 2)).collect();
+        let s: IntervalSet = (0..3)
+            .map(|k| IndexInterval::new(k * 4, k * 4 + 2))
+            .collect();
         assert_eq!(s.iter().count(), 3);
         let mut t = IntervalSet::new();
         t.extend([IndexInterval::new(0, 1), IndexInterval::new(1, 2)]);
@@ -382,7 +382,8 @@ mod tests {
 
     #[test]
     fn display_formats() {
-        let s = IntervalSet::from_intervals(vec![IndexInterval::new(0, 2), IndexInterval::new(5, 6)]);
+        let s =
+            IntervalSet::from_intervals(vec![IndexInterval::new(0, 2), IndexInterval::new(5, 6)]);
         assert_eq!(s.to_string(), "{[0, 2), [5, 6)}");
     }
 }

@@ -41,8 +41,8 @@
 //! ```
 
 use crate::{
-    Domain, Event, EventBuilder, Predicate, Profile, ProfileBuilder, ProfileId, Schema,
-    TypesError, Value,
+    Domain, Event, EventBuilder, Predicate, Profile, ProfileBuilder, ProfileId, Schema, TypesError,
+    Value,
 };
 
 /// Parses the textual profile syntax shown in the module docs.
@@ -103,7 +103,9 @@ fn parse_clause<'a>(
     builder: ProfileBuilder<'a>,
 ) -> Result<ProfileBuilder<'a>, TypesError> {
     let (name, name_pos) = p.ident()?;
-    let id = schema.attr(&name).ok_or(TypesError::UnknownAttribute(name.clone()))?;
+    let id = schema
+        .attr(&name)
+        .ok_or(TypesError::UnknownAttribute(name.clone()))?;
     let domain = schema.attribute(id).domain();
     let tok = p.next()?;
     let pred = match tok {
@@ -130,7 +132,10 @@ fn parse_clause<'a>(
             parse_in(domain, p, true)?
         }
         other => {
-            return Err(p.error(format!("expected operator after `{name}`, found {other:?}"), name_pos))
+            return Err(p.error(
+                format!("expected operator after `{name}`, found {other:?}"),
+                name_pos,
+            ))
         }
     };
     builder.predicate_by_id(id, pred)
@@ -155,7 +160,11 @@ fn parse_in(domain: &Domain, p: &mut Parser<'_>, negated: bool) -> Result<Predic
                 vs.push(parse_value(domain, p)?);
             }
             p.expect(Token::RBrace)?;
-            Ok(if negated { Predicate::NotIn(vs) } else { Predicate::In(vs) })
+            Ok(if negated {
+                Predicate::NotIn(vs)
+            } else {
+                Predicate::In(vs)
+            })
         }
         other => Err(p.error_here(format!("expected `[` or `{{` after `in`, found {other:?}"))),
     }
@@ -167,7 +176,9 @@ fn parse_assignment<'a>(
     builder: EventBuilder<'a>,
 ) -> Result<EventBuilder<'a>, TypesError> {
     let (name, _) = p.ident()?;
-    let id = schema.attr(&name).ok_or(TypesError::UnknownAttribute(name.clone()))?;
+    let id = schema
+        .attr(&name)
+        .ok_or(TypesError::UnknownAttribute(name.clone()))?;
     match p.next()? {
         Token::Op("=") => {}
         other => return Err(p.error_here(format!("expected `=` after `{name}`, found {other:?}"))),
@@ -340,7 +351,10 @@ impl<'a> Parser<'a> {
             b'-' | b'+' | b'0'..=b'9' => {
                 self.pos += 1;
                 while self.pos < self.bytes.len()
-                    && matches!(self.bytes[self.pos], b'0'..=b'9' | b'.' | b'e' | b'E' | b'-' | b'+')
+                    && matches!(
+                        self.bytes[self.pos],
+                        b'0'..=b'9' | b'.' | b'e' | b'E' | b'-' | b'+'
+                    )
                 {
                     // Only allow sign characters right after an exponent.
                     if matches!(self.bytes[self.pos], b'-' | b'+')
@@ -354,7 +368,8 @@ impl<'a> Parser<'a> {
             }
             c if c.is_ascii_alphabetic() || c == b'_' => {
                 while self.pos < self.bytes.len()
-                    && (self.bytes[self.pos].is_ascii_alphanumeric() || self.bytes[self.pos] == b'_')
+                    && (self.bytes[self.pos].is_ascii_alphanumeric()
+                        || self.bytes[self.pos] == b'_')
                 {
                     self.pos += 1;
                 }
@@ -427,7 +442,10 @@ mod tests {
             .unwrap()
             .attribute("radiation", Domain::int(1, 100))
             .unwrap()
-            .attribute("sky", Domain::categorical(["clear", "cloudy", "storm"]).unwrap())
+            .attribute(
+                "sky",
+                Domain::categorical(["clear", "cloudy", "storm"]).unwrap(),
+            )
             .unwrap()
             .attribute("ph", Domain::float(0.0, 14.0, 0.5).unwrap())
             .unwrap()
@@ -442,7 +460,8 @@ mod tests {
     fn parses_paper_profiles() {
         let p = profile("profile(temperature >= 35; humidity >= 90)");
         assert_eq!(p.specified_len(), 2);
-        let p = profile("profile(temperature in [-30, -20]; humidity <= 5; radiation in [40, 100])");
+        let p =
+            profile("profile(temperature in [-30, -20]; humidity <= 5; radiation in [40, 100])");
         assert_eq!(p.specified_len(), 3);
         assert_eq!(
             p.predicate(schema().attr("radiation").unwrap()),
@@ -453,7 +472,9 @@ mod tests {
     #[test]
     fn parses_dont_care_star() {
         let p = profile("profile(temperature >= 35; radiation = *)");
-        assert!(p.predicate(schema().attr("radiation").unwrap()).is_dont_care());
+        assert!(p
+            .predicate(schema().attr("radiation").unwrap())
+            .is_dont_care());
         assert_eq!(p.specified_len(), 1);
     }
 
@@ -466,14 +487,20 @@ mod tests {
             &Predicate::In(vec![Value::from("clear"), Value::from("storm")])
         );
         let p = profile("profile(sky not in {storm})");
-        assert_eq!(p.predicate(sky), &Predicate::NotIn(vec![Value::from("storm")]));
+        assert_eq!(
+            p.predicate(sky),
+            &Predicate::NotIn(vec![Value::from("storm")])
+        );
     }
 
     #[test]
     fn parses_quoted_strings_and_floats() {
         let p = profile("profile(sky = \"cloudy\"; ph <= 7.5)");
         let s = schema();
-        assert_eq!(p.predicate(s.attr("sky").unwrap()), &Predicate::eq("cloudy"));
+        assert_eq!(
+            p.predicate(s.attr("sky").unwrap()),
+            &Predicate::eq("cloudy")
+        );
         assert_eq!(
             p.predicate(s.attr("ph").unwrap()),
             &Predicate::Le(Value::float(7.5).unwrap())
@@ -491,7 +518,11 @@ mod tests {
             (">= 5", Predicate::ge(5)),
         ] {
             let p = profile(&format!("profile(humidity {text})"));
-            assert_eq!(p.predicate(schema().attr("humidity").unwrap()), &expect, "{text}");
+            assert_eq!(
+                p.predicate(schema().attr("humidity").unwrap()),
+                &expect,
+                "{text}"
+            );
         }
     }
 
@@ -508,7 +539,10 @@ mod tests {
     #[test]
     fn parses_empty_profile_and_event() {
         assert_eq!(profile("profile()").specified_len(), 0);
-        assert_eq!(parse_event(&schema(), "event()").unwrap().specified_len(), 0);
+        assert_eq!(
+            parse_event(&schema(), "event()").unwrap().specified_len(),
+            0
+        );
     }
 
     #[test]

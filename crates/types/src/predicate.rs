@@ -197,9 +197,9 @@ impl Predicate {
         let d = domain.size();
         let set = match self {
             Predicate::DontCare => IntervalSet::full(d),
-            Predicate::Eq(v) => IntervalSet::from_intervals(vec![IndexInterval::point(
-                domain.index_of(v)?,
-            )]),
+            Predicate::Eq(v) => {
+                IntervalSet::from_intervals(vec![IndexInterval::point(domain.index_of(v)?)])
+            }
             Predicate::Ne(v) => {
                 let i = domain.index_of(v)?;
                 IntervalSet::from_intervals(vec![
@@ -261,7 +261,6 @@ impl Predicate {
     }
 }
 
-
 impl fmt::Display for Predicate {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         fn list(f: &mut fmt::Formatter<'_>, vs: &[Value]) -> fmt::Result {
@@ -316,10 +315,22 @@ mod tests {
 
     #[test]
     fn comparisons_lower_to_prefixes_and_suffixes() {
-        assert_eq!(Predicate::lt(3).to_intervals(&d()).unwrap().covered_len(), 3);
-        assert_eq!(Predicate::le(3).to_intervals(&d()).unwrap().covered_len(), 4);
-        assert_eq!(Predicate::gt(3).to_intervals(&d()).unwrap().covered_len(), 7);
-        assert_eq!(Predicate::ge(3).to_intervals(&d()).unwrap().covered_len(), 8);
+        assert_eq!(
+            Predicate::lt(3).to_intervals(&d()).unwrap().covered_len(),
+            3
+        );
+        assert_eq!(
+            Predicate::le(3).to_intervals(&d()).unwrap().covered_len(),
+            4
+        );
+        assert_eq!(
+            Predicate::gt(3).to_intervals(&d()).unwrap().covered_len(),
+            7
+        );
+        assert_eq!(
+            Predicate::ge(3).to_intervals(&d()).unwrap().covered_len(),
+            8
+        );
     }
 
     #[test]

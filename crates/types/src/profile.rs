@@ -153,7 +153,10 @@ impl Profile {
     /// Renders the profile with attribute names from `schema`.
     #[must_use]
     pub fn display<'a>(&'a self, schema: &'a Schema) -> ProfileDisplay<'a> {
-        ProfileDisplay { profile: self, schema }
+        ProfileDisplay {
+            profile: self,
+            schema,
+        }
     }
 }
 
@@ -445,7 +448,11 @@ mod tests {
     #[test]
     fn profile_display_skips_dont_care() {
         let (schema, ps) = example1();
-        let text = ps.get(ProfileId::new(0)).unwrap().display(&schema).to_string();
+        let text = ps
+            .get(ProfileId::new(0))
+            .unwrap()
+            .display(&schema)
+            .to_string();
         assert_eq!(text, "profile(a1 >= 35; a2 >= 90)");
     }
 

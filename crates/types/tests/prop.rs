@@ -1,8 +1,6 @@
 //! Property-based tests for the `ens-types` data model invariants.
 
-use ens_types::{
-    Domain, IndexInterval, IntervalSet, Predicate, Profile, ProfileId, Schema, Value,
-};
+use ens_types::{Domain, IndexInterval, IntervalSet, Predicate, Profile, ProfileId, Schema, Value};
 use proptest::prelude::*;
 
 fn arb_interval(max: u64) -> impl Strategy<Value = IndexInterval> {

@@ -118,11 +118,23 @@ fn evaluate_strategy(
 /// Propagates experiment errors.
 pub fn figure_4a() -> Result<FigureTable, WorkloadError> {
     let strategies = [
-        ("natural order search", SearchStrategy::Linear(ValueOrder::Natural(Direction::Ascending))),
-        ("event order search", SearchStrategy::Linear(ValueOrder::EventProb(Direction::Descending))),
+        (
+            "natural order search",
+            SearchStrategy::Linear(ValueOrder::Natural(Direction::Ascending)),
+        ),
+        (
+            "event order search",
+            SearchStrategy::Linear(ValueOrder::EventProb(Direction::Descending)),
+        ),
         ("binary search", SearchStrategy::Binary),
     ];
-    combo_table("fig4a", "influence of value-reordering (Measure V1, TV4)", &FIG4A_COMBOS, &strategies, Metric::PerEvent)
+    combo_table(
+        "fig4a",
+        "influence of value-reordering (Measure V1, TV4)",
+        &FIG4A_COMBOS,
+        &strategies,
+        Metric::PerEvent,
+    )
 }
 
 /// Fig. 4(b): Measures V1–V3 vs binary search over eight combinations.
@@ -132,14 +144,29 @@ pub fn figure_4a() -> Result<FigureTable, WorkloadError> {
 /// Propagates experiment errors.
 pub fn figure_4b() -> Result<FigureTable, WorkloadError> {
     let strategies = fig5_strategies();
-    combo_table("fig4b", "Measures V1-V3 vs binary search (TV4)", &FIG4B_COMBOS, &strategies, Metric::PerEvent)
+    combo_table(
+        "fig4b",
+        "Measures V1-V3 vs binary search (TV4)",
+        &FIG4B_COMBOS,
+        &strategies,
+        Metric::PerEvent,
+    )
 }
 
 fn fig5_strategies() -> [(&'static str, SearchStrategy); 4] {
     [
-        ("profile order search", SearchStrategy::Linear(ValueOrder::ProfileProb(Direction::Descending))),
-        ("event * profile order search", SearchStrategy::Linear(ValueOrder::Combined(Direction::Descending))),
-        ("events order search", SearchStrategy::Linear(ValueOrder::EventProb(Direction::Descending))),
+        (
+            "profile order search",
+            SearchStrategy::Linear(ValueOrder::ProfileProb(Direction::Descending)),
+        ),
+        (
+            "event * profile order search",
+            SearchStrategy::Linear(ValueOrder::Combined(Direction::Descending)),
+        ),
+        (
+            "events order search",
+            SearchStrategy::Linear(ValueOrder::EventProb(Direction::Descending)),
+        ),
         ("binary search", SearchStrategy::Binary),
     ]
 }
@@ -170,8 +197,13 @@ fn combo_table(
     let mut rows = Vec::with_capacity(combos.len());
     for (k, (pe, pp)) in combos.iter().enumerate() {
         rows.push(format!("{pe}/{pp}"));
-        let (profiles, joint) =
-            single_attribute_setup(pe, pp, SINGLE_ATTR_PROFILES, SINGLE_ATTR_DOMAIN, 1000 + k as u64)?;
+        let (profiles, joint) = single_attribute_setup(
+            pe,
+            pp,
+            SINGLE_ATTR_PROFILES,
+            SINGLE_ATTR_DOMAIN,
+            1000 + k as u64,
+        )?;
         for ((_, search), s) in strategies.iter().zip(series.iter_mut()) {
             let cost = evaluate_strategy(&profiles, &joint, *search, AttributeOrder::Natural)?;
             s.values.push(match metric {
@@ -194,8 +226,20 @@ fn combo_table(
 pub fn figure_5() -> Result<[FigureTable; 3], WorkloadError> {
     let strategies = fig5_strategies();
     Ok([
-        combo_table("fig5a", "average filter operations per event", &FIG5_COMBOS, &strategies, Metric::PerEvent)?,
-        combo_table("fig5b", "average filter operations per profile", &FIG5_COMBOS, &strategies, Metric::PerProfile)?,
+        combo_table(
+            "fig5a",
+            "average filter operations per event",
+            &FIG5_COMBOS,
+            &strategies,
+            Metric::PerEvent,
+        )?,
+        combo_table(
+            "fig5b",
+            "average filter operations per profile",
+            &FIG5_COMBOS,
+            &strategies,
+            Metric::PerProfile,
+        )?,
         combo_table(
             "fig5c",
             "average filter operations per event and profile",
@@ -258,7 +302,11 @@ pub fn multi_attribute_setup(
             let band = (domain_size as f64 * w) as i64;
             // Alternate band position low/high so the natural attribute
             // order is not accidentally sorted by selectivity.
-            let band_lo = if j % 2 == 0 { 0 } else { domain_size as i64 - band };
+            let band_lo = if j % 2 == 0 {
+                0
+            } else {
+                domain_size as i64 - band
+            };
             let span = (domain_size as f64 * 0.05).max(1.0) as i64;
             let lo = band_lo + rng.gen_range(0..(band - span).max(1));
             preds.push(Predicate::between(lo, lo + span));
@@ -305,7 +353,10 @@ pub fn figure_6(ta: TaExperiment) -> Result<FigureTable, WorkloadError> {
         ),
     ];
     let strategies = [
-        ("event desc order search", SearchStrategy::Linear(ValueOrder::EventProb(Direction::Descending))),
+        (
+            "event desc order search",
+            SearchStrategy::Linear(ValueOrder::EventProb(Direction::Descending)),
+        ),
         ("binary search", SearchStrategy::Binary),
     ];
     let mut rows = Vec::new();
@@ -468,7 +519,8 @@ mod tests {
         assert_eq!(run.events, 50);
         assert!(!run.converged);
         // Loose precision converges quickly.
-        let run = run_measured(&tree, &generator, PrecisionStopper::new(0.5, 10), 10_000, 1).unwrap();
+        let run =
+            run_measured(&tree, &generator, PrecisionStopper::new(0.5, 10), 10_000, 1).unwrap();
         assert!(run.converged);
         assert!(run.events < 10_000);
         assert!(run.avg_ops > 0.0);
@@ -541,8 +593,13 @@ pub fn run_tv_suite(seed: u64) -> Result<TvReport, WorkloadError> {
     let tv2 = run_measured(&tree, &generator, stopper, 200_000, seed + 2)?;
 
     // --- TV3/TV4: one attribute.
-    let (sprofiles, sjoint) =
-        single_attribute_setup("d39", "gauss", SINGLE_ATTR_PROFILES, SINGLE_ATTR_DOMAIN, seed + 3)?;
+    let (sprofiles, sjoint) = single_attribute_setup(
+        "d39",
+        "gauss",
+        SINGLE_ATTR_PROFILES,
+        SINGLE_ATTR_DOMAIN,
+        seed + 3,
+    )?;
     let sconfig = TreeConfig {
         attribute_order: AttributeOrder::Natural,
         search: SearchStrategy::Linear(ValueOrder::EventProb(Direction::Descending)),
@@ -552,8 +609,16 @@ pub fn run_tv_suite(seed: u64) -> Result<TvReport, WorkloadError> {
     let stree = ProfileTree::build(&sprofiles, &sconfig)?;
     let sgen = EventGenerator::new(sprofiles.schema(), sjoint.clone())?;
     // TV3 posts exactly 4,000 events (no early stop).
-    let tv3 = run_measured(&stree, &sgen, PrecisionStopper::new(1e-9, 4_000), 4_000, seed + 4)?;
-    let tv4_expected_ops = CostModel::new(&stree, &sjoint)?.evaluate()?.expected_total_ops();
+    let tv3 = run_measured(
+        &stree,
+        &sgen,
+        PrecisionStopper::new(1e-9, 4_000),
+        4_000,
+        seed + 4,
+    )?;
+    let tv4_expected_ops = CostModel::new(&stree, &sjoint)?
+        .evaluate()?
+        .expected_total_ops();
 
     Ok(TvReport {
         tv1_build_ms,
@@ -573,7 +638,10 @@ pub fn run_tv_suite(seed: u64) -> Result<TvReport, WorkloadError> {
 /// Propagates experiment errors.
 pub fn search_strategy_table() -> Result<FigureTable, WorkloadError> {
     let strategies: [(&str, SearchStrategy); 4] = [
-        ("events order search", SearchStrategy::Linear(ValueOrder::EventProb(Direction::Descending))),
+        (
+            "events order search",
+            SearchStrategy::Linear(ValueOrder::EventProb(Direction::Descending)),
+        ),
         ("binary search", SearchStrategy::Binary),
         ("interpolation search", SearchStrategy::Interpolation),
         ("hash search", SearchStrategy::Hash),
@@ -637,7 +705,9 @@ pub struct AdaptiveSweepRow {
 pub fn adaptive_sweep(seed: u64) -> Result<Vec<AdaptiveSweepRow>, WorkloadError> {
     use ens_filter::{AdaptiveFilter, AdaptivePolicy};
 
-    let schema = Schema::builder().attribute("x", Domain::int(0, 99))?.build();
+    let schema = Schema::builder()
+        .attribute("x", Domain::int(0, 99))?
+        .build();
     let mut profiles = ProfileSet::new(&schema);
     for v in 0..20 {
         profiles.insert_with(|b| b.predicate("x", Predicate::eq(10 + v % 10)))?;
@@ -712,12 +782,18 @@ pub fn ablation_table() -> Result<FigureTable, WorkloadError> {
     let v1 = SearchStrategy::Linear(ValueOrder::EventProb(Direction::Descending));
     let mut workloads: Vec<(String, ProfileSet, JointDist, SearchStrategy)> = Vec::new();
     for (pe, pp) in [("d37", "equal"), ("d39", "gauss")] {
-        let (ps, joint) = single_attribute_setup(pe, pp, SINGLE_ATTR_PROFILES, SINGLE_ATTR_DOMAIN, 42)?;
+        let (ps, joint) =
+            single_attribute_setup(pe, pp, SINGLE_ATTR_PROFILES, SINGLE_ATTR_DOMAIN, 42)?;
         workloads.push((format!("single-attr {pe}/{pp} (V1)"), ps, joint, v1));
     }
     let (ps, joint) = multi_attribute_setup(TaExperiment::Wide, "gauss", 40, 100, 77)?;
     workloads.push(("TA1 gauss (V1)".into(), ps.clone(), joint.clone(), v1));
-    workloads.push(("TA1 gauss (binary)".into(), ps, joint, SearchStrategy::Binary));
+    workloads.push((
+        "TA1 gauss (binary)".into(),
+        ps,
+        joint,
+        SearchStrategy::Binary,
+    ));
 
     for (label, ps, joint, search) in &workloads {
         rows.push(label.clone());
@@ -730,7 +806,11 @@ pub fn ablation_table() -> Result<FigureTable, WorkloadError> {
                 ..TreeConfig::default()
             };
             let tree = ProfileTree::build(ps, &config)?;
-            s.values.push(CostModel::new(&tree, joint)?.evaluate()?.expected_total_ops());
+            s.values.push(
+                CostModel::new(&tree, joint)?
+                    .evaluate()?
+                    .expected_total_ops(),
+            );
         }
     }
     Ok(FigureTable::new(

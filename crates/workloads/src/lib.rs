@@ -35,8 +35,8 @@ pub use error::WorkloadError;
 pub use experiments::{
     ablation_table, adaptive_sweep, figure_4a, figure_4b, figure_5, figure_6,
     multi_attribute_setup, run_measured, run_tv_suite, search_strategy_table,
-    single_attribute_setup, AdaptiveSweepRow,
-    MeasuredRun, TaExperiment, TvReport, FIG4A_COMBOS, FIG4B_COMBOS, FIG5_COMBOS,
+    single_attribute_setup, AdaptiveSweepRow, MeasuredRun, TaExperiment, TvReport, FIG4A_COMBOS,
+    FIG4B_COMBOS, FIG5_COMBOS,
 };
 pub use figures::{FigureTable, Series};
 pub use generator::{EventGenerator, ProfileGenConfig, ProfileGenerator};

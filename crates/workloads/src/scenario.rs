@@ -136,10 +136,7 @@ pub fn stock_event_model() -> Result<JointDist, WorkloadError> {
 /// # Errors
 ///
 /// Propagates data-model errors.
-pub fn stock_profiles<R: Rng + ?Sized>(
-    p: usize,
-    rng: &mut R,
-) -> Result<ProfileSet, WorkloadError> {
+pub fn stock_profiles<R: Rng + ?Sized>(p: usize, rng: &mut R) -> Result<ProfileSet, WorkloadError> {
     let schema = stock_schema();
     let mut ps = ProfileSet::new(&schema);
     for _ in 0..p {
@@ -236,7 +233,8 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(4);
         let ps = environmental_profiles(50, &mut rng).unwrap();
         let tree = ProfileTree::build(&ps, &TreeConfig::default()).unwrap();
-        let gen = crate::EventGenerator::new(&schema, environmental_event_model().unwrap()).unwrap();
+        let gen =
+            crate::EventGenerator::new(&schema, environmental_event_model().unwrap()).unwrap();
         for _ in 0..200 {
             let e = gen.sample(&mut rng);
             let got = tree.match_event(&e).unwrap();

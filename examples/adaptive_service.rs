@@ -6,14 +6,18 @@
 //!
 //! Run with `cargo run --example adaptive_service`.
 
-use ens::filter::{AdaptiveFilter, AdaptivePolicy, Direction, SearchStrategy, TreeConfig, ValueOrder};
-use ens::prelude::*;
 use ens::dist::{Density, DistOverDomain};
+use ens::filter::{
+    AdaptiveFilter, AdaptivePolicy, Direction, SearchStrategy, TreeConfig, ValueOrder,
+};
+use ens::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let schema = Schema::builder().attribute("reading", Domain::int(0, 99))?.build();
+    let schema = Schema::builder()
+        .attribute("reading", Domain::int(0, 99))?
+        .build();
     let mut profiles = ProfileSet::new(&schema);
     for v in 10..20 {
         profiles.insert_with(|b| b.predicate("reading", Predicate::eq(v)))?;
@@ -50,7 +54,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let n = 3_000;
         for _ in 0..n {
             let idx = dist.sample_index(&mut rng);
-            let e = Event::builder(&schema).value("reading", idx as i64)?.build();
+            let e = Event::builder(&schema)
+                .value("reading", idx as i64)?
+                .build();
             ops += adaptive.process(&e)?.ops();
         }
         println!(

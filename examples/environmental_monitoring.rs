@@ -22,7 +22,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let joint = scenario::environmental_event_model()?;
     let generator = EventGenerator::new(&schema, joint.clone())?;
 
-    println!("{} catastrophe/comfort profiles over {schema}", profiles.len());
+    println!(
+        "{} catastrophe/comfort profiles over {schema}",
+        profiles.len()
+    );
 
     // Compare the plain tree against the fully distribution-optimised
     // one (V1 value order + A2 attribute order).
@@ -40,7 +43,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         },
     )?;
 
-    for (name, tree) in [("natural/natural-order", &plain), ("A2/V1-optimised", &optimised)] {
+    for (name, tree) in [
+        ("natural/natural-order", &plain),
+        ("A2/V1-optimised", &optimised),
+    ] {
         let expected = CostModel::new(tree, &joint)?.evaluate()?;
         println!(
             "{name:<24} expected {:>7.3} ops/event  (match probability {:.3})",

@@ -28,8 +28,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let coverage = advice.coverage_fractions();
     println!("covered fraction per attribute: {coverage:?}");
     for (id, a) in schema.iter() {
-        let dead: Vec<String> = advice.quenchable(id).iter().map(ToString::to_string).collect();
-        println!("  {}: {} quenchable interval(s): {}", a.name(), dead.len(), dead.join(", "));
+        let dead: Vec<String> = advice
+            .quenchable(id)
+            .iter()
+            .map(ToString::to_string)
+            .collect();
+        println!(
+            "  {}: {} quenchable interval(s): {}",
+            a.name(),
+            dead.len(),
+            dead.join(", ")
+        );
     }
     let _ = AttrId::new(0);
 

@@ -40,7 +40,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         tree.profile_count()
     );
 
-    let event = parse_event(&schema, "event(temperature = 36; humidity = 92; radiation = 10)")?;
+    let event = parse_event(
+        &schema,
+        "event(temperature = 36; humidity = 92; radiation = 10)",
+    )?;
     let outcome = tree.match_event(&event)?;
     println!(
         "event matched {} profile(s) in {} comparison operations: {:?}",
@@ -54,7 +57,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let alerts = broker.subscribe_parsed("profile(temperature >= 35)")?;
     broker.publish(&event)?;
     if let Some(n) = alerts.try_recv() {
-        println!("broker delivered notification #{} to {}", n.sequence, n.subscription);
+        println!(
+            "broker delivered notification #{} to {}",
+            n.sequence, n.subscription
+        );
     }
     Ok(())
 }

@@ -21,11 +21,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .build();
     let mut profiles = ProfileSet::new(&schema);
     for text in [
-        "profile(a1 >= 35; a2 >= 90)",                       // P1
-        "profile(a1 >= 30; a2 >= 90)",                       // P2
-        "profile(a1 >= 30; a2 >= 90; a3 in [35, 50])",       // P3
+        "profile(a1 >= 35; a2 >= 90)",                         // P1
+        "profile(a1 >= 30; a2 >= 90)",                         // P2
+        "profile(a1 >= 30; a2 >= 90; a3 in [35, 50])",         // P3
         "profile(a1 in [-30, -20]; a2 <= 5; a3 in [40, 100])", // P4
-        "profile(a1 >= 30; a2 >= 80)",                       // P5
+        "profile(a1 >= 30; a2 >= 80)",                         // P5
     ] {
         profiles.insert(parse_profile(&schema, text, 0.into())?);
     }

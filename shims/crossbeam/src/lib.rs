@@ -1,0 +1,253 @@
+//! In-tree API-subset shim for `crossbeam` (see `shims/README.md`).
+//!
+//! Only `crossbeam::channel` is provided: unbounded MPMC channels with
+//! disconnect detection, `try_recv`, `recv_timeout` and `len`.
+
+pub mod channel {
+    //! Unbounded MPMC channels.
+
+    use std::collections::VecDeque;
+    use std::fmt;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::{Arc, Condvar, Mutex};
+    use std::time::{Duration, Instant};
+
+    struct Inner<T> {
+        queue: Mutex<VecDeque<T>>,
+        ready: Condvar,
+        senders: AtomicUsize,
+        receivers: AtomicUsize,
+    }
+
+    /// Creates an unbounded channel.
+    #[must_use]
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let inner = Arc::new(Inner {
+            queue: Mutex::new(VecDeque::new()),
+            ready: Condvar::new(),
+            senders: AtomicUsize::new(1),
+            receivers: AtomicUsize::new(1),
+        });
+        (
+            Sender {
+                inner: Arc::clone(&inner),
+            },
+            Receiver { inner },
+        )
+    }
+
+    /// The sending half.
+    pub struct Sender<T> {
+        inner: Arc<Inner<T>>,
+    }
+
+    /// The receiving half.
+    pub struct Receiver<T> {
+        inner: Arc<Inner<T>>,
+    }
+
+    /// Error returned when all receivers are gone; carries the message.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    /// Error for [`Receiver::try_recv`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// No message currently queued.
+        Empty,
+        /// No message queued and every sender is gone.
+        Disconnected,
+    }
+
+    /// Error for [`Receiver::recv_timeout`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// The timeout elapsed without a message.
+        Timeout,
+        /// No message queued and every sender is gone.
+        Disconnected,
+    }
+
+    impl<T> Sender<T> {
+        /// Enqueues a message, failing (and returning it) when every
+        /// receiver has been dropped.
+        pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+            if self.inner.receivers.load(Ordering::Acquire) == 0 {
+                return Err(SendError(msg));
+            }
+            let mut q = self.inner.queue.lock().unwrap_or_else(|e| e.into_inner());
+            q.push_back(msg);
+            drop(q);
+            self.inner.ready.notify_one();
+            Ok(())
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.inner.senders.fetch_add(1, Ordering::AcqRel);
+            Sender {
+                inner: Arc::clone(&self.inner),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            if self.inner.senders.fetch_sub(1, Ordering::AcqRel) == 1 {
+                // Last sender: wake blocked receivers so they observe
+                // the disconnect.
+                self.inner.ready.notify_all();
+            }
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Non-blocking receive.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut q = self.inner.queue.lock().unwrap_or_else(|e| e.into_inner());
+            if let Some(msg) = q.pop_front() {
+                return Ok(msg);
+            }
+            if self.inner.senders.load(Ordering::Acquire) == 0 {
+                Err(TryRecvError::Disconnected)
+            } else {
+                Err(TryRecvError::Empty)
+            }
+        }
+
+        /// Blocking receive with a deadline. Timeouts too large to
+        /// represent as an `Instant` (e.g. `Duration::MAX`) block
+        /// until a message or disconnect, as in real crossbeam.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            let deadline = Instant::now().checked_add(timeout);
+            let mut q = self.inner.queue.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if let Some(msg) = q.pop_front() {
+                    return Ok(msg);
+                }
+                if self.inner.senders.load(Ordering::Acquire) == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let wait = match deadline {
+                    Some(deadline) => {
+                        let now = Instant::now();
+                        if now >= deadline {
+                            return Err(RecvTimeoutError::Timeout);
+                        }
+                        deadline - now
+                    }
+                    // Unrepresentable deadline: wait in long slices.
+                    None => Duration::from_secs(3600),
+                };
+                let (guard, _timeout_result) = self
+                    .inner
+                    .ready
+                    .wait_timeout(q, wait)
+                    .unwrap_or_else(|e| e.into_inner());
+                q = guard;
+            }
+        }
+
+        /// Number of queued messages.
+        #[must_use]
+        pub fn len(&self) -> usize {
+            self.inner
+                .queue
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .len()
+        }
+
+        /// Whether the queue is currently empty.
+        #[must_use]
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            self.inner.receivers.fetch_add(1, Ordering::AcqRel);
+            Receiver {
+                inner: Arc::clone(&self.inner),
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            self.inner.receivers.fetch_sub(1, Ordering::AcqRel);
+        }
+    }
+
+    impl<T> fmt::Debug for Sender<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.debug_struct("Sender").finish_non_exhaustive()
+        }
+    }
+
+    impl<T> fmt::Debug for Receiver<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.debug_struct("Receiver").finish_non_exhaustive()
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn send_recv_len() {
+            let (tx, rx) = unbounded();
+            tx.send(1).unwrap();
+            tx.send(2).unwrap();
+            assert_eq!(rx.len(), 2);
+            assert_eq!(rx.try_recv(), Ok(1));
+            assert_eq!(rx.try_recv(), Ok(2));
+            assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+        }
+
+        #[test]
+        fn disconnect_detection() {
+            let (tx, rx) = unbounded();
+            drop(rx);
+            assert_eq!(tx.send(1), Err(SendError(1)));
+            let (tx, rx) = unbounded::<i32>();
+            drop(tx);
+            assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+            assert_eq!(
+                rx.recv_timeout(Duration::from_millis(1)),
+                Err(RecvTimeoutError::Disconnected)
+            );
+        }
+
+        #[test]
+        fn huge_timeout_blocks_instead_of_panicking() {
+            let (tx, rx) = unbounded();
+            let handle = std::thread::spawn(move || {
+                std::thread::sleep(Duration::from_millis(10));
+                tx.send(7).unwrap();
+            });
+            // Duration::MAX overflows `Instant + Duration`; the shim
+            // must treat it as "no deadline", not panic.
+            assert_eq!(rx.recv_timeout(Duration::MAX), Ok(7));
+            handle.join().unwrap();
+        }
+
+        #[test]
+        fn timeout_and_cross_thread_delivery() {
+            let (tx, rx) = unbounded();
+            assert_eq!(
+                rx.recv_timeout(Duration::from_millis(5)),
+                Err(RecvTimeoutError::Timeout)
+            );
+            let handle = std::thread::spawn(move || {
+                std::thread::sleep(Duration::from_millis(10));
+                tx.send(99).unwrap();
+            });
+            assert_eq!(rx.recv_timeout(Duration::from_secs(5)), Ok(99));
+            handle.join().unwrap();
+        }
+    }
+}

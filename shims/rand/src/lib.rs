@@ -1,0 +1,287 @@
+//! In-tree API-subset shim for `rand` 0.8 (see `shims/README.md`).
+//!
+//! Provides [`Rng`] (`gen`, `gen_range`, `gen_bool`), [`SeedableRng`]
+//! and [`rngs::StdRng`], backed by xoshiro256** seeded via SplitMix64 —
+//! the same construction rand's `seed_from_u64` uses, so streams are
+//! deterministic per seed and statistically solid for the workspace's
+//! sampling and property tests.
+
+/// Low-level entropy source.
+pub trait RngCore {
+    /// The next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// The next 32 uniformly random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Extension methods over any [`RngCore`].
+pub trait Rng: RngCore {
+    /// Samples a value of a standard-sampleable type (`f64` uniform in
+    /// `[0, 1)`, integers over their full range, fair booleans).
+    fn gen<T: sample::StandardSample>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// Samples uniformly from a range (`a..b` or `a..=b`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        T: sample::SampleUniform,
+        R: sample::SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 <= p <= 1`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "gen_bool probability {p} not in [0, 1]"
+        );
+        sample::unit_f64(self) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Seedable generators.
+pub trait SeedableRng: Sized {
+    /// Derives a full generator state from a 64-bit seed.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Standard-sampling machinery backing [`Rng::gen`] and
+/// [`Rng::gen_range`].
+pub mod sample {
+    use super::RngCore;
+
+    /// Types [`super::Rng::gen`] can produce.
+    pub trait StandardSample {
+        /// Samples one value.
+        fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+    }
+
+    /// Uniform `f64` in `[0, 1)` with 53 random mantissa bits.
+    pub fn unit_f64<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    impl StandardSample for f64 {
+        fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+            unit_f64(rng)
+        }
+    }
+    impl StandardSample for f32 {
+        fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+            unit_f64(rng) as f32
+        }
+    }
+    impl StandardSample for bool {
+        fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+            rng.next_u64() & 1 == 1
+        }
+    }
+    macro_rules! impl_standard_int {
+        ($($t:ty)*) => {$(
+            impl StandardSample for $t {
+                fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    impl_standard_int!(u8 u16 u32 u64 usize i8 i16 i32 i64 isize);
+
+    /// Types [`super::Rng::gen_range`] can produce. The blanket
+    /// [`SampleRange`] impls below are generic over this trait — as in
+    /// rand itself — which is what lets integer-literal inference flow
+    /// from a range expression through `gen_range` to the use site.
+    pub trait SampleUniform: Sized + Copy + PartialOrd {
+        /// Uniform sample from `[lo, hi)`.
+        fn sample_exclusive<R: RngCore + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self;
+        /// Uniform sample from `[lo, hi]`.
+        fn sample_inclusive<R: RngCore + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self;
+    }
+
+    /// Rejection-free bounded sampling (multiply-shift; bias is at most
+    /// 2^-64 per draw, irrelevant for this workspace).
+    fn bounded<R: RngCore + ?Sized>(rng: &mut R, span: u64) -> u64 {
+        ((u128::from(rng.next_u64()) * u128::from(span)) >> 64) as u64
+    }
+
+    macro_rules! impl_sample_uniform_int {
+        ($($t:ty)*) => {$(
+            impl SampleUniform for $t {
+                fn sample_exclusive<R: RngCore + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self {
+                    assert!(lo < hi, "cannot sample from empty range");
+                    let span = (hi as i128 - lo as i128) as u64;
+                    (lo as i128 + bounded(rng, span) as i128) as $t
+                }
+                fn sample_inclusive<R: RngCore + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self {
+                    assert!(lo <= hi, "cannot sample from empty range");
+                    let span = (hi as i128 - lo as i128 + 1) as u64;
+                    if span == 0 {
+                        // Full 64-bit range.
+                        return rng.next_u64() as $t;
+                    }
+                    (lo as i128 + bounded(rng, span) as i128) as $t
+                }
+            }
+        )*};
+    }
+    impl_sample_uniform_int!(u8 u16 u32 u64 usize i8 i16 i32 i64 isize);
+
+    macro_rules! impl_sample_uniform_float {
+        ($($t:ty)*) => {$(
+            impl SampleUniform for $t {
+                fn sample_exclusive<R: RngCore + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self {
+                    assert!(lo < hi, "cannot sample from empty range");
+                    lo + (unit_f64(rng) as $t) * (hi - lo)
+                }
+                fn sample_inclusive<R: RngCore + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self {
+                    assert!(lo <= hi, "cannot sample from empty range");
+                    lo + (unit_f64(rng) as $t) * (hi - lo)
+                }
+            }
+        )*};
+    }
+    impl_sample_uniform_float!(f32 f64);
+
+    /// Ranges [`super::Rng::gen_range`] accepts.
+    pub trait SampleRange<T> {
+        /// Samples one value from the range.
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+    }
+
+    impl<T: SampleUniform> SampleRange<T> for core::ops::Range<T> {
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+            T::sample_exclusive(self.start, self.end, rng)
+        }
+    }
+
+    impl<T: SampleUniform> SampleRange<T> for core::ops::RangeInclusive<T> {
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+            T::sample_inclusive(*self.start(), *self.end(), rng)
+        }
+    }
+}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The shim's standard generator: xoshiro256**.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(state: u64) -> Self {
+            // SplitMix64 expansion, as rand does for seed_from_u64.
+            let mut sm = state;
+            let mut next = move || {
+                sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = sm;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            StdRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        assert_ne!(a.gen::<u64>(), c.gen::<u64>());
+    }
+
+    #[test]
+    fn unit_interval_and_mean() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut sum = 0.0;
+        for _ in 0..10_000 {
+            let x: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+            sum += x;
+        }
+        let mean = sum / 10_000.0;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..1_000 {
+            let x = rng.gen_range(-400..=400);
+            assert!((-400..=400).contains(&x));
+            let y: i64 = rng.gen_range(0..50);
+            assert!((0..50).contains(&y));
+            let z = rng.gen_range(10usize..=25);
+            assert!((10..=25).contains(&z));
+        }
+        // Both endpoints of an inclusive range are reachable.
+        let mut lo_seen = false;
+        let mut hi_seen = false;
+        for _ in 0..1_000 {
+            match rng.gen_range(0..=3) {
+                0 => lo_seen = true,
+                3 => hi_seen = true,
+                _ => {}
+            }
+        }
+        assert!(lo_seen && hi_seen);
+    }
+
+    #[test]
+    fn gen_bool_probability() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.7)).count();
+        assert!((6_500..7_500).contains(&hits), "{hits}");
+    }
+}

@@ -1,0 +1,234 @@
+//! The shim's data model and the helpers the derive macro generates
+//! calls to. Everything here is an implementation detail shared with
+//! `serde_derive` and `serde_json`.
+
+use std::fmt;
+use std::marker::PhantomData;
+
+use crate::{de, Deserialize, Deserializer, Serialize};
+
+/// A JSON-like value tree: the serialization data model of the shim.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any numeric value.
+    Number(Number),
+    /// A string.
+    String(String),
+    /// An ordered sequence.
+    Array(Vec<Value>),
+    /// A key-ordered map (insertion order preserved).
+    Object(Map),
+}
+
+/// A number preserving integer fidelity where possible.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Number {
+    /// Negative integers.
+    Int(i64),
+    /// Non-negative integers.
+    UInt(u64),
+    /// Everything else.
+    Float(f64),
+}
+
+impl Number {
+    /// The value as an `f64` (lossy for huge integers).
+    pub fn as_f64(self) -> f64 {
+        match self {
+            Number::Int(x) => x as f64,
+            Number::UInt(x) => x as f64,
+            Number::Float(x) => x,
+        }
+    }
+}
+
+impl Value {
+    /// A short name for the value's shape, used in error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Number(_) => "number",
+            Value::String(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+}
+
+/// An insertion-ordered string-keyed map.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Map {
+    entries: Vec<(String, Value)>,
+}
+
+impl Map {
+    /// Creates an empty map.
+    pub fn new() -> Self {
+        Map::default()
+    }
+
+    /// Appends a key (duplicates keep the last value on lookup).
+    pub fn insert(&mut self, key: impl Into<String>, value: Value) {
+        self.entries.push((key.into(), value));
+    }
+
+    /// Removes and returns the value stored under `key` (the last
+    /// occurrence, matching serde_json's duplicate-key behaviour).
+    pub fn remove(&mut self, key: &str) -> Option<Value> {
+        let pos = self.entries.iter().rposition(|(k, _)| k == key)?;
+        Some(self.entries.remove(pos).1)
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the map is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Removes and returns the first entry.
+    pub fn pop_first(&mut self) -> Option<(String, Value)> {
+        if self.entries.is_empty() {
+            None
+        } else {
+            Some(self.entries.remove(0))
+        }
+    }
+
+    /// Iterates over `(key, value)` pairs in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = &(String, Value)> {
+        self.entries.iter()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Helpers used by derive-generated code.
+// ---------------------------------------------------------------------
+
+/// A [`Deserializer`] that simply hands out an owned [`Value`].
+pub struct ValueDeserializer<E> {
+    value: Value,
+    _err: PhantomData<fn() -> E>,
+}
+
+impl<E> ValueDeserializer<E> {
+    /// Wraps a value.
+    pub fn new(value: Value) -> Self {
+        ValueDeserializer {
+            value,
+            _err: PhantomData,
+        }
+    }
+}
+
+impl<'de, E: de::Error> Deserializer<'de> for ValueDeserializer<E> {
+    type Error = E;
+    fn __value(self) -> Result<Value, E> {
+        Ok(self.value)
+    }
+}
+
+/// Serializes any value into the data model.
+pub fn to_value<T: Serialize + ?Sized>(value: &T) -> Value {
+    value.__to_value()
+}
+
+/// Deserializes a `T` out of an owned [`Value`].
+pub fn from_value<'de, T: Deserialize<'de>, E: de::Error>(value: Value) -> Result<T, E> {
+    T::deserialize(ValueDeserializer::new(value))
+}
+
+/// Unwraps an object, with a shape error otherwise.
+pub fn as_object<E: de::Error>(value: Value, what: &str) -> Result<Map, E> {
+    match value {
+        Value::Object(m) => Ok(m),
+        other => Err(de::Error::custom(format!(
+            "expected an object for {what}, found {}",
+            other.kind()
+        ))),
+    }
+}
+
+/// Unwraps an array, with a shape error otherwise.
+pub fn as_array<E: de::Error>(value: Value, what: &str) -> Result<Vec<Value>, E> {
+    match value {
+        Value::Array(a) => Ok(a),
+        other => Err(de::Error::custom(format!(
+            "expected an array for {what}, found {}",
+            other.kind()
+        ))),
+    }
+}
+
+/// Removes a required field from an object and deserializes it.
+pub fn take_field<'de, T: Deserialize<'de>, E: de::Error>(
+    map: &mut Map,
+    field: &str,
+) -> Result<T, E> {
+    match map.remove(field) {
+        Some(v) => from_value(v).map_err(|e: E| de::Error::custom(format!("field `{field}`: {e}"))),
+        None => Err(de::Error::custom(format!("missing field `{field}`"))),
+    }
+}
+
+/// Removes an optional field; `None` when absent (for `serde(default)`).
+pub fn take_field_opt<'de, T: Deserialize<'de>, E: de::Error>(
+    map: &mut Map,
+    field: &str,
+) -> Result<Option<T>, E> {
+    match map.remove(field) {
+        Some(v) => from_value(v)
+            .map(Some)
+            .map_err(|e: E| de::Error::custom(format!("field `{field}`: {e}"))),
+        None => Ok(None),
+    }
+}
+
+/// Builds the externally-tagged representation `{variant: payload}`.
+pub fn tagged(variant: &str, payload: Value) -> Value {
+    let mut m = Map::new();
+    m.insert(variant, payload);
+    Value::Object(m)
+}
+
+/// Splits an externally-tagged enum value into `(tag, payload)`.
+///
+/// Unit variants arrive as plain strings and yield a `Null` payload.
+pub fn untag<E: de::Error>(value: Value, what: &str) -> Result<(String, Value), E> {
+    match value {
+        Value::String(s) => Ok((s, Value::Null)),
+        Value::Object(mut m) if m.len() == 1 => Ok(m.pop_first().expect("length checked")),
+        other => Err(de::Error::custom(format!(
+            "expected an externally tagged {what}, found {}",
+            other.kind()
+        ))),
+    }
+}
+
+/// Error for an unknown enum tag.
+pub fn unknown_variant<E: de::Error, T>(tag: &str, what: &str) -> Result<T, E> {
+    Err(de::Error::custom(format!("unknown {what} variant `{tag}`")))
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "null"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Number(Number::Int(x)) => write!(f, "{x}"),
+            Value::Number(Number::UInt(x)) => write!(f, "{x}"),
+            Value::Number(Number::Float(x)) => write!(f, "{x}"),
+            Value::String(s) => write!(f, "{s:?}"),
+            Value::Array(_) => write!(f, "<array>"),
+            Value::Object(_) => write!(f, "<object>"),
+        }
+    }
+}

@@ -1,0 +1,241 @@
+//! In-tree API-subset shim for `serde` (see `shims/README.md`).
+//!
+//! The data model is a simple JSON-like tree ([`__private::Value`]).
+//! `Serialize` converts into it, `Deserialize` reads out of it through a
+//! [`Deserializer`] carrier so that manual impls written against real
+//! serde (`D: Deserializer<'de>`, `D::Error`, `de::Error::custom`)
+//! compile unchanged.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+#[doc(hidden)]
+pub mod __private;
+
+/// Deserialization-side traits (`de::Error`).
+pub mod de {
+    use std::fmt::Display;
+
+    /// Error trait every deserializer error type implements.
+    pub trait Error: Sized + std::error::Error {
+        /// Builds an error from any displayable message.
+        fn custom<T: Display>(msg: T) -> Self;
+    }
+}
+
+/// A type that can be serialized into the shim data model.
+pub trait Serialize {
+    /// Converts `self` into the JSON-like value tree.
+    #[doc(hidden)]
+    fn __to_value(&self) -> __private::Value;
+}
+
+/// A carrier handing a parsed value tree to [`Deserialize`] impls.
+pub trait Deserializer<'de>: Sized {
+    /// Error type reported by this deserializer.
+    type Error: de::Error;
+    /// Consumes the carrier, yielding the value tree.
+    #[doc(hidden)]
+    fn __value(self) -> Result<__private::Value, Self::Error>;
+}
+
+/// A type that can be deserialized from the shim data model.
+pub trait Deserialize<'de>: Sized {
+    /// Reads `Self` out of the deserializer.
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+// ---------------------------------------------------------------------
+// Primitive and container impls.
+// ---------------------------------------------------------------------
+
+use __private::{Number, Value};
+
+macro_rules! impl_int {
+    ($($t:ty)*) => {$(
+        impl Serialize for $t {
+            fn __to_value(&self) -> Value {
+                #[allow(unused_comparisons)]
+                if *self >= 0 {
+                    Value::Number(Number::UInt(*self as u64))
+                } else {
+                    Value::Number(Number::Int(*self as i64))
+                }
+            }
+        }
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+                let v = d.__value()?;
+                let out = match &v {
+                    Value::Number(Number::Int(x)) => <$t>::try_from(*x).ok(),
+                    Value::Number(Number::UInt(x)) => <$t>::try_from(*x).ok(),
+                    _ => None,
+                };
+                out.ok_or_else(|| de::Error::custom(format!(
+                    "expected {}, found {}", stringify!($t), v.kind()
+                )))
+            }
+        }
+    )*};
+}
+impl_int!(i8 i16 i32 i64 isize u8 u16 u32 u64 usize);
+
+macro_rules! impl_float {
+    ($($t:ty)*) => {$(
+        impl Serialize for $t {
+            fn __to_value(&self) -> Value {
+                Value::Number(Number::Float(f64::from(*self)))
+            }
+        }
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+                let v = d.__value()?;
+                match v {
+                    Value::Number(n) => Ok(n.as_f64() as $t),
+                    other => Err(de::Error::custom(format!(
+                        "expected {}, found {}", stringify!($t), other.kind()
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+impl_float!(f32 f64);
+
+impl Serialize for bool {
+    fn __to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+impl<'de> Deserialize<'de> for bool {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.__value()? {
+            Value::Bool(b) => Ok(b),
+            other => Err(de::Error::custom(format!(
+                "expected bool, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn __to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+impl Serialize for str {
+    fn __to_value(&self) -> Value {
+        Value::String(self.to_owned())
+    }
+}
+impl Serialize for char {
+    fn __to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+impl<'de> Deserialize<'de> for String {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.__value()? {
+            Value::String(s) => Ok(s),
+            other => Err(de::Error::custom(format!(
+                "expected string, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn __to_value(&self) -> Value {
+        (**self).__to_value()
+    }
+}
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn __to_value(&self) -> Value {
+        (**self).__to_value()
+    }
+}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Box<T> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        T::deserialize(d).map(Box::new)
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn __to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::__to_value).collect())
+    }
+}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.__value()? {
+            Value::Array(items) => items
+                .into_iter()
+                .map(|v| __private::from_value::<T, D::Error>(v))
+                .collect(),
+            other => Err(de::Error::custom(format!(
+                "expected array, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn __to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::__to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn __to_value(&self) -> Value {
+        match self {
+            None => Value::Null,
+            Some(x) => x.__to_value(),
+        }
+    }
+}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.__value()? {
+            Value::Null => Ok(None),
+            other => __private::from_value::<T, D::Error>(other).map(Some),
+        }
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn __to_value(&self) -> Value {
+                Value::Array(vec![$(self.$n.__to_value()),+])
+            }
+        }
+        impl<'de, $($t: Deserialize<'de>),+> Deserialize<'de> for ($($t,)+) {
+            fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+                match d.__value()? {
+                    Value::Array(items) => {
+                        let expected = [$($n),+].len();
+                        if items.len() != expected {
+                            return Err(de::Error::custom(format!(
+                                "expected a tuple of {expected} elements, found {}", items.len()
+                            )));
+                        }
+                        let mut it = items.into_iter();
+                        Ok(($({
+                            let _ = $n;
+                            __private::from_value::<$t, D::Error>(it.next().expect("length checked"))?
+                        },)+))
+                    }
+                    other => Err(de::Error::custom(format!("expected array, found {}", other.kind()))),
+                }
+            }
+        }
+    )*};
+}
+impl_tuple! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D2)
+}

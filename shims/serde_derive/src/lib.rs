@@ -1,0 +1,296 @@
+//! In-tree API-subset shim for `serde_derive` (see `shims/README.md`).
+//!
+//! Implements `#[derive(Serialize, Deserialize)]` for non-generic
+//! structs and enums with the container/field attributes the workspace
+//! uses: `#[serde(transparent)]`, `#[serde(default)]` and
+//! `#[serde(skip)]`. Enums use serde's externally-tagged representation
+//! (`"Variant"` for unit variants, `{"Variant": payload}` otherwise).
+//!
+//! Written against `proc_macro` alone — no `syn`/`quote` — because the
+//! build environment has no registry access. The item is parsed by a
+//! small hand-rolled cursor over its token trees and the impls are
+//! emitted as strings.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+mod parse;
+
+use parse::{Data, Input, VariantData};
+
+/// Derives the shim's `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse::parse(input);
+    gen_serialize(&item).parse().expect("generated impl parses")
+}
+
+/// Derives the shim's `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse::parse(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("generated impl parses")
+}
+
+// ---------------------------------------------------------------------
+// Serialize
+// ---------------------------------------------------------------------
+
+fn gen_serialize(item: &Input) -> String {
+    let name = &item.name;
+    let body = match &item.data {
+        Data::NamedStruct(fields) => {
+            if item.transparent {
+                let f = fields
+                    .iter()
+                    .find(|f| !f.skip)
+                    .expect("transparent struct has a non-skipped field");
+                format!("::serde::__private::to_value(&self.{})", f.name)
+            } else {
+                let mut s = String::from("let mut __m = ::serde::__private::Map::new();\n");
+                for f in fields.iter().filter(|f| !f.skip) {
+                    s.push_str(&format!(
+                        "__m.insert(\"{0}\", ::serde::__private::to_value(&self.{0}));\n",
+                        f.name
+                    ));
+                }
+                s.push_str("::serde::__private::Value::Object(__m)");
+                s
+            }
+        }
+        Data::TupleStruct(1) => "::serde::__private::to_value(&self.0)".to_string(),
+        Data::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::__private::to_value(&self.{i})"))
+                .collect();
+            format!(
+                "::serde::__private::Value::Array(vec![{}])",
+                items.join(", ")
+            )
+        }
+        Data::Enum(variants) => {
+            let mut s = String::from("match self {\n");
+            for v in variants {
+                match &v.data {
+                    VariantData::Unit => s.push_str(&format!(
+                        "{name}::{v} => ::serde::__private::Value::String(\"{v}\".to_string()),\n",
+                        v = v.name
+                    )),
+                    VariantData::Tuple(1) => s.push_str(&format!(
+                        "{name}::{v}(__f0) => ::serde::__private::tagged(\"{v}\", ::serde::__private::to_value(__f0)),\n",
+                        v = v.name
+                    )),
+                    VariantData::Tuple(n) => {
+                        let binders: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let values: Vec<String> = binders
+                            .iter()
+                            .map(|b| format!("::serde::__private::to_value({b})"))
+                            .collect();
+                        s.push_str(&format!(
+                            "{name}::{v}({binds}) => ::serde::__private::tagged(\"{v}\", ::serde::__private::Value::Array(vec![{vals}])),\n",
+                            v = v.name,
+                            binds = binders.join(", "),
+                            vals = values.join(", ")
+                        ));
+                    }
+                    VariantData::Named(fields) => {
+                        let binders: Vec<&str> =
+                            fields.iter().map(|f| f.name.as_str()).collect();
+                        let mut inner = String::from(
+                            "let mut __m = ::serde::__private::Map::new();\n",
+                        );
+                        for f in fields.iter().filter(|f| !f.skip) {
+                            inner.push_str(&format!(
+                                "__m.insert(\"{0}\", ::serde::__private::to_value({0}));\n",
+                                f.name
+                            ));
+                        }
+                        inner.push_str(&format!(
+                            "::serde::__private::tagged(\"{}\", ::serde::__private::Value::Object(__m))",
+                            v.name
+                        ));
+                        s.push_str(&format!(
+                            "{name}::{v} {{ {binds} }} => {{ {inner} }},\n",
+                            v = v.name,
+                            binds = binders.join(", ")
+                        ));
+                    }
+                }
+            }
+            s.push('}');
+            s
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn __to_value(&self) -> ::serde::__private::Value {{\n{body}\n}}\n\
+         }}"
+    )
+}
+
+// ---------------------------------------------------------------------
+// Deserialize
+// ---------------------------------------------------------------------
+
+fn gen_deserialize(item: &Input) -> String {
+    let name = &item.name;
+    let body = match &item.data {
+        Data::NamedStruct(fields) => {
+            if item.transparent {
+                let mut inits = Vec::new();
+                for f in fields {
+                    if f.skip {
+                        inits.push(format!("{}: ::core::default::Default::default()", f.name));
+                    } else {
+                        inits.push(format!("{}: ::serde::__private::from_value(__v)?", f.name));
+                    }
+                }
+                format!("Ok({name} {{ {} }})", inits.join(", "))
+            } else {
+                let mut s = format!(
+                    "let mut __m = ::serde::__private::as_object::<__D::Error>(__v, \"{name}\")?;\n"
+                );
+                if item.default {
+                    s.push_str(&format!(
+                        "let __def: {name} = ::core::default::Default::default();\n"
+                    ));
+                }
+                let mut inits = Vec::new();
+                for f in fields {
+                    if f.skip {
+                        inits.push(format!("{}: ::core::default::Default::default()", f.name));
+                    } else if item.default {
+                        inits.push(format!(
+                            "{0}: match ::serde::__private::take_field_opt(&mut __m, \"{0}\")? {{ Some(__x) => __x, None => __def.{0} }}",
+                            f.name
+                        ));
+                    } else {
+                        inits.push(format!(
+                            "{0}: ::serde::__private::take_field(&mut __m, \"{0}\")?",
+                            f.name
+                        ));
+                    }
+                }
+                s.push_str(&format!("Ok({name} {{ {} }})", inits.join(", ")));
+                s
+            }
+        }
+        Data::TupleStruct(1) => {
+            format!("Ok({name}(::serde::__private::from_value(__v)?))")
+        }
+        Data::TupleStruct(n) => {
+            let mut s = format!(
+                "let __a = ::serde::__private::as_array::<__D::Error>(__v, \"{name}\")?;\n\
+                 if __a.len() != {n} {{\n\
+                     return Err(::serde::de::Error::custom(format!(\"expected {n} elements for {name}, found {{}}\", __a.len())));\n\
+                 }}\n\
+                 let mut __it = __a.into_iter();\n"
+            );
+            let inits: Vec<String> = (0..*n)
+                .map(|_| {
+                    "::serde::__private::from_value(__it.next().expect(\"length checked\"))?"
+                        .to_string()
+                })
+                .collect();
+            s.push_str(&format!("Ok({name}({}))", inits.join(", ")));
+            s
+        }
+        Data::Enum(variants) => {
+            let mut s = format!(
+                "let (__tag, __payload) = ::serde::__private::untag::<__D::Error>(__v, \"{name}\")?;\n\
+                 let _ = &__payload;\n\
+                 match __tag.as_str() {{\n"
+            );
+            for v in variants {
+                match &v.data {
+                    VariantData::Unit => {
+                        s.push_str(&format!("\"{v}\" => Ok({name}::{v}),\n", v = v.name));
+                    }
+                    VariantData::Tuple(1) => s.push_str(&format!(
+                        "\"{v}\" => Ok({name}::{v}(::serde::__private::from_value(__payload)?)),\n",
+                        v = v.name
+                    )),
+                    VariantData::Tuple(n) => {
+                        let inits: Vec<String> = (0..*n)
+                            .map(|_| {
+                                "::serde::__private::from_value(__it.next().expect(\"length checked\"))?"
+                                    .to_string()
+                            })
+                            .collect();
+                        s.push_str(&format!(
+                            "\"{v}\" => {{\n\
+                                 let __a = ::serde::__private::as_array::<__D::Error>(__payload, \"{name}::{v}\")?;\n\
+                                 if __a.len() != {n} {{\n\
+                                     return Err(::serde::de::Error::custom(format!(\"expected {n} elements for {name}::{v}, found {{}}\", __a.len())));\n\
+                                 }}\n\
+                                 let mut __it = __a.into_iter();\n\
+                                 Ok({name}::{v}({inits}))\n\
+                             }},\n",
+                            v = v.name,
+                            inits = inits.join(", ")
+                        ));
+                    }
+                    VariantData::Named(fields) => {
+                        let mut inits = Vec::new();
+                        for f in fields {
+                            if f.skip {
+                                inits.push(format!(
+                                    "{}: ::core::default::Default::default()",
+                                    f.name
+                                ));
+                            } else {
+                                inits.push(format!(
+                                    "{0}: ::serde::__private::take_field(&mut __m, \"{0}\")?",
+                                    f.name
+                                ));
+                            }
+                        }
+                        s.push_str(&format!(
+                            "\"{v}\" => {{\n\
+                                 let mut __m = ::serde::__private::as_object::<__D::Error>(__payload, \"{name}::{v}\")?;\n\
+                                 Ok({name}::{v} {{ {inits} }})\n\
+                             }},\n",
+                            v = v.name,
+                            inits = inits.join(", ")
+                        ));
+                    }
+                }
+            }
+            s.push_str(&format!(
+                "__other => ::serde::__private::unknown_variant(__other, \"{name}\"),\n}}"
+            ));
+            s
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+             fn deserialize<__D: ::serde::Deserializer<'de>>(__d: __D) -> ::core::result::Result<Self, __D::Error> {{\n\
+                 #[allow(unused_variables)]\n\
+                 let __v = ::serde::Deserializer::__value(__d)?;\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+}
+
+// Re-exported for parse.rs diagnostics.
+pub(crate) fn delimiter_name(d: Delimiter) -> &'static str {
+    match d {
+        Delimiter::Parenthesis => "(",
+        Delimiter::Brace => "{",
+        Delimiter::Bracket => "[",
+        Delimiter::None => "<none>",
+    }
+}
+
+pub(crate) fn describe(t: &TokenTree) -> String {
+    match t {
+        TokenTree::Group(g) => format!("group {}", delimiter_name(g.delimiter())),
+        TokenTree::Ident(i) => format!("ident `{i}`"),
+        TokenTree::Punct(p) => format!("punct `{}`", p.as_char()),
+        TokenTree::Literal(l) => format!("literal `{l}`"),
+    }
+}

@@ -1,0 +1,304 @@
+//! A minimal item parser over `proc_macro::TokenTree`s: just enough to
+//! recover the shape (names of fields/variants) of non-generic structs
+//! and enums, plus the `#[serde(...)]` attributes the shim supports.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+use crate::describe;
+
+pub(crate) struct Field {
+    pub name: String,
+    pub skip: bool,
+}
+
+pub(crate) enum VariantData {
+    Unit,
+    Tuple(usize),
+    Named(Vec<Field>),
+}
+
+pub(crate) struct Variant {
+    pub name: String,
+    pub data: VariantData,
+}
+
+pub(crate) enum Data {
+    NamedStruct(Vec<Field>),
+    TupleStruct(usize),
+    Enum(Vec<Variant>),
+}
+
+pub(crate) struct Input {
+    pub name: String,
+    pub transparent: bool,
+    pub default: bool,
+    pub data: Data,
+}
+
+#[derive(Default)]
+struct SerdeFlags {
+    transparent: bool,
+    default: bool,
+    skip: bool,
+}
+
+struct Cursor {
+    tokens: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(stream: TokenStream) -> Self {
+        Cursor {
+            tokens: stream.into_iter().collect(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    fn is_punct(&self, c: char) -> bool {
+        matches!(self.peek(), Some(TokenTree::Punct(p)) if p.as_char() == c)
+    }
+
+    fn expect_ident(&mut self, what: &str) -> String {
+        match self.next() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            other => panic!(
+                "serde_derive shim: expected {what}, found {}",
+                other
+                    .as_ref()
+                    .map(describe)
+                    .unwrap_or_else(|| "end of input".into())
+            ),
+        }
+    }
+
+    fn expect_punct(&mut self, c: char, what: &str) {
+        match self.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == c => {}
+            other => panic!(
+                "serde_derive shim: expected `{c}` {what}, found {}",
+                other
+                    .as_ref()
+                    .map(describe)
+                    .unwrap_or_else(|| "end of input".into())
+            ),
+        }
+    }
+
+    /// Skips `#[...]` attributes, accumulating `#[serde(...)]` flags.
+    fn skip_attrs(&mut self, flags: &mut SerdeFlags) {
+        while self.is_punct('#') {
+            self.next();
+            match self.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
+                    collect_serde_flags(g.stream(), flags);
+                }
+                other => panic!(
+                    "serde_derive shim: expected attribute brackets, found {}",
+                    other
+                        .as_ref()
+                        .map(describe)
+                        .unwrap_or_else(|| "end of input".into())
+                ),
+            }
+        }
+    }
+
+    /// Skips `pub`, `pub(crate)`, `pub(super)` etc.
+    fn skip_visibility(&mut self) {
+        if matches!(self.peek(), Some(TokenTree::Ident(i)) if i.to_string() == "pub") {
+            self.next();
+            if matches!(self.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+            {
+                self.next();
+            }
+        }
+    }
+
+    /// Consumes a type, tracking `<`/`>` depth, up to (and including) a
+    /// top-level `,` or the end of the stream.
+    fn skip_type_until_comma(&mut self) {
+        let mut angle_depth: i64 = 0;
+        while let Some(t) = self.peek() {
+            match t {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                    self.next();
+                    return;
+                }
+                _ => {}
+            }
+            self.next();
+        }
+    }
+}
+
+fn collect_serde_flags(attr: TokenStream, flags: &mut SerdeFlags) {
+    let mut it = attr.into_iter();
+    let Some(TokenTree::Ident(head)) = it.next() else {
+        return;
+    };
+    if head.to_string() != "serde" {
+        return;
+    }
+    let Some(TokenTree::Group(args)) = it.next() else {
+        return;
+    };
+    for t in args.stream() {
+        if let TokenTree::Ident(i) = t {
+            match i.to_string().as_str() {
+                "transparent" => flags.transparent = true,
+                "default" => flags.default = true,
+                "skip" => flags.skip = true,
+                other => panic!("serde_derive shim: unsupported serde attribute `{other}`"),
+            }
+        }
+    }
+}
+
+pub(crate) fn parse(input: TokenStream) -> Input {
+    let mut c = Cursor::new(input);
+    let mut container = SerdeFlags::default();
+    c.skip_attrs(&mut container);
+    c.skip_visibility();
+
+    let kw = c.expect_ident("`struct` or `enum`");
+    let name = c.expect_ident("item name");
+    if c.is_punct('<') {
+        panic!("serde_derive shim: generic types are not supported (deriving `{name}`)");
+    }
+
+    let data = match kw.as_str() {
+        "struct" => match c.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Data::NamedStruct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Data::TupleStruct(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Data::TupleStruct(0),
+            other => panic!(
+                "serde_derive shim: unexpected struct body: {}",
+                other
+                    .as_ref()
+                    .map(describe)
+                    .unwrap_or_else(|| "end of input".into())
+            ),
+        },
+        "enum" => match c.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Data::Enum(parse_variants(g.stream()))
+            }
+            other => panic!(
+                "serde_derive shim: unexpected enum body: {}",
+                other
+                    .as_ref()
+                    .map(describe)
+                    .unwrap_or_else(|| "end of input".into())
+            ),
+        },
+        other => panic!("serde_derive shim: cannot derive for `{other}` items"),
+    };
+
+    Input {
+        name,
+        transparent: container.transparent,
+        default: container.default,
+        data,
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let mut c = Cursor::new(stream);
+    let mut fields = Vec::new();
+    while !c.at_end() {
+        let mut flags = SerdeFlags::default();
+        c.skip_attrs(&mut flags);
+        if c.at_end() {
+            break;
+        }
+        c.skip_visibility();
+        let name = c.expect_ident("field name");
+        c.expect_punct(':', "after field name");
+        c.skip_type_until_comma();
+        fields.push(Field {
+            name,
+            skip: flags.skip,
+        });
+    }
+    fields
+}
+
+/// Counts the fields of a tuple struct/variant: top-level commas with
+/// angle-bracket depth tracking split the stream into type segments.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut count = 0usize;
+    let mut seen_any = false;
+    let mut angle_depth: i64 = 0;
+    for t in stream {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => {
+                angle_depth += 1;
+                seen_any = true;
+            }
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                count += 1;
+                seen_any = false;
+            }
+            _ => seen_any = true,
+        }
+    }
+    if seen_any {
+        count += 1;
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut c = Cursor::new(stream);
+    let mut variants = Vec::new();
+    while !c.at_end() {
+        let mut flags = SerdeFlags::default();
+        c.skip_attrs(&mut flags);
+        if c.at_end() {
+            break;
+        }
+        let name = c.expect_ident("variant name");
+        let data = match c.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(g.stream());
+                c.next();
+                VariantData::Tuple(n)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                c.next();
+                VariantData::Named(fields)
+            }
+            _ => VariantData::Unit,
+        };
+        if c.is_punct(',') {
+            c.next();
+        }
+        variants.push(Variant { name, data });
+    }
+    variants
+}

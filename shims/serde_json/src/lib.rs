@@ -1,0 +1,124 @@
+//! In-tree API-subset shim for `serde_json` (see `shims/README.md`).
+//!
+//! Provides [`to_string`], [`to_string_pretty`] and [`from_str`] over
+//! the `serde` shim's JSON-like data model. Objects serialize in
+//! insertion order; enums use the externally-tagged representation the
+//! shim's derive macro produces.
+
+use std::fmt;
+
+use serde::__private::{Map, Number, Value};
+use serde::{de, Deserialize, Serialize};
+
+mod parser;
+mod printer;
+
+/// Serialization/deserialization error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl de::Error for Error {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        Error(msg.to_string())
+    }
+}
+
+/// Serializes `value` as compact JSON.
+///
+/// # Errors
+///
+/// Never fails for the shim's data model; the `Result` mirrors the real
+/// `serde_json` signature.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(printer::print(&serde::__private::to_value(value), None))
+}
+
+/// Serializes `value` as indented JSON.
+///
+/// # Errors
+///
+/// Never fails for the shim's data model; the `Result` mirrors the real
+/// `serde_json` signature.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(printer::print(&serde::__private::to_value(value), Some(0)))
+}
+
+/// Deserializes a `T` from a JSON string.
+///
+/// # Errors
+///
+/// Returns [`Error`] on malformed JSON or shape mismatches.
+pub fn from_str<'de, T: Deserialize<'de>>(s: &str) -> Result<T, Error> {
+    let value = parser::parse(s)?;
+    T::deserialize(serde::__private::ValueDeserializer::<Error>::new(value))
+}
+
+pub(crate) use {Map as JsonMap, Number as JsonNumber, Value as JsonValue};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_scalars() {
+        assert_eq!(to_string(&42i64).unwrap(), "42");
+        assert_eq!(to_string(&-7i32).unwrap(), "-7");
+        assert_eq!(to_string(&true).unwrap(), "true");
+        assert_eq!(to_string(&2.5f64).unwrap(), "2.5");
+        assert_eq!(to_string("hi\n").unwrap(), "\"hi\\n\"");
+        assert_eq!(from_str::<i64>("42").unwrap(), 42);
+        assert_eq!(from_str::<f64>("2.5").unwrap(), 2.5);
+        assert!(!from_str::<bool>("false").unwrap());
+        assert_eq!(from_str::<String>("\"a\\u0041b\"").unwrap(), "aAb");
+    }
+
+    #[test]
+    fn round_trip_containers() {
+        let v = vec![1u64, 2, 3];
+        let json = to_string(&v).unwrap();
+        assert_eq!(json, "[1,2,3]");
+        assert_eq!(from_str::<Vec<u64>>(&json).unwrap(), v);
+        let o: Option<i64> = None;
+        assert_eq!(to_string(&o).unwrap(), "null");
+        assert_eq!(from_str::<Option<i64>>("null").unwrap(), None);
+        assert_eq!(from_str::<Option<i64>>("5").unwrap(), Some(5));
+        let t = (1i64, 2.5f64);
+        assert_eq!(from_str::<(i64, f64)>(&to_string(&t).unwrap()).unwrap(), t);
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(from_str::<i64>("").is_err());
+        assert!(from_str::<i64>("{").is_err());
+        assert!(from_str::<Vec<i64>>("[1, 2,]").is_err());
+        assert!(from_str::<i64>("42 garbage").is_err());
+        assert!(from_str::<String>("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn duplicate_object_keys_keep_the_last_value() {
+        // Matches real serde_json: later occurrences win.
+        #[derive(Debug, PartialEq, serde::Deserialize)]
+        struct P {
+            x: u64,
+        }
+        let p: P = from_str(r#"{"x": 1, "x": 2}"#).unwrap();
+        assert_eq!(p, P { x: 2 });
+    }
+
+    #[test]
+    fn pretty_output_is_indented() {
+        let v = vec![vec![1u64], vec![2]];
+        let pretty = to_string_pretty(&v).unwrap();
+        assert!(pretty.contains('\n'));
+        assert_eq!(from_str::<Vec<Vec<u64>>>(&pretty).unwrap(), v);
+    }
+}

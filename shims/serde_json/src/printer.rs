@@ -1,0 +1,127 @@
+//! JSON rendering (compact and pretty) of the shim data model.
+
+use std::fmt::Write as _;
+
+use crate::{JsonNumber, JsonValue};
+
+/// Renders `value`; `indent = Some(level)` selects pretty output.
+pub(crate) fn print(value: &JsonValue, indent: Option<usize>) -> String {
+    let mut out = String::new();
+    write_value(&mut out, value, indent);
+    out
+}
+
+fn write_value(out: &mut String, value: &JsonValue, indent: Option<usize>) {
+    match value {
+        JsonValue::Null => out.push_str("null"),
+        JsonValue::Bool(b) => {
+            let _ = write!(out, "{b}");
+        }
+        JsonValue::Number(n) => write_number(out, *n),
+        JsonValue::String(s) => write_string(out, s),
+        JsonValue::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (k, item) in items.iter().enumerate() {
+                if k > 0 {
+                    out.push(',');
+                }
+                match indent {
+                    None => write_value(out, item, None),
+                    Some(level) => {
+                        newline_indent(out, level + 1);
+                        write_value(out, item, Some(level + 1));
+                    }
+                }
+            }
+            if let Some(level) = indent {
+                newline_indent(out, level);
+            }
+            out.push(']');
+        }
+        JsonValue::Object(map) => {
+            if map.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (k, (key, item)) in map.iter().enumerate() {
+                if k > 0 {
+                    out.push(',');
+                }
+                match indent {
+                    None => {
+                        write_string(out, key);
+                        out.push(':');
+                        write_value(out, item, None);
+                    }
+                    Some(level) => {
+                        newline_indent(out, level + 1);
+                        write_string(out, key);
+                        out.push_str(": ");
+                        write_value(out, item, Some(level + 1));
+                    }
+                }
+            }
+            if let Some(level) = indent {
+                newline_indent(out, level);
+            }
+            out.push('}');
+        }
+    }
+}
+
+fn newline_indent(out: &mut String, level: usize) {
+    out.push('\n');
+    for _ in 0..level {
+        out.push_str("  ");
+    }
+}
+
+fn write_number(out: &mut String, n: JsonNumber) {
+    match n {
+        JsonNumber::Int(x) => {
+            let _ = write!(out, "{x}");
+        }
+        JsonNumber::UInt(x) => {
+            let _ = write!(out, "{x}");
+        }
+        JsonNumber::Float(x) => {
+            if x.is_finite() {
+                // Rust's shortest round-trip formatting; integral floats
+                // keep a `.0` so they re-parse as floats.
+                if x == x.trunc() && x.abs() < 1e15 {
+                    let _ = write!(out, "{x:.1}");
+                } else {
+                    let _ = write!(out, "{x}");
+                }
+            } else {
+                // Mirror serde_json: non-finite floats become null.
+                out.push_str("null");
+            }
+        }
+    }
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{8}' => out.push_str("\\b"),
+            '\u{c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}

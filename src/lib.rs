@@ -51,6 +51,7 @@
 //! ```
 
 #![forbid(unsafe_code)]
+#![warn(missing_docs)]
 
 pub use ens_dist as dist;
 pub use ens_filter as filter;

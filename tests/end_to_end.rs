@@ -12,12 +12,7 @@ use ens::workloads::{scenario, EventGenerator};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-fn all_matchers_agree(
-    profiles: &ProfileSet,
-    joint: &JointDist,
-    events: usize,
-    seed: u64,
-) {
+fn all_matchers_agree(profiles: &ProfileSet, joint: &JointDist, events: usize, seed: u64) {
     let schema = profiles.schema();
     let generator = EventGenerator::new(schema, joint.clone()).unwrap();
     let configs: Vec<TreeConfig> = vec![
@@ -64,16 +59,27 @@ fn all_matchers_agree(
         let oracle = profiles.matches(&e).unwrap();
         for (i, tree) in trees.iter().enumerate() {
             let got = tree.match_event(&e).unwrap();
-            assert_eq!(got.profiles(), oracle.as_slice(), "tree config {i} event {k}");
+            assert_eq!(
+                got.profiles(),
+                oracle.as_slice(),
+                "tree config {i} event {k}"
+            );
             assert_eq!(
                 got.per_level().iter().sum::<u64>(),
                 got.ops(),
                 "per-level ops consistency, config {i}"
             );
-            assert_eq!(dfsas[i].match_event(&e).unwrap(), oracle, "dfsa {i} event {k}");
+            assert_eq!(
+                dfsas[i].match_event(&e).unwrap(),
+                oracle,
+                "dfsa {i} event {k}"
+            );
         }
         assert_eq!(naive.match_event(&e).unwrap().profiles(), oracle.as_slice());
-        assert_eq!(counting.match_event(&e).unwrap().profiles(), oracle.as_slice());
+        assert_eq!(
+            counting.match_event(&e).unwrap().profiles(),
+            oracle.as_slice()
+        );
     }
 }
 
@@ -160,11 +166,8 @@ fn profile_round_trip_through_json_preserves_matching() {
     let json = serde_json::to_string(&profiles).unwrap();
     let restored: ProfileSet = serde_json::from_str(&json).unwrap();
     let tree = ProfileTree::build(&restored, &TreeConfig::default()).unwrap();
-    let generator = EventGenerator::new(
-        profiles.schema(),
-        scenario::stock_event_model().unwrap(),
-    )
-    .unwrap();
+    let generator =
+        EventGenerator::new(profiles.schema(), scenario::stock_event_model().unwrap()).unwrap();
     for _ in 0..100 {
         let e = generator.sample(&mut rng);
         assert_eq!(

@@ -11,7 +11,10 @@ fn weather_schema() -> Schema {
     Schema::builder()
         .attribute("ph", Domain::float(0.0, 14.0, 0.5).unwrap())
         .unwrap()
-        .attribute("sky", Domain::categorical(["clear", "cloudy", "storm"]).unwrap())
+        .attribute(
+            "sky",
+            Domain::categorical(["clear", "cloudy", "storm"]).unwrap(),
+        )
         .unwrap()
         .attribute("frost", Domain::Bool)
         .unwrap()
@@ -20,13 +23,9 @@ fn weather_schema() -> Schema {
 
 fn profiles(schema: &Schema) -> ProfileSet {
     let mut ps = ProfileSet::new(schema);
-    ps.insert(
-        parse_profile(schema, "profile(ph <= 6.5; frost = false)", 0.into()).unwrap(),
-    );
+    ps.insert(parse_profile(schema, "profile(ph <= 6.5; frost = false)", 0.into()).unwrap());
     ps.insert(parse_profile(schema, "profile(sky in {storm, cloudy})", 0.into()).unwrap());
-    ps.insert(
-        parse_profile(schema, "profile(ph in [7.0, 8.5]; sky = clear)", 0.into()).unwrap(),
-    );
+    ps.insert(parse_profile(schema, "profile(ph in [7.0, 8.5]; sky = clear)", 0.into()).unwrap());
     ps.insert(parse_profile(schema, "profile(frost = true)", 0.into()).unwrap());
     ps
 }
@@ -34,9 +33,18 @@ fn profiles(schema: &Schema) -> ProfileSet {
 fn all_events(schema: &Schema) -> Vec<Event> {
     let mut out = Vec::new();
     let (ph_d, sky_d, frost_d) = (
-        schema.attribute(schema.attr("ph").unwrap()).domain().clone(),
-        schema.attribute(schema.attr("sky").unwrap()).domain().clone(),
-        schema.attribute(schema.attr("frost").unwrap()).domain().clone(),
+        schema
+            .attribute(schema.attr("ph").unwrap())
+            .domain()
+            .clone(),
+        schema
+            .attribute(schema.attr("sky").unwrap())
+            .domain()
+            .clone(),
+        schema
+            .attribute(schema.attr("frost").unwrap())
+            .domain()
+            .clone(),
     );
     for i in 0..ph_d.size() {
         for j in 0..sky_d.size() {
@@ -96,7 +104,10 @@ fn every_matcher_agrees_on_the_full_mixed_event_space() {
             );
             assert_eq!(dfsa.match_event(&e).unwrap(), oracle);
             assert_eq!(naive.match_event(&e).unwrap().profiles(), oracle.as_slice());
-            assert_eq!(counting.match_event(&e).unwrap().profiles(), oracle.as_slice());
+            assert_eq!(
+                counting.match_event(&e).unwrap().profiles(),
+                oracle.as_slice()
+            );
         }
     }
 }

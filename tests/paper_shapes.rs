@@ -91,7 +91,11 @@ fn fig5_profile_orders_trade_event_cost_for_profile_cost() {
 
     // Per profile: V2/V3 improve on V1 for peaked profile distributions
     // ("significantly improve the performance per profile").
-    for row in ["equal/peak_90_high", "falling/peak_95_high", "equal/peak_95_low"] {
+    for row in [
+        "equal/peak_90_high",
+        "falling/peak_95_high",
+        "equal/peak_95_low",
+    ] {
         let v1 = per_profile.value(row, "events order search").unwrap();
         let v2 = per_profile.value(row, "profile order search").unwrap();
         assert!(v2 < v1, "{row}: per-profile V2 {v2} vs V1 {v1}");
@@ -111,12 +115,21 @@ fn fig6_descending_selectivity_rejects_early() {
     for ta in [TaExperiment::Wide, TaExperiment::Small] {
         let t = figure_6(ta).unwrap();
         for event in ["equal", "gauss", "gauss_low"] {
-            let natural = t.value(&format!("{event}/natur."), "event desc order search").unwrap();
-            let asc = t.value(&format!("{event}/asc."), "event desc order search").unwrap();
-            let desc = t.value(&format!("{event}/desc."), "event desc order search").unwrap();
+            let natural = t
+                .value(&format!("{event}/natur."), "event desc order search")
+                .unwrap();
+            let asc = t
+                .value(&format!("{event}/asc."), "event desc order search")
+                .unwrap();
+            let desc = t
+                .value(&format!("{event}/desc."), "event desc order search")
+                .unwrap();
             // "Note that the ascending order describes the worst-case
             // scenario"; descending is the recommended one.
-            assert!(desc < natural, "{ta:?} {event}: desc {desc} vs natural {natural}");
+            assert!(
+                desc < natural,
+                "{ta:?} {event}: desc {desc} vs natural {natural}"
+            );
             assert!(desc < asc, "{ta:?} {event}: desc {desc} vs asc {asc}");
         }
     }
@@ -127,8 +140,10 @@ fn fig6_wide_differences_amplify_the_reordering_gain() {
     let wide = figure_6(TaExperiment::Wide).unwrap();
     let small = figure_6(TaExperiment::Small).unwrap();
     let gain = |t: &ens_workloads::FigureTable, event: &str| {
-        t.value(&format!("{event}/natur."), "event desc order search").unwrap()
-            / t.value(&format!("{event}/desc."), "event desc order search").unwrap()
+        t.value(&format!("{event}/natur."), "event desc order search")
+            .unwrap()
+            / t.value(&format!("{event}/desc."), "event desc order search")
+                .unwrap()
     };
     // TA1 (widths 10%-80%) must benefit more than TA2 (lightly varying)
     // for the equally distributed events ("the influence is most
@@ -146,7 +161,9 @@ fn fig6_reordering_beats_binary_when_zero_subdomain_is_hot() {
     // "The reordering is faster than binary search since a significant
     // part of the events map onto the zero-subdomain" (relocated Gauss).
     let t = figure_6(TaExperiment::Wide).unwrap();
-    let desc = t.value("gauss_low/desc.", "event desc order search").unwrap();
+    let desc = t
+        .value("gauss_low/desc.", "event desc order search")
+        .unwrap();
     let binary = t.value("gauss_low/desc.", "binary search").unwrap();
     assert!(desc < binary, "desc {desc} vs binary {binary}");
 }
@@ -177,15 +194,25 @@ fn search_strategies_follow_their_theory() {
     // equality-only workloads and falls back to binary on ranges;
     // interpolation beats binary when keys spread evenly.
     let t = search_strategy_table().unwrap();
-    for row in ["equality equal/equal", "equality d37/equal", "equality gauss/gauss"] {
+    for row in [
+        "equality equal/equal",
+        "equality d37/equal",
+        "equality gauss/gauss",
+    ] {
         assert_eq!(t.value(row, "hash search"), Some(1.0), "{row}");
         let interp = t.value(row, "interpolation search").unwrap();
         let binary = t.value(row, "binary search").unwrap();
-        assert!(interp < binary, "{row}: interpolation {interp} vs binary {binary}");
+        assert!(
+            interp < binary,
+            "{row}: interpolation {interp} vs binary {binary}"
+        );
     }
     let hash = t.value("ranges TA1/gauss", "hash search").unwrap();
     let binary = t.value("ranges TA1/gauss", "binary search").unwrap();
-    assert!((hash - binary).abs() < 1e-9, "range nodes fall back to binary");
+    assert!(
+        (hash - binary).abs() < 1e-9,
+        "range nodes fall back to binary"
+    );
 }
 
 #[test]
