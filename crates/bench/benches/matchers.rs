@@ -1,12 +1,16 @@
 //! Matching-algorithm comparison (paper §2's algorithm classes):
 //! profile tree (pointer form and flattened DFSA) vs the naive
 //! per-profile scan vs the counting algorithm, on the environmental and
-//! stock workloads.
+//! stock workloads. The `*_scratch` variants run the allocation-free
+//! `match_into` fast path with reused buffers; `dfsa_nested` is the
+//! seed's pointer-heavy automaton layout, so the old-vs-new delta of
+//! the CSR rework stays visible side by side.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use ens_bench::BenchWorkload;
-use ens_filter::baseline::{CountingMatcher, NaiveMatcher};
-use ens_filter::{Dfsa, ProfileTree, TreeConfig};
+use ens_filter::baseline::{CountingMatcher, NaiveMatcher, NestedDfsa};
+use ens_filter::{Dfsa, MatchScratch, Matcher, ProfileTree, TreeConfig};
+use ens_types::IndexedEvent;
 use std::hint::black_box;
 
 fn bench_matchers(c: &mut Criterion) {
@@ -16,9 +20,11 @@ fn bench_matchers(c: &mut Criterion) {
         BenchWorkload::stock(300, 2048),
     ] {
         group.throughput(Throughput::Elements(workload.events.len() as u64));
+        let schema = workload.schema.clone();
         let tree = ProfileTree::build(&workload.profiles, &TreeConfig::default())
             .expect("workload is valid");
         let dfsa = Dfsa::from_tree(&tree);
+        let nested = NestedDfsa::from_tree(&tree);
         let naive = NaiveMatcher::new(&workload.profiles).expect("workload is valid");
         let counting = CountingMatcher::new(&workload.profiles).expect("workload is valid");
 
@@ -40,6 +46,36 @@ fn bench_matchers(c: &mut Criterion) {
             },
         );
         group.bench_with_input(
+            BenchmarkId::new("tree_scratch", workload.name),
+            &workload.events,
+            |b, events| {
+                let mut indexed = IndexedEvent::new();
+                let mut scratch = MatchScratch::new();
+                b.iter(|| {
+                    let mut n = 0usize;
+                    for e in events {
+                        indexed.resolve_into(&schema, black_box(e)).expect("valid");
+                        tree.match_into(&indexed, &mut scratch);
+                        n += scratch.profiles().len();
+                    }
+                    n
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("dfsa_nested", workload.name),
+            &workload.events,
+            |b, events| {
+                b.iter(|| {
+                    let mut n = 0usize;
+                    for e in events {
+                        n += nested.match_event(black_box(e)).expect("valid").len();
+                    }
+                    n
+                });
+            },
+        );
+        group.bench_with_input(
             BenchmarkId::new("dfsa", workload.name),
             &workload.events,
             |b, events| {
@@ -47,6 +83,23 @@ fn bench_matchers(c: &mut Criterion) {
                     let mut n = 0usize;
                     for e in events {
                         n += dfsa.match_event(black_box(e)).expect("valid").len();
+                    }
+                    n
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("dfsa_csr", workload.name),
+            &workload.events,
+            |b, events| {
+                let mut indexed = IndexedEvent::new();
+                let mut scratch = MatchScratch::new();
+                b.iter(|| {
+                    let mut n = 0usize;
+                    for e in events {
+                        indexed.resolve_into(&schema, black_box(e)).expect("valid");
+                        dfsa.match_into(&indexed, &mut scratch);
+                        n += scratch.profiles().len();
                     }
                     n
                 });

@@ -1,0 +1,412 @@
+//! Raw matching-throughput harness.
+//!
+//! Runs every matcher (profile tree, nested/seed DFSA, CSR DFSA, naive,
+//! counting) over the environmental and stock workloads, through both
+//! the allocating `match_event` entry points and the zero-allocation
+//! `match_into` fast path, and emits `BENCH_throughput.json` with
+//! events/sec, ns/event, mean comparison ops/event and heap
+//! allocations/event (measured with a counting global allocator), plus
+//! a summary of the CSR-vs-seed speedup — the perf trajectory every
+//! future PR has to beat.
+//!
+//! Usage:
+//!
+//! ```text
+//! throughput [--events N] [--profiles N] [--min-ms MS] [--out PATH] [--quiet]
+//! ```
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use ens_bench::BenchWorkload;
+use ens_filter::baseline::{CountingMatcher, NaiveMatcher, NestedDfsa};
+use ens_filter::{Dfsa, MatchScratch, Matcher, ProfileTree, TreeConfig};
+use ens_types::{Event, IndexedEvent, Schema};
+use serde::Serialize;
+
+/// Counts heap allocations so the harness can verify the fast path's
+/// zero-allocation claim (and quantify what the wrappers spend).
+///
+/// Deliberately duplicated in `crates/filter/tests/alloc.rs`: a global
+/// allocator must live in the final binary's crate root, and keeping
+/// the test copy self-contained avoids a dev-dependency cycle.
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+#[derive(Debug, Serialize)]
+struct MatcherReport {
+    name: String,
+    events_per_sec: f64,
+    ns_per_event: f64,
+    /// Mean comparison operations per event (0 for the DFSAs, which do
+    /// not count operations).
+    ops_per_event: f64,
+    /// Heap allocations per event in the steady state (warmed buffers).
+    allocs_per_event: f64,
+    /// Total matched (event, profile) pairs over one pass — a checksum
+    /// that every variant must agree on.
+    matches: u64,
+}
+
+#[derive(Debug, Serialize)]
+struct WorkloadReport {
+    name: String,
+    profiles: u64,
+    events: u64,
+    matchers: Vec<MatcherReport>,
+}
+
+#[derive(Debug, Serialize)]
+struct Summary {
+    /// events/sec of `dfsa_csr_scratch` over events/sec of
+    /// `dfsa_nested_event` (the seed `Dfsa::match_event` call pattern),
+    /// per workload.
+    dfsa_csr_scratch_vs_seed_speedup: Vec<NamedRatio>,
+    /// Allocations/event eliminated by the fast path vs the seed DFSA
+    /// call, per workload.
+    allocs_eliminated_per_event: Vec<NamedRatio>,
+}
+
+#[derive(Debug, Serialize)]
+struct NamedRatio {
+    workload: String,
+    value: f64,
+}
+
+#[derive(Debug, Serialize)]
+struct Report {
+    config: Config,
+    workloads: Vec<WorkloadReport>,
+    summary: Summary,
+}
+
+#[derive(Debug, Serialize)]
+struct Config {
+    events: u64,
+    environmental_profiles: u64,
+    stock_profiles: u64,
+    min_ms: u64,
+}
+
+struct Options {
+    events: usize,
+    profiles: Option<usize>,
+    min_ms: u64,
+    out: String,
+    quiet: bool,
+}
+
+fn main() -> ExitCode {
+    let mut opts = Options {
+        events: 4096,
+        profiles: None,
+        min_ms: 500,
+        out: "BENCH_throughput.json".to_owned(),
+        quiet: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let num = |args: &mut dyn Iterator<Item = String>| -> Option<usize> {
+            args.next().and_then(|v| v.parse().ok())
+        };
+        match a.as_str() {
+            "--events" => match num(&mut args) {
+                Some(n) => opts.events = n,
+                None => return usage(),
+            },
+            "--profiles" => match num(&mut args) {
+                Some(n) => opts.profiles = Some(n),
+                None => return usage(),
+            },
+            "--min-ms" => match num(&mut args) {
+                Some(n) => opts.min_ms = n as u64,
+                None => return usage(),
+            },
+            "--out" => match args.next() {
+                Some(p) => opts.out = p,
+                None => return usage(),
+            },
+            "--quiet" => opts.quiet = true,
+            _ => return usage(),
+        }
+    }
+    match run(&opts) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn usage() -> ExitCode {
+    eprintln!("usage: throughput [--events N] [--profiles N] [--min-ms MS] [--out PATH] [--quiet]");
+    ExitCode::from(2)
+}
+
+fn run(opts: &Options) -> Result<(), Box<dyn std::error::Error>> {
+    // Default to 1000 subscriptions per workload: the paper (and the
+    // ROADMAP north star) target large subscription populations, where
+    // index layout dominates; `--profiles` scales it up or down.
+    let workloads = [
+        BenchWorkload::environmental(opts.profiles.unwrap_or(1000), opts.events),
+        BenchWorkload::stock(opts.profiles.unwrap_or(1000), opts.events),
+    ];
+    let mut reports = Vec::new();
+    let mut speedups = Vec::new();
+    let mut allocs_saved = Vec::new();
+    for w in &workloads {
+        let report = bench_workload(w, opts)?;
+        let rate = |name: &str| -> Option<&MatcherReport> {
+            report.matchers.iter().find(|m| m.name == name)
+        };
+        let (Some(seed), Some(fast)) = (rate("dfsa_nested_event"), rate("dfsa_csr_scratch")) else {
+            unreachable!("both DFSA variants are always benched");
+        };
+        speedups.push(NamedRatio {
+            workload: report.name.clone(),
+            value: fast.events_per_sec / seed.events_per_sec,
+        });
+        allocs_saved.push(NamedRatio {
+            workload: report.name.clone(),
+            value: seed.allocs_per_event - fast.allocs_per_event,
+        });
+        reports.push(report);
+    }
+    let report = Report {
+        config: Config {
+            events: opts.events as u64,
+            environmental_profiles: opts.profiles.unwrap_or(1000) as u64,
+            stock_profiles: opts.profiles.unwrap_or(1000) as u64,
+            min_ms: opts.min_ms,
+        },
+        workloads: reports,
+        summary: Summary {
+            dfsa_csr_scratch_vs_seed_speedup: speedups,
+            allocs_eliminated_per_event: allocs_saved,
+        },
+    };
+    let json = serde_json::to_string_pretty(&report)?;
+    std::fs::write(&opts.out, &json)?;
+    if !opts.quiet {
+        println!("{json}");
+    }
+    eprintln!("wrote {}", opts.out);
+    Ok(())
+}
+
+fn bench_workload(
+    w: &BenchWorkload,
+    opts: &Options,
+) -> Result<WorkloadReport, Box<dyn std::error::Error>> {
+    let tree = ProfileTree::build(&w.profiles, &TreeConfig::default())?;
+    let dfsa = Dfsa::from_tree(&tree);
+    let nested = NestedDfsa::from_tree(&tree);
+    let naive = NaiveMatcher::new(&w.profiles)?;
+    let counting = CountingMatcher::new(&w.profiles)?;
+    let schema = &w.schema;
+    let events = &w.events;
+
+    // Mean comparison ops/event for the counting matchers (one pass).
+    let tree_ops = mean_ops(events, |e| tree.match_event(e).expect("valid").ops());
+    let naive_ops = mean_ops(events, |e| naive.match_event(e).expect("valid").ops());
+    let counting_ops = mean_ops(events, |e| counting.match_event(e).expect("valid").ops());
+
+    let mut matchers = Vec::new();
+
+    // Allocating `match_event` entry points (the seed call pattern).
+    matchers.push(bench_pass(opts, "tree_event", events, tree_ops, |evts| {
+        let mut n = 0u64;
+        for e in evts {
+            n += tree.match_event(e).expect("valid").profiles().len() as u64;
+        }
+        n
+    }));
+    matchers.push(bench_pass(opts, "dfsa_nested_event", events, 0.0, |evts| {
+        let mut n = 0u64;
+        for e in evts {
+            n += nested.match_event(e).expect("valid").len() as u64;
+        }
+        n
+    }));
+    matchers.push(bench_pass(opts, "dfsa_csr_event", events, 0.0, |evts| {
+        let mut n = 0u64;
+        for e in evts {
+            n += dfsa.match_event(e).expect("valid").len() as u64;
+        }
+        n
+    }));
+    matchers.push(bench_pass(opts, "naive_event", events, naive_ops, |evts| {
+        let mut n = 0u64;
+        for e in evts {
+            n += naive.match_event(e).expect("valid").profiles().len() as u64;
+        }
+        n
+    }));
+    matchers.push(bench_pass(
+        opts,
+        "counting_event",
+        events,
+        counting_ops,
+        |evts| {
+            let mut n = 0u64;
+            for e in evts {
+                n += counting.match_event(e).expect("valid").profiles().len() as u64;
+            }
+            n
+        },
+    ));
+
+    // Zero-allocation `match_into` fast paths (reused buffers).
+    matchers.push(scratch_pass(
+        opts,
+        "tree_scratch",
+        schema,
+        events,
+        tree_ops,
+        &tree,
+    ));
+    matchers.push(scratch_pass(
+        opts,
+        "dfsa_csr_scratch",
+        schema,
+        events,
+        0.0,
+        &dfsa,
+    ));
+    matchers.push(scratch_pass(
+        opts,
+        "naive_scratch",
+        schema,
+        events,
+        naive_ops,
+        &naive,
+    ));
+    matchers.push(scratch_pass(
+        opts,
+        "counting_scratch",
+        schema,
+        events,
+        counting_ops,
+        &counting,
+    ));
+
+    // Cross-check: every variant must have found the same matches.
+    let expected = matchers[0].matches;
+    for m in &matchers {
+        assert_eq!(
+            m.matches, expected,
+            "{} disagrees with tree_event on total matches",
+            m.name
+        );
+    }
+
+    Ok(WorkloadReport {
+        name: w.name.to_owned(),
+        profiles: w.profiles.len() as u64,
+        events: events.len() as u64,
+        matchers,
+    })
+}
+
+fn mean_ops(events: &[Event], mut f: impl FnMut(&Event) -> u64) -> f64 {
+    let total: u64 = events.iter().map(&mut f).sum();
+    total as f64 / events.len() as f64
+}
+
+/// Times one matcher: a warm-up pass, an allocation-counting pass, then
+/// timed passes until `min_ms` has elapsed.
+fn bench_pass(
+    opts: &Options,
+    name: &str,
+    events: &[Event],
+    ops_per_event: f64,
+    mut pass: impl FnMut(&[Event]) -> u64,
+) -> MatcherReport {
+    let matches = pass(events); // warm-up
+    let before = allocations();
+    let check = pass(events);
+    let allocs = allocations() - before;
+    assert_eq!(matches, check, "matcher must be deterministic");
+    // Timed passes until `min_ms` has elapsed (always at least one, so
+    // `--min-ms 0` still yields finite numbers). The *fastest* pass is
+    // reported: scheduler/frequency noise only ever slows a pass down,
+    // so the minimum is the noise-robust estimator of the true cost —
+    // applied identically to every matcher.
+    let start = Instant::now();
+    let mut best = std::time::Duration::MAX;
+    loop {
+        let t0 = Instant::now();
+        std::hint::black_box(pass(events));
+        best = best.min(t0.elapsed());
+        if start.elapsed().as_millis() >= u128::from(opts.min_ms) {
+            break;
+        }
+    }
+    let per_pass = best.as_secs_f64();
+    let n_events = events.len() as f64;
+    MatcherReport {
+        name: name.to_owned(),
+        events_per_sec: n_events / per_pass,
+        ns_per_event: per_pass * 1e9 / n_events,
+        ops_per_event,
+        allocs_per_event: allocs as f64 / events.len() as f64,
+        matches,
+    }
+}
+
+/// Like [`bench_pass`], but through the `match_into` fast path with a
+/// reused [`IndexedEvent`] + [`MatchScratch`] pair (per-event index
+/// resolution included in the measured loop).
+fn scratch_pass<M: Matcher>(
+    opts: &Options,
+    name: &str,
+    schema: &Schema,
+    events: &[Event],
+    ops_per_event: f64,
+    matcher: &M,
+) -> MatcherReport {
+    let mut indexed = IndexedEvent::new();
+    let mut scratch = MatchScratch::new();
+    let mut pass = move |evts: &[Event]| -> u64 {
+        let mut n = 0u64;
+        for e in evts {
+            indexed.resolve_into(schema, e).expect("valid event");
+            matcher.match_into(&indexed, &mut scratch);
+            n += scratch.profiles().len() as u64;
+        }
+        n
+    };
+    bench_pass(opts, name, events, ops_per_event, &mut pass)
+}

@@ -11,9 +11,10 @@
 //! events in order to determine the event distribution" (§5).
 
 use ens_dist::Pmf;
-use ens_types::{AttrId, Event, ProfileSet};
+use ens_types::{AttrId, Event, IndexedEvent, ProfileSet};
 use serde::{Deserialize, Serialize};
 
+use crate::scratch::{MatchScratch, Matcher};
 use crate::statistics::FilterStatistics;
 use crate::tree::{MatchOutcome, ProfileTree, TreeConfig};
 use crate::FilterError;
@@ -149,6 +150,34 @@ impl AdaptiveFilter {
     /// Propagates matching and rebuild errors.
     pub fn process(&mut self, event: &Event) -> Result<MatchOutcome, FilterError> {
         let outcome = self.tree.match_event(event)?;
+        self.record(event)?;
+        Ok(outcome)
+    }
+
+    /// The allocation-free variant of [`AdaptiveFilter::process`]:
+    /// resolves `event` into the caller-owned `indexed` buffer, matches
+    /// into the caller-owned `scratch`, then records the event exactly
+    /// like `process`. After warm-up the matching step performs no heap
+    /// allocation (the statistics/rebuild machinery may still allocate
+    /// when the drift policy fires).
+    ///
+    /// # Errors
+    ///
+    /// Propagates matching and rebuild errors.
+    pub fn process_into(
+        &mut self,
+        event: &Event,
+        indexed: &mut IndexedEvent,
+        scratch: &mut MatchScratch,
+    ) -> Result<(), FilterError> {
+        indexed.resolve_into(self.tree.schema(), event)?;
+        self.tree.match_into(indexed, scratch);
+        self.record(event)
+    }
+
+    /// Shared post-match bookkeeping: history recording and the drift
+    /// policy.
+    fn record(&mut self, event: &Event) -> Result<(), FilterError> {
         self.stats.record_event(event)?;
         self.events_since_rebuild += 1;
         if self.events_since_rebuild >= self.policy.min_events
@@ -156,7 +185,7 @@ impl AdaptiveFilter {
         {
             self.rebuild()?;
         }
-        Ok(outcome)
+        Ok(())
     }
 
     /// Maximum L1 distance, over attributes, between the empirical cell

@@ -1,6 +1,7 @@
-use ens_types::{Event, ProfileId, ProfileSet, Schema};
+use ens_types::{Event, IndexedEvent, ProfileId, ProfileSet, Schema};
 
 use super::BaselineOutcome;
+use crate::scratch::{MatchScratch, Matcher};
 use crate::subrange::AttributePartition;
 use crate::FilterError;
 
@@ -79,32 +80,50 @@ impl CountingMatcher {
 
     /// Matches one event.
     ///
+    /// Convenience wrapper over the allocation-free
+    /// [`Matcher::match_into`] fast path.
+    ///
     /// # Errors
     ///
     /// Propagates domain errors for ill-typed event values.
     pub fn match_event(&self, event: &Event) -> Result<BaselineOutcome, FilterError> {
-        let mut counters = vec![0u32; self.required.len()];
-        let mut ops = 0u64;
-        for (id, a) in self.schema.iter() {
-            let Some(v) = event.value(id) else { continue };
-            let idx = a.domain().index_of(v)?;
+        let indexed = IndexedEvent::resolve(&self.schema, event)?;
+        let mut scratch = MatchScratch::new();
+        self.match_into(&indexed, &mut scratch);
+        Ok(BaselineOutcome::new(scratch.profiles, scratch.ops))
+    }
+}
+
+impl Matcher for CountingMatcher {
+    fn match_into(&self, event: &IndexedEvent, scratch: &mut MatchScratch) {
+        scratch.reset(0);
+        scratch.counters.clear();
+        scratch.counters.resize(self.required.len(), 0);
+        for (id, _) in self.schema.iter() {
+            let Some(idx) = event.get(id) else { continue };
             let part = &self.partitions[id.index()];
+            if idx >= part.domain_size() {
+                // Out-of-domain index (foreign `from_indices` input):
+                // satisfies no predicate on this attribute.
+                continue;
+            }
             // Binary-search the cell: log2(#cells) comparisons.
             let cells = part.cells().len().max(1);
-            ops += (usize::BITS - (cells - 1).leading_zeros()).max(1) as u64;
+            scratch.ops += u64::from((usize::BITS - (cells - 1).leading_zeros()).max(1));
             let cell = &part.cells()[part.cell_of(idx)];
             for pid in cell.profiles() {
-                counters[pid.index()] += 1;
-                ops += 1;
+                scratch.counters[pid.index()] += 1;
+                scratch.ops += 1;
             }
         }
-        let mut matched: Vec<ProfileId> = self.unconditional.clone();
-        for (k, (have, need)) in counters.iter().zip(&self.required).enumerate() {
+        scratch.profiles.extend_from_slice(&self.unconditional);
+        for (k, (have, need)) in scratch.counters.iter().zip(&self.required).enumerate() {
             if *need > 0 && have == need {
-                matched.push(ProfileId::new(k as u32));
+                scratch.profiles.push(ProfileId::new(k as u32));
             }
         }
-        Ok(BaselineOutcome::new(matched, ops))
+        scratch.profiles.sort_unstable();
+        scratch.profiles.dedup();
     }
 }
 

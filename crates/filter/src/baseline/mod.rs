@@ -9,12 +9,18 @@
 //! * [`CountingMatcher`] — the counting / predicate-index family
 //!   (Fabret et al., Aguilera et al.): one interval index per attribute
 //!   plus per-profile satisfied-predicate counters.
+//!
+//! [`NestedDfsa`] additionally preserves the workspace's original
+//! pointer-heavy DFSA layout so the throughput benchmarks can quantify
+//! what the CSR rework of [`crate::Dfsa`] buys.
 
 mod counting;
 mod naive;
+mod nested;
 
 pub use counting::CountingMatcher;
 pub use naive::NaiveMatcher;
+pub use nested::NestedDfsa;
 
 use ens_types::ProfileId;
 use serde::{Deserialize, Serialize};

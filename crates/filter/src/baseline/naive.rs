@@ -1,6 +1,7 @@
-use ens_types::{AttrId, Event, IntervalSet, ProfileSet, Schema};
+use ens_types::{AttrId, Event, IndexedEvent, IntervalSet, ProfileSet, Schema};
 
 use super::BaselineOutcome;
+use crate::scratch::{MatchScratch, Matcher};
 use crate::FilterError;
 
 /// The simple algorithm: test every profile against the event, one
@@ -70,25 +71,29 @@ impl NaiveMatcher {
 
     /// Matches one event.
     ///
+    /// Convenience wrapper over the allocation-free
+    /// [`Matcher::match_into`] fast path.
+    ///
     /// # Errors
     ///
     /// Propagates domain errors for ill-typed event values.
     pub fn match_event(&self, event: &Event) -> Result<BaselineOutcome, FilterError> {
         // Resolve indices once per event (shared with all profiles).
-        let mut indices: Vec<Option<u64>> = Vec::with_capacity(self.schema.len());
-        for (id, a) in self.schema.iter() {
-            match event.value(id) {
-                None => indices.push(None),
-                Some(v) => indices.push(Some(a.domain().index_of(v)?)),
-            }
-        }
-        let mut ops = 0u64;
-        let mut matched = Vec::new();
+        let indexed = IndexedEvent::resolve(&self.schema, event)?;
+        let mut scratch = MatchScratch::new();
+        self.match_into(&indexed, &mut scratch);
+        Ok(BaselineOutcome::new(scratch.profiles, scratch.ops))
+    }
+}
+
+impl Matcher for NaiveMatcher {
+    fn match_into(&self, event: &IndexedEvent, scratch: &mut MatchScratch) {
+        scratch.reset(0);
         for (k, preds) in self.profiles.iter().enumerate() {
             let mut ok = true;
             for (attr, set) in preds {
-                ops += 1;
-                match indices[attr.index()] {
+                scratch.ops += 1;
+                match event.get(*attr) {
                     Some(idx) if set.contains(idx) => {}
                     _ => {
                         ok = false;
@@ -97,10 +102,10 @@ impl NaiveMatcher {
                 }
             }
             if ok {
-                matched.push(ens_types::ProfileId::new(k as u32));
+                // Profiles are scanned in id order, so pushes stay sorted.
+                scratch.profiles.push(ens_types::ProfileId::new(k as u32));
             }
         }
-        Ok(BaselineOutcome::new(matched, ops))
     }
 }
 

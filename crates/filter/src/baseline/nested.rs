@@ -1,0 +1,247 @@
+use ens_types::{AttrId, Domain, Event, ProfileId, TypesError, Value};
+
+use crate::tree::{NodeRef, ProfileTree, Star};
+use crate::FilterError;
+
+/// The seed's `Domain::index_of`: a kind pre-check followed by a second
+/// full match, with categorical values resolved by a linear scan.
+/// Reproduced here so [`NestedDfsa`] measures the seed's actual
+/// per-event resolution cost (the live `Domain::index_of` has since
+/// gained a single-match happy path and a first-byte dispatch table).
+fn seed_index_of(domain: &Domain, value: &Value) -> Result<u64, TypesError> {
+    if !domain.accepts_kind(value) {
+        return Err(TypesError::TypeMismatch {
+            attribute: String::new(),
+            expected: domain.kind(),
+            found: value.kind().to_owned(),
+        });
+    }
+    let idx = match (domain, value) {
+        (Domain::Categorical(cats), Value::Str(s)) => {
+            cats.names().iter().position(|c| c == s).map(|i| i as u64)
+        }
+        _ => domain.try_index_of(value),
+    };
+    idx.ok_or_else(|| TypesError::OutOfDomain {
+        attribute: String::new(),
+        value: value.to_string(),
+    })
+}
+
+/// Transition target of a nested-DFSA state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Target {
+    State(u32),
+    Leaf(u32),
+    Reject,
+}
+
+#[derive(Debug, Clone)]
+struct FlatState {
+    attr: AttrId,
+    /// Edge lower bounds (sorted), parallel with `uppers`/`targets`.
+    lowers: Vec<u64>,
+    uppers: Vec<u64>,
+    targets: Vec<Target>,
+    /// Where values outside every edge go (`(*)`/`*`), if anywhere.
+    star: Target,
+}
+
+/// The original (pre-CSR) flattened automaton, kept verbatim as a
+/// benchmark baseline.
+///
+/// This is the DFSA layout the workspace shipped with before the
+/// cache-friendly CSR rework of [`crate::Dfsa`]: three separate `Vec`s
+/// per state (one heap allocation each), nested `Vec<Vec<ProfileId>>`
+/// leaves cloned on every match, and per-event domain-index resolution
+/// inside [`NestedDfsa::match_event`]. The `throughput` harness and the
+/// `matchers` bench run it side by side with the CSR automaton so the
+/// old-vs-new delta stays measurable; it is not intended for production
+/// matching.
+///
+/// # Example
+///
+/// ```
+/// use ens_filter::baseline::NestedDfsa;
+/// use ens_filter::{ProfileTree, TreeConfig};
+/// use ens_types::{Schema, Domain, Predicate, ProfileSet, Event};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let schema = Schema::builder().attribute("x", Domain::int(0, 99))?.build();
+/// let mut ps = ProfileSet::new(&schema);
+/// ps.insert_with(|b| b.predicate("x", Predicate::between(10, 19)))?;
+/// let tree = ProfileTree::build(&ps, &TreeConfig::default())?;
+/// let dfsa = NestedDfsa::from_tree(&tree);
+/// let e = Event::builder(&schema).value("x", 15)?.build();
+/// assert_eq!(dfsa.match_event(&e)?.len(), 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct NestedDfsa {
+    schema: ens_types::Schema,
+    states: Vec<FlatState>,
+    leaves: Vec<Vec<ProfileId>>,
+    root: Target,
+}
+
+impl NestedDfsa {
+    /// Lowers a profile tree into per-state `Vec` tables (the seed
+    /// layout, including its deep schema clone).
+    #[must_use]
+    pub fn from_tree(tree: &ProfileTree) -> Self {
+        let mut dfsa = NestedDfsa {
+            schema: tree.schema().clone(),
+            states: Vec::new(),
+            leaves: Vec::new(),
+            root: Target::Reject,
+        };
+        dfsa.root = dfsa.lower(tree.root());
+        dfsa
+    }
+
+    fn lower(&mut self, node: &NodeRef) -> Target {
+        match node {
+            NodeRef::Leaf(ids) => {
+                if ids.is_empty() {
+                    Target::Reject
+                } else {
+                    self.leaves.push(ids.clone());
+                    Target::Leaf(self.leaves.len() as u32 - 1)
+                }
+            }
+            NodeRef::Inner(n) => {
+                let slot = self.states.len();
+                self.states.push(FlatState {
+                    attr: n.attr,
+                    lowers: Vec::new(),
+                    uppers: Vec::new(),
+                    targets: Vec::new(),
+                    star: Target::Reject,
+                });
+                let mut lowers = Vec::with_capacity(n.edges.len());
+                let mut uppers = Vec::with_capacity(n.edges.len());
+                let mut targets = Vec::with_capacity(n.edges.len());
+                for e in &n.edges {
+                    lowers.push(e.interval.lo());
+                    uppers.push(e.interval.hi());
+                    targets.push(self.lower(&e.child));
+                }
+                let star = match &n.star {
+                    Star::None => Target::Reject,
+                    Star::All(child) | Star::Else(child) => self.lower(child),
+                };
+                let s = &mut self.states[slot];
+                s.lowers = lowers;
+                s.uppers = uppers;
+                s.targets = targets;
+                s.star = star;
+                Target::State(slot as u32)
+            }
+        }
+    }
+
+    /// Number of states.
+    #[must_use]
+    pub fn state_count(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Matches an event; returns matched profile ids ascending.
+    ///
+    /// # Errors
+    ///
+    /// Propagates domain errors for ill-typed event values.
+    pub fn match_event(&self, event: &Event) -> Result<Vec<ProfileId>, FilterError> {
+        let mut indices: Vec<Option<u64>> = Vec::with_capacity(self.schema.len());
+        for (id, a) in self.schema.iter() {
+            match event.value(id) {
+                None => indices.push(None),
+                Some(v) => indices.push(Some(seed_index_of(a.domain(), v)?)),
+            }
+        }
+        Ok(self.match_indices(&indices))
+    }
+
+    /// Matches pre-resolved domain indices (one per schema attribute,
+    /// `None` for missing values).
+    #[must_use]
+    pub fn match_indices(&self, indices: &[Option<u64>]) -> Vec<ProfileId> {
+        let mut t = self.root;
+        loop {
+            match t {
+                Target::Reject => return Vec::new(),
+                Target::Leaf(l) => return self.leaves[l as usize].clone(),
+                Target::State(s) => {
+                    let state = &self.states[s as usize];
+                    let idx = indices.get(state.attr.index()).copied().flatten();
+                    t = match idx {
+                        None => state.star,
+                        Some(v) => {
+                            // Binary search: last edge with lower <= v.
+                            let k = state.lowers.partition_point(|lo| *lo <= v);
+                            if k > 0 && v < state.uppers[k - 1] {
+                                state.targets[k - 1]
+                            } else {
+                                state.star
+                            }
+                        }
+                    };
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::{ProfileTree, TreeConfig};
+    use crate::Dfsa;
+    use ens_types::{Domain, Predicate, ProfileSet, Schema};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn agrees_with_csr_dfsa_and_oracle() {
+        let schema = Schema::builder()
+            .attribute("x", Domain::int(0, 49))
+            .unwrap()
+            .attribute("y", Domain::int(0, 999))
+            .unwrap()
+            .build();
+        let mut rng = StdRng::seed_from_u64(31);
+        let mut ps = ProfileSet::new(&schema);
+        for _ in 0..40 {
+            ps.insert_with(|mut b| {
+                if rng.gen_bool(0.7) {
+                    let a = rng.gen_range(0..50);
+                    let c = rng.gen_range(0..50);
+                    b = b.predicate("x", Predicate::between(a.min(c), a.max(c)))?;
+                }
+                if rng.gen_bool(0.6) {
+                    let a = rng.gen_range(0..1000);
+                    let c = rng.gen_range(0..1000);
+                    b = b.predicate("y", Predicate::between(a.min(c), a.max(c)))?;
+                }
+                Ok(b)
+            })
+            .unwrap();
+        }
+        let tree = ProfileTree::build(&ps, &TreeConfig::default()).unwrap();
+        let nested = NestedDfsa::from_tree(&tree);
+        let csr = Dfsa::from_tree(&tree);
+        assert_eq!(nested.state_count(), csr.state_count());
+        for _ in 0..400 {
+            let e = ens_types::Event::builder(&schema)
+                .value("x", rng.gen_range(0..50))
+                .unwrap()
+                .value("y", rng.gen_range(0..1000))
+                .unwrap()
+                .build();
+            let oracle = ps.matches(&e).unwrap();
+            assert_eq!(nested.match_event(&e).unwrap(), oracle);
+            assert_eq!(csr.match_event(&e).unwrap(), oracle);
+        }
+    }
+}

@@ -1,19 +1,61 @@
-//! Flattened DFSA form of a profile tree.
+//! Flattened DFSA form of a profile tree, in a cache-friendly CSR layout.
 //!
 //! §3: "from a given set of profiles, a deterministic finite state
 //! automaton (DFSA) is created". [`Dfsa`] lowers a [`ProfileTree`] into
-//! contiguous state tables matched with an iterative loop and binary
-//! search per state — the representation used for raw-throughput
-//! matching, where operation counting is not needed. Semantics are
-//! identical to [`ProfileTree::match_event`] (asserted by tests and the
-//! `matchers` bench).
+//! structure-of-arrays state tables — the representation used for
+//! raw-throughput matching, where operation counting is not needed.
+//! Semantics are identical to [`ProfileTree::match_event`] (asserted by
+//! tests and the `matchers` bench).
+//!
+//! # Layout
+//!
+//! Instead of one heap allocation per state (the pointer-heavy layout
+//! kept as [`crate::baseline::NestedDfsa`] for comparison), all states
+//! share contiguous arenas:
+//!
+//! * `cuts` — sorted cut points, each fused with the packed target of
+//!   the interval it opens; a binary-search state owns one
+//!   `(offset, len)` range describing a piecewise-constant map from
+//!   domain index to transition target (gaps between profile edges are
+//!   materialised as explicit intervals leading to the star target, so
+//!   a lookup is a single `partition_point`, optionally narrowed by a
+//!   per-state bucket index);
+//! * `jumps` — dense **jump tables** (one packed target per domain
+//!   point over the state's covered span), chosen automatically for
+//!   spans of at most [`JUMP_TABLE_MAX_DOMAIN`] points (a lookup is
+//!   then one range check + one load, no search at all);
+//! * `leaf_profiles` — a flat leaf arena with per-leaf offsets; leaf
+//!   profile lists are sorted, deduplicated and hash-consed at build
+//!   time, so the match loop never sorts.
+//!
+//! Matching through [`Matcher::match_into`] with a reused
+//! [`MatchScratch`] performs zero heap allocations after warm-up
+//! (asserted by `crates/filter/tests/alloc.rs`).
 
-use ens_types::{AttrId, Event, ProfileId};
+use std::sync::Arc;
 
+use ens_types::{AttrId, Event, IndexedEvent, ProfileId, Schema};
+
+use crate::scratch::{MatchScratch, Matcher};
 use crate::tree::{NodeRef, ProfileTree, Star};
 use crate::FilterError;
 
-/// Transition target of a DFSA state.
+/// Largest covered index span (in grid points) for which a state stores
+/// a dense jump table (`index -> target`) instead of binary-searched
+/// bounds. The table covers only the span between the state's first and
+/// last edge, so even large domains get jump tables when the
+/// subscriptions cluster.
+pub const JUMP_TABLE_MAX_DOMAIN: u64 = 256;
+
+/// Binary-search states with at least this many cut points additionally
+/// carry a bucket index (see [`StateMeta`]) that narrows each lookup to
+/// a handful of bounds.
+const SEARCH_ACCEL_MIN_BOUNDS: usize = 8;
+
+/// Sentinel for "no bucket index".
+const NO_ACCEL: u32 = u32::MAX;
+
+/// Transition target of a DFSA state (build/minimise-time form).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Target {
     State(u32),
@@ -21,14 +63,78 @@ enum Target {
     Reject,
 }
 
-#[derive(Debug, Clone)]
-struct FlatState {
+/// Match-time target, packed into 4 bytes: tag in the top two bits
+/// (`00` reject, `01` state, `10` leaf), payload index below. Packing
+/// halves the arena footprint — jump tables in particular — which keeps
+/// more of the automaton in cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct PTarget(u32);
+
+const TAG_SHIFT: u32 = 30;
+const TAG_STATE: u32 = 0b01;
+const TAG_LEAF: u32 = 0b10;
+const PAYLOAD_MASK: u32 = (1 << TAG_SHIFT) - 1;
+
+impl PTarget {
+    const REJECT: PTarget = PTarget(0);
+
+    fn pack(t: Target) -> PTarget {
+        match t {
+            Target::Reject => PTarget::REJECT,
+            Target::State(s) => PTarget((TAG_STATE << TAG_SHIFT) | s),
+            Target::Leaf(l) => PTarget((TAG_LEAF << TAG_SHIFT) | l),
+        }
+    }
+
+    fn unpack(self) -> Target {
+        match self.0 >> TAG_SHIFT {
+            TAG_STATE => Target::State(self.0 & PAYLOAD_MASK),
+            TAG_LEAF => Target::Leaf(self.0 & PAYLOAD_MASK),
+            _ => Target::Reject,
+        }
+    }
+}
+
+/// One cut point of a binary-search state, fused with the target of the
+/// interval it opens (`[cut.bound, next_cut.bound) -> cut.target`; the
+/// last cut of a state carries a dummy target).
+#[derive(Debug, Clone, Copy)]
+struct Cut {
+    bound: u64,
+    target: PTarget,
+}
+
+/// Per-state metadata, flat (no enum indirection) so the hot loop reads
+/// one cache line per state. A state is either a **jump table**
+/// (`jump == true`: `jumps[t_off + (idx - lo)]` for `idx` in
+/// `[lo, hi)`) or a **binary-search** state over
+/// `cuts[b_off .. b_off + b_len]`. `lo`/`hi` cache the covered index
+/// range so out-of-range values (including the
+/// [`IndexedEvent::MISSING`] sentinel) fall to `star` without touching
+/// the arenas. When `acc_off != NO_ACCEL`, `accel[acc_off + k]` counts
+/// the cut points below bucket `k`'s first value (bucket = index
+/// `>> shift`), narrowing the binary search to one bucket.
+#[derive(Debug, Clone, Copy)]
+struct StateMeta {
+    /// Schema position of the tested attribute.
+    attr: u32,
+    shift: u8,
+    jump: bool,
+    star: PTarget,
+    /// Covered index range: `lo == hi` means no specific edges.
+    lo: u64,
+    hi: u64,
+    b_off: u32,
+    b_len: u32,
+    t_off: u32,
+    acc_off: u32,
+}
+
+/// Pre-freeze form of a state: explicit `[lo, hi) -> target` edges.
+struct BuildState {
     attr: AttrId,
-    /// Edge lower bounds (sorted), parallel with `uppers`/`targets`.
-    lowers: Vec<u64>,
-    uppers: Vec<u64>,
-    targets: Vec<Target>,
-    /// Where values outside every edge go (`(*)`/`*`), if anywhere.
+    /// Sorted, non-overlapping, non-empty intervals.
+    edges: Vec<(u64, u64, Target)>,
     star: Target,
 }
 
@@ -53,73 +159,155 @@ struct FlatState {
 /// ```
 #[derive(Debug, Clone)]
 pub struct Dfsa {
-    schema: ens_types::Schema,
-    states: Vec<FlatState>,
-    leaves: Vec<Vec<ProfileId>>,
-    root: Target,
+    schema: Arc<Schema>,
+    states: Vec<StateMeta>,
+    /// Cut points of all binary-search states, each fused with the
+    /// target of the interval it opens (so the probe that finds a cut
+    /// has its target on the same cache line).
+    cuts: Vec<Cut>,
+    /// Dense jump tables of all jump states.
+    jumps: Vec<PTarget>,
+    /// Bucket indices for accelerated search states (see [`StateMeta`]).
+    accel: Vec<u32>,
+    /// `leaf_off[l] .. leaf_off[l+1]` delimits leaf `l` in
+    /// `leaf_profiles`; always starts with 0.
+    leaf_off: Vec<u32>,
+    leaf_profiles: Vec<ProfileId>,
+    root: PTarget,
 }
 
 impl Dfsa {
-    /// Lowers a profile tree into flat state tables.
+    /// Lowers a profile tree into flat CSR state tables. The schema is
+    /// shared with the tree (no deep copy).
     #[must_use]
     pub fn from_tree(tree: &ProfileTree) -> Self {
-        let mut dfsa = Dfsa {
-            schema: tree.schema().clone(),
+        let mut lowering = Lowering {
             states: Vec::new(),
             leaves: Vec::new(),
-            root: Target::Reject,
+            leaf_canon: std::collections::HashMap::new(),
         };
-        dfsa.root = dfsa.lower(tree.root());
-        dfsa
-    }
-
-    fn lower(&mut self, node: &NodeRef) -> Target {
-        match node {
-            NodeRef::Leaf(ids) => {
-                if ids.is_empty() {
-                    Target::Reject
-                } else {
-                    self.leaves.push(ids.clone());
-                    Target::Leaf(self.leaves.len() as u32 - 1)
-                }
-            }
-            NodeRef::Inner(n) => {
-                // Reserve the slot first so the layout is depth-first
-                // with parents before children.
-                let slot = self.states.len();
-                self.states.push(FlatState {
-                    attr: n.attr,
-                    lowers: Vec::new(),
-                    uppers: Vec::new(),
-                    targets: Vec::new(),
-                    star: Target::Reject,
-                });
-                let mut lowers = Vec::with_capacity(n.edges.len());
-                let mut uppers = Vec::with_capacity(n.edges.len());
-                let mut targets = Vec::with_capacity(n.edges.len());
-                for e in &n.edges {
-                    lowers.push(e.interval.lo());
-                    uppers.push(e.interval.hi());
-                    targets.push(self.lower(&e.child));
-                }
-                let star = match &n.star {
-                    Star::None => Target::Reject,
-                    Star::All(child) | Star::Else(child) => self.lower(child),
-                };
-                let s = &mut self.states[slot];
-                s.lowers = lowers;
-                s.uppers = uppers;
-                s.targets = targets;
-                s.star = star;
-                Target::State(slot as u32)
-            }
-        }
+        let root = lowering.lower(tree.root());
+        freeze(
+            Arc::clone(tree.schema_shared()),
+            &lowering.states,
+            &lowering.leaves,
+            root,
+        )
     }
 
     /// Number of states.
     #[must_use]
     pub fn state_count(&self) -> usize {
         self.states.len()
+    }
+
+    /// Number of distinct leaves.
+    #[must_use]
+    pub fn leaf_count(&self) -> usize {
+        self.leaf_off.len() - 1
+    }
+
+    /// Number of states resolved by a dense jump table (the rest use
+    /// binary search over their bounds range).
+    #[must_use]
+    pub fn jump_state_count(&self) -> usize {
+        self.states.iter().filter(|s| s.jump).count()
+    }
+
+    fn leaf(&self, l: u32) -> &[ProfileId] {
+        let lo = self.leaf_off[l as usize] as usize;
+        let hi = self.leaf_off[l as usize + 1] as usize;
+        &self.leaf_profiles[lo..hi]
+    }
+
+    /// Resolves one state transition for a raw domain index
+    /// ([`IndexedEvent::MISSING`] falls outside every covered range and
+    /// follows the star target like any other uncovered value).
+    #[inline]
+    fn step(&self, state: &StateMeta, idx: u64) -> PTarget {
+        // One range check covers: missing values, out-of-domain indices,
+        // edge-less `*` states (lo == hi) and gap values beyond the
+        // covered span — without touching the arenas.
+        if idx < state.lo || idx >= state.hi {
+            return state.star;
+        }
+        if state.jump {
+            // The table covers the span [lo, hi), indexed relative to lo.
+            return self.jumps[state.t_off as usize + (idx - state.lo) as usize];
+        }
+        let cuts = &self.cuts[state.b_off as usize..(state.b_off + state.b_len) as usize];
+        let k = if state.acc_off == NO_ACCEL {
+            // Unaccelerated states are small (< SEARCH_ACCEL_MIN_BOUNDS
+            // cuts): a forward scan beats a branchy binary search here
+            // (predictable branches, sequential prefetch).
+            let mut k = 1;
+            while k < cuts.len() && cuts[k].bound <= idx {
+                k += 1;
+            }
+            k
+        } else {
+            // Bucket index (span-relative): the answer lies between the
+            // cut-point counts at this bucket's first value and the
+            // next bucket's — a handful of cuts, scanned forward.
+            let bucket = ((idx - state.lo) >> state.shift) as usize;
+            let mut k = self.accel[state.acc_off as usize + bucket] as usize;
+            let hi = self.accel[state.acc_off as usize + bucket + 1] as usize;
+            while k < hi && cuts[k].bound <= idx {
+                k += 1;
+            }
+            k
+        };
+        cuts[k - 1].target
+    }
+
+    /// Runs the automaton to its terminal target over the raw
+    /// sentinel-encoded index slice.
+    #[inline]
+    fn terminal(&self, raw: &[u64]) -> PTarget {
+        let mut t = self.root;
+        while t.0 >> TAG_SHIFT == TAG_STATE {
+            let state = &self.states[(t.0 & PAYLOAD_MASK) as usize];
+            let idx = raw
+                .get(state.attr as usize)
+                .copied()
+                .unwrap_or(IndexedEvent::MISSING);
+            t = self.step(state, idx);
+        }
+        t
+    }
+
+    /// Matches an event; returns matched profile ids ascending.
+    ///
+    /// Convenience wrapper over the allocation-free
+    /// [`Matcher::match_into`] fast path: it resolves the event once and
+    /// allocates the result vector. Hot loops should reuse an
+    /// [`IndexedEvent`] and a [`MatchScratch`] instead.
+    ///
+    /// # Errors
+    ///
+    /// Propagates domain errors for ill-typed event values.
+    pub fn match_event(&self, event: &Event) -> Result<Vec<ProfileId>, FilterError> {
+        let indexed = IndexedEvent::resolve(self.schema.as_ref(), event)?;
+        let t = self.terminal(indexed.raw());
+        Ok(match t.unpack() {
+            Target::Leaf(l) => self.leaf(l).to_vec(),
+            _ => Vec::new(),
+        })
+    }
+
+    /// Matches pre-resolved domain indices (one per schema attribute,
+    /// `None` for missing values), allocating the result vector. Prefer
+    /// [`Matcher::match_into`] in hot loops.
+    #[must_use]
+    pub fn match_indices(&self, indices: &[Option<u64>]) -> Vec<ProfileId> {
+        let raw: Vec<u64> = indices
+            .iter()
+            .map(|o| o.unwrap_or(IndexedEvent::MISSING))
+            .collect();
+        match self.terminal(&raw).unpack() {
+            Target::Leaf(l) => self.leaf(l).to_vec(),
+            _ => Vec::new(),
+        }
     }
 
     /// Hash-consing minimisation: merges structurally identical states
@@ -130,26 +318,31 @@ impl Dfsa {
     pub fn minimize(&self) -> Dfsa {
         use std::collections::HashMap;
 
-        // 1. Dedup leaves by content.
+        // 1. Dedup leaves by content (freeze() hash-conses leaves too, so
+        // this is the identity unless two leaves collide post-mapping).
         let mut leaf_canon: HashMap<&[ProfileId], u32> = HashMap::new();
         let mut new_leaves: Vec<Vec<ProfileId>> = Vec::new();
-        let mut leaf_map: Vec<u32> = Vec::with_capacity(self.leaves.len());
-        for leaf in &self.leaves {
-            let id = *leaf_canon.entry(leaf.as_slice()).or_insert_with(|| {
-                new_leaves.push(leaf.clone());
+        let mut leaf_map: Vec<u32> = Vec::with_capacity(self.leaf_count());
+        for l in 0..self.leaf_count() {
+            let leaf = self.leaf(l as u32);
+            let id = *leaf_canon.entry(leaf).or_insert_with(|| {
+                new_leaves.push(leaf.to_vec());
                 new_leaves.len() as u32 - 1
             });
             leaf_map.push(id);
         }
 
-        // 2. Post-order over the reachable states (children before
-        // parents, works for any DAG layout), canonicalising each state
-        // against already-minimised children. Unreachable states are
+        // 2. Decode every state back into explicit edges (gap intervals
+        // stay as star-target entries for now; they are normalised away
+        // after child mapping).
+        let decoded: Vec<BuildState> = self.states.iter().map(|s| self.decode(s)).collect();
+
+        // 3. Post-order over the reachable states (children before
+        // parents, works for any DAG layout). Unreachable states are
         // dropped as a side effect.
         let mut order: Vec<usize> = Vec::with_capacity(self.states.len());
         let mut visited = vec![false; self.states.len()];
-        if let Target::State(root) = self.root {
-            // Iterative post-order DFS.
+        if let Target::State(root) = self.root.unpack() {
             let mut stack: Vec<(usize, bool)> = vec![(root as usize, false)];
             while let Some((s, expanded)) = stack.pop() {
                 if expanded {
@@ -161,8 +354,13 @@ impl Dfsa {
                 }
                 visited[s] = true;
                 stack.push((s, true));
-                let state = &self.states[s];
-                for t in state.targets.iter().chain(std::iter::once(&state.star)) {
+                let state = &decoded[s];
+                for t in state
+                    .edges
+                    .iter()
+                    .map(|(_, _, t)| t)
+                    .chain(std::iter::once(&state.star))
+                {
                     if let Target::State(c) = t {
                         if !visited[*c as usize] {
                             stack.push((*c as usize, false));
@@ -172,7 +370,7 @@ impl Dfsa {
             }
         }
 
-        type StateKey = (u32, Vec<u64>, Vec<u64>, Vec<(u8, u32)>, (u8, u32));
+        type StateKey = (u32, Vec<(u64, u64, (u8, u32))>, (u8, u32));
         let encode = |t: Target, state_map: &[u32], leaf_map: &[u32]| -> (u8, u32) {
             match t {
                 Target::Reject => (0, 0),
@@ -180,7 +378,7 @@ impl Dfsa {
                 Target::State(s) => (2, state_map[s as usize]),
             }
         };
-        let decode = |(tag, v): (u8, u32)| -> Target {
+        let decode_tag = |(tag, v): (u8, u32)| -> Target {
             match tag {
                 0 => Target::Reject,
                 1 => Target::Leaf(v),
@@ -188,99 +386,283 @@ impl Dfsa {
             }
         };
         let mut state_canon: HashMap<StateKey, u32> = HashMap::new();
-        let mut new_states: Vec<FlatState> = Vec::new();
+        let mut new_states: Vec<BuildState> = Vec::new();
         let mut state_map: Vec<u32> = vec![0; self.states.len()];
         for idx in order {
-            let s = &self.states[idx];
-            let targets: Vec<(u8, u32)> = s
-                .targets
-                .iter()
-                .map(|t| encode(*t, &state_map, &leaf_map))
-                .collect();
+            let s = &decoded[idx];
             let star = encode(s.star, &state_map, &leaf_map);
-            let key: StateKey = (
-                s.attr.index() as u32,
-                s.lowers.clone(),
-                s.uppers.clone(),
-                targets.clone(),
-                star,
-            );
+            // Normalise post-mapping: drop edges leading where the star
+            // already leads, merge adjacent intervals with equal targets.
+            let mut edges: Vec<(u64, u64, (u8, u32))> = Vec::with_capacity(s.edges.len());
+            for &(lo, hi, t) in &s.edges {
+                let t = encode(t, &state_map, &leaf_map);
+                if t == star {
+                    continue;
+                }
+                if let Some(last) = edges.last_mut() {
+                    if last.1 == lo && last.2 == t {
+                        last.1 = hi;
+                        continue;
+                    }
+                }
+                edges.push((lo, hi, t));
+            }
+            let key: StateKey = (s.attr.index() as u32, edges.clone(), star);
             let id = *state_canon.entry(key).or_insert_with(|| {
-                new_states.push(FlatState {
+                new_states.push(BuildState {
                     attr: s.attr,
-                    lowers: s.lowers.clone(),
-                    uppers: s.uppers.clone(),
-                    targets: targets.iter().map(|t| decode(*t)).collect(),
-                    star: decode(star),
+                    edges: edges
+                        .iter()
+                        .map(|&(lo, hi, t)| (lo, hi, decode_tag(t)))
+                        .collect(),
+                    star: decode_tag(star),
                 });
                 new_states.len() as u32 - 1
             });
             state_map[idx] = id;
         }
 
-        let root = match self.root {
+        let root = match self.root.unpack() {
             Target::Reject => Target::Reject,
             Target::Leaf(l) => Target::Leaf(leaf_map[l as usize]),
             Target::State(s) => Target::State(state_map[s as usize]),
         };
-        Dfsa {
-            schema: self.schema.clone(),
-            states: new_states,
-            leaves: new_leaves,
-            root,
-        }
+        freeze(Arc::clone(&self.schema), &new_states, &new_leaves, root)
     }
 
-    /// Number of distinct leaves.
-    #[must_use]
-    pub fn leaf_count(&self) -> usize {
-        self.leaves.len()
-    }
-
-    /// Matches an event; returns matched profile ids ascending.
-    ///
-    /// # Errors
-    ///
-    /// Propagates domain errors for ill-typed event values.
-    pub fn match_event(&self, event: &Event) -> Result<Vec<ProfileId>, FilterError> {
-        let mut indices: Vec<Option<u64>> = Vec::with_capacity(self.schema.len());
-        for (id, a) in self.schema.iter() {
-            match event.value(id) {
-                None => indices.push(None),
-                Some(v) => indices.push(Some(a.domain().index_of(v)?)),
+    /// Reconstructs a state's explicit `[lo, hi) -> target` edge list
+    /// from its frozen arena ranges (including star-target gap entries).
+    fn decode(&self, s: &StateMeta) -> BuildState {
+        let attr = AttrId::new(s.attr);
+        let mut edges: Vec<(u64, u64, Target)> = Vec::new();
+        if s.jump {
+            // Run-length decode the dense table (stored for the covered
+            // span [s.lo, s.hi), indexed relative to s.lo).
+            let len = s.hi - s.lo;
+            let mut idx = 0u64;
+            while idx < len {
+                let t = self.jumps[s.t_off as usize + idx as usize];
+                let start = idx;
+                while idx < len && self.jumps[s.t_off as usize + idx as usize] == t {
+                    idx += 1;
+                }
+                if t != s.star {
+                    edges.push((s.lo + start, s.lo + idx, t.unpack()));
+                }
+            }
+        } else {
+            for j in 0..s.b_len.saturating_sub(1) {
+                let cut = self.cuts[(s.b_off + j) as usize];
+                let hi = self.cuts[(s.b_off + j + 1) as usize].bound;
+                edges.push((cut.bound, hi, cut.target.unpack()));
             }
         }
-        Ok(self.match_indices(&indices))
+        BuildState {
+            attr,
+            edges,
+            star: s.star.unpack(),
+        }
     }
+}
 
-    /// Matches pre-resolved domain indices (one per schema attribute,
-    /// `None` for missing values). This is the hot path used by the
-    /// throughput benchmarks.
-    #[must_use]
-    pub fn match_indices(&self, indices: &[Option<u64>]) -> Vec<ProfileId> {
-        let mut t = self.root;
-        loop {
-            match t {
-                Target::Reject => return Vec::new(),
-                Target::Leaf(l) => return self.leaves[l as usize].clone(),
-                Target::State(s) => {
-                    let state = &self.states[s as usize];
-                    let idx = indices.get(state.attr.index()).copied().flatten();
-                    t = match idx {
-                        None => state.star,
-                        Some(v) => {
-                            // Binary search: last edge with lower <= v.
-                            let k = state.lowers.partition_point(|lo| *lo <= v);
-                            if k > 0 && v < state.uppers[k - 1] {
-                                state.targets[k - 1]
-                            } else {
-                                state.star
-                            }
+impl Matcher for Dfsa {
+    /// The raw-throughput fast path: one automaton walk, leaf profiles
+    /// copied from the pre-sorted arena. `ops`/`per_level` stay zero —
+    /// the DFSA does not count comparison operations.
+    fn match_into(&self, event: &IndexedEvent, scratch: &mut MatchScratch) {
+        scratch.reset(0);
+        let t = self.terminal(event.raw());
+        if t.0 >> TAG_SHIFT == TAG_LEAF {
+            scratch
+                .profiles
+                .extend_from_slice(self.leaf(t.0 & PAYLOAD_MASK));
+        }
+    }
+}
+
+/// Tree-to-build-state lowering with leaf hash-consing.
+struct Lowering {
+    states: Vec<BuildState>,
+    leaves: Vec<Vec<ProfileId>>,
+    leaf_canon: std::collections::HashMap<Vec<ProfileId>, u32>,
+}
+
+impl Lowering {
+    fn lower(&mut self, node: &NodeRef) -> Target {
+        match node {
+            NodeRef::Leaf(ids) => {
+                if ids.is_empty() {
+                    Target::Reject
+                } else {
+                    // Tree leaves are already sorted and unique; dedup
+                    // identical lists so the arena stays small.
+                    if let Some(&l) = self.leaf_canon.get(ids) {
+                        return Target::Leaf(l);
+                    }
+                    self.leaves.push(ids.clone());
+                    let l = self.leaves.len() as u32 - 1;
+                    self.leaf_canon.insert(ids.clone(), l);
+                    Target::Leaf(l)
+                }
+            }
+            NodeRef::Inner(n) => {
+                // Reserve the slot first so the layout is depth-first
+                // with parents before children.
+                let slot = self.states.len();
+                self.states.push(BuildState {
+                    attr: n.attr,
+                    edges: Vec::new(),
+                    star: Target::Reject,
+                });
+                let mut edges = Vec::with_capacity(n.edges.len());
+                for e in &n.edges {
+                    let target = self.lower(&e.child);
+                    edges.push((e.interval.lo(), e.interval.hi(), target));
+                }
+                let star = match &n.star {
+                    Star::None => Target::Reject,
+                    Star::All(child) | Star::Else(child) => self.lower(child),
+                };
+                let s = &mut self.states[slot];
+                s.edges = edges;
+                s.star = star;
+                Target::State(slot as u32)
+            }
+        }
+    }
+}
+
+/// Packs build states and leaves into the shared CSR arenas.
+fn freeze(
+    schema: Arc<Schema>,
+    states: &[BuildState],
+    leaves: &[Vec<ProfileId>],
+    root: Target,
+) -> Dfsa {
+    let mut metas = Vec::with_capacity(states.len());
+    let mut cuts: Vec<Cut> = Vec::new();
+    let mut jumps: Vec<PTarget> = Vec::new();
+    let mut accel: Vec<u32> = Vec::new();
+    for s in states {
+        let star = PTarget::pack(s.star);
+        let mut meta = StateMeta {
+            attr: s.attr.index() as u32,
+            shift: 0,
+            jump: false,
+            star,
+            lo: 0,
+            hi: 0,
+            b_off: 0,
+            b_len: 0,
+            t_off: 0,
+            acc_off: NO_ACCEL,
+        };
+        if s.edges.is_empty() {
+            // `*` node: lo == hi, every value follows the star target.
+            metas.push(meta);
+            continue;
+        }
+        let span_lo = s.edges[0].0;
+        let span_hi = s.edges[s.edges.len() - 1].1;
+        meta.lo = span_lo;
+        meta.hi = span_hi;
+        if span_hi - span_lo <= JUMP_TABLE_MAX_DOMAIN {
+            // Dense jump table over the covered span, indexed by
+            // `idx - lo`; gaps read the pre-filled star target.
+            meta.jump = true;
+            meta.t_off = jumps.len() as u32;
+            jumps.resize(jumps.len() + (span_hi - span_lo) as usize, star);
+            for &(lo, hi, t) in &s.edges {
+                let t = PTarget::pack(t);
+                let start = meta.t_off as usize + (lo - span_lo) as usize;
+                let end = meta.t_off as usize + (hi - span_lo) as usize;
+                for slot in &mut jumps[start..end] {
+                    *slot = t;
+                }
+            }
+        } else {
+            meta.b_off = cuts.len() as u32;
+            let mut prev_hi: Option<u64> = None;
+            for &(lo, hi, t) in &s.edges {
+                match prev_hi {
+                    None => cuts.push(Cut {
+                        bound: lo,
+                        target: PTarget::pack(t),
+                    }),
+                    Some(p) => {
+                        // The previous edge's closing cut opens either a
+                        // gap interval (to the star target) or, when the
+                        // edges are adjacent, the next edge directly.
+                        if p < lo {
+                            cuts.push(Cut {
+                                bound: p,
+                                target: star,
+                            });
+                            cuts.push(Cut {
+                                bound: lo,
+                                target: PTarget::pack(t),
+                            });
+                        } else {
+                            cuts.push(Cut {
+                                bound: lo,
+                                target: PTarget::pack(t),
+                            });
                         }
-                    };
+                    }
+                }
+                prev_hi = Some(hi);
+            }
+            // Closing cut of the last edge (dummy target: values at or
+            // beyond it take the star path via the range check).
+            cuts.push(Cut {
+                bound: span_hi,
+                target: PTarget::REJECT,
+            });
+            meta.b_len = (cuts.len() as u32) - meta.b_off;
+            let state_cuts = &cuts[meta.b_off as usize..];
+            if state_cuts.len() >= SEARCH_ACCEL_MIN_BOUNDS {
+                // Bucket width 2^shift over the covered span, adapted to
+                // the cut density so a bucket holds ~2 cuts on average
+                // (one accel line + one or two probes per lookup);
+                // accel[k] counts the cut points below bucket k's first
+                // value.
+                let span = span_hi - span_lo;
+                // span / (cuts/2), computed division-first so huge
+                // domains (e.g. full i64 ranges) cannot overflow.
+                let target_width = (span / (state_cuts.len() as u64 / 2).max(1)).max(1);
+                meta.shift = (63 - target_width.leading_zeros() as u64) as u8;
+                let nb = ((span - 1) >> meta.shift) + 1;
+                meta.acc_off = accel.len() as u32;
+                for k in 0..=nb {
+                    let first = span_lo + (k << meta.shift);
+                    accel.push(state_cuts.partition_point(|c| c.bound < first) as u32);
                 }
             }
         }
+        metas.push(meta);
+    }
+
+    let mut leaf_off: Vec<u32> = Vec::with_capacity(leaves.len() + 1);
+    let mut leaf_profiles: Vec<ProfileId> = Vec::new();
+    leaf_off.push(0);
+    for leaf in leaves {
+        let mut ids = leaf.clone();
+        // Pre-sort at build time so the match loop never sorts.
+        ids.sort_unstable();
+        ids.dedup();
+        leaf_profiles.extend_from_slice(&ids);
+        leaf_off.push(leaf_profiles.len() as u32);
+    }
+
+    Dfsa {
+        schema,
+        states: metas,
+        cuts,
+        jumps,
+        accel,
+        leaf_off,
+        leaf_profiles,
+        root: PTarget::pack(root),
     }
 }
 
@@ -326,6 +708,34 @@ mod tests {
         (schema, ps)
     }
 
+    /// Same workload over a domain too large for jump tables, to cover
+    /// the binary-search (CSR bounds) state kind.
+    fn random_profiles_large_domain(seed: u64, n: usize) -> (Schema, ProfileSet) {
+        let schema = Schema::builder()
+            .attribute("x", Domain::int(0, 9_999))
+            .unwrap()
+            .attribute("y", Domain::int(0, 49))
+            .unwrap()
+            .build();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut ps = ProfileSet::new(&schema);
+        for _ in 0..n {
+            ps.insert_with(|mut b| {
+                if rng.gen_bool(0.8) {
+                    let a = rng.gen_range(0..10_000);
+                    let c = rng.gen_range(0..10_000);
+                    b = b.predicate("x", Predicate::between(a.min(c), a.max(c)))?;
+                }
+                if rng.gen_bool(0.5) {
+                    b = b.predicate("y", Predicate::eq(rng.gen_range(0..50)))?;
+                }
+                Ok(b)
+            })
+            .unwrap();
+        }
+        (schema, ps)
+    }
+
     #[test]
     fn dfsa_agrees_with_tree_and_oracle() {
         let (schema, ps) = random_profiles(7, 40);
@@ -347,6 +757,37 @@ mod tests {
             assert_eq!(via_tree.profiles(), oracle.as_slice());
             assert_eq!(via_dfsa, oracle);
         }
+    }
+
+    #[test]
+    fn search_states_agree_with_oracle_on_large_domains() {
+        let (schema, ps) = random_profiles_large_domain(5, 30);
+        let tree = ProfileTree::build(&ps, &TreeConfig::default()).unwrap();
+        let dfsa = Dfsa::from_tree(&tree);
+        assert!(
+            dfsa.jump_state_count() < dfsa.state_count(),
+            "the 10k-point domain must use binary-search states"
+        );
+        let mut rng = StdRng::seed_from_u64(6);
+        for _ in 0..500 {
+            let e = ens_types::Event::builder(&schema)
+                .value("x", rng.gen_range(0..10_000))
+                .unwrap()
+                .value("y", rng.gen_range(0..50))
+                .unwrap()
+                .build();
+            assert_eq!(dfsa.match_event(&e).unwrap(), ps.matches(&e).unwrap());
+        }
+    }
+
+    #[test]
+    fn small_domains_use_jump_tables() {
+        let (_, ps) = random_profiles(3, 20);
+        let tree = ProfileTree::build(&ps, &TreeConfig::default()).unwrap();
+        let dfsa = Dfsa::from_tree(&tree);
+        // Every domain here has <= 50 points, far under the threshold;
+        // only edge-less `*` states fall back to the search kind.
+        assert!(dfsa.jump_state_count() > 0);
     }
 
     #[test]
@@ -444,6 +885,24 @@ mod tests {
     }
 
     #[test]
+    fn minimize_large_domain_roundtrip() {
+        let (schema, ps) = random_profiles_large_domain(19, 25);
+        let tree = ProfileTree::build(&ps, &TreeConfig::default()).unwrap();
+        let dfsa = Dfsa::from_tree(&tree);
+        let min = dfsa.minimize();
+        let mut rng = StdRng::seed_from_u64(20);
+        for _ in 0..300 {
+            let e = ens_types::Event::builder(&schema)
+                .value("x", rng.gen_range(0..10_000))
+                .unwrap()
+                .value("y", rng.gen_range(0..50))
+                .unwrap()
+                .build();
+            assert_eq!(min.match_event(&e).unwrap(), dfsa.match_event(&e).unwrap());
+        }
+    }
+
+    #[test]
     fn match_indices_short_circuit() {
         let schema = Schema::builder()
             .attribute("x", Domain::int(0, 9))
@@ -457,5 +916,31 @@ mod tests {
         assert_eq!(dfsa.match_indices(&[Some(5)]).len(), 1);
         assert!(dfsa.match_indices(&[Some(4)]).is_empty());
         assert!(dfsa.match_indices(&[None]).is_empty());
+        // Out-of-domain indices satisfy no edge (jump tables must bounds-check).
+        assert!(dfsa.match_indices(&[Some(1_000_000)]).is_empty());
+    }
+
+    #[test]
+    fn match_into_reuses_scratch() {
+        let (schema, ps) = random_profiles(23, 30);
+        let tree = ProfileTree::build(&ps, &TreeConfig::default()).unwrap();
+        let dfsa = Dfsa::from_tree(&tree);
+        let mut scratch = MatchScratch::new();
+        let mut indexed = IndexedEvent::new();
+        let mut rng = StdRng::seed_from_u64(24);
+        for _ in 0..200 {
+            let e = ens_types::Event::builder(&schema)
+                .value("x", rng.gen_range(0..50))
+                .unwrap()
+                .value("y", rng.gen_range(0..50))
+                .unwrap()
+                .value("z", rng.gen_range(0..10))
+                .unwrap()
+                .build();
+            indexed.resolve_into(&schema, &e).unwrap();
+            dfsa.match_into(&indexed, &mut scratch);
+            assert_eq!(scratch.profiles(), ps.matches(&e).unwrap().as_slice());
+            assert_eq!(scratch.ops(), 0, "the DFSA does not count operations");
+        }
     }
 }

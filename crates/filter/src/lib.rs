@@ -59,6 +59,7 @@ mod cost;
 mod dfsa;
 mod error;
 mod order;
+mod scratch;
 mod selectivity;
 mod statistics;
 mod subrange;
@@ -66,11 +67,12 @@ mod tree;
 
 pub use adaptive::{AdaptiveFilter, AdaptivePolicy};
 pub use cost::{expected_ops, CostBreakdown, CostModel, LevelCost, ProfileCost};
-pub use dfsa::Dfsa;
+pub use dfsa::{Dfsa, JUMP_TABLE_MAX_DOMAIN};
 pub use error::FilterError;
 pub use order::{
     binary_hit_cost, binary_miss_cost, Direction, NodeOrdering, SearchStrategy, ValueOrder,
 };
+pub use scratch::{MatchScratch, Matcher};
 pub use selectivity::{
     attribute_selectivities, order_attributes, AttributeMeasure, A3_MAX_ATTRIBUTES,
 };

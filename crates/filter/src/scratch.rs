@@ -1,0 +1,142 @@
+//! The allocation-free matching fast path: reusable scratch buffers and
+//! the [`Matcher`] trait.
+//!
+//! The paper's whole point is minimising per-event matching cost; the
+//! original `match_event` entry points heap-allocate a fresh result for
+//! every event (profile list, per-level counters) and re-resolve domain
+//! indices at every tree level. The fast path splits that work:
+//!
+//! 1. the caller resolves the event once into an
+//!    [`IndexedEvent`](ens_types::IndexedEvent) (reused across events via
+//!    [`IndexedEvent::resolve_into`](ens_types::IndexedEvent::resolve_into));
+//! 2. every matcher implements [`Matcher::match_into`], writing its
+//!    result into a caller-owned [`MatchScratch`] whose buffers are
+//!    reused — after warm-up the hot loop performs **zero** heap
+//!    allocations (asserted by `crates/filter/tests/alloc.rs`).
+//!
+//! The original `match_event` signatures remain as thin compatibility
+//! wrappers over this path.
+
+use ens_types::{IndexedEvent, ProfileId};
+
+/// Caller-owned, reusable buffers for one matching call.
+///
+/// Create one per worker/thread, then feed it to any number of
+/// [`Matcher::match_into`] calls; each call resets and refills it.
+/// Buffers only ever grow, so a warmed-up scratch never reallocates.
+///
+/// # Example
+///
+/// ```
+/// use ens_filter::{Dfsa, Matcher, MatchScratch, ProfileTree, TreeConfig};
+/// use ens_types::{Domain, Event, IndexedEvent, Predicate, ProfileSet, Schema};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let schema = Schema::builder().attribute("x", Domain::int(0, 99))?.build();
+/// let mut ps = ProfileSet::new(&schema);
+/// ps.insert_with(|b| b.predicate("x", Predicate::between(10, 19)))?;
+/// let tree = ProfileTree::build(&ps, &TreeConfig::default())?;
+/// let dfsa = Dfsa::from_tree(&tree);
+///
+/// let mut indexed = IndexedEvent::new();
+/// let mut scratch = MatchScratch::new();
+/// for x in [5i64, 15, 25] {
+///     let e = Event::builder(&schema).value("x", x)?.build();
+///     indexed.resolve_into(&schema, &e)?;
+///     dfsa.match_into(&indexed, &mut scratch);
+///     assert_eq!(scratch.is_match(), (10..20).contains(&x));
+/// }
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct MatchScratch {
+    /// Matched profile ids, ascending and deduplicated after a
+    /// [`Matcher::match_into`] call.
+    pub(crate) profiles: Vec<ProfileId>,
+    /// Comparison operations per tree level (tree matcher only; empty
+    /// for matchers that do not track levels).
+    pub(crate) per_level: Vec<u64>,
+    /// Total comparison operations (0 for matchers that do not count).
+    pub(crate) ops: u64,
+    /// Per-profile satisfied-predicate counters (counting matcher only).
+    pub(crate) counters: Vec<u32>,
+}
+
+impl MatchScratch {
+    /// Creates an empty scratch.
+    #[must_use]
+    pub fn new() -> Self {
+        MatchScratch::default()
+    }
+
+    /// Clears the result buffers for a new match. `levels` is the number
+    /// of per-level counters to zero (0 for level-less matchers).
+    pub(crate) fn reset(&mut self, levels: usize) {
+        self.profiles.clear();
+        self.per_level.clear();
+        self.per_level.resize(levels, 0);
+        self.ops = 0;
+    }
+
+    /// Ids of the profiles matched by the last call, ascending.
+    #[must_use]
+    pub fn profiles(&self) -> &[ProfileId] {
+        &self.profiles
+    }
+
+    /// Comparison operations spent by the last call (0 for matchers that
+    /// do not count operations, e.g. the raw-throughput DFSA).
+    #[must_use]
+    pub fn ops(&self) -> u64 {
+        self.ops
+    }
+
+    /// Operations per tree level for the last call (empty for matchers
+    /// without levels).
+    #[must_use]
+    pub fn per_level(&self) -> &[u64] {
+        &self.per_level
+    }
+
+    /// Whether the last call matched any profile.
+    #[must_use]
+    pub fn is_match(&self) -> bool {
+        !self.profiles.is_empty()
+    }
+}
+
+/// A matcher that can run against pre-resolved events with caller-owned
+/// buffers — the allocation-free fast path shared by the profile tree,
+/// the DFSA and the baseline matchers.
+///
+/// Implementations must leave `scratch.profiles()` sorted ascending and
+/// deduplicated. Out-of-domain indices in `event` (possible only via
+/// [`IndexedEvent::from_indices`](ens_types::IndexedEvent::from_indices))
+/// are treated as values that satisfy no specific edge.
+pub trait Matcher {
+    /// Matches one pre-resolved event, writing the result into
+    /// `scratch`. The result is valid until the next call with the same
+    /// scratch.
+    fn match_into(&self, event: &IndexedEvent, scratch: &mut MatchScratch);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reset_clears_and_sizes_levels() {
+        let mut s = MatchScratch::new();
+        s.profiles.push(ProfileId::new(3));
+        s.ops = 9;
+        s.per_level.push(7);
+        s.reset(2);
+        assert!(s.profiles().is_empty());
+        assert!(!s.is_match());
+        assert_eq!(s.ops(), 0);
+        assert_eq!(s.per_level(), &[0, 0]);
+        s.reset(0);
+        assert!(s.per_level().is_empty());
+    }
+}

@@ -13,11 +13,14 @@
 //! operations per node is governed by the configured [`SearchStrategy`]
 //! and recorded in the [`MatchOutcome`].
 
+use std::sync::Arc;
+
 use ens_dist::{DistOverDomain, JointDist};
-use ens_types::{AttrId, Event, IndexInterval, ProfileId, ProfileSet, Schema};
+use ens_types::{AttrId, Event, IndexInterval, IndexedEvent, ProfileId, ProfileSet, Schema};
 use serde::{Deserialize, Serialize};
 
 use crate::order::{NodeOrdering, SearchStrategy};
+use crate::scratch::{MatchScratch, Matcher};
 use crate::selectivity::AttributeMeasure;
 use crate::subrange::AttributePartition;
 use crate::{Direction, FilterError};
@@ -184,7 +187,7 @@ impl MatchOutcome {
 /// ```
 #[derive(Debug, Clone)]
 pub struct ProfileTree {
-    schema: Schema,
+    schema: Arc<Schema>,
     config: TreeConfig,
     attribute_order: Vec<AttrId>,
     partitions: Vec<AttributePartition>,
@@ -204,7 +207,7 @@ impl ProfileTree {
     ///   domain sizes disagree with the schema;
     /// * predicate lowering errors from the data model.
     pub fn build(profiles: &ProfileSet, config: &TreeConfig) -> Result<Self, FilterError> {
-        let schema = profiles.schema().clone();
+        let schema = Arc::new(profiles.schema().clone());
 
         // Validate / extract the event model.
         let marginals = match &config.event_model {
@@ -314,7 +317,7 @@ impl ProfileTree {
         });
         let builder = TreeBuilder {
             profiles,
-            schema: &schema,
+            schema: schema.as_ref(),
             order: &attribute_order,
             marginals: marginals.as_deref(),
             strategy: config.search,
@@ -338,6 +341,13 @@ impl ProfileTree {
     /// The schema this tree was built for.
     #[must_use]
     pub fn schema(&self) -> &Schema {
+        self.schema.as_ref()
+    }
+
+    /// The shared schema handle (cheap to clone; used by [`crate::Dfsa`]
+    /// and the service layer to avoid deep-copying the schema).
+    #[must_use]
+    pub fn schema_shared(&self) -> &Arc<Schema> {
         &self.schema
     }
 
@@ -379,60 +389,65 @@ impl ProfileTree {
 
     /// Matches one event, counting comparison operations.
     ///
+    /// This is a convenience wrapper over the allocation-free
+    /// [`Matcher::match_into`] fast path: it resolves the event's domain
+    /// indices once and allocates a fresh [`MatchOutcome`]. Hot loops
+    /// should call [`Matcher::match_into`] with reused buffers instead.
+    ///
     /// # Errors
     ///
-    /// Propagates domain errors for ill-typed event values.
+    /// Propagates domain errors for ill-typed event values. Resolution
+    /// is eager over the whole schema: a value that is ill-typed for
+    /// *any* attribute errors, even if no tree node on the matching
+    /// path would have tested it (events built against this tree's own
+    /// schema are always fully valid and unaffected).
     pub fn match_event(&self, event: &Event) -> Result<MatchOutcome, FilterError> {
-        let mut out = MatchOutcome {
-            profiles: Vec::new(),
-            ops: 0,
-            per_level: vec![0; self.attribute_order.len()],
-        };
-        self.walk(&self.root, event, 0, &mut out)?;
-        out.profiles.sort_unstable();
-        out.profiles.dedup();
-        Ok(out)
+        let indexed = IndexedEvent::resolve(self.schema.as_ref(), event)?;
+        let mut scratch = MatchScratch::new();
+        self.match_into(&indexed, &mut scratch);
+        Ok(MatchOutcome {
+            profiles: scratch.profiles,
+            ops: scratch.ops,
+            per_level: scratch.per_level,
+        })
     }
 
-    fn walk(
+    fn walk_indexed(
         &self,
         node: &NodeRef,
-        event: &Event,
+        event: &IndexedEvent,
         level: usize,
-        out: &mut MatchOutcome,
-    ) -> Result<(), FilterError> {
+        out: &mut MatchScratch,
+    ) {
         let node = match node {
             NodeRef::Leaf(ids) => {
                 out.profiles.extend_from_slice(ids);
-                return Ok(());
+                return;
             }
             NodeRef::Inner(n) => n,
         };
-        let domain = self.schema.attribute(node.attr).domain();
-        let value = event.value(node.attr);
 
         // A missing attribute satisfies only don't-care predicates: the
         // event descends the star edge (if any) without scanning.
-        let Some(value) = value else {
+        let Some(idx) = event.get(node.attr) else {
             match &node.star {
-                Star::None => return Ok(()),
+                Star::None => return,
                 Star::All(child) | Star::Else(child) => {
                     out.ops += 1;
                     out.per_level[level] += 1;
-                    return self.walk(child, event, level + 1, out);
+                    return self.walk_indexed(child, event, level + 1, out);
                 }
             }
         };
-        let idx = domain.index_of(value)?;
 
         if node.edges.is_empty() {
             // `*` edge: all values pass at one operation.
             if let Star::All(child) = &node.star {
                 out.ops += 1;
                 out.per_level[level] += 1;
-                return self.walk(child, event, level + 1, out);
+                return self.walk_indexed(child, event, level + 1, out);
             }
-            return Ok(());
+            return;
         }
 
         // Locate the edge containing `idx` (model bookkeeping; the
@@ -443,7 +458,7 @@ impl ProfileTree {
             let cost = u64::from(node.ordering.hit_cost[g]);
             out.ops += cost;
             out.per_level[level] += cost;
-            return self.walk(&node.edges[g].child, event, level + 1, out);
+            return self.walk_indexed(&node.edges[g].child, event, level + 1, out);
         }
 
         // Miss: pay the early-termination scan, then fall to `(*)`.
@@ -453,9 +468,8 @@ impl ProfileTree {
         if let Star::Else(child) = &node.star {
             out.ops += 1;
             out.per_level[level] += 1;
-            return self.walk(child, event, level + 1, out);
+            self.walk_indexed(child, event, level + 1, out);
         }
-        Ok(())
     }
 
     /// Renders the tree in the style of the paper's Fig. 1: one line per
@@ -512,7 +526,7 @@ impl ProfileTree {
             }
         }
         let mut out = String::new();
-        walk(&self.schema, &self.root, 0, &mut out);
+        walk(self.schema.as_ref(), &self.root, 0, &mut out);
         out
     }
 
@@ -580,6 +594,18 @@ impl ProfileTree {
             }
         }
         count(&self.root)
+    }
+}
+
+impl Matcher for ProfileTree {
+    /// The allocation-free fast path: one tree walk with operation
+    /// counting, writing into caller-owned buffers. Semantics are
+    /// identical to [`ProfileTree::match_event`].
+    fn match_into(&self, event: &IndexedEvent, scratch: &mut MatchScratch) {
+        scratch.reset(self.attribute_order.len());
+        self.walk_indexed(&self.root, event, 0, scratch);
+        scratch.profiles.sort_unstable();
+        scratch.profiles.dedup();
     }
 }
 

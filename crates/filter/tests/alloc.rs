@@ -1,0 +1,142 @@
+//! Counting-allocator proof of the zero-allocation fast path: after one
+//! warm-up pass, `IndexedEvent::resolve_into` + `Matcher::match_into`
+//! perform no heap allocation for any matcher.
+//!
+//! This file deliberately contains a single `#[test]` so no concurrent
+//! test thread can disturb the global allocation counter.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use ens_filter::baseline::{CountingMatcher, NaiveMatcher};
+use ens_filter::{Dfsa, MatchScratch, Matcher, ProfileTree, TreeConfig};
+use ens_types::{Domain, Event, IndexedEvent, Predicate, ProfileSet, Schema};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+/// A workload covering every DFSA state kind: a categorical attribute
+/// (first-byte dispatch resolution), a small integer domain (jump-table
+/// states) and a large one (binary-search states with bucket index).
+fn workload() -> (Schema, ProfileSet, Vec<Event>) {
+    let schema = Schema::builder()
+        .attribute(
+            "region",
+            Domain::categorical(["north", "south", "east", "west"]).unwrap(),
+        )
+        .unwrap()
+        .attribute("level", Domain::int(0, 49))
+        .unwrap()
+        .attribute("reading", Domain::int(0, 9_999))
+        .unwrap()
+        .build();
+    let regions = ["north", "south", "east", "west"];
+    let mut rng = StdRng::seed_from_u64(41);
+    let mut ps = ProfileSet::new(&schema);
+    for _ in 0..120 {
+        ps.insert_with(|mut b| {
+            if rng.gen_bool(0.6) {
+                b = b.predicate("region", Predicate::eq(regions[rng.gen_range(0..4)]))?;
+            }
+            if rng.gen_bool(0.6) {
+                let a = rng.gen_range(0..50);
+                let c = rng.gen_range(0..50);
+                b = b.predicate("level", Predicate::between(a.min(c), a.max(c)))?;
+            }
+            if rng.gen_bool(0.8) {
+                let a = rng.gen_range(0..10_000);
+                let c = rng.gen_range(0..10_000);
+                b = b.predicate("reading", Predicate::between(a.min(c), a.max(c)))?;
+            }
+            Ok(b)
+        })
+        .unwrap();
+    }
+    let events: Vec<Event> = (0..256)
+        .map(|_| {
+            let mut b = Event::builder(&schema)
+                .value("region", regions[rng.gen_range(0..4)])
+                .unwrap()
+                .value("reading", rng.gen_range(0..10_000))
+                .unwrap();
+            if rng.gen_bool(0.8) {
+                // Some events omit `level` to walk the star edges too.
+                b = b.value("level", rng.gen_range(0..50)).unwrap();
+            }
+            b.build()
+        })
+        .collect();
+    (schema, ps, events)
+}
+
+#[test]
+fn warm_fast_paths_allocate_nothing() {
+    let (schema, ps, events) = workload();
+    let tree = ProfileTree::build(&ps, &TreeConfig::default()).unwrap();
+    let dfsa = Dfsa::from_tree(&tree);
+    let naive = NaiveMatcher::new(&ps).unwrap();
+    let counting = CountingMatcher::new(&ps).unwrap();
+
+    let matchers: [(&str, &dyn Matcher); 4] = [
+        ("dfsa", &dfsa),
+        ("tree", &tree),
+        ("naive", &naive),
+        ("counting", &counting),
+    ];
+    for (name, matcher) in matchers {
+        let mut indexed = IndexedEvent::new();
+        let mut scratch = MatchScratch::new();
+        let mut run = |check: &mut u64| {
+            for e in &events {
+                indexed.resolve_into(&schema, e).unwrap();
+                matcher.match_into(&indexed, &mut scratch);
+                *check += scratch.profiles().len() as u64;
+            }
+        };
+        // Warm-up pass: buffers grow to their steady-state capacity.
+        let mut warm = 0u64;
+        run(&mut warm);
+        // Steady state: the hot loop must not touch the heap at all.
+        let before = allocations();
+        let mut hot = 0u64;
+        run(&mut hot);
+        let allocated = allocations() - before;
+        assert_eq!(
+            allocated, 0,
+            "{name}: warm match_into loop performed {allocated} heap allocations"
+        );
+        assert_eq!(warm, hot, "{name}: warm and hot passes disagree");
+        assert!(hot > 0, "{name}: workload should produce matches");
+    }
+}

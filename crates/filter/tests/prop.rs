@@ -1,11 +1,14 @@
 //! Property-based tests for the filter's structural invariants.
 
 use ens_dist::{Density, DistOverDomain, JointDist};
+use ens_filter::baseline::NestedDfsa;
 use ens_filter::{
-    binary_hit_cost, binary_miss_cost, AttributePartition, CostModel, Direction, NodeOrdering,
-    ProfileTree, SearchStrategy, TreeConfig, ValueOrder,
+    binary_hit_cost, binary_miss_cost, AttributePartition, CostModel, Dfsa, Direction,
+    MatchScratch, Matcher, NodeOrdering, ProfileTree, SearchStrategy, TreeConfig, ValueOrder,
 };
-use ens_types::{AttrId, Domain, Event, Predicate, Profile, ProfileId, ProfileSet, Schema, Value};
+use ens_types::{
+    AttrId, Domain, Event, IndexedEvent, Predicate, Profile, ProfileId, ProfileSet, Schema, Value,
+};
 use proptest::prelude::*;
 
 const D: u64 = 24;
@@ -41,7 +44,98 @@ fn arb_profiles() -> impl Strategy<Value = ProfileSet> {
     })
 }
 
+/// Two attributes: a small domain (lowered to a jump-table DFSA state)
+/// and a large one (binary-search state), to cover both state kinds.
+const D2: i64 = 5_000;
+
+fn schema2() -> Schema {
+    Schema::builder()
+        .attribute("x", Domain::int(0, D as i64 - 1))
+        .unwrap()
+        .attribute("y", Domain::int(0, D2 - 1))
+        .unwrap()
+        .build()
+}
+
+fn arb_predicate_for(hi: i64) -> impl Strategy<Value = Predicate> {
+    let v = 0..hi;
+    prop_oneof![
+        Just(Predicate::DontCare),
+        v.clone().prop_map(Predicate::eq),
+        v.clone().prop_map(Predicate::le),
+        v.clone().prop_map(Predicate::ge),
+        (v.clone(), v.clone()).prop_map(|(a, b)| Predicate::between(a.min(b), a.max(b))),
+        prop::collection::vec(v, 1..4).prop_map(Predicate::in_set),
+    ]
+}
+
+fn arb_profiles2() -> impl Strategy<Value = ProfileSet> {
+    prop::collection::vec((arb_predicate_for(D as i64), arb_predicate_for(D2)), 1..12).prop_map(
+        |preds| {
+            let schema = schema2();
+            let mut ps = ProfileSet::new(&schema);
+            for (px, py) in preds {
+                let profile =
+                    Profile::from_predicates(&schema, ProfileId::new(0), vec![px, py]).unwrap();
+                ps.insert(profile);
+            }
+            ps
+        },
+    )
+}
+
 proptest! {
+    /// Oracle agreement of every matching path: on random profile sets
+    /// and random (possibly partial) events, the tree's `match_event`,
+    /// the `match_into` fast path, the CSR DFSA (plain and minimised)
+    /// and the seed nested DFSA all return the oracle's profile set —
+    /// including events with missing attributes and `(*)`-edge
+    /// fallthrough past don't-care profiles.
+    #[test]
+    fn fast_paths_agree_with_oracle(
+        ps in arb_profiles2(),
+        events in prop::collection::vec(
+            (prop::option::of(0..D as i64), prop::option::of(0..D2)),
+            1..16,
+        ),
+    ) {
+        let schema = ps.schema().clone();
+        let tree = ProfileTree::build(&ps, &TreeConfig::default()).unwrap();
+        let dfsa = Dfsa::from_tree(&tree);
+        let minimized = dfsa.minimize();
+        let nested = NestedDfsa::from_tree(&tree);
+        let mut indexed = IndexedEvent::new();
+        let mut scratch = MatchScratch::new();
+        for (x, y) in events {
+            let mut b = Event::builder(&schema);
+            if let Some(x) = x {
+                b = b.value("x", x).unwrap();
+            }
+            if let Some(y) = y {
+                b = b.value("y", y).unwrap();
+            }
+            let e = b.build();
+            let oracle = ps.matches(&e).unwrap();
+
+            let out = tree.match_event(&e).unwrap();
+            prop_assert_eq!(out.profiles(), oracle.as_slice(), "tree at {:?}", (x, y));
+
+            indexed.resolve_into(&schema, &e).unwrap();
+            tree.match_into(&indexed, &mut scratch);
+            prop_assert_eq!(scratch.profiles(), oracle.as_slice(), "tree scratch");
+            prop_assert_eq!(scratch.ops(), out.ops(), "scratch ops agree with match_event");
+
+            dfsa.match_into(&indexed, &mut scratch);
+            prop_assert_eq!(scratch.profiles(), oracle.as_slice(), "CSR dfsa scratch");
+            prop_assert_eq!(dfsa.match_event(&e).unwrap(), oracle.clone(), "CSR dfsa event");
+
+            minimized.match_into(&indexed, &mut scratch);
+            prop_assert_eq!(scratch.profiles(), oracle.as_slice(), "minimised dfsa");
+
+            prop_assert_eq!(nested.match_event(&e).unwrap(), oracle.clone(), "nested dfsa");
+        }
+    }
+
     /// Partition invariants: cells tile the domain; every referenced cell
     /// is covered by exactly the profiles whose predicate contains it;
     /// the referenced-cell count respects the 2p-1 bound.

@@ -6,8 +6,10 @@ use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
 use crossbeam::channel::{unbounded, Sender};
-use ens_filter::{AdaptiveFilter, AdaptivePolicy, TreeConfig};
-use ens_types::{Event, Profile, ProfileBuilder, ProfileId, ProfileSet, Schema, TypesError};
+use ens_filter::{AdaptiveFilter, AdaptivePolicy, MatchScratch, TreeConfig};
+use ens_types::{
+    Event, IndexedEvent, Profile, ProfileBuilder, ProfileId, ProfileSet, Schema, TypesError,
+};
 use parking_lot::RwLock;
 
 use crate::metrics::{Metrics, MetricsSnapshot};
@@ -57,7 +59,11 @@ struct State {
     filter: AdaptiveFilter,
     /// Dense profile id -> position in `subs` for the current filter.
     index: Vec<usize>,
-    history: VecDeque<Event>,
+    /// Bounded publish history (ring buffer, preallocated to capacity).
+    history: VecDeque<Arc<Event>>,
+    /// Reusable per-publish buffers for the allocation-free match path.
+    indexed: IndexedEvent,
+    scratch: MatchScratch,
     next_id: u64,
     sequence: u64,
 }
@@ -85,7 +91,7 @@ struct State {
 /// # }
 /// ```
 pub struct Broker {
-    schema: Schema,
+    schema: Arc<Schema>,
     config: BrokerConfig,
     state: RwLock<State>,
     metrics: Arc<Metrics>,
@@ -100,14 +106,17 @@ impl Broker {
     pub fn new(schema: &Schema, config: BrokerConfig) -> Result<Self, ServiceError> {
         let profiles = ProfileSet::new(schema);
         let filter = AdaptiveFilter::new(&profiles, config.tree.clone(), config.adaptive)?;
+        let history = VecDeque::with_capacity(config.history_capacity);
         Ok(Broker {
-            schema: schema.clone(),
+            schema: Arc::new(schema.clone()),
             config,
             state: RwLock::new(State {
                 subs: Vec::new(),
                 filter,
                 index: Vec::new(),
-                history: VecDeque::new(),
+                history,
+                indexed: IndexedEvent::new(),
+                scratch: MatchScratch::new(),
                 next_id: 0,
                 sequence: 0,
             }),
@@ -118,7 +127,14 @@ impl Broker {
     /// The broker's schema.
     #[must_use]
     pub fn schema(&self) -> &Schema {
-        &self.schema
+        self.schema.as_ref()
+    }
+
+    /// The broker's schema as a shared handle (cheap to clone for
+    /// producers/consumers on other threads).
+    #[must_use]
+    pub fn schema_shared(&self) -> Arc<Schema> {
+        Arc::clone(&self.schema)
     }
 
     /// Registers a subscription built by `f` and returns the consumer
@@ -238,12 +254,29 @@ impl Broker {
     /// Publishes one event: filters, delivers notifications, updates the
     /// adaptive statistics and possibly restructures the tree.
     ///
+    /// The event is wrapped in one [`Arc`] (a single allocation per
+    /// publish) which every notified subscriber and the history ring
+    /// buffer share; matching itself runs through the broker's reusable
+    /// scratch buffers and allocates nothing after warm-up.
+    ///
     /// # Errors
     ///
     /// Propagates domain errors for ill-typed event values and filter
     /// rebuild errors.
     pub fn publish(&self, event: &Event) -> Result<PublishReceipt, ServiceError> {
-        let mut state = self.state.write();
+        self.publish_shared(Arc::new(event.clone()))
+    }
+
+    /// Like [`Broker::publish`], but takes an already-shared event and
+    /// avoids even the per-publish clone.
+    ///
+    /// # Errors
+    ///
+    /// Propagates domain errors for ill-typed event values and filter
+    /// rebuild errors.
+    pub fn publish_shared(&self, event: Arc<Event>) -> Result<PublishReceipt, ServiceError> {
+        let mut guard = self.state.write();
+        let state = &mut *guard;
         let sequence = state.sequence;
         state.sequence += 1;
 
@@ -251,13 +284,13 @@ impl Broker {
             if state.history.len() == self.config.history_capacity {
                 state.history.pop_front();
             }
-            state.history.push_back(event.clone());
+            state.history.push_back(Arc::clone(&event));
         }
 
         if self.config.quench_inbound {
             let advice =
                 QuenchAdvice::from_partitions(&self.schema, state.filter.tree().partitions());
-            if !advice.allows(event)? {
+            if !advice.allows(&event)? {
                 self.metrics.quenched_events.fetch_add(1, Ordering::Relaxed);
                 self.metrics
                     .events_published
@@ -271,23 +304,24 @@ impl Broker {
             }
         }
 
-        let outcome = state.filter.process(event)?;
+        state
+            .filter
+            .process_into(&event, &mut state.indexed, &mut state.scratch)?;
+        let ops = state.scratch.ops();
         self.metrics
             .events_published
             .fetch_add(1, Ordering::Relaxed);
-        self.metrics
-            .total_ops
-            .fetch_add(outcome.ops(), Ordering::Relaxed);
+        self.metrics.total_ops.fetch_add(ops, Ordering::Relaxed);
 
-        let mut matched = Vec::with_capacity(outcome.profiles().len());
+        let mut matched = Vec::with_capacity(state.scratch.profiles().len());
         let mut dead: Vec<SubscriptionId> = Vec::new();
-        for pid in outcome.profiles() {
+        for pid in state.scratch.profiles() {
             let pos = state.index[pid.index()];
             let entry = &state.subs[pos];
             let n = Notification {
                 subscription: entry.id,
                 sequence,
-                event: event.clone(),
+                event: Arc::clone(&event),
             };
             if entry.sender.send(n).is_ok() {
                 matched.push(entry.id);
@@ -304,12 +338,12 @@ impl Broker {
         if !dead.is_empty() {
             // Garbage-collect subscriptions whose consumers hung up.
             state.subs.retain(|s| !dead.contains(&s.id));
-            Self::rebuild_locked(&self.schema, &mut state)?;
+            Self::rebuild_locked(&self.schema, state)?;
         }
         Ok(PublishReceipt {
             sequence,
             matched,
-            ops: outcome.ops(),
+            ops,
             quenched: false,
         })
     }
@@ -322,10 +356,11 @@ impl Broker {
     }
 
     /// Recently published events (newest last), up to the configured
-    /// history capacity.
+    /// history capacity. Returns shared handles — the events themselves
+    /// are not copied.
     #[must_use]
-    pub fn recent_events(&self) -> Vec<Event> {
-        self.state.read().history.iter().cloned().collect()
+    pub fn recent_events(&self) -> Vec<Arc<Event>> {
+        self.state.read().history.iter().map(Arc::clone).collect()
     }
 
     /// Counter snapshot.

@@ -1,3 +1,4 @@
+use std::sync::Arc;
 use std::time::Duration;
 
 use crossbeam::channel::Receiver;
@@ -6,14 +7,19 @@ use ens_types::Event;
 use crate::subscription::SubscriptionId;
 
 /// A delivered event notification.
+///
+/// The event is shared: the broker allocates one [`Arc`] per publish
+/// and every matched subscriber receives a handle to the same
+/// allocation, so fan-out to thousands of subscribers copies pointers,
+/// not event payloads.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Notification {
     /// The subscription this notification belongs to.
     pub subscription: SubscriptionId,
     /// Sequence number of the event within the broker (publish order).
     pub sequence: u64,
-    /// The matching event.
-    pub event: Event,
+    /// The matching event (shared with all other subscribers it matched).
+    pub event: Arc<Event>,
 }
 
 /// The consumer half of a subscription: a handle on the notification

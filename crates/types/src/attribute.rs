@@ -100,6 +100,10 @@ pub struct Schema {
     attributes: Vec<Attribute>,
     #[serde(skip)]
     by_name: HashMap<String, AttrId>,
+    /// Dense per-attribute domains (derived cache): event resolution
+    /// iterates this without striding over attribute names.
+    #[serde(skip)]
+    domains: Vec<Domain>,
 }
 
 impl<'de> Deserialize<'de> for Schema {
@@ -193,6 +197,12 @@ impl Schema {
         (0..self.attributes.len()).map(|i| AttrId(i as u32))
     }
 
+    /// Dense per-attribute domain slice (declaration order).
+    #[must_use]
+    pub fn domains(&self) -> &[Domain] {
+        &self.domains
+    }
+
     fn rebuild_index(&mut self) {
         self.by_name = self
             .attributes
@@ -200,6 +210,7 @@ impl Schema {
             .enumerate()
             .map(|(i, a)| (a.name().to_owned(), AttrId(i as u32)))
             .collect();
+        self.domains = self.attributes.iter().map(|a| a.domain().clone()).collect();
     }
 }
 
@@ -257,6 +268,7 @@ impl SchemaBuilder {
         let mut s = Schema {
             attributes: self.attributes,
             by_name: HashMap::new(),
+            domains: Vec::new(),
         };
         s.rebuild_index();
         s

@@ -48,9 +48,88 @@ pub enum Domain {
         size: u64,
     },
     /// An enumerated set of named categories, ordered as listed.
-    Categorical(Vec<String>),
+    Categorical(Categories),
     /// The two booleans, ordered `false < true`.
     Bool,
+}
+
+/// The category list of a [`Domain::Categorical`], with a first-byte
+/// dispatch table so value-to-index resolution is one table load plus
+/// (usually) a single string comparison instead of a linear scan.
+///
+/// Serialises transparently as the plain list of names.
+#[derive(Debug, Clone)]
+pub struct Categories {
+    names: Vec<String>,
+    /// `dispatch[b]`: `DISPATCH_NONE` if no category starts with byte
+    /// `b`, `DISPATCH_SCAN` if several do (fall back to a linear scan),
+    /// otherwise the unique category's index.
+    dispatch: Box<[u16; 256]>,
+}
+
+const DISPATCH_NONE: u16 = u16::MAX;
+const DISPATCH_SCAN: u16 = u16::MAX - 1;
+
+impl Categories {
+    fn new(names: Vec<String>) -> Self {
+        let mut dispatch = Box::new([DISPATCH_NONE; 256]);
+        for (i, name) in names.iter().enumerate() {
+            let Some(&b) = name.as_bytes().first() else {
+                continue; // the empty string takes the scan path
+            };
+            // Indices colliding with the sentinels (>= DISPATCH_SCAN)
+            // must fall back to the scan path, not masquerade as them.
+            dispatch[b as usize] = match (dispatch[b as usize], u16::try_from(i)) {
+                (DISPATCH_NONE, Ok(i)) if i < DISPATCH_SCAN => i,
+                _ => DISPATCH_SCAN,
+            };
+        }
+        Categories { names, dispatch }
+    }
+
+    /// The category names, in domain order.
+    #[must_use]
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// Index of `s`, if it is a category.
+    #[must_use]
+    pub fn index_of(&self, s: &str) -> Option<u64> {
+        match s.as_bytes().first() {
+            Some(&b) => match self.dispatch[b as usize] {
+                DISPATCH_NONE => None,
+                DISPATCH_SCAN => self.names.iter().position(|c| c == s).map(|i| i as u64),
+                i => (self.names[i as usize] == s).then_some(u64::from(i)),
+            },
+            None => self
+                .names
+                .iter()
+                .position(String::is_empty)
+                .map(|i| i as u64),
+        }
+    }
+}
+
+impl PartialEq for Categories {
+    fn eq(&self, other: &Self) -> bool {
+        self.names == other.names
+    }
+}
+
+impl Serialize for Categories {
+    fn __to_value(&self) -> serde::__private::Value {
+        self.names.__to_value()
+    }
+}
+
+impl<'de> Deserialize<'de> for Categories {
+    fn deserialize<D>(deserializer: D) -> Result<Self, D::Error>
+    where
+        D: serde::Deserializer<'de>,
+    {
+        Ok(Categories::new(Vec::<String>::deserialize(deserializer)?))
+    }
 }
 
 impl Domain {
@@ -119,7 +198,7 @@ impl Domain {
                 return Err(TypesError::DuplicateAttribute(c.clone()));
             }
         }
-        Ok(Domain::Categorical(cats))
+        Ok(Domain::Categorical(Categories::new(cats)))
     }
 
     /// Number of points in the domain (the paper's `d`).
@@ -128,7 +207,7 @@ impl Domain {
         match self {
             Domain::Int { lo, hi } => (hi - lo) as u64 + 1,
             Domain::Float { size, .. } => *size,
-            Domain::Categorical(cats) => cats.len() as u64,
+            Domain::Categorical(cats) => cats.names().len() as u64,
             Domain::Bool => 2,
         }
     }
@@ -173,9 +252,7 @@ impl Domain {
                 let k = ((x.get() - lo.get()) / step.get()).round();
                 (k >= 0.0 && (k as u64) < *size).then_some(k as u64)
             }
-            (Domain::Categorical(cats), Value::Str(s)) => {
-                cats.iter().position(|c| c == s).map(|i| i as u64)
-            }
+            (Domain::Categorical(cats), Value::Str(s)) => cats.index_of(s),
             (Domain::Bool, Value::Bool(b)) => Some(u64::from(*b)),
             _ => None,
         }
@@ -188,18 +265,22 @@ impl Domain {
     /// [`TypesError::TypeMismatch`] for kind mismatches,
     /// [`TypesError::OutOfDomain`] for out-of-range values.
     pub fn index_of(&self, value: &Value) -> Result<u64, TypesError> {
-        if !self.accepts_kind(value) {
-            return Err(TypesError::TypeMismatch {
-                attribute: String::new(),
-                expected: self.kind(),
-                found: value.kind().to_owned(),
-            });
+        // Happy path first: one match, no kind pre-check.
+        if let Some(idx) = self.try_index_of(value) {
+            return Ok(idx);
         }
-        self.try_index_of(value)
-            .ok_or_else(|| TypesError::OutOfDomain {
+        if self.accepts_kind(value) {
+            Err(TypesError::OutOfDomain {
                 attribute: String::new(),
                 value: value.to_string(),
             })
+        } else {
+            Err(TypesError::TypeMismatch {
+                attribute: String::new(),
+                expected: self.kind(),
+                found: value.kind().to_owned(),
+            })
+        }
     }
 
     /// Maps a grid index back to its value.
@@ -220,7 +301,7 @@ impl Domain {
                 let x = lo.get() + index as f64 * step.get();
                 Value::Float(FiniteF64::new(x).expect("grid point is finite"))
             }
-            Domain::Categorical(cats) => Value::Str(cats[index as usize].clone()),
+            Domain::Categorical(cats) => Value::Str(cats.names()[index as usize].clone()),
             Domain::Bool => Value::Bool(index == 1),
         }
     }
@@ -231,7 +312,7 @@ impl fmt::Display for Domain {
         match self {
             Domain::Int { lo, hi } => write!(f, "[{lo}, {hi}]"),
             Domain::Float { lo, hi, step, .. } => write!(f, "[{lo}, {hi}] step {step}"),
-            Domain::Categorical(cats) => write!(f, "{{{}}}", cats.join(", ")),
+            Domain::Categorical(cats) => write!(f, "{{{}}}", cats.names().join(", ")),
             Domain::Bool => write!(f, "{{false, true}}"),
         }
     }

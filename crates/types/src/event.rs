@@ -76,6 +76,13 @@ impl Event {
         self.values.get(attr.index()).and_then(Option::as_ref)
     }
 
+    /// The dense per-attribute value slice (schema order, `None` for
+    /// attributes the event does not carry).
+    #[must_use]
+    pub fn values(&self) -> &[Option<Value>] {
+        &self.values
+    }
+
     /// Number of attributes for which the event carries a value.
     #[must_use]
     pub fn specified_len(&self) -> usize {
@@ -106,7 +113,7 @@ impl Event {
     }
 }
 
-fn contextualise(e: TypesError, attribute: &str) -> TypesError {
+pub(crate) fn contextualise(e: TypesError, attribute: &str) -> TypesError {
     match e {
         TypesError::TypeMismatch {
             expected, found, ..

@@ -1,0 +1,214 @@
+use crate::{AttrId, Event, Schema, TypesError};
+
+/// An [`Event`] pre-resolved into per-attribute domain indices.
+///
+/// Matching an event against a profile tree or DFSA repeatedly needs the
+/// *grid index* of each attribute value, not the value itself. Resolving
+/// `Domain::index_of` once per event — instead of once per tree node —
+/// removes redundant work from the hot matching loop, and the resolved
+/// form is a dense `Vec<Option<u64>>` the matchers can read with plain
+/// array indexing.
+///
+/// The buffer is reusable: [`IndexedEvent::resolve_into`] overwrites an
+/// existing instance without allocating (after the first resolution at
+/// full schema width), which is what the allocation-free matching fast
+/// path in `ens-filter` builds on.
+///
+/// # Example
+///
+/// ```
+/// use ens_types::{Schema, Domain, Event, IndexedEvent, AttrId};
+/// # fn main() -> Result<(), ens_types::TypesError> {
+/// let schema = Schema::builder()
+///     .attribute("temperature", Domain::int(-30, 50))?
+///     .attribute("humidity", Domain::int(0, 100))?
+///     .build();
+/// let e = Event::builder(&schema).value("temperature", 30)?.build();
+/// let indexed = IndexedEvent::resolve(&schema, &e)?;
+/// assert_eq!(indexed.get(AttrId::new(0)), Some(60)); // -30 -> 0, 30 -> 60
+/// assert_eq!(indexed.get(AttrId::new(1)), None); // humidity missing
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct IndexedEvent {
+    /// Dense per-attribute indices; [`IndexedEvent::MISSING`] encodes an
+    /// absent attribute (sentinel instead of `Option` so matchers read
+    /// one machine word per attribute).
+    indices: Vec<u64>,
+}
+
+impl IndexedEvent {
+    /// Sentinel stored for attributes the event does not carry. No real
+    /// domain index can reach it (domains are far smaller than `u64`).
+    pub const MISSING: u64 = u64::MAX;
+
+    /// Creates an empty buffer, ready for [`IndexedEvent::resolve_into`].
+    #[must_use]
+    pub fn new() -> Self {
+        IndexedEvent {
+            indices: Vec::new(),
+        }
+    }
+
+    /// Resolves `event` against `schema` into a fresh buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns the same domain errors as [`crate::Domain::index_of`] for
+    /// ill-typed or out-of-range values (e.g. an event built against a
+    /// different schema).
+    pub fn resolve(schema: &Schema, event: &Event) -> Result<Self, TypesError> {
+        let mut out = IndexedEvent::new();
+        out.resolve_into(schema, event)?;
+        Ok(out)
+    }
+
+    /// Resolves `event` against `schema`, reusing this buffer.
+    ///
+    /// After the buffer has grown to the schema's width once, subsequent
+    /// calls perform no heap allocation.
+    ///
+    /// # Errors
+    ///
+    /// Returns the same domain errors as [`crate::Domain::index_of`]; on
+    /// error the buffer contents are unspecified (but safe to reuse).
+    pub fn resolve_into(&mut self, schema: &Schema, event: &Event) -> Result<(), TypesError> {
+        self.indices.clear();
+        self.indices.reserve(schema.len());
+        for (i, (domain, value)) in schema.domains().iter().zip(event.values()).enumerate() {
+            match value {
+                None => self.indices.push(Self::MISSING),
+                Some(v) => match domain.try_index_of(v) {
+                    Some(idx) => self.indices.push(idx),
+                    None => {
+                        // Cold path: rebuild the descriptive error with
+                        // the attribute's name.
+                        let a = schema.attribute(crate::AttrId::new(i as u32));
+                        let e = domain.index_of(v).expect_err("try_index_of returned None");
+                        return Err(crate::event::contextualise(e, a.name()));
+                    }
+                },
+            }
+        }
+        // Events narrower than the schema leave the tail unspecified.
+        self.indices.resize(schema.len(), Self::MISSING);
+        Ok(())
+    }
+
+    /// Wraps pre-computed indices (one per schema attribute, `None` for
+    /// missing values). No validation is performed; out-of-domain indices
+    /// simply never match any edge.
+    #[must_use]
+    pub fn from_indices(indices: Vec<Option<u64>>) -> Self {
+        IndexedEvent {
+            indices: indices
+                .into_iter()
+                .map(|o| o.unwrap_or(Self::MISSING))
+                .collect(),
+        }
+    }
+
+    /// The resolved grid index for `attr`, or `None` if the event does
+    /// not carry that attribute (or `attr` is out of range).
+    #[must_use]
+    pub fn get(&self, attr: AttrId) -> Option<u64> {
+        self.indices
+            .get(attr.index())
+            .copied()
+            .filter(|i| *i != Self::MISSING)
+    }
+
+    /// The dense per-attribute index slice (schema order), with
+    /// [`IndexedEvent::MISSING`] for absent attributes — the raw form
+    /// the hot matching loops consume.
+    #[must_use]
+    pub fn raw(&self) -> &[u64] {
+        &self.indices
+    }
+
+    /// Number of attribute slots (the schema width it was resolved for).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// Whether no attribute slots are present.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.indices.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Domain;
+
+    fn schema() -> Schema {
+        Schema::builder()
+            .attribute("temperature", Domain::int(-30, 50))
+            .unwrap()
+            .attribute("sky", Domain::categorical(["clear", "cloudy"]).unwrap())
+            .unwrap()
+            .build()
+    }
+
+    #[test]
+    fn resolves_all_kinds_and_missing() {
+        let s = schema();
+        let e = Event::builder(&s)
+            .value("temperature", -30)
+            .unwrap()
+            .value("sky", "cloudy")
+            .unwrap()
+            .build();
+        let ix = IndexedEvent::resolve(&s, &e).unwrap();
+        assert_eq!(ix.raw(), &[0, 1]);
+        let partial = Event::builder(&s).value("sky", "clear").unwrap().build();
+        let ix = IndexedEvent::resolve(&s, &partial).unwrap();
+        assert_eq!(ix.get(AttrId::new(0)), None);
+        assert_eq!(ix.get(AttrId::new(1)), Some(0));
+        assert_eq!(ix.len(), 2);
+        assert!(!ix.is_empty());
+    }
+
+    #[test]
+    fn resolve_into_reuses_buffer() {
+        let s = schema();
+        let mut ix = IndexedEvent::new();
+        let e = Event::builder(&s).value("temperature", 0).unwrap().build();
+        ix.resolve_into(&s, &e).unwrap();
+        assert_eq!(ix.get(AttrId::new(0)), Some(30));
+        let cap = ix.indices.capacity();
+        let e = Event::builder(&s).value("sky", "clear").unwrap().build();
+        ix.resolve_into(&s, &e).unwrap();
+        assert_eq!(ix.raw(), &[IndexedEvent::MISSING, 0]);
+        assert_eq!(ix.indices.capacity(), cap, "no reallocation on reuse");
+    }
+
+    #[test]
+    fn foreign_schema_values_error_with_attribute_name() {
+        let s = schema();
+        let wide = Schema::builder()
+            .attribute("temperature", Domain::int(-1000, 1000))
+            .unwrap()
+            .attribute("sky", Domain::categorical(["clear", "cloudy"]).unwrap())
+            .unwrap()
+            .build();
+        let e = Event::builder(&wide)
+            .value("temperature", 500)
+            .unwrap()
+            .build();
+        let err = IndexedEvent::resolve(&s, &e).unwrap_err();
+        assert!(err.to_string().contains("temperature"), "{err}");
+    }
+
+    #[test]
+    fn from_indices_round_trips() {
+        let ix = IndexedEvent::from_indices(vec![Some(3), None]);
+        assert_eq!(ix.get(AttrId::new(0)), Some(3));
+        assert_eq!(ix.get(AttrId::new(1)), None);
+        assert_eq!(ix.get(AttrId::new(9)), None, "out of range is None");
+    }
+}

@@ -51,6 +51,7 @@ mod attribute;
 mod domain;
 mod error;
 mod event;
+mod indexed;
 mod interval;
 pub mod parse;
 mod predicate;
@@ -58,9 +59,10 @@ mod profile;
 mod value;
 
 pub use attribute::{AttrId, Attribute, Schema, SchemaBuilder};
-pub use domain::Domain;
+pub use domain::{Categories, Domain};
 pub use error::TypesError;
 pub use event::{Event, EventBuilder};
+pub use indexed::IndexedEvent;
 pub use interval::{IndexInterval, IntervalSet};
 pub use predicate::{Operator, Predicate};
 pub use profile::{Profile, ProfileBuilder, ProfileId, ProfileSet};
