@@ -20,9 +20,12 @@ use std::process::ExitCode;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
+use std::sync::Arc;
+
 use ens_bench::BenchWorkload;
 use ens_filter::baseline::{CountingMatcher, NaiveMatcher, NestedDfsa};
-use ens_filter::{Dfsa, MatchScratch, Matcher, ProfileTree, TreeConfig};
+use ens_filter::{Dfsa, MatchScratch, Matcher, ProfileTree, RebuildPolicy, TreeConfig};
+use ens_service::{Broker, BrokerConfig, Subscriber};
 use ens_types::{Event, IndexedEvent, Schema};
 use serde::Serialize;
 
@@ -104,11 +107,75 @@ struct NamedRatio {
     value: f64,
 }
 
+/// One row of the concurrent-publisher strong-scaling table: `threads`
+/// publishers split the same event batch.
+#[derive(Debug, Serialize)]
+struct ThreadRow {
+    threads: u64,
+    events_per_sec: f64,
+    ns_per_event: f64,
+}
+
+/// One row of the `publish_batch` shard-fan-out table (single caller,
+/// one worker thread per shard).
+#[derive(Debug, Serialize)]
+struct ShardRow {
+    shards: u64,
+    events_per_sec: f64,
+    ns_per_event: f64,
+}
+
+/// Broker-level scaling for one workload.
+#[derive(Debug, Serialize)]
+struct BrokerWorkloadScaling {
+    name: String,
+    profiles: u64,
+    events: u64,
+    /// Strong scaling: k publisher threads over one shared broker
+    /// (snapshot-swap read path, thread-local scratch).
+    publish_threads: Vec<ThreadRow>,
+    /// 4-thread aggregate publish throughput over the 1-thread broker
+    /// baseline (≥ 1 means the read path scales; bounded by
+    /// `hardware_threads`).
+    speedup_4t: f64,
+    /// `publish_batch` with N shards, one `std::thread` worker each.
+    batch_shards: Vec<ShardRow>,
+}
+
+/// Subscribe latency at growing populations: the delta-overlay path vs
+/// the seed's full-rebuild-per-subscribe behaviour (`max_overlay: 0`).
+#[derive(Debug, Serialize)]
+struct SubscribeRow {
+    population: u64,
+    overlay_ns_p50: f64,
+    full_rebuild_ns_p50: f64,
+}
+
+#[derive(Debug, Serialize)]
+struct SubscribeLatency {
+    workload: String,
+    rows: Vec<SubscribeRow>,
+    /// p50 overlay subscribe latency at the largest population over the
+    /// smallest — ~1.0 means subscribe no longer scales with the total
+    /// subscription count.
+    overlay_growth_largest_over_smallest: f64,
+}
+
+#[derive(Debug, Serialize)]
+struct BrokerScaling {
+    /// `std::thread::available_parallelism()` — scaling rows beyond
+    /// this are time-sliced, not parallel.
+    hardware_threads: u64,
+    workloads: Vec<BrokerWorkloadScaling>,
+    subscribe_latency: SubscribeLatency,
+}
+
 #[derive(Debug, Serialize)]
 struct Report {
     config: Config,
     workloads: Vec<WorkloadReport>,
     summary: Summary,
+    broker_scaling: BrokerScaling,
 }
 
 #[derive(Debug, Serialize)]
@@ -204,6 +271,16 @@ fn run(opts: &Options) -> Result<(), Box<dyn std::error::Error>> {
         });
         reports.push(report);
     }
+    let broker_scaling = BrokerScaling {
+        hardware_threads: std::thread::available_parallelism()
+            .map(|n| n.get() as u64)
+            .unwrap_or(1),
+        workloads: workloads
+            .iter()
+            .map(|w| bench_broker_scaling(w, opts))
+            .collect::<Result<_, _>>()?,
+        subscribe_latency: bench_subscribe_latency(opts)?,
+    };
     let report = Report {
         config: Config {
             events: opts.events as u64,
@@ -216,6 +293,7 @@ fn run(opts: &Options) -> Result<(), Box<dyn std::error::Error>> {
             dfsa_csr_scratch_vs_seed_speedup: speedups,
             allocs_eliminated_per_event: allocs_saved,
         },
+        broker_scaling,
     };
     let json = serde_json::to_string_pretty(&report)?;
     std::fs::write(&opts.out, &json)?;
@@ -384,6 +462,199 @@ fn bench_pass(
         allocs_per_event: allocs as f64 / events.len() as f64,
         matches,
     }
+}
+
+/// A broker loaded with the workload's profiles, tuned for steady-state
+/// measurement: drift statistics off (`stats_sample: 0`) so the read
+/// path is purely lock-free, default (tree) dispatch.
+fn bench_broker(
+    w: &BenchWorkload,
+    shards: usize,
+) -> Result<(Broker, Vec<Subscriber>), Box<dyn std::error::Error>> {
+    let broker = Broker::new(
+        &w.schema,
+        BrokerConfig {
+            shards,
+            stats_sample: 0,
+            rebuild: RebuildPolicy {
+                min_events: u64::MAX,
+                ..RebuildPolicy::default()
+            },
+            ..BrokerConfig::default()
+        },
+    )?;
+    let subs = broker.subscribe_many(w.profiles.iter().cloned())?;
+    Ok((broker, subs))
+}
+
+/// Times `pass` repeatedly (warm-up + best-of until `min_ms`), draining
+/// the subscriber channels between passes, and returns the best
+/// per-pass duration in seconds.
+fn broker_pass(opts: &Options, subs: &[Subscriber], mut pass: impl FnMut()) -> f64 {
+    let drain = |subs: &[Subscriber]| {
+        for s in subs {
+            while s.try_recv().is_some() {}
+        }
+    };
+    pass(); // warm-up
+    drain(subs);
+    let start = Instant::now();
+    let mut best = std::time::Duration::MAX;
+    loop {
+        let t0 = Instant::now();
+        pass();
+        best = best.min(t0.elapsed());
+        drain(subs);
+        if start.elapsed().as_millis() >= u128::from(opts.min_ms) {
+            break;
+        }
+    }
+    best.as_secs_f64()
+}
+
+/// Concurrent-publisher and batch-fan-out scaling for one workload.
+fn bench_broker_scaling(
+    w: &BenchWorkload,
+    opts: &Options,
+) -> Result<BrokerWorkloadScaling, Box<dyn std::error::Error>> {
+    let events: Vec<Arc<Event>> = w.events.iter().map(|e| Arc::new(e.clone())).collect();
+    let n_events = events.len() as f64;
+
+    // Strong scaling: k publisher threads split one event batch over a
+    // single-shard broker — the snapshot-swap read path is the only
+    // thing that lets them proceed in parallel.
+    let mut publish_threads = Vec::new();
+    for threads in [1usize, 2, 4, 8] {
+        let (broker, subs) = bench_broker(w, 1)?;
+        let chunk = events.len().div_ceil(threads);
+        let per_pass = broker_pass(opts, &subs, || {
+            std::thread::scope(|scope| {
+                for slice in events.chunks(chunk) {
+                    let broker = &broker;
+                    scope.spawn(move || {
+                        for e in slice {
+                            broker
+                                .publish_shared(Arc::clone(e))
+                                .expect("valid bench event");
+                        }
+                    });
+                }
+            });
+        });
+        publish_threads.push(ThreadRow {
+            threads: threads as u64,
+            events_per_sec: n_events / per_pass,
+            ns_per_event: per_pass * 1e9 / n_events,
+        });
+    }
+    let speedup_4t = publish_threads[2].events_per_sec / publish_threads[0].events_per_sec;
+
+    // Batch fan-out: one caller, one worker thread per shard.
+    let mut batch_shards = Vec::new();
+    for shards in [1usize, 2, 4, 8] {
+        let (broker, subs) = bench_broker(w, shards)?;
+        let per_pass = broker_pass(opts, &subs, || {
+            broker.publish_batch(&events).expect("valid bench batch");
+        });
+        batch_shards.push(ShardRow {
+            shards: shards as u64,
+            events_per_sec: n_events / per_pass,
+            ns_per_event: per_pass * 1e9 / n_events,
+        });
+    }
+
+    Ok(BrokerWorkloadScaling {
+        name: w.name.to_owned(),
+        profiles: w.profiles.len() as u64,
+        events: events.len() as u64,
+        publish_threads,
+        speedup_4t,
+        batch_shards,
+    })
+}
+
+/// Median of individually timed subscribes (ns).
+fn subscribe_p50(broker: &Broker, profiles: &[ens_types::Profile]) -> f64 {
+    let mut keep = Vec::with_capacity(profiles.len());
+    let mut samples: Vec<u128> = profiles
+        .iter()
+        .map(|p| {
+            let t0 = Instant::now();
+            let sub = broker
+                .subscribe_profile(p.clone())
+                .expect("valid bench profile");
+            let dt = t0.elapsed().as_nanos();
+            keep.push(sub); // keep the subscription live while probing
+            dt
+        })
+        .collect();
+    samples.sort_unstable();
+    samples[samples.len() / 2] as f64
+}
+
+/// Subscribe latency at growing populations: delta overlay vs the
+/// seed's full rebuild per subscribe.
+fn bench_subscribe_latency(opts: &Options) -> Result<SubscribeLatency, Box<dyn std::error::Error>> {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    let base = opts.profiles.unwrap_or(1000);
+    let populations = [base, base * 2, base * 4, base * 8];
+    let schema = ens_workloads::scenario::environmental_schema();
+    let mut rows = Vec::new();
+    for population in populations {
+        let mut rng = StdRng::seed_from_u64(171);
+        let profiles: Vec<ens_types::Profile> =
+            ens_workloads::scenario::environmental_profiles(population + 64 + 8, &mut rng)?
+                .iter()
+                .cloned()
+                .collect();
+        let (load, probes) = profiles.split_at(population);
+        let (overlay_probes, full_probes) = probes.split_at(64);
+
+        // Overlay path: compaction thresholds pushed out of the way so
+        // the probes measure the pure delta insert.
+        let overlay_broker = Broker::new(
+            &schema,
+            BrokerConfig {
+                rebuild: RebuildPolicy {
+                    max_overlay: usize::MAX,
+                    ..RebuildPolicy::default()
+                },
+                ..BrokerConfig::default()
+            },
+        )?;
+        let loaded = overlay_broker.subscribe_many(load.iter().cloned())?;
+        let overlay_ns = subscribe_p50(&overlay_broker, overlay_probes);
+        drop(loaded);
+
+        // Seed behaviour: every subscribe recompiles the full tree.
+        let full_broker = Broker::new(
+            &schema,
+            BrokerConfig {
+                rebuild: RebuildPolicy {
+                    max_overlay: 0,
+                    ..RebuildPolicy::default()
+                },
+                ..BrokerConfig::default()
+            },
+        )?;
+        let loaded = full_broker.subscribe_many(load.iter().cloned())?;
+        let full_ns = subscribe_p50(&full_broker, full_probes);
+        drop(loaded);
+
+        rows.push(SubscribeRow {
+            population: population as u64,
+            overlay_ns_p50: overlay_ns,
+            full_rebuild_ns_p50: full_ns,
+        });
+    }
+    let growth = rows[rows.len() - 1].overlay_ns_p50 / rows[0].overlay_ns_p50.max(1.0);
+    Ok(SubscribeLatency {
+        workload: "environmental".to_owned(),
+        rows,
+        overlay_growth_largest_over_smallest: growth,
+    })
 }
 
 /// Like [`bench_pass`], but through the `match_into` fast path with a

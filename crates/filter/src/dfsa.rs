@@ -81,8 +81,17 @@ impl PTarget {
     fn pack(t: Target) -> PTarget {
         match t {
             Target::Reject => PTarget::REJECT,
-            Target::State(s) => PTarget((TAG_STATE << TAG_SHIFT) | s),
-            Target::Leaf(l) => PTarget((TAG_LEAF << TAG_SHIFT) | l),
+            Target::State(s) => {
+                assert!(
+                    s <= PAYLOAD_MASK,
+                    "DFSA state index overflows packed target"
+                );
+                PTarget((TAG_STATE << TAG_SHIFT) | s)
+            }
+            Target::Leaf(l) => {
+                assert!(l <= PAYLOAD_MASK, "DFSA leaf index overflows packed target");
+                PTarget((TAG_LEAF << TAG_SHIFT) | l)
+            }
         }
     }
 

@@ -19,7 +19,11 @@
 //!   [`AdaptiveFilter`] that restructures the tree when the observed
 //!   event distribution drifts;
 //! * a flattened [`Dfsa`] form for raw-throughput matching and the
-//!   [`baseline`] matchers (naive and counting) for comparison.
+//!   [`baseline`] matchers (naive and counting) for comparison;
+//! * an immutable [`FilterSnapshot`] (tree + DFSA + incremental
+//!   subscription overlay) for lock-free concurrent matching, with
+//!   [`RebuildPolicy`]/[`DriftTracker`] unifying churn compaction and
+//!   adaptive drift rebuilds behind a single snapshot-swap writer.
 //!
 //! # Quickstart
 //!
@@ -59,8 +63,10 @@ mod cost;
 mod dfsa;
 mod error;
 mod order;
+mod rebuild;
 mod scratch;
 mod selectivity;
+mod snapshot;
 mod statistics;
 mod subrange;
 mod tree;
@@ -72,10 +78,12 @@ pub use error::FilterError;
 pub use order::{
     binary_hit_cost, binary_miss_cost, Direction, NodeOrdering, SearchStrategy, ValueOrder,
 };
+pub use rebuild::{DriftTracker, RebuildPolicy};
 pub use scratch::{MatchScratch, Matcher};
 pub use selectivity::{
     attribute_selectivities, order_attributes, AttributeMeasure, A3_MAX_ATTRIBUTES,
 };
+pub use snapshot::{FilterSnapshot, SnapshotScratch};
 pub use statistics::FilterStatistics;
 pub use subrange::{AttributePartition, Cell};
 pub use tree::{AttributeOrder, MatchOutcome, ProfileTree, TreeConfig};

@@ -1,0 +1,342 @@
+//! The unified rebuild policy and drift tracker for the snapshot-swap
+//! filter path.
+//!
+//! The seed broker rebuilt the whole profile tree on *every* subscribe
+//! and unsubscribe, and the [`AdaptiveFilter`](crate::AdaptiveFilter)
+//! rebuilt it again when the observed event distribution drifted. Both
+//! triggers are really the same decision — "is the compiled tree stale
+//! enough to pay a rebuild?" — so [`RebuildPolicy`] unifies them:
+//!
+//! * **subscription churn**: new profiles enter a small overlay
+//!   side-matcher immediately (see
+//!   [`FilterSnapshot`](crate::FilterSnapshot)) and are only folded into
+//!   the tree once the overlay reaches [`RebuildPolicy::max_overlay`]
+//!   entries (tombstoned removals likewise, via
+//!   [`RebuildPolicy::max_removed`]);
+//! * **distribution drift**: [`DriftTracker`] keeps the same statistics
+//!   and L1-drift detector as the adaptive filter (paper §4.2/§5) and
+//!   fires a full rebuild when the empirical event distribution has
+//!   moved [`RebuildPolicy::drift_threshold`] away from the one the
+//!   tree was optimised for.
+
+use ens_dist::{JointDist, Pmf};
+use ens_types::{AttrId, Event, ProfileSet};
+use serde::{Deserialize, Serialize};
+
+use crate::adaptive::AdaptivePolicy;
+use crate::statistics::FilterStatistics;
+use crate::FilterError;
+
+/// When a compiled [`FilterSnapshot`](crate::FilterSnapshot) is rebuilt.
+///
+/// Unifies the adaptive drift trigger (the first three fields, identical
+/// to [`AdaptivePolicy`]) with the incremental-subscription compaction
+/// thresholds.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RebuildPolicy {
+    /// Do not consider a drift rebuild before this many events were
+    /// observed since the last rebuild.
+    pub min_events: u64,
+    /// Rebuild when some attribute's empirical cell distribution is at
+    /// least this far (L1) from the distribution the tree assumes.
+    pub drift_threshold: f64,
+    /// After a pure drift rebuild, halve the history counters so the
+    /// detector reacts to recent traffic.
+    pub decay_on_rebuild: bool,
+    /// Compact the subscription overlay into the tree once it holds more
+    /// than this many profiles. `0` compacts on every subscribe — the
+    /// seed's rebuild-per-subscribe behaviour.
+    pub max_overlay: usize,
+    /// Compact once more than this many tombstoned (unsubscribed but
+    /// still compiled) profiles accumulate. `0` compacts on every
+    /// unsubscribe.
+    pub max_removed: usize,
+}
+
+impl Default for RebuildPolicy {
+    fn default() -> Self {
+        let drift = AdaptivePolicy::default();
+        RebuildPolicy {
+            min_events: drift.min_events,
+            drift_threshold: drift.drift_threshold,
+            decay_on_rebuild: drift.decay_on_rebuild,
+            max_overlay: 64,
+            max_removed: 64,
+        }
+    }
+}
+
+impl From<AdaptivePolicy> for RebuildPolicy {
+    fn from(p: AdaptivePolicy) -> Self {
+        RebuildPolicy {
+            min_events: p.min_events,
+            drift_threshold: p.drift_threshold,
+            decay_on_rebuild: p.decay_on_rebuild,
+            ..RebuildPolicy::default()
+        }
+    }
+}
+
+impl From<RebuildPolicy> for AdaptivePolicy {
+    fn from(p: RebuildPolicy) -> Self {
+        AdaptivePolicy {
+            min_events: p.min_events,
+            drift_threshold: p.drift_threshold,
+            decay_on_rebuild: p.decay_on_rebuild,
+        }
+    }
+}
+
+impl RebuildPolicy {
+    /// Whether an overlay of `len` profiles is due for compaction.
+    #[must_use]
+    pub fn overlay_full(&self, len: usize) -> bool {
+        len > self.max_overlay
+    }
+
+    /// Whether `len` tombstoned profiles are due for compaction.
+    #[must_use]
+    pub fn removed_full(&self, len: usize) -> bool {
+        len > self.max_removed
+    }
+}
+
+/// The writer-side drift detector behind a snapshot-swapped filter.
+///
+/// Owns the [`FilterStatistics`] and the per-attribute PMFs the current
+/// tree was optimised for — the same machinery as
+/// [`AdaptiveFilter`](crate::AdaptiveFilter), factored out so a broker
+/// can keep it under its own (briefly held) writer lock while the match
+/// path reads an immutable snapshot lock-free.
+///
+/// Rebuild protocol: when [`DriftTracker::observe`] returns `true` (or
+/// churn thresholds fire), call [`DriftTracker::prepare_model`] for the
+/// event model to compile with, build the new snapshot, then
+/// [`DriftTracker::finish_rebuild`].
+#[derive(Debug)]
+pub struct DriftTracker {
+    stats: FilterStatistics,
+    /// Statistics rebuilt for a new geometry by
+    /// [`DriftTracker::prepare_model`], committed only by
+    /// [`DriftTracker::finish_rebuild`] — so an abandoned rebuild (the
+    /// caller's compile failed) leaves the live statistics untouched.
+    pending: Option<FilterStatistics>,
+    /// Per-attribute cell PMFs the current tree was optimised for.
+    assumed: Vec<Pmf>,
+    events_since_rebuild: u64,
+    policy: RebuildPolicy,
+}
+
+impl DriftTracker {
+    /// Creates a tracker over the compiled profile set.
+    ///
+    /// # Errors
+    ///
+    /// Propagates predicate lowering and distribution errors.
+    pub fn new(profiles: &ProfileSet, policy: RebuildPolicy) -> Result<Self, FilterError> {
+        let stats = FilterStatistics::new(profiles)?;
+        let assumed = Self::assumed_pmfs(&stats)?;
+        Ok(DriftTracker {
+            stats,
+            pending: None,
+            assumed,
+            events_since_rebuild: 0,
+            policy,
+        })
+    }
+
+    fn assumed_pmfs(stats: &FilterStatistics) -> Result<Vec<Pmf>, FilterError> {
+        (0..stats.partitions().len())
+            .map(|j| stats.event_pmf(AttrId::new(j as u32)))
+            .collect()
+    }
+
+    /// The policy this tracker applies.
+    #[must_use]
+    pub fn policy(&self) -> &RebuildPolicy {
+        &self.policy
+    }
+
+    /// The accumulated statistics.
+    #[must_use]
+    pub fn statistics(&self) -> &FilterStatistics {
+        &self.stats
+    }
+
+    /// Records an observed event and reports whether the drift policy
+    /// asks for a rebuild.
+    ///
+    /// # Errors
+    ///
+    /// Propagates domain errors for ill-typed event values.
+    pub fn observe(&mut self, event: &Event) -> Result<bool, FilterError> {
+        self.stats.record_event(event)?;
+        self.events_since_rebuild += 1;
+        Ok(self.events_since_rebuild >= self.policy.min_events
+            && self.current_drift()? >= self.policy.drift_threshold)
+    }
+
+    /// Maximum L1 distance, over attributes, between the empirical cell
+    /// distribution and the one the tree assumes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates distribution errors.
+    pub fn current_drift(&self) -> Result<f64, FilterError> {
+        let mut worst: f64 = 0.0;
+        for (j, assumed) in self.assumed.iter().enumerate() {
+            let now = self.stats.event_pmf(AttrId::new(j as u32))?;
+            worst = worst.max(now.l1_distance(assumed)?);
+        }
+        Ok(worst)
+    }
+
+    /// First rebuild phase: the event model the new tree should be
+    /// optimised for.
+    ///
+    /// `live` is the full profile set about to be compiled. When it
+    /// differs from the set the statistics were built for
+    /// (`pure_drift = false`, i.e. overlay/tombstone compaction), the
+    /// statistics are reset to the new partition geometry first — cells
+    /// moved, so the old per-cell history no longer applies (mirroring
+    /// [`AdaptiveFilter::set_profiles`](crate::AdaptiveFilter::set_profiles)).
+    /// A pure drift rebuild keeps the accumulated history (mirroring
+    /// [`AdaptiveFilter::rebuild`](crate::AdaptiveFilter::rebuild)).
+    ///
+    /// # Errors
+    ///
+    /// Propagates distribution errors.
+    pub fn prepare_model(
+        &mut self,
+        live: &ProfileSet,
+        pure_drift: bool,
+    ) -> Result<JointDist, FilterError> {
+        // A previous prepare whose rebuild never finished is stale.
+        self.pending = None;
+        if !pure_drift {
+            // Staged, not committed: the caller's compile may still
+            // fail, and the live statistics must keep describing the
+            // currently compiled profile set.
+            let stats = FilterStatistics::new(live)?;
+            let model = stats.empirical_model()?;
+            self.pending = Some(stats);
+            return Ok(model);
+        }
+        self.stats.empirical_model()
+    }
+
+    /// Second rebuild phase, after the new snapshot was compiled:
+    /// re-derives the assumed PMFs, resets the event counter and applies
+    /// decay for pure drift rebuilds.
+    ///
+    /// # Errors
+    ///
+    /// Propagates distribution errors.
+    pub fn finish_rebuild(&mut self, pure_drift: bool) -> Result<(), FilterError> {
+        if let Some(stats) = self.pending.take() {
+            self.stats = stats;
+        }
+        self.assumed = Self::assumed_pmfs(&self.stats)?;
+        self.events_since_rebuild = 0;
+        if pure_drift && self.policy.decay_on_rebuild {
+            self.stats.decay();
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ens_types::{Domain, Predicate, Schema};
+
+    fn setup() -> (Schema, ProfileSet) {
+        let schema = Schema::builder()
+            .attribute("x", Domain::int(0, 99))
+            .unwrap()
+            .build();
+        let mut ps = ProfileSet::new(&schema);
+        ps.insert_with(|b| b.predicate("x", Predicate::between(10, 19)))
+            .unwrap();
+        ps.insert_with(|b| b.predicate("x", Predicate::between(80, 89)))
+            .unwrap();
+        (schema, ps)
+    }
+
+    fn event(schema: &Schema, x: i64) -> Event {
+        Event::builder(schema).value("x", x).unwrap().build()
+    }
+
+    #[test]
+    fn policy_round_trips_through_adaptive_policy() {
+        let p = RebuildPolicy {
+            min_events: 7,
+            drift_threshold: 0.5,
+            decay_on_rebuild: false,
+            max_overlay: 3,
+            max_removed: 9,
+        };
+        let a: AdaptivePolicy = p.into();
+        assert_eq!(a.min_events, 7);
+        let back: RebuildPolicy = a.into();
+        assert_eq!(back.min_events, 7);
+        assert_eq!(back.drift_threshold, 0.5);
+        assert!(!back.decay_on_rebuild);
+        // Compaction thresholds come from the default.
+        assert_eq!(back.max_overlay, RebuildPolicy::default().max_overlay);
+    }
+
+    #[test]
+    fn thresholds() {
+        let p = RebuildPolicy {
+            max_overlay: 0,
+            max_removed: 2,
+            ..RebuildPolicy::default()
+        };
+        assert!(p.overlay_full(1), "max_overlay = 0 compacts immediately");
+        assert!(!p.removed_full(2));
+        assert!(p.removed_full(3));
+    }
+
+    #[test]
+    fn drift_fires_after_min_events_under_skew() {
+        let (schema, ps) = setup();
+        let policy = RebuildPolicy {
+            min_events: 20,
+            drift_threshold: 0.3,
+            decay_on_rebuild: false,
+            ..RebuildPolicy::default()
+        };
+        let mut t = DriftTracker::new(&ps, policy).unwrap();
+        let mut fired = false;
+        for _ in 0..40 {
+            fired = t.observe(&event(&schema, 85)).unwrap();
+            if fired {
+                break;
+            }
+        }
+        assert!(fired, "concentrated traffic must trigger a rebuild");
+        // Pure drift rebuild keeps (decayed) history; drift resets.
+        let model = t.prepare_model(&ps, true).unwrap();
+        assert_eq!(model.arity(), 1);
+        t.finish_rebuild(true).unwrap();
+        assert!(t.current_drift().unwrap() < 0.1);
+    }
+
+    #[test]
+    fn compaction_rebuild_resets_geometry() {
+        let (schema, ps) = setup();
+        let mut t = DriftTracker::new(&ps, RebuildPolicy::default()).unwrap();
+        for _ in 0..10 {
+            t.observe(&event(&schema, 85)).unwrap();
+        }
+        let mut bigger = ps.clone();
+        bigger
+            .insert_with(|b| b.predicate("x", Predicate::between(40, 59)))
+            .unwrap();
+        t.prepare_model(&bigger, false).unwrap();
+        t.finish_rebuild(false).unwrap();
+        assert_eq!(t.statistics().partitions()[0].cells().len(), 7);
+        assert_eq!(t.statistics().events_posted(), 0, "history was reset");
+    }
+}

@@ -1,0 +1,370 @@
+//! Immutable compiled filter snapshots for the lock-free read path.
+//!
+//! A [`FilterSnapshot`] packages everything the hot matching path needs
+//! — the optimised [`ProfileTree`], its flattened [`Dfsa`], the
+//! incremental-subscription overlay and the tombstone set — behind
+//! cheaply clonable [`Arc`]s. Readers clone a handle and match without
+//! any lock; writers build a *new* snapshot (sharing every unchanged
+//! part) and swap it in:
+//!
+//! * [`FilterSnapshot::compile`] — full build, the expensive path taken
+//!   only on compaction or adaptive drift rebuilds;
+//! * [`FilterSnapshot::with_overlay`] — O(overlay) rebuild of the small
+//!   naive side-matcher holding subscriptions that arrived since the
+//!   last compaction (the tree and DFSA are shared untouched);
+//! * [`FilterSnapshot::with_removed`] — O(base) copy of the tombstone
+//!   bitmap for unsubscriptions (tree, DFSA and overlay shared).
+//!
+//! Matched profiles are reported in a single *global* id space: compiled
+//! (base) profiles keep their dense tree ids `0..base_len`, overlay
+//! profiles follow at `base_len..base_len + overlay_len`. The caller
+//! (e.g. the `ens-service` broker) maps those ids onto its dispatch
+//! table, which is versioned together with the snapshot.
+
+use std::sync::Arc;
+
+use ens_types::{IndexedEvent, ProfileSet};
+
+use crate::baseline::NaiveMatcher;
+use crate::dfsa::Dfsa;
+use crate::scratch::{MatchScratch, Matcher};
+use crate::subrange::AttributePartition;
+use crate::tree::{ProfileTree, TreeConfig};
+use crate::FilterError;
+
+/// Reusable buffers for one [`FilterSnapshot::match_into`] call.
+///
+/// Keep one per worker thread (e.g. in a `thread_local!`); after warm-up
+/// a match performs no heap allocation.
+#[derive(Debug, Clone, Default)]
+pub struct SnapshotScratch {
+    base: MatchScratch,
+    overlay: MatchScratch,
+    matched: Vec<u32>,
+    ops: u64,
+}
+
+impl SnapshotScratch {
+    /// Creates an empty scratch.
+    #[must_use]
+    pub fn new() -> Self {
+        SnapshotScratch::default()
+    }
+
+    /// Global profile ids matched by the last call, ascending: base
+    /// (compiled) ids first, overlay ids offset by the snapshot's
+    /// [`FilterSnapshot::base_len`]. Tombstoned profiles are already
+    /// filtered out.
+    #[must_use]
+    pub fn matched(&self) -> &[u32] {
+        &self.matched
+    }
+
+    /// Comparison operations spent by the last call: base plus overlay.
+    /// The DFSA base path does not count operations, so with `use_dfsa`
+    /// only the overlay contributes.
+    #[must_use]
+    pub fn ops(&self) -> u64 {
+        self.ops
+    }
+
+    /// Whether the last call matched anything.
+    #[must_use]
+    pub fn is_match(&self) -> bool {
+        !self.matched.is_empty()
+    }
+}
+
+/// An immutable, shareable compiled filter: tree + DFSA + overlay +
+/// tombstones.
+///
+/// # Example
+///
+/// ```
+/// use ens_filter::{FilterSnapshot, SnapshotScratch, TreeConfig};
+/// use ens_types::{Domain, Event, IndexedEvent, Predicate, ProfileSet, Schema};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let schema = Schema::builder().attribute("x", Domain::int(0, 99))?.build();
+/// let mut base = ProfileSet::new(&schema);
+/// base.insert_with(|b| b.predicate("x", Predicate::between(10, 19)))?;
+/// let snap = FilterSnapshot::compile(&base, &TreeConfig::default())?;
+///
+/// // A new subscription enters the overlay without recompiling the tree.
+/// let mut delta = ProfileSet::new(&schema);
+/// delta.insert_with(|b| b.predicate("x", Predicate::ge(90)))?;
+/// let snap = snap.with_overlay(&delta)?;
+///
+/// let mut scratch = SnapshotScratch::new();
+/// let e = Event::builder(&schema).value("x", 95)?.build();
+/// let indexed = IndexedEvent::resolve(&schema, &e)?;
+/// snap.match_into(&indexed, &mut scratch, false);
+/// assert_eq!(scratch.matched(), &[1], "overlay profile 0 -> global id 1");
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct FilterSnapshot {
+    tree: Arc<ProfileTree>,
+    dfsa: Arc<Dfsa>,
+    base_len: usize,
+    /// Tombstoned base profiles; empty slice when none were removed.
+    removed: Arc<[bool]>,
+    removed_count: usize,
+    overlay: Option<Arc<NaiveMatcher>>,
+    overlay_len: usize,
+}
+
+impl FilterSnapshot {
+    /// Compiles `profiles` into a fresh snapshot (tree build + DFSA
+    /// flattening) with an empty overlay and no tombstones.
+    ///
+    /// # Errors
+    ///
+    /// Propagates tree construction errors.
+    pub fn compile(profiles: &ProfileSet, config: &TreeConfig) -> Result<Self, FilterError> {
+        let tree = ProfileTree::build(profiles, config)?;
+        let dfsa = Dfsa::from_tree(&tree);
+        Ok(FilterSnapshot {
+            tree: Arc::new(tree),
+            dfsa: Arc::new(dfsa),
+            base_len: profiles.len(),
+            removed: Arc::from(Vec::new()),
+            removed_count: 0,
+            overlay: None,
+            overlay_len: 0,
+        })
+    }
+
+    /// A new snapshot with the overlay replaced by `overlay` (dense ids
+    /// `0..overlay.len()`, reported offset by [`FilterSnapshot::base_len`]).
+    /// The compiled base and the tombstones are shared.
+    ///
+    /// Cost is O(overlay) — independent of the compiled subscription
+    /// count, which is what makes subscribe cheap.
+    ///
+    /// # Errors
+    ///
+    /// Propagates predicate lowering errors.
+    pub fn with_overlay(&self, overlay: &ProfileSet) -> Result<Self, FilterError> {
+        let mut next = self.clone();
+        next.overlay_len = overlay.len();
+        next.overlay = if overlay.is_empty() {
+            None
+        } else {
+            Some(Arc::new(NaiveMatcher::new(overlay)?))
+        };
+        Ok(next)
+    }
+
+    /// A new snapshot with the tombstone bitmap replaced (length must be
+    /// [`FilterSnapshot::base_len`]). The compiled base and the overlay
+    /// are shared.
+    #[must_use]
+    pub fn with_removed(&self, removed: Vec<bool>) -> Self {
+        debug_assert_eq!(removed.len(), self.base_len);
+        let mut next = self.clone();
+        next.removed_count = removed.iter().filter(|r| **r).count();
+        next.removed = Arc::from(removed);
+        next
+    }
+
+    /// Matches one pre-resolved event against base and overlay, writing
+    /// global profile ids into `scratch`. Lock-free and allocation-free
+    /// after scratch warm-up.
+    ///
+    /// With `use_dfsa` the compiled base is matched through the
+    /// flattened [`Dfsa`] (fastest, but comparison operations are not
+    /// counted); otherwise through the [`ProfileTree`] (the paper's
+    /// cost-model semantics, `scratch.ops()` populated).
+    pub fn match_into(&self, event: &IndexedEvent, scratch: &mut SnapshotScratch, use_dfsa: bool) {
+        scratch.matched.clear();
+        scratch.ops = 0;
+        if use_dfsa {
+            self.dfsa.match_into(event, &mut scratch.base);
+        } else {
+            self.tree.match_into(event, &mut scratch.base);
+        }
+        scratch.ops += scratch.base.ops();
+        if self.removed.is_empty() {
+            scratch
+                .matched
+                .extend(scratch.base.profiles().iter().map(|p| p.index() as u32));
+        } else {
+            scratch.matched.extend(
+                scratch
+                    .base
+                    .profiles()
+                    .iter()
+                    .map(|p| p.index())
+                    .filter(|k| !self.removed[*k])
+                    .map(|k| k as u32),
+            );
+        }
+        if let Some(overlay) = &self.overlay {
+            overlay.match_into(event, &mut scratch.overlay);
+            scratch.ops += scratch.overlay.ops();
+            let off = self.base_len as u32;
+            scratch.matched.extend(
+                scratch
+                    .overlay
+                    .profiles()
+                    .iter()
+                    .map(|p| off + p.index() as u32),
+            );
+        }
+    }
+
+    /// The compiled profile tree.
+    #[must_use]
+    pub fn tree(&self) -> &ProfileTree {
+        &self.tree
+    }
+
+    /// The flattened DFSA of the compiled tree.
+    #[must_use]
+    pub fn dfsa(&self) -> &Dfsa {
+        &self.dfsa
+    }
+
+    /// The compiled base's per-attribute partitions (schema order) —
+    /// the input for quenching advice. Note these cover only the
+    /// compiled base; see [`FilterSnapshot::is_pure_base`].
+    #[must_use]
+    pub fn partitions(&self) -> &[AttributePartition] {
+        self.tree.partitions()
+    }
+
+    /// Number of compiled (base) profiles, including tombstoned ones.
+    #[must_use]
+    pub fn base_len(&self) -> usize {
+        self.base_len
+    }
+
+    /// Number of overlay profiles.
+    #[must_use]
+    pub fn overlay_len(&self) -> usize {
+        self.overlay_len
+    }
+
+    /// Number of tombstoned base profiles.
+    #[must_use]
+    pub fn removed_len(&self) -> usize {
+        self.removed_count
+    }
+
+    /// Number of profiles that can still match.
+    #[must_use]
+    pub fn live_len(&self) -> usize {
+        self.base_len - self.removed_count + self.overlay_len
+    }
+
+    /// Whether the snapshot is exactly its compiled base (no overlay, no
+    /// tombstones) — the only state in which the base partitions
+    /// describe the full live profile set (e.g. for quenching).
+    #[must_use]
+    pub fn is_pure_base(&self) -> bool {
+        self.overlay_len == 0 && self.removed_count == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ens_types::{Domain, Event, Predicate, Schema};
+
+    fn schema() -> Schema {
+        Schema::builder()
+            .attribute("x", Domain::int(0, 99))
+            .unwrap()
+            .build()
+    }
+
+    fn base(schema: &Schema) -> ProfileSet {
+        let mut ps = ProfileSet::new(schema);
+        ps.insert_with(|b| b.predicate("x", Predicate::between(10, 19)))
+            .unwrap();
+        ps.insert_with(|b| b.predicate("x", Predicate::between(15, 30)))
+            .unwrap();
+        ps
+    }
+
+    fn matched(snap: &FilterSnapshot, schema: &Schema, x: i64, use_dfsa: bool) -> Vec<u32> {
+        let e = Event::builder(schema).value("x", x).unwrap().build();
+        let indexed = IndexedEvent::resolve(schema, &e).unwrap();
+        let mut s = SnapshotScratch::new();
+        snap.match_into(&indexed, &mut s, use_dfsa);
+        s.matched().to_vec()
+    }
+
+    #[test]
+    fn base_overlay_and_tombstones_compose() {
+        let schema = schema();
+        let snap = FilterSnapshot::compile(&base(&schema), &TreeConfig::default()).unwrap();
+        assert_eq!(snap.base_len(), 2);
+        assert!(snap.is_pure_base());
+        assert_eq!(matched(&snap, &schema, 17, false), &[0, 1]);
+
+        let mut delta = ProfileSet::new(&schema);
+        delta
+            .insert_with(|b| b.predicate("x", Predicate::between(16, 40)))
+            .unwrap();
+        let snap = snap.with_overlay(&delta).unwrap();
+        assert!(!snap.is_pure_base());
+        assert_eq!(snap.live_len(), 3);
+        assert_eq!(matched(&snap, &schema, 17, false), &[0, 1, 2]);
+        assert_eq!(matched(&snap, &schema, 35, false), &[2]);
+
+        let snap = snap.with_removed(vec![false, true]);
+        assert_eq!(snap.removed_len(), 1);
+        assert_eq!(snap.live_len(), 2);
+        assert_eq!(matched(&snap, &schema, 17, false), &[0, 2]);
+        // Clearing the overlay keeps the tombstones.
+        let snap = snap.with_overlay(&ProfileSet::new(&schema)).unwrap();
+        assert_eq!(matched(&snap, &schema, 17, false), &[0]);
+    }
+
+    #[test]
+    fn dfsa_and_tree_paths_agree() {
+        let schema = schema();
+        let mut delta = ProfileSet::new(&schema);
+        delta
+            .insert_with(|b| b.predicate("x", Predicate::ge(90)))
+            .unwrap();
+        let snap = FilterSnapshot::compile(&base(&schema), &TreeConfig::default())
+            .unwrap()
+            .with_overlay(&delta)
+            .unwrap()
+            .with_removed(vec![true, false]);
+        for x in 0..100 {
+            assert_eq!(
+                matched(&snap, &schema, x, false),
+                matched(&snap, &schema, x, true),
+                "x = {x}"
+            );
+        }
+    }
+
+    #[test]
+    fn ops_counted_on_tree_path_only() {
+        let schema = schema();
+        let snap = FilterSnapshot::compile(&base(&schema), &TreeConfig::default()).unwrap();
+        let e = Event::builder(&schema).value("x", 17).unwrap().build();
+        let indexed = IndexedEvent::resolve(&schema, &e).unwrap();
+        let mut s = SnapshotScratch::new();
+        snap.match_into(&indexed, &mut s, false);
+        assert!(s.ops() > 0);
+        assert!(s.is_match());
+        snap.match_into(&indexed, &mut s, true);
+        assert_eq!(s.ops(), 0, "the DFSA does not count operations");
+    }
+
+    #[test]
+    fn empty_set_compiles() {
+        let schema = schema();
+        let snap =
+            FilterSnapshot::compile(&ProfileSet::new(&schema), &TreeConfig::default()).unwrap();
+        assert_eq!(snap.live_len(), 0);
+        assert!(matched(&snap, &schema, 5, false).is_empty());
+    }
+}

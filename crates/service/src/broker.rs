@@ -1,16 +1,44 @@
 //! The notification broker: subscriptions in, events in, notifications
 //! out — with the adaptive distribution-based filter in the middle.
+//!
+//! # Concurrency model
+//!
+//! The broker is built for many concurrent producers (paper §5: GENAS
+//! serves "a huge number of profiles" and an event stream to match):
+//!
+//! * **Snapshot-swap read path** — each shard compiles its subscription
+//!   set into an immutable [`FilterSnapshot`] plus a dispatch table,
+//!   shared behind an `Arc`. `publish` clones the handle (one brief,
+//!   uncontended read-lock acquisition), then matches **lock-free**
+//!   against the snapshot using thread-local scratch buffers; after
+//!   warm-up the matching step performs no heap allocation.
+//! * **Incremental subscription deltas** — `subscribe` puts the new
+//!   profile into a small overlay side-matcher (O(overlay), independent
+//!   of the total subscription count) and `unsubscribe` tombstones
+//!   compiled profiles; the expensive tree rebuild runs only when the
+//!   [`RebuildPolicy`] thresholds or its adaptive drift trigger fire.
+//! * **Sharded dispatch** — subscriptions are partitioned across
+//!   [`BrokerConfig::shards`] shards, each with its own snapshot,
+//!   writer lock and drift statistics, so churn and rebuilds on one
+//!   shard never stall the others. [`Broker::publish_batch`] fans a
+//!   batch out across shards on `std::thread` workers.
+//!
+//! Ordering: within one publisher thread (and within a batch),
+//! notifications reach each subscriber in sequence order. Across
+//! concurrent publishers the [`Notification::sequence`] numbers define
+//! the total publish order; deliveries may interleave.
 
+use std::cell::RefCell;
 use std::collections::VecDeque;
-use std::sync::atomic::Ordering;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use crossbeam::channel::{unbounded, Sender};
-use ens_filter::{AdaptiveFilter, AdaptivePolicy, MatchScratch, TreeConfig};
+use ens_filter::{DriftTracker, FilterSnapshot, RebuildPolicy, SnapshotScratch, TreeConfig};
 use ens_types::{
     Event, IndexedEvent, Profile, ProfileBuilder, ProfileId, ProfileSet, Schema, TypesError,
 };
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 
 use crate::metrics::{Metrics, MetricsSnapshot};
 use crate::notify::{Notification, Subscriber};
@@ -19,18 +47,52 @@ use crate::subscription::SubscriptionId;
 use crate::ServiceError;
 
 /// Broker configuration.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct BrokerConfig {
     /// Filter tree configuration (search strategy, attribute order).
     pub tree: TreeConfig,
-    /// Adaptive restructuring policy.
-    pub adaptive: AdaptivePolicy,
+    /// Unified rebuild policy: overlay/tombstone compaction thresholds
+    /// plus the adaptive drift trigger. `max_overlay: 0` restores the
+    /// seed's rebuild-on-every-subscribe behaviour.
+    pub rebuild: RebuildPolicy,
     /// How many recent events to keep for inspection (0 disables).
     pub history_capacity: usize,
     /// Drop events in the zero-subdomain before filtering (broker-side
     /// quenching; producers can do the same with
-    /// [`Broker::quench_advice`]).
+    /// [`Broker::quench_advice`]). Only active while a shard's overlay
+    /// is empty — overlay profiles are not part of the compiled
+    /// coverage map, so quenching pauses (conservatively) until the
+    /// next compaction.
     pub quench_inbound: bool,
+    /// Number of subscription shards (0 is treated as 1). Each shard
+    /// owns an independent snapshot, writer lock and drift statistics;
+    /// `publish_batch` fans out one worker thread per shard.
+    pub shards: usize,
+    /// Match the compiled base through the flattened DFSA instead of
+    /// the profile tree: fastest dispatch, but the base's comparison
+    /// operations are not counted — `PublishReceipt::ops` then only
+    /// reflects overlay matching (0 once the overlay is compacted).
+    pub dfsa_dispatch: bool,
+    /// Record every Nth published event into the per-shard drift
+    /// statistics (1 = every event, the seed behaviour; 0 disables
+    /// drift tracking entirely). Recording takes a per-shard `try_lock`
+    /// — under contention a sample is skipped rather than stalling the
+    /// publisher.
+    pub stats_sample: u64,
+}
+
+impl Default for BrokerConfig {
+    fn default() -> Self {
+        BrokerConfig {
+            tree: TreeConfig::default(),
+            rebuild: RebuildPolicy::default(),
+            history_capacity: 0,
+            quench_inbound: false,
+            shards: 1,
+            dfsa_dispatch: false,
+            stats_sample: 1,
+        }
+    }
 }
 
 /// Receipt returned by [`Broker::publish`].
@@ -38,9 +100,12 @@ pub struct BrokerConfig {
 pub struct PublishReceipt {
     /// Publish-order sequence number of the event.
     pub sequence: u64,
-    /// Subscriptions notified by this event (empty if quenched).
+    /// Subscriptions notified by this event (ascending id; empty if
+    /// quenched).
     pub matched: Vec<SubscriptionId>,
-    /// Comparison operations spent filtering (0 if quenched).
+    /// Comparison operations spent filtering: tree plus overlay ops (0
+    /// if quenched; with [`BrokerConfig::dfsa_dispatch`] the compiled
+    /// base counts no ops, so only overlay matching contributes).
     pub ops: u64,
     /// Whether the inbound quench pre-filter dropped the event.
     pub quenched: bool,
@@ -51,21 +116,254 @@ struct SubEntry {
     profile: Profile,
     weight: f64,
     sender: Sender<Notification>,
-    active: bool,
 }
 
-struct State {
-    subs: Vec<SubEntry>,
-    filter: AdaptiveFilter,
-    /// Dense profile id -> position in `subs` for the current filter.
-    index: Vec<usize>,
-    /// Bounded publish history (ring buffer, preallocated to capacity).
-    history: VecDeque<Arc<Event>>,
-    /// Reusable per-publish buffers for the allocation-free match path.
-    indexed: IndexedEvent,
-    scratch: MatchScratch,
-    next_id: u64,
-    sequence: u64,
+/// One dispatch slot, aligned with the snapshot's global profile ids.
+struct DispatchEntry {
+    id: SubscriptionId,
+    sender: Sender<Notification>,
+}
+
+/// The immutable per-shard artifact the read path consumes.
+struct ShardSnapshot {
+    filter: FilterSnapshot,
+    /// Dispatch for compiled profiles (dense tree ids, tombstones
+    /// included so indices stay aligned).
+    base_dispatch: Arc<Vec<DispatchEntry>>,
+    /// Dispatch for overlay profiles.
+    overlay_dispatch: Arc<Vec<DispatchEntry>>,
+    /// Pre-computed quenching advice; `None` disables inbound
+    /// quenching for this snapshot (overlay pending, or quenching off).
+    quench: Option<Arc<QuenchAdvice>>,
+}
+
+impl ShardSnapshot {
+    fn entry(&self, gpid: u32) -> &DispatchEntry {
+        let gpid = gpid as usize;
+        let base = self.filter.base_len();
+        if gpid < base {
+            &self.base_dispatch[gpid]
+        } else {
+            &self.overlay_dispatch[gpid - base]
+        }
+    }
+}
+
+/// Why a compaction ran (metrics attribution).
+#[derive(Clone, Copy, PartialEq)]
+enum CompactReason {
+    Churn,
+    Drift,
+}
+
+/// Writer-side state of one shard, guarded by its `Mutex`.
+struct ShardWriter {
+    /// Compiled subscriptions, aligned with the snapshot's base profile
+    /// ids (tombstoned entries stay until compaction).
+    base: Vec<SubEntry>,
+    /// Subscriptions that arrived since the last compaction, aligned
+    /// with overlay profile ids.
+    overlay: Vec<SubEntry>,
+    removed: Vec<bool>,
+    removed_count: usize,
+    tracker: DriftTracker,
+}
+
+impl ShardWriter {
+    fn live_count(&self) -> usize {
+        self.base.len() - self.removed_count + self.overlay.len()
+    }
+
+    fn overlay_profiles(&self, schema: &Schema) -> ProfileSet {
+        let mut ps = ProfileSet::new(schema);
+        for e in &self.overlay {
+            ps.insert(e.profile.clone());
+        }
+        ps
+    }
+
+    fn overlay_dispatch(&self) -> Arc<Vec<DispatchEntry>> {
+        Arc::new(
+            self.overlay
+                .iter()
+                .map(|e| DispatchEntry {
+                    id: e.id,
+                    sender: e.sender.clone(),
+                })
+                .collect(),
+        )
+    }
+
+    /// Rebuilds the base dispatch table from the writer's entries —
+    /// used after a tombstoned entry's sender was swapped out, so the
+    /// cancelled channel is released as soon as older snapshots retire.
+    fn base_dispatch(&self) -> Arc<Vec<DispatchEntry>> {
+        Arc::new(
+            self.base
+                .iter()
+                .map(|e| DispatchEntry {
+                    id: e.id,
+                    sender: e.sender.clone(),
+                })
+                .collect(),
+        )
+    }
+
+    /// Shared quench policy for incremental snapshots: base partitions
+    /// only cover compiled profiles, so quenching pauses while the
+    /// overlay is non-empty (tombstones stay conservative).
+    fn delta_quench(
+        &self,
+        prev: &ShardSnapshot,
+        filter: &FilterSnapshot,
+        schema: &Schema,
+        quench_inbound: bool,
+    ) -> Option<Arc<QuenchAdvice>> {
+        if quench_inbound && self.overlay.is_empty() {
+            prev.quench.clone().or_else(|| {
+                Some(Arc::new(QuenchAdvice::from_partitions(
+                    schema,
+                    filter.partitions(),
+                )))
+            })
+        } else {
+            None
+        }
+    }
+
+    /// Incremental snapshot after an overlay change: shares the
+    /// compiled base *and* the tombstone set of `prev` — cost
+    /// O(overlay), independent of the compiled subscription count.
+    fn delta_snapshot(
+        &self,
+        prev: &ShardSnapshot,
+        schema: &Schema,
+        quench_inbound: bool,
+    ) -> Result<ShardSnapshot, ServiceError> {
+        let filter = prev.filter.with_overlay(&self.overlay_profiles(schema))?;
+        let quench = self.delta_quench(prev, &filter, schema, quench_inbound);
+        Ok(ShardSnapshot {
+            filter,
+            base_dispatch: Arc::clone(&prev.base_dispatch),
+            overlay_dispatch: self.overlay_dispatch(),
+            quench,
+        })
+    }
+
+    /// Incremental snapshot after tombstone changes: replaces the
+    /// tombstone bitmap and rebuilds the base dispatch (releasing
+    /// swapped-out senders); the compiled base and overlay are shared.
+    fn tombstone_snapshot(
+        &self,
+        prev: &ShardSnapshot,
+        schema: &Schema,
+        quench_inbound: bool,
+    ) -> ShardSnapshot {
+        let filter = prev.filter.with_removed(self.removed.clone());
+        let quench = self.delta_quench(prev, &filter, schema, quench_inbound);
+        ShardSnapshot {
+            filter,
+            base_dispatch: self.base_dispatch(),
+            overlay_dispatch: Arc::clone(&prev.overlay_dispatch),
+            quench,
+        }
+    }
+
+    /// Full rebuild: folds the overlay in, drops tombstones, recompiles
+    /// the tree with the current empirical event model.
+    fn compact(
+        &mut self,
+        schema: &Schema,
+        tree: &TreeConfig,
+        quench_inbound: bool,
+        reason: CompactReason,
+    ) -> Result<ShardSnapshot, ServiceError> {
+        let pure_drift =
+            reason == CompactReason::Drift && self.overlay.is_empty() && self.removed_count == 0;
+        // Fallible phase first: the writer state is only committed after
+        // the new tree compiled, so a failed rebuild leaves the shard on
+        // its previous (consistent) snapshot.
+        let mut profiles = ProfileSet::new(schema);
+        let mut weights = Vec::with_capacity(self.live_count());
+        let live_entries = self
+            .base
+            .iter()
+            .enumerate()
+            .filter(|(k, _)| !self.removed[*k])
+            .map(|(_, e)| e)
+            .chain(self.overlay.iter());
+        for e in live_entries.clone() {
+            profiles.insert(e.profile.clone());
+            weights.push(e.weight);
+        }
+        let weights = if weights.iter().all(|w| (*w - 1.0).abs() < f64::EPSILON) {
+            None
+        } else {
+            Some(weights)
+        };
+
+        let mut config = tree.clone();
+        config.event_model = Some(self.tracker.prepare_model(&profiles, pure_drift)?);
+        config.profile_weights = weights;
+        let filter = FilterSnapshot::compile(&profiles, &config)?;
+        self.tracker.finish_rebuild(pure_drift)?;
+        let base_dispatch = Arc::new(
+            live_entries
+                .map(|e| DispatchEntry {
+                    id: e.id,
+                    sender: e.sender.clone(),
+                })
+                .collect::<Vec<_>>(),
+        );
+
+        // Commit.
+        let mut live: Vec<SubEntry> = Vec::with_capacity(base_dispatch.len());
+        for (k, e) in std::mem::take(&mut self.base).into_iter().enumerate() {
+            if !self.removed[k] {
+                live.push(e);
+            }
+        }
+        live.append(&mut self.overlay);
+        self.removed = vec![false; live.len()];
+        self.removed_count = 0;
+        self.base = live;
+        let quench = quench_inbound
+            .then(|| Arc::new(QuenchAdvice::from_partitions(schema, filter.partitions())));
+        Ok(ShardSnapshot {
+            filter,
+            base_dispatch,
+            overlay_dispatch: Arc::new(Vec::new()),
+            quench,
+        })
+    }
+}
+
+struct Shard {
+    snapshot: RwLock<Arc<ShardSnapshot>>,
+    writer: Mutex<ShardWriter>,
+}
+
+thread_local! {
+    /// Per-thread match buffers: any number of brokers share them, so a
+    /// warmed-up publisher thread allocates nothing per publish.
+    static SCRATCH: RefCell<(IndexedEvent, SnapshotScratch)> =
+        RefCell::new((IndexedEvent::new(), SnapshotScratch::new()));
+}
+
+/// A sender whose receiver is already gone: placeholder for tombstoned
+/// dispatch slots (every send fails immediately; never matched anyway).
+fn disconnected_sender() -> Sender<Notification> {
+    let (tx, _rx) = unbounded();
+    tx
+}
+
+/// Per-event delivery outcome, accumulated across shards.
+#[derive(Default)]
+struct Delivery {
+    matched: Vec<SubscriptionId>,
+    dead: Vec<SubscriptionId>,
+    ops: u64,
+    rejecting_shards: usize,
 }
 
 /// A thread-safe event notification broker (a miniature GENAS, the
@@ -93,7 +391,12 @@ struct State {
 pub struct Broker {
     schema: Arc<Schema>,
     config: BrokerConfig,
-    state: RwLock<State>,
+    shards: Box<[Shard]>,
+    /// Publish history, split out of the filter path so readers of
+    /// [`Broker::recent_events`] never contend with matching.
+    history: Mutex<VecDeque<Arc<Event>>>,
+    sequence: AtomicU64,
+    next_sub: AtomicU64,
     metrics: Arc<Metrics>,
 }
 
@@ -104,22 +407,46 @@ impl Broker {
     ///
     /// Propagates filter construction errors.
     pub fn new(schema: &Schema, config: BrokerConfig) -> Result<Self, ServiceError> {
-        let profiles = ProfileSet::new(schema);
-        let filter = AdaptiveFilter::new(&profiles, config.tree.clone(), config.adaptive)?;
-        let history = VecDeque::with_capacity(config.history_capacity);
+        let n = config.shards.max(1);
+        let mut shards = Vec::with_capacity(n);
+        for _ in 0..n {
+            let profiles = ProfileSet::new(schema);
+            let tracker = DriftTracker::new(&profiles, config.rebuild)?;
+            // Distribution-dependent strategies need a model before any
+            // event arrived: seed the first tree with the (uniform)
+            // empirical model, exactly like `AdaptiveFilter::new`.
+            let mut tree = config.tree.clone();
+            if tree.event_model.is_none() {
+                tree.event_model = Some(tracker.statistics().empirical_model()?);
+            }
+            let filter = FilterSnapshot::compile(&profiles, &tree)?;
+            let quench = config
+                .quench_inbound
+                .then(|| Arc::new(QuenchAdvice::from_partitions(schema, filter.partitions())));
+            let snapshot = ShardSnapshot {
+                filter,
+                base_dispatch: Arc::new(Vec::new()),
+                overlay_dispatch: Arc::new(Vec::new()),
+                quench,
+            };
+            shards.push(Shard {
+                snapshot: RwLock::new(Arc::new(snapshot)),
+                writer: Mutex::new(ShardWriter {
+                    base: Vec::new(),
+                    overlay: Vec::new(),
+                    removed: Vec::new(),
+                    removed_count: 0,
+                    tracker,
+                }),
+            });
+        }
         Ok(Broker {
             schema: Arc::new(schema.clone()),
             config,
-            state: RwLock::new(State {
-                subs: Vec::new(),
-                filter,
-                index: Vec::new(),
-                history,
-                indexed: IndexedEvent::new(),
-                scratch: MatchScratch::new(),
-                next_id: 0,
-                sequence: 0,
-            }),
+            shards: shards.into_boxed_slice(),
+            history: Mutex::new(VecDeque::new()),
+            sequence: AtomicU64::new(0),
+            next_sub: AtomicU64::new(0),
             metrics: Arc::new(Metrics::default()),
         })
     }
@@ -137,12 +464,26 @@ impl Broker {
         Arc::clone(&self.schema)
     }
 
+    /// Number of subscription shards.
+    #[must_use]
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn shard_index(&self, id: SubscriptionId) -> usize {
+        (id.get() % self.shards.len() as u64) as usize
+    }
+
+    fn shard_of(&self, id: SubscriptionId) -> &Shard {
+        &self.shards[self.shard_index(id)]
+    }
+
     /// Registers a subscription built by `f` and returns the consumer
     /// handle.
     ///
     /// # Errors
     ///
-    /// Propagates profile building and filter rebuild errors.
+    /// Propagates profile building and filter errors.
     pub fn subscribe<F>(&self, f: F) -> Result<Subscriber, ServiceError>
     where
         F: FnOnce(ProfileBuilder<'_>) -> Result<ProfileBuilder<'_>, TypesError>,
@@ -156,7 +497,7 @@ impl Broker {
     ///
     /// # Errors
     ///
-    /// Propagates parse and filter rebuild errors.
+    /// Propagates parse and filter errors.
     pub fn subscribe_parsed(&self, text: &str) -> Result<Subscriber, ServiceError> {
         let profile = ens_types::parse::parse_profile(&self.schema, text, ProfileId::new(0))?;
         self.subscribe_profile(profile)
@@ -164,9 +505,13 @@ impl Broker {
 
     /// Registers a pre-built profile as a subscription.
     ///
+    /// The profile enters the shard's overlay side-matcher immediately
+    /// — cost O(overlay), independent of the total subscription count —
+    /// and is folded into the compiled tree at the next compaction.
+    ///
     /// # Errors
     ///
-    /// Propagates filter rebuild errors.
+    /// Propagates filter errors.
     pub fn subscribe_profile(&self, profile: Profile) -> Result<Subscriber, ServiceError> {
         self.subscribe_profile_weighted(profile, 1.0)
     }
@@ -175,12 +520,13 @@ impl Broker {
     /// the profile's share of the profile distribution `Pp`, so the
     /// V2/V3 value orderings serve high-priority subscriptions first
     /// (paper §4.3: "faster notifications for profiles with high
-    /// priority").
+    /// priority"). Weights take effect when the profile is compiled
+    /// into the tree (immediately with `max_overlay: 0`).
     ///
     /// # Errors
     ///
     /// Returns [`ServiceError::Filter`] for non-positive weights and
-    /// propagates filter rebuild errors.
+    /// propagates filter errors.
     pub fn subscribe_profile_weighted(
         &self,
         profile: Profile,
@@ -193,19 +539,140 @@ impl Broker {
                 },
             ));
         }
+        let id = SubscriptionId::new(self.next_sub.fetch_add(1, Ordering::Relaxed));
         let (tx, rx) = unbounded();
-        let mut state = self.state.write();
-        let id = SubscriptionId::new(state.next_id);
-        state.next_id += 1;
-        state.subs.push(SubEntry {
+        let shard = self.shard_of(id);
+        let mut w = shard.writer.lock();
+        w.overlay.push(SubEntry {
             id,
             profile,
             weight,
             sender: tx,
-            active: true,
         });
-        Self::rebuild_locked(&self.schema, &mut state)?;
-        Ok(Subscriber::new(id, rx))
+        let result = if w.base.is_empty() || self.config.rebuild.overlay_full(w.overlay.len()) {
+            w.compact(
+                &self.schema,
+                &self.config.tree,
+                self.config.quench_inbound,
+                CompactReason::Churn,
+            )
+            .inspect(|_| {
+                self.metrics
+                    .overlay_compactions
+                    .fetch_add(1, Ordering::Relaxed);
+            })
+        } else {
+            let prev = shard.snapshot.read().clone();
+            w.delta_snapshot(&prev, &self.schema, self.config.quench_inbound)
+        };
+        match result {
+            Ok(snapshot) => {
+                *shard.snapshot.write() = Arc::new(snapshot);
+                Ok(Subscriber::new(id, rx))
+            }
+            Err(e) => {
+                w.overlay.pop();
+                Err(e)
+            }
+        }
+    }
+
+    /// Bulk-registers many subscriptions with a single compaction per
+    /// shard — the cheap way to load a large initial population.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filter errors.
+    pub fn subscribe_many<I>(&self, profiles: I) -> Result<Vec<Subscriber>, ServiceError>
+    where
+        I: IntoIterator<Item = Profile>,
+    {
+        // Group entries per shard first: one writer lock per touched
+        // shard instead of one per profile.
+        let mut subscribers = Vec::new();
+        let mut pending: Vec<Vec<SubEntry>> = (0..self.shards.len()).map(|_| Vec::new()).collect();
+        for profile in profiles {
+            let id = SubscriptionId::new(self.next_sub.fetch_add(1, Ordering::Relaxed));
+            let (tx, rx) = unbounded();
+            pending[self.shard_index(id)].push(SubEntry {
+                id,
+                profile,
+                weight: 1.0,
+                sender: tx,
+            });
+            subscribers.push(Subscriber::new(id, rx));
+        }
+        let pushed: Vec<Vec<SubscriptionId>> = pending
+            .iter()
+            .map(|p| p.iter().map(|e| e.id).collect())
+            .collect();
+        for (shard, entries) in self.shards.iter().zip(&mut pending) {
+            if !entries.is_empty() {
+                shard.writer.lock().overlay.append(entries);
+            }
+        }
+        let mut failure = None;
+        for (s, shard) in self.shards.iter().enumerate() {
+            if pushed[s].is_empty() {
+                continue;
+            }
+            let mut w = shard.writer.lock();
+            match w.compact(
+                &self.schema,
+                &self.config.tree,
+                self.config.quench_inbound,
+                CompactReason::Churn,
+            ) {
+                Ok(snapshot) => {
+                    self.metrics
+                        .overlay_compactions
+                        .fetch_add(1, Ordering::Relaxed);
+                    *shard.snapshot.write() = Arc::new(snapshot);
+                }
+                Err(e) => {
+                    failure = Some(e);
+                    break;
+                }
+            }
+        }
+        if let Some(e) = failure {
+            // Roll every pushed entry back out so a failed bulk load
+            // leaves no phantom subscriptions and no shard poisoned by
+            // an invalid profile. Concurrent writers may have published
+            // snapshots containing (or even compacted) these entries in
+            // the meantime, so the cleanup handles both locations under
+            // the writer lock and republishes a consistent snapshot:
+            // every entry left behind is known-compilable, so the
+            // rebuild cannot fail (defensively skipped if it does).
+            for (s, ids) in pushed.iter().enumerate() {
+                if ids.is_empty() {
+                    continue;
+                }
+                let shard = &self.shards[s];
+                let mut w = shard.writer.lock();
+                w.overlay.retain(|entry| !ids.contains(&entry.id));
+                for k in 0..w.base.len() {
+                    if !w.removed[k] && ids.contains(&w.base[k].id) {
+                        w.removed[k] = true;
+                        w.removed_count += 1;
+                        w.base[k].sender = disconnected_sender();
+                    }
+                }
+                let prev = shard.snapshot.read().clone();
+                if let Ok(delta) = w.delta_snapshot(&prev, &self.schema, self.config.quench_inbound)
+                {
+                    let snapshot = ShardSnapshot {
+                        filter: delta.filter.with_removed(w.removed.clone()),
+                        base_dispatch: w.base_dispatch(),
+                        overlay_dispatch: delta.overlay_dispatch,
+                        quench: delta.quench,
+                    };
+                    *shard.snapshot.write() = Arc::new(snapshot);
+                }
+            }
+            return Err(e);
+        }
+        Ok(subscribers)
     }
 
     /// Cancels a subscription.
@@ -215,49 +682,85 @@ impl Broker {
     /// Returns [`ServiceError::UnknownSubscription`] if the id is not
     /// live, and propagates rebuild errors.
     pub fn unsubscribe(&self, id: SubscriptionId) -> Result<(), ServiceError> {
-        let mut state = self.state.write();
-        let before = state.subs.len();
-        state.subs.retain(|s| s.id != id);
-        if state.subs.len() == before {
-            return Err(ServiceError::UnknownSubscription(id));
-        }
-        Self::rebuild_locked(&self.schema, &mut state)
+        self.remove_subscription(id)
     }
 
-    fn rebuild_locked(schema: &Schema, state: &mut State) -> Result<(), ServiceError> {
-        let mut profiles = ProfileSet::new(schema);
-        let mut index = Vec::with_capacity(state.subs.len());
-        let mut weights = Vec::with_capacity(state.subs.len());
-        for (pos, entry) in state.subs.iter().enumerate() {
-            if entry.active {
-                profiles.insert(entry.profile.clone());
-                index.push(pos);
-                weights.push(entry.weight);
+    fn remove_subscription(&self, id: SubscriptionId) -> Result<(), ServiceError> {
+        let shard = self.shard_of(id);
+        let mut w = shard.writer.lock();
+        let snapshot = if let Some(k) = w.overlay.iter().position(|e| e.id == id) {
+            // Build the new snapshot before committing the removal so a
+            // failed rebuild leaves writer state and published snapshot
+            // in agreement.
+            let entry = w.overlay.remove(k);
+            let prev = shard.snapshot.read().clone();
+            match w.delta_snapshot(&prev, &self.schema, self.config.quench_inbound) {
+                Ok(snapshot) => snapshot,
+                Err(e) => {
+                    w.overlay.insert(k, entry);
+                    return Err(e);
+                }
             }
-        }
-        let weights = if weights.iter().all(|w| (*w - 1.0).abs() < f64::EPSILON) {
-            None
+        } else if let Some(k) = w
+            .base
+            .iter()
+            .enumerate()
+            .position(|(k, e)| e.id == id && !w.removed[k])
+        {
+            w.removed[k] = true;
+            w.removed_count += 1;
+            if self.config.rebuild.removed_full(w.removed_count) {
+                match w.compact(
+                    &self.schema,
+                    &self.config.tree,
+                    self.config.quench_inbound,
+                    CompactReason::Churn,
+                ) {
+                    Ok(snapshot) => {
+                        self.metrics
+                            .overlay_compactions
+                            .fetch_add(1, Ordering::Relaxed);
+                        snapshot
+                    }
+                    Err(e) => {
+                        w.removed[k] = false;
+                        w.removed_count -= 1;
+                        return Err(e);
+                    }
+                }
+            } else {
+                // Release the cancelled subscription's channel now
+                // instead of at the next compaction: matching skips
+                // tombstones, so the dispatch slot only needs a
+                // placeholder sender. (Infallible past this point.)
+                w.base[k].sender = disconnected_sender();
+                let prev = shard.snapshot.read().clone();
+                w.tombstone_snapshot(&prev, &self.schema, self.config.quench_inbound)
+            }
         } else {
-            Some(weights)
+            return Err(ServiceError::UnknownSubscription(id));
         };
-        state.filter.set_profiles_weighted(&profiles, weights)?;
-        state.index = index;
+        *shard.snapshot.write() = Arc::new(snapshot);
         Ok(())
     }
 
     /// Number of live subscriptions.
     #[must_use]
     pub fn subscription_count(&self) -> usize {
-        self.state.read().subs.iter().filter(|s| s.active).count()
+        self.shards
+            .iter()
+            .map(|s| s.writer.lock().live_count())
+            .sum()
     }
 
     /// Publishes one event: filters, delivers notifications, updates the
-    /// adaptive statistics and possibly restructures the tree.
+    /// adaptive statistics and possibly restructures a shard's tree.
     ///
     /// The event is wrapped in one [`Arc`] (a single allocation per
     /// publish) which every notified subscriber and the history ring
-    /// buffer share; matching itself runs through the broker's reusable
-    /// scratch buffers and allocates nothing after warm-up.
+    /// buffer share; matching runs lock-free against the current
+    /// snapshots with thread-local scratch and allocates nothing after
+    /// warm-up.
     ///
     /// # Errors
     ///
@@ -275,84 +778,277 @@ impl Broker {
     /// Propagates domain errors for ill-typed event values and filter
     /// rebuild errors.
     pub fn publish_shared(&self, event: Arc<Event>) -> Result<PublishReceipt, ServiceError> {
-        let mut guard = self.state.write();
-        let state = &mut *guard;
-        let sequence = state.sequence;
-        state.sequence += 1;
-
-        if self.config.history_capacity > 0 {
-            if state.history.len() == self.config.history_capacity {
-                state.history.pop_front();
+        let mut delivery = Delivery::default();
+        let sequence = SCRATCH.with(|cell| -> Result<u64, ServiceError> {
+            let (indexed, scratch) = &mut *cell.borrow_mut();
+            indexed.resolve_into(&self.schema, &event)?;
+            let sequence = self.sequence.fetch_add(1, Ordering::Relaxed);
+            self.record_history(&event);
+            for shard in self.shards.iter() {
+                let snap = shard.snapshot.read().clone();
+                self.match_and_deliver(&snap, indexed, scratch, &event, sequence, &mut delivery);
             }
-            state.history.push_back(Arc::clone(&event));
-        }
-
-        if self.config.quench_inbound {
-            let advice =
-                QuenchAdvice::from_partitions(&self.schema, state.filter.tree().partitions());
-            if !advice.allows(&event)? {
-                self.metrics.quenched_events.fetch_add(1, Ordering::Relaxed);
-                self.metrics
-                    .events_published
-                    .fetch_add(1, Ordering::Relaxed);
-                return Ok(PublishReceipt {
-                    sequence,
-                    matched: Vec::new(),
-                    ops: 0,
-                    quenched: true,
-                });
-            }
-        }
-
-        state
-            .filter
-            .process_into(&event, &mut state.indexed, &mut state.scratch)?;
-        let ops = state.scratch.ops();
-        self.metrics
-            .events_published
-            .fetch_add(1, Ordering::Relaxed);
-        self.metrics.total_ops.fetch_add(ops, Ordering::Relaxed);
-
-        let mut matched = Vec::with_capacity(state.scratch.profiles().len());
-        let mut dead: Vec<SubscriptionId> = Vec::new();
-        for pid in state.scratch.profiles() {
-            let pos = state.index[pid.index()];
-            let entry = &state.subs[pos];
-            let n = Notification {
-                subscription: entry.id,
-                sequence,
-                event: Arc::clone(&event),
-            };
-            if entry.sender.send(n).is_ok() {
-                matched.push(entry.id);
-                self.metrics
-                    .notifications_sent
-                    .fetch_add(1, Ordering::Relaxed);
-            } else {
-                self.metrics
-                    .dropped_notifications
-                    .fetch_add(1, Ordering::Relaxed);
-                dead.push(entry.id);
-            }
-        }
-        if !dead.is_empty() {
-            // Garbage-collect subscriptions whose consumers hung up.
-            state.subs.retain(|s| !dead.contains(&s.id));
-            Self::rebuild_locked(&self.schema, state)?;
-        }
+            Ok(sequence)
+        })?;
+        let quenched = delivery.rejecting_shards == self.shards.len();
+        self.finish_publish(&event, sequence, &mut delivery)?;
+        delivery.matched.sort_unstable();
         Ok(PublishReceipt {
             sequence,
-            matched,
-            ops,
-            quenched: false,
+            matched: delivery.matched,
+            ops: delivery.ops,
+            quenched,
         })
     }
 
-    /// Current quenching advice for producers.
+    /// Publishes a batch of events, fanning the work out across shards
+    /// on `std::thread` workers (one per shard when the broker has more
+    /// than one shard).
+    ///
+    /// Each shard processes the whole batch in order against one
+    /// consistent snapshot, so every subscriber receives its
+    /// notifications in sequence order. Receipts come back in input
+    /// order.
+    ///
+    /// # Errors
+    ///
+    /// Rejects the entire batch (before any delivery) if any event is
+    /// ill-typed; propagates rebuild errors.
+    pub fn publish_batch(
+        &self,
+        events: &[Arc<Event>],
+    ) -> Result<Vec<PublishReceipt>, ServiceError> {
+        if events.is_empty() {
+            return Ok(Vec::new());
+        }
+        // Validate and resolve everything up front: a shard worker must
+        // never fail mid-batch, and resolving once saves re-indexing
+        // the event in every shard.
+        let mut indexed = Vec::with_capacity(events.len());
+        for event in events {
+            indexed.push(IndexedEvent::resolve(&self.schema, event)?);
+        }
+        let base_seq = self
+            .sequence
+            .fetch_add(events.len() as u64, Ordering::Relaxed);
+        if self.config.history_capacity > 0 {
+            let mut history = self.history.lock();
+            for event in events {
+                if history.len() == self.config.history_capacity {
+                    history.pop_front();
+                }
+                history.push_back(Arc::clone(event));
+            }
+        }
+
+        let snaps: Vec<Arc<ShardSnapshot>> = self
+            .shards
+            .iter()
+            .map(|s| s.snapshot.read().clone())
+            .collect();
+        let mut per_shard: Vec<Vec<Delivery>> = if self.shards.len() == 1 {
+            vec![self.batch_worker(&snaps[0], &indexed, events, base_seq)]
+        } else {
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = snaps
+                    .iter()
+                    .map(|snap| {
+                        let indexed = &indexed;
+                        scope.spawn(move || self.batch_worker(snap, indexed, events, base_seq))
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("shard worker"))
+                    .collect()
+            })
+        };
+
+        let mut receipts = Vec::with_capacity(events.len());
+        for (i, event) in events.iter().enumerate() {
+            let mut delivery = Delivery::default();
+            for shard in &mut per_shard {
+                let d = std::mem::take(&mut shard[i]);
+                delivery.matched.extend(d.matched);
+                delivery.dead.extend(d.dead);
+                delivery.ops += d.ops;
+                delivery.rejecting_shards += d.rejecting_shards;
+            }
+            let quenched = delivery.rejecting_shards == self.shards.len();
+            let sequence = base_seq + i as u64;
+            self.finish_publish(event, sequence, &mut delivery)?;
+            delivery.matched.sort_unstable();
+            receipts.push(PublishReceipt {
+                sequence,
+                matched: delivery.matched,
+                ops: delivery.ops,
+                quenched,
+            });
+        }
+        Ok(receipts)
+    }
+
+    /// Processes the whole batch for one shard, in order.
+    fn batch_worker(
+        &self,
+        snap: &ShardSnapshot,
+        indexed: &[IndexedEvent],
+        events: &[Arc<Event>],
+        base_seq: u64,
+    ) -> Vec<Delivery> {
+        SCRATCH.with(|cell| {
+            let (_, scratch) = &mut *cell.borrow_mut();
+            indexed
+                .iter()
+                .zip(events)
+                .enumerate()
+                .map(|(i, (ix, event))| {
+                    let mut delivery = Delivery::default();
+                    self.match_and_deliver(
+                        snap,
+                        ix,
+                        scratch,
+                        event,
+                        base_seq + i as u64,
+                        &mut delivery,
+                    );
+                    delivery
+                })
+                .collect()
+        })
+    }
+
+    /// The lock-free per-(event, shard) hot path: quench check, match
+    /// against the snapshot, deliver to matched subscribers.
+    fn match_and_deliver(
+        &self,
+        snap: &ShardSnapshot,
+        indexed: &IndexedEvent,
+        scratch: &mut SnapshotScratch,
+        event: &Arc<Event>,
+        sequence: u64,
+        out: &mut Delivery,
+    ) {
+        if let Some(q) = &snap.quench {
+            if !q.allows_indexed(indexed) {
+                out.rejecting_shards += 1;
+                return;
+            }
+        }
+        snap.filter
+            .match_into(indexed, scratch, self.config.dfsa_dispatch);
+        out.ops += scratch.ops();
+        for &gpid in scratch.matched() {
+            let entry = snap.entry(gpid);
+            let n = Notification {
+                subscription: entry.id,
+                sequence,
+                event: Arc::clone(event),
+            };
+            if entry.sender.send(n).is_ok() {
+                out.matched.push(entry.id);
+            } else {
+                out.dead.push(entry.id);
+            }
+        }
+    }
+
+    fn record_history(&self, event: &Arc<Event>) {
+        if self.config.history_capacity > 0 {
+            let mut history = self.history.lock();
+            if history.len() == self.config.history_capacity {
+                history.pop_front();
+            }
+            history.push_back(Arc::clone(event));
+        }
+    }
+
+    /// Post-delivery bookkeeping shared by `publish` and
+    /// `publish_batch`: metrics, sampled drift statistics (with
+    /// adaptive rebuilds) and garbage collection of hung-up
+    /// subscribers.
+    fn finish_publish(
+        &self,
+        event: &Arc<Event>,
+        sequence: u64,
+        delivery: &mut Delivery,
+    ) -> Result<(), ServiceError> {
+        let quenched = delivery.rejecting_shards == self.shards.len();
+        self.metrics
+            .events_published
+            .fetch_add(1, Ordering::Relaxed);
+        if quenched {
+            self.metrics.quenched_events.fetch_add(1, Ordering::Relaxed);
+        }
+        if delivery.ops > 0 {
+            self.metrics
+                .total_ops
+                .fetch_add(delivery.ops, Ordering::Relaxed);
+        }
+        if !delivery.matched.is_empty() {
+            self.metrics
+                .notifications_sent
+                .fetch_add(delivery.matched.len() as u64, Ordering::Relaxed);
+        }
+        if !delivery.dead.is_empty() {
+            self.metrics
+                .dropped_notifications
+                .fetch_add(delivery.dead.len() as u64, Ordering::Relaxed);
+            // Garbage-collect subscriptions whose consumers hung up
+            // (racing GCs may have removed them already).
+            for id in delivery.dead.drain(..) {
+                match self.remove_subscription(id) {
+                    Ok(()) | Err(ServiceError::UnknownSubscription(_)) => {}
+                    Err(e) => return Err(e),
+                }
+            }
+        }
+        if !quenched && self.config.stats_sample > 0 && sequence % self.config.stats_sample == 0 {
+            self.observe_drift(event)?;
+        }
+        Ok(())
+    }
+
+    /// Records `event` into every shard's drift statistics (skipping
+    /// shards whose writer lock is contended) and runs adaptive
+    /// rebuilds where the drift policy fires.
+    fn observe_drift(&self, event: &Arc<Event>) -> Result<(), ServiceError> {
+        for shard in self.shards.iter() {
+            let Some(mut w) = shard.writer.try_lock() else {
+                continue;
+            };
+            if w.tracker.observe(event)? {
+                let snapshot = w.compact(
+                    &self.schema,
+                    &self.config.tree,
+                    self.config.quench_inbound,
+                    CompactReason::Drift,
+                )?;
+                self.metrics.tree_rebuilds.fetch_add(1, Ordering::Relaxed);
+                *shard.snapshot.write() = Arc::new(snapshot);
+            }
+        }
+        Ok(())
+    }
+
+    /// Current quenching advice for producers, covering every live
+    /// subscription (compiled and overlay) across all shards.
     #[must_use]
     pub fn quench_advice(&self) -> QuenchAdvice {
-        let state = self.state.read();
-        QuenchAdvice::from_partitions(&self.schema, state.filter.tree().partitions())
+        let mut live = ProfileSet::new(&self.schema);
+        for shard in self.shards.iter() {
+            let w = shard.writer.lock();
+            for (k, e) in w.base.iter().enumerate() {
+                if !w.removed[k] {
+                    live.insert(e.profile.clone());
+                }
+            }
+            for e in &w.overlay {
+                live.insert(e.profile.clone());
+            }
+        }
+        QuenchAdvice::from_profiles(&self.schema, &live)
+            .expect("live profiles were already compiled once")
     }
 
     /// Recently published events (newest last), up to the configured
@@ -360,17 +1056,23 @@ impl Broker {
     /// are not copied.
     #[must_use]
     pub fn recent_events(&self) -> Vec<Arc<Event>> {
-        self.state.read().history.iter().map(Arc::clone).collect()
+        self.history.lock().iter().map(Arc::clone).collect()
+    }
+
+    /// Total adaptive (drift-triggered) rebuilds plus churn compactions
+    /// across all shards, as `(rebuilds, compactions)`.
+    #[must_use]
+    pub fn rebuild_counts(&self) -> (u64, u64) {
+        (
+            self.metrics.tree_rebuilds.load(Ordering::Relaxed),
+            self.metrics.overlay_compactions.load(Ordering::Relaxed),
+        )
     }
 
     /// Counter snapshot.
     #[must_use]
     pub fn metrics(&self) -> MetricsSnapshot {
-        let state = self.state.read();
-        self.metrics.snapshot(
-            state.filter.rebuild_count(),
-            state.subs.iter().filter(|s| s.active).count(),
-        )
+        self.metrics.snapshot(self)
     }
 }
 
@@ -378,6 +1080,7 @@ impl std::fmt::Debug for Broker {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Broker")
             .field("schema", &self.schema)
+            .field("shards", &self.shards.len())
             .field("subscriptions", &self.subscription_count())
             .finish_non_exhaustive()
     }

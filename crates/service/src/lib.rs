@@ -64,7 +64,7 @@ pub type Result<T> = std::result::Result<T, ServiceError>;
 #[cfg(test)]
 mod broker_tests {
     use super::*;
-    use ens_filter::{AdaptivePolicy, Direction, SearchStrategy, TreeConfig, ValueOrder};
+    use ens_filter::{Direction, RebuildPolicy, SearchStrategy, TreeConfig, ValueOrder};
     use ens_types::{Domain, Event, Predicate, Schema};
 
     fn schema() -> Schema {
@@ -204,10 +204,11 @@ mod broker_tests {
                 search: SearchStrategy::Linear(ValueOrder::EventProb(Direction::Descending)),
                 ..TreeConfig::default()
             },
-            adaptive: AdaptivePolicy {
+            rebuild: RebuildPolicy {
                 min_events: 50,
                 drift_threshold: 0.2,
                 decay_on_rebuild: true,
+                ..RebuildPolicy::default()
             },
             ..BrokerConfig::default()
         };
@@ -230,10 +231,16 @@ mod broker_tests {
     #[test]
     fn weighted_subscriptions_are_served_first_under_v2() {
         let s = schema();
+        // `max_overlay: 0` compiles every subscription immediately, so
+        // the weighted V2 ordering applies from the first publish.
         let config = BrokerConfig {
             tree: TreeConfig {
                 search: SearchStrategy::Linear(ValueOrder::ProfileProb(Direction::Descending)),
                 ..TreeConfig::default()
+            },
+            rebuild: RebuildPolicy {
+                max_overlay: 0,
+                ..RebuildPolicy::default()
             },
             ..BrokerConfig::default()
         };
@@ -262,6 +269,10 @@ mod broker_tests {
                     search: SearchStrategy::Linear(ValueOrder::ProfileProb(Direction::Descending)),
                     ..TreeConfig::default()
                 },
+                rebuild: RebuildPolicy {
+                    max_overlay: 0,
+                    ..RebuildPolicy::default()
+                },
                 ..BrokerConfig::default()
             },
         )
@@ -276,6 +287,69 @@ mod broker_tests {
         // Invalid weights are rejected.
         let p = ens_types::Profile::builder(&s).build(ens_types::ProfileId::new(0));
         assert!(broker.subscribe_profile_weighted(p, 0.0).is_err());
+    }
+
+    #[test]
+    fn subscribe_many_rolls_back_on_invalid_profile() {
+        let s = schema();
+        let broker = Broker::new(&s, BrokerConfig::default()).unwrap();
+        let good = ens_types::Profile::builder(&s)
+            .predicate("temperature", Predicate::ge(35))
+            .unwrap()
+            .build(ens_types::ProfileId::new(0));
+        // A profile built against a wider foreign schema: its predicate
+        // value lies outside the broker schema's domain, so compaction
+        // fails when the profile is lowered.
+        let other = Schema::builder()
+            .attribute("temperature", Domain::int(-1000, 1000))
+            .unwrap()
+            .attribute("humidity", Domain::int(0, 100))
+            .unwrap()
+            .build();
+        let bad = ens_types::Profile::builder(&other)
+            .predicate("temperature", Predicate::between(400, 500))
+            .unwrap()
+            .build(ens_types::ProfileId::new(0));
+        assert!(broker.subscribe_many([good.clone(), bad]).is_err());
+        assert_eq!(
+            broker.subscription_count(),
+            0,
+            "failed bulk load must leave no phantom subscriptions"
+        );
+        // The shard is not poisoned: later subscribes and publishes work.
+        let sub = broker.subscribe_profile(good).unwrap();
+        let receipt = broker.publish(&event(&s, 40, 95)).unwrap();
+        assert_eq!(receipt.matched, vec![sub.id()]);
+    }
+
+    #[test]
+    fn tombstoned_base_subscription_stops_matching_immediately() {
+        let s = schema();
+        // max_overlay: 0 compiles both subscriptions into the base, so
+        // the unsubscribe below takes the tombstone path.
+        let broker = Broker::new(
+            &s,
+            BrokerConfig {
+                rebuild: RebuildPolicy {
+                    max_overlay: 0,
+                    ..RebuildPolicy::default()
+                },
+                ..BrokerConfig::default()
+            },
+        )
+        .unwrap();
+        let hot = broker
+            .subscribe(|b| b.predicate("temperature", Predicate::ge(35)))
+            .unwrap();
+        let humid = broker
+            .subscribe(|b| b.predicate("humidity", Predicate::ge(90)))
+            .unwrap();
+        broker.unsubscribe(hot.id()).unwrap();
+        assert_eq!(broker.subscription_count(), 1);
+        let receipt = broker.publish(&event(&s, 40, 95)).unwrap();
+        assert_eq!(receipt.matched, vec![humid.id()]);
+        assert!(hot.try_recv().is_none(), "tombstoned sub gets nothing");
+        assert!(humid.try_recv().is_some());
     }
 
     #[test]

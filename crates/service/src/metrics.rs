@@ -1,6 +1,9 @@
+use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use serde::{Deserialize, Serialize};
+
+use crate::broker::Broker;
 
 /// Lock-free service counters.
 #[derive(Debug, Default)]
@@ -10,18 +13,23 @@ pub(crate) struct Metrics {
     pub total_ops: AtomicU64,
     pub dropped_notifications: AtomicU64,
     pub quenched_events: AtomicU64,
+    /// Adaptive (drift-triggered) tree rebuilds across all shards.
+    pub tree_rebuilds: AtomicU64,
+    /// Churn-triggered compactions (overlay/tombstone thresholds).
+    pub overlay_compactions: AtomicU64,
 }
 
 impl Metrics {
-    pub(crate) fn snapshot(&self, rebuilds: u64, subscriptions: usize) -> MetricsSnapshot {
+    pub(crate) fn snapshot(&self, broker: &Broker) -> MetricsSnapshot {
         MetricsSnapshot {
             events_published: self.events_published.load(Ordering::Relaxed),
             notifications_sent: self.notifications_sent.load(Ordering::Relaxed),
             total_ops: self.total_ops.load(Ordering::Relaxed),
             dropped_notifications: self.dropped_notifications.load(Ordering::Relaxed),
             quenched_events: self.quenched_events.load(Ordering::Relaxed),
-            tree_rebuilds: rebuilds,
-            subscriptions,
+            tree_rebuilds: self.tree_rebuilds.load(Ordering::Relaxed),
+            overlay_compactions: self.overlay_compactions.load(Ordering::Relaxed),
+            subscriptions: broker.subscription_count(),
         }
     }
 }
@@ -39,8 +47,11 @@ pub struct MetricsSnapshot {
     pub dropped_notifications: u64,
     /// Events rejected by the quenching pre-filter.
     pub quenched_events: u64,
-    /// Number of adaptive tree rebuilds.
+    /// Number of adaptive (drift-triggered) tree rebuilds.
     pub tree_rebuilds: u64,
+    /// Number of churn-triggered compactions (overlay/tombstone
+    /// thresholds folding the subscription deltas into the tree).
+    pub overlay_compactions: u64,
     /// Live subscriptions at snapshot time.
     pub subscriptions: usize,
 }
@@ -55,22 +66,82 @@ impl MetricsSnapshot {
             self.total_ops as f64 / self.events_published as f64
         }
     }
+
+    /// Average notifications delivered per published event (the fan-out
+    /// the filter actually produced).
+    #[must_use]
+    pub fn avg_notifications_per_event(&self) -> f64 {
+        if self.events_published == 0 {
+            0.0
+        } else {
+            self.notifications_sent as f64 / self.events_published as f64
+        }
+    }
+}
+
+impl fmt::Display for MetricsSnapshot {
+    /// One-line operational summary, e.g.
+    /// `events=100 notifs=250 (2.50/ev) ops=1200 (12.00/ev) quenched=3 dropped=0 rebuilds=1 compactions=4 subs=42`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "events={} notifs={} ({:.2}/ev) ops={} ({:.2}/ev) quenched={} dropped={} rebuilds={} compactions={} subs={}",
+            self.events_published,
+            self.notifications_sent,
+            self.avg_notifications_per_event(),
+            self.total_ops,
+            self.avg_ops_per_event(),
+            self.quenched_events,
+            self.dropped_notifications,
+            self.tree_rebuilds,
+            self.overlay_compactions,
+            self.subscriptions,
+        )
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::BrokerConfig;
+    use ens_types::{Domain, Event, Predicate, Schema};
+
+    fn broker() -> Broker {
+        let schema = Schema::builder()
+            .attribute("x", Domain::int(0, 99))
+            .unwrap()
+            .build();
+        Broker::new(&schema, BrokerConfig::default()).unwrap()
+    }
 
     #[test]
-    fn snapshot_and_average() {
-        let m = Metrics::default();
-        m.events_published.store(4, Ordering::Relaxed);
-        m.total_ops.store(10, Ordering::Relaxed);
-        let s = m.snapshot(2, 3);
-        assert_eq!(s.tree_rebuilds, 2);
-        assert_eq!(s.subscriptions, 3);
-        assert!((s.avg_ops_per_event() - 2.5).abs() < 1e-12);
-        let empty = Metrics::default().snapshot(0, 0);
-        assert_eq!(empty.avg_ops_per_event(), 0.0);
+    fn snapshot_averages_and_display() {
+        let b = broker();
+        let _sub = b
+            .subscribe(|p| p.predicate("x", Predicate::ge(50)))
+            .unwrap();
+        for x in [10, 60, 70, 80] {
+            let e = Event::builder(b.schema()).value("x", x).unwrap().build();
+            b.publish(&e).unwrap();
+        }
+        let s = b.metrics();
+        assert_eq!(s.events_published, 4);
+        assert_eq!(s.notifications_sent, 3);
+        assert!((s.avg_notifications_per_event() - 0.75).abs() < 1e-12);
+        assert!(s.avg_ops_per_event() > 0.0);
+        assert_eq!(s.subscriptions, 1);
+        let line = s.to_string();
+        assert!(line.contains("events=4"), "{line}");
+        assert!(line.contains("(0.75/ev)"), "{line}");
+        assert!(line.contains("subs=1"), "{line}");
+    }
+
+    #[test]
+    fn empty_broker_snapshot_is_zero() {
+        let s = broker().metrics();
+        assert_eq!(s.avg_ops_per_event(), 0.0);
+        assert_eq!(s.avg_notifications_per_event(), 0.0);
+        assert_eq!(s.events_published, 0);
+        assert_eq!(s.subscriptions, 0);
     }
 }

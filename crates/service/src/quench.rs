@@ -12,7 +12,9 @@
 //! pre-filter) use [`QuenchAdvice::allows`] to drop dead events early.
 
 use ens_filter::AttributePartition;
-use ens_types::{AttrId, Event, IndexInterval, IntervalSet, Schema, TypesError};
+use ens_types::{
+    AttrId, Event, IndexInterval, IndexedEvent, IntervalSet, ProfileSet, Schema, TypesError,
+};
 
 /// Per-attribute coverage map derived from the current profile set.
 ///
@@ -63,6 +65,25 @@ impl QuenchAdvice {
         }
     }
 
+    /// Derives the advice directly from a profile set (partitions every
+    /// attribute first). The partition-based
+    /// [`QuenchAdvice::from_partitions`] is cheaper when a filter
+    /// already holds the partitions.
+    ///
+    /// # Errors
+    ///
+    /// Propagates predicate lowering errors.
+    pub fn from_profiles(
+        schema: &Schema,
+        profiles: &ProfileSet,
+    ) -> Result<Self, ens_filter::FilterError> {
+        let partitions: Result<Vec<AttributePartition>, _> = schema
+            .iter()
+            .map(|(id, a)| AttributePartition::build(profiles.iter(), id, a.domain()))
+            .collect();
+        Ok(Self::from_partitions(schema, &partitions?))
+    }
+
     /// The covered value ranges of `attr` (domain-index space).
     ///
     /// # Panics
@@ -92,6 +113,22 @@ impl QuenchAdvice {
             }
         }
         Ok(true)
+    }
+
+    /// [`QuenchAdvice::allows`] over an already-resolved event — the
+    /// allocation-free form the broker's hot path uses (domain indices
+    /// were validated during resolution, so no error is possible).
+    #[must_use]
+    pub fn allows_indexed(&self, event: &IndexedEvent) -> bool {
+        for (k, &idx) in event.raw().iter().enumerate() {
+            if idx != IndexedEvent::MISSING
+                && k < self.covered.len()
+                && !self.covered[k].contains(idx)
+            {
+                return false;
+            }
+        }
+        true
     }
 
     /// The fraction of each attribute's domain that is covered — a

@@ -4,7 +4,7 @@
 
 use std::time::Duration;
 
-use ens_filter::{AdaptivePolicy, Direction, SearchStrategy, TreeConfig, ValueOrder};
+use ens_filter::{Direction, RebuildPolicy, SearchStrategy, TreeConfig, ValueOrder};
 use ens_service::{Broker, BrokerConfig, CompositeDetector, CompositeExpr};
 use ens_types::{Domain, Event, Predicate, Schema};
 
@@ -40,13 +40,15 @@ fn fire_risk_pipeline_end_to_end() {
                 search: SearchStrategy::Linear(ValueOrder::EventProb(Direction::Descending)),
                 ..TreeConfig::default()
             },
-            adaptive: AdaptivePolicy {
+            rebuild: RebuildPolicy {
                 min_events: 100,
                 drift_threshold: 0.4,
                 decay_on_rebuild: true,
+                ..RebuildPolicy::default()
             },
             history_capacity: 8,
             quench_inbound: true,
+            ..BrokerConfig::default()
         },
     )
     .unwrap();
@@ -141,10 +143,11 @@ fn adaptive_rebuilds_do_not_lose_notifications() {
                 search: SearchStrategy::Linear(ValueOrder::EventProb(Direction::Descending)),
                 ..TreeConfig::default()
             },
-            adaptive: AdaptivePolicy {
+            rebuild: RebuildPolicy {
                 min_events: 30,
                 drift_threshold: 0.15,
                 decay_on_rebuild: true,
+                ..RebuildPolicy::default()
             },
             ..BrokerConfig::default()
         },

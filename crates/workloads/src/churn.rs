@@ -1,0 +1,160 @@
+//! Concurrent-service workloads: subscription churn interleaved with
+//! event bursts.
+//!
+//! The paper's GENAS vision (§5) is a long-running service where
+//! subscriptions come and go *while* producers publish. This module
+//! generates deterministic plans for that regime — bursts of events
+//! from the environmental scenario's skewed model, interleaved with
+//! subscribe/unsubscribe operations — so the broker's snapshot-swap
+//! read path and overlay compaction can be exercised (and oracled)
+//! reproducibly from tests and benchmarks.
+
+use ens_types::{Event, Profile, Schema};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::scenario::{environmental_event_model, environmental_profiles, environmental_schema};
+use crate::{EventGenerator, WorkloadError};
+
+/// One step of a churn-and-burst plan.
+#[derive(Debug, Clone)]
+pub enum ChurnOp {
+    /// Register this profile as a new (churning) subscription.
+    Subscribe(Profile),
+    /// Cancel the k-th oldest still-live churning subscription
+    /// (0-based; guaranteed in range when ops are applied in order).
+    Unsubscribe(usize),
+    /// Publish the events at this index range of [`ChurnPlan::events`].
+    Burst(std::ops::Range<usize>),
+}
+
+/// A deterministic interleaving of subscription churn and event bursts.
+///
+/// Apply the ops in order (single-threaded oracle) or partition bursts
+/// across publisher threads while a churn thread replays the
+/// subscribe/unsubscribe ops — both uses see the same profiles and
+/// events.
+#[derive(Debug, Clone)]
+pub struct ChurnPlan {
+    /// The scenario schema all profiles and events are built against.
+    pub schema: Schema,
+    /// The interleaved operations.
+    pub ops: Vec<ChurnOp>,
+    /// All burst events, referenced by [`ChurnOp::Burst`] ranges.
+    pub events: Vec<Event>,
+}
+
+impl ChurnPlan {
+    /// Number of subscribe ops in the plan.
+    #[must_use]
+    pub fn subscriptions(&self) -> usize {
+        self.ops
+            .iter()
+            .filter(|op| matches!(op, ChurnOp::Subscribe(_)))
+            .count()
+    }
+}
+
+/// Builds a plan of `rounds` rounds; each round subscribes
+/// `churn_per_round` fresh profiles, publishes a burst of `burst`
+/// events, then unsubscribes the oldest `churn_per_round` live churn
+/// subscriptions. Deterministic in `seed`.
+///
+/// # Errors
+///
+/// Propagates scenario construction errors.
+pub fn churn_burst_plan(
+    seed: u64,
+    rounds: usize,
+    burst: usize,
+    churn_per_round: usize,
+) -> Result<ChurnPlan, WorkloadError> {
+    let schema = environmental_schema();
+    let generator = EventGenerator::new(&schema, environmental_event_model()?)?;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut ops = Vec::new();
+    let mut events = Vec::new();
+    let mut live = 0usize;
+    for _ in 0..rounds {
+        for _ in 0..churn_per_round {
+            ops.push(ChurnOp::Subscribe(sample_profile(&mut rng)?));
+            live += 1;
+        }
+        let start = events.len();
+        for _ in 0..burst {
+            events.push(generator.sample(&mut rng));
+        }
+        ops.push(ChurnOp::Burst(start..events.len()));
+        for _ in 0..churn_per_round.min(live) {
+            // Remove a prefix subscription so overlap windows vary.
+            let k = rng.gen_range(0..live);
+            ops.push(ChurnOp::Unsubscribe(k));
+            live -= 1;
+        }
+    }
+    Ok(ChurnPlan {
+        schema,
+        ops,
+        events,
+    })
+}
+
+/// Samples one profile from the environmental catastrophe/comfort mix.
+fn sample_profile<R: Rng + ?Sized>(rng: &mut R) -> Result<Profile, WorkloadError> {
+    let ps = environmental_profiles(1, rng)?;
+    let profile = ps.iter().next().expect("one profile requested").clone();
+    Ok(profile)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_is_deterministic_and_well_formed() {
+        let a = churn_burst_plan(7, 4, 10, 3).unwrap();
+        let b = churn_burst_plan(7, 4, 10, 3).unwrap();
+        assert_eq!(a.events.len(), b.events.len());
+        assert_eq!(a.ops.len(), b.ops.len());
+        assert_eq!(a.subscriptions(), 12);
+        assert_eq!(a.events.len(), 40);
+
+        // Replaying the ops keeps every unsubscribe index in range and
+        // every burst range within the event buffer.
+        let mut live = 0usize;
+        for op in &a.ops {
+            match op {
+                ChurnOp::Subscribe(p) => {
+                    assert!(p.specified_len() >= 1);
+                    live += 1;
+                }
+                ChurnOp::Unsubscribe(k) => {
+                    assert!(*k < live, "unsubscribe {k} of {live}");
+                    live -= 1;
+                }
+                ChurnOp::Burst(r) => {
+                    assert!(r.end <= a.events.len());
+                    for e in &a.events[r.clone()] {
+                        // Events are well-typed for the schema.
+                        for (id, _a) in a.schema.iter() {
+                            let _ = e.value(id);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bursts_cover_all_events_in_order() {
+        let plan = churn_burst_plan(3, 5, 8, 2).unwrap();
+        let mut next = 0usize;
+        for op in &plan.ops {
+            if let ChurnOp::Burst(r) = op {
+                assert_eq!(r.start, next, "bursts are contiguous");
+                next = r.end;
+            }
+        }
+        assert_eq!(next, plan.events.len());
+    }
+}

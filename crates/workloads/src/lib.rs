@@ -6,6 +6,8 @@
 //!   populations and event models;
 //! * [`ProfileGenerator`] / [`EventGenerator`] — distribution-driven
 //!   random workloads;
+//! * [`churn`] — deterministic churn-and-burst plans for the concurrent
+//!   broker (subscriptions arriving and leaving while bursts publish);
 //! * [`experiments`] — the TV1–TV4 and TA1–TA2 protocols and one driver
 //!   per figure ([`figure_4a`], [`figure_4b`], [`figure_5`],
 //!   [`figure_6`]);
@@ -25,12 +27,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod churn;
 mod error;
 pub mod experiments;
 mod figures;
 mod generator;
 pub mod scenario;
 
+pub use churn::{churn_burst_plan, ChurnOp, ChurnPlan};
 pub use error::WorkloadError;
 pub use experiments::{
     ablation_table, adaptive_sweep, figure_4a, figure_4b, figure_5, figure_6,

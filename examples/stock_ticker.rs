@@ -6,7 +6,7 @@
 //!
 //! Run with `cargo run --example stock_ticker`.
 
-use ens::filter::{AdaptivePolicy, Direction, SearchStrategy, TreeConfig, ValueOrder};
+use ens::filter::{Direction, RebuildPolicy, SearchStrategy, TreeConfig, ValueOrder};
 use ens::service::{Broker, BrokerConfig};
 use ens::workloads::scenario;
 use ens::workloads::EventGenerator;
@@ -24,13 +24,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 search: SearchStrategy::Linear(ValueOrder::EventProb(Direction::Descending)),
                 ..TreeConfig::default()
             },
-            adaptive: AdaptivePolicy {
+            rebuild: RebuildPolicy {
                 min_events: 2_000,
                 drift_threshold: 0.2,
                 decay_on_rebuild: true,
+                ..RebuildPolicy::default()
             },
             history_capacity: 16,
             quench_inbound: false,
+            ..BrokerConfig::default()
         },
     )?;
 
