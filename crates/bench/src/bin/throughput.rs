@@ -24,9 +24,13 @@ use std::sync::Arc;
 
 use ens_bench::BenchWorkload;
 use ens_filter::baseline::{CountingMatcher, NaiveMatcher, NestedDfsa};
-use ens_filter::{Dfsa, MatchScratch, Matcher, ProfileTree, RebuildPolicy, TreeConfig};
+use ens_filter::{
+    Dfsa, Direction, MatchScratch, Matcher, ProfileTree, RebuildPolicy, SearchStrategy, TreeConfig,
+    TuningPolicy, ValueOrder,
+};
 use ens_service::{Broker, BrokerConfig, Subscriber};
 use ens_types::{Event, IndexedEvent, Schema};
+use ens_workloads::DriftWorkload;
 use serde::Serialize;
 
 /// Counts heap allocations so the harness can verify the fast path's
@@ -170,12 +174,58 @@ struct BrokerScaling {
     subscribe_latency: SubscribeLatency,
 }
 
+/// Steady-state broker throughput during one phase of the drift
+/// workload.
+#[derive(Debug, Serialize)]
+struct TuningPhase {
+    events_per_sec: f64,
+    ns_per_event: f64,
+    /// Mean comparison operations per published event (receipt `ops`).
+    ops_per_event: f64,
+    /// Total matched (event, subscription) pairs over one pass — a
+    /// checksum the stale and retuned brokers must agree on.
+    matches: u64,
+}
+
+/// The self-tuning loop end to end: events/sec before the distribution
+/// drift, degraded under the stale ordering, and recovered after the
+/// broker's automatic retune.
+#[derive(Debug, Serialize)]
+struct TuningReport {
+    workload: String,
+    profiles: u64,
+    events_per_phase: u64,
+    /// Phase-A traffic on a broker optimised for phase A.
+    before_drift: TuningPhase,
+    /// Phase-B traffic on the same (now stale, never retuned) broker.
+    stale_after_drift: TuningPhase,
+    /// Phase-B traffic on a self-tuning broker, after its automatic
+    /// retune fired.
+    retuned_after_drift: TuningPhase,
+    /// before/stale events/sec — how much the drift costs a static
+    /// filter.
+    drift_degradation: f64,
+    /// retuned/stale events/sec — what the retune buys back (> 1 means
+    /// the self-tuning loop recovered throughput).
+    recovery_speedup: f64,
+    /// Accepted retunes on the self-tuning broker.
+    retunes: u64,
+    /// Drift triggers the tuner declined.
+    retunes_declined: u64,
+    /// Cost-model-predicted ops/event of the accepted retune (compare
+    /// with `retuned_after_drift.ops_per_event`).
+    predicted_ops_per_event: f64,
+    /// Total nanoseconds spent pricing retune candidates.
+    tuning_ns_total: u64,
+}
+
 #[derive(Debug, Serialize)]
 struct Report {
     config: Config,
     workloads: Vec<WorkloadReport>,
     summary: Summary,
     broker_scaling: BrokerScaling,
+    tuning: TuningReport,
 }
 
 #[derive(Debug, Serialize)]
@@ -294,6 +344,7 @@ fn run(opts: &Options) -> Result<(), Box<dyn std::error::Error>> {
             allocs_eliminated_per_event: allocs_saved,
         },
         broker_scaling,
+        tuning: bench_tuning(opts)?,
     };
     let json = serde_json::to_string_pretty(&report)?;
     std::fs::write(&opts.out, &json)?;
@@ -654,6 +705,141 @@ fn bench_subscribe_latency(opts: &Options) -> Result<SubscribeLatency, Box<dyn s
         workload: "environmental".to_owned(),
         rows,
         overlay_growth_largest_over_smallest: growth,
+    })
+}
+
+/// The drift-workload broker: V1 (event-probability descending) edge
+/// order seeded with the phase-A model as prior. `tuned` switches on
+/// the standard tuning battery with drift tracking; otherwise the
+/// broker is static (no statistics, no rebuilds) — the stale baseline.
+fn tuning_broker(
+    w: &DriftWorkload,
+    tuned: bool,
+    events_per_phase: usize,
+) -> Result<(Broker, Vec<Subscriber>), Box<dyn std::error::Error>> {
+    let tree = TreeConfig {
+        search: SearchStrategy::Linear(ValueOrder::EventProb(Direction::Descending)),
+        event_model: Some(w.model_a.clone()),
+        ..TreeConfig::default()
+    };
+    let config = if tuned {
+        BrokerConfig {
+            tree,
+            stats_sample: 1,
+            rebuild: RebuildPolicy {
+                min_events: (events_per_phase as u64 / 4).max(64),
+                // The hot-band migration moves the whole distribution
+                // (L1 ≈ 2.0); a high threshold keeps per-cell sampling
+                // noise from re-firing the (expensive) tuning pass.
+                drift_threshold: 0.6,
+                ..RebuildPolicy::default()
+            },
+            tuning: TuningPolicy::standard(),
+            ..BrokerConfig::default()
+        }
+    } else {
+        BrokerConfig {
+            tree,
+            stats_sample: 0,
+            rebuild: RebuildPolicy {
+                min_events: u64::MAX,
+                ..RebuildPolicy::default()
+            },
+            ..BrokerConfig::default()
+        }
+    };
+    let broker = Broker::new(&w.schema, config)?;
+    let subs = broker.subscribe_many(w.profiles.iter().cloned())?;
+    Ok((broker, subs))
+}
+
+/// Measures one phase: a receipt pass for ops/matches, then timed
+/// best-of passes (subscribers drained between passes).
+fn tuning_phase(
+    opts: &Options,
+    broker: &Broker,
+    subs: &[Subscriber],
+    events: &[Arc<Event>],
+) -> Result<TuningPhase, Box<dyn std::error::Error>> {
+    let mut ops = 0u64;
+    let mut matches = 0u64;
+    for e in events {
+        let receipt = broker.publish_shared(Arc::clone(e))?;
+        ops += receipt.ops;
+        matches += receipt.matched.len() as u64;
+    }
+    for s in subs {
+        while s.try_recv().is_some() {}
+    }
+    let per_pass = broker_pass(opts, subs, || {
+        for e in events {
+            broker
+                .publish_shared(Arc::clone(e))
+                .expect("valid drift event");
+        }
+    });
+    let n = events.len() as f64;
+    Ok(TuningPhase {
+        events_per_sec: n / per_pass,
+        ns_per_event: per_pass * 1e9 / n,
+        ops_per_event: ops as f64 / n,
+        matches,
+    })
+}
+
+/// The self-tuning trajectory on the hot-band-migration drift workload:
+/// before drift → degraded under a stale ordering → recovered after the
+/// automatic retune.
+fn bench_tuning(opts: &Options) -> Result<TuningReport, Box<dyn std::error::Error>> {
+    // The stale-vs-retuned contrast is an *ops* story: it only
+    // dominates wall-clock when the mis-ordered scan costs hundreds of
+    // comparisons, i.e. with a large subscription population (the
+    // paper's regime). Keep at least 1000 bands even in smoke runs.
+    let profiles = opts.profiles.unwrap_or(1000).max(1000);
+    let w = ens_workloads::hot_band_migration(2026, profiles, opts.events)?;
+    let phase_a: Vec<Arc<Event>> = w.phase_a.iter().map(|e| Arc::new(e.clone())).collect();
+    let phase_b: Vec<Arc<Event>> = w.phase_b.iter().map(|e| Arc::new(e.clone())).collect();
+
+    // Static broker, optimised for phase A and never retuned.
+    let (stale, stale_subs) = tuning_broker(&w, false, opts.events)?;
+    let before_drift = tuning_phase(opts, &stale, &stale_subs, &phase_a)?;
+    let stale_after_drift = tuning_phase(opts, &stale, &stale_subs, &phase_b)?;
+
+    // Self-tuning broker: feed phase-B traffic until the retune fires.
+    let (tuned, tuned_subs) = tuning_broker(&w, true, opts.events)?;
+    let mut passes = 0;
+    while tuned.metrics().retunes == 0 {
+        passes += 1;
+        if passes > 64 {
+            return Err("drift workload failed to trigger a retune".into());
+        }
+        for e in &phase_b {
+            tuned.publish_shared(Arc::clone(e))?;
+        }
+        for s in &tuned_subs {
+            while s.try_recv().is_some() {}
+        }
+    }
+    let retuned_after_drift = tuning_phase(opts, &tuned, &tuned_subs, &phase_b)?;
+    assert_eq!(
+        retuned_after_drift.matches, stale_after_drift.matches,
+        "retune must not change match semantics"
+    );
+
+    let m = tuned.metrics();
+    Ok(TuningReport {
+        workload: "drift_hot_band_migration".to_owned(),
+        profiles: w.profiles.len() as u64,
+        events_per_phase: opts.events as u64,
+        drift_degradation: before_drift.events_per_sec / stale_after_drift.events_per_sec,
+        recovery_speedup: retuned_after_drift.events_per_sec / stale_after_drift.events_per_sec,
+        before_drift,
+        stale_after_drift,
+        retuned_after_drift,
+        retunes: m.retunes,
+        retunes_declined: m.retunes_declined,
+        predicted_ops_per_event: m.predicted_ops_per_event,
+        tuning_ns_total: m.tuning_nanos,
     })
 }
 

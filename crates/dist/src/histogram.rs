@@ -121,6 +121,44 @@ impl Histogram {
         }
         Pmf::from_weights(self.counts.iter().map(|c| c + alpha).collect())
     }
+
+    /// L1 distance `Σ |p_k − q_k|` between this histogram's
+    /// Laplace-smoothed PMF (see [`Histogram::to_smoothed_pmf`]) and
+    /// `assumed`, computed without materialising the PMF — the
+    /// allocation-free form a drift detector can evaluate on every
+    /// observed event.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DistError::ShapeMismatch`] when the cell counts
+    /// differ, and the same errors as [`Histogram::to_smoothed_pmf`]
+    /// for invalid `alpha` or a mass-less histogram.
+    pub fn smoothed_l1_distance(&self, alpha: f64, assumed: &Pmf) -> Result<f64, DistError> {
+        if self.counts.len() != assumed.len() {
+            return Err(DistError::ShapeMismatch {
+                left: self.counts.len(),
+                right: assumed.len(),
+            });
+        }
+        if self.counts.is_empty() {
+            return Err(DistError::EmptyPmf);
+        }
+        if !alpha.is_finite() || alpha < 0.0 {
+            return Err(DistError::InvalidDensity(format!(
+                "smoothing constant {alpha} must be finite and non-negative"
+            )));
+        }
+        let norm = self.total + alpha * self.counts.len() as f64;
+        if norm <= 0.0 {
+            return Err(DistError::EmptyPmf);
+        }
+        Ok(self
+            .counts
+            .iter()
+            .enumerate()
+            .map(|(k, c)| ((c + alpha) / norm - assumed.prob(k)).abs())
+            .sum())
+    }
 }
 
 #[cfg(test)]
@@ -194,5 +232,41 @@ mod tests {
         let json = serde_json::to_string(&h).unwrap();
         let back: Histogram = serde_json::from_str(&json).unwrap();
         assert_eq!(h, back);
+    }
+
+    #[test]
+    fn smoothed_l1_matches_materialised_pmf() {
+        let mut h = Histogram::new(4);
+        h.record_n(0, 9);
+        h.record_n(2, 3);
+        let assumed = Pmf::from_weights(vec![1.0, 1.0, 1.0, 1.0]).unwrap();
+        for alpha in [0.0, 0.5, 2.0] {
+            let direct = h.smoothed_l1_distance(alpha, &assumed).unwrap();
+            let via_pmf = h
+                .to_smoothed_pmf(alpha)
+                .unwrap()
+                .l1_distance(&assumed)
+                .unwrap();
+            assert!((direct - via_pmf).abs() < 1e-12, "alpha={alpha}");
+        }
+    }
+
+    #[test]
+    fn smoothed_l1_rejects_bad_inputs() {
+        let h = Histogram::new(2);
+        let wrong = Pmf::from_weights(vec![1.0; 3]).unwrap();
+        assert!(matches!(
+            h.smoothed_l1_distance(0.5, &wrong),
+            Err(DistError::ShapeMismatch { left: 2, right: 3 })
+        ));
+        let right = Pmf::from_weights(vec![1.0; 2]).unwrap();
+        assert!(matches!(
+            h.smoothed_l1_distance(0.0, &right),
+            Err(DistError::EmptyPmf)
+        ));
+        assert!(h.smoothed_l1_distance(-1.0, &right).is_err());
+        assert!(Histogram::new(0)
+            .smoothed_l1_distance(0.5, &Pmf::from_weights(vec![1.0]).unwrap())
+            .is_err());
     }
 }

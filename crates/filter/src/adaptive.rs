@@ -114,7 +114,7 @@ impl AdaptiveFilter {
 
     fn assumed_pmfs(stats: &FilterStatistics) -> Result<Vec<Pmf>, FilterError> {
         (0..stats.partitions().len())
-            .map(|j| stats.event_pmf(AttrId::new(j as u32)))
+            .map(|j| stats.event_drift_pmf(AttrId::new(j as u32)))
             .collect()
     }
 
@@ -197,8 +197,7 @@ impl AdaptiveFilter {
     pub fn current_drift(&self) -> Result<f64, FilterError> {
         let mut worst: f64 = 0.0;
         for (j, assumed) in self.assumed.iter().enumerate() {
-            let now = self.stats.event_pmf(AttrId::new(j as u32))?;
-            worst = worst.max(now.l1_distance(assumed)?);
+            worst = worst.max(self.stats.event_l1_drift(AttrId::new(j as u32), assumed)?);
         }
         Ok(worst)
     }

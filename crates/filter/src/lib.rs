@@ -23,7 +23,12 @@
 //! * an immutable [`FilterSnapshot`] (tree + DFSA + incremental
 //!   subscription overlay) for lock-free concurrent matching, with
 //!   [`RebuildPolicy`]/[`DriftTracker`] unifying churn compaction and
-//!   adaptive drift rebuilds behind a single snapshot-swap writer.
+//!   adaptive drift rebuilds behind a single snapshot-swap writer;
+//! * a [`TuningPolicy`] that closes the observe → estimate →
+//!   re-optimize loop: when drift fires, it prices candidate
+//!   (search-strategy, attribute-order) configurations under the
+//!   online distribution estimate and recommends a retune only when
+//!   the predicted improvement clears a threshold.
 //!
 //! # Quickstart
 //!
@@ -70,6 +75,7 @@ mod snapshot;
 mod statistics;
 mod subrange;
 mod tree;
+mod tuning;
 
 pub use adaptive::{AdaptiveFilter, AdaptivePolicy};
 pub use cost::{expected_ops, CostBreakdown, CostModel, LevelCost, ProfileCost};
@@ -87,6 +93,7 @@ pub use snapshot::{FilterSnapshot, SnapshotScratch};
 pub use statistics::FilterStatistics;
 pub use subrange::{AttributePartition, Cell};
 pub use tree::{AttributeOrder, MatchOutcome, ProfileTree, TreeConfig};
+pub use tuning::{RetuneDecision, TuningPolicy};
 
 /// Convenience result alias used across this crate.
 pub type Result<T> = std::result::Result<T, FilterError>;

@@ -51,6 +51,13 @@ pub struct RebuildPolicy {
     /// still compiled) profiles accumulate. `0` compacts on every
     /// unsubscribe.
     pub max_removed: usize,
+    /// Once `min_events` is reached, evaluate the drift distance only
+    /// every this-many observed events (`1` — or `0`, treated as `1` —
+    /// checks on every event). The histogram update is O(1) per event,
+    /// but the L1 drift evaluation is O(cells); on wide domains with
+    /// large profile populations checking every event would tax the
+    /// publish path for no detection benefit.
+    pub drift_check_every: u64,
 }
 
 impl Default for RebuildPolicy {
@@ -62,6 +69,7 @@ impl Default for RebuildPolicy {
             decay_on_rebuild: drift.decay_on_rebuild,
             max_overlay: 64,
             max_removed: 64,
+            drift_check_every: 32,
         }
     }
 }
@@ -147,7 +155,7 @@ impl DriftTracker {
 
     fn assumed_pmfs(stats: &FilterStatistics) -> Result<Vec<Pmf>, FilterError> {
         (0..stats.partitions().len())
-            .map(|j| stats.event_pmf(AttrId::new(j as u32)))
+            .map(|j| stats.event_drift_pmf(AttrId::new(j as u32)))
             .collect()
     }
 
@@ -166,18 +174,34 @@ impl DriftTracker {
     /// Records an observed event and reports whether the drift policy
     /// asks for a rebuild.
     ///
+    /// Both the histogram update and the drift evaluation are
+    /// allocation-free, so a broker can afford to call this on (a
+    /// sampled subset of) the publish path.
+    ///
     /// # Errors
     ///
     /// Propagates domain errors for ill-typed event values.
     pub fn observe(&mut self, event: &Event) -> Result<bool, FilterError> {
         self.stats.record_event(event)?;
         self.events_since_rebuild += 1;
-        Ok(self.events_since_rebuild >= self.policy.min_events
-            && self.current_drift()? >= self.policy.drift_threshold)
+        if self.events_since_rebuild < self.policy.min_events {
+            return Ok(false);
+        }
+        let every = self.policy.drift_check_every.max(1);
+        if (self.events_since_rebuild - self.policy.min_events) % every != 0 {
+            return Ok(false);
+        }
+        Ok(self.current_drift()? >= self.policy.drift_threshold)
+    }
+
+    /// Events observed since the last completed (or declined) rebuild.
+    #[must_use]
+    pub fn events_since_rebuild(&self) -> u64 {
+        self.events_since_rebuild
     }
 
     /// Maximum L1 distance, over attributes, between the empirical cell
-    /// distribution and the one the tree assumes.
+    /// distribution and the one the tree assumes. Allocation-free.
     ///
     /// # Errors
     ///
@@ -185,10 +209,28 @@ impl DriftTracker {
     pub fn current_drift(&self) -> Result<f64, FilterError> {
         let mut worst: f64 = 0.0;
         for (j, assumed) in self.assumed.iter().enumerate() {
-            let now = self.stats.event_pmf(AttrId::new(j as u32))?;
-            worst = worst.max(now.l1_distance(assumed)?);
+            worst = worst.max(self.stats.event_l1_drift(AttrId::new(j as u32), assumed)?);
         }
         Ok(worst)
+    }
+
+    /// Declines a drift trigger without rebuilding: re-baselines the
+    /// assumed PMFs onto the current empirical estimate and resets the
+    /// event counter. A cost-model-driven tuner calls this when the
+    /// predicted improvement of a retune does not clear its threshold
+    /// (see `TuningPolicy` in `tuning.rs`): the distribution that just
+    /// fired has been *checked* and judged not worth a rebuild, so the
+    /// detector should only speak up again when traffic moves away from
+    /// that checked estimate — not keep re-billing the same verdict
+    /// (each check prices every candidate configuration).
+    ///
+    /// # Errors
+    ///
+    /// Propagates distribution errors.
+    pub fn decline_rebuild(&mut self) -> Result<(), FilterError> {
+        self.assumed = Self::assumed_pmfs(&self.stats)?;
+        self.events_since_rebuild = 0;
+        Ok(())
     }
 
     /// First rebuild phase: the event model the new tree should be
@@ -275,6 +317,7 @@ mod tests {
             decay_on_rebuild: false,
             max_overlay: 3,
             max_removed: 9,
+            drift_check_every: 4,
         };
         let a: AdaptivePolicy = p.into();
         assert_eq!(a.min_events, 7);
@@ -321,6 +364,41 @@ mod tests {
         assert_eq!(model.arity(), 1);
         t.finish_rebuild(true).unwrap();
         assert!(t.current_drift().unwrap() < 0.1);
+    }
+
+    #[test]
+    fn decline_rebaselines_the_detector() {
+        let (schema, ps) = setup();
+        let policy = RebuildPolicy {
+            min_events: 10,
+            drift_threshold: 0.3,
+            decay_on_rebuild: false,
+            ..RebuildPolicy::default()
+        };
+        let mut t = DriftTracker::new(&ps, policy).unwrap();
+        let mut fired = false;
+        for _ in 0..40 {
+            fired = t.observe(&event(&schema, 85)).unwrap();
+            if fired {
+                break;
+            }
+        }
+        assert!(fired);
+        t.decline_rebuild().unwrap();
+        assert_eq!(t.events_since_rebuild(), 0);
+        // The same (checked) traffic must not re-fire the detector…
+        for _ in 0..40 {
+            assert!(!t.observe(&event(&schema, 85)).unwrap());
+        }
+        // …but traffic moving away from the checked estimate must.
+        let mut refired = false;
+        for _ in 0..60 {
+            refired = t.observe(&event(&schema, 15)).unwrap();
+            if refired {
+                break;
+            }
+        }
+        assert!(refired, "new drift away from the declined estimate");
     }
 
     #[test]

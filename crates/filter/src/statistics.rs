@@ -16,6 +16,24 @@ use ens_types::{AttrId, Event, Operator, ProfileSet};
 use crate::subrange::AttributePartition;
 use crate::FilterError;
 
+/// Laplace smoothing constant for the empirical event PMFs handed to
+/// model building ([`FilterStatistics::event_pmf`]).
+const SMOOTHING: f64 = 0.5;
+
+/// Smoothing for *drift* comparisons: none once real observations
+/// exist. The smoothed PMF is a function of the observation count (its
+/// uniform fraction shrinks as counts grow), so comparing smoothed
+/// snapshots taken at different counts reports "drift" for a perfectly
+/// stationary stream. Unsmoothed comparison is exact; the uniform
+/// Laplace fallback only covers the before-first-observation state.
+fn drift_alpha(total: f64) -> f64 {
+    if total > 0.0 {
+        0.0
+    } else {
+        SMOOTHING
+    }
+}
+
 /// Counters over a profile set and its observed event stream.
 ///
 /// # Example
@@ -154,7 +172,34 @@ impl FilterStatistics {
     ///
     /// Propagates distribution errors.
     pub fn event_pmf(&self, attr: AttrId) -> Result<Pmf, FilterError> {
-        Ok(self.event_hists[attr.index()].to_smoothed_pmf(0.5)?)
+        Ok(self.event_hists[attr.index()].to_smoothed_pmf(SMOOTHING)?)
+    }
+
+    /// The empirical event PMF of `attr` as used for drift detection:
+    /// unsmoothed once observations exist, uniform before (see
+    /// [`FilterStatistics::event_l1_drift`]). Drift baselines must be
+    /// captured with this, not [`FilterStatistics::event_pmf`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates distribution errors.
+    pub fn event_drift_pmf(&self, attr: AttrId) -> Result<Pmf, FilterError> {
+        let h = &self.event_hists[attr.index()];
+        Ok(h.to_smoothed_pmf(drift_alpha(h.total()))?)
+    }
+
+    /// L1 distance between the empirical event distribution of `attr`
+    /// (the [`FilterStatistics::event_drift_pmf`] view) and `assumed`,
+    /// computed without materialising a PMF — the allocation-free form
+    /// the drift detectors evaluate on the publish path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates distribution errors (notably a cell-count mismatch
+    /// when `assumed` was derived for a different partition geometry).
+    pub fn event_l1_drift(&self, attr: AttrId, assumed: &Pmf) -> Result<f64, FilterError> {
+        let h = &self.event_hists[attr.index()];
+        Ok(h.smoothed_l1_distance(drift_alpha(h.total()), assumed)?)
     }
 
     /// Profile PMF over the cells of `attr` (fraction of profiles
@@ -331,6 +376,39 @@ mod tests {
         let after = stats.event_pmf(AttrId::new(0)).unwrap().prob(1);
         assert!(before > 0.5);
         assert!(after > 0.0 && after <= before);
+    }
+
+    #[test]
+    fn event_l1_drift_agrees_with_materialised_pmfs() {
+        let (schema, ps) = setup();
+        let mut stats = FilterStatistics::new(&ps).unwrap();
+        // Before any observation the drift view is the uniform prior.
+        let assumed = stats.event_drift_pmf(AttrId::new(0)).unwrap();
+        assert!((assumed.prob(0) - 0.25).abs() < 1e-12);
+        for x in [12, 14, 55, 55, 55] {
+            let e = Event::builder(&schema).value("x", x).unwrap().build();
+            stats.record_event(&e).unwrap();
+        }
+        let direct = stats.event_l1_drift(AttrId::new(0), &assumed).unwrap();
+        let via_pmf = stats
+            .event_drift_pmf(AttrId::new(0))
+            .unwrap()
+            .l1_distance(&assumed)
+            .unwrap();
+        assert!((direct - via_pmf).abs() < 1e-12);
+        assert!(direct > 0.0);
+        // A stationary stream never drifts against its own baseline,
+        // regardless of how many more events arrive (no smoothing-decay
+        // artifact).
+        let baseline = stats.event_drift_pmf(AttrId::new(0)).unwrap();
+        for _ in 0..3 {
+            for x in [12, 14, 55, 55, 55] {
+                let e = Event::builder(&schema).value("x", x).unwrap().build();
+                stats.record_event(&e).unwrap();
+            }
+            let d = stats.event_l1_drift(AttrId::new(0), &baseline).unwrap();
+            assert!(d < 1e-12, "stationary drift {d}");
+        }
     }
 
     #[test]

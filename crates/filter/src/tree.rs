@@ -450,21 +450,52 @@ impl ProfileTree {
             return;
         }
 
-        // Locate the edge containing `idx` (model bookkeeping; the
-        // counted operations come from the precomputed ordering).
+        // Locate the edge containing `idx` — the lookup table of
+        // Example 5, which maps a value to its natural slot without
+        // counting as filter operations.
         let g = node.edges.partition_point(|e| e.interval.hi() <= idx);
         let hit = node.edges.get(g).is_some_and(|e| e.interval.contains(idx));
-        if hit {
-            let cost = u64::from(node.ordering.hit_cost[g]);
-            out.ops += cost;
-            out.per_level[level] += cost;
-            return self.walk_indexed(&node.edges[g].child, event, level + 1, out);
-        }
 
-        // Miss: pay the early-termination scan, then fall to `(*)`.
-        let cost = u64::from(node.ordering.miss_cost[g]);
+        let budget = u64::from(if hit {
+            node.ordering.hit_cost[g]
+        } else {
+            node.ordering.miss_cost[g]
+        });
+        let (cost, found) = if matches!(self.config.search, SearchStrategy::Linear(_)) {
+            // Execute the configured scan for real: visit the edges in
+            // the defined order, one containment test per visited edge,
+            // stopping on the hit or at the lookup-table bound on a
+            // miss. The measured wall-clock therefore tracks the
+            // counted operations — the property the distribution-based
+            // orderings (and the self-tuning loop on top of them)
+            // optimise.
+            let mut executed = 0u64;
+            let mut found = None;
+            for &e in &node.ordering.visit[..budget as usize] {
+                executed += 1;
+                let edge = &node.edges[e as usize];
+                if edge.interval.contains(idx) {
+                    found = Some(&edge.child);
+                    break;
+                }
+            }
+            debug_assert_eq!(executed, budget, "scan agrees with the cost table");
+            (executed, found)
+        } else {
+            // Binary / interpolation / hash strategies: the
+            // `partition_point` above is the executed probe sequence;
+            // operations are charged from the precomputed ordering.
+            (budget, None)
+        };
+
         out.ops += cost;
         out.per_level[level] += cost;
+        if hit {
+            let child = found.unwrap_or(&node.edges[g].child);
+            return self.walk_indexed(child, event, level + 1, out);
+        }
+
+        // Miss: the (bounded) scan concluded absence; fall to `(*)`.
         if let Star::Else(child) = &node.star {
             out.ops += 1;
             out.per_level[level] += 1;

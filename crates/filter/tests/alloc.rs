@@ -139,4 +139,29 @@ fn warm_fast_paths_allocate_nothing() {
         assert_eq!(warm, hot, "{name}: warm and hot passes disagree");
         assert!(hot > 0, "{name}: workload should produce matches");
     }
+
+    // The online statistics of the self-tuning loop ride the publish
+    // path, so they must be allocation-free too: histogram updates and
+    // the L1 drift evaluation (forced on every event here via
+    // `drift_check_every: 1` and an unreachable threshold).
+    let policy = ens_filter::RebuildPolicy {
+        min_events: 1,
+        drift_threshold: 2.1, // L1 tops out at 2.0: never fires
+        drift_check_every: 1,
+        ..ens_filter::RebuildPolicy::default()
+    };
+    let mut tracker = ens_filter::DriftTracker::new(&ps, policy).unwrap();
+    for e in &events {
+        assert!(!tracker.observe(e).unwrap()); // warm-up
+    }
+    let before = allocations();
+    for e in &events {
+        assert!(!tracker.observe(e).unwrap());
+    }
+    let allocated = allocations() - before;
+    assert_eq!(
+        allocated, 0,
+        "warm DriftTracker::observe performed {allocated} heap allocations"
+    );
+    assert!(tracker.current_drift().unwrap() > 0.0);
 }

@@ -1,0 +1,100 @@
+//! Convergence of the online distribution estimate: the interval
+//! masses of the empirical model synthesised from `FilterStatistics`
+//! histograms must converge to the generating `JointDist`'s true
+//! masses — the property the whole self-tuning loop rests on (the cost
+//! model is only as good as the estimate it prices under).
+
+use ens_dist::{Density, DistOverDomain, JointDist};
+use ens_filter::FilterStatistics;
+use ens_types::{AttrId, Domain, Predicate, Profile, ProfileId, ProfileSet, Schema};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const D: u64 = 60;
+
+fn schema() -> Schema {
+    Schema::builder()
+        .attribute("x", Domain::int(0, D as i64 - 1))
+        .unwrap()
+        .build()
+}
+
+/// A generating density picked from the catalog of shapes the paper's
+/// scenarios use (peaked, windowed, uniform, falling).
+fn arb_density() -> impl Strategy<Value = Density> {
+    prop_oneof![
+        Just(Density::Uniform),
+        Just(Density::falling()),
+        (5u64..95).prop_map(|c| Density::gaussian(c as f64 / 100.0, 0.08)),
+        (0u64..50, 50u64..100)
+            .prop_map(|(a, b)| Density::window(a as f64 / 100.0, b as f64 / 100.0)),
+    ]
+}
+
+fn arb_profiles() -> impl Strategy<Value = ProfileSet> {
+    prop::collection::vec((0..D as i64, 1..12i64), 1..10).prop_map(|bands| {
+        let schema = schema();
+        let mut ps = ProfileSet::new(&schema);
+        for (lo, w) in bands {
+            let hi = (lo + w).min(D as i64 - 1);
+            let p = Profile::from_predicates(
+                &schema,
+                ProfileId::new(0),
+                vec![Predicate::between(lo, hi)],
+            )
+            .unwrap();
+            ps.insert(p);
+        }
+        ps
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Record a large sample from a known distribution; every partition
+    /// cell's estimated mass (and the synthesised empirical marginal's
+    /// interval mass) must approach the generator's true mass.
+    #[test]
+    fn estimated_cell_masses_converge_to_true_masses(
+        density in arb_density(),
+        profiles in arb_profiles(),
+        seed in 0u64..1_000,
+    ) {
+        let truth = DistOverDomain::new(density, D);
+        let joint = JointDist::independent(vec![truth.clone()]).unwrap();
+        let mut stats = FilterStatistics::new(&profiles).unwrap();
+
+        let n = 6_000;
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..n {
+            let idx = joint.sample(&mut rng);
+            stats.record_value_index(AttrId::new(0), idx[0]);
+        }
+
+        let attr = AttrId::new(0);
+        let pmf = stats.event_pmf(attr).unwrap();
+        let marginal = stats.empirical_marginal(attr).unwrap();
+        for (k, cell) in stats.partitions()[0].cells().iter().enumerate() {
+            let true_mass = truth.mass_of(cell.interval());
+            // Cell-level PMF estimate.
+            prop_assert!(
+                (pmf.prob(k) - true_mass).abs() < 0.05,
+                "cell {k}: est {} vs true {true_mass}", pmf.prob(k)
+            );
+            // Interval mass through the synthesised empirical marginal
+            // (what the cost model actually consumes).
+            let est_mass = marginal.mass_of(cell.interval());
+            prop_assert!(
+                (est_mass - true_mass).abs() < 0.05,
+                "cell {k}: marginal {est_mass} vs true {true_mass}"
+            );
+        }
+        // The full empirical model is a valid event model for the
+        // schema (arity and domain sizes line up).
+        let model = stats.empirical_model().unwrap();
+        prop_assert_eq!(model.arity(), 1);
+        prop_assert_eq!(model.domain_size(0), D);
+    }
+}

@@ -34,7 +34,9 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use crossbeam::channel::{unbounded, Sender};
-use ens_filter::{DriftTracker, FilterSnapshot, RebuildPolicy, SnapshotScratch, TreeConfig};
+use ens_filter::{
+    DriftTracker, FilterSnapshot, RebuildPolicy, SnapshotScratch, TreeConfig, TuningPolicy,
+};
 use ens_types::{
     Event, IndexedEvent, Profile, ProfileBuilder, ProfileId, ProfileSet, Schema, TypesError,
 };
@@ -79,6 +81,17 @@ pub struct BrokerConfig {
     /// — under contention a sample is skipped rather than stalling the
     /// publisher.
     pub stats_sample: u64,
+    /// Self-tuning policy. When enabled (e.g.
+    /// [`TuningPolicy::standard`]), a drift trigger no longer rebuilds
+    /// the stale configuration blindly: the broker prices the candidate
+    /// (search-strategy, attribute-order) configurations under the
+    /// shard's online distribution estimate and commits a retuned
+    /// snapshot only when the predicted cost improvement clears
+    /// [`TuningPolicy::min_improvement`] — otherwise the rebuild is
+    /// declined and the drift detector re-arms. The default (disabled)
+    /// keeps the pre-tuning behaviour: drift rebuilds reuse the
+    /// configured tree shape with a refreshed event model.
+    pub tuning: TuningPolicy,
 }
 
 impl Default for BrokerConfig {
@@ -91,6 +104,7 @@ impl Default for BrokerConfig {
             shards: 1,
             dfsa_dispatch: false,
             stats_sample: 1,
+            tuning: TuningPolicy::default(),
         }
     }
 }
@@ -167,11 +181,33 @@ struct ShardWriter {
     removed: Vec<bool>,
     removed_count: usize,
     tracker: DriftTracker,
+    /// The shard's *active* tree configuration. Starts as
+    /// [`BrokerConfig::tree`]; an accepted retune replaces its
+    /// attribute order and search strategy, so every later compaction
+    /// (churn or drift) keeps compiling the tuned shape.
+    tree: TreeConfig,
 }
 
 impl ShardWriter {
     fn live_count(&self) -> usize {
         self.base.len() - self.removed_count + self.overlay.len()
+    }
+
+    /// The live profile set (non-tombstoned base + overlay), in
+    /// compaction order.
+    fn live_profiles(&self, schema: &Schema) -> ProfileSet {
+        let mut ps = ProfileSet::new(schema);
+        for e in self
+            .base
+            .iter()
+            .enumerate()
+            .filter(|(k, _)| !self.removed[*k])
+            .map(|(_, e)| e)
+            .chain(self.overlay.iter())
+        {
+            ps.insert(e.profile.clone());
+        }
+        ps
     }
 
     fn overlay_profiles(&self, schema: &Schema) -> ProfileSet {
@@ -270,11 +306,12 @@ impl ShardWriter {
     }
 
     /// Full rebuild: folds the overlay in, drops tombstones, recompiles
-    /// the tree with the current empirical event model.
+    /// the tree with the shard's active configuration and the current
+    /// empirical event model (or, before any event was observed for the
+    /// current geometry, the configured model acting as a prior).
     fn compact(
         &mut self,
         schema: &Schema,
-        tree: &TreeConfig,
         quench_inbound: bool,
         reason: CompactReason,
     ) -> Result<ShardSnapshot, ServiceError> {
@@ -302,8 +339,19 @@ impl ShardWriter {
             Some(weights)
         };
 
-        let mut config = tree.clone();
-        config.event_model = Some(self.tracker.prepare_model(&profiles, pure_drift)?);
+        let mut config = self.tree.clone();
+        let empirical = self.tracker.prepare_model(&profiles, pure_drift)?;
+        // A configured event model is the active prior: it wins until
+        // real observations exist for the geometry being compiled, then
+        // the empirical estimate takes over. Only a pure drift rebuild
+        // keeps the observation history — a churn compaction changes
+        // the cell geometry and `prepare_model` starts fresh statistics
+        // (zero observations), so its near-uniform placeholder must not
+        // displace the prior.
+        let observed = pure_drift && self.tracker.statistics().events_posted() > 0;
+        if observed || config.event_model.is_none() {
+            config.event_model = Some(empirical);
+        }
         config.profile_weights = weights;
         let filter = FilterSnapshot::compile(&profiles, &config)?;
         self.tracker.finish_rebuild(pure_drift)?;
@@ -437,6 +485,7 @@ impl Broker {
                     removed: Vec::new(),
                     removed_count: 0,
                     tracker,
+                    tree: config.tree.clone(),
                 }),
             });
         }
@@ -552,7 +601,6 @@ impl Broker {
         let result = if w.base.is_empty() || self.config.rebuild.overlay_full(w.overlay.len()) {
             w.compact(
                 &self.schema,
-                &self.config.tree,
                 self.config.quench_inbound,
                 CompactReason::Churn,
             )
@@ -619,7 +667,6 @@ impl Broker {
             let mut w = shard.writer.lock();
             match w.compact(
                 &self.schema,
-                &self.config.tree,
                 self.config.quench_inbound,
                 CompactReason::Churn,
             ) {
@@ -712,7 +759,6 @@ impl Broker {
             if self.config.rebuild.removed_full(w.removed_count) {
                 match w.compact(
                     &self.schema,
-                    &self.config.tree,
                     self.config.quench_inbound,
                     CompactReason::Churn,
                 ) {
@@ -1011,24 +1057,85 @@ impl Broker {
 
     /// Records `event` into every shard's drift statistics (skipping
     /// shards whose writer lock is contended) and runs adaptive
-    /// rebuilds where the drift policy fires.
+    /// rebuilds — with [`TuningPolicy`] arbitration when enabled —
+    /// where the drift policy fires.
     fn observe_drift(&self, event: &Arc<Event>) -> Result<(), ServiceError> {
         for shard in self.shards.iter() {
             let Some(mut w) = shard.writer.try_lock() else {
                 continue;
             };
-            if w.tracker.observe(event)? {
-                let snapshot = w.compact(
-                    &self.schema,
-                    &self.config.tree,
-                    self.config.quench_inbound,
-                    CompactReason::Drift,
-                )?;
-                self.metrics.tree_rebuilds.fetch_add(1, Ordering::Relaxed);
-                *shard.snapshot.write() = Arc::new(snapshot);
+            if !w.tracker.observe(event)? {
+                continue;
             }
+            if self.config.tuning.is_enabled() && !self.retune_shard(shard, &mut w)? {
+                continue;
+            }
+            let snapshot = w.compact(
+                &self.schema,
+                self.config.quench_inbound,
+                CompactReason::Drift,
+            )?;
+            self.metrics.tree_rebuilds.fetch_add(1, Ordering::Relaxed);
+            *shard.snapshot.write() = Arc::new(snapshot);
         }
         Ok(())
+    }
+
+    /// One tuning pass for a drift-triggered shard: prices the
+    /// candidate configurations of [`BrokerConfig::tuning`] under the
+    /// shard's online distribution estimate against the cost of keeping
+    /// the stale tree. Returns whether a rebuild should proceed — on
+    /// acceptance the shard's active [`TreeConfig`] is already switched
+    /// to the winning shape (the caller's `compact` stages and commits
+    /// the snapshot); on decline the drift detector is re-armed and no
+    /// rebuild happens.
+    ///
+    /// The whole pass runs on the publishing thread under the shard's
+    /// writer lock; its cost (dominated by the candidate tree builds,
+    /// recorded in `tuning_nanos`) is why declines re-baseline the
+    /// detector. Known slack: the winning tree is rebuilt once more by
+    /// `compact` (~1/16 of the pass with the standard battery) —
+    /// threading the evaluated tree through would shave that off.
+    fn retune_shard(&self, shard: &Shard, w: &mut ShardWriter) -> Result<bool, ServiceError> {
+        let t0 = std::time::Instant::now();
+        let est = w.tracker.statistics().empirical_model()?;
+        let profiles = w.live_profiles(&self.schema);
+        // The stale baseline is the compiled base tree plus a one-op
+        // floor per overlay profile (accounted inside `evaluate`) —
+        // still an under-estimate of the side-matcher's true cost, so
+        // the decision stays conservative.
+        let snap = shard.snapshot.read().clone();
+        let decision = self.config.tuning.evaluate(
+            snap.filter.tree(),
+            w.overlay.len(),
+            &profiles,
+            &w.tree,
+            &est,
+        )?;
+        self.metrics
+            .tuning_nanos
+            .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        if decision.accepted {
+            self.metrics
+                .predicted_ops_bits
+                .store(decision.best_ops.to_bits(), Ordering::Relaxed);
+            self.metrics.retunes.fetch_add(1, Ordering::Relaxed);
+            w.tree.attribute_order = decision.attribute_order;
+            w.tree.search = decision.search;
+            // The estimate the retune was priced under becomes the
+            // shard's prior: marginals are domain-level (geometry-
+            // independent), so a later churn compaction — whose
+            // geometry reset starts statistics from zero — compiles
+            // with the last good estimate instead of uniform.
+            w.tree.event_model = Some(est);
+            Ok(true)
+        } else {
+            self.metrics
+                .retunes_declined
+                .fetch_add(1, Ordering::Relaxed);
+            w.tracker.decline_rebuild()?;
+            Ok(false)
+        }
     }
 
     /// Current quenching advice for producers, covering every live

@@ -17,6 +17,18 @@ pub(crate) struct Metrics {
     pub tree_rebuilds: AtomicU64,
     /// Churn-triggered compactions (overlay/tombstone thresholds).
     pub overlay_compactions: AtomicU64,
+    /// Accepted self-tuning retunes (drift rebuilds whose configuration
+    /// was chosen by the cost model).
+    pub retunes: AtomicU64,
+    /// Drift triggers the tuner declined (predicted improvement below
+    /// threshold — no rebuild happened).
+    pub retunes_declined: AtomicU64,
+    /// Wall-clock nanoseconds spent inside tuning evaluations (the
+    /// estimation/pricing overhead of the self-tuning loop).
+    pub tuning_nanos: AtomicU64,
+    /// `f64::to_bits` of the last accepted retune's predicted expected
+    /// comparison operations per event (cost model Eq. 2).
+    pub predicted_ops_bits: AtomicU64,
 }
 
 impl Metrics {
@@ -29,13 +41,19 @@ impl Metrics {
             quenched_events: self.quenched_events.load(Ordering::Relaxed),
             tree_rebuilds: self.tree_rebuilds.load(Ordering::Relaxed),
             overlay_compactions: self.overlay_compactions.load(Ordering::Relaxed),
+            retunes: self.retunes.load(Ordering::Relaxed),
+            retunes_declined: self.retunes_declined.load(Ordering::Relaxed),
+            tuning_nanos: self.tuning_nanos.load(Ordering::Relaxed),
+            predicted_ops_per_event: f64::from_bits(
+                self.predicted_ops_bits.load(Ordering::Relaxed),
+            ),
             subscriptions: broker.subscription_count(),
         }
     }
 }
 
 /// A point-in-time view of the broker's counters.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct MetricsSnapshot {
     /// Events accepted by `publish`.
     pub events_published: u64,
@@ -47,11 +65,27 @@ pub struct MetricsSnapshot {
     pub dropped_notifications: u64,
     /// Events rejected by the quenching pre-filter.
     pub quenched_events: u64,
-    /// Number of adaptive (drift-triggered) tree rebuilds.
+    /// Number of adaptive (drift-triggered) tree rebuilds, including
+    /// accepted retunes.
     pub tree_rebuilds: u64,
     /// Number of churn-triggered compactions (overlay/tombstone
     /// thresholds folding the subscription deltas into the tree).
     pub overlay_compactions: u64,
+    /// Accepted self-tuning retunes: drift rebuilds whose
+    /// (search-strategy, attribute-order) shape was re-chosen by the
+    /// cost model under the online distribution estimate.
+    pub retunes: u64,
+    /// Drift triggers the tuner declined because the predicted cost
+    /// improvement did not clear `TuningPolicy::min_improvement`.
+    pub retunes_declined: u64,
+    /// Total wall-clock nanoseconds spent pricing retune candidates —
+    /// the overhead the self-tuning loop adds to the write path.
+    pub tuning_nanos: u64,
+    /// The cost model's predicted expected comparison operations per
+    /// event for the most recently accepted retune (0 before any
+    /// retune). Compare against [`MetricsSnapshot::avg_ops_per_event`]
+    /// measured *after* the retune to judge estimate quality.
+    pub predicted_ops_per_event: f64,
     /// Live subscriptions at snapshot time.
     pub subscriptions: usize,
 }
@@ -77,15 +111,28 @@ impl MetricsSnapshot {
             self.notifications_sent as f64 / self.events_published as f64
         }
     }
+
+    /// Average tuning (estimation + candidate pricing) overhead per
+    /// published event, in nanoseconds. This is the price of the
+    /// self-tuning loop amortised over traffic; it only accrues when a
+    /// drift trigger fires.
+    #[must_use]
+    pub fn tuning_ns_per_event(&self) -> f64 {
+        if self.events_published == 0 {
+            0.0
+        } else {
+            self.tuning_nanos as f64 / self.events_published as f64
+        }
+    }
 }
 
 impl fmt::Display for MetricsSnapshot {
     /// One-line operational summary, e.g.
-    /// `events=100 notifs=250 (2.50/ev) ops=1200 (12.00/ev) quenched=3 dropped=0 rebuilds=1 compactions=4 subs=42`.
+    /// `events=100 notifs=250 (2.50/ev) ops=1200 (12.00/ev) quenched=3 dropped=0 rebuilds=1 compactions=4 retunes=1/2 (pred 3.10 ops/ev) subs=42`.
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "events={} notifs={} ({:.2}/ev) ops={} ({:.2}/ev) quenched={} dropped={} rebuilds={} compactions={} subs={}",
+            "events={} notifs={} ({:.2}/ev) ops={} ({:.2}/ev) quenched={} dropped={} rebuilds={} compactions={} retunes={}/{} (pred {:.2} ops/ev) subs={}",
             self.events_published,
             self.notifications_sent,
             self.avg_notifications_per_event(),
@@ -95,6 +142,9 @@ impl fmt::Display for MetricsSnapshot {
             self.dropped_notifications,
             self.tree_rebuilds,
             self.overlay_compactions,
+            self.retunes,
+            self.retunes + self.retunes_declined,
+            self.predicted_ops_per_event,
             self.subscriptions,
         )
     }

@@ -158,6 +158,7 @@ fn concurrent_publishers_and_churn_match_oracle_aggressive_compaction() {
                 min_events: 40,
                 drift_threshold: 0.15,
                 decay_on_rebuild: true,
+                drift_check_every: 1,
             },
             shards: 2,
             ..BrokerConfig::default()

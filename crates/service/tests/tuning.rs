@@ -1,0 +1,258 @@
+//! Self-tuning oracle: a broker that retunes its filter structure
+//! mid-stream must deliver exactly the notifications a naive
+//! predicate-evaluation oracle prescribes — before, across and after
+//! the retune — and the retuned structure must be measurably cheaper
+//! on the new distribution.
+
+use ens_filter::{Direction, RebuildPolicy, SearchStrategy, TreeConfig, TuningPolicy, ValueOrder};
+use ens_service::{Broker, BrokerConfig, SubscriptionId};
+use ens_workloads::hot_band_migration;
+
+fn tuned_broker_config(w: &ens_workloads::DriftWorkload) -> BrokerConfig {
+    BrokerConfig {
+        tree: TreeConfig {
+            search: SearchStrategy::Linear(ValueOrder::EventProb(Direction::Descending)),
+            event_model: Some(w.model_a.clone()),
+            ..TreeConfig::default()
+        },
+        rebuild: RebuildPolicy {
+            min_events: 64,
+            drift_threshold: 0.6,
+            ..RebuildPolicy::default()
+        },
+        tuning: TuningPolicy::standard(),
+        ..BrokerConfig::default()
+    }
+}
+
+/// The broker-level retune oracle: every receipt across the whole
+/// two-phase stream (which crosses at least one automatic retune) must
+/// agree with `ProfileSet::matches`.
+#[test]
+fn retuned_broker_matches_oracle_across_phases() {
+    let w = hot_band_migration(41, 80, 400).unwrap();
+    let broker = Broker::new(&w.schema, tuned_broker_config(&w)).unwrap();
+    // Insertion order == subscription order (single shard), so profile
+    // id k maps to subscription id subs[k].
+    let subscribers: Vec<_> = w
+        .profiles
+        .iter()
+        .map(|p| broker.subscribe_profile(p.clone()).unwrap())
+        .collect();
+    let subs: Vec<SubscriptionId> = subscribers.iter().map(|s| s.id()).collect();
+
+    // The stale baseline: the identical filter configuration, never
+    // allowed to adapt (no statistics, no rebuilds).
+    let static_broker = Broker::new(
+        &w.schema,
+        BrokerConfig {
+            stats_sample: 0,
+            rebuild: RebuildPolicy {
+                min_events: u64::MAX,
+                ..RebuildPolicy::default()
+            },
+            tuning: TuningPolicy::default(),
+            ..tuned_broker_config(&w)
+        },
+    )
+    .unwrap();
+    let _static_subs: Vec<_> = w
+        .profiles
+        .iter()
+        .map(|p| static_broker.subscribe_profile(p.clone()).unwrap())
+        .collect();
+
+    let oracle = |e: &ens_types::Event| -> Vec<SubscriptionId> {
+        let mut want: Vec<SubscriptionId> = w
+            .profiles
+            .matches(e)
+            .unwrap()
+            .iter()
+            .map(|pid| subs[pid.index()])
+            .collect();
+        want.sort_unstable();
+        want
+    };
+
+    for (phase, events) in [("A", &w.phase_a), ("B", &w.phase_b)] {
+        for e in events {
+            let receipt = broker.publish(e).unwrap();
+            assert_eq!(receipt.matched, oracle(e), "phase {phase}");
+        }
+    }
+    let m = broker.metrics();
+    assert!(m.retunes >= 1, "the drift must trigger a retune: {m}");
+    assert!(m.tree_rebuilds >= 1);
+    assert!(m.predicted_ops_per_event > 0.0);
+    assert!(m.tuning_nanos > 0);
+
+    // Steady state after the retune: replay phase B on both brokers and
+    // compare cost. Same matches, far fewer comparisons on the retuned
+    // structure.
+    let mut stale_ops = 0u64;
+    let mut retuned_ops = 0u64;
+    for e in &w.phase_b {
+        let stale = static_broker.publish(e).unwrap();
+        let tuned = broker.publish(e).unwrap();
+        assert_eq!(tuned.matched, oracle(e));
+        assert_eq!(stale.matched.len(), tuned.matched.len());
+        stale_ops += stale.ops;
+        retuned_ops += tuned.ops;
+    }
+    assert_eq!(
+        broker.metrics().retunes,
+        m.retunes,
+        "steady phase-B traffic must not keep retuning"
+    );
+    let n = w.phase_b.len() as f64;
+    let (stale_avg, retuned_avg) = (stale_ops as f64 / n, retuned_ops as f64 / n);
+    assert!(
+        retuned_avg < stale_avg / 2.0,
+        "retuned {retuned_avg:.1} vs stale {stale_avg:.1} ops/event"
+    );
+    // The cost model's prediction is in the right ballpark of the
+    // measured post-retune cost (both in comparison operations/event).
+    let predicted = broker.metrics().predicted_ops_per_event;
+    assert!(
+        retuned_avg < predicted * 3.0 && retuned_avg > predicted / 3.0,
+        "measured {retuned_avg:.1} vs predicted {predicted:.1}"
+    );
+}
+
+/// With tuning disabled (the default), drift rebuilds keep the
+/// configured shape — the pre-tuning behaviour — and no retune counters
+/// move.
+#[test]
+fn disabled_tuning_keeps_legacy_drift_rebuilds() {
+    let w = hot_band_migration(42, 40, 300).unwrap();
+    let mut config = tuned_broker_config(&w);
+    config.tuning = TuningPolicy::default();
+    let broker = Broker::new(&w.schema, config).unwrap();
+    let _subs: Vec<_> = w
+        .profiles
+        .iter()
+        .map(|p| broker.subscribe_profile(p.clone()).unwrap())
+        .collect();
+    for e in w.phase_a.iter().chain(&w.phase_b) {
+        broker.publish(e).unwrap();
+    }
+    let m = broker.metrics();
+    assert!(
+        m.tree_rebuilds >= 1,
+        "legacy drift rebuilds still fire: {m}"
+    );
+    assert_eq!(m.retunes, 0);
+    assert_eq!(m.retunes_declined, 0);
+    assert_eq!(m.predicted_ops_per_event, 0.0);
+    assert_eq!(m.tuning_nanos, 0);
+}
+
+/// A churn compaction resets the statistics to the new subscription
+/// geometry (zero observations), so the configured event-model prior —
+/// not the fresh statistics' near-uniform placeholder — must drive the
+/// recompiled orderings, even when events had been observed before the
+/// compaction.
+#[test]
+fn configured_prior_survives_churn_compactions() {
+    use ens_dist::{Density, DistOverDomain, JointDist};
+    use ens_types::{Domain, Event, Predicate, Schema};
+    let schema = Schema::builder()
+        .attribute("x", Domain::int(0, 99))
+        .unwrap()
+        .build();
+    let hot_prior =
+        JointDist::independent(vec![DistOverDomain::new(Density::window(0.9, 1.0), 100)]).unwrap();
+    let broker = Broker::new(
+        &schema,
+        BrokerConfig {
+            tree: TreeConfig {
+                search: SearchStrategy::Linear(ValueOrder::EventProb(Direction::Descending)),
+                event_model: Some(hot_prior),
+                ..TreeConfig::default()
+            },
+            rebuild: RebuildPolicy {
+                // Seed behaviour: every subscribe is a churn compaction.
+                max_overlay: 0,
+                // No drift rebuilds: only the churn path is under test.
+                min_events: u64::MAX,
+                ..RebuildPolicy::default()
+            },
+            ..BrokerConfig::default()
+        },
+    )
+    .unwrap();
+    // Ten bands tiling the domain; the hot band is naturally last.
+    let _subs: Vec<_> = (0..10)
+        .map(|k| {
+            broker
+                .subscribe(move |b| b.predicate("x", Predicate::between(k * 10, k * 10 + 9)))
+                .unwrap()
+        })
+        .collect();
+    // Observe some (cold) traffic, then trigger one more churn
+    // compaction with those observations on the books.
+    for _ in 0..20 {
+        broker
+            .publish(&Event::builder(&schema).value("x", 5).unwrap().build())
+            .unwrap();
+    }
+    let _extra = broker
+        .subscribe(|b| b.predicate("x", Predicate::between(45, 54)))
+        .unwrap();
+    // Under the prior, the hot band is scanned first: exactly one
+    // comparison. If the compaction had swapped in the fresh
+    // statistics' near-uniform model, the V1 order would tie-break
+    // naturally and reach the hot band last (~11 comparisons).
+    let receipt = broker
+        .publish(&Event::builder(&schema).value("x", 95).unwrap().build())
+        .unwrap();
+    assert_eq!(receipt.matched.len(), 1);
+    assert_eq!(receipt.ops, 1, "prior must drive the recompiled ordering");
+}
+
+/// A declined retune must not rebuild, and the decline is visible in
+/// the metrics. A single-edge tree costs exactly one operation under
+/// every candidate configuration, so no drift can ever clear the
+/// improvement threshold.
+#[test]
+fn order_invariant_tree_declines_retunes() {
+    use ens_types::{Domain, Event, Predicate, Schema};
+    let schema = Schema::builder()
+        .attribute("x", Domain::int(0, 99))
+        .unwrap()
+        .build();
+    let broker = Broker::new(
+        &schema,
+        BrokerConfig {
+            rebuild: RebuildPolicy {
+                min_events: 50,
+                drift_threshold: 0.5,
+                drift_check_every: 1,
+                ..RebuildPolicy::default()
+            },
+            tuning: TuningPolicy::standard(),
+            ..BrokerConfig::default()
+        },
+    )
+    .unwrap();
+    let sub = broker
+        .subscribe(|b| b.predicate("x", Predicate::between(0, 49)))
+        .unwrap();
+    // All traffic lands in the zero-subdomain: maximal drift from the
+    // uniform prior, but every candidate still prices at one
+    // comparison per event.
+    for k in 0..200 {
+        let e = Event::builder(&schema)
+            .value("x", 50 + (k % 50))
+            .unwrap()
+            .build();
+        let receipt = broker.publish(&e).unwrap();
+        assert!(receipt.matched.is_empty());
+    }
+    let m = broker.metrics();
+    assert!(m.retunes_declined >= 1, "drift fired and was declined: {m}");
+    assert_eq!(m.retunes, 0, "{m}");
+    assert_eq!(m.tree_rebuilds, 0, "declines must not rebuild: {m}");
+    assert!(m.tuning_nanos > 0, "the pricing pass was paid for: {m}");
+    drop(sub);
+}

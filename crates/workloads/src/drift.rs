@@ -1,0 +1,203 @@
+//! Distribution-drift workloads: the event distribution shifts mid-run.
+//!
+//! The paper's closing argument (§5) is that a deployed filter "has to
+//! maintain a history of events in order to determine the event
+//! distribution" precisely because real streams drift — a structure
+//! optimised for yesterday's traffic degrades on today's. This module
+//! generates the canonical two-phase regime for exercising that loop:
+//! a population of narrow value-band subscriptions tiled across a wide
+//! sensor domain, and an event stream whose hot value band migrates
+//! between phases. A filter tuned for phase A with the V1
+//! event-probability edge order scans the wrong end of every node
+//! during phase B — hundreds of comparisons per event instead of a
+//! handful — until it retunes.
+
+use ens_dist::{Density, DistOverDomain, JointDist};
+use ens_types::{Domain, Event, Predicate, ProfileSet, Schema};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::{EventGenerator, WorkloadError};
+
+/// Grid size of the drift scenario's `reading` attribute. Wide enough
+/// that the profile population induces hundreds of distinct node edges,
+/// so a mis-ordered linear scan is expensive (the regime of the paper's
+/// Fig. 4 peaked distributions).
+pub const READING_DOMAIN: i64 = 10_000;
+
+/// Number of telemetry channels in the drift scenario.
+pub const CHANNELS: i64 = 16;
+
+/// The drift scenario schema: a wide `reading` value domain
+/// `[0, 10_000)` and a small `channel` domain `[0, 16)`.
+#[must_use]
+pub fn drift_schema() -> Schema {
+    Schema::builder()
+        .attribute("reading", Domain::int(0, READING_DOMAIN - 1))
+        .expect("static schema")
+        .attribute("channel", Domain::int(0, CHANNELS - 1))
+        .expect("static schema")
+        .build()
+}
+
+/// A two-phase drift workload over [`drift_schema`].
+///
+/// Phase A traffic follows [`DriftWorkload::model_a`], phase B traffic
+/// follows [`DriftWorkload::model_b`]; the subscription population is
+/// identical across phases, so any throughput difference is purely the
+/// filter structure's fit to the distribution.
+#[derive(Debug, Clone)]
+pub struct DriftWorkload {
+    /// The schema all profiles and events are built against.
+    pub schema: Schema,
+    /// The (phase-invariant) subscription population.
+    pub profiles: ProfileSet,
+    /// The phase-A event model (hot band high).
+    pub model_a: JointDist,
+    /// The phase-B event model (hot band migrated low).
+    pub model_b: JointDist,
+    /// Pre-sampled phase-A events.
+    pub phase_a: Vec<Event>,
+    /// Pre-sampled phase-B events.
+    pub phase_b: Vec<Event>,
+}
+
+/// The phase-A event model: readings concentrate on the high end of
+/// the domain (Gaussian at 0.85 of the grid), channels uniform.
+///
+/// # Errors
+///
+/// Propagates distribution construction errors.
+pub fn hot_band_model_a() -> Result<JointDist, WorkloadError> {
+    Ok(JointDist::independent(vec![
+        DistOverDomain::new(Density::gaussian(0.85, 0.04), READING_DOMAIN as u64),
+        DistOverDomain::new(Density::Uniform, CHANNELS as u64),
+    ])?)
+}
+
+/// The phase-B event model: the hot reading band has migrated to the
+/// low end (Gaussian at 0.12 of the grid); channels unchanged.
+///
+/// # Errors
+///
+/// Propagates distribution construction errors.
+pub fn hot_band_model_b() -> Result<JointDist, WorkloadError> {
+    Ok(JointDist::independent(vec![
+        DistOverDomain::new(Density::gaussian(0.12, 0.04), READING_DOMAIN as u64),
+        DistOverDomain::new(Density::Uniform, CHANNELS as u64),
+    ])?)
+}
+
+/// Builds the hot-band-migration workload: `n_profiles` subscriptions
+/// watching narrow reading bands tiled across the whole domain (one
+/// fifth also gated on a channel), plus `events_per_phase` pre-sampled
+/// events per phase. Deterministic in `seed`.
+///
+/// Because the bands cover the domain roughly uniformly while each
+/// phase's traffic concentrates on one end, a distribution-aware edge
+/// order (V1/V3) is dramatically better than a stale one — the
+/// workload the self-tuning loop exists for.
+///
+/// # Errors
+///
+/// Propagates scenario and distribution construction errors.
+pub fn hot_band_migration(
+    seed: u64,
+    n_profiles: usize,
+    events_per_phase: usize,
+) -> Result<DriftWorkload, WorkloadError> {
+    let schema = drift_schema();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut profiles = ProfileSet::new(&schema);
+    for _ in 0..n_profiles {
+        // Narrow reading band anywhere in the domain.
+        let lo = rng.gen_range(0..READING_DOMAIN - 50);
+        let width = rng.gen_range(10..=40);
+        profiles.insert_with(|mut b| {
+            b = b.predicate("reading", Predicate::between(lo, lo + width))?;
+            if rng.gen_bool(0.2) {
+                b = b.predicate("channel", Predicate::eq(rng.gen_range(0..CHANNELS)))?;
+            }
+            Ok(b)
+        })?;
+    }
+    let model_a = hot_band_model_a()?;
+    let model_b = hot_band_model_b()?;
+    let gen_a = EventGenerator::new(&schema, model_a.clone())?;
+    let gen_b = EventGenerator::new(&schema, model_b.clone())?;
+    let phase_a = (0..events_per_phase)
+        .map(|_| gen_a.sample(&mut rng))
+        .collect();
+    let phase_b = (0..events_per_phase)
+        .map(|_| gen_b.sample(&mut rng))
+        .collect();
+    Ok(DriftWorkload {
+        schema,
+        profiles,
+        model_a,
+        model_b,
+        phase_a,
+        phase_b,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ens_types::AttrId;
+
+    #[test]
+    fn workload_is_deterministic_and_well_formed() {
+        let a = hot_band_migration(9, 50, 200).unwrap();
+        let b = hot_band_migration(9, 50, 200).unwrap();
+        assert_eq!(a.profiles.len(), 50);
+        assert_eq!(a.phase_a.len(), 200);
+        assert_eq!(a.phase_b.len(), 200);
+        let r = a.schema.attr("reading").unwrap();
+        for (ea, eb) in a.phase_a.iter().zip(&b.phase_a) {
+            assert_eq!(ea.value(r), eb.value(r));
+        }
+        assert_eq!(a.model_a.arity(), 2);
+        assert_eq!(a.model_b.arity(), 2);
+    }
+
+    #[test]
+    fn phases_concentrate_on_opposite_reading_ends() {
+        let w = hot_band_migration(3, 20, 500).unwrap();
+        let r = w.schema.attr("reading").unwrap();
+        let high = |events: &[Event]| -> usize {
+            events
+                .iter()
+                .filter(|e| e.value(r).unwrap().as_int().unwrap() >= READING_DOMAIN / 2)
+                .count()
+        };
+        assert!(high(&w.phase_a) > 450, "phase A high: {}", high(&w.phase_a));
+        assert!(high(&w.phase_b) < 50, "phase B low: {}", high(&w.phase_b));
+    }
+
+    #[test]
+    fn profiles_tile_the_reading_domain() {
+        let w = hot_band_migration(5, 300, 1).unwrap();
+        // Both ends of the domain carry subscriptions, so both phases
+        // produce notifications.
+        let matched_near = |centre: i64| -> usize {
+            (centre - 60..centre + 60)
+                .map(|x| {
+                    let e = Event::builder(&w.schema)
+                        .value("reading", x)
+                        .unwrap()
+                        .value("channel", 3)
+                        .unwrap()
+                        .build();
+                    w.profiles.matches(&e).unwrap().len()
+                })
+                .sum()
+        };
+        assert!(matched_near(1_200) > 0, "low bands exist");
+        assert!(matched_near(8_500) > 0, "high bands exist");
+        let r = AttrId::new(0);
+        for p in w.profiles.iter() {
+            assert!(!p.predicate(r).is_dont_care());
+        }
+    }
+}

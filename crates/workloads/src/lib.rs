@@ -8,6 +8,8 @@
 //!   random workloads;
 //! * [`churn`] — deterministic churn-and-burst plans for the concurrent
 //!   broker (subscriptions arriving and leaving while bursts publish);
+//! * [`drift`] — two-phase distribution-shift workloads (the hot value
+//!   band migrates mid-run) exercising the self-tuning loop;
 //! * [`experiments`] — the TV1–TV4 and TA1–TA2 protocols and one driver
 //!   per figure ([`figure_4a`], [`figure_4b`], [`figure_5`],
 //!   [`figure_6`]);
@@ -28,6 +30,7 @@
 #![warn(missing_docs)]
 
 pub mod churn;
+pub mod drift;
 mod error;
 pub mod experiments;
 mod figures;
@@ -35,6 +38,7 @@ mod generator;
 pub mod scenario;
 
 pub use churn::{churn_burst_plan, ChurnOp, ChurnPlan};
+pub use drift::{hot_band_migration, DriftWorkload};
 pub use error::WorkloadError;
 pub use experiments::{
     ablation_table, adaptive_sweep, figure_4a, figure_4b, figure_5, figure_6,

@@ -52,6 +52,10 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// The README is part of the crate docs so that every Rust snippet in
+// it — including the self-tuning tuning-guide example — is compiled
+// and executed as a doctest.
+#![doc = include_str!("../README.md")]
 
 pub use ens_dist as dist;
 pub use ens_filter as filter;
@@ -63,7 +67,8 @@ pub use ens_workloads as workloads;
 pub mod prelude {
     pub use ens_dist::{DistOverDomain, DistributionCatalog, Histogram};
     pub use ens_filter::{
-        AttributeMeasure, MatchOutcome, ProfileTree, SearchStrategy, TreeConfig, ValueOrder,
+        AttributeMeasure, MatchOutcome, ProfileTree, RebuildPolicy, SearchStrategy, TreeConfig,
+        TuningPolicy, ValueOrder,
     };
     pub use ens_service::{Broker, BrokerConfig, Subscriber};
     pub use ens_types::{
