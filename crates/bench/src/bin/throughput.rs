@@ -25,11 +25,11 @@ use std::sync::Arc;
 use ens_bench::BenchWorkload;
 use ens_filter::baseline::{CountingMatcher, NaiveMatcher, NestedDfsa};
 use ens_filter::{
-    Dfsa, Direction, MatchScratch, Matcher, ProfileTree, RebuildPolicy, SearchStrategy, TreeConfig,
-    TuningPolicy, ValueOrder,
+    BlockScratch, Dfsa, Direction, MatchScratch, Matcher, OverlayIndex, ProfileTree, RebuildPolicy,
+    SearchStrategy, TreeConfig, TuningPolicy, ValueOrder,
 };
 use ens_service::{Broker, BrokerConfig, Subscriber};
-use ens_types::{Event, IndexedEvent, Schema};
+use ens_types::{Event, IndexedBatch, IndexedEvent, Schema};
 use ens_workloads::DriftWorkload;
 use serde::Serialize;
 
@@ -219,13 +219,73 @@ struct TuningReport {
     tuning_ns_total: u64,
 }
 
+/// One overlay size on the churn workload: the naive side-matcher (the
+/// seed's overlay path) vs the counting index, over identical events.
+#[derive(Debug, Serialize)]
+struct OverlayDepthRow {
+    overlay: u64,
+    naive_events_per_sec: f64,
+    naive_ops_per_event: f64,
+    counting_events_per_sec: f64,
+    counting_ops_per_event: f64,
+    /// naive/counting ops — how much matching work the counting index
+    /// saves at this overlay depth (1.0 at depth 0).
+    ops_ratio: f64,
+}
+
+/// Overlay matching cost as churn accumulates between compactions.
+#[derive(Debug, Serialize)]
+struct OverlayDepthReport {
+    workload: String,
+    events: u64,
+    rows: Vec<OverlayDepthRow>,
+}
+
+/// One block size of the batch matching engine.
+#[derive(Debug, Serialize)]
+struct BatchRow {
+    block: u64,
+    events_per_sec: f64,
+    ns_per_event: f64,
+    /// Heap allocations per event in the steady state (must be 0).
+    allocs_per_event: f64,
+}
+
+/// `match_block` (batched resolution + interleaved DFSA traversal) vs
+/// the single-event `dfsa_csr_scratch` loop on the same workload.
+#[derive(Debug, Serialize)]
+struct BatchReport {
+    name: String,
+    profiles: u64,
+    events: u64,
+    /// The single-event fast-path baseline (same numbers as the
+    /// workload's `dfsa_csr_scratch` matcher row).
+    single_events_per_sec: f64,
+    rows: Vec<BatchRow>,
+    /// block-64 events/sec over the single-event loop (≥ 1 means the
+    /// block engine wins).
+    speedup_block64: f64,
+}
+
 #[derive(Debug, Serialize)]
 struct Report {
     config: Config,
     workloads: Vec<WorkloadReport>,
     summary: Summary,
+    overlay_depth: OverlayDepthReport,
+    batch: Vec<BatchReport>,
     broker_scaling: BrokerScaling,
     tuning: TuningReport,
+}
+
+/// The reduced report of `--sections matchers`: just the per-matcher
+/// tables (used by the CI regression guard, which needs the committed
+/// workload shape without paying for the broker/tuning sections).
+#[derive(Debug, Serialize)]
+struct MatchersReport {
+    config: Config,
+    workloads: Vec<WorkloadReport>,
+    summary: Summary,
 }
 
 #[derive(Debug, Serialize)]
@@ -242,6 +302,9 @@ struct Options {
     min_ms: u64,
     out: String,
     quiet: bool,
+    /// `false` = `--sections matchers`: emit only config + per-matcher
+    /// workload tables + summary (fast, for the CI regression guard).
+    all_sections: bool,
 }
 
 fn main() -> ExitCode {
@@ -251,6 +314,7 @@ fn main() -> ExitCode {
         min_ms: 500,
         out: "BENCH_throughput.json".to_owned(),
         quiet: false,
+        all_sections: true,
     };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -274,6 +338,11 @@ fn main() -> ExitCode {
                 Some(p) => opts.out = p,
                 None => return usage(),
             },
+            "--sections" => match args.next().as_deref() {
+                Some("all") => opts.all_sections = true,
+                Some("matchers") => opts.all_sections = false,
+                _ => return usage(),
+            },
             "--quiet" => opts.quiet = true,
             _ => return usage(),
         }
@@ -288,7 +357,10 @@ fn main() -> ExitCode {
 }
 
 fn usage() -> ExitCode {
-    eprintln!("usage: throughput [--events N] [--profiles N] [--min-ms MS] [--out PATH] [--quiet]");
+    eprintln!(
+        "usage: throughput [--events N] [--profiles N] [--min-ms MS] [--out PATH] \
+         [--sections all|matchers] [--quiet]"
+    );
     ExitCode::from(2)
 }
 
@@ -303,6 +375,7 @@ fn run(opts: &Options) -> Result<(), Box<dyn std::error::Error>> {
     let mut reports = Vec::new();
     let mut speedups = Vec::new();
     let mut allocs_saved = Vec::new();
+    let mut batch = Vec::new();
     for w in &workloads {
         let report = bench_workload(w, opts)?;
         let rate = |name: &str| -> Option<&MatcherReport> {
@@ -319,7 +392,34 @@ fn run(opts: &Options) -> Result<(), Box<dyn std::error::Error>> {
             workload: report.name.clone(),
             value: seed.allocs_per_event - fast.allocs_per_event,
         });
+        if opts.all_sections {
+            batch.push(bench_batch(w, opts, fast.events_per_sec, fast.matches)?);
+        }
         reports.push(report);
+    }
+    let config = Config {
+        events: opts.events as u64,
+        environmental_profiles: opts.profiles.unwrap_or(1000) as u64,
+        stock_profiles: opts.profiles.unwrap_or(1000) as u64,
+        min_ms: opts.min_ms,
+    };
+    let summary = Summary {
+        dfsa_csr_scratch_vs_seed_speedup: speedups,
+        allocs_eliminated_per_event: allocs_saved,
+    };
+    if !opts.all_sections {
+        let report = MatchersReport {
+            config,
+            workloads: reports,
+            summary,
+        };
+        let json = serde_json::to_string_pretty(&report)?;
+        std::fs::write(&opts.out, &json)?;
+        if !opts.quiet {
+            println!("{json}");
+        }
+        eprintln!("wrote {} (matchers sections only)", opts.out);
+        return Ok(());
     }
     let broker_scaling = BrokerScaling {
         hardware_threads: std::thread::available_parallelism()
@@ -332,17 +432,11 @@ fn run(opts: &Options) -> Result<(), Box<dyn std::error::Error>> {
         subscribe_latency: bench_subscribe_latency(opts)?,
     };
     let report = Report {
-        config: Config {
-            events: opts.events as u64,
-            environmental_profiles: opts.profiles.unwrap_or(1000) as u64,
-            stock_profiles: opts.profiles.unwrap_or(1000) as u64,
-            min_ms: opts.min_ms,
-        },
+        config,
         workloads: reports,
-        summary: Summary {
-            dfsa_csr_scratch_vs_seed_speedup: speedups,
-            allocs_eliminated_per_event: allocs_saved,
-        },
+        summary,
+        overlay_depth: bench_overlay_depth(opts)?,
+        batch,
         broker_scaling,
         tuning: bench_tuning(opts)?,
     };
@@ -472,6 +566,147 @@ fn bench_workload(
 fn mean_ops(events: &[Event], mut f: impl FnMut(&Event) -> u64) -> f64 {
     let total: u64 = events.iter().map(&mut f).sum();
     total as f64 / events.len() as f64
+}
+
+/// Mean `match_into` ops/event of one matcher over the fast path.
+fn mean_scratch_ops<M: Matcher>(matcher: &M, schema: &Schema, events: &[Event]) -> (f64, u64) {
+    let mut indexed = IndexedEvent::new();
+    let mut scratch = MatchScratch::new();
+    let mut ops = 0u64;
+    let mut matches = 0u64;
+    for e in events {
+        indexed.resolve_into(schema, e).expect("valid event");
+        matcher.match_into(&indexed, &mut scratch);
+        ops += scratch.ops();
+        matches += scratch.profiles().len() as u64;
+    }
+    (ops as f64 / events.len() as f64, matches)
+}
+
+/// Overlay matching cost as churn accumulates: the naive side-matcher
+/// the seed used between compactions vs the counting index, at growing
+/// overlay depths, over the churn (environmental subscription pool)
+/// workload. Match sets are checksum-asserted equal at every depth.
+fn bench_overlay_depth(opts: &Options) -> Result<OverlayDepthReport, Box<dyn std::error::Error>> {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    const DEPTHS: [usize; 4] = [0, 64, 512, 4096];
+    let schema = ens_workloads::scenario::environmental_schema();
+    let mut rng = StdRng::seed_from_u64(271);
+    // One pool of churning alert subscriptions, sliced per depth: the
+    // overlay at depth k is exactly the first k churned-in profiles.
+    let pool = ens_workloads::alert_churn_profiles(DEPTHS[DEPTHS.len() - 1], &mut rng)?;
+    let generator = ens_workloads::EventGenerator::new(
+        &schema,
+        ens_workloads::scenario::environmental_event_model()?,
+    )?;
+    let mut rng = StdRng::seed_from_u64(272);
+    let events: Vec<Event> = (0..opts.events)
+        .map(|_| generator.sample(&mut rng))
+        .collect();
+
+    let mut rows = Vec::new();
+    for depth in DEPTHS {
+        let mut overlay = ens_types::ProfileSet::new(&schema);
+        for p in pool.iter().take(depth) {
+            overlay.insert(p.clone());
+        }
+        let naive = NaiveMatcher::new(&overlay)?;
+        let counting = OverlayIndex::new(&overlay)?;
+        let (naive_ops, naive_matches) = mean_scratch_ops(&naive, &schema, &events);
+        let (counting_ops, counting_matches) = mean_scratch_ops(&counting, &schema, &events);
+        assert_eq!(
+            naive_matches, counting_matches,
+            "overlay depth {depth}: counting index disagrees with the naive oracle"
+        );
+        let naive_report = scratch_pass(opts, "overlay_naive", &schema, &events, naive_ops, &naive);
+        let counting_report = scratch_pass(
+            opts,
+            "overlay_counting",
+            &schema,
+            &events,
+            counting_ops,
+            &counting,
+        );
+        rows.push(OverlayDepthRow {
+            overlay: depth as u64,
+            naive_events_per_sec: naive_report.events_per_sec,
+            naive_ops_per_event: naive_ops,
+            counting_events_per_sec: counting_report.events_per_sec,
+            counting_ops_per_event: counting_ops,
+            ops_ratio: if counting_ops > 0.0 {
+                naive_ops / counting_ops
+            } else {
+                1.0
+            },
+        });
+    }
+    Ok(OverlayDepthReport {
+        workload: "alert_churn".to_owned(),
+        events: events.len() as u64,
+        rows,
+    })
+}
+
+/// The block matching engine vs the single-event fast path: batched
+/// resolution + `match_block` at several block sizes, allocation-free
+/// after warm-up and checksum-asserted against the single path.
+fn bench_batch(
+    w: &BenchWorkload,
+    opts: &Options,
+    single_events_per_sec: f64,
+    single_matches: u64,
+) -> Result<BatchReport, Box<dyn std::error::Error>> {
+    const BLOCKS: [usize; 4] = [1, 8, 64, 256];
+    let tree = ProfileTree::build(&w.profiles, &TreeConfig::default())?;
+    let dfsa = Dfsa::from_tree(&tree);
+    let schema = &w.schema;
+    let events = &w.events;
+
+    let mut rows = Vec::new();
+    for block in BLOCKS {
+        let dfsa = &dfsa;
+        let mut batch = IndexedBatch::new();
+        let mut scratch = BlockScratch::new();
+        let mut pass = move |evts: &[Event]| -> u64 {
+            let mut n = 0u64;
+            for chunk in evts.chunks(block) {
+                batch
+                    .resolve_into(schema, chunk.iter())
+                    .expect("valid event");
+                dfsa.match_block(&batch, &mut scratch);
+                for i in 0..scratch.len() {
+                    n += scratch.profiles_of(i).len() as u64;
+                }
+            }
+            n
+        };
+        let report = bench_pass(opts, &format!("block_{block}"), events, 0.0, &mut pass);
+        assert_eq!(
+            report.matches, single_matches,
+            "block size {block} disagrees with the single-event path"
+        );
+        rows.push(BatchRow {
+            block: block as u64,
+            events_per_sec: report.events_per_sec,
+            ns_per_event: report.ns_per_event,
+            allocs_per_event: report.allocs_per_event,
+        });
+    }
+    let block64 = rows
+        .iter()
+        .find(|r| r.block == 64)
+        .expect("block 64 is always benched")
+        .events_per_sec;
+    Ok(BatchReport {
+        name: w.name.to_owned(),
+        profiles: w.profiles.len() as u64,
+        events: events.len() as u64,
+        single_events_per_sec,
+        rows,
+        speedup_block64: block64 / single_events_per_sec,
+    })
 }
 
 /// Times one matcher: a warm-up pass, an allocation-counting pass, then

@@ -87,10 +87,11 @@ impl CountingMatcher {
     ///
     /// Propagates domain errors for ill-typed event values.
     pub fn match_event(&self, event: &Event) -> Result<BaselineOutcome, FilterError> {
-        let indexed = IndexedEvent::resolve(&self.schema, event)?;
-        let mut scratch = MatchScratch::new();
-        self.match_into(&indexed, &mut scratch);
-        Ok(BaselineOutcome::new(scratch.profiles, scratch.ops))
+        let outcome = crate::scratch::with_wrapper_scratch(&self.schema, event, |ix, scratch| {
+            self.match_into(ix, scratch);
+            BaselineOutcome::new(scratch.profiles().to_vec(), scratch.ops())
+        })?;
+        Ok(outcome)
     }
 }
 

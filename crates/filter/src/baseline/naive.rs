@@ -78,11 +78,13 @@ impl NaiveMatcher {
     ///
     /// Propagates domain errors for ill-typed event values.
     pub fn match_event(&self, event: &Event) -> Result<BaselineOutcome, FilterError> {
-        // Resolve indices once per event (shared with all profiles).
-        let indexed = IndexedEvent::resolve(&self.schema, event)?;
-        let mut scratch = MatchScratch::new();
-        self.match_into(&indexed, &mut scratch);
-        Ok(BaselineOutcome::new(scratch.profiles, scratch.ops))
+        // Resolve indices once per event (shared with all profiles),
+        // into the reused thread-local wrapper buffers.
+        let outcome = crate::scratch::with_wrapper_scratch(&self.schema, event, |ix, scratch| {
+            self.match_into(ix, scratch);
+            BaselineOutcome::new(scratch.profiles().to_vec(), scratch.ops())
+        })?;
+        Ok(outcome)
     }
 }
 

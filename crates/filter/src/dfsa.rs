@@ -34,11 +34,35 @@
 
 use std::sync::Arc;
 
-use ens_types::{AttrId, Event, IndexedEvent, ProfileId, Schema};
+use ens_types::{AttrId, Event, IndexedBatch, IndexedEvent, ProfileId, Schema};
 
-use crate::scratch::{MatchScratch, Matcher};
+use crate::scratch::{BlockScratch, MatchScratch, Matcher};
 use crate::tree::{NodeRef, ProfileTree, Star};
 use crate::FilterError;
+
+/// Number of events traversed concurrently by [`Matcher::match_block`]:
+/// one automaton step is issued for every in-flight lane before any
+/// lane advances again, so the lanes' independent arena loads overlap
+/// in the memory pipeline instead of serialising behind one event's
+/// pointer chase.
+pub const BLOCK_LANES: usize = 8;
+
+/// Best-effort software prefetch of the cache line at `p` (a hint, not
+/// a load: no-op on non-x86_64 targets). The interleaved block
+/// traversal issues it for the *next* round's state metadata and leaf
+/// ranges while the current round still has work in flight.
+#[inline(always)]
+#[allow(unsafe_code)]
+fn prefetch<T>(p: *const T) {
+    #[cfg(target_arch = "x86_64")]
+    // SAFETY: `_mm_prefetch` is a pure cache hint; it performs no
+    // memory access and is defined for any address value.
+    unsafe {
+        core::arch::x86_64::_mm_prefetch::<{ core::arch::x86_64::_MM_HINT_T0 }>(p.cast::<i8>());
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    let _ = p;
+}
 
 /// Largest covered index span (in grid points) for which a state stores
 /// a dense jump table (`index -> target`) instead of binary-searched
@@ -288,16 +312,18 @@ impl Dfsa {
     /// Matches an event; returns matched profile ids ascending.
     ///
     /// Convenience wrapper over the allocation-free
-    /// [`Matcher::match_into`] fast path: it resolves the event once and
-    /// allocates the result vector. Hot loops should reuse an
-    /// [`IndexedEvent`] and a [`MatchScratch`] instead.
+    /// [`Matcher::match_into`] fast path: the event is resolved into a
+    /// reused thread-local buffer, so a warmed-up call allocates only
+    /// the returned vector (nothing at all on a non-match). Hot loops
+    /// should reuse an [`IndexedEvent`] and a [`MatchScratch`] instead.
     ///
     /// # Errors
     ///
     /// Propagates domain errors for ill-typed event values.
     pub fn match_event(&self, event: &Event) -> Result<Vec<ProfileId>, FilterError> {
-        let indexed = IndexedEvent::resolve(self.schema.as_ref(), event)?;
-        let t = self.terminal(indexed.raw());
+        let t = crate::scratch::with_wrapper_scratch(self.schema.as_ref(), event, |indexed, _| {
+            self.terminal(indexed.raw())
+        })?;
         Ok(match t.unpack() {
             Target::Leaf(l) => self.leaf(l).to_vec(),
             _ => Vec::new(),
@@ -485,6 +511,77 @@ impl Matcher for Dfsa {
             scratch
                 .profiles
                 .extend_from_slice(self.leaf(t.0 & PAYLOAD_MASK));
+        }
+    }
+
+    /// Interleaved multi-event traversal: up to [`BLOCK_LANES`] events
+    /// walk the automaton in lock-step rounds, so each round issues one
+    /// independent arena load per in-flight event (memory-level
+    /// parallelism the one-at-a-time walk cannot express) and the next
+    /// round's state metadata / leaf ranges are software-prefetched
+    /// while the current round completes. Per-event call overhead
+    /// (scratch reset, result handoff) is paid once per block.
+    ///
+    /// Semantics are identical to looping [`Matcher::match_into`];
+    /// `ops` stays zero (the DFSA does not count operations).
+    fn match_block(&self, batch: &IndexedBatch, scratch: &mut BlockScratch) {
+        let n = batch.len();
+        scratch.reset_block(n);
+        let raw = batch.raw();
+        let width = batch.width();
+
+        let mut base = 0;
+        while base < n {
+            let m = BLOCK_LANES.min(n - base);
+            let mut t = [self.root; BLOCK_LANES];
+            // Active-lane list, compacted each round: only lanes still
+            // inside the automaton are revisited. Row start offsets are
+            // computed once per chunk, not per step.
+            let mut act = [0u8; BLOCK_LANES];
+            let mut row_off = [0usize; BLOCK_LANES];
+            let mut live = 0;
+            if self.root.0 >> TAG_SHIFT == TAG_STATE {
+                for l in 0..m {
+                    act[l] = l as u8;
+                    row_off[l] = (base + l) * width;
+                }
+                live = m;
+                prefetch(&self.states[(self.root.0 & PAYLOAD_MASK) as usize]);
+            }
+            while live > 0 {
+                let mut still = 0;
+                for r in 0..live {
+                    let l = act[r] as usize;
+                    let state = &self.states[(t[l].0 & PAYLOAD_MASK) as usize];
+                    let idx = raw
+                        .get(row_off[l] + state.attr as usize)
+                        .copied()
+                        .unwrap_or(IndexedEvent::MISSING);
+                    let next = self.step(state, idx);
+                    t[l] = next;
+                    match next.0 >> TAG_SHIFT {
+                        TAG_STATE => {
+                            prefetch(&self.states[(next.0 & PAYLOAD_MASK) as usize]);
+                            act[still] = l as u8;
+                            still += 1;
+                        }
+                        TAG_LEAF => prefetch(&self.leaf_off[(next.0 & PAYLOAD_MASK) as usize]),
+                        _ => {}
+                    }
+                }
+                live = still;
+            }
+            // Emit the chunk's CSR rows in event order (lanes finish
+            // out of order, but `t` keeps them positional).
+            for &tl in t.iter().take(m) {
+                if tl.0 >> TAG_SHIFT == TAG_LEAF {
+                    scratch
+                        .profiles
+                        .extend_from_slice(self.leaf(tl.0 & PAYLOAD_MASK));
+                }
+                scratch.seal_event();
+            }
+            base += m;
         }
     }
 }
@@ -908,6 +1005,56 @@ mod tests {
                 .unwrap()
                 .build();
             assert_eq!(min.match_event(&e).unwrap(), dfsa.match_event(&e).unwrap());
+        }
+    }
+
+    #[test]
+    fn match_block_agrees_with_single_path() {
+        use crate::scratch::BlockScratch;
+        use ens_types::IndexedBatch;
+
+        // Both state kinds (jump table + binary search), partial events
+        // and block sizes around the lane width.
+        for (schema, ps) in [
+            random_profiles(31, 40),
+            random_profiles_large_domain(33, 30),
+        ] {
+            let tree = ProfileTree::build(&ps, &TreeConfig::default()).unwrap();
+            let dfsa = Dfsa::from_tree(&tree);
+            let mut rng = StdRng::seed_from_u64(34);
+            let names: Vec<&str> = schema.iter().map(|(_, a)| a.name()).collect();
+            let events: Vec<ens_types::Event> = (0..97)
+                .map(|_| {
+                    let mut b = ens_types::Event::builder(&schema);
+                    for (id, a) in schema.iter() {
+                        if rng.gen_bool(0.85) {
+                            let hi = a.domain().size() as i64;
+                            b = b.value(names[id.index()], rng.gen_range(0..hi)).unwrap();
+                        }
+                    }
+                    b.build()
+                })
+                .collect();
+            let mut batch = IndexedBatch::new();
+            let mut block = BlockScratch::new();
+            let mut single = MatchScratch::new();
+            let mut indexed = IndexedEvent::new();
+            for size in [0usize, 1, 3, 8, 9, 64, 97] {
+                let chunk = &events[..size];
+                batch.resolve_into(&schema, chunk.iter()).unwrap();
+                dfsa.match_block(&batch, &mut block);
+                assert_eq!(block.len(), size);
+                assert_eq!(block.ops(), 0);
+                for (i, e) in chunk.iter().enumerate() {
+                    indexed.resolve_into(&schema, e).unwrap();
+                    dfsa.match_into(&indexed, &mut single);
+                    assert_eq!(
+                        block.profiles_of(i),
+                        single.profiles(),
+                        "event {i} of block size {size}"
+                    );
+                }
+            }
         }
     }
 

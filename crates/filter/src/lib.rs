@@ -59,7 +59,10 @@
 //! # }
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny` instead of `forbid`: the single exception is the safe
+// software-prefetch wrapper in `dfsa::prefetch` (a no-op hint on
+// non-x86_64), which needs one `allow(unsafe_code)` for the intrinsic.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 mod adaptive;
@@ -68,6 +71,7 @@ mod cost;
 mod dfsa;
 mod error;
 mod order;
+mod overlay;
 mod rebuild;
 mod scratch;
 mod selectivity;
@@ -79,17 +83,18 @@ mod tuning;
 
 pub use adaptive::{AdaptiveFilter, AdaptivePolicy};
 pub use cost::{expected_ops, CostBreakdown, CostModel, LevelCost, ProfileCost};
-pub use dfsa::{Dfsa, JUMP_TABLE_MAX_DOMAIN};
+pub use dfsa::{Dfsa, BLOCK_LANES, JUMP_TABLE_MAX_DOMAIN};
 pub use error::FilterError;
 pub use order::{
     binary_hit_cost, binary_miss_cost, Direction, NodeOrdering, SearchStrategy, ValueOrder,
 };
+pub use overlay::OverlayIndex;
 pub use rebuild::{DriftTracker, RebuildPolicy};
-pub use scratch::{MatchScratch, Matcher};
+pub use scratch::{BlockScratch, MatchScratch, Matcher};
 pub use selectivity::{
     attribute_selectivities, order_attributes, AttributeMeasure, A3_MAX_ATTRIBUTES,
 };
-pub use snapshot::{FilterSnapshot, SnapshotScratch};
+pub use snapshot::{FilterSnapshot, SnapshotBlockScratch, SnapshotScratch};
 pub use statistics::FilterStatistics;
 pub use subrange::{AttributePartition, Cell};
 pub use tree::{AttributeOrder, MatchOutcome, ProfileTree, TreeConfig};

@@ -14,10 +14,20 @@
 //!    reused — after warm-up the hot loop performs **zero** heap
 //!    allocations (asserted by `crates/filter/tests/alloc.rs`).
 //!
+//! On top of the per-event path, [`Matcher::match_block`] drives a whole
+//! [`IndexedBatch`](ens_types::IndexedBatch) through one call with a
+//! [`BlockScratch`], amortising per-event call overhead; the
+//! [`crate::Dfsa`] overrides it with an interleaved multi-event
+//! traversal.
+//!
 //! The original `match_event` signatures remain as thin compatibility
-//! wrappers over this path.
+//! wrappers over this path; they share one `thread_local!`
+//! ([`IndexedEvent`], [`MatchScratch`]) pair so a warmed-up wrapper call
+//! only allocates its owned result, not its working buffers.
 
-use ens_types::{IndexedEvent, ProfileId};
+use std::cell::RefCell;
+
+use ens_types::{Event, IndexedBatch, IndexedEvent, ProfileId, Schema, TypesError};
 
 /// Caller-owned, reusable buffers for one matching call.
 ///
@@ -59,8 +69,14 @@ pub struct MatchScratch {
     pub(crate) per_level: Vec<u64>,
     /// Total comparison operations (0 for matchers that do not count).
     pub(crate) ops: u64,
-    /// Per-profile satisfied-predicate counters (counting matcher only).
+    /// Per-profile satisfied-predicate counters (counting matchers
+    /// only). Values are valid only where `epochs` matches `epoch`; the
+    /// epoch scheme means no per-event O(profiles) clearing.
     pub(crate) counters: Vec<u32>,
+    /// Epoch tag per counter (see [`MatchScratch::begin_epoch`]).
+    pub(crate) epochs: Vec<u32>,
+    /// Current epoch; 0 means "no epoch started yet".
+    pub(crate) epoch: u32,
 }
 
 impl MatchScratch {
@@ -77,6 +93,44 @@ impl MatchScratch {
         self.per_level.clear();
         self.per_level.resize(levels, 0);
         self.ops = 0;
+    }
+
+    /// Opens a new counter epoch over `profiles` counters: a counter is
+    /// *logically* zero until first touched in the current epoch, so no
+    /// per-event clearing pass is needed. Counters are physically
+    /// re-zeroed only when the profile count changes or the 32-bit
+    /// epoch wraps around.
+    pub(crate) fn begin_epoch(&mut self, profiles: usize) {
+        // Both lengths are checked: a non-epoch matcher (e.g. the
+        // counting baseline) may have resized `counters` on this shared
+        // scratch without touching `epochs`.
+        if self.epochs.len() != profiles || self.counters.len() != profiles {
+            self.epochs.clear();
+            self.epochs.resize(profiles, 0);
+            self.counters.clear();
+            self.counters.resize(profiles, 0);
+            self.epoch = 0;
+        }
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            // Wrapped: stale tags could collide with the restarted
+            // sequence, so re-zero once every 2^32 events.
+            self.epochs.iter_mut().for_each(|e| *e = 0);
+            self.epoch = 1;
+        }
+    }
+
+    /// Bumps profile `k`'s counter within the current epoch and returns
+    /// the new count (starting from 1 on the first touch this epoch).
+    #[inline]
+    pub(crate) fn bump_counter(&mut self, k: usize) -> u32 {
+        if self.epochs[k] == self.epoch {
+            self.counters[k] += 1;
+        } else {
+            self.epochs[k] = self.epoch;
+            self.counters[k] = 1;
+        }
+        self.counters[k]
     }
 
     /// Ids of the profiles matched by the last call, ascending.
@@ -106,6 +160,124 @@ impl MatchScratch {
     }
 }
 
+/// Caller-owned, reusable buffers for one [`Matcher::match_block`] call.
+///
+/// Holds the per-event match lists of a whole block in one CSR arena
+/// (offsets + flat profile ids) so block matching stays allocation-free
+/// after warm-up, like the single-event path.
+///
+/// # Example
+///
+/// ```
+/// use ens_filter::{BlockScratch, Dfsa, Matcher, ProfileTree, TreeConfig};
+/// use ens_types::{Domain, Event, IndexedBatch, Predicate, ProfileSet, Schema};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let schema = Schema::builder().attribute("x", Domain::int(0, 99))?.build();
+/// let mut ps = ProfileSet::new(&schema);
+/// ps.insert_with(|b| b.predicate("x", Predicate::between(10, 19)))?;
+/// let tree = ProfileTree::build(&ps, &TreeConfig::default())?;
+/// let dfsa = Dfsa::from_tree(&tree);
+///
+/// let events: Vec<Event> = (0..4)
+///     .map(|x| Event::builder(&schema).value("x", x * 10).unwrap().build())
+///     .collect();
+/// let mut batch = IndexedBatch::new();
+/// batch.resolve_into(&schema, events.iter())?;
+/// let mut block = BlockScratch::new();
+/// dfsa.match_block(&batch, &mut block);
+/// assert_eq!(block.len(), 4);
+/// assert_eq!(block.profiles_of(1).len(), 1, "x = 10 matches");
+/// assert!(block.profiles_of(0).is_empty());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct BlockScratch {
+    /// CSR offsets: event `i`'s matches live at
+    /// `profiles[off[i] .. off[i + 1]]`; `off.len() == events + 1`.
+    pub(crate) off: Vec<u32>,
+    /// Flat matched-profile arena, each event's slice ascending and
+    /// deduplicated.
+    pub(crate) profiles: Vec<ProfileId>,
+    /// Total comparison operations over the block (0 for matchers that
+    /// do not count).
+    pub(crate) ops: u64,
+    /// Per-event comparison operations (all zero for matchers that do
+    /// not count).
+    pub(crate) event_ops: Vec<u64>,
+    /// Per-event working scratch for the generic fallback and for
+    /// matchers that compose block and single paths.
+    pub(crate) single: MatchScratch,
+    /// Row view buffer for the generic fallback.
+    pub(crate) row: IndexedEvent,
+}
+
+impl BlockScratch {
+    /// Creates an empty scratch.
+    #[must_use]
+    pub fn new() -> Self {
+        BlockScratch::default()
+    }
+
+    /// Clears the CSR result for a block of `events` events.
+    pub(crate) fn reset_block(&mut self, events: usize) {
+        self.off.clear();
+        self.off.reserve(events + 1);
+        self.off.push(0);
+        self.profiles.clear();
+        self.ops = 0;
+        self.event_ops.clear();
+        self.event_ops.resize(events, 0);
+    }
+
+    /// Closes the current event's CSR row.
+    #[inline]
+    pub(crate) fn seal_event(&mut self) {
+        self.off.push(self.profiles.len() as u32);
+    }
+
+    /// Number of events in the last matched block.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.off.len().saturating_sub(1)
+    }
+
+    /// Whether the last block held no events.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Ids of the profiles matched by event `i` of the last block,
+    /// ascending and deduplicated.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len()`.
+    #[must_use]
+    pub fn profiles_of(&self, i: usize) -> &[ProfileId] {
+        &self.profiles[self.off[i] as usize..self.off[i + 1] as usize]
+    }
+
+    /// Total comparison operations spent on the last block (0 for
+    /// matchers that do not count operations).
+    #[must_use]
+    pub fn ops(&self) -> u64 {
+        self.ops
+    }
+
+    /// Comparison operations spent on event `i` of the last block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len()`.
+    #[must_use]
+    pub fn ops_of(&self, i: usize) -> u64 {
+        self.event_ops[i]
+    }
+}
+
 /// A matcher that can run against pre-resolved events with caller-owned
 /// buffers — the allocation-free fast path shared by the profile tree,
 /// the DFSA and the baseline matchers.
@@ -119,6 +291,58 @@ pub trait Matcher {
     /// `scratch`. The result is valid until the next call with the same
     /// scratch.
     fn match_into(&self, event: &IndexedEvent, scratch: &mut MatchScratch);
+
+    /// Matches a whole pre-resolved block, writing per-event results
+    /// into `scratch` (CSR layout, allocation-free after warm-up).
+    ///
+    /// The default implementation loops [`Matcher::match_into`] over the
+    /// rows; matchers with a cheaper block form (notably [`crate::Dfsa`]
+    /// with its interleaved multi-event traversal) override it.
+    /// Semantics are identical to the per-event loop.
+    fn match_block(&self, batch: &IndexedBatch, scratch: &mut BlockScratch) {
+        scratch.reset_block(batch.len());
+        let BlockScratch {
+            off,
+            profiles,
+            ops,
+            event_ops,
+            single,
+            row,
+            ..
+        } = scratch;
+        for (i, slot) in event_ops.iter_mut().enumerate() {
+            row.copy_from_raw(batch.row(i));
+            self.match_into(row, single);
+            profiles.extend_from_slice(single.profiles());
+            *ops += single.ops();
+            *slot = single.ops();
+            off.push(profiles.len() as u32);
+        }
+    }
+}
+
+thread_local! {
+    /// Shared working buffers of the allocating `match_event`
+    /// compatibility wrappers (tree, DFSA, naive, counting): resolving
+    /// into a thread-local [`IndexedEvent`] + [`MatchScratch`] pair
+    /// means a warmed-up wrapper call only allocates its owned result.
+    static WRAPPER_SCRATCH: RefCell<(IndexedEvent, MatchScratch)> =
+        RefCell::new((IndexedEvent::new(), MatchScratch::new()));
+}
+
+/// Resolves `event` into the thread-local wrapper buffers and hands
+/// them to `f`. Non-reentrant (the closure must not call another
+/// `match_event` wrapper); all crate-internal uses are leaf calls.
+pub(crate) fn with_wrapper_scratch<R>(
+    schema: &Schema,
+    event: &Event,
+    f: impl FnOnce(&IndexedEvent, &mut MatchScratch) -> R,
+) -> Result<R, TypesError> {
+    WRAPPER_SCRATCH.with(|cell| {
+        let (indexed, scratch) = &mut *cell.borrow_mut();
+        indexed.resolve_into(schema, event)?;
+        Ok(f(indexed, scratch))
+    })
 }
 
 #[cfg(test)]
@@ -138,5 +362,60 @@ mod tests {
         assert_eq!(s.per_level(), &[0, 0]);
         s.reset(0);
         assert!(s.per_level().is_empty());
+    }
+
+    #[test]
+    fn epoch_counters_reset_logically() {
+        let mut s = MatchScratch::new();
+        s.begin_epoch(3);
+        assert_eq!(s.bump_counter(1), 1);
+        assert_eq!(s.bump_counter(1), 2);
+        assert_eq!(s.bump_counter(2), 1);
+        // New epoch: every counter is logically zero again without any
+        // clearing pass.
+        s.begin_epoch(3);
+        assert_eq!(s.bump_counter(1), 1);
+        // Resizing re-zeroes physically.
+        s.begin_epoch(5);
+        assert_eq!(s.bump_counter(4), 1);
+        assert_eq!(s.bump_counter(1), 1);
+    }
+
+    #[test]
+    fn epoch_counters_survive_foreign_counter_resize() {
+        // A non-epoch matcher (counting baseline) may resize `counters`
+        // on a shared scratch without touching `epochs`; the next epoch
+        // must re-synchronise both.
+        let mut s = MatchScratch::new();
+        s.begin_epoch(100);
+        assert_eq!(s.bump_counter(99), 1);
+        s.counters.clear();
+        s.counters.resize(10, 0);
+        s.begin_epoch(100);
+        assert_eq!(s.bump_counter(99), 1);
+    }
+
+    #[test]
+    fn epoch_wrap_rezeroes_tags() {
+        let mut s = MatchScratch::new();
+        s.begin_epoch(2);
+        s.bump_counter(0);
+        s.epoch = u32::MAX; // force the wrap on the next epoch
+        s.begin_epoch(2);
+        assert_eq!(s.epoch, 1);
+        assert_eq!(s.bump_counter(0), 1, "stale tag must not survive wrap");
+    }
+
+    #[test]
+    fn block_scratch_csr_rows() {
+        let mut b = BlockScratch::new();
+        b.reset_block(2);
+        b.profiles.push(ProfileId::new(4));
+        b.seal_event();
+        b.seal_event();
+        assert_eq!(b.len(), 2);
+        assert!(!b.is_empty());
+        assert_eq!(b.profiles_of(0), &[ProfileId::new(4)]);
+        assert!(b.profiles_of(1).is_empty());
     }
 }

@@ -10,10 +10,17 @@
 //! * [`FilterSnapshot::compile`] — full build, the expensive path taken
 //!   only on compaction or adaptive drift rebuilds;
 //! * [`FilterSnapshot::with_overlay`] — O(overlay) rebuild of the small
-//!   naive side-matcher holding subscriptions that arrived since the
-//!   last compaction (the tree and DFSA are shared untouched);
+//!   [`OverlayIndex`] counting index holding subscriptions that arrived
+//!   since the last compaction (the tree and DFSA are shared
+//!   untouched), so overlay matching costs O(postings hit) instead of
+//!   the naive side-matcher's O(profiles × predicates);
 //! * [`FilterSnapshot::with_removed`] — O(base) copy of the tombstone
 //!   bitmap for unsubscriptions (tree, DFSA and overlay shared).
+//!
+//! Besides the per-event [`FilterSnapshot::match_into`], the snapshot
+//! exposes [`FilterSnapshot::match_block`]: whole pre-resolved event
+//! blocks driven through the DFSA's interleaved traversal with one
+//! scratch setup, the batch fast path `ens-service` publishes through.
 //!
 //! Matched profiles are reported in a single *global* id space: compiled
 //! (base) profiles keep their dense tree ids `0..base_len`, overlay
@@ -23,11 +30,11 @@
 
 use std::sync::Arc;
 
-use ens_types::{IndexedEvent, ProfileSet};
+use ens_types::{IndexedBatch, IndexedEvent, ProfileSet};
 
-use crate::baseline::NaiveMatcher;
 use crate::dfsa::Dfsa;
-use crate::scratch::{MatchScratch, Matcher};
+use crate::overlay::OverlayIndex;
+use crate::scratch::{BlockScratch, MatchScratch, Matcher};
 use crate::subrange::AttributePartition;
 use crate::tree::{ProfileTree, TreeConfig};
 use crate::FilterError;
@@ -42,6 +49,7 @@ pub struct SnapshotScratch {
     overlay: MatchScratch,
     matched: Vec<u32>,
     ops: u64,
+    overlay_ops: u64,
 }
 
 impl SnapshotScratch {
@@ -68,10 +76,105 @@ impl SnapshotScratch {
         self.ops
     }
 
+    /// The overlay's share of [`SnapshotScratch::ops`] — what the
+    /// incremental-subscription side index spent on the last call.
+    #[must_use]
+    pub fn overlay_ops(&self) -> u64 {
+        self.overlay_ops
+    }
+
     /// Whether the last call matched anything.
     #[must_use]
     pub fn is_match(&self) -> bool {
         !self.matched.is_empty()
+    }
+}
+
+/// Reusable buffers for one [`FilterSnapshot::match_block`] call: the
+/// per-event global-id match lists of a whole block in one CSR arena.
+///
+/// Keep one per worker thread; after warm-up a block match performs no
+/// heap allocation.
+#[derive(Debug, Clone, Default)]
+pub struct SnapshotBlockScratch {
+    /// Base-layer block scratch (also holds the row buffer the overlay
+    /// pass reuses).
+    base: BlockScratch,
+    /// Overlay per-event scratch.
+    overlay: MatchScratch,
+    /// CSR offsets: event `i`'s ids live at
+    /// `matched[off[i] .. off[i + 1]]`.
+    off: Vec<u32>,
+    matched: Vec<u32>,
+    ops: u64,
+    overlay_ops: u64,
+    /// Per-event ops (base + overlay) and the overlay's share — the
+    /// per-event attribution batch publish receipts report.
+    event_ops: Vec<u64>,
+    event_overlay_ops: Vec<u64>,
+}
+
+impl SnapshotBlockScratch {
+    /// Creates an empty scratch.
+    #[must_use]
+    pub fn new() -> Self {
+        SnapshotBlockScratch::default()
+    }
+
+    /// Number of events in the last matched block.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.off.len().saturating_sub(1)
+    }
+
+    /// Whether the last block held no events.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Global profile ids matched by event `i` of the last block,
+    /// ascending (same id space as [`SnapshotScratch::matched`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len()`.
+    #[must_use]
+    pub fn matched_of(&self, i: usize) -> &[u32] {
+        &self.matched[self.off[i] as usize..self.off[i + 1] as usize]
+    }
+
+    /// Total comparison operations over the block (base plus overlay;
+    /// the DFSA base path counts none).
+    #[must_use]
+    pub fn ops(&self) -> u64 {
+        self.ops
+    }
+
+    /// The overlay's share of [`SnapshotBlockScratch::ops`].
+    #[must_use]
+    pub fn overlay_ops(&self) -> u64 {
+        self.overlay_ops
+    }
+
+    /// Comparison operations spent on event `i` (base + overlay).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len()`.
+    #[must_use]
+    pub fn ops_of(&self, i: usize) -> u64 {
+        self.event_ops[i]
+    }
+
+    /// The overlay's share of [`SnapshotBlockScratch::ops_of`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len()`.
+    #[must_use]
+    pub fn overlay_ops_of(&self, i: usize) -> u64 {
+        self.event_overlay_ops[i]
     }
 }
 
@@ -111,7 +214,7 @@ pub struct FilterSnapshot {
     /// Tombstoned base profiles; empty slice when none were removed.
     removed: Arc<[bool]>,
     removed_count: usize,
-    overlay: Option<Arc<NaiveMatcher>>,
+    overlay: Option<Arc<OverlayIndex>>,
     overlay_len: usize,
 }
 
@@ -137,8 +240,9 @@ impl FilterSnapshot {
     }
 
     /// A new snapshot with the overlay replaced by `overlay` (dense ids
-    /// `0..overlay.len()`, reported offset by [`FilterSnapshot::base_len`]).
-    /// The compiled base and the tombstones are shared.
+    /// `0..overlay.len()`, reported offset by [`FilterSnapshot::base_len`]),
+    /// compiled into an [`OverlayIndex`] counting index. The compiled
+    /// base and the tombstones are shared.
     ///
     /// Cost is O(overlay) — independent of the compiled subscription
     /// count, which is what makes subscribe cheap.
@@ -152,7 +256,7 @@ impl FilterSnapshot {
         next.overlay = if overlay.is_empty() {
             None
         } else {
-            Some(Arc::new(NaiveMatcher::new(overlay)?))
+            Some(Arc::new(OverlayIndex::new(overlay)?))
         };
         Ok(next)
     }
@@ -180,6 +284,7 @@ impl FilterSnapshot {
     pub fn match_into(&self, event: &IndexedEvent, scratch: &mut SnapshotScratch, use_dfsa: bool) {
         scratch.matched.clear();
         scratch.ops = 0;
+        scratch.overlay_ops = 0;
         if use_dfsa {
             self.dfsa.match_into(event, &mut scratch.base);
         } else {
@@ -204,6 +309,7 @@ impl FilterSnapshot {
         if let Some(overlay) = &self.overlay {
             overlay.match_into(event, &mut scratch.overlay);
             scratch.ops += scratch.overlay.ops();
+            scratch.overlay_ops = scratch.overlay.ops();
             let off = self.base_len as u32;
             scratch.matched.extend(
                 scratch
@@ -212,6 +318,72 @@ impl FilterSnapshot {
                     .iter()
                     .map(|p| off + p.index() as u32),
             );
+        }
+    }
+
+    /// Matches a whole pre-resolved block against base and overlay,
+    /// writing per-event global profile ids into `scratch` (CSR
+    /// layout). Lock-free and allocation-free after scratch warm-up.
+    ///
+    /// The compiled base runs through [`Matcher::match_block`] — with
+    /// `use_dfsa` the DFSA's interleaved multi-event traversal, the
+    /// fastest path in the system — and the overlay's counting index is
+    /// applied per event on top. Semantics are identical to calling
+    /// [`FilterSnapshot::match_into`] per event.
+    pub fn match_block(
+        &self,
+        batch: &IndexedBatch,
+        scratch: &mut SnapshotBlockScratch,
+        use_dfsa: bool,
+    ) {
+        if use_dfsa {
+            self.dfsa.match_block(batch, &mut scratch.base);
+        } else {
+            self.tree.match_block(batch, &mut scratch.base);
+        }
+        scratch.off.clear();
+        scratch.off.push(0);
+        scratch.matched.clear();
+        scratch.ops = scratch.base.ops();
+        scratch.overlay_ops = 0;
+        scratch.event_ops.clear();
+        scratch.event_overlay_ops.clear();
+        scratch.event_overlay_ops.resize(batch.len(), 0);
+        let off = self.base_len as u32;
+        for i in 0..batch.len() {
+            if self.removed.is_empty() {
+                scratch
+                    .matched
+                    .extend(scratch.base.profiles_of(i).iter().map(|p| p.index() as u32));
+            } else {
+                scratch.matched.extend(
+                    scratch
+                        .base
+                        .profiles_of(i)
+                        .iter()
+                        .map(|p| p.index())
+                        .filter(|k| !self.removed[*k])
+                        .map(|k| k as u32),
+                );
+            }
+            let mut event_ops = scratch.base.ops_of(i);
+            if let Some(overlay) = &self.overlay {
+                scratch.base.row.copy_from_raw(batch.row(i));
+                overlay.match_into(&scratch.base.row, &mut scratch.overlay);
+                event_ops += scratch.overlay.ops();
+                scratch.ops += scratch.overlay.ops();
+                scratch.overlay_ops += scratch.overlay.ops();
+                scratch.event_overlay_ops[i] = scratch.overlay.ops();
+                scratch.matched.extend(
+                    scratch
+                        .overlay
+                        .profiles()
+                        .iter()
+                        .map(|p| off + p.index() as u32),
+                );
+            }
+            scratch.event_ops.push(event_ops);
+            scratch.off.push(scratch.matched.len() as u32);
         }
     }
 
@@ -357,6 +529,47 @@ mod tests {
         assert!(s.is_match());
         snap.match_into(&indexed, &mut s, true);
         assert_eq!(s.ops(), 0, "the DFSA does not count operations");
+    }
+
+    #[test]
+    fn match_block_agrees_with_match_into() {
+        let schema = schema();
+        let mut delta = ProfileSet::new(&schema);
+        delta
+            .insert_with(|b| b.predicate("x", Predicate::ge(90)))
+            .unwrap();
+        delta
+            .insert_with(|b| b.predicate("x", Predicate::le(20)))
+            .unwrap();
+        let snap = FilterSnapshot::compile(&base(&schema), &TreeConfig::default())
+            .unwrap()
+            .with_overlay(&delta)
+            .unwrap()
+            .with_removed(vec![true, false]);
+        let events: Vec<Event> = (0..100)
+            .map(|x| Event::builder(&schema).value("x", x).unwrap().build())
+            .collect();
+        let mut batch = ens_types::IndexedBatch::new();
+        batch.resolve_into(&schema, events.iter()).unwrap();
+        for use_dfsa in [false, true] {
+            let mut block = SnapshotBlockScratch::new();
+            snap.match_block(&batch, &mut block, use_dfsa);
+            assert_eq!(block.len(), events.len());
+            assert!(!block.is_empty());
+            let mut single = SnapshotScratch::new();
+            let mut total_ops = 0;
+            let mut total_overlay = 0;
+            for (i, e) in events.iter().enumerate() {
+                let indexed = IndexedEvent::resolve(&schema, e).unwrap();
+                snap.match_into(&indexed, &mut single, use_dfsa);
+                assert_eq!(block.matched_of(i), single.matched(), "x = {i}");
+                total_ops += single.ops();
+                total_overlay += single.overlay_ops();
+            }
+            assert_eq!(block.ops(), total_ops, "use_dfsa = {use_dfsa}");
+            assert_eq!(block.overlay_ops(), total_overlay);
+            assert!(block.overlay_ops() > 0);
+        }
     }
 
     #[test]

@@ -402,14 +402,19 @@ impl ProfileTree {
     /// path would have tested it (events built against this tree's own
     /// schema are always fully valid and unaffected).
     pub fn match_event(&self, event: &Event) -> Result<MatchOutcome, FilterError> {
-        let indexed = IndexedEvent::resolve(self.schema.as_ref(), event)?;
-        let mut scratch = MatchScratch::new();
-        self.match_into(&indexed, &mut scratch);
-        Ok(MatchOutcome {
-            profiles: scratch.profiles,
-            ops: scratch.ops,
-            per_level: scratch.per_level,
-        })
+        let outcome = crate::scratch::with_wrapper_scratch(
+            self.schema.as_ref(),
+            event,
+            |indexed, scratch| {
+                self.match_into(indexed, scratch);
+                MatchOutcome {
+                    profiles: scratch.profiles().to_vec(),
+                    ops: scratch.ops(),
+                    per_level: scratch.per_level().to_vec(),
+                }
+            },
+        )?;
+        Ok(outcome)
     }
 
     fn walk_indexed(

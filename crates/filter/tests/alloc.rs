@@ -9,8 +9,8 @@ use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use ens_filter::baseline::{CountingMatcher, NaiveMatcher};
-use ens_filter::{Dfsa, MatchScratch, Matcher, ProfileTree, TreeConfig};
-use ens_types::{Domain, Event, IndexedEvent, Predicate, ProfileSet, Schema};
+use ens_filter::{BlockScratch, Dfsa, MatchScratch, Matcher, ProfileTree, TreeConfig};
+use ens_types::{Domain, Event, IndexedBatch, IndexedEvent, Predicate, ProfileSet, Schema};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -138,6 +138,102 @@ fn warm_fast_paths_allocate_nothing() {
         );
         assert_eq!(warm, hot, "{name}: warm and hot passes disagree");
         assert!(hot > 0, "{name}: workload should produce matches");
+    }
+
+    // The batch fast path: block resolution + interleaved match_block
+    // must also be allocation-free once the batch and block scratch
+    // have grown to their steady-state footprint.
+    {
+        let tree = ProfileTree::build(&ps, &TreeConfig::default()).unwrap();
+        let dfsa = Dfsa::from_tree(&tree);
+        let mut batch = IndexedBatch::new();
+        let mut block = BlockScratch::new();
+        let mut run = |check: &mut u64| {
+            for chunk in events.chunks(64) {
+                batch.resolve_into(&schema, chunk.iter()).unwrap();
+                dfsa.match_block(&batch, &mut block);
+                for i in 0..block.len() {
+                    *check += block.profiles_of(i).len() as u64;
+                }
+            }
+        };
+        let mut warm = 0u64;
+        run(&mut warm);
+        let before = allocations();
+        let mut hot = 0u64;
+        run(&mut hot);
+        let allocated = allocations() - before;
+        assert_eq!(
+            allocated, 0,
+            "warm match_block loop performed {allocated} heap allocations"
+        );
+        assert_eq!(warm, hot, "block: warm and hot passes disagree");
+        assert!(hot > 0, "block: workload should produce matches");
+    }
+
+    // The allocating `match_event` wrappers resolve into a shared
+    // thread-local buffer, so a warmed-up call only allocates its owned
+    // result: nothing for a non-matching DFSA/naive/counting event, one
+    // vector otherwise (the tree outcome additionally owns its
+    // per-level counters). The seed wrappers paid ~1.65 extra
+    // allocations per event for working buffers.
+    {
+        let tree = ProfileTree::build(&ps, &TreeConfig::default()).unwrap();
+        let dfsa = Dfsa::from_tree(&tree);
+        let naive = NaiveMatcher::new(&ps).unwrap();
+        let counting = CountingMatcher::new(&ps).unwrap();
+        let n = events.len() as u64;
+
+        // Warm the thread-local wrapper buffers (and the counting
+        // matcher's counter table) once.
+        let mut matching = 0u64;
+        for e in &events {
+            matching += u64::from(!dfsa.match_event(e).unwrap().is_empty());
+            tree.match_event(e).unwrap();
+            naive.match_event(e).unwrap();
+            counting.match_event(e).unwrap();
+        }
+        assert!(matching > 0, "workload should produce matches");
+
+        type WrapperCall<'a> = (&'a str, &'a dyn Fn(&Event) -> bool, u64);
+        let wrappers: [WrapperCall<'_>; 4] = [
+            // Result vector only on a match.
+            (
+                "dfsa",
+                &|e| !dfsa.match_event(e).unwrap().is_empty(),
+                matching,
+            ),
+            // Profiles (only when non-empty) + per-level vector.
+            (
+                "tree",
+                &|e| tree.match_event(e).unwrap().is_match(),
+                matching + n,
+            ),
+            (
+                "naive",
+                &|e| naive.match_event(e).unwrap().is_match(),
+                matching,
+            ),
+            (
+                "counting",
+                &|e| counting.match_event(e).unwrap().is_match(),
+                matching,
+            ),
+        ];
+        for (name, call, budget) in wrappers {
+            let before = allocations();
+            let mut hits = 0u64;
+            for e in &events {
+                hits += u64::from(call(e));
+            }
+            let allocated = allocations() - before;
+            assert_eq!(hits, matching, "{name}: wrapper changed semantics");
+            assert!(
+                allocated <= budget,
+                "{name}: warm match_event spent {allocated} allocations \
+                 over {n} events (budget {budget} — the result itself)"
+            );
+        }
     }
 
     // The online statistics of the self-tuning loop ride the publish

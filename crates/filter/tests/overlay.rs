@@ -1,0 +1,249 @@
+//! Property test: the counting-index overlay ([`OverlayIndex`] inside
+//! [`FilterSnapshot`]) agrees with the `NaiveMatcher` oracle — and with
+//! a fresh post-compaction [`FilterSnapshot::compile`] — under
+//! randomized subscribe/unsubscribe churn, including tombstones and
+//! events with missing attributes.
+
+use ens_filter::baseline::NaiveMatcher;
+use ens_filter::{
+    FilterSnapshot, MatchScratch, Matcher, OverlayIndex, SnapshotBlockScratch, SnapshotScratch,
+    TreeConfig,
+};
+use ens_types::{
+    Domain, Event, IndexedBatch, IndexedEvent, Predicate, Profile, ProfileId, ProfileSet, Schema,
+};
+use proptest::prelude::*;
+
+/// Two attributes: a small domain (jump-table DFSA states) and a large
+/// one (binary-search states), like the main DFSA property suite.
+const DX: i64 = 24;
+const DY: i64 = 5_000;
+
+fn schema() -> Schema {
+    Schema::builder()
+        .attribute("x", Domain::int(0, DX - 1))
+        .unwrap()
+        .attribute("y", Domain::int(0, DY - 1))
+        .unwrap()
+        .build()
+}
+
+fn arb_predicate(hi: i64) -> impl Strategy<Value = Predicate> {
+    let v = 0..hi;
+    prop_oneof![
+        Just(Predicate::DontCare),
+        v.clone().prop_map(Predicate::eq),
+        v.clone().prop_map(Predicate::le),
+        v.clone().prop_map(Predicate::ge),
+        v.clone().prop_map(Predicate::ne),
+        (v.clone(), v.clone()).prop_map(|(a, b)| Predicate::between(a.min(b), a.max(b))),
+        prop::collection::vec(v, 1..4).prop_map(Predicate::in_set),
+    ]
+}
+
+fn arb_profile() -> impl Strategy<Value = (Predicate, Predicate)> {
+    (arb_predicate(DX), arb_predicate(DY))
+}
+
+/// One churn step against the live snapshot.
+#[derive(Debug, Clone)]
+enum ChurnOp {
+    /// New subscription: enters the overlay via `with_overlay`.
+    Subscribe(Predicate, Predicate),
+    /// Remove a compiled (base) profile: tombstone via `with_removed`.
+    /// The index is reduced modulo the current base population.
+    Tombstone(usize),
+    /// Remove a not-yet-compacted overlay profile (the overlay is
+    /// rebuilt without it, exactly like the broker's unsubscribe).
+    DropOverlay(usize),
+}
+
+fn arb_ops() -> impl Strategy<Value = Vec<ChurnOp>> {
+    prop::collection::vec(
+        prop_oneof![
+            4 => arb_profile().prop_map(|(px, py)| ChurnOp::Subscribe(px, py)),
+            1 => (0usize..16).prop_map(ChurnOp::Tombstone),
+            1 => (0usize..16).prop_map(ChurnOp::DropOverlay),
+        ],
+        1..24,
+    )
+}
+
+/// Events over both attributes, each value independently missing.
+fn arb_events() -> impl Strategy<Value = Vec<(Option<i64>, Option<i64>)>> {
+    prop::collection::vec(
+        (
+            prop::option::weighted(0.8, 0..DX),
+            prop::option::weighted(0.8, 0..DY),
+        ),
+        8..24,
+    )
+}
+
+fn build_event(schema: &Schema, x: Option<i64>, y: Option<i64>) -> Event {
+    let mut b = Event::builder(schema);
+    if let Some(x) = x {
+        b = b.value("x", x).unwrap();
+    }
+    if let Some(y) = y {
+        b = b.value("y", y).unwrap();
+    }
+    b.build()
+}
+
+fn make_profile(schema: &Schema, px: &Predicate, py: &Predicate) -> Profile {
+    Profile::from_predicates(schema, ProfileId::new(0), vec![px.clone(), py.clone()]).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn counting_overlay_agrees_with_naive_oracle_under_churn(
+        base in prop::collection::vec(arb_profile(), 0..6),
+        ops in arb_ops(),
+        events in arb_events(),
+    ) {
+        let schema = schema();
+
+        // Writer-side model of the broker's shard state.
+        let mut base_set = ProfileSet::new(&schema);
+        for (px, py) in &base {
+            base_set.insert(make_profile(&schema, px, py));
+        }
+        let mut removed = vec![false; base_set.len()];
+        let mut overlay: Vec<Profile> = Vec::new();
+
+        let mut snap = FilterSnapshot::compile(&base_set, &TreeConfig::default()).unwrap();
+        for op in &ops {
+            match op {
+                ChurnOp::Subscribe(px, py) => {
+                    overlay.push(make_profile(&schema, px, py));
+                    let mut ps = ProfileSet::new(&schema);
+                    for p in &overlay {
+                        ps.insert(p.clone());
+                    }
+                    snap = snap.with_overlay(&ps).unwrap();
+                }
+                ChurnOp::Tombstone(k) if !removed.is_empty() => {
+                    let slot = *k % removed.len();
+                    removed[slot] = true;
+                    snap = snap.with_removed(removed.clone());
+                }
+                ChurnOp::DropOverlay(k) if !overlay.is_empty() => {
+                    overlay.remove(*k % overlay.len());
+                    let mut ps = ProfileSet::new(&schema);
+                    for p in &overlay {
+                        ps.insert(p.clone());
+                    }
+                    snap = snap.with_overlay(&ps).unwrap();
+                }
+                _ => {}
+            }
+        }
+        prop_assert_eq!(snap.overlay_len(), overlay.len());
+        prop_assert_eq!(snap.live_len(),
+            base_set.len() - snap.removed_len() + overlay.len());
+
+        // Oracles: the naive side-matcher over the overlay (what the
+        // counting index replaced) and a fresh full compile of the live
+        // set (what the next compaction would produce). `live` inserts
+        // base-live first, then overlay — the broker's compaction order
+        // — so global snapshot ids map positionally onto compiled ids.
+        let mut overlay_set = ProfileSet::new(&schema);
+        for p in &overlay {
+            overlay_set.insert(p.clone());
+        }
+        let naive_overlay = NaiveMatcher::new(&overlay_set).unwrap();
+        let counting_overlay = OverlayIndex::new(&overlay_set).unwrap();
+        let mut live = ProfileSet::new(&schema);
+        let mut live_of_base = vec![usize::MAX; base_set.len()];
+        let mut next = 0usize;
+        for (k, p) in base_set.iter().enumerate() {
+            if !removed[k] {
+                live.insert(p.clone());
+                live_of_base[k] = next;
+                next += 1;
+            }
+        }
+        for p in &overlay {
+            live.insert(p.clone());
+        }
+        let compacted = FilterSnapshot::compile(&live, &TreeConfig::default()).unwrap();
+
+        let mut s = SnapshotScratch::new();
+        let mut s_dfsa = SnapshotScratch::new();
+        let mut s_compact = SnapshotScratch::new();
+        let mut naive_scratch = MatchScratch::new();
+        let mut counting_scratch = MatchScratch::new();
+        let mut block = SnapshotBlockScratch::new();
+        let mut batch = IndexedBatch::new();
+        let built: Vec<Event> = events
+            .iter()
+            .map(|(x, y)| build_event(&schema, *x, *y))
+            .collect();
+        batch.resolve_into(&schema, built.iter()).unwrap();
+        snap.match_block(&batch, &mut block, true);
+        for (i, e) in built.iter().enumerate() {
+            let indexed = IndexedEvent::resolve(&schema, e).unwrap();
+
+            // 1. Tree and DFSA dispatch agree.
+            snap.match_into(&indexed, &mut s, false);
+            snap.match_into(&indexed, &mut s_dfsa, true);
+            prop_assert_eq!(s.matched(), s_dfsa.matched());
+
+            // 2. The overlay part equals the naive oracle over the
+            //    overlay set, and the counting index standalone.
+            let overlay_ids: Vec<u32> = s
+                .matched()
+                .iter()
+                .copied()
+                .filter(|g| *g >= snap.base_len() as u32)
+                .map(|g| g - snap.base_len() as u32)
+                .collect();
+            naive_overlay.match_into(&indexed, &mut naive_scratch);
+            counting_overlay.match_into(&indexed, &mut counting_scratch);
+            let naive_ids: Vec<u32> = naive_scratch
+                .profiles()
+                .iter()
+                .map(|p| p.index() as u32)
+                .collect();
+            prop_assert_eq!(&overlay_ids, &naive_ids);
+            let counting_ids: Vec<u32> = counting_scratch
+                .profiles()
+                .iter()
+                .map(|p| p.index() as u32)
+                .collect();
+            prop_assert_eq!(&overlay_ids, &counting_ids);
+
+            // 3. Global ids map positionally onto a fresh compile of
+            //    the live set (the post-compaction snapshot).
+            let live_base = next as u32;
+            let mapped: Vec<u32> = s
+                .matched()
+                .iter()
+                .map(|g| {
+                    if *g < snap.base_len() as u32 {
+                        live_of_base[*g as usize] as u32
+                    } else {
+                        live_base + (g - snap.base_len() as u32)
+                    }
+                })
+                .collect();
+            compacted.match_into(&indexed, &mut s_compact, false);
+            prop_assert_eq!(&mapped, &s_compact.matched().to_vec());
+
+            // 4. The ProfileSet oracle agrees with the compacted ids.
+            let oracle: Vec<u32> = live
+                .matches(e)
+                .unwrap()
+                .iter()
+                .map(|p| p.index() as u32)
+                .collect();
+            prop_assert_eq!(&mapped, &oracle);
+
+            // 5. The block engine agrees with the per-event path.
+            prop_assert_eq!(block.matched_of(i), s.matched());
+        }
+    }
+}

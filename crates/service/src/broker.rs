@@ -35,10 +35,12 @@ use std::sync::Arc;
 
 use crossbeam::channel::{unbounded, Sender};
 use ens_filter::{
-    DriftTracker, FilterSnapshot, RebuildPolicy, SnapshotScratch, TreeConfig, TuningPolicy,
+    DriftTracker, FilterSnapshot, RebuildPolicy, SnapshotBlockScratch, SnapshotScratch, TreeConfig,
+    TuningPolicy,
 };
 use ens_types::{
-    Event, IndexedEvent, Profile, ProfileBuilder, ProfileId, ProfileSet, Schema, TypesError,
+    Event, IndexedBatch, IndexedEvent, Profile, ProfileBuilder, ProfileId, ProfileSet, Schema,
+    TypesError,
 };
 use parking_lot::{Mutex, RwLock};
 
@@ -396,6 +398,10 @@ thread_local! {
     /// warmed-up publisher thread allocates nothing per publish.
     static SCRATCH: RefCell<(IndexedEvent, SnapshotScratch)> =
         RefCell::new((IndexedEvent::new(), SnapshotScratch::new()));
+
+    /// Per-thread block-match buffers for the batch publish path.
+    static BLOCK_SCRATCH: RefCell<SnapshotBlockScratch> =
+        RefCell::new(SnapshotBlockScratch::new());
 }
 
 /// A sender whose receiver is already gone: placeholder for tombstoned
@@ -411,6 +417,9 @@ struct Delivery {
     matched: Vec<SubscriptionId>,
     dead: Vec<SubscriptionId>,
     ops: u64,
+    /// The overlay side-index's share of `ops` (metrics attribution:
+    /// overlay matching decay between compactions).
+    overlay_ops: u64,
     rejecting_shards: usize,
 }
 
@@ -851,6 +860,13 @@ impl Broker {
     /// on `std::thread` workers (one per shard when the broker has more
     /// than one shard).
     ///
+    /// The batch is resolved **once** into an [`IndexedBatch`] shared
+    /// by every shard worker, and each worker drives it through
+    /// [`FilterSnapshot::match_block`] — the DFSA's interleaved
+    /// multi-event traversal when [`BrokerConfig::dfsa_dispatch`] is
+    /// set — so per-event dispatch overhead is paid once per block, not
+    /// once per event.
+    ///
     /// Each shard processes the whole batch in order against one
     /// consistent snapshot, so every subscriber receives its
     /// notifications in sequence order. Receipts come back in input
@@ -870,10 +886,11 @@ impl Broker {
         // Validate and resolve everything up front: a shard worker must
         // never fail mid-batch, and resolving once saves re-indexing
         // the event in every shard.
-        let mut indexed = Vec::with_capacity(events.len());
-        for event in events {
-            indexed.push(IndexedEvent::resolve(&self.schema, event)?);
-        }
+        let mut indexed = IndexedBatch::new();
+        indexed.resolve_into(&self.schema, events.iter().map(Arc::as_ref))?;
+        self.metrics
+            .batch_events
+            .fetch_add(events.len() as u64, Ordering::Relaxed);
         let base_seq = self
             .sequence
             .fetch_add(events.len() as u64, Ordering::Relaxed);
@@ -918,6 +935,7 @@ impl Broker {
                 delivery.matched.extend(d.matched);
                 delivery.dead.extend(d.dead);
                 delivery.ops += d.ops;
+                delivery.overlay_ops += d.overlay_ops;
                 delivery.rejecting_shards += d.rejecting_shards;
             }
             let quenched = delivery.rejecting_shards == self.shards.len();
@@ -934,34 +952,83 @@ impl Broker {
         Ok(receipts)
     }
 
-    /// Processes the whole batch for one shard, in order.
+    /// Processes the whole batch for one shard, in order, through the
+    /// snapshot's block matching engine.
     fn batch_worker(
         &self,
         snap: &ShardSnapshot,
-        indexed: &[IndexedEvent],
+        indexed: &IndexedBatch,
         events: &[Arc<Event>],
         base_seq: u64,
     ) -> Vec<Delivery> {
-        SCRATCH.with(|cell| {
-            let (_, scratch) = &mut *cell.borrow_mut();
-            indexed
+        if snap.quench.is_some() {
+            // Inbound quenching pre-filters per event before matching;
+            // keep the single-event path so quenched events pay (and
+            // count) nothing.
+            return SCRATCH.with(|cell| {
+                let (row, scratch) = &mut *cell.borrow_mut();
+                events
+                    .iter()
+                    .enumerate()
+                    .map(|(i, event)| {
+                        let mut delivery = Delivery::default();
+                        row.copy_from_raw(indexed.row(i));
+                        self.match_and_deliver(
+                            snap,
+                            row,
+                            scratch,
+                            event,
+                            base_seq + i as u64,
+                            &mut delivery,
+                        );
+                        delivery
+                    })
+                    .collect()
+            });
+        }
+        BLOCK_SCRATCH.with(|cell| {
+            let scratch = &mut *cell.borrow_mut();
+            snap.filter
+                .match_block(indexed, scratch, self.config.dfsa_dispatch);
+            events
                 .iter()
-                .zip(events)
                 .enumerate()
-                .map(|(i, (ix, event))| {
-                    let mut delivery = Delivery::default();
-                    self.match_and_deliver(
-                        snap,
-                        ix,
-                        scratch,
-                        event,
-                        base_seq + i as u64,
-                        &mut delivery,
-                    );
+                .map(|(i, event)| {
+                    let mut delivery = Delivery {
+                        ops: scratch.ops_of(i),
+                        overlay_ops: scratch.overlay_ops_of(i),
+                        ..Delivery::default()
+                    };
+                    for &gpid in scratch.matched_of(i) {
+                        self.deliver_one(snap, gpid, event, base_seq + i as u64, &mut delivery);
+                    }
                     delivery
                 })
                 .collect()
         })
+    }
+
+    /// Delivers one matched global profile id to its subscriber.
+    #[inline]
+    fn deliver_one(
+        &self,
+        snap: &ShardSnapshot,
+        gpid: u32,
+        event: &Arc<Event>,
+        sequence: u64,
+        out: &mut Delivery,
+    ) {
+        let entry = snap.entry(gpid);
+        let n = Notification {
+            subscription: entry.id,
+            sequence,
+            event: Arc::clone(event),
+        };
+        if entry.sender.send(n).is_ok() {
+            out.matched.push(entry.id);
+        } else {
+            out.dead.push(entry.id);
+        }
     }
 
     /// The lock-free per-(event, shard) hot path: quench check, match
@@ -984,18 +1051,9 @@ impl Broker {
         snap.filter
             .match_into(indexed, scratch, self.config.dfsa_dispatch);
         out.ops += scratch.ops();
+        out.overlay_ops += scratch.overlay_ops();
         for &gpid in scratch.matched() {
-            let entry = snap.entry(gpid);
-            let n = Notification {
-                subscription: entry.id,
-                sequence,
-                event: Arc::clone(event),
-            };
-            if entry.sender.send(n).is_ok() {
-                out.matched.push(entry.id);
-            } else {
-                out.dead.push(entry.id);
-            }
+            self.deliver_one(snap, gpid, event, sequence, out);
         }
     }
 
@@ -1030,6 +1088,11 @@ impl Broker {
             self.metrics
                 .total_ops
                 .fetch_add(delivery.ops, Ordering::Relaxed);
+        }
+        if delivery.overlay_ops > 0 {
+            self.metrics
+                .overlay_ops
+                .fetch_add(delivery.overlay_ops, Ordering::Relaxed);
         }
         if !delivery.matched.is_empty() {
             self.metrics

@@ -11,6 +11,12 @@ pub(crate) struct Metrics {
     pub events_published: AtomicU64,
     pub notifications_sent: AtomicU64,
     pub total_ops: AtomicU64,
+    /// The overlay side-index's share of `total_ops` — what matching
+    /// the not-yet-compacted subscriptions cost.
+    pub overlay_ops: AtomicU64,
+    /// Events that entered through `publish_batch` (block matching
+    /// engine) rather than the single-event path.
+    pub batch_events: AtomicU64,
     pub dropped_notifications: AtomicU64,
     pub quenched_events: AtomicU64,
     /// Adaptive (drift-triggered) tree rebuilds across all shards.
@@ -37,6 +43,8 @@ impl Metrics {
             events_published: self.events_published.load(Ordering::Relaxed),
             notifications_sent: self.notifications_sent.load(Ordering::Relaxed),
             total_ops: self.total_ops.load(Ordering::Relaxed),
+            overlay_ops: self.overlay_ops.load(Ordering::Relaxed),
+            batch_events: self.batch_events.load(Ordering::Relaxed),
             dropped_notifications: self.dropped_notifications.load(Ordering::Relaxed),
             quenched_events: self.quenched_events.load(Ordering::Relaxed),
             tree_rebuilds: self.tree_rebuilds.load(Ordering::Relaxed),
@@ -61,6 +69,15 @@ pub struct MetricsSnapshot {
     pub notifications_sent: u64,
     /// Total comparison operations spent filtering.
     pub total_ops: u64,
+    /// The overlay side-index's share of [`MetricsSnapshot::total_ops`]:
+    /// operations spent matching subscriptions that arrived since the
+    /// last compaction. Watching
+    /// [`MetricsSnapshot::overlay_ops_per_event`] between compactions
+    /// makes the overlay's matching-cost decay observable.
+    pub overlay_ops: u64,
+    /// Events published through `publish_batch` — the block matching
+    /// engine — as opposed to the single-event path.
+    pub batch_events: u64,
     /// Notifications dropped because the subscriber hung up.
     pub dropped_notifications: u64,
     /// Events rejected by the quenching pre-filter.
@@ -101,6 +118,19 @@ impl MetricsSnapshot {
         }
     }
 
+    /// Average overlay (incremental-subscription side-index) comparison
+    /// operations per published event. Rises while churn accumulates in
+    /// the overlay and drops back to ~0 after a compaction, so plotting
+    /// it over time shows the decay the counting index bounds.
+    #[must_use]
+    pub fn overlay_ops_per_event(&self) -> f64 {
+        if self.events_published == 0 {
+            0.0
+        } else {
+            self.overlay_ops as f64 / self.events_published as f64
+        }
+    }
+
     /// Average notifications delivered per published event (the fan-out
     /// the filter actually produced).
     #[must_use]
@@ -128,16 +158,19 @@ impl MetricsSnapshot {
 
 impl fmt::Display for MetricsSnapshot {
     /// One-line operational summary, e.g.
-    /// `events=100 notifs=250 (2.50/ev) ops=1200 (12.00/ev) quenched=3 dropped=0 rebuilds=1 compactions=4 retunes=1/2 (pred 3.10 ops/ev) subs=42`.
+    /// `events=100 batch=64 notifs=250 (2.50/ev) ops=1200 (12.00/ev) overlay_ops=40 (0.40/ev) quenched=3 dropped=0 rebuilds=1 compactions=4 retunes=1/2 (pred 3.10 ops/ev) subs=42`.
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "events={} notifs={} ({:.2}/ev) ops={} ({:.2}/ev) quenched={} dropped={} rebuilds={} compactions={} retunes={}/{} (pred {:.2} ops/ev) subs={}",
+            "events={} batch={} notifs={} ({:.2}/ev) ops={} ({:.2}/ev) overlay_ops={} ({:.2}/ev) quenched={} dropped={} rebuilds={} compactions={} retunes={}/{} (pred {:.2} ops/ev) subs={}",
             self.events_published,
+            self.batch_events,
             self.notifications_sent,
             self.avg_notifications_per_event(),
             self.total_ops,
             self.avg_ops_per_event(),
+            self.overlay_ops,
+            self.overlay_ops_per_event(),
             self.quenched_events,
             self.dropped_notifications,
             self.tree_rebuilds,
@@ -184,6 +217,53 @@ mod tests {
         assert!(line.contains("events=4"), "{line}");
         assert!(line.contains("(0.75/ev)"), "{line}");
         assert!(line.contains("subs=1"), "{line}");
+    }
+
+    #[test]
+    fn overlay_and_batch_counters_accrue() {
+        use ens_filter::RebuildPolicy;
+        use std::sync::Arc;
+
+        let schema = Schema::builder()
+            .attribute("x", Domain::int(0, 99))
+            .unwrap()
+            .build();
+        // Push the compaction threshold out so the subscription stays in
+        // the overlay side-index.
+        let b = Broker::new(
+            &schema,
+            BrokerConfig {
+                rebuild: RebuildPolicy {
+                    max_overlay: usize::MAX,
+                    ..RebuildPolicy::default()
+                },
+                ..BrokerConfig::default()
+            },
+        )
+        .unwrap();
+        // First subscribe compacts (base bootstrap); the second one
+        // lands in the overlay.
+        let _a = b
+            .subscribe(|p| p.predicate("x", Predicate::lt(10)))
+            .unwrap();
+        let _sub = b
+            .subscribe(|p| p.predicate("x", Predicate::ge(50)))
+            .unwrap();
+        let events: Vec<Arc<Event>> = [10i64, 60, 70]
+            .iter()
+            .map(|x| Arc::new(Event::builder(b.schema()).value("x", *x).unwrap().build()))
+            .collect();
+        b.publish_shared(Arc::clone(&events[0])).unwrap();
+        b.publish_batch(&events[1..]).unwrap();
+        let s = b.metrics();
+        assert_eq!(s.events_published, 3);
+        assert_eq!(s.batch_events, 2);
+        assert!(s.overlay_ops > 0, "{s:?}");
+        assert!(s.overlay_ops_per_event() > 0.0);
+        assert!(s.overlay_ops <= s.total_ops);
+        let line = s.to_string();
+        assert!(line.contains("batch=2"), "{line}");
+        assert!(line.contains("overlay_ops="), "{line}");
     }
 
     #[test]

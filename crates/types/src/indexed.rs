@@ -1,4 +1,4 @@
-use crate::{AttrId, Event, Schema, TypesError};
+use crate::{AttrId, Event, Schema, TypesError, Value};
 
 /// An [`Event`] pre-resolved into per-attribute domain indices.
 ///
@@ -75,25 +75,15 @@ impl IndexedEvent {
     /// error the buffer contents are unspecified (but safe to reuse).
     pub fn resolve_into(&mut self, schema: &Schema, event: &Event) -> Result<(), TypesError> {
         self.indices.clear();
-        self.indices.reserve(schema.len());
-        for (i, (domain, value)) in schema.domains().iter().zip(event.values()).enumerate() {
-            match value {
-                None => self.indices.push(Self::MISSING),
-                Some(v) => match domain.try_index_of(v) {
-                    Some(idx) => self.indices.push(idx),
-                    None => {
-                        // Cold path: rebuild the descriptive error with
-                        // the attribute's name.
-                        let a = schema.attribute(crate::AttrId::new(i as u32));
-                        let e = domain.index_of(v).expect_err("try_index_of returned None");
-                        return Err(crate::event::contextualise(e, a.name()));
-                    }
-                },
-            }
-        }
-        // Events narrower than the schema leave the tail unspecified.
-        self.indices.resize(schema.len(), Self::MISSING);
-        Ok(())
+        resolve_append(schema, event, &mut self.indices)
+    }
+
+    /// Overwrites this buffer with a raw sentinel-encoded index slice
+    /// (e.g. one row of an [`IndexedBatch`]). No heap allocation once
+    /// the buffer has grown to `raw.len()`; no validation is performed.
+    pub fn copy_from_raw(&mut self, raw: &[u64]) {
+        self.indices.clear();
+        self.indices.extend_from_slice(raw);
     }
 
     /// Wraps pre-computed indices (one per schema attribute, `None` for
@@ -137,6 +127,194 @@ impl IndexedEvent {
     #[must_use]
     pub fn is_empty(&self) -> bool {
         self.indices.is_empty()
+    }
+}
+
+/// Appends one event's resolved sentinel-encoded indices (exactly
+/// `schema.len()` entries) to `out`. Shared by [`IndexedEvent`] and
+/// [`IndexedBatch`]; on error nothing is appended.
+fn resolve_append(schema: &Schema, event: &Event, out: &mut Vec<u64>) -> Result<(), TypesError> {
+    let start = out.len();
+    out.reserve(schema.len());
+    for (i, (domain, value)) in schema.domains().iter().zip(event.values()).enumerate() {
+        match value {
+            None => out.push(IndexedEvent::MISSING),
+            Some(v) => match domain.try_index_of(v) {
+                Some(idx) => out.push(idx),
+                None => {
+                    // Cold path: rebuild the descriptive error with
+                    // the attribute's name.
+                    let a = schema.attribute(crate::AttrId::new(i as u32));
+                    let e = domain.index_of(v).expect_err("try_index_of returned None");
+                    out.truncate(start);
+                    return Err(crate::event::contextualise(e, a.name()));
+                }
+            },
+        }
+    }
+    // Events narrower than the schema leave the tail unspecified.
+    out.resize(start + schema.len(), IndexedEvent::MISSING);
+    Ok(())
+}
+
+/// A block of [`Event`]s pre-resolved into one contiguous row-major
+/// index arena — the input of the batch matching fast path.
+///
+/// Each row holds one event's dense per-attribute domain indices
+/// (schema order, [`IndexedEvent::MISSING`] for absent attributes),
+/// exactly like [`IndexedEvent::raw`]. Storing the whole block in one
+/// `Vec<u64>` keeps resolution out of the per-event matching loop *and*
+/// lets a block matcher stream rows with predictable addresses — the
+/// layout `ens-filter`'s interleaved DFSA traversal prefetches against.
+///
+/// The buffer is reusable: [`IndexedBatch::resolve_into`] overwrites an
+/// existing instance and performs no heap allocation once it has grown
+/// to the batch's footprint.
+///
+/// # Example
+///
+/// ```
+/// use ens_types::{Domain, Event, IndexedBatch, Schema};
+/// # fn main() -> Result<(), ens_types::TypesError> {
+/// let schema = Schema::builder().attribute("x", Domain::int(0, 9))?.build();
+/// let events = [
+///     Event::builder(&schema).value("x", 3)?.build(),
+///     Event::builder(&schema).build(),
+/// ];
+/// let mut batch = IndexedBatch::new();
+/// batch.resolve_into(&schema, events.iter())?;
+/// assert_eq!(batch.len(), 2);
+/// assert_eq!(batch.row(0), &[3]);
+/// assert_eq!(batch.row(1), &[ens_types::IndexedEvent::MISSING]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct IndexedBatch {
+    /// Row width (= schema width the batch was resolved for).
+    width: usize,
+    /// `len * width` sentinel-encoded indices, row-major.
+    indices: Vec<u64>,
+}
+
+impl IndexedBatch {
+    /// Creates an empty batch, ready for [`IndexedBatch::resolve_into`].
+    #[must_use]
+    pub fn new() -> Self {
+        IndexedBatch::default()
+    }
+
+    /// Resolves `events` against `schema`, reusing this buffer. After
+    /// the buffer has grown to the batch footprint once, subsequent
+    /// calls of the same (or smaller) shape perform no heap allocation.
+    ///
+    /// Resolution runs **column-major** — one pass over the batch per
+    /// attribute — so the per-value domain dispatch is hoisted out of
+    /// the inner loop (the iterator is cloned once per attribute, which
+    /// is free for slice iterators); integer domains additionally take
+    /// a monomorphic fast path. This is what makes batched resolution
+    /// cheaper than per-event [`IndexedEvent::resolve_into`] calls.
+    ///
+    /// # Errors
+    ///
+    /// Returns the same domain errors as [`IndexedEvent::resolve_into`]
+    /// for ill-typed values; on error the batch is left cleared.
+    pub fn resolve_into<'a, I>(&mut self, schema: &Schema, events: I) -> Result<(), TypesError>
+    where
+        I: IntoIterator<Item = &'a Event>,
+        I::IntoIter: Clone,
+    {
+        let iter = events.into_iter();
+        let width = schema.len().max(1);
+        self.width = width;
+        self.indices.clear();
+        let n = iter.clone().count();
+        // Missing-by-default: events narrower than the schema (and the
+        // untouched tail of a width-padded empty schema) stay MISSING.
+        self.indices.resize(n * width, IndexedEvent::MISSING);
+        for (a, domain) in schema.domains().iter().enumerate() {
+            let result = match domain {
+                crate::Domain::Int { lo, hi } => {
+                    // Monomorphic integer column: two compares + one
+                    // subtraction per value, no enum dispatch.
+                    let (lo, hi) = (*lo, *hi);
+                    self.column(iter.clone(), a, |v| match v {
+                        Value::Int(x) if lo <= *x && *x <= hi => Some((x - lo) as u64),
+                        _ => None,
+                    })
+                }
+                _ => self.column(iter.clone(), a, |v| domain.try_index_of(v)),
+            };
+            if let Err(v) = result {
+                self.indices.clear();
+                let attr = schema.attribute(crate::AttrId::new(a as u32));
+                let e = domain
+                    .index_of(&v)
+                    .expect_err("column fast path rejected the value");
+                return Err(crate::event::contextualise(e, attr.name()));
+            }
+        }
+        Ok(())
+    }
+
+    /// Resolves one attribute column; returns the offending value on
+    /// the first failure (cold path — the caller builds the error).
+    fn column<'a, I>(
+        &mut self,
+        events: I,
+        a: usize,
+        mut index_of: impl FnMut(&Value) -> Option<u64>,
+    ) -> Result<(), Value>
+    where
+        I: Iterator<Item = &'a Event>,
+    {
+        let width = self.width;
+        for (i, e) in events.enumerate() {
+            if let Some(Some(v)) = e.values().get(a) {
+                match index_of(v) {
+                    Some(idx) => self.indices[i * width + a] = idx,
+                    None => return Err(v.clone()),
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Number of events in the batch (0 before the first resolution).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.indices.len().checked_div(self.width).unwrap_or(0)
+    }
+
+    /// Whether the batch holds no events.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.indices.is_empty()
+    }
+
+    /// Row width: the schema width the batch was resolved for.
+    #[must_use]
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Event `i`'s raw sentinel-encoded index row (schema order) — the
+    /// same form as [`IndexedEvent::raw`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len()`.
+    #[must_use]
+    pub fn row(&self, i: usize) -> &[u64] {
+        &self.indices[i * self.width..(i + 1) * self.width]
+    }
+
+    /// The whole row-major index arena (`len() * width()` entries) —
+    /// what block matchers stream instead of per-row slices, so one
+    /// bounds check covers an arbitrary `(event, attribute)` access.
+    #[must_use]
+    pub fn raw(&self) -> &[u64] {
+        &self.indices
     }
 }
 
@@ -202,6 +380,67 @@ mod tests {
             .build();
         let err = IndexedEvent::resolve(&s, &e).unwrap_err();
         assert!(err.to_string().contains("temperature"), "{err}");
+    }
+
+    #[test]
+    fn batch_resolves_rows_and_reuses_buffer() {
+        let s = schema();
+        let events = [
+            Event::builder(&s)
+                .value("temperature", -30)
+                .unwrap()
+                .build(),
+            Event::builder(&s).value("sky", "cloudy").unwrap().build(),
+        ];
+        let mut batch = IndexedBatch::new();
+        batch.resolve_into(&s, events.iter()).unwrap();
+        assert_eq!(batch.len(), 2);
+        assert_eq!(batch.width(), 2);
+        assert_eq!(batch.row(0), &[0, IndexedEvent::MISSING]);
+        assert_eq!(batch.row(1), &[IndexedEvent::MISSING, 1]);
+        // Rows agree with the single-event resolution.
+        for (i, e) in events.iter().enumerate() {
+            let single = IndexedEvent::resolve(&s, e).unwrap();
+            assert_eq!(batch.row(i), single.raw());
+        }
+        let cap = batch.indices.capacity();
+        batch.resolve_into(&s, events.iter()).unwrap();
+        assert_eq!(batch.indices.capacity(), cap, "no reallocation on reuse");
+        assert!(!batch.is_empty());
+    }
+
+    #[test]
+    fn batch_error_leaves_batch_cleared() {
+        let s = schema();
+        let wide = Schema::builder()
+            .attribute("temperature", Domain::int(-1000, 1000))
+            .unwrap()
+            .build();
+        let bad = Event::builder(&wide)
+            .value("temperature", 500)
+            .unwrap()
+            .build();
+        let good = Event::builder(&s).value("temperature", 0).unwrap().build();
+        let mut batch = IndexedBatch::new();
+        let err = batch.resolve_into(&s, [&good, &bad]).unwrap_err();
+        assert!(err.to_string().contains("temperature"), "{err}");
+        assert!(batch.is_empty());
+    }
+
+    #[test]
+    fn unresolved_batch_is_empty_not_panicking() {
+        let b = IndexedBatch::new();
+        assert_eq!(b.len(), 0);
+        assert!(b.is_empty());
+        assert!(b.raw().is_empty());
+    }
+
+    #[test]
+    fn copy_from_raw_overwrites() {
+        let mut ix = IndexedEvent::from_indices(vec![Some(1), Some(2), Some(3)]);
+        ix.copy_from_raw(&[7, IndexedEvent::MISSING]);
+        assert_eq!(ix.raw(), &[7, IndexedEvent::MISSING]);
+        assert_eq!(ix.get(AttrId::new(1)), None);
     }
 
     #[test]

@@ -62,7 +62,7 @@ pub use attribute::{AttrId, Attribute, Schema, SchemaBuilder};
 pub use domain::{Categories, Domain};
 pub use error::TypesError;
 pub use event::{Event, EventBuilder};
-pub use indexed::IndexedEvent;
+pub use indexed::{IndexedBatch, IndexedEvent};
 pub use interval::{IndexInterval, IntervalSet};
 pub use predicate::{Operator, Predicate};
 pub use profile::{Profile, ProfileBuilder, ProfileId, ProfileSet};

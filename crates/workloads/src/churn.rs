@@ -9,7 +9,7 @@
 //! read path and overlay compaction can be exercised (and oracled)
 //! reproducibly from tests and benchmarks.
 
-use ens_types::{Event, Profile, Schema};
+use ens_types::{Event, Predicate, Profile, ProfileSet, Schema};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -104,6 +104,52 @@ fn sample_profile<R: Rng + ?Sized>(rng: &mut R) -> Result<Profile, WorkloadError
     let ps = environmental_profiles(1, rng)?;
     let profile = ps.iter().next().expect("one profile requested").clone();
     Ok(profile)
+}
+
+/// Standardised warning levels the alert-churn population draws from
+/// (temperature °C, radiation index, humidity %).
+const ALERT_TEMPERATURE_LEVELS: [i64; 5] = [36, 38, 40, 42, 44];
+const ALERT_RADIATION_LEVELS: [i64; 4] = [80, 85, 90, 95];
+const ALERT_HUMIDITY_LEVELS: [i64; 4] = [88, 91, 94, 97];
+
+/// The churning-subscription population: short-lived **alert**
+/// profiles watching rare conditions at standardised warning levels
+/// (every profile demands extreme temperature, most add extreme
+/// radiation and/or humidity).
+///
+/// This is the overlay-heavy regime of a long-running service — users
+/// subscribing to flash warnings and dropping them again — and the
+/// workload the `overlay_depth` throughput section measures the
+/// counting-index overlay against the naive side-matcher on. The
+/// standardised levels keep the per-attribute posting index shallow
+/// (few distinct cut points) while the profiles stay selective, both
+/// typical of alerting populations.
+///
+/// # Errors
+///
+/// Propagates data-model errors.
+pub fn alert_churn_profiles<R: Rng + ?Sized>(
+    p: usize,
+    rng: &mut R,
+) -> Result<ProfileSet, WorkloadError> {
+    let schema = environmental_schema();
+    let mut ps = ProfileSet::new(&schema);
+    for _ in 0..p {
+        let t = ALERT_TEMPERATURE_LEVELS[rng.gen_range(0..ALERT_TEMPERATURE_LEVELS.len())];
+        ps.insert_with(|mut b| {
+            b = b.predicate("temperature", Predicate::ge(t))?;
+            if rng.gen_bool(0.6) {
+                let r = ALERT_RADIATION_LEVELS[rng.gen_range(0..ALERT_RADIATION_LEVELS.len())];
+                b = b.predicate("radiation", Predicate::ge(r))?;
+            }
+            if rng.gen_bool(0.4) {
+                let h = ALERT_HUMIDITY_LEVELS[rng.gen_range(0..ALERT_HUMIDITY_LEVELS.len())];
+                b = b.predicate("humidity", Predicate::ge(h))?;
+            }
+            Ok(b)
+        })?;
+    }
+    Ok(ps)
 }
 
 #[cfg(test)]

@@ -37,7 +37,7 @@ mod figures;
 mod generator;
 pub mod scenario;
 
-pub use churn::{churn_burst_plan, ChurnOp, ChurnPlan};
+pub use churn::{alert_churn_profiles, churn_burst_plan, ChurnOp, ChurnPlan};
 pub use drift::{hot_band_migration, DriftWorkload};
 pub use error::WorkloadError;
 pub use experiments::{

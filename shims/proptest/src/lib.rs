@@ -74,6 +74,32 @@ pub mod option {
             }
         }
     }
+
+    /// Generates `Some` with the given probability (`None` otherwise).
+    pub fn weighted<S: Strategy>(probability_of_some: f64, inner: S) -> WeightedStrategy<S> {
+        WeightedStrategy {
+            inner,
+            p: probability_of_some,
+        }
+    }
+
+    /// See [`weighted`].
+    #[derive(Debug, Clone)]
+    pub struct WeightedStrategy<S> {
+        inner: S,
+        p: f64,
+    }
+
+    impl<S: Strategy> Strategy for WeightedStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            if rng.gen_unit_f64() < self.p {
+                Some(self.inner.generate(rng))
+            } else {
+                None
+            }
+        }
+    }
 }
 
 /// Run-time configuration for a `proptest!` block.
