@@ -36,6 +36,7 @@ use std::sync::Arc;
 
 use ens_types::{AttrId, Event, IndexedBatch, IndexedEvent, ProfileId, Schema};
 
+use crate::persist::{ByteReader, ByteWriter, PersistError};
 use crate::scratch::{BlockScratch, MatchScratch, Matcher};
 use crate::tree::{NodeRef, ProfileTree, Star};
 use crate::FilterError;
@@ -769,6 +770,226 @@ fn freeze(
         leaf_off,
         leaf_profiles,
         root: PTarget::pack(root),
+    }
+}
+
+impl Dfsa {
+    /// Appends the automaton arenas in the dense binary checkpoint
+    /// form. The schema is *not* written — it travels with the profile
+    /// tree of the same snapshot and is passed back to
+    /// [`Dfsa::decode_from`], so a checkpoint stores it exactly once.
+    /// The leaf arena is likewise stored as references into `tree`'s
+    /// leaves whenever the lists agree (see below), which halves the
+    /// dominant leaf bytes of a snapshot.
+    pub(crate) fn encode_into(&self, w: &mut ByteWriter, tree: &ProfileTree) {
+        // Column-oriented: each `StateMeta` field becomes one packed
+        // array. Per-state offsets are monotone and the rest are small
+        // or repetitive, so the zig-zag deltas compress the 42-byte
+        // row-form to a few bytes per state.
+        let states = &self.states;
+        w.seq_len(states.len());
+        let col_u32 = |w: &mut ByteWriter, f: &dyn Fn(&StateMeta) -> u32| {
+            let col: Vec<u32> = states.iter().map(f).collect();
+            w.packed_u32(&col);
+        };
+        let col_u64 = |w: &mut ByteWriter, f: &dyn Fn(&StateMeta) -> u64| {
+            let col: Vec<u64> = states.iter().map(f).collect();
+            w.packed_u64(&col);
+        };
+        col_u32(w, &|s| s.attr);
+        col_u32(w, &|s| u32::from(s.shift));
+        col_u32(w, &|s| u32::from(s.jump));
+        col_u32(w, &|s| s.star.0);
+        col_u64(w, &|s| s.lo);
+        col_u64(w, &|s| s.hi);
+        col_u32(w, &|s| s.b_off);
+        col_u32(w, &|s| s.b_len);
+        col_u32(w, &|s| s.t_off);
+        col_u32(w, &|s| s.acc_off);
+        let cut_bounds: Vec<u64> = self.cuts.iter().map(|c| c.bound).collect();
+        let cut_targets: Vec<u32> = self.cuts.iter().map(|c| c.target.0).collect();
+        w.packed_u64(&cut_bounds);
+        w.packed_u32(&cut_targets);
+        let jumps: Vec<u32> = self.jumps.iter().map(|j| j.0).collect();
+        w.packed_u32(&jumps);
+        w.packed_u32(&self.accel);
+        // Leaf arena: every DFSA leaf is a sorted, deduplicated copy of
+        // a tree leaf, and the tree's leaves precede the automaton in
+        // the snapshot stream. When each list matches one of the tree's
+        // (byte-for-byte — the normal case, since tree leaves are built
+        // sorted), store a single position per leaf instead of
+        // repeating millions of profile ids; the decoder replays the
+        // references against [`ProfileTree::leaf_slices`].
+        let tree_leaves = tree.leaf_slices();
+        let mut by_content: std::collections::HashMap<&[ProfileId], u32> =
+            std::collections::HashMap::with_capacity(tree_leaves.len());
+        for (i, s) in tree_leaves.iter().enumerate() {
+            by_content.entry(s).or_insert(i as u32);
+        }
+        let refs: Option<Vec<u32>> = self
+            .leaf_off
+            .windows(2)
+            .map(|lh| {
+                let list = &self.leaf_profiles[lh[0] as usize..lh[1] as usize];
+                by_content.get(list).copied()
+            })
+            .collect();
+        match refs {
+            Some(refs) => {
+                w.u8(1);
+                w.packed_u32(&refs);
+            }
+            None => {
+                // Some leaf was deduplicated away from its tree form:
+                // fall back to the verbatim arena.
+                w.u8(0);
+                w.packed_u32(&self.leaf_off);
+                let leaf_profiles: Vec<u32> = self
+                    .leaf_profiles
+                    .iter()
+                    .map(|p| p.index() as u32)
+                    .collect();
+                w.packed_u32(&leaf_profiles);
+            }
+        }
+        w.u32(self.root.0);
+    }
+
+    /// Decodes an automaton written by [`Dfsa::encode_into`], rebinding
+    /// it to the given schema. `tree` must be the profile tree decoded
+    /// from the same snapshot — leaf references resolve against it.
+    pub(crate) fn decode_from(
+        r: &mut ByteReader<'_>,
+        schema: Arc<Schema>,
+        tree: &ProfileTree,
+    ) -> Result<Self, PersistError> {
+        let n_states = r.seq_len(10)?;
+        let column = |r: &mut ByteReader<'_>, n: usize, what: &str| {
+            let col = r.vec_u32_packed()?;
+            if col.len() != n {
+                return Err(PersistError::new(format!(
+                    "state column {what} has {} entries, expected {n}",
+                    col.len()
+                )));
+            }
+            Ok(col)
+        };
+        let column64 = |r: &mut ByteReader<'_>, n: usize, what: &str| {
+            let col = r.vec_u64_packed()?;
+            if col.len() != n {
+                return Err(PersistError::new(format!(
+                    "state column {what} has {} entries, expected {n}",
+                    col.len()
+                )));
+            }
+            Ok(col)
+        };
+        let attr = column(r, n_states, "attr")?;
+        let shift = column(r, n_states, "shift")?;
+        let jump = column(r, n_states, "jump")?;
+        let star = column(r, n_states, "star")?;
+        let lo = column64(r, n_states, "lo")?;
+        let hi = column64(r, n_states, "hi")?;
+        let b_off = column(r, n_states, "b_off")?;
+        let b_len = column(r, n_states, "b_len")?;
+        let t_off = column(r, n_states, "t_off")?;
+        let acc_off = column(r, n_states, "acc_off")?;
+        let mut states = Vec::with_capacity(n_states);
+        for i in 0..n_states {
+            let s = u8::try_from(shift[i])
+                .map_err(|_| PersistError::new(format!("state shift {} overflows u8", shift[i])))?;
+            let j = match jump[i] {
+                0 => false,
+                1 => true,
+                other => {
+                    return Err(PersistError::new(format!("invalid jump flag {other}")));
+                }
+            };
+            states.push(StateMeta {
+                attr: attr[i],
+                shift: s,
+                jump: j,
+                star: PTarget(star[i]),
+                lo: lo[i],
+                hi: hi[i],
+                b_off: b_off[i],
+                b_len: b_len[i],
+                t_off: t_off[i],
+                acc_off: acc_off[i],
+            });
+        }
+        let cut_bounds = r.vec_u64_packed()?;
+        let cut_targets = r.vec_u32_packed()?;
+        if cut_bounds.len() != cut_targets.len() {
+            return Err(PersistError::new(format!(
+                "cut columns disagree: {} bounds, {} targets",
+                cut_bounds.len(),
+                cut_targets.len()
+            )));
+        }
+        let cuts = cut_bounds
+            .into_iter()
+            .zip(cut_targets)
+            .map(|(bound, target)| Cut {
+                bound,
+                target: PTarget(target),
+            })
+            .collect();
+        let jumps = r.vec_u32_packed()?.into_iter().map(PTarget).collect();
+        let accel = r.vec_u32_packed()?;
+        let (leaf_off, leaf_profiles) = match r.u8()? {
+            1 => {
+                // Referenced form: rebuild the arena by copying the
+                // referenced tree leaves (a memcpy per leaf).
+                let refs = r.vec_u32_packed()?;
+                let tree_leaves = tree.leaf_slices();
+                let mut off: Vec<u32> = Vec::with_capacity(refs.len() + 1);
+                off.push(0);
+                let total: usize = refs
+                    .iter()
+                    .map(|&rf| {
+                        tree_leaves
+                            .get(rf as usize)
+                            .map(|s| s.len())
+                            .ok_or_else(|| {
+                                PersistError::new(format!("leaf reference {rf} out of range"))
+                            })
+                    })
+                    .sum::<Result<usize, PersistError>>()?;
+                if u32::try_from(total).is_err() {
+                    return Err(PersistError::new("leaf arena exceeds u32 offsets"));
+                }
+                let mut arena: Vec<ProfileId> = Vec::with_capacity(total);
+                for &rf in &refs {
+                    arena.extend_from_slice(tree_leaves[rf as usize]);
+                    off.push(arena.len() as u32);
+                }
+                (off, arena)
+            }
+            0 => {
+                let leaf_off = r.vec_u32_packed()?;
+                let leaf_profiles = r
+                    .vec_u32_packed()?
+                    .into_iter()
+                    .map(ProfileId::new)
+                    .collect();
+                (leaf_off, leaf_profiles)
+            }
+            tag => {
+                return Err(PersistError::new(format!("unknown leaf arena tag {tag}")));
+            }
+        };
+        let root = PTarget(r.u32()?);
+        Ok(Dfsa {
+            schema,
+            states,
+            cuts,
+            jumps,
+            accel,
+            leaf_off,
+            leaf_profiles,
+            root,
+        })
     }
 }
 

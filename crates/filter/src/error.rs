@@ -32,6 +32,11 @@ pub enum FilterError {
         /// Maximum supported by the exact search.
         max: usize,
     },
+    /// Persisted filter state could not be encoded or decoded.
+    Persist {
+        /// Human-readable description of the failure.
+        message: String,
+    },
 }
 
 impl fmt::Display for FilterError {
@@ -53,6 +58,9 @@ impl fmt::Display for FilterError {
                 f,
                 "exact A3 ordering supports at most {max} attributes, got {n}"
             ),
+            FilterError::Persist { message } => {
+                write!(f, "persisted filter state is invalid: {message}")
+            }
         }
     }
 }

@@ -72,6 +72,7 @@ mod dfsa;
 mod error;
 mod order;
 mod overlay;
+pub mod persist;
 mod rebuild;
 mod scratch;
 mod selectivity;
@@ -89,6 +90,7 @@ pub use order::{
     binary_hit_cost, binary_miss_cost, Direction, NodeOrdering, SearchStrategy, ValueOrder,
 };
 pub use overlay::OverlayIndex;
+pub use persist::PersistError;
 pub use rebuild::{DriftTracker, RebuildPolicy};
 pub use scratch::{BlockScratch, MatchScratch, Matcher};
 pub use selectivity::{

@@ -32,6 +32,7 @@
 
 use ens_types::{IndexedEvent, ProfileId, ProfileSet};
 
+use crate::persist::{ByteReader, ByteWriter, PersistError};
 use crate::scratch::{MatchScratch, Matcher};
 use crate::FilterError;
 
@@ -231,6 +232,47 @@ impl Matcher for OverlayIndex {
         scratch.profiles.extend_from_slice(&self.unconditional);
         // Completions arrive in posting order, not id order.
         scratch.profiles.sort_unstable();
+    }
+}
+
+impl OverlayIndex {
+    /// Appends the posting-list arenas in the dense binary form.
+    pub(crate) fn encode(&self, w: &mut ByteWriter) {
+        w.seq_len(self.attrs.len());
+        for a in &self.attrs {
+            w.slice_u64(&a.bounds);
+            w.slice_u32(&a.off);
+            w.slice_u32(&a.postings);
+        }
+        w.slice_u32(&self.required);
+        w.seq_len(self.unconditional.len());
+        for p in &self.unconditional {
+            w.u32(p.index() as u32);
+        }
+    }
+
+    /// Decodes an index written by [`OverlayIndex::encode`].
+    pub(crate) fn decode(r: &mut ByteReader<'_>) -> Result<Self, PersistError> {
+        let n_attrs = r.seq_len(12)?;
+        let mut attrs = Vec::with_capacity(n_attrs);
+        for _ in 0..n_attrs {
+            attrs.push(AttrPostings {
+                bounds: r.vec_u64()?,
+                off: r.vec_u32()?,
+                postings: r.vec_u32()?,
+            });
+        }
+        let required = r.vec_u32()?;
+        let n = r.seq_len(4)?;
+        let mut unconditional = Vec::with_capacity(n);
+        for _ in 0..n {
+            unconditional.push(ProfileId::new(r.u32()?));
+        }
+        Ok(OverlayIndex {
+            attrs,
+            required,
+            unconditional,
+        })
     }
 }
 

@@ -10,6 +10,8 @@
 use ens_types::{AttrId, Domain, IndexInterval, Profile, ProfileId, TypesError};
 use serde::{Deserialize, Serialize};
 
+use crate::persist::{self, ByteReader, ByteWriter, PersistError};
+
 /// One elementary subrange of an attribute's domain.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Cell {
@@ -263,6 +265,74 @@ impl AttributePartition {
             }
         }
         lo
+    }
+}
+
+impl AttributePartition {
+    /// Appends the partition in the dense binary checkpoint form.
+    ///
+    /// Hand-rolled instead of riding the serde `Value` codec: at 1M
+    /// profiles the cell posting lists are the bulk of a checkpoint.
+    /// Cells tile the domain contiguously, so only each cell's width is
+    /// stored; a covering profile spans a run of adjacent cells, so the
+    /// per-cell lists are diff-coded against their left neighbour (each
+    /// profile then costs one "added" and one "removed" entry per run
+    /// instead of one entry per covered cell).
+    pub(crate) fn encode(&self, w: &mut ByteWriter) {
+        w.u32(self.attr.index() as u32);
+        w.u64(self.domain_size);
+        w.seq_len(self.cells.len());
+        w.vu64(self.cells.first().map_or(0, |c| c.interval.lo()));
+        let mut bound = 0u64;
+        let mut prev: Vec<ProfileId> = Vec::new();
+        for cell in &self.cells {
+            debug_assert!(
+                bound == 0 || cell.interval.lo() == bound,
+                "partition cells must tile the domain"
+            );
+            w.vu64(cell.interval.hi() - cell.interval.lo());
+            bound = cell.interval.hi();
+            persist::write_id_diff(w, &mut prev, &cell.profiles);
+        }
+        w.packed_u32(
+            &self
+                .dont_care
+                .iter()
+                .map(|p| p.index() as u32)
+                .collect::<Vec<_>>(),
+        );
+    }
+
+    /// Decodes a partition written by [`AttributePartition::encode`].
+    pub(crate) fn decode(r: &mut ByteReader<'_>) -> Result<Self, PersistError> {
+        let attr = AttrId::new(r.u32()?);
+        let domain_size = r.u64()?;
+        let n_cells = r.seq_len(3)?;
+        let mut bound = r.vu64()?;
+        let mut prev: Vec<ProfileId> = Vec::new();
+        let mut cells = Vec::with_capacity(n_cells);
+        for _ in 0..n_cells {
+            let hi = bound
+                .checked_add(r.vu64()?)
+                .ok_or_else(|| PersistError::new("cell interval overflows u64"))?;
+            let interval = IndexInterval::new(bound, hi);
+            bound = hi;
+            cells.push(Cell {
+                interval,
+                profiles: persist::read_id_diff(r, &mut prev)?,
+            });
+        }
+        let dont_care = r
+            .vec_u32_packed()?
+            .into_iter()
+            .map(ProfileId::new)
+            .collect();
+        Ok(AttributePartition {
+            attr,
+            domain_size,
+            cells,
+            dont_care,
+        })
     }
 }
 

@@ -20,6 +20,7 @@ use ens_types::{AttrId, Event, IndexInterval, IndexedEvent, ProfileId, ProfileSe
 use serde::{Deserialize, Serialize};
 
 use crate::order::{NodeOrdering, SearchStrategy};
+use crate::persist::{self, ByteReader, ByteWriter, PersistError};
 use crate::scratch::{MatchScratch, Matcher};
 use crate::selectivity::AttributeMeasure;
 use crate::subrange::AttributePartition;
@@ -777,6 +778,265 @@ impl TreeBuilder<'_> {
             ordering,
             star,
         })))
+    }
+}
+
+/// Depth limit for decoded tree nodes. A well-formed tree is at most
+/// one level per schema attribute; anything deeper is corrupt input.
+const MAX_TREE_DEPTH: usize = 4096;
+
+impl ProfileTree {
+    /// Appends the tree in the binary checkpoint form: schema, config
+    /// and marginals through the serde codec, partitions and the node
+    /// structure hand-rolled (they dominate the payload at scale).
+    pub(crate) fn encode(&self, w: &mut ByteWriter) {
+        w.serde(self.schema.as_ref());
+        w.serde(&self.config);
+        w.serde(&self.attribute_order);
+        w.seq_len(self.partitions.len());
+        for p in &self.partitions {
+            p.encode(w);
+        }
+        match &self.marginals {
+            None => w.bool(false),
+            Some(m) => {
+                w.bool(true);
+                w.serde(m);
+            }
+        }
+        w.u64(self.profile_count as u64);
+        let ctx = OrderCtx {
+            schema: &self.schema,
+            strategy: self.config.search,
+            early_termination: !self.config.disable_early_termination,
+        };
+        let mut prev: Vec<ProfileId> = Vec::new();
+        encode_node(&self.root, w, &ctx, &mut prev);
+    }
+
+    /// Every leaf's profile list in a fixed depth-first order (star
+    /// child before the specific edges). Both sides of the snapshot
+    /// codec enumerate leaves through this, so the [`Dfsa`] section
+    /// can reference tree leaves by position instead of repeating
+    /// their id lists.
+    ///
+    /// [`Dfsa`]: crate::dfsa::Dfsa
+    pub(crate) fn leaf_slices(&self) -> Vec<&[ProfileId]> {
+        fn walk<'t>(n: &'t NodeRef, out: &mut Vec<&'t [ProfileId]>) {
+            match n {
+                NodeRef::Leaf(ids) => out.push(ids),
+                NodeRef::Inner(node) => {
+                    match &node.star {
+                        Star::All(c) | Star::Else(c) => walk(c, out),
+                        Star::None => {}
+                    }
+                    for e in &node.edges {
+                        walk(&e.child, out);
+                    }
+                }
+            }
+        }
+        let mut out = Vec::new();
+        walk(&self.root, &mut out);
+        out
+    }
+
+    /// Decodes a tree written by [`ProfileTree::encode`].
+    pub(crate) fn decode(r: &mut ByteReader<'_>) -> Result<Self, PersistError> {
+        let schema: Schema = r.serde()?;
+        let config: TreeConfig = r.serde()?;
+        let attribute_order: Vec<AttrId> = r.serde()?;
+        let n_parts = r.seq_len(12)?;
+        let mut partitions = Vec::with_capacity(n_parts);
+        for _ in 0..n_parts {
+            partitions.push(AttributePartition::decode(r)?);
+        }
+        let marginals = if r.bool()? {
+            Some(r.serde::<Vec<DistOverDomain>>()?)
+        } else {
+            None
+        };
+        let profile_count = r.u64()? as usize;
+        let ctx = OrderCtx {
+            schema: &schema,
+            strategy: config.search,
+            early_termination: !config.disable_early_termination,
+        };
+        let mut prev: Vec<ProfileId> = Vec::new();
+        let root = decode_node(r, 0, &ctx, &mut prev)?;
+        Ok(ProfileTree {
+            schema: Arc::new(schema),
+            config,
+            attribute_order,
+            partitions,
+            marginals,
+            root,
+            profile_count,
+        })
+    }
+}
+
+/// Context a node codec needs to re-derive scan orderings: the
+/// probability-free strategies (natural-order linear, binary,
+/// interpolation, hash) compute `visit`/`hit_cost`/`miss_cost` from
+/// the edge intervals alone, so checkpoints omit the arrays — the
+/// bulk of the serialized tree — whenever the stored ordering equals
+/// that derivation.
+struct OrderCtx<'a> {
+    schema: &'a Schema,
+    strategy: SearchStrategy,
+    early_termination: bool,
+}
+
+impl OrderCtx<'_> {
+    /// The ordering the decoder can reconstruct without persisted
+    /// probabilities (both marginals set to zero). Matches the build
+    /// exactly for every strategy whose keys ignore probability mass.
+    fn derive(&self, attr: AttrId, intervals: &[IndexInterval]) -> NodeOrdering {
+        let m = intervals.len();
+        if m == 0 {
+            // Edge-less `*` nodes are hand-built with a zero miss cost
+            // (the star edge always passes), bypassing the ordering
+            // computation and the early-termination ablation.
+            return NodeOrdering {
+                visit: Vec::new(),
+                hit_cost: Vec::new(),
+                miss_cost: vec![0],
+            };
+        }
+        let zeros = vec![0.0; m];
+        let gap_zeros = vec![0.0; m + 1];
+        let domain_size = self.schema.attribute(attr).domain().size();
+        let mut ordering = NodeOrdering::compute_with_geometry(
+            self.strategy,
+            &zeros,
+            &zeros,
+            &gap_zeros,
+            intervals,
+            domain_size,
+        );
+        if !self.early_termination && matches!(self.strategy, SearchStrategy::Linear(_)) {
+            let full = m.max(1) as u32;
+            for mc in &mut ordering.miss_cost {
+                *mc = full;
+            }
+        }
+        ordering
+    }
+}
+
+/// Encodes one node. `prev` carries the previously written leaf's
+/// profile list across the depth-first walk: don't-care profiles are
+/// replicated into every leaf below the node that splits them off, so
+/// adjacent leaves in DFS order overlap almost entirely and a leaf is
+/// stored as its symmetric difference against the predecessor (~20×
+/// fewer ids than the verbatim lists at checkpoint scale).
+fn encode_node(node: &NodeRef, w: &mut ByteWriter, ctx: &OrderCtx<'_>, prev: &mut Vec<ProfileId>) {
+    match node {
+        NodeRef::Leaf(profiles) => {
+            w.u8(0);
+            persist::write_id_diff(w, prev, profiles);
+        }
+        NodeRef::Inner(node) => {
+            w.u8(1);
+            w.vu32(node.attr.index() as u32);
+            w.seq_len(node.edges.len());
+            for edge in &node.edges {
+                // Edge intervals are cell indices with `hi >= lo`, so
+                // both land in a byte or two as varints.
+                w.vu64(edge.interval.lo());
+                w.vu64(edge.interval.hi() - edge.interval.lo());
+            }
+            let intervals: Vec<IndexInterval> = node.edges.iter().map(|e| e.interval).collect();
+            let derived = ctx.derive(node.attr, &intervals);
+            if derived == node.ordering {
+                w.u8(0);
+            } else {
+                w.u8(1);
+                w.packed_u32(&node.ordering.visit);
+                w.packed_u32(&node.ordering.hit_cost);
+                w.packed_u32(&node.ordering.miss_cost);
+            }
+            match &node.star {
+                Star::None => w.u8(0),
+                Star::All(child) => {
+                    w.u8(1);
+                    encode_node(child, w, ctx, prev);
+                }
+                Star::Else(child) => {
+                    w.u8(2);
+                    encode_node(child, w, ctx, prev);
+                }
+            }
+            for edge in &node.edges {
+                encode_node(&edge.child, w, ctx, prev);
+            }
+        }
+    }
+}
+
+fn decode_node(
+    r: &mut ByteReader<'_>,
+    depth: usize,
+    ctx: &OrderCtx<'_>,
+    prev: &mut Vec<ProfileId>,
+) -> Result<NodeRef, PersistError> {
+    if depth > MAX_TREE_DEPTH {
+        return Err(PersistError::new("profile tree nested too deeply"));
+    }
+    match r.u8()? {
+        0 => Ok(NodeRef::Leaf(persist::read_id_diff(r, prev)?)),
+        1 => {
+            let attr = AttrId::new(r.vu32()?);
+            if attr.index() >= ctx.schema.len() {
+                return Err(PersistError::new(format!(
+                    "node attribute {} out of schema range",
+                    attr.index()
+                )));
+            }
+            let n_edges = r.seq_len(2)?;
+            let mut intervals = Vec::with_capacity(n_edges);
+            for _ in 0..n_edges {
+                let lo = r.vu64()?;
+                let hi = lo
+                    .checked_add(r.vu64()?)
+                    .ok_or_else(|| PersistError::new("edge interval overflows u64"))?;
+                intervals.push(IndexInterval::new(lo, hi));
+            }
+            let ordering = match r.u8()? {
+                0 => ctx.derive(attr, &intervals),
+                1 => NodeOrdering {
+                    visit: r.vec_u32_packed()?,
+                    hit_cost: r.vec_u32_packed()?,
+                    miss_cost: r.vec_u32_packed()?,
+                },
+                tag => {
+                    return Err(PersistError::new(format!("unknown ordering tag {tag}")));
+                }
+            };
+            let star = match r.u8()? {
+                0 => Star::None,
+                1 => Star::All(Box::new(decode_node(r, depth + 1, ctx, prev)?)),
+                2 => Star::Else(Box::new(decode_node(r, depth + 1, ctx, prev)?)),
+                tag => {
+                    return Err(PersistError::new(format!("unknown star tag {tag}")));
+                }
+            };
+            let mut edges = Vec::with_capacity(n_edges);
+            for interval in intervals {
+                edges.push(Edge {
+                    interval,
+                    child: decode_node(r, depth + 1, ctx, prev)?,
+                });
+            }
+            Ok(NodeRef::Inner(Box::new(Node {
+                attr,
+                edges,
+                ordering,
+                star,
+            })))
+        }
+        tag => Err(PersistError::new(format!("unknown node tag {tag}"))),
     }
 }
 

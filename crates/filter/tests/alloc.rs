@@ -9,7 +9,10 @@ use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use ens_filter::baseline::{CountingMatcher, NaiveMatcher};
-use ens_filter::{BlockScratch, Dfsa, MatchScratch, Matcher, ProfileTree, TreeConfig};
+use ens_filter::{
+    BlockScratch, Dfsa, FilterSnapshot, MatchScratch, Matcher, ProfileTree, SnapshotBlockScratch,
+    SnapshotScratch, TreeConfig,
+};
 use ens_types::{Domain, Event, IndexedBatch, IndexedEvent, Predicate, ProfileSet, Schema};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -233,6 +236,79 @@ fn warm_fast_paths_allocate_nothing() {
                 "{name}: warm match_event spent {allocated} allocations \
                  over {n} events (budget {budget} — the result itself)"
             );
+        }
+    }
+
+    // A checkpoint-reloaded snapshot is a first-class matcher: after
+    // the serde round trip (overlay and tombstones included) and one
+    // warm-up pass, its per-event and block paths — tree and DFSA
+    // dispatch both — must match the original allocation-for-
+    // allocation: zero.
+    {
+        let overlay: ProfileSet = {
+            let mut ov = ProfileSet::new(&schema);
+            for p in ps.iter().take(8) {
+                ov.insert(p.clone());
+            }
+            ov
+        };
+        let removed: Vec<bool> = (0..ps.len()).map(|k| k % 7 == 0).collect();
+        let original = FilterSnapshot::compile(&ps, &TreeConfig::default())
+            .unwrap()
+            .with_overlay(&overlay)
+            .unwrap()
+            .with_removed(removed);
+        let reloaded = FilterSnapshot::from_bytes(&original.to_bytes()).unwrap();
+
+        for (name, snap) in [("original", &original), ("reloaded", &reloaded)] {
+            for use_dfsa in [false, true] {
+                let mut indexed = IndexedEvent::new();
+                let mut scratch = SnapshotScratch::new();
+                let mut run = |check: &mut u64| {
+                    for e in &events {
+                        indexed.resolve_into(&schema, e).unwrap();
+                        snap.match_into(&indexed, &mut scratch, use_dfsa);
+                        *check += scratch.matched().len() as u64;
+                    }
+                };
+                let mut warm = 0u64;
+                run(&mut warm);
+                let before = allocations();
+                let mut hot = 0u64;
+                run(&mut hot);
+                let allocated = allocations() - before;
+                assert_eq!(
+                    allocated, 0,
+                    "{name} snapshot (dfsa={use_dfsa}): warm match_into \
+                     loop performed {allocated} heap allocations"
+                );
+                assert_eq!(warm, hot, "{name} snapshot: passes disagree");
+                assert!(hot > 0, "{name} snapshot: workload should match");
+
+                let mut batch = IndexedBatch::new();
+                let mut block = SnapshotBlockScratch::new();
+                let mut run_block = |check: &mut u64| {
+                    for chunk in events.chunks(64) {
+                        batch.resolve_into(&schema, chunk.iter()).unwrap();
+                        snap.match_block(&batch, &mut block, use_dfsa);
+                        for i in 0..chunk.len() {
+                            *check += block.matched_of(i).len() as u64;
+                        }
+                    }
+                };
+                let mut warm = 0u64;
+                run_block(&mut warm);
+                let before = allocations();
+                let mut hot = 0u64;
+                run_block(&mut hot);
+                let allocated = allocations() - before;
+                assert_eq!(
+                    allocated, 0,
+                    "{name} snapshot (dfsa={use_dfsa}): warm match_block \
+                     loop performed {allocated} heap allocations"
+                );
+                assert_eq!(warm, hot, "{name} snapshot block: passes disagree");
+            }
         }
     }
 

@@ -1,0 +1,244 @@
+//! Serde round-trip properties for [`FilterSnapshot`] persistence.
+//!
+//! A checkpointed snapshot must deserialize into a matcher that is
+//! *observably identical* — same matches, on both the tree and DFSA
+//! paths, per event and per block — to the snapshot that was
+//! serialized, including its overlay entries and tombstones, and to a
+//! fresh `compile` of the same live profiles. Corrupt bytes must be
+//! rejected, never half-loaded.
+
+use ens_dist::{Density, DistOverDomain, JointDist};
+use ens_filter::{
+    Direction, FilterSnapshot, SearchStrategy, SnapshotBlockScratch, SnapshotScratch, TreeConfig,
+    ValueOrder,
+};
+use ens_types::{
+    Domain, Event, IndexedBatch, IndexedEvent, Predicate, Profile, ProfileId, ProfileSet, Schema,
+};
+use proptest::prelude::*;
+
+const DX: i64 = 24;
+const DY: i64 = 5_000;
+
+fn schema2() -> Schema {
+    Schema::builder()
+        .attribute("x", Domain::int(0, DX - 1))
+        .unwrap()
+        .attribute("y", Domain::int(0, DY - 1))
+        .unwrap()
+        .build()
+}
+
+fn arb_predicate_for(hi: i64) -> impl Strategy<Value = Predicate> {
+    let v = 0..hi;
+    prop_oneof![
+        Just(Predicate::DontCare),
+        v.clone().prop_map(Predicate::eq),
+        v.clone().prop_map(Predicate::le),
+        v.clone().prop_map(Predicate::ge),
+        (v.clone(), v.clone()).prop_map(|(a, b)| Predicate::between(a.min(b), a.max(b))),
+        prop::collection::vec(v, 1..4).prop_map(Predicate::in_set),
+    ]
+}
+
+fn profile_set(schema: &Schema, preds: Vec<(Predicate, Predicate)>) -> ProfileSet {
+    let mut ps = ProfileSet::new(schema);
+    for (px, py) in preds {
+        let profile = Profile::from_predicates(schema, ProfileId::new(0), vec![px, py]).unwrap();
+        ps.insert(profile);
+    }
+    ps
+}
+
+fn arb_pred_pairs(max: usize) -> impl Strategy<Value = Vec<(Predicate, Predicate)>> {
+    prop::collection::vec((arb_predicate_for(DX), arb_predicate_for(DY)), 1..max)
+}
+
+/// One of the tree configurations worth persisting: the default, and a
+/// distribution-tuned one exercising `event_model` + weights (whose
+/// floats must survive bit-exactly).
+fn config_for(variant: u8, base_len: usize) -> TreeConfig {
+    if variant == 0 {
+        TreeConfig::default()
+    } else {
+        let dx = DistOverDomain::new(Density::peak(0.3, 0.2, 0.7).unwrap(), DX as u64);
+        let dy = DistOverDomain::new(Density::Uniform, DY as u64);
+        TreeConfig {
+            search: SearchStrategy::Linear(ValueOrder::EventProb(Direction::Descending)),
+            event_model: Some(JointDist::independent(vec![dx, dy]).unwrap()),
+            profile_weights: Some((0..base_len).map(|k| 1.0 + k as f64 * 0.25).collect()),
+            ..TreeConfig::default()
+        }
+    }
+}
+
+/// Global-id oracle over live base + overlay profiles.
+fn oracle(base: &ProfileSet, removed: &[bool], overlay: &ProfileSet, event: &Event) -> Vec<u32> {
+    let mut want: Vec<u32> = base
+        .matches(event)
+        .unwrap()
+        .into_iter()
+        .map(|p| p.index())
+        .filter(|k| !removed.get(*k).copied().unwrap_or(false))
+        .map(|k| k as u32)
+        .collect();
+    want.extend(
+        overlay
+            .matches(event)
+            .unwrap()
+            .into_iter()
+            .map(|p| base.len() as u32 + p.index() as u32),
+    );
+    want.sort_unstable();
+    want
+}
+
+fn sorted(ids: &[u32]) -> Vec<u32> {
+    let mut v = ids.to_vec();
+    v.sort_unstable();
+    v
+}
+
+proptest! {
+    /// serialize → deserialize → match-agreement: the reloaded snapshot
+    /// matches exactly like the original and like a fresh compile of
+    /// the same live profiles, on both the tree and DFSA paths, per
+    /// event and per block — overlay entries and tombstones included.
+    #[test]
+    fn snapshot_round_trip_matches(
+        base_preds in arb_pred_pairs(12),
+        overlay_preds in arb_pred_pairs(6),
+        removed_seed in 0u64..=u64::MAX,
+        config_variant in 0u8..2,
+        events in prop::collection::vec(
+            (prop::option::of(0..DX), prop::option::of(0..DY)),
+            1..12,
+        ),
+    ) {
+        let schema = schema2();
+        let base = profile_set(&schema, base_preds);
+        let overlay = profile_set(&schema, overlay_preds);
+        let removed: Vec<bool> = (0..base.len())
+            .map(|k| (removed_seed >> (k % 64)) & 1 == 1)
+            .collect();
+        let config = config_for(config_variant, base.len());
+
+        let original = FilterSnapshot::compile(&base, &config)
+            .unwrap()
+            .with_overlay(&overlay)
+            .unwrap()
+            .with_removed(removed.clone());
+
+        let bytes = original.to_bytes();
+        let reloaded = FilterSnapshot::from_bytes(&bytes).unwrap();
+        prop_assert_eq!(reloaded.base_len(), original.base_len());
+        prop_assert_eq!(reloaded.overlay_len(), original.overlay_len());
+        prop_assert_eq!(reloaded.removed_len(), original.removed_len());
+        prop_assert_eq!(reloaded.live_len(), original.live_len());
+
+        // Serialization is deterministic: a second trip is identical.
+        prop_assert_eq!(&reloaded.to_bytes(), &bytes);
+
+        let events: Vec<Event> = events
+            .into_iter()
+            .map(|(x, y)| {
+                let mut b = Event::builder(&schema);
+                if let Some(x) = x {
+                    b = b.value("x", x).unwrap();
+                }
+                if let Some(y) = y {
+                    b = b.value("y", y).unwrap();
+                }
+                b.build()
+            })
+            .collect();
+
+        let mut scratch = SnapshotScratch::new();
+        let mut indexed = IndexedEvent::new();
+        for e in &events {
+            let want = oracle(&base, &removed, &overlay, e);
+            indexed.resolve_into(&schema, e).unwrap();
+            for use_dfsa in [false, true] {
+                original.match_into(&indexed, &mut scratch, use_dfsa);
+                prop_assert_eq!(sorted(scratch.matched()), want.clone(), "original dfsa={use_dfsa}");
+                reloaded.match_into(&indexed, &mut scratch, use_dfsa);
+                prop_assert_eq!(sorted(scratch.matched()), want.clone(), "reloaded dfsa={use_dfsa}");
+            }
+        }
+
+        // Block path, both variants, whole stream at once.
+        let mut batch = IndexedBatch::new();
+        batch.resolve_into(&schema, events.iter()).unwrap();
+        let mut block = SnapshotBlockScratch::new();
+        for use_dfsa in [false, true] {
+            reloaded.match_block(&batch, &mut block, use_dfsa);
+            for (i, e) in events.iter().enumerate() {
+                let want = oracle(&base, &removed, &overlay, e);
+                prop_assert_eq!(sorted(block.matched_of(i)), want, "block dfsa={use_dfsa} event {i}");
+            }
+        }
+
+        // The tree path still prices its comparisons after a reload
+        // (the cost-model semantics survive, not just the matches).
+        let fresh = {
+            let mut live = ProfileSet::new(&schema);
+            for p in base.iter() {
+                if !removed[p.id().index()] {
+                    live.insert(p.clone());
+                }
+            }
+            for p in overlay.iter() {
+                live.insert(p.clone());
+            }
+            live
+        };
+        // A fresh compile of the folded live set agrees on pure match
+        // *content* (ids differ: the fold renumbers), per event count.
+        if !fresh.is_empty() {
+            let folded = FilterSnapshot::compile(&fresh, &TreeConfig::default()).unwrap();
+            for e in &events {
+                let want = oracle(&base, &removed, &overlay, e);
+                indexed.resolve_into(&schema, e).unwrap();
+                folded.match_into(&indexed, &mut scratch, true);
+                prop_assert_eq!(scratch.matched().len(), want.len(), "fresh compile count");
+            }
+        }
+    }
+
+    /// Any single-byte corruption (or truncation) of a serialized
+    /// snapshot is rejected with an error — never a panic, never a
+    /// silently wrong snapshot.
+    #[test]
+    fn corrupt_snapshot_bytes_are_rejected(
+        preds in arb_pred_pairs(8),
+        flip in 0usize..4096,
+        cut in 0usize..4096,
+    ) {
+        let schema = schema2();
+        let base = profile_set(&schema, preds);
+        let snap = FilterSnapshot::compile(&base, &TreeConfig::default()).unwrap();
+        let bytes = snap.to_bytes();
+
+        let mut corrupt = bytes.clone();
+        let at = flip % corrupt.len();
+        corrupt[at] ^= 0x40;
+        prop_assert!(FilterSnapshot::from_bytes(&corrupt).is_err(), "flipped byte {at}");
+
+        let cut = cut % bytes.len();
+        prop_assert!(FilterSnapshot::from_bytes(&bytes[..cut]).is_err(), "cut at {cut}");
+    }
+}
+
+#[test]
+fn empty_base_round_trips() {
+    let schema = schema2();
+    let empty = ProfileSet::new(&schema);
+    let snap = FilterSnapshot::compile(&empty, &TreeConfig::default()).unwrap();
+    let reloaded = FilterSnapshot::from_bytes(&snap.to_bytes()).unwrap();
+    assert_eq!(reloaded.base_len(), 0);
+    let e = Event::builder(&schema).value("x", 3).unwrap().build();
+    let indexed = IndexedEvent::resolve(&schema, &e).unwrap();
+    let mut scratch = SnapshotScratch::new();
+    reloaded.match_into(&indexed, &mut scratch, true);
+    assert!(scratch.matched().is_empty());
+}

@@ -29,14 +29,16 @@
 //! the total publish order; deliveries may interleave.
 
 use std::cell::RefCell;
-use std::collections::VecDeque;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::collections::{BTreeMap, VecDeque};
+use std::io::Write;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use crossbeam::channel::{unbounded, Sender};
+use ens_dist::JointDist;
 use ens_filter::{
-    DriftTracker, FilterSnapshot, RebuildPolicy, SnapshotBlockScratch, SnapshotScratch, TreeConfig,
-    TuningPolicy,
+    AttributeOrder, DriftTracker, FilterSnapshot, RebuildPolicy, SearchStrategy,
+    SnapshotBlockScratch, SnapshotScratch, TreeConfig, TuningPolicy,
 };
 use ens_types::{
     Event, IndexedBatch, IndexedEvent, Profile, ProfileBuilder, ProfileId, ProfileSet, Schema,
@@ -46,9 +48,16 @@ use parking_lot::{Mutex, RwLock};
 
 use crate::metrics::{Metrics, MetricsSnapshot};
 use crate::notify::{Notification, Subscriber};
+use crate::persist::{
+    self, Checkpoint, CheckpointEntry, CheckpointShard, DurabilityConfig, FsyncPolicy, WalRecord,
+};
 use crate::quench::QuenchAdvice;
 use crate::subscription::SubscriptionId;
 use crate::ServiceError;
+
+fn io_persist(e: std::io::Error) -> ServiceError {
+    ServiceError::Persist(e.to_string())
+}
 
 /// Broker configuration.
 #[derive(Debug, Clone)]
@@ -393,6 +402,46 @@ struct Shard {
     writer: Mutex<ShardWriter>,
 }
 
+/// Mutable write-ahead-log state, guarded by [`Durability::wal`].
+struct WalState {
+    file: std::fs::File,
+    /// LSN the next appended record will carry (LSNs start at 1).
+    next_lsn: u64,
+    /// Records appended since the last checkpoint (drives the
+    /// automatic checkpoint trigger).
+    since_checkpoint: u64,
+}
+
+/// The broker's durability layer (present only on brokers opened with
+/// [`Broker::open`]).
+///
+/// Lock order: a shard's `writer` mutex may be held while taking the
+/// WAL mutex, never the reverse; [`Broker::write_checkpoint`] takes
+/// every writer lock in shard-index order and then the WAL lock.
+struct Durability {
+    config: DurabilityConfig,
+    wal: Mutex<WalState>,
+    /// Set when `since_checkpoint` crosses the configured interval;
+    /// consumed by [`Broker::maybe_checkpoint`] once all writer locks
+    /// are released (a WAL append happens under a writer lock, and the
+    /// checkpoint needs them all).
+    checkpoint_due: AtomicBool,
+}
+
+/// The result of opening a durable broker: the recovered state plus a
+/// fresh consumer handle for every live subscription.
+///
+/// Notification channels do not survive a crash — the recovered
+/// subscriptions are re-attached to new channels, returned here in
+/// ascending subscription-id order.
+pub struct Recovered {
+    /// The recovered broker; durability is attached and logging
+    /// resumes where the (possibly torn) log left off.
+    pub broker: Broker,
+    /// One consumer handle per live subscription, ascending by id.
+    pub subscribers: Vec<Subscriber>,
+}
+
 thread_local! {
     /// Per-thread match buffers: any number of brokers share them, so a
     /// warmed-up publisher thread allocates nothing per publish.
@@ -455,6 +504,9 @@ pub struct Broker {
     sequence: AtomicU64,
     next_sub: AtomicU64,
     metrics: Arc<Metrics>,
+    /// WAL + checkpoint state; `None` for in-memory brokers
+    /// ([`Broker::new`]), `Some` after [`Broker::open`].
+    durability: Option<Durability>,
 }
 
 impl Broker {
@@ -506,7 +558,408 @@ impl Broker {
             sequence: AtomicU64::new(0),
             next_sub: AtomicU64::new(0),
             metrics: Arc::new(Metrics::default()),
+            durability: None,
         })
+    }
+
+    /// Opens (or creates) a durable broker rooted at
+    /// [`DurabilityConfig::dir`].
+    ///
+    /// Recovery order: the checkpoint (if any) is loaded first — every
+    /// shard's compiled filter arenas, its active [`TreeConfig`]
+    /// (accepted retunes included) and its subscription entries are
+    /// restored exactly as serialized, without recompiling — then the
+    /// WAL is scanned and every record with an LSN above the
+    /// checkpoint's is replayed. A torn or corrupt log tail (the
+    /// artifact of a crash mid-append) is detected by the per-record
+    /// checksum, truncated, and logging resumes from the surviving
+    /// prefix; a checkpoint followed by a crash *before* the log was
+    /// truncated replays idempotently (records at or below the
+    /// checkpoint LSN are skipped, and a subscribe for an id that is
+    /// already live is a no-op).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServiceError::Persist`] for I/O failures, a corrupt
+    /// checkpoint, or durable state that does not belong to `schema` /
+    /// the configured shard count; propagates filter errors from
+    /// replayed operations.
+    pub fn open(
+        schema: &Schema,
+        config: BrokerConfig,
+        durability: DurabilityConfig,
+    ) -> Result<Recovered, ServiceError> {
+        std::fs::create_dir_all(&durability.dir).map_err(io_persist)?;
+        let cp_path = durability.dir.join(persist::CHECKPOINT_FILE);
+        let wal_path = durability.dir.join(persist::WAL_FILE);
+
+        let checkpoint = match std::fs::read(&cp_path) {
+            Ok(bytes) => Some(Checkpoint::from_bytes(&bytes)?),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => None,
+            Err(e) => return Err(io_persist(e)),
+        };
+        let mut subscribers: BTreeMap<u64, Subscriber> = BTreeMap::new();
+        let last_lsn = checkpoint.as_ref().map_or(0, |c| c.last_lsn);
+        let mut broker = match checkpoint {
+            Some(cp) => Self::from_checkpoint(schema, config, cp, &mut subscribers)?,
+            None => Self::new(schema, config)?,
+        };
+
+        let wal_bytes = match std::fs::read(&wal_path) {
+            Ok(bytes) => bytes,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
+            Err(e) => return Err(io_persist(e)),
+        };
+        let scan = persist::decode_wal(&wal_bytes);
+        let mut max_lsn = last_lsn;
+        let mut max_sub = None;
+        for record in scan.records {
+            max_lsn = max_lsn.max(record.lsn());
+            if record.lsn() <= last_lsn {
+                continue;
+            }
+            match record {
+                WalRecord::Subscribe {
+                    id,
+                    weight,
+                    profile,
+                    ..
+                } => {
+                    max_sub = max_sub.max(Some(id));
+                    let sid = SubscriptionId::new(id);
+                    if broker.is_live(sid) {
+                        continue;
+                    }
+                    let sub = broker.commit_subscribe(sid, profile, weight)?;
+                    subscribers.insert(id, sub);
+                }
+                WalRecord::Unsubscribe { id, .. } => {
+                    max_sub = max_sub.max(Some(id));
+                    match broker.remove_subscription(SubscriptionId::new(id)) {
+                        Ok(()) => {
+                            subscribers.remove(&id);
+                        }
+                        // A lost in-memory state change (its record was
+                        // torn off) or a replay of the checkpoint
+                        // window: already gone, nothing to undo.
+                        Err(ServiceError::UnknownSubscription(_)) => {}
+                        Err(e) => return Err(e),
+                    }
+                }
+                WalRecord::Retune {
+                    shard,
+                    attribute_order,
+                    search,
+                    event_model,
+                    ..
+                } => {
+                    broker.apply_retune(shard as usize, attribute_order, search, event_model)?;
+                }
+            }
+        }
+        // Never re-issue an id that was durably handed out.
+        let floor = max_sub.map_or(0, |id| id + 1);
+        if broker.next_sub.load(Ordering::Relaxed) < floor {
+            broker.next_sub.store(floor, Ordering::Relaxed);
+        }
+
+        let file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&wal_path)
+            .map_err(io_persist)?;
+        if scan.torn {
+            // Drop the torn tail so resumed appends extend the valid
+            // prefix instead of burying garbage mid-log.
+            file.set_len(scan.consumed as u64).map_err(io_persist)?;
+        }
+        broker.durability = Some(Durability {
+            config: durability,
+            wal: Mutex::new(WalState {
+                file,
+                next_lsn: max_lsn + 1,
+                since_checkpoint: scan.offsets.len() as u64,
+            }),
+            checkpoint_due: AtomicBool::new(false),
+        });
+        Ok(Recovered {
+            broker,
+            subscribers: subscribers.into_values().collect(),
+        })
+    }
+
+    /// Rebuilds the broker from a loaded checkpoint: no recompilation —
+    /// the serialized filter arenas are restored as-is.
+    fn from_checkpoint(
+        schema: &Schema,
+        config: BrokerConfig,
+        cp: Checkpoint,
+        subscribers: &mut BTreeMap<u64, Subscriber>,
+    ) -> Result<Self, ServiceError> {
+        if persist::schema_fingerprint(schema) != persist::schema_fingerprint(&cp.schema) {
+            return Err(ServiceError::Persist(
+                "checkpoint schema does not match the broker schema".into(),
+            ));
+        }
+        let n = config.shards.max(1);
+        if cp.shards.len() != n {
+            return Err(ServiceError::Persist(format!(
+                "checkpoint has {} shards, configuration expects {n}",
+                cp.shards.len()
+            )));
+        }
+        let mut shards = Vec::with_capacity(n);
+        for cs in cp.shards {
+            let filter = FilterSnapshot::from_bytes(&cs.filter)?;
+            if filter.base_len() != cs.base.len() || filter.overlay_len() != cs.overlay.len() {
+                return Err(ServiceError::Persist(format!(
+                    "checkpoint entries ({} base, {} overlay) do not line up \
+                     with the shard's filter snapshot ({}, {})",
+                    cs.base.len(),
+                    cs.overlay.len(),
+                    filter.base_len(),
+                    filter.overlay_len()
+                )));
+            }
+            let mut base = Vec::with_capacity(cs.base.len());
+            let mut removed = Vec::with_capacity(cs.base.len());
+            let mut removed_count = 0;
+            for e in cs.base {
+                let id = SubscriptionId::new(e.id);
+                let sender = if e.tombstoned {
+                    removed_count += 1;
+                    disconnected_sender()
+                } else {
+                    let (tx, rx) = unbounded();
+                    subscribers.insert(e.id, Subscriber::new(id, rx));
+                    tx
+                };
+                removed.push(e.tombstoned);
+                base.push(SubEntry {
+                    id,
+                    profile: e.profile,
+                    weight: e.weight,
+                    sender,
+                });
+            }
+            if filter.removed_len() != removed_count {
+                return Err(ServiceError::Persist(format!(
+                    "checkpoint tombstones ({removed_count}) do not line up \
+                     with the shard's filter snapshot ({})",
+                    filter.removed_len()
+                )));
+            }
+            let mut overlay = Vec::with_capacity(cs.overlay.len());
+            for e in cs.overlay {
+                if e.tombstoned {
+                    return Err(ServiceError::Persist(
+                        "checkpoint overlay entries cannot be tombstoned".into(),
+                    ));
+                }
+                let id = SubscriptionId::new(e.id);
+                let (tx, rx) = unbounded();
+                subscribers.insert(e.id, Subscriber::new(id, rx));
+                overlay.push(SubEntry {
+                    id,
+                    profile: e.profile,
+                    weight: e.weight,
+                    sender: tx,
+                });
+            }
+            let writer = ShardWriter {
+                base,
+                overlay,
+                removed,
+                removed_count,
+                // Drift statistics are not persisted: the tracker
+                // restarts over the recovered live set, so the first
+                // post-recovery rebuild decision waits for fresh
+                // observations (conservative, never wrong).
+                tracker: DriftTracker::new(&ProfileSet::new(schema), config.rebuild)?,
+                tree: cs.tree,
+            };
+            // Mirror `delta_quench`: quenching is only safe while the
+            // overlay is empty (overlay profiles are outside the
+            // compiled coverage map).
+            let quench = (config.quench_inbound && writer.overlay.is_empty())
+                .then(|| Arc::new(QuenchAdvice::from_partitions(schema, filter.partitions())));
+            let snapshot = ShardSnapshot {
+                filter,
+                base_dispatch: writer.base_dispatch(),
+                overlay_dispatch: writer.overlay_dispatch(),
+                quench,
+            };
+            shards.push(Shard {
+                snapshot: RwLock::new(Arc::new(snapshot)),
+                writer: Mutex::new(writer),
+            });
+        }
+        Ok(Broker {
+            schema: Arc::new(schema.clone()),
+            config,
+            shards: shards.into_boxed_slice(),
+            history: Mutex::new(VecDeque::new()),
+            sequence: AtomicU64::new(cp.sequence),
+            next_sub: AtomicU64::new(cp.next_sub),
+            metrics: Arc::new(Metrics::default()),
+            durability: None,
+        })
+    }
+
+    /// Whether `id` is a live (non-tombstoned) subscription.
+    fn is_live(&self, id: SubscriptionId) -> bool {
+        let w = self.shard_of(id).writer.lock();
+        w.overlay.iter().any(|e| e.id == id)
+            || w.base
+                .iter()
+                .enumerate()
+                .any(|(k, e)| e.id == id && !w.removed[k])
+    }
+
+    /// Replays an accepted retune: switches the shard's active tree
+    /// configuration and recompiles, exactly like the original
+    /// drift-triggered rebuild did.
+    fn apply_retune(
+        &self,
+        shard_index: usize,
+        attribute_order: AttributeOrder,
+        search: SearchStrategy,
+        event_model: JointDist,
+    ) -> Result<(), ServiceError> {
+        let Some(shard) = self.shards.get(shard_index) else {
+            return Err(ServiceError::Persist(format!(
+                "retune record names shard {shard_index}, broker has {}",
+                self.shards.len()
+            )));
+        };
+        let mut w = shard.writer.lock();
+        w.tree.attribute_order = attribute_order;
+        w.tree.search = search;
+        w.tree.event_model = Some(event_model);
+        let snapshot = w.compact(
+            &self.schema,
+            self.config.quench_inbound,
+            CompactReason::Churn,
+        )?;
+        *shard.snapshot.write() = Arc::new(snapshot);
+        Ok(())
+    }
+
+    /// Appends one record to the WAL (no-op on in-memory brokers).
+    /// May be called with a shard writer lock held — the WAL lock
+    /// nests inside writer locks, never the other way around.
+    fn wal_log(&self, make: impl FnOnce(u64) -> WalRecord) -> Result<(), ServiceError> {
+        let Some(d) = &self.durability else {
+            return Ok(());
+        };
+        let mut wal = d.wal.lock();
+        let frame = persist::encode_frame(&make(wal.next_lsn));
+        wal.file.write_all(&frame).map_err(io_persist)?;
+        if d.config.fsync == FsyncPolicy::Always {
+            wal.file.sync_data().map_err(io_persist)?;
+        }
+        wal.next_lsn += 1;
+        wal.since_checkpoint += 1;
+        if d.config.checkpoint_every > 0 && wal.since_checkpoint >= d.config.checkpoint_every {
+            // Only flag it: the caller may hold a shard writer lock,
+            // and the checkpoint needs all of them.
+            d.checkpoint_due.store(true, Ordering::Relaxed);
+        }
+        Ok(())
+    }
+
+    /// Runs the automatic checkpoint if one is due. Must be called
+    /// with no shard writer lock held.
+    fn maybe_checkpoint(&self) -> Result<(), ServiceError> {
+        if let Some(d) = &self.durability {
+            if d.checkpoint_due.swap(false, Ordering::Relaxed) {
+                self.write_checkpoint(true)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Writes a checkpoint of the full broker state and truncates the
+    /// WAL. Returns `false` (doing nothing) on in-memory brokers.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServiceError::Persist`] on I/O failure. The
+    /// checkpoint file is staged under a temporary name and renamed
+    /// into place, so a crash mid-write leaves the previous
+    /// checkpoint intact.
+    pub fn checkpoint(&self) -> Result<bool, ServiceError> {
+        self.write_checkpoint(true)
+    }
+
+    /// Like [`Broker::checkpoint`], but leaves the WAL untruncated —
+    /// this widens the checkpoint-then-crash-before-truncate window
+    /// on purpose, for crash-recovery testing. Replay after recovery
+    /// skips the records the checkpoint already covers.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServiceError::Persist`] on I/O failure.
+    pub fn checkpoint_keep_wal(&self) -> Result<bool, ServiceError> {
+        self.write_checkpoint(false)
+    }
+
+    fn write_checkpoint(&self, truncate_wal: bool) -> Result<bool, ServiceError> {
+        let Some(d) = &self.durability else {
+            return Ok(false);
+        };
+        // Freeze every shard (writer locks in index order), then the
+        // log: everything at or below the captured LSN is in the
+        // image, everything after it will replay on top.
+        let writers: Vec<_> = self.shards.iter().map(|s| s.writer.lock()).collect();
+        let mut wal = d.wal.lock();
+        let entry = |e: &SubEntry, tombstoned: bool| CheckpointEntry {
+            id: e.id.get(),
+            weight: e.weight,
+            tombstoned,
+            profile: e.profile.clone(),
+        };
+        let shards = self
+            .shards
+            .iter()
+            .zip(&writers)
+            .map(|(shard, w)| CheckpointShard {
+                tree: w.tree.clone(),
+                filter: shard.snapshot.read().filter.to_bytes(),
+                base: w
+                    .base
+                    .iter()
+                    .zip(&w.removed)
+                    .map(|(e, r)| entry(e, *r))
+                    .collect(),
+                overlay: w.overlay.iter().map(|e| entry(e, false)).collect(),
+            })
+            .collect();
+        let cp = Checkpoint {
+            schema: (*self.schema).clone(),
+            last_lsn: wal.next_lsn - 1,
+            next_sub: self.next_sub.load(Ordering::Relaxed),
+            sequence: self.sequence.load(Ordering::Relaxed),
+            shards,
+        };
+        let bytes = cp.to_bytes();
+        drop(writers);
+
+        let tmp = d.config.dir.join(persist::CHECKPOINT_TMP_FILE);
+        {
+            let mut f = std::fs::File::create(&tmp).map_err(io_persist)?;
+            f.write_all(&bytes).map_err(io_persist)?;
+            if d.config.fsync != FsyncPolicy::Never {
+                f.sync_all().map_err(io_persist)?;
+            }
+        }
+        std::fs::rename(&tmp, d.config.dir.join(persist::CHECKPOINT_FILE)).map_err(io_persist)?;
+        if truncate_wal {
+            wal.file.set_len(0).map_err(io_persist)?;
+            wal.since_checkpoint = 0;
+        }
+        d.checkpoint_due.store(false, Ordering::Relaxed);
+        Ok(true)
     }
 
     /// The broker's schema.
@@ -598,6 +1051,34 @@ impl Broker {
             ));
         }
         let id = SubscriptionId::new(self.next_sub.fetch_add(1, Ordering::Relaxed));
+        let logged = self.durability.is_some().then(|| profile.clone());
+        let sub = self.commit_subscribe(id, profile, weight)?;
+        // Log after the in-memory commit: an operation becomes durable
+        // when its record hits the WAL, and it is acknowledged (the
+        // subscriber handle returned) only after that. A checkpoint
+        // sneaking between commit and append captures the entry early;
+        // replay then skips the record's already-live id.
+        if let Some(profile) = logged {
+            self.wal_log(|lsn| WalRecord::Subscribe {
+                lsn,
+                id: id.get(),
+                weight,
+                profile,
+            })?;
+        }
+        self.maybe_checkpoint()?;
+        Ok(sub)
+    }
+
+    /// The in-memory half of a subscribe: overlay insert, compact or
+    /// delta snapshot, swap. Shared by the public paths (which then
+    /// log) and WAL replay (which must not).
+    fn commit_subscribe(
+        &self,
+        id: SubscriptionId,
+        profile: Profile,
+        weight: f64,
+    ) -> Result<Subscriber, ServiceError> {
         let (tx, rx) = unbounded();
         let shard = self.shard_of(id);
         let mut w = shard.writer.lock();
@@ -648,9 +1129,13 @@ impl Broker {
         // shard instead of one per profile.
         let mut subscribers = Vec::new();
         let mut pending: Vec<Vec<SubEntry>> = (0..self.shards.len()).map(|_| Vec::new()).collect();
+        let mut log = Vec::new();
         for profile in profiles {
             let id = SubscriptionId::new(self.next_sub.fetch_add(1, Ordering::Relaxed));
             let (tx, rx) = unbounded();
+            if self.durability.is_some() {
+                log.push((id.get(), profile.clone()));
+            }
             pending[self.shard_index(id)].push(SubEntry {
                 id,
                 profile,
@@ -728,6 +1213,18 @@ impl Broker {
             }
             return Err(e);
         }
+        // Nothing was logged for a failed bulk load (the rollback
+        // above restored the pre-call state); on success every entry
+        // becomes durable before the handles are returned.
+        for (id, profile) in log {
+            self.wal_log(|lsn| WalRecord::Subscribe {
+                lsn,
+                id,
+                weight: 1.0,
+                profile,
+            })?;
+        }
+        self.maybe_checkpoint()?;
         Ok(subscribers)
     }
 
@@ -738,7 +1235,8 @@ impl Broker {
     /// Returns [`ServiceError::UnknownSubscription`] if the id is not
     /// live, and propagates rebuild errors.
     pub fn unsubscribe(&self, id: SubscriptionId) -> Result<(), ServiceError> {
-        self.remove_subscription(id)
+        self.remove_subscription(id)?;
+        self.maybe_checkpoint()
     }
 
     fn remove_subscription(&self, id: SubscriptionId) -> Result<(), ServiceError> {
@@ -796,6 +1294,9 @@ impl Broker {
             return Err(ServiceError::UnknownSubscription(id));
         };
         *shard.snapshot.write() = Arc::new(snapshot);
+        // Under the writer lock, so a concurrent checkpoint serializes
+        // cleanly before or after the (commit, log) pair.
+        self.wal_log(|lsn| WalRecord::Unsubscribe { lsn, id: id.get() })?;
         Ok(())
     }
 
@@ -847,6 +1348,7 @@ impl Broker {
         })?;
         let quenched = delivery.rejecting_shards == self.shards.len();
         self.finish_publish(&event, sequence, &mut delivery)?;
+        self.maybe_checkpoint()?;
         delivery.matched.sort_unstable();
         Ok(PublishReceipt {
             sequence,
@@ -949,6 +1451,7 @@ impl Broker {
                 quenched,
             });
         }
+        self.maybe_checkpoint()?;
         Ok(receipts)
     }
 
@@ -1123,16 +1626,21 @@ impl Broker {
     /// rebuilds — with [`TuningPolicy`] arbitration when enabled —
     /// where the drift policy fires.
     fn observe_drift(&self, event: &Arc<Event>) -> Result<(), ServiceError> {
-        for shard in self.shards.iter() {
+        for (s, shard) in self.shards.iter().enumerate() {
             let Some(mut w) = shard.writer.try_lock() else {
                 continue;
             };
             if !w.tracker.observe(event)? {
                 continue;
             }
-            if self.config.tuning.is_enabled() && !self.retune_shard(shard, &mut w)? {
-                continue;
-            }
+            let retuned = if self.config.tuning.is_enabled() {
+                if !self.retune_shard(shard, &mut w)? {
+                    continue;
+                }
+                true
+            } else {
+                false
+            };
             let snapshot = w.compact(
                 &self.schema,
                 self.config.quench_inbound,
@@ -1140,6 +1648,26 @@ impl Broker {
             )?;
             self.metrics.tree_rebuilds.fetch_add(1, Ordering::Relaxed);
             *shard.snapshot.write() = Arc::new(snapshot);
+            // An accepted retune changed the shard's active tree
+            // configuration — that survives restarts, so it is logged.
+            // (A plain drift rebuild only refreshes the event model
+            // from statistics that are not persisted anyway.)
+            if retuned && self.durability.is_some() {
+                let attribute_order = w.tree.attribute_order.clone();
+                let search = w.tree.search;
+                let event_model = w
+                    .tree
+                    .event_model
+                    .clone()
+                    .expect("accepted retune sets the event model");
+                self.wal_log(|lsn| WalRecord::Retune {
+                    lsn,
+                    shard: s as u32,
+                    attribute_order,
+                    search,
+                    event_model,
+                })?;
+            }
         }
         Ok(())
     }

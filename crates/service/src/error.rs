@@ -17,6 +17,9 @@ pub enum ServiceError {
     UnknownSubscription(SubscriptionId),
     /// The referenced composite definition does not exist.
     UnknownComposite(u64),
+    /// Durable state (WAL or checkpoint) could not be written or
+    /// recovered.
+    Persist(String),
 }
 
 impl fmt::Display for ServiceError {
@@ -28,6 +31,7 @@ impl fmt::Display for ServiceError {
                 write!(f, "unknown subscription {id}")
             }
             ServiceError::UnknownComposite(id) => write!(f, "unknown composite definition {id}"),
+            ServiceError::Persist(msg) => write!(f, "durable state error: {msg}"),
         }
     }
 }

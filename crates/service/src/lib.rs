@@ -47,14 +47,16 @@ mod composite;
 mod error;
 mod metrics;
 mod notify;
+pub mod persist;
 mod quench;
 mod subscription;
 
-pub use broker::{Broker, BrokerConfig, PublishReceipt};
+pub use broker::{Broker, BrokerConfig, PublishReceipt, Recovered};
 pub use composite::{CompositeDetector, CompositeExpr, CompositeId};
 pub use error::ServiceError;
 pub use metrics::MetricsSnapshot;
 pub use notify::{Notification, Subscriber};
+pub use persist::{DurabilityConfig, FsyncPolicy};
 pub use quench::QuenchAdvice;
 pub use subscription::SubscriptionId;
 

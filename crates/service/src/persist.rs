@@ -1,0 +1,614 @@
+//! Durability: write-ahead subscription log and checkpoint files.
+//!
+//! The broker's durable state is the pair `(checkpoint, WAL)` inside a
+//! single directory:
+//!
+//! * **`checkpoint.bin`** — a full serialized image of every shard:
+//!   the active [`TreeConfig`] (including accepted retunes), the
+//!   compiled [`FilterSnapshot`](ens_filter::FilterSnapshot) arenas,
+//!   and the subscription entries (id, weight, profile, tombstone
+//!   flag) aligned with the snapshot's dispatch ids. Sealed with a
+//!   CRC-32 and written atomically (temp file + rename).
+//! * **`wal.log`** — append-only [`WalRecord`] frames for everything
+//!   that changed *since* the checkpoint: subscribes, unsubscribes and
+//!   accepted retunes. Each frame is `[u32 len][u32 crc][payload]`;
+//!   recovery stops at the first frame whose length or checksum does
+//!   not hold, which makes a torn final record (the classic
+//!   power-loss artifact) indistinguishable from a clean end of log.
+//!
+//! Records carry a monotonically increasing log sequence number
+//! (LSN, starting at 1). A checkpoint stores the highest LSN it
+//! covers; replay applies only records with a higher LSN, so recovery
+//! from a checkpoint plus an *un-truncated* WAL (the
+//! checkpoint-then-crash-before-truncate window) is idempotent.
+
+use std::path::PathBuf;
+
+use ens_dist::JointDist;
+use ens_filter::persist::{crc32, ByteReader, ByteWriter, PersistError};
+use ens_filter::{AttributeOrder, SearchStrategy, TreeConfig};
+use ens_types::{Predicate, Profile, ProfileId, Schema, Value};
+use serde::{Deserialize, Serialize};
+
+use crate::error::ServiceError;
+
+/// File name of the write-ahead log inside the durability directory.
+pub const WAL_FILE: &str = "wal.log";
+/// File name of the checkpoint inside the durability directory.
+pub const CHECKPOINT_FILE: &str = "checkpoint.bin";
+/// Temp name the checkpoint is staged under before the atomic rename.
+pub const CHECKPOINT_TMP_FILE: &str = "checkpoint.tmp";
+
+/// Leading magic of a checkpoint file (`"ENSC"`).
+const CHECKPOINT_MAGIC: u32 = 0x454E_5343;
+/// Bumped whenever the checkpoint layout changes incompatibly.
+const CHECKPOINT_VERSION: u32 = 2;
+
+/// When WAL appends are flushed to stable storage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FsyncPolicy {
+    /// `fsync` after every appended record: no acknowledged
+    /// subscription change is ever lost, at per-record latency cost.
+    Always,
+    /// `fsync` only when a checkpoint is written; a crash may lose the
+    /// OS-buffered WAL tail (the default, matching the recovery
+    /// oracle's torn-tail tolerance).
+    #[default]
+    OnCheckpoint,
+    /// Never `fsync` explicitly (tests and benchmarks).
+    Never,
+}
+
+/// Configuration of the broker's durability layer.
+#[derive(Debug, Clone)]
+pub struct DurabilityConfig {
+    /// Directory holding `wal.log` and `checkpoint.bin` (created if
+    /// missing).
+    pub dir: PathBuf,
+    /// Automatic checkpoint interval, counted in WAL records appended
+    /// since the last checkpoint; `0` disables automatic checkpoints
+    /// (call [`Broker::checkpoint`](crate::Broker::checkpoint)
+    /// manually).
+    pub checkpoint_every: u64,
+    /// WAL flush policy.
+    pub fsync: FsyncPolicy,
+}
+
+impl DurabilityConfig {
+    /// A configuration with the default knobs (checkpoint every 4096
+    /// records, fsync on checkpoint) in `dir`.
+    #[must_use]
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        DurabilityConfig {
+            dir: dir.into(),
+            checkpoint_every: 4096,
+            fsync: FsyncPolicy::default(),
+        }
+    }
+}
+
+/// One durable subscription-state change.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum WalRecord {
+    /// A subscription was registered.
+    Subscribe {
+        /// Log sequence number.
+        lsn: u64,
+        /// The assigned subscription id.
+        id: u64,
+        /// Priority weight.
+        weight: f64,
+        /// The subscribed profile.
+        profile: Profile,
+    },
+    /// A subscription was cancelled (explicitly or by dead-subscriber
+    /// garbage collection).
+    Unsubscribe {
+        /// Log sequence number.
+        lsn: u64,
+        /// The cancelled subscription id.
+        id: u64,
+    },
+    /// A shard accepted a retune: its active tree configuration
+    /// switched to the winning shape under the recorded distribution
+    /// estimate.
+    Retune {
+        /// Log sequence number.
+        lsn: u64,
+        /// Index of the retuned shard.
+        shard: u32,
+        /// The accepted attribute order.
+        attribute_order: AttributeOrder,
+        /// The accepted search strategy.
+        search: SearchStrategy,
+        /// The online estimate the retune was priced under (becomes
+        /// the shard's event-model prior).
+        event_model: JointDist,
+    },
+}
+
+impl WalRecord {
+    /// The record's log sequence number.
+    #[must_use]
+    pub fn lsn(&self) -> u64 {
+        match self {
+            WalRecord::Subscribe { lsn, .. }
+            | WalRecord::Unsubscribe { lsn, .. }
+            | WalRecord::Retune { lsn, .. } => *lsn,
+        }
+    }
+}
+
+/// Encodes one record as a WAL frame: `[u32 len][u32 crc][payload]`.
+#[must_use]
+pub fn encode_frame(record: &WalRecord) -> Vec<u8> {
+    let mut payload = ByteWriter::new();
+    payload.serde(record);
+    let payload = payload.into_bytes();
+    let mut out = Vec::with_capacity(payload.len() + 8);
+    out.extend_from_slice(
+        &u32::try_from(payload.len())
+            .expect("WAL frame too large")
+            .to_le_bytes(),
+    );
+    out.extend_from_slice(&crc32(&payload).to_le_bytes());
+    out.extend_from_slice(&payload);
+    out
+}
+
+/// The result of scanning a WAL byte stream.
+#[derive(Debug)]
+pub struct WalScan {
+    /// Every fully-durable record, in append order.
+    pub records: Vec<WalRecord>,
+    /// Byte offset just past each decoded frame: truncating the log at
+    /// `offsets[i]` durably keeps exactly `records[..=i]`.
+    pub offsets: Vec<usize>,
+    /// Total bytes consumed by valid frames.
+    pub consumed: usize,
+    /// Whether trailing bytes past `consumed` were discarded as a torn
+    /// or corrupt tail.
+    pub torn: bool,
+}
+
+/// Scans a WAL byte stream, stopping cleanly at the first frame that
+/// is incomplete, fails its checksum, or does not decode — everything
+/// before it is durable, everything from it on is a torn tail.
+#[must_use]
+pub fn decode_wal(bytes: &[u8]) -> WalScan {
+    let mut records = Vec::new();
+    let mut offsets = Vec::new();
+    let mut pos = 0usize;
+    loop {
+        let rest = &bytes[pos..];
+        if rest.len() < 8 {
+            break;
+        }
+        let len = u32::from_le_bytes([rest[0], rest[1], rest[2], rest[3]]) as usize;
+        let stored = u32::from_le_bytes([rest[4], rest[5], rest[6], rest[7]]);
+        if rest.len() - 8 < len {
+            break;
+        }
+        let payload = &rest[8..8 + len];
+        if crc32(payload) != stored {
+            break;
+        }
+        let mut r = ByteReader::new(payload);
+        let Ok(record) = r.serde::<WalRecord>() else {
+            break;
+        };
+        if !r.is_empty() {
+            break;
+        }
+        records.push(record);
+        pos += 8 + len;
+        offsets.push(pos);
+    }
+    WalScan {
+        records,
+        offsets,
+        consumed: pos,
+        torn: pos < bytes.len(),
+    }
+}
+
+/// One subscription entry inside a checkpoint, aligned with the
+/// shard's dispatch ids.
+#[derive(Debug, Clone)]
+pub struct CheckpointEntry {
+    /// The subscription id.
+    pub id: u64,
+    /// Priority weight.
+    pub weight: f64,
+    /// Whether the entry is tombstoned (cancelled but not yet
+    /// compacted out; kept so dispatch indices stay aligned).
+    pub tombstoned: bool,
+    /// The subscribed profile.
+    pub profile: Profile,
+}
+
+/// One shard's durable image.
+#[derive(Debug, Clone)]
+pub struct CheckpointShard {
+    /// The shard's active tree configuration (accepted retunes
+    /// included).
+    pub tree: TreeConfig,
+    /// The serialized [`FilterSnapshot`](ens_filter::FilterSnapshot).
+    pub filter: Vec<u8>,
+    /// Compiled-base entries, aligned with base profile ids.
+    pub base: Vec<CheckpointEntry>,
+    /// Overlay entries, aligned with overlay profile ids.
+    pub overlay: Vec<CheckpointEntry>,
+}
+
+/// A complete broker checkpoint.
+#[derive(Debug, Clone)]
+pub struct Checkpoint {
+    /// The broker schema the state was built against.
+    pub schema: Schema,
+    /// Highest LSN covered: replay skips records at or below it.
+    pub last_lsn: u64,
+    /// The next subscription id to hand out.
+    pub next_sub: u64,
+    /// The next publish sequence number.
+    pub sequence: u64,
+    /// Per-shard images, in shard order.
+    pub shards: Vec<CheckpointShard>,
+}
+
+/// Appends one attribute value in the compact tagged form. Entry
+/// profiles dominate the non-filter checkpoint payload at scale, so
+/// they bypass the generic string-keyed serde codec.
+fn encode_value(w: &mut ByteWriter, v: &Value) {
+    match v {
+        Value::Bool(false) => w.u8(0),
+        Value::Bool(true) => w.u8(1),
+        Value::Int(x) => {
+            w.u8(2);
+            w.vu64(((x << 1) ^ (x >> 63)) as u64);
+        }
+        Value::Float(x) => {
+            w.u8(3);
+            w.f64(x.get());
+        }
+        Value::Str(s) => {
+            w.u8(4);
+            w.str(s);
+        }
+    }
+}
+
+fn decode_value(r: &mut ByteReader<'_>) -> Result<Value, PersistError> {
+    match r.u8()? {
+        0 => Ok(Value::Bool(false)),
+        1 => Ok(Value::Bool(true)),
+        2 => {
+            let z = r.vu64()?;
+            Ok(Value::Int(((z >> 1) as i64) ^ -((z & 1) as i64)))
+        }
+        3 => Value::float(r.f64()?).map_err(|e| PersistError::new(e.to_string())),
+        4 => Ok(Value::Str(r.str()?)),
+        tag => Err(PersistError::new(format!("unknown value tag {tag}"))),
+    }
+}
+
+fn encode_value_seq(w: &mut ByteWriter, vs: &[Value]) {
+    w.seq_len(vs.len());
+    for v in vs {
+        encode_value(w, v);
+    }
+}
+
+fn decode_value_seq(r: &mut ByteReader<'_>) -> Result<Vec<Value>, PersistError> {
+    let n = r.seq_len(1)?;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        out.push(decode_value(r)?);
+    }
+    Ok(out)
+}
+
+/// Appends a profile as `(id, specified count, [attr, predicate]...)`;
+/// don't-care attributes are omitted entirely.
+fn encode_profile(w: &mut ByteWriter, p: &Profile) {
+    w.vu32(p.id().index() as u32);
+    w.vu32(p.specified_len() as u32);
+    for (attr, pred) in p.predicates().iter().enumerate() {
+        let (tag, values): (u8, &[Value]) = match pred {
+            Predicate::DontCare => continue,
+            Predicate::Eq(v) => (1, std::slice::from_ref(v)),
+            Predicate::Ne(v) => (2, std::slice::from_ref(v)),
+            Predicate::Lt(v) => (3, std::slice::from_ref(v)),
+            Predicate::Le(v) => (4, std::slice::from_ref(v)),
+            Predicate::Gt(v) => (5, std::slice::from_ref(v)),
+            Predicate::Ge(v) => (6, std::slice::from_ref(v)),
+            Predicate::Between(lo, hi) => {
+                w.vu32(attr as u32);
+                w.u8(7);
+                encode_value(w, lo);
+                encode_value(w, hi);
+                continue;
+            }
+            Predicate::In(vs) => (8, vs.as_slice()),
+            Predicate::NotIn(vs) => (9, vs.as_slice()),
+            // `Predicate` is non-exhaustive; a variant added upstream
+            // must get a tag here before it can be checkpointed.
+            other => panic!("predicate {other:?} has no checkpoint encoding"),
+        };
+        w.vu32(attr as u32);
+        w.u8(tag);
+        match tag {
+            8 | 9 => encode_value_seq(w, values),
+            _ => encode_value(w, &values[0]),
+        }
+    }
+}
+
+fn decode_profile(r: &mut ByteReader<'_>, schema: &Schema) -> Result<Profile, PersistError> {
+    let id = ProfileId::new(r.vu32()?);
+    let specified = r.vu32()? as usize;
+    let mut predicates = vec![Predicate::DontCare; schema.len()];
+    if specified > predicates.len() {
+        return Err(PersistError::new(format!(
+            "profile specifies {specified} attributes, schema has {}",
+            predicates.len()
+        )));
+    }
+    for _ in 0..specified {
+        let attr = r.vu32()? as usize;
+        if attr >= predicates.len() {
+            return Err(PersistError::new(format!(
+                "predicate attribute {attr} out of schema range"
+            )));
+        }
+        let pred = match r.u8()? {
+            1 => Predicate::Eq(decode_value(r)?),
+            2 => Predicate::Ne(decode_value(r)?),
+            3 => Predicate::Lt(decode_value(r)?),
+            4 => Predicate::Le(decode_value(r)?),
+            5 => Predicate::Gt(decode_value(r)?),
+            6 => Predicate::Ge(decode_value(r)?),
+            7 => Predicate::Between(decode_value(r)?, decode_value(r)?),
+            8 => Predicate::In(decode_value_seq(r)?),
+            9 => Predicate::NotIn(decode_value_seq(r)?),
+            tag => {
+                return Err(PersistError::new(format!("unknown predicate tag {tag}")));
+            }
+        };
+        predicates[attr] = pred;
+    }
+    Profile::from_predicates(schema, id, predicates).map_err(|e| PersistError::new(e.to_string()))
+}
+
+fn encode_entries(w: &mut ByteWriter, entries: &[CheckpointEntry]) {
+    w.seq_len(entries.len());
+    for e in entries {
+        w.vu64(e.id);
+        w.f64(e.weight);
+        w.bool(e.tombstoned);
+        encode_profile(w, &e.profile);
+    }
+}
+
+fn decode_entries(
+    r: &mut ByteReader<'_>,
+    schema: &Schema,
+) -> Result<Vec<CheckpointEntry>, PersistError> {
+    let n = r.seq_len(12)?;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        out.push(CheckpointEntry {
+            id: r.vu64()?,
+            weight: r.f64()?,
+            tombstoned: r.bool()?,
+            profile: decode_profile(r, schema)?,
+        });
+    }
+    Ok(out)
+}
+
+impl Checkpoint {
+    /// Serializes the checkpoint, sealed with a CRC-32.
+    #[must_use]
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        w.u32(CHECKPOINT_MAGIC);
+        w.u32(CHECKPOINT_VERSION);
+        w.serde(&self.schema);
+        w.u64(self.last_lsn);
+        w.u64(self.next_sub);
+        w.u64(self.sequence);
+        w.seq_len(self.shards.len());
+        for shard in &self.shards {
+            w.serde(&shard.tree);
+            w.bytes(&shard.filter);
+            encode_entries(&mut w, &shard.base);
+            encode_entries(&mut w, &shard.overlay);
+        }
+        w.into_bytes_crc()
+    }
+
+    /// Restores a checkpoint written by [`Checkpoint::to_bytes`].
+    ///
+    /// # Errors
+    ///
+    /// Fails on checksum mismatch, wrong magic/version or truncation —
+    /// a torn checkpoint file is reported, never half-loaded.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, ServiceError> {
+        Self::decode(bytes).map_err(|e| ServiceError::Persist(e.message().to_string()))
+    }
+
+    fn decode(bytes: &[u8]) -> Result<Self, PersistError> {
+        let mut r = ByteReader::verify_crc(bytes)?;
+        let magic = r.u32()?;
+        if magic != CHECKPOINT_MAGIC {
+            return Err(PersistError::new(format!(
+                "bad checkpoint magic {magic:#010x}"
+            )));
+        }
+        let version = r.u32()?;
+        if version != CHECKPOINT_VERSION {
+            return Err(PersistError::new(format!(
+                "unsupported checkpoint version {version}"
+            )));
+        }
+        let schema: Schema = r.serde()?;
+        let last_lsn = r.u64()?;
+        let next_sub = r.u64()?;
+        let sequence = r.u64()?;
+        let n = r.seq_len(8)?;
+        let mut shards = Vec::with_capacity(n);
+        for _ in 0..n {
+            let tree: TreeConfig = r.serde()?;
+            let filter = r.bytes()?.to_vec();
+            let base = decode_entries(&mut r, &schema)?;
+            let overlay = decode_entries(&mut r, &schema)?;
+            shards.push(CheckpointShard {
+                tree,
+                filter,
+                base,
+                overlay,
+            });
+        }
+        r.expect_end()?;
+        Ok(Checkpoint {
+            schema,
+            last_lsn,
+            next_sub,
+            sequence,
+            shards,
+        })
+    }
+}
+
+/// The canonical byte form of a schema, used to verify that a
+/// checkpoint belongs to the broker trying to load it.
+#[must_use]
+pub(crate) fn schema_fingerprint(schema: &Schema) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    w.serde(schema);
+    w.into_bytes()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ens_types::{Domain, Predicate, ProfileId};
+
+    fn schema() -> Schema {
+        Schema::builder()
+            .attribute("x", Domain::int(0, 99))
+            .unwrap()
+            .build()
+    }
+
+    fn profile(s: &Schema, lo: i64) -> Profile {
+        Profile::builder(s)
+            .predicate("x", Predicate::ge(lo))
+            .unwrap()
+            .build(ProfileId::new(0))
+    }
+
+    #[test]
+    fn wal_frames_round_trip_and_stop_at_torn_tail() {
+        let s = schema();
+        let records = vec![
+            WalRecord::Subscribe {
+                lsn: 1,
+                id: 0,
+                weight: 1.0,
+                profile: profile(&s, 10),
+            },
+            WalRecord::Unsubscribe { lsn: 2, id: 0 },
+            WalRecord::Subscribe {
+                lsn: 3,
+                id: 1,
+                weight: 2.5,
+                profile: profile(&s, 50),
+            },
+        ];
+        let mut bytes = Vec::new();
+        for rec in &records {
+            bytes.extend_from_slice(&encode_frame(rec));
+        }
+        let scan = decode_wal(&bytes);
+        assert_eq!(scan.records, records);
+        assert_eq!(scan.consumed, bytes.len());
+        assert!(!scan.torn);
+        assert_eq!(scan.offsets.len(), 3);
+
+        // Every mid-frame cut keeps exactly the fully-framed prefix.
+        for cut in 0..bytes.len() {
+            let scan = decode_wal(&bytes[..cut]);
+            let durable = scan.offsets.iter().filter(|o| **o <= cut).count();
+            assert_eq!(scan.records.len(), durable, "cut at {cut}");
+            assert_eq!(scan.records[..], records[..durable], "cut at {cut}");
+            assert!(scan.torn || scan.consumed == cut);
+        }
+
+        // A flipped payload byte invalidates that frame and the rest.
+        let mut corrupt = bytes.clone();
+        corrupt[scan.offsets[0] + 9] ^= 0x01;
+        let scan = decode_wal(&corrupt);
+        assert_eq!(scan.records.len(), 1);
+        assert!(scan.torn);
+    }
+
+    #[test]
+    fn checkpoint_round_trips_and_rejects_corruption() {
+        let s = schema();
+        let cp = Checkpoint {
+            schema: s.clone(),
+            last_lsn: 17,
+            next_sub: 5,
+            sequence: 99,
+            shards: vec![CheckpointShard {
+                tree: TreeConfig::default(),
+                filter: vec![1, 2, 3],
+                base: vec![
+                    CheckpointEntry {
+                        id: 0,
+                        weight: 1.0,
+                        tombstoned: false,
+                        profile: profile(&s, 10),
+                    },
+                    CheckpointEntry {
+                        id: 2,
+                        weight: 3.5,
+                        tombstoned: true,
+                        profile: profile(&s, 20),
+                    },
+                ],
+                overlay: vec![CheckpointEntry {
+                    id: 4,
+                    weight: 1.0,
+                    tombstoned: false,
+                    profile: profile(&s, 30),
+                }],
+            }],
+        };
+        let bytes = cp.to_bytes();
+        let back = Checkpoint::from_bytes(&bytes).unwrap();
+        assert_eq!(back.last_lsn, 17);
+        assert_eq!(back.next_sub, 5);
+        assert_eq!(back.sequence, 99);
+        assert_eq!(back.shards.len(), 1);
+        assert_eq!(back.shards[0].filter, vec![1, 2, 3]);
+        assert_eq!(back.shards[0].base.len(), 2);
+        assert!(back.shards[0].base[1].tombstoned);
+        assert_eq!(back.shards[0].base[1].weight, 3.5);
+        assert_eq!(back.shards[0].overlay[0].profile, profile(&s, 30));
+        assert_eq!(
+            schema_fingerprint(&back.schema),
+            schema_fingerprint(&s),
+            "schema survives"
+        );
+
+        for at in [0, bytes.len() / 2, bytes.len() - 1] {
+            let mut corrupt = bytes.clone();
+            corrupt[at] ^= 0x10;
+            assert!(Checkpoint::from_bytes(&corrupt).is_err(), "flip at {at}");
+        }
+        assert!(Checkpoint::from_bytes(&bytes[..bytes.len() - 2]).is_err());
+    }
+}
