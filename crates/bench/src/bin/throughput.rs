@@ -290,6 +290,33 @@ struct RecoveryReport {
     rows: Vec<RecoveryRow>,
 }
 
+/// Broker federation: fan-out latency over real TCP loopback,
+/// interest-filter selectivity on a three-broker sim mesh, and
+/// partition-recovery time on the virtual clock.
+#[derive(Debug, Serialize)]
+struct FederationReport {
+    /// Events timed over the two-broker TCP loopback pair.
+    tcp_events: u64,
+    /// Publish-at-A → matched-delivery-at-B latency, microseconds.
+    tcp_fanout_p50_us: f64,
+    tcp_fanout_p99_us: f64,
+    /// Three-broker sim mesh with selective subscriptions: rows
+    /// forwarded across links / events published. The interest
+    /// filters keep this well under the naive peer-count factor.
+    sim_events: u64,
+    forwarded_rows: u64,
+    forwarded_event_ratio: f64,
+    /// Events published into a partition (buffered by the link)…
+    partition_backlog_events: u64,
+    /// …and the virtual milliseconds from heal until the subscriber
+    /// had recovered every one of them.
+    recovery_after_partition_virtual_ms: u64,
+    /// Same partition scenario under a small bounded pending buffer:
+    /// sequence numbers shed by the overflow policy (DropOldest), as
+    /// reported by the federation metrics.
+    bounded_overflow_dropped: u64,
+}
+
 #[derive(Debug, Serialize)]
 struct Report {
     config: Config,
@@ -300,6 +327,7 @@ struct Report {
     broker_scaling: BrokerScaling,
     tuning: TuningReport,
     recovery: RecoveryReport,
+    federation: FederationReport,
 }
 
 /// The reduced report of `--sections matchers`: just the per-matcher
@@ -464,6 +492,7 @@ fn run(opts: &Options) -> Result<(), Box<dyn std::error::Error>> {
         broker_scaling,
         tuning: bench_tuning(opts)?,
         recovery: bench_recovery(opts)?,
+        federation: bench_federation(opts)?,
     };
     let json = serde_json::to_string_pretty(&report)?;
     std::fs::write(&opts.out, &json)?;
@@ -1203,6 +1232,186 @@ fn bench_recovery(opts: &Options) -> Result<RecoveryReport, Box<dyn std::error::
     Ok(RecoveryReport {
         workload: "environmental".to_owned(),
         rows,
+    })
+}
+
+/// Federated broker fan-out, forwarding selectivity and partition
+/// recovery. The TCP leg runs over a real loopback socket pair; the
+/// mesh and partition legs run on the deterministic fault-injection
+/// network, so their times are virtual milliseconds.
+fn bench_federation(opts: &Options) -> Result<FederationReport, Box<dyn std::error::Error>> {
+    use ens_service::federation::link::LinkConfig;
+    use ens_service::federation::sim::SimNet;
+    use ens_service::{Federation, FederationConfig};
+
+    let schema = ens_types::Schema::builder()
+        .attribute("x", ens_types::Domain::int(0, 9999))?
+        .build();
+    let event = |x: i64| -> Result<Event, Box<dyn std::error::Error>> {
+        Ok(Event::builder(&schema).value("x", x)?.build())
+    };
+    let mk = |node: u64, link: LinkConfig| -> Result<Federation, Box<dyn std::error::Error>> {
+        Ok(Federation::new(
+            Arc::new(Broker::new(&schema, BrokerConfig::default())?),
+            FederationConfig {
+                node,
+                epoch: 1,
+                link,
+            },
+        ))
+    };
+    let sim_link = LinkConfig {
+        heartbeat_ms: 50,
+        timeout_ms: 300,
+        backoff_base_ms: 20,
+        backoff_max_ms: 200,
+        rto_ms: 40,
+        send_window: 64,
+        pending_cap: 0,
+        ..LinkConfig::default()
+    };
+
+    // --- TCP loopback fan-out latency -------------------------------
+    let tcp_events = opts.events.min(256) as u64;
+    let a = mk(1, LinkConfig::default())?;
+    let b = mk(2, LinkConfig::default())?;
+    let addr = b.bind("127.0.0.1:0".parse().expect("loopback"))?;
+    b.add_tcp_peer(1, addr, 0);
+    a.add_tcp_peer(2, addr, 0);
+    let _sub = b.subscribe_parsed("profile(x >= 0)")?;
+    let start = Instant::now();
+    let pump_both = |deliveries: &mut u64| -> Result<(), Box<dyn std::error::Error>> {
+        let now = start.elapsed().as_millis() as u64;
+        a.pump(now)?;
+        *deliveries += b.pump(now)?.delivered.len() as u64;
+        Ok(())
+    };
+    let mut warm = 0;
+    while a.metrics().peers_up != 1 || a.interested_peers() != 1 {
+        pump_both(&mut warm)?;
+        if start.elapsed().as_secs() > 10 {
+            return Err("federation bench: TCP pair never came up".into());
+        }
+    }
+    let mut latencies_us = Vec::with_capacity(tcp_events as usize);
+    for i in 0..tcp_events {
+        let t0 = Instant::now();
+        a.publish(&event((i % 10_000) as i64)?)?;
+        let mut got = 0;
+        while got == 0 {
+            pump_both(&mut got)?;
+            if t0.elapsed().as_secs() > 10 {
+                return Err("federation bench: delivery stalled".into());
+            }
+        }
+        latencies_us.push(t0.elapsed().as_secs_f64() * 1e6);
+    }
+    latencies_us.sort_by(f64::total_cmp);
+    let pct = |p: f64| latencies_us[((latencies_us.len() - 1) as f64 * p) as usize];
+
+    // --- Forwarded-event ratio on a selective 3-broker mesh ---------
+    let net = SimNet::new(9001);
+    let sim_events = opts.events.max(512) as u64;
+    let a = mk(1, sim_link)?;
+    let b = mk(2, sim_link)?;
+    let c = mk(3, sim_link)?;
+    for (f, node, peers) in [(&a, 1u64, [2u64, 3]), (&b, 2, [1, 3]), (&c, 3, [1, 2])] {
+        for p in peers {
+            f.add_peer(p, Box::new(net.transport(node, p)), 0);
+        }
+    }
+    // b wants the top half, c the top decile: forwarding should track
+    // interest, not peer count.
+    let _sub_b = b.subscribe_parsed("profile(x >= 5000)")?;
+    let _sub_c = c.subscribe_parsed("profile(x >= 9000)")?;
+    let pump_sim = |net: &SimNet,
+                    feds: &[&Federation],
+                    steps: u32|
+     -> Result<u64, Box<dyn std::error::Error>> {
+        let mut got = 0;
+        for _ in 0..steps {
+            let now = net.now_ms();
+            for f in feds {
+                got += f.pump(now)?.delivered.len() as u64;
+            }
+            net.advance(10);
+        }
+        Ok(got)
+    };
+    while a.interested_peers() != 2 {
+        pump_sim(&net, &[&a, &b, &c], 1)?;
+    }
+    for i in 0..sim_events {
+        // 9973 is coprime to the domain size: x sweeps the whole
+        // domain near-uniformly, so the interest thresholds bite.
+        a.publish(&event(((i * 9973) % 10_000) as i64)?)?;
+    }
+    let mut drained = 0;
+    while a.backlog() > 0 {
+        drained += pump_sim(&net, &[&a, &b, &c], 10)?;
+    }
+    drained += pump_sim(&net, &[&a, &b, &c], 20)?;
+    std::hint::black_box(drained);
+    let forwarded = a.metrics().forwarded_rows;
+
+    // --- Recovery after partition (virtual ms) ----------------------
+    let net = SimNet::new(9002);
+    let backlog_events = 500u64;
+    let a = mk(1, sim_link)?;
+    let b = mk(2, sim_link)?;
+    a.add_peer(2, Box::new(net.transport(1, 2)), 0);
+    b.add_peer(1, Box::new(net.transport(2, 1)), 0);
+    let _sub = b.subscribe_parsed("profile(x >= 0)")?;
+    while a.interested_peers() != 1 {
+        pump_sim(&net, &[&a, &b], 1)?;
+    }
+    net.partition(1, 2);
+    for i in 0..backlog_events {
+        a.publish(&event((i % 10_000) as i64)?)?;
+    }
+    pump_sim(&net, &[&a, &b], 30)?; // both sides notice the partition
+    net.heal(1, 2);
+    let healed_at = net.now_ms();
+    let mut recovered = 0;
+    while recovered < backlog_events {
+        recovered += pump_sim(&net, &[&a, &b], 1)?;
+        if net.now_ms() - healed_at > 600_000 {
+            return Err("federation bench: partition recovery stalled".into());
+        }
+    }
+    let recovery_ms = net.now_ms() - healed_at;
+
+    // --- Overflow accounting under a bounded pending buffer ---------
+    let net = SimNet::new(9003);
+    let bounded = LinkConfig {
+        pending_cap: 64,
+        ..sim_link
+    };
+    let a = mk(1, bounded)?;
+    let b = mk(2, bounded)?;
+    a.add_peer(2, Box::new(net.transport(1, 2)), 0);
+    b.add_peer(1, Box::new(net.transport(2, 1)), 0);
+    let _sub = b.subscribe_parsed("profile(x >= 0)")?;
+    while a.interested_peers() != 1 {
+        pump_sim(&net, &[&a, &b], 1)?;
+    }
+    net.partition(1, 2);
+    for i in 0..backlog_events {
+        a.publish(&event((i % 10_000) as i64)?)?;
+    }
+    pump_sim(&net, &[&a, &b], 30)?;
+    let bounded_overflow_dropped = a.metrics().overflow_dropped;
+
+    Ok(FederationReport {
+        tcp_events,
+        tcp_fanout_p50_us: pct(0.50),
+        tcp_fanout_p99_us: pct(0.99),
+        sim_events,
+        forwarded_rows: forwarded,
+        forwarded_event_ratio: forwarded as f64 / sim_events as f64,
+        partition_backlog_events: backlog_events,
+        recovery_after_partition_virtual_ms: recovery_ms,
+        bounded_overflow_dropped,
     })
 }
 

@@ -90,7 +90,7 @@ pub use order::{
     binary_hit_cost, binary_miss_cost, Direction, NodeOrdering, SearchStrategy, ValueOrder,
 };
 pub use overlay::OverlayIndex;
-pub use persist::PersistError;
+pub use persist::{PersistError, PersistErrorKind};
 pub use rebuild::{DriftTracker, RebuildPolicy};
 pub use scratch::{BlockScratch, MatchScratch, Matcher};
 pub use selectivity::{

@@ -35,19 +35,54 @@ use crate::FilterError;
 /// to overflow the decoder's stack.
 const MAX_VALUE_DEPTH: usize = 64;
 
+/// Broad classification of a persistence failure, so callers can
+/// distinguish "the bytes are bad" from "this state cannot be
+/// serialized at all".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[non_exhaustive]
+pub enum PersistErrorKind {
+    /// The byte stream is truncated, fails its checksum, or decodes to
+    /// nonsense — the durable artifact is damaged.
+    #[default]
+    Corrupt,
+    /// The in-memory state has no defined encoding (e.g. a predicate
+    /// variant added upstream before the codec learned its tag).
+    /// Serialization must degrade to an error, never a panic.
+    Unencodable,
+}
+
 /// An error while encoding or decoding persisted state.
 #[derive(Debug, Clone, PartialEq)]
 pub struct PersistError {
+    kind: PersistErrorKind,
     message: String,
 }
 
 impl PersistError {
-    /// Builds an error with the given description.
+    /// Builds a [`PersistErrorKind::Corrupt`] error with the given
+    /// description.
     #[must_use]
     pub fn new(message: impl Into<String>) -> Self {
         PersistError {
+            kind: PersistErrorKind::Corrupt,
             message: message.into(),
         }
+    }
+
+    /// Builds a [`PersistErrorKind::Unencodable`] error: the value
+    /// being written has no byte encoding.
+    #[must_use]
+    pub fn unencodable(message: impl Into<String>) -> Self {
+        PersistError {
+            kind: PersistErrorKind::Unencodable,
+            message: message.into(),
+        }
+    }
+
+    /// The broad failure class.
+    #[must_use]
+    pub fn kind(&self) -> PersistErrorKind {
+        self.kind
     }
 
     /// The human-readable description.

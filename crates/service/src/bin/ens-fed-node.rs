@@ -1,0 +1,342 @@
+//! One federated broker process, for the multi-process fault harness.
+//!
+//! The `federation_proc` integration test spawns several of these,
+//! `kill -9`s one mid-stream, restarts it with `--resume`, and then
+//! checks every node's durable delivery log against the
+//! single-process oracle: every published event delivered exactly
+//! once, in order, per peer.
+//!
+//! The node keeps an append-only *state log* (`--state FILE`). Each
+//! pump appends its remote deliveries (`D peer seq x`) and receive
+//! floors (`F peer floor`) in a single `write` + fsync before the
+//! next pump can acknowledge the traffic — the same log-before-ack
+//! contract the library documents. On `--resume` the log's floors are
+//! replayed into [`Federation::add_peer`] (and the stored epoch is
+//! bumped) so redelivered overlap deduplicates instead of duplicating.
+//!
+//! Flags (hand-parsed; all times are wall-clock milliseconds):
+//!
+//! ```text
+//! --node N              this broker's node id (required)
+//! --state FILE          append-only durable state log (required)
+//! --listen ADDR         accept inbound federation links on ADDR
+//! --peer ID=ADDR        a peer and its listen address (repeatable)
+//! --subscribe EXPR      local subscription, e.g. 'profile(x >= 0)'
+//! --publish LO..HI      publish events x = LO,LO+1,…,HI-1, paced
+//! --per-pump N          events published per pump (default 5)
+//! --wait-interest N     hold publishing until N peers' forwarded
+//!                       interest has arrived (default: all peers)
+//! --expect N            exit once N deliveries are logged (after
+//!                       draining); otherwise run until --run-ms
+//! --run-ms MS           hard deadline (default 30000)
+//! --resume              restore floors/epoch from the state log
+//! ```
+
+use std::fmt::Write as _;
+use std::fs::OpenOptions;
+use std::io::Write as _;
+use std::net::SocketAddr;
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use ens_service::{Broker, BrokerConfig, Federation, FederationConfig};
+use ens_types::{Domain, Event, Schema};
+
+/// The fixed harness schema: one int attribute `x` in [0, 9999].
+fn schema() -> Schema {
+    Schema::builder()
+        .attribute("x", Domain::int(0, 9999))
+        .expect("static schema")
+        .build()
+}
+
+struct Options {
+    node: u64,
+    state: String,
+    listen: Option<SocketAddr>,
+    peers: Vec<(u64, SocketAddr)>,
+    subscribe: Option<String>,
+    publish: Option<(i64, i64)>,
+    per_pump: usize,
+    wait_interest: Option<usize>,
+    expect: Option<usize>,
+    run_ms: u64,
+    resume: bool,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        node: u64::MAX,
+        state: String::new(),
+        listen: None,
+        peers: Vec::new(),
+        subscribe: None,
+        publish: None,
+        per_pump: 5,
+        wait_interest: None,
+        expect: None,
+        run_ms: 30_000,
+        resume: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| args.next().ok_or(format!("{name} needs a value"));
+        match arg.as_str() {
+            "--node" => opts.node = value("--node")?.parse().map_err(|e| format!("{e}"))?,
+            "--state" => opts.state = value("--state")?,
+            "--listen" => {
+                opts.listen = Some(value("--listen")?.parse().map_err(|e| format!("{e}"))?);
+            }
+            "--peer" => {
+                let v = value("--peer")?;
+                let (id, addr) = v.split_once('=').ok_or("--peer wants ID=ADDR")?;
+                opts.peers.push((
+                    id.parse().map_err(|e| format!("{e}"))?,
+                    addr.parse().map_err(|e| format!("{e}"))?,
+                ));
+            }
+            "--subscribe" => opts.subscribe = Some(value("--subscribe")?),
+            "--publish" => {
+                let v = value("--publish")?;
+                let (lo, hi) = v.split_once("..").ok_or("--publish wants LO..HI")?;
+                opts.publish = Some((
+                    lo.parse().map_err(|e| format!("{e}"))?,
+                    hi.parse().map_err(|e| format!("{e}"))?,
+                ));
+            }
+            "--per-pump" => {
+                opts.per_pump = value("--per-pump")?.parse().map_err(|e| format!("{e}"))?;
+            }
+            "--wait-interest" => {
+                opts.wait_interest = Some(
+                    value("--wait-interest")?
+                        .parse()
+                        .map_err(|e| format!("{e}"))?,
+                );
+            }
+            "--expect" => {
+                opts.expect = Some(value("--expect")?.parse().map_err(|e| format!("{e}"))?);
+            }
+            "--run-ms" => opts.run_ms = value("--run-ms")?.parse().map_err(|e| format!("{e}"))?,
+            "--resume" => opts.resume = true,
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    if opts.node == u64::MAX {
+        return Err("--node is required".into());
+    }
+    if opts.state.is_empty() {
+        return Err("--state is required".into());
+    }
+    Ok(opts)
+}
+
+/// What a previous incarnation left in the state log.
+#[derive(Default)]
+struct Restored {
+    epoch: u64,
+    /// Last `F peer floor` per peer.
+    floors: Vec<(u64, u64)>,
+    /// Last `P next` publish watermark.
+    next_publish: i64,
+    /// `D` lines already logged (counted toward `--expect`).
+    delivered: usize,
+}
+
+fn restore(path: &str) -> Restored {
+    let mut r = Restored::default();
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return r;
+    };
+    let mut floors: Vec<(u64, u64)> = Vec::new();
+    for line in text.lines() {
+        let mut f = line.split_whitespace();
+        match f.next() {
+            Some("N") => {
+                if let Some(e) = f.nth(1).and_then(|v| v.parse().ok()) {
+                    r.epoch = e;
+                }
+            }
+            Some("P") => {
+                if let Some(n) = f.next().and_then(|v| v.parse().ok()) {
+                    r.next_publish = n;
+                }
+            }
+            Some("F") => {
+                if let (Some(p), Some(fl)) = (
+                    f.next().and_then(|v| v.parse().ok()),
+                    f.next().and_then(|v| v.parse().ok()),
+                ) {
+                    floors.retain(|&(q, _)| q != p);
+                    floors.push((p, fl));
+                }
+            }
+            Some("D") => r.delivered += 1,
+            _ => {}
+        }
+    }
+    r.floors = floors;
+    r
+}
+
+fn run() -> Result<(), String> {
+    let opts = parse_args()?;
+    let restored = if opts.resume {
+        restore(&opts.state)
+    } else {
+        Restored::default()
+    };
+    let epoch = restored.epoch + 1;
+
+    let mut log = OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&opts.state)
+        .map_err(|e| format!("open {}: {e}", opts.state))?;
+
+    let schema = schema();
+    let broker = Arc::new(
+        Broker::new(&schema, BrokerConfig::default()).map_err(|e| format!("broker: {e}"))?,
+    );
+    let fed = Federation::new(
+        Arc::clone(&broker),
+        FederationConfig {
+            node: opts.node,
+            epoch,
+            ..FederationConfig::default()
+        },
+    );
+    if let Some(addr) = opts.listen {
+        let bound = fed.bind(addr).map_err(|e| format!("bind {addr}: {e}"))?;
+        println!("LISTEN {bound}");
+    }
+    let floor_of = |peer: u64| {
+        restored
+            .floors
+            .iter()
+            .find(|&&(p, _)| p == peer)
+            .map_or(0, |&(_, f)| f)
+    };
+    for &(peer, addr) in &opts.peers {
+        fed.add_tcp_peer(peer, addr, floor_of(peer));
+    }
+    let _sub = match &opts.subscribe {
+        Some(expr) => Some(
+            fed.subscribe_parsed(expr)
+                .map_err(|e| format!("subscribe: {e}"))?,
+        ),
+        None => None,
+    };
+
+    writeln!(log, "N {} {epoch}", opts.node).map_err(|e| format!("{e}"))?;
+    log.sync_data().map_err(|e| format!("{e}"))?;
+
+    let mut next_publish = if opts.resume {
+        restored
+            .next_publish
+            .max(opts.publish.map_or(0, |(lo, _)| lo))
+    } else {
+        opts.publish.map_or(0, |(lo, _)| lo)
+    };
+    let mut delivered = restored.delivered;
+    let start = Instant::now();
+    let deadline = start + Duration::from_millis(opts.run_ms);
+    let mut done_publishing_at: Option<Instant> = None;
+    let mut expect_met_at: Option<Instant> = None;
+
+    loop {
+        let now_ms = start.elapsed().as_millis() as u64;
+        let report = fed.pump(now_ms).map_err(|e| format!("pump: {e}"))?;
+
+        let mut entry = String::new();
+        for d in &report.delivered {
+            let x = d
+                .event
+                .value(schema.require("x").map_err(|e| format!("{e}"))?)
+                .map_or(-1, |v| match v {
+                    ens_types::Value::Int(i) => *i,
+                    _ => -1,
+                });
+            writeln!(entry, "D {} {} {x}", d.peer, d.seq).expect("string write");
+        }
+        delivered += report.delivered.len();
+
+        // Publish the next slice once every peer link has greeted and
+        // the expected interest has arrived (otherwise early events
+        // race the subscription exchange and are correctly — but
+        // unhelpfully for the oracle — unmatched).
+        if let Some((_, hi)) = opts.publish {
+            let m = fed.metrics();
+            let want_interest = opts.wait_interest.unwrap_or(opts.peers.len());
+            if m.peers_up == opts.peers.len()
+                && fed.interested_peers() >= want_interest
+                && next_publish < hi
+            {
+                let end = hi.min(next_publish + opts.per_pump as i64);
+                for x in next_publish..end {
+                    let event = Event::builder(&schema)
+                        .value("x", x)
+                        .map_err(|e| format!("{e}"))?
+                        .build();
+                    fed.publish(&event).map_err(|e| format!("publish: {e}"))?;
+                }
+                next_publish = end;
+                writeln!(entry, "P {next_publish}").expect("string write");
+            }
+            if next_publish >= hi && done_publishing_at.is_none() && fed.backlog() == 0 {
+                done_publishing_at = Some(Instant::now());
+            }
+        }
+        for &(peer, floor) in &report.floors {
+            writeln!(entry, "F {peer} {floor}").expect("string write");
+        }
+        if !entry.is_empty() {
+            // One write + fsync per pump: the log is durable before
+            // the next pump's lazy ack lets the peer forget.
+            log.write_all(entry.as_bytes())
+                .map_err(|e| format!("{e}"))?;
+            log.sync_data().map_err(|e| format!("{e}"))?;
+        }
+
+        let drained = fed.backlog() == 0;
+        if let Some(expect) = opts.expect {
+            if delivered >= expect && drained && expect_met_at.is_none() {
+                expect_met_at = Some(Instant::now());
+            }
+            // Grace pumps after the target: the lazy ack for the last
+            // batch goes out on the pump *after* it was logged, and
+            // exiting before it would leave the sender retransmitting
+            // at a ghost.
+            if let Some(at) = expect_met_at {
+                if at.elapsed() > Duration::from_millis(300) {
+                    println!("DONE delivered={delivered}");
+                    return Ok(());
+                }
+            }
+        }
+        if let Some(at) = done_publishing_at {
+            // Publisher: linger after draining so late peers can still
+            // be served retransmissions, then exit.
+            if opts.expect.is_none() && at.elapsed() > Duration::from_millis(1500) {
+                println!("DONE published={next_publish}");
+                return Ok(());
+            }
+        }
+        if Instant::now() >= deadline {
+            println!("DEADLINE delivered={delivered}");
+            return Ok(());
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("ens-fed-node: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

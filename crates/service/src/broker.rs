@@ -34,7 +34,6 @@ use std::io::Write;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
-use crossbeam::channel::{unbounded, Sender};
 use ens_dist::JointDist;
 use ens_filter::{
     AttributeOrder, DriftTracker, FilterSnapshot, RebuildPolicy, SearchStrategy,
@@ -46,6 +45,7 @@ use ens_types::{
 };
 use parking_lot::{Mutex, RwLock};
 
+use crate::channel::{self, OverflowPolicy, SendOutcome, Sender};
 use crate::metrics::{Metrics, MetricsSnapshot};
 use crate::notify::{Notification, Subscriber};
 use crate::persist::{
@@ -103,6 +103,16 @@ pub struct BrokerConfig {
     /// keeps the pre-tuning behaviour: drift rebuilds reuse the
     /// configured tree shape with a refreshed event model.
     pub tuning: TuningPolicy,
+    /// Capacity of each subscriber's notification channel; `0` means
+    /// unbounded (the default, matching the seed behaviour). With a
+    /// bound, a consumer that stops draining can hold at most this
+    /// many notifications — overflow is resolved by
+    /// [`BrokerConfig::overflow`] and counted in
+    /// [`MetricsSnapshot::overflow_dropped`].
+    pub notify_capacity: usize,
+    /// What a full subscriber channel does with the next notification
+    /// (only meaningful with `notify_capacity > 0`).
+    pub overflow: OverflowPolicy,
 }
 
 impl Default for BrokerConfig {
@@ -116,6 +126,8 @@ impl Default for BrokerConfig {
             dfsa_dispatch: false,
             stats_sample: 1,
             tuning: TuningPolicy::default(),
+            notify_capacity: 0,
+            overflow: OverflowPolicy::default(),
         }
     }
 }
@@ -456,8 +468,16 @@ thread_local! {
 /// A sender whose receiver is already gone: placeholder for tombstoned
 /// dispatch slots (every send fails immediately; never matched anyway).
 fn disconnected_sender() -> Sender<Notification> {
-    let (tx, _rx) = unbounded();
+    let (tx, _rx) = channel::channel(0, OverflowPolicy::default());
     tx
+}
+
+/// A fresh subscriber channel under `config`'s capacity and overflow
+/// policy.
+fn notify_channel(
+    config: &BrokerConfig,
+) -> (Sender<Notification>, crate::channel::Receiver<Notification>) {
+    channel::channel(config.notify_capacity, config.overflow)
 }
 
 /// Per-event delivery outcome, accumulated across shards.
@@ -465,6 +485,9 @@ fn disconnected_sender() -> Sender<Notification> {
 struct Delivery {
     matched: Vec<SubscriptionId>,
     dead: Vec<SubscriptionId>,
+    /// Notifications lost to a bounded channel's overflow policy
+    /// (each one matched — the subscription stays in `matched`).
+    overflowed: u64,
     ops: u64,
     /// The overlay side-index's share of `ops` (metrics attribution:
     /// overlay matching decay between compactions).
@@ -507,6 +530,9 @@ pub struct Broker {
     /// WAL + checkpoint state; `None` for in-memory brokers
     /// ([`Broker::new`]), `Some` after [`Broker::open`].
     durability: Option<Durability>,
+    /// Fault-injection: `shard + 1` of a batch worker that should
+    /// panic on its next run, `0` for none (tests of panic isolation).
+    batch_fault: AtomicU64,
 }
 
 impl Broker {
@@ -559,6 +585,7 @@ impl Broker {
             next_sub: AtomicU64::new(0),
             metrics: Arc::new(Metrics::default()),
             durability: None,
+            batch_fault: AtomicU64::new(0),
         })
     }
 
@@ -730,7 +757,7 @@ impl Broker {
                     removed_count += 1;
                     disconnected_sender()
                 } else {
-                    let (tx, rx) = unbounded();
+                    let (tx, rx) = notify_channel(&config);
                     subscribers.insert(e.id, Subscriber::new(id, rx));
                     tx
                 };
@@ -757,7 +784,7 @@ impl Broker {
                     ));
                 }
                 let id = SubscriptionId::new(e.id);
-                let (tx, rx) = unbounded();
+                let (tx, rx) = notify_channel(&config);
                 subscribers.insert(e.id, Subscriber::new(id, rx));
                 overlay.push(SubEntry {
                     id,
@@ -803,6 +830,7 @@ impl Broker {
             next_sub: AtomicU64::new(cp.next_sub),
             metrics: Arc::new(Metrics::default()),
             durability: None,
+            batch_fault: AtomicU64::new(0),
         })
     }
 
@@ -942,7 +970,12 @@ impl Broker {
             sequence: self.sequence.load(Ordering::Relaxed),
             shards,
         };
-        let bytes = cp.to_bytes();
+        // An unencodable profile degrades to an error (the previous
+        // checkpoint stays intact and the WAL keeps growing) instead
+        // of panicking with every writer lock held.
+        let bytes = cp
+            .to_bytes()
+            .map_err(|e| ServiceError::Persist(e.message().to_string()))?;
         drop(writers);
 
         let tmp = d.config.dir.join(persist::CHECKPOINT_TMP_FILE);
@@ -1079,7 +1112,7 @@ impl Broker {
         profile: Profile,
         weight: f64,
     ) -> Result<Subscriber, ServiceError> {
-        let (tx, rx) = unbounded();
+        let (tx, rx) = notify_channel(&self.config);
         let shard = self.shard_of(id);
         let mut w = shard.writer.lock();
         w.overlay.push(SubEntry {
@@ -1132,7 +1165,7 @@ impl Broker {
         let mut log = Vec::new();
         for profile in profiles {
             let id = SubscriptionId::new(self.next_sub.fetch_add(1, Ordering::Relaxed));
-            let (tx, rx) = unbounded();
+            let (tx, rx) = notify_channel(&self.config);
             if self.durability.is_some() {
                 log.push((id.get(), profile.clone()));
             }
@@ -1411,20 +1444,38 @@ impl Broker {
             .iter()
             .map(|s| s.snapshot.read().clone())
             .collect();
+        // A panicking worker (a poisoned profile, a bug in a matching
+        // strategy) must not take the broker down or lose the other
+        // shards' deliveries: the panic is caught, counted, and the
+        // panicked shard contributes empty deliveries for this batch.
+        // `AssertUnwindSafe` is sound here: a worker only reads the
+        // immutable snapshot and sends on channels whose shared state
+        // is lock-protected and stays consistent (drift statistics are
+        // only touched later, in `finish_publish`).
+        let run_worker = |shard_idx: usize, snap: &ShardSnapshot| -> Vec<Delivery> {
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                self.batch_worker(shard_idx, snap, &indexed, events, base_seq)
+            }))
+            .unwrap_or_else(|_| {
+                self.metrics.shard_panics.fetch_add(1, Ordering::Relaxed);
+                (0..events.len()).map(|_| Delivery::default()).collect()
+            })
+        };
         let mut per_shard: Vec<Vec<Delivery>> = if self.shards.len() == 1 {
-            vec![self.batch_worker(&snaps[0], &indexed, events, base_seq)]
+            vec![run_worker(0, &snaps[0])]
         } else {
             std::thread::scope(|scope| {
                 let handles: Vec<_> = snaps
                     .iter()
-                    .map(|snap| {
-                        let indexed = &indexed;
-                        scope.spawn(move || self.batch_worker(snap, indexed, events, base_seq))
+                    .enumerate()
+                    .map(|(s, snap)| {
+                        let run_worker = &run_worker;
+                        scope.spawn(move || run_worker(s, snap))
                     })
                     .collect();
                 handles
                     .into_iter()
-                    .map(|h| h.join().expect("shard worker"))
+                    .map(|h| h.join().expect("shard worker panics are caught inside"))
                     .collect()
             })
         };
@@ -1436,6 +1487,7 @@ impl Broker {
                 let d = std::mem::take(&mut shard[i]);
                 delivery.matched.extend(d.matched);
                 delivery.dead.extend(d.dead);
+                delivery.overflowed += d.overflowed;
                 delivery.ops += d.ops;
                 delivery.overlay_ops += d.overlay_ops;
                 delivery.rejecting_shards += d.rejecting_shards;
@@ -1455,15 +1507,33 @@ impl Broker {
         Ok(receipts)
     }
 
+    /// Arms the next `publish_batch` so the worker of `shard` panics
+    /// mid-batch — the fault-injection hook behind the panic-isolation
+    /// tests. Not part of the supported API.
+    #[doc(hidden)]
+    pub fn inject_batch_worker_panic(&self, shard: usize) {
+        self.batch_fault.store(shard as u64 + 1, Ordering::Relaxed);
+    }
+
     /// Processes the whole batch for one shard, in order, through the
     /// snapshot's block matching engine.
     fn batch_worker(
         &self,
+        shard_idx: usize,
         snap: &ShardSnapshot,
         indexed: &IndexedBatch,
         events: &[Arc<Event>],
         base_seq: u64,
     ) -> Vec<Delivery> {
+        let armed = self.batch_fault.load(Ordering::Relaxed);
+        if armed == shard_idx as u64 + 1
+            && self
+                .batch_fault
+                .compare_exchange(armed, 0, Ordering::Relaxed, Ordering::Relaxed)
+                .is_ok()
+        {
+            panic!("injected batch worker fault (shard {shard_idx})");
+        }
         if snap.quench.is_some() {
             // Inbound quenching pre-filters per event before matching;
             // keep the single-event path so quenched events pay (and
@@ -1527,10 +1597,15 @@ impl Broker {
             sequence,
             event: Arc::clone(event),
         };
-        if entry.sender.send(n).is_ok() {
-            out.matched.push(entry.id);
-        } else {
-            out.dead.push(entry.id);
+        match entry.sender.send(n) {
+            Ok(SendOutcome::Delivered) => out.matched.push(entry.id),
+            Ok(SendOutcome::DroppedOne) => {
+                // The subscription matched and stays live; exactly one
+                // notification was lost to the overflow policy.
+                out.matched.push(entry.id);
+                out.overflowed += 1;
+            }
+            Err(_) => out.dead.push(entry.id),
         }
     }
 
@@ -1601,6 +1676,11 @@ impl Broker {
             self.metrics
                 .notifications_sent
                 .fetch_add(delivery.matched.len() as u64, Ordering::Relaxed);
+        }
+        if delivery.overflowed > 0 {
+            self.metrics
+                .overflow_dropped
+                .fetch_add(delivery.overflowed, Ordering::Relaxed);
         }
         if !delivery.dead.is_empty() {
             self.metrics

@@ -1,0 +1,345 @@
+//! Bounded MPMC notification channels with explicit overflow policies.
+//!
+//! The broker used to hand every subscriber an unbounded queue, which
+//! turns one stalled consumer into unbounded memory growth. This
+//! module supplies the replacement: a small MPMC channel whose `send`
+//! never blocks the publishing hot path and instead resolves overflow
+//! according to a configured [`OverflowPolicy`] — evict the oldest
+//! queued notification, refuse the newest, or sever the channel so the
+//! broker's dead-subscriber garbage collection prunes the
+//! subscription.
+//!
+//! `DropOldest` is why this is hand-rolled rather than a bounded
+//! channel from a library shim: eviction pops from the *send* side,
+//! an operation classical bounded channels do not expose.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// What a bounded subscriber channel does when a send finds it full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OverflowPolicy {
+    /// Evict the oldest queued notification to admit the new one: the
+    /// consumer keeps seeing the freshest events at the price of a gap
+    /// (the default — matches a monitoring consumer that only cares
+    /// about current state).
+    #[default]
+    DropOldest,
+    /// Refuse the new notification and keep the queued backlog intact:
+    /// the consumer drains a contiguous prefix and misses the tail.
+    DropNewest,
+    /// Sever the channel: the subscriber is treated as hung-up, and
+    /// the broker's dead-subscriber garbage collection cancels the
+    /// subscription on this publish.
+    Disconnect,
+}
+
+/// How a send was resolved (the broker turns these into metrics).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum SendOutcome {
+    /// Queued without loss.
+    Delivered,
+    /// Queued, but one previously queued notification was evicted
+    /// (`DropOldest`) — or the new one was refused (`DropNewest`).
+    /// Either way exactly one notification was lost.
+    DroppedOne,
+}
+
+/// The channel is severed: every receiver is gone, or an overflow
+/// under [`OverflowPolicy::Disconnect`] closed it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct Disconnected;
+
+struct State<T> {
+    buf: VecDeque<T>,
+    /// Set by an overflow under [`OverflowPolicy::Disconnect`]; once
+    /// closed the channel stays closed.
+    closed: bool,
+    /// Notifications lost to the overflow policy on this channel.
+    dropped: u64,
+}
+
+struct Inner<T> {
+    state: Mutex<State<T>>,
+    ready: Condvar,
+    senders: AtomicUsize,
+    receivers: AtomicUsize,
+}
+
+impl<T> Inner<T> {
+    fn state(&self) -> std::sync::MutexGuard<'_, State<T>> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+/// Creates a notification channel. `capacity == 0` means unbounded
+/// (the seed behaviour); otherwise at most `capacity` notifications
+/// are queued and `policy` resolves overflow.
+pub(crate) fn channel<T>(capacity: usize, policy: OverflowPolicy) -> (Sender<T>, Receiver<T>) {
+    let inner = Arc::new(Inner {
+        state: Mutex::new(State {
+            buf: VecDeque::new(),
+            closed: false,
+            dropped: 0,
+        }),
+        ready: Condvar::new(),
+        senders: AtomicUsize::new(1),
+        receivers: AtomicUsize::new(1),
+    });
+    (
+        Sender {
+            inner: Arc::clone(&inner),
+            capacity,
+            policy,
+        },
+        Receiver { inner },
+    )
+}
+
+/// The broker-side half: owned by dispatch entries.
+pub(crate) struct Sender<T> {
+    inner: Arc<Inner<T>>,
+    capacity: usize,
+    policy: OverflowPolicy,
+}
+
+/// The subscriber-side half, wrapped by
+/// [`Subscriber`](crate::Subscriber).
+pub(crate) struct Receiver<T> {
+    inner: Arc<Inner<T>>,
+}
+
+impl<T> Sender<T> {
+    /// Enqueues a notification without ever blocking. Overflow is
+    /// resolved by the channel's policy; `Err` means the channel is
+    /// severed and the subscription should be garbage-collected.
+    pub(crate) fn send(&self, msg: T) -> Result<SendOutcome, Disconnected> {
+        if self.inner.receivers.load(Ordering::Acquire) == 0 {
+            return Err(Disconnected);
+        }
+        let mut s = self.inner.state();
+        if s.closed {
+            return Err(Disconnected);
+        }
+        let outcome = if self.capacity > 0 && s.buf.len() >= self.capacity {
+            match self.policy {
+                OverflowPolicy::DropOldest => {
+                    s.buf.pop_front();
+                    s.buf.push_back(msg);
+                    s.dropped += 1;
+                    SendOutcome::DroppedOne
+                }
+                OverflowPolicy::DropNewest => {
+                    s.dropped += 1;
+                    SendOutcome::DroppedOne
+                }
+                OverflowPolicy::Disconnect => {
+                    s.closed = true;
+                    s.buf.clear();
+                    drop(s);
+                    self.inner.ready.notify_all();
+                    return Err(Disconnected);
+                }
+            }
+        } else {
+            s.buf.push_back(msg);
+            SendOutcome::Delivered
+        };
+        drop(s);
+        self.inner.ready.notify_one();
+        Ok(outcome)
+    }
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        self.inner.senders.fetch_add(1, Ordering::AcqRel);
+        Sender {
+            inner: Arc::clone(&self.inner),
+            capacity: self.capacity,
+            policy: self.policy,
+        }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        if self.inner.senders.fetch_sub(1, Ordering::AcqRel) == 1 {
+            // Last sender: wake blocked receivers so they observe the
+            // disconnect.
+            self.inner.ready.notify_all();
+        }
+    }
+}
+
+/// Why [`Receiver::try_recv`] returned nothing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum TryRecvError {
+    /// Nothing queued right now.
+    Empty,
+    /// Nothing queued and the channel is severed (every sender gone,
+    /// or closed by [`OverflowPolicy::Disconnect`]).
+    Disconnected,
+}
+
+impl<T> Receiver<T> {
+    /// Non-blocking receive.
+    pub(crate) fn try_recv(&self) -> Result<T, TryRecvError> {
+        let mut s = self.inner.state();
+        if let Some(msg) = s.buf.pop_front() {
+            return Ok(msg);
+        }
+        if s.closed || self.inner.senders.load(Ordering::Acquire) == 0 {
+            Err(TryRecvError::Disconnected)
+        } else {
+            Err(TryRecvError::Empty)
+        }
+    }
+
+    /// Blocking receive with a timeout. `None` on timeout or
+    /// disconnect.
+    pub(crate) fn recv_timeout(&self, timeout: Duration) -> Option<T> {
+        let deadline = Instant::now().checked_add(timeout);
+        let mut s = self.inner.state();
+        loop {
+            if let Some(msg) = s.buf.pop_front() {
+                return Some(msg);
+            }
+            if s.closed || self.inner.senders.load(Ordering::Acquire) == 0 {
+                return None;
+            }
+            let wait = match deadline {
+                Some(deadline) => {
+                    let now = Instant::now();
+                    if now >= deadline {
+                        return None;
+                    }
+                    deadline - now
+                }
+                // Unrepresentable deadline: wait in long slices.
+                None => Duration::from_secs(3600),
+            };
+            let (guard, _timed_out) = self
+                .inner
+                .ready
+                .wait_timeout(s, wait)
+                .unwrap_or_else(|e| e.into_inner());
+            s = guard;
+        }
+    }
+
+    /// Number of queued notifications.
+    pub(crate) fn len(&self) -> usize {
+        self.inner.state().buf.len()
+    }
+
+    /// Notifications this channel has lost to its overflow policy.
+    pub(crate) fn dropped(&self) -> u64 {
+        self.inner.state().dropped
+    }
+
+    /// Whether the channel is severed (regardless of queued backlog).
+    pub(crate) fn is_disconnected(&self) -> bool {
+        self.inner.state().closed || self.inner.senders.load(Ordering::Acquire) == 0
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        self.inner.receivers.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+impl<T> fmt::Debug for Sender<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Sender")
+            .field("capacity", &self.capacity)
+            .field("policy", &self.policy)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<T> fmt::Debug for Receiver<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Receiver").finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unbounded_when_capacity_zero() {
+        let (tx, rx) = channel(0, OverflowPolicy::DropOldest);
+        for i in 0..1000 {
+            assert_eq!(tx.send(i), Ok(SendOutcome::Delivered));
+        }
+        assert_eq!(rx.len(), 1000);
+        assert_eq!(rx.dropped(), 0);
+    }
+
+    #[test]
+    fn drop_oldest_keeps_the_freshest_tail() {
+        let (tx, rx) = channel(3, OverflowPolicy::DropOldest);
+        for i in 0..10 {
+            let out = tx.send(i).unwrap();
+            if i < 3 {
+                assert_eq!(out, SendOutcome::Delivered);
+            } else {
+                assert_eq!(out, SendOutcome::DroppedOne);
+            }
+        }
+        assert_eq!(rx.dropped(), 7);
+        assert_eq!(rx.try_recv(), Ok(7));
+        assert_eq!(rx.try_recv(), Ok(8));
+        assert_eq!(rx.try_recv(), Ok(9));
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+    }
+
+    #[test]
+    fn drop_newest_keeps_the_prefix() {
+        let (tx, rx) = channel(3, OverflowPolicy::DropNewest);
+        for i in 0..10 {
+            tx.send(i).unwrap();
+        }
+        assert_eq!(rx.dropped(), 7);
+        assert_eq!(rx.try_recv(), Ok(0));
+        assert_eq!(rx.try_recv(), Ok(1));
+        assert_eq!(rx.try_recv(), Ok(2));
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+    }
+
+    #[test]
+    fn disconnect_policy_severs_the_channel() {
+        let (tx, rx) = channel(2, OverflowPolicy::Disconnect);
+        assert!(tx.send(0).is_ok());
+        assert!(tx.send(1).is_ok());
+        assert_eq!(tx.send(2), Err(Disconnected));
+        // Severed for good: the backlog is gone and later sends fail.
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+        assert_eq!(tx.send(3), Err(Disconnected));
+    }
+
+    #[test]
+    fn dropped_receiver_fails_sends() {
+        let (tx, rx) = channel(0, OverflowPolicy::DropOldest);
+        drop(rx);
+        assert_eq!(tx.send(1), Err(Disconnected));
+    }
+
+    #[test]
+    fn recv_timeout_wakes_on_cross_thread_send() {
+        let (tx, rx) = channel(0, OverflowPolicy::DropOldest);
+        assert_eq!(rx.recv_timeout(Duration::from_millis(5)), None);
+        let handle = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(10));
+            tx.send(99).unwrap();
+        });
+        assert_eq!(rx.recv_timeout(Duration::from_secs(5)), Some(99));
+        handle.join().unwrap();
+    }
+}

@@ -1,0 +1,904 @@
+//! Fault-tolerant broker federation.
+//!
+//! Connects brokers into a full mesh in the style the paper sketches
+//! for distributed event notification services (and SIENA/REBECA
+//! realise at scale): *subscriptions travel to where events are
+//! published; matching events travel back*. Each broker forwards its
+//! local subscriptions' profiles to every peer; each peer keeps a
+//! per-origin **interest filter** — compiled with the same filter
+//! tree the local matching engine uses — and forwards an event to a
+//! peer only when that peer's interest matches. Forwarded events are
+//! published at the receiving broker as ordinary events, notifying
+//! its local subscribers.
+//!
+//! Loop freedom is structural: a broker only ever forwards events its
+//! *own* application published ([`Federation::publish`] /
+//! [`Federation::publish_batch`]); events that arrived from a peer
+//! are injected straight into the local [`Broker`] and never
+//! re-forwarded. In a full mesh every broker hears every matched
+//! event exactly once.
+//!
+//! Everything rides on the private `link::PeerLink`'s reliability
+//! machinery — sequence numbers, cumulative acks, Go-Back-N
+//! retransmission, capped-exponential reconnect backoff,
+//! heartbeats — over any
+//! [`transport::Transport`]: real TCP ([`transport::TcpTransport`])
+//! or the seeded fault-injection network ([`sim::SimNet`]) the
+//! robustness suite uses to replay drop/delay/duplicate/reorder/
+//! partition/torn-write schedules deterministically.
+//!
+//! The federation is *pump-driven*: nothing happens between calls to
+//! [`Federation::pump`], which the embedding process calls on its own
+//! cadence with its own clock. That keeps the whole subsystem free of
+//! threads and wall-clock reads, which is what makes crash/partition
+//! tests reproducible.
+//!
+//! ## Durability contract
+//!
+//! [`PumpReport::floors`] exposes, after every pump, the highest
+//! contiguous sequence received from each peer. A process that
+//! persists those floors (alongside whatever it did with the
+//! delivered events) and passes them back through
+//! [`Federation::add_peer`] on restart gets exactly-once delivery
+//! across its own crashes: the link's lazy ack guarantees a peer
+//! never forgets traffic before the floor covering it could be
+//! persisted, and the restored floor deduplicates the overlap that
+//! at-least-once retransmission then redelivers.
+
+pub mod link;
+pub mod sim;
+pub mod transport;
+mod wire;
+
+use std::collections::HashMap;
+use std::io::{ErrorKind, Read};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+use ens_filter::{FilterSnapshot, SnapshotScratch, TreeConfig};
+use ens_types::{Event, IndexedEvent, Profile, ProfileSet, Schema};
+
+use crate::broker::{Broker, PublishReceipt};
+use crate::error::ServiceError;
+use crate::notify::Subscriber;
+use crate::subscription::SubscriptionId;
+
+use link::{LinkConfig, LinkEvent, LinkStats, PeerLink};
+use transport::{AdoptSlot, AdoptState, TcpTransport, Transport};
+pub use wire::schema_hash;
+use wire::Msg;
+
+/// Federation identity and link tuning for one broker process.
+#[derive(Debug, Clone, Copy)]
+pub struct FederationConfig {
+    /// This broker's node id — unique across the federation. TCP
+    /// glare avoidance keys off it: the lower id dials, the higher
+    /// one accepts.
+    pub node: u64,
+    /// Process incarnation, announced in greetings. Bump it on
+    /// restart so surviving peers re-forward their interest state.
+    pub epoch: u64,
+    /// Per-peer link tuning.
+    pub link: LinkConfig,
+}
+
+impl Default for FederationConfig {
+    fn default() -> Self {
+        FederationConfig {
+            node: 0,
+            epoch: 1,
+            link: LinkConfig::default(),
+        }
+    }
+}
+
+/// One event delivered from a peer during a pump.
+#[derive(Debug, Clone)]
+pub struct RemoteDelivery {
+    /// Originating peer node id.
+    pub peer: u64,
+    /// The event's sequence on that peer's link (monotone per peer).
+    pub seq: u64,
+    /// The reconstructed event, already published to the local
+    /// broker.
+    pub event: Arc<Event>,
+}
+
+/// What one [`Federation::pump`] call accomplished.
+#[derive(Debug, Default)]
+pub struct PumpReport {
+    /// Events delivered from peers, in link order per peer.
+    pub delivered: Vec<RemoteDelivery>,
+    /// Per-peer receive floors (highest contiguous sequence seen) as
+    /// of the end of this pump. Persist these before the next pump
+    /// for exactly-once restarts.
+    pub floors: Vec<(u64, u64)>,
+    /// Peers whose link completed a greeting this pump, with whether
+    /// the peer's epoch changed since the previous connection.
+    pub established: Vec<(u64, bool)>,
+    /// Peers refused because they run a different schema.
+    pub schema_mismatch: Vec<u64>,
+}
+
+/// Aggregated federation counters (sums over all peer links).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FederationMetrics {
+    /// Sequenced messages first-sent across all links.
+    pub sent: u64,
+    /// Go-Back-N retransmissions.
+    pub retransmits: u64,
+    /// Sequence numbers lost to pending-buffer overflow policies.
+    pub overflow_dropped: u64,
+    /// Inbound duplicates absorbed by receive floors.
+    pub duplicates: u64,
+    /// Inbound messages dropped for leaving a sequence gap.
+    pub gap_drops: u64,
+    /// Connection resets across all links.
+    pub resets: u64,
+    /// Messages abandoned as unencodable.
+    pub unencodable: u64,
+    /// Rows forwarded to peers (matched events, counted per peer).
+    pub forwarded_rows: u64,
+    /// Rows received from peers and published locally.
+    pub delivered_rows: u64,
+    /// Rows from peers that failed validation (corrupt indices or
+    /// width) and were discarded.
+    pub rejected_rows: u64,
+    /// Peer links currently up.
+    pub peers_up: usize,
+    /// Peer links permanently failed (schema mismatch or
+    /// overflow-disconnect).
+    pub peers_failed: usize,
+}
+
+/// One forwarded subscription in a peer's interest set, tagged with
+/// the peer incarnation that forwarded it.
+struct InterestEntry {
+    epoch: u64,
+    #[allow(dead_code)] // forwarded for future weighted routing
+    weight: f64,
+    profile: Profile,
+}
+
+/// A peer's forwarded subscriptions, compiled into a filter the
+/// forwarding hot path can match one [`IndexedEvent`] against.
+///
+/// Interest survives the peer's restarts *conservatively*: entries
+/// from an older incarnation are kept — over-forwarding wastes
+/// bandwidth but loses nothing — until the first subscription from
+/// the new incarnation arrives, which prunes everything older in the
+/// same state-lock critical section (so no publish can slip through
+/// a half-replaced interest set).
+#[derive(Default)]
+struct PeerInterest {
+    subs: HashMap<u64, InterestEntry>,
+    snapshot: Option<FilterSnapshot>,
+}
+
+impl PeerInterest {
+    fn recompile(&mut self, schema: &Schema) -> Result<(), ServiceError> {
+        if self.subs.is_empty() {
+            self.snapshot = None;
+            return Ok(());
+        }
+        let mut set = ProfileSet::new(schema);
+        // Deterministic insert order (subscription id) so compiled
+        // trees are reproducible run to run.
+        let mut ids: Vec<u64> = self.subs.keys().copied().collect();
+        ids.sort_unstable();
+        for id in ids {
+            set.insert(self.subs[&id].profile.clone());
+        }
+        self.snapshot = Some(FilterSnapshot::compile(&set, &TreeConfig::default())?);
+        Ok(())
+    }
+}
+
+/// An accepted TCP connection whose first frame (the identifying
+/// `Hello`) has not fully arrived yet.
+struct PendingAccept {
+    stream: TcpStream,
+    buf: Vec<u8>,
+    deadline: Instant,
+}
+
+/// Mutable federation state, behind one mutex (the pump is the only
+/// hot path and publishes only enqueue).
+struct FedState {
+    links: Vec<PeerLink>,
+    interest: HashMap<u64, PeerInterest>,
+    /// Local subscriptions forwarded to peers: id → (weight, profile).
+    local_subs: HashMap<u64, (f64, Profile)>,
+    epoch: u64,
+    scratch: SnapshotScratch,
+    ix_scratch: IndexedEvent,
+    listener: Option<TcpListener>,
+    pending_accepts: Vec<PendingAccept>,
+    /// Passive-side adoption slots, by peer node id.
+    slots: HashMap<u64, AdoptSlot>,
+    delivered_rows: u64,
+    rejected_rows: u64,
+    forwarded_rows: u64,
+}
+
+/// A federated broker endpoint: wraps an [`Broker`] (shared, so the
+/// application keeps using it directly for purely local work) and
+/// manages the peer links.
+pub struct Federation {
+    broker: Arc<Broker>,
+    schema: Arc<Schema>,
+    node: u64,
+    link_config: LinkConfig,
+    state: Mutex<FedState>,
+}
+
+impl Federation {
+    /// Wraps `broker` as a federation endpoint. No I/O happens until
+    /// peers are added and [`Federation::pump`] runs.
+    #[must_use]
+    pub fn new(broker: Arc<Broker>, config: FederationConfig) -> Self {
+        let schema = broker.schema_shared();
+        Federation {
+            broker,
+            schema,
+            node: config.node,
+            link_config: config.link,
+            state: Mutex::new(FedState {
+                links: Vec::new(),
+                interest: HashMap::new(),
+                local_subs: HashMap::new(),
+                epoch: config.epoch,
+                scratch: SnapshotScratch::new(),
+                ix_scratch: IndexedEvent::new(),
+                listener: None,
+                pending_accepts: Vec::new(),
+                slots: HashMap::new(),
+                delivered_rows: 0,
+                rejected_rows: 0,
+                forwarded_rows: 0,
+            }),
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, FedState> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// The wrapped broker.
+    #[must_use]
+    pub fn broker(&self) -> &Arc<Broker> {
+        &self.broker
+    }
+
+    /// This endpoint's node id.
+    #[must_use]
+    pub fn node(&self) -> u64 {
+        self.node
+    }
+
+    /// Adds a peer over an explicit transport (tests use the
+    /// fault-injection network here). `recv_floor` is the persisted
+    /// receive floor from a previous incarnation, 0 for a fresh pairing.
+    pub fn add_peer(&self, peer: u64, transport: Box<dyn Transport>, recv_floor: u64) {
+        let mut st = self.lock();
+        let mut link = PeerLink::new(
+            self.node,
+            peer,
+            Arc::clone(&self.schema),
+            st.epoch,
+            recv_floor,
+            transport,
+            self.link_config,
+        );
+        // Forward the subscriptions that already exist; later ones
+        // are forwarded as they arrive.
+        let mut ids: Vec<u64> = st.local_subs.keys().copied().collect();
+        ids.sort_unstable();
+        for id in ids {
+            let (weight, profile) = st.local_subs[&id].clone();
+            link.enqueue(Msg::Subscribe {
+                seq: 0,
+                id,
+                weight,
+                profile,
+            });
+        }
+        st.links.retain(|l| l.peer() != peer);
+        st.links.push(link);
+    }
+
+    /// Adds a TCP peer. The side with the lower node id dials `addr`;
+    /// the higher side waits for the peer to dial in through this
+    /// endpoint's [`Federation::bind`] listener.
+    pub fn add_tcp_peer(&self, peer: u64, addr: SocketAddr, recv_floor: u64) {
+        let transport: Box<dyn Transport> = if self.node < peer {
+            Box::new(TcpTransport::dial(addr))
+        } else {
+            let slot: AdoptSlot = Arc::new(Mutex::new(AdoptState::default()));
+            self.lock().slots.insert(peer, Arc::clone(&slot));
+            Box::new(TcpTransport::passive(slot))
+        };
+        self.add_peer(peer, transport, recv_floor);
+    }
+
+    /// Starts listening for inbound federation connections. Returns
+    /// the bound address (useful with port 0).
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors.
+    pub fn bind(&self, addr: SocketAddr) -> std::io::Result<SocketAddr> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let bound = listener.local_addr()?;
+        self.lock().listener = Some(listener);
+        Ok(bound)
+    }
+
+    /// Registers a weighted subscription locally and forwards its
+    /// profile to every peer, so remote events matching it reach this
+    /// broker.
+    ///
+    /// # Errors
+    ///
+    /// Propagates local subscription errors; forwarding is
+    /// best-effort (bounded by the links' overflow policies).
+    pub fn subscribe_profile_weighted(
+        &self,
+        profile: Profile,
+        weight: f64,
+    ) -> Result<Subscriber, ServiceError> {
+        let sub = self
+            .broker
+            .subscribe_profile_weighted(profile.clone(), weight)?;
+        let id = sub.id().get();
+        let mut st = self.lock();
+        st.local_subs.insert(id, (weight, profile.clone()));
+        for link in &mut st.links {
+            link.enqueue(Msg::Subscribe {
+                seq: 0,
+                id,
+                weight,
+                profile: profile.clone(),
+            });
+        }
+        Ok(sub)
+    }
+
+    /// [`Federation::subscribe_profile_weighted`] with weight 1.
+    ///
+    /// # Errors
+    ///
+    /// Propagates local subscription errors.
+    pub fn subscribe_profile(&self, profile: Profile) -> Result<Subscriber, ServiceError> {
+        self.subscribe_profile_weighted(profile, 1.0)
+    }
+
+    /// Parses a profile expression and subscribes (see
+    /// [`Broker::subscribe_parsed`] for the syntax).
+    ///
+    /// # Errors
+    ///
+    /// Propagates parse and subscription errors.
+    pub fn subscribe_parsed(&self, text: &str) -> Result<Subscriber, ServiceError> {
+        let profile =
+            ens_types::parse::parse_profile(&self.schema, text, ens_types::ProfileId::new(0))
+                .map_err(ServiceError::Types)?;
+        self.subscribe_profile(profile)
+    }
+
+    /// Cancels a subscription locally and retracts it from peers.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Broker::unsubscribe`] errors.
+    pub fn unsubscribe(&self, id: SubscriptionId) -> Result<(), ServiceError> {
+        self.broker.unsubscribe(id)?;
+        let mut st = self.lock();
+        if st.local_subs.remove(&id.get()).is_some() {
+            for link in &mut st.links {
+                link.enqueue(Msg::Unsubscribe {
+                    seq: 0,
+                    id: id.get(),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Publishes a locally originated event: local subscribers are
+    /// notified through the broker, and the event is forwarded to
+    /// every peer whose interest filter matches it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates local publish errors.
+    pub fn publish(&self, event: &Event) -> Result<PublishReceipt, ServiceError> {
+        let receipt = self.broker.publish(event)?;
+        self.forward(std::slice::from_ref(event))?;
+        Ok(receipt)
+    }
+
+    /// Publishes a locally originated batch (block matching locally,
+    /// one forwarded `Batch` frame per interested peer).
+    ///
+    /// # Errors
+    ///
+    /// Propagates local publish errors.
+    pub fn publish_batch(
+        &self,
+        events: &[Arc<Event>],
+    ) -> Result<Vec<PublishReceipt>, ServiceError> {
+        let receipts = self.broker.publish_batch(events)?;
+        let plain: Vec<&Event> = events.iter().map(Arc::as_ref).collect();
+        self.forward_refs(&plain)?;
+        Ok(receipts)
+    }
+
+    fn forward(&self, events: &[Event]) -> Result<(), ServiceError> {
+        let refs: Vec<&Event> = events.iter().collect();
+        self.forward_refs(&refs)
+    }
+
+    /// Matches each event against every peer's interest filter and
+    /// enqueues one `Batch` per interested peer. Events arriving from
+    /// peers never pass through here — that is the loop guard.
+    fn forward_refs(&self, events: &[&Event]) -> Result<(), ServiceError> {
+        let st = &mut *self.lock();
+        if st.links.is_empty() {
+            return Ok(());
+        }
+        let width = self.schema.len() as u32;
+        let mut per_peer: HashMap<u64, Vec<Vec<u64>>> = HashMap::new();
+        for event in events {
+            st.ix_scratch
+                .resolve_into(&self.schema, event)
+                .map_err(ServiceError::Types)?;
+            for link in &st.links {
+                let peer = link.peer();
+                let Some(interest) = st.interest.get(&peer) else {
+                    continue;
+                };
+                let Some(snapshot) = interest.snapshot.as_ref() else {
+                    continue;
+                };
+                snapshot.match_into(&st.ix_scratch, &mut st.scratch, false);
+                if st.scratch.is_match() {
+                    per_peer
+                        .entry(peer)
+                        .or_default()
+                        .push(st.ix_scratch.raw().to_vec());
+                }
+            }
+        }
+        for link in &mut st.links {
+            if let Some(rows) = per_peer.remove(&link.peer()) {
+                st.forwarded_rows += rows.len() as u64;
+                link.enqueue(Msg::Batch {
+                    first_seq: 0,
+                    width,
+                    rows,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Accepts pending inbound TCP connections and routes each to its
+    /// peer's adoption slot once the identifying `Hello` arrives.
+    fn poll_accepts(&self, st: &mut FedState) {
+        if let Some(listener) = st.listener.as_ref() {
+            loop {
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        if stream.set_nonblocking(true).is_ok() {
+                            st.pending_accepts.push(PendingAccept {
+                                stream,
+                                buf: Vec::new(),
+                                deadline: Instant::now() + Duration::from_secs(2),
+                            });
+                        }
+                    }
+                    Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                    Err(_) => break,
+                }
+            }
+        }
+        let mut i = 0;
+        while i < st.pending_accepts.len() {
+            enum Verdict {
+                Keep,
+                Drop,
+                Adopt(u64),
+            }
+            let pa = &mut st.pending_accepts[i];
+            let mut verdict = Verdict::Keep;
+            let mut chunk = [0u8; 4096];
+            loop {
+                match pa.stream.read(&mut chunk) {
+                    Ok(0) => {
+                        verdict = Verdict::Drop;
+                        break;
+                    }
+                    Ok(n) => pa.buf.extend_from_slice(&chunk[..n]),
+                    Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                    Err(_) => {
+                        verdict = Verdict::Drop;
+                        break;
+                    }
+                }
+            }
+            if matches!(verdict, Verdict::Keep) {
+                match identify_hello(&pa.buf, &self.schema) {
+                    Ok(Some(node)) => verdict = Verdict::Adopt(node),
+                    Ok(None) => {
+                        if Instant::now() >= pa.deadline {
+                            verdict = Verdict::Drop;
+                        }
+                    }
+                    Err(()) => verdict = Verdict::Drop,
+                }
+            }
+            match verdict {
+                Verdict::Keep => i += 1,
+                Verdict::Drop => {
+                    st.pending_accepts.swap_remove(i);
+                }
+                Verdict::Adopt(node) => {
+                    let pa = st.pending_accepts.swap_remove(i);
+                    if let Some(slot) = st.slots.get(&node) {
+                        let mut s = slot.lock().unwrap_or_else(|e| e.into_inner());
+                        // Hand over the stream plus everything read,
+                        // *including* the Hello frame, so the link
+                        // observes the greeting normally.
+                        s.stream = Some(pa.stream);
+                        s.preread = pa.buf;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Drives all peer links once: accepts inbound connections,
+    /// reconnects, exchanges traffic, republishes remote events
+    /// locally, and reports deliveries and receive floors.
+    ///
+    /// Call this in a loop with a monotone clock; the federation does
+    /// nothing between pumps.
+    ///
+    /// # Errors
+    ///
+    /// Propagates local publish errors for remote events (the broker
+    /// rejecting a structurally valid event is a local fault, not a
+    /// network one).
+    pub fn pump(&self, now_ms: u64) -> Result<PumpReport, ServiceError> {
+        let mut report = PumpReport::default();
+        let st = &mut *self.lock();
+        self.poll_accepts(st);
+        let mut events = Vec::new();
+        for link in &mut st.links {
+            link.poll(now_ms, &mut events);
+        }
+        for ev in events {
+            match ev {
+                LinkEvent::Established {
+                    peer,
+                    epoch_changed,
+                } => {
+                    if epoch_changed {
+                        // The peer restarted: our previously forwarded
+                        // subscriptions died with it. Re-offer all of
+                        // them (its receive floor dedupes any that
+                        // survived in flight).
+                        let mut ids: Vec<u64> = st.local_subs.keys().copied().collect();
+                        ids.sort_unstable();
+                        let resend: Vec<Msg> = ids
+                            .iter()
+                            .map(|id| {
+                                let (weight, profile) = st.local_subs[id].clone();
+                                Msg::Subscribe {
+                                    seq: 0,
+                                    id: *id,
+                                    weight,
+                                    profile,
+                                }
+                            })
+                            .collect();
+                        if let Some(link) = st.links.iter_mut().find(|l| l.peer() == peer) {
+                            for msg in resend {
+                                link.enqueue(msg);
+                            }
+                        }
+                        // The peer's forwarded interest is *kept*: the
+                        // new incarnation's first Subscribe prunes it
+                        // (see [`PeerInterest`]). Clearing it here
+                        // would open an under-forwarding window — loss
+                        // — between this greeting and that Subscribe.
+                    }
+                    report.established.push((peer, epoch_changed));
+                }
+                LinkEvent::SchemaMismatch { peer, .. } => {
+                    report.schema_mismatch.push(peer);
+                }
+                LinkEvent::Subscribe {
+                    peer,
+                    id,
+                    weight,
+                    profile,
+                    epoch,
+                } => {
+                    let interest = st.interest.entry(peer).or_default();
+                    // First word from a newer incarnation retires
+                    // everything inherited from older ones.
+                    interest.subs.retain(|_, e| e.epoch >= epoch);
+                    interest.subs.insert(
+                        id,
+                        InterestEntry {
+                            epoch,
+                            weight,
+                            profile,
+                        },
+                    );
+                    interest.recompile(&self.schema)?;
+                }
+                LinkEvent::Unsubscribe { peer, id } => {
+                    if let Some(interest) = st.interest.get_mut(&peer) {
+                        interest.subs.remove(&id);
+                        interest.recompile(&self.schema)?;
+                    }
+                }
+                LinkEvent::Rows {
+                    peer,
+                    first_seq,
+                    rows,
+                    skip,
+                } => {
+                    for (offset, row) in rows.iter().enumerate().skip(skip) {
+                        if row.len() != self.schema.len() {
+                            st.rejected_rows += 1;
+                            continue;
+                        }
+                        st.ix_scratch.copy_from_raw(row);
+                        let event = match st.ix_scratch.to_event(&self.schema) {
+                            Ok(e) => Arc::new(e),
+                            Err(_) => {
+                                st.rejected_rows += 1;
+                                continue;
+                            }
+                        };
+                        // Local publish only — remote events are never
+                        // re-forwarded, which is the mesh's loop guard.
+                        self.broker.publish_shared(Arc::clone(&event))?;
+                        st.delivered_rows += 1;
+                        report.delivered.push(RemoteDelivery {
+                            peer,
+                            seq: first_seq + offset as u64,
+                            event,
+                        });
+                    }
+                }
+                LinkEvent::Down { .. } => {}
+            }
+        }
+        report.floors = st.links.iter().map(|l| (l.peer(), l.recv_high())).collect();
+        Ok(report)
+    }
+
+    /// Number of peers whose forwarded interest currently compiles to
+    /// a live filter — i.e. peers that would receive matching events
+    /// published here. Publishers that must not race the initial
+    /// subscription exchange can gate on this.
+    #[must_use]
+    pub fn interested_peers(&self) -> usize {
+        self.lock()
+            .interest
+            .values()
+            .filter(|i| i.snapshot.is_some())
+            .count()
+    }
+
+    /// Per-peer receive floors (highest contiguous sequence received),
+    /// the state to persist for exactly-once restarts.
+    #[must_use]
+    pub fn recv_floors(&self) -> Vec<(u64, u64)> {
+        self.lock()
+            .links
+            .iter()
+            .map(|l| (l.peer(), l.recv_high()))
+            .collect()
+    }
+
+    /// Outbound messages queued or awaiting acknowledgement across
+    /// all links — 0 means every forwarded event has been confirmed
+    /// received (useful for draining before shutdown).
+    #[must_use]
+    pub fn backlog(&self) -> usize {
+        self.lock().links.iter().map(PeerLink::backlog).sum()
+    }
+
+    /// Updates the announced epoch (affects future greetings).
+    pub fn set_epoch(&self, epoch: u64) {
+        let mut st = self.lock();
+        st.epoch = epoch;
+        for link in &mut st.links {
+            link.set_epoch(epoch);
+        }
+    }
+
+    /// Aggregated counters across all peer links.
+    #[must_use]
+    pub fn metrics(&self) -> FederationMetrics {
+        let st = self.lock();
+        let mut m = FederationMetrics {
+            delivered_rows: st.delivered_rows,
+            rejected_rows: st.rejected_rows,
+            forwarded_rows: st.forwarded_rows,
+            ..FederationMetrics::default()
+        };
+        for link in &st.links {
+            let s: LinkStats = link.stats();
+            m.sent += s.sent;
+            m.retransmits += s.retransmits;
+            m.overflow_dropped += s.overflow_dropped;
+            m.duplicates += s.duplicates;
+            m.gap_drops += s.gap_drops;
+            m.resets += s.resets;
+            m.unencodable += s.unencodable;
+            m.peers_up += usize::from(link.is_up());
+            m.peers_failed += usize::from(link.is_failed());
+        }
+        m
+    }
+}
+
+/// Tries to parse the first complete frame of an accepted connection
+/// as a `Hello`, returning the announcing node id. `Ok(None)` means
+/// incomplete; `Err` means the stream is not a federation greeting.
+fn identify_hello(buf: &[u8], schema: &Schema) -> Result<Option<u64>, ()> {
+    if buf.len() < wire::FRAME_HEADER {
+        return Ok(None);
+    }
+    let len = u32::from_le_bytes(buf[0..4].try_into().expect("4 bytes")) as usize;
+    if len > wire::MAX_FRAME {
+        return Err(());
+    }
+    if buf.len() < wire::FRAME_HEADER + len {
+        return Ok(None);
+    }
+    let crc = u32::from_le_bytes(buf[4..8].try_into().expect("4 bytes"));
+    let payload = &buf[wire::FRAME_HEADER..wire::FRAME_HEADER + len];
+    if ens_filter::persist::crc32(payload) != crc {
+        return Err(());
+    }
+    match Msg::decode(payload, schema) {
+        Ok(Msg::Hello { node, .. }) => Ok(Some(node)),
+        _ => Err(()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::broker::BrokerConfig;
+    use ens_types::{Domain, Predicate};
+    use sim::SimNet;
+
+    fn schema() -> Schema {
+        Schema::builder()
+            .attribute("x", Domain::int(0, 999))
+            .unwrap()
+            .build()
+    }
+
+    fn fed(net: &SimNet, node: u64, peers: &[u64]) -> Federation {
+        let broker = Arc::new(Broker::new(&schema(), BrokerConfig::default()).unwrap());
+        let f = Federation::new(
+            broker,
+            FederationConfig {
+                node,
+                epoch: 1,
+                link: link::LinkConfig {
+                    heartbeat_ms: 50,
+                    timeout_ms: 300,
+                    backoff_base_ms: 20,
+                    backoff_max_ms: 200,
+                    rto_ms: 40,
+                    send_window: 16,
+                    pending_cap: 0,
+                    overflow: crate::channel::OverflowPolicy::DropOldest,
+                },
+            },
+        );
+        for &p in peers {
+            f.add_peer(p, Box::new(net.transport(node, p)), 0);
+        }
+        f
+    }
+
+    fn pump_all(net: &SimNet, feds: &[&Federation], steps: u32) -> Vec<RemoteDelivery> {
+        let mut delivered = Vec::new();
+        for _ in 0..steps {
+            let now = net.now_ms();
+            for f in feds {
+                delivered.extend(f.pump(now).unwrap().delivered);
+            }
+            net.advance(10);
+        }
+        delivered
+    }
+
+    fn event(s: &Schema, x: i64) -> Event {
+        Event::builder(s).value("x", x).unwrap().build()
+    }
+
+    #[test]
+    fn subscriptions_route_events_across_the_mesh() {
+        let net = SimNet::new(1);
+        let a = fed(&net, 1, &[2]);
+        let b = fed(&net, 2, &[1]);
+        // b wants x >= 500; a publishes 400 (no) and 600 (yes).
+        let sub = b
+            .subscribe_profile(
+                Profile::builder(b.broker().schema())
+                    .predicate("x", Predicate::ge(500))
+                    .unwrap()
+                    .build(ens_types::ProfileId::new(0)),
+            )
+            .unwrap();
+        pump_all(&net, &[&a, &b], 5);
+        let s = schema();
+        a.publish(&event(&s, 400)).unwrap();
+        a.publish(&event(&s, 600)).unwrap();
+        let delivered = pump_all(&net, &[&a, &b], 10);
+        // Only b receives, and only the matching event.
+        assert_eq!(delivered.len(), 1);
+        assert_eq!(delivered[0].peer, 1);
+        // The remote event notified b's local subscriber.
+        let n = sub.try_recv().expect("notification should be queued");
+        assert_eq!(
+            n.event.value(b.broker().schema().attr("x").unwrap()),
+            Some(&ens_types::Value::Int(600))
+        );
+        // a forwarded exactly one row.
+        assert_eq!(a.metrics().forwarded_rows, 1);
+        assert_eq!(b.metrics().delivered_rows, 1);
+    }
+
+    #[test]
+    fn unsubscribe_stops_forwarding() {
+        let net = SimNet::new(2);
+        let a = fed(&net, 1, &[2]);
+        let b = fed(&net, 2, &[1]);
+        let sub = b.subscribe_parsed("profile(x >= 0)").unwrap();
+        pump_all(&net, &[&a, &b], 5);
+        let s = schema();
+        a.publish(&event(&s, 1)).unwrap();
+        assert_eq!(pump_all(&net, &[&a, &b], 10).len(), 1);
+        b.unsubscribe(sub.id()).unwrap();
+        pump_all(&net, &[&a, &b], 10);
+        a.publish(&event(&s, 2)).unwrap();
+        assert_eq!(pump_all(&net, &[&a, &b], 10).len(), 0);
+        assert_eq!(a.metrics().forwarded_rows, 1);
+    }
+
+    #[test]
+    fn remote_events_are_not_reforwarded() {
+        // Triangle mesh: c subscribes everywhere; a publishes. c must
+        // see the event exactly once (from a), not re-forwarded via b.
+        let net = SimNet::new(3);
+        let a = fed(&net, 1, &[2, 3]);
+        let b = fed(&net, 2, &[1, 3]);
+        let c = fed(&net, 3, &[1, 2]);
+        let _sub_b = b.subscribe_parsed("profile(x >= 0)").unwrap();
+        let _sub_c = c.subscribe_parsed("profile(x >= 0)").unwrap();
+        pump_all(&net, &[&a, &b, &c], 6);
+        let s = schema();
+        a.publish(&event(&s, 7)).unwrap();
+        let delivered = pump_all(&net, &[&a, &b, &c], 12);
+        // b and c each get it exactly once, both from node 1.
+        assert_eq!(delivered.len(), 2);
+        assert!(delivered.iter().all(|d| d.peer == 1));
+    }
+}

@@ -1,0 +1,291 @@
+//! Transport abstraction under federation links.
+//!
+//! `PeerLink` (in the private `link` module) is sans-I/O: every
+//! byte it moves goes through this [`Transport`] trait, so the same state
+//! machine runs over real sockets ([`TcpTransport`]) and over the
+//! deterministic fault-injection network
+//! ([`SimTransport`](super::sim::SimTransport)) that the robustness
+//! suite drives with seeded drop/delay/duplicate/reorder/partition
+//! and torn-write faults.
+//!
+//! A transport moves whole message payloads; the wire frame (length +
+//! CRC header) is the transport's concern, which is what lets the sim
+//! model torn writes as truncated frames and have them surface
+//! exactly like a corrupted TCP stream would: as
+//! [`TransportError::Corrupt`].
+
+use std::fmt;
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use super::wire::{frame, FrameBuffer};
+
+/// Why a transport operation failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TransportError {
+    /// The connection is gone (EOF, reset, or never established). The
+    /// link resets and schedules a reconnect.
+    Disconnected,
+    /// The byte stream is unrecoverable (CRC mismatch, torn frame,
+    /// nonsense length). The link drops the connection — resuming
+    /// mid-garbage is impossible — and reconnects.
+    Corrupt(String),
+}
+
+impl fmt::Display for TransportError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TransportError::Disconnected => write!(f, "transport disconnected"),
+            TransportError::Corrupt(msg) => write!(f, "transport stream corrupt: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TransportError {}
+
+/// A reliable-until-it-isn't, message-framed byte transport.
+///
+/// Implementations must be non-blocking: `recv` returns `Ok(None)`
+/// when nothing is available, and `send` may buffer briefly but must
+/// not park the caller indefinitely.
+pub trait Transport: Send {
+    /// Attempts to (re)establish the connection. Returns whether the
+    /// transport is now connected. `now_ms` is the caller's clock so
+    /// fault-injection transports can log attempt times.
+    fn connect(&mut self, now_ms: u64) -> bool;
+
+    /// Whether the transport currently believes it is connected (it
+    /// may learn otherwise on the next send/recv).
+    fn is_connected(&self) -> bool;
+
+    /// Sends one message payload (the transport adds framing).
+    ///
+    /// # Errors
+    ///
+    /// [`TransportError::Disconnected`] when the connection is gone.
+    fn send(&mut self, payload: &[u8]) -> Result<(), TransportError>;
+
+    /// Receives the next complete message payload, if one is ready.
+    ///
+    /// # Errors
+    ///
+    /// [`TransportError::Disconnected`] on EOF/reset,
+    /// [`TransportError::Corrupt`] when the stream can no longer be
+    /// framed.
+    fn recv(&mut self) -> Result<Option<Vec<u8>>, TransportError>;
+
+    /// Tears the connection down (reconnect may follow later).
+    fn close(&mut self);
+}
+
+/// Shared slot through which an accept loop hands an inbound
+/// connection to the passive side of a [`TcpTransport`].
+///
+/// TCP federation avoids simultaneous-open glare by convention: the
+/// lower node id dials, the higher id listens. The acceptor cannot
+/// know which peer a fresh socket belongs to until it reads the first
+/// `Hello` frame, so it parses that frame itself and then *adopts*
+/// the stream — plus any bytes read beyond the frame — into the slot
+/// registered for that peer.
+pub type AdoptSlot = Arc<Mutex<AdoptState>>;
+
+/// Contents of an [`AdoptSlot`].
+#[derive(Debug, Default)]
+pub struct AdoptState {
+    /// The accepted, identified stream (taken by the transport).
+    pub stream: Option<TcpStream>,
+    /// Bytes the acceptor read past the identifying `Hello` frame —
+    /// including that frame itself, so the link still observes the
+    /// greeting through the normal path.
+    pub preread: Vec<u8>,
+}
+
+/// How a [`TcpTransport`] obtains its stream.
+enum TcpMode {
+    /// Actively dial the peer (lower node id).
+    Dial(SocketAddr),
+    /// Wait for the accept loop to deposit an identified inbound
+    /// stream (higher node id).
+    Passive(AdoptSlot),
+}
+
+/// [`Transport`] over a real TCP socket (`std::net`, non-blocking).
+pub struct TcpTransport {
+    mode: TcpMode,
+    stream: Option<TcpStream>,
+    rbuf: FrameBuffer,
+    connect_timeout: Duration,
+    send_timeout: Duration,
+}
+
+impl TcpTransport {
+    /// A dialing transport: `connect` attempts a TCP connection to
+    /// `addr` each time the link's backoff schedule fires.
+    #[must_use]
+    pub fn dial(addr: SocketAddr) -> Self {
+        TcpTransport {
+            mode: TcpMode::Dial(addr),
+            stream: None,
+            rbuf: FrameBuffer::new(),
+            connect_timeout: Duration::from_millis(250),
+            send_timeout: Duration::from_secs(2),
+        }
+    }
+
+    /// A passive transport: `connect` succeeds once the accept loop
+    /// has deposited an identified stream into `slot`.
+    #[must_use]
+    pub fn passive(slot: AdoptSlot) -> Self {
+        TcpTransport {
+            mode: TcpMode::Passive(slot),
+            stream: None,
+            rbuf: FrameBuffer::new(),
+            connect_timeout: Duration::from_millis(250),
+            send_timeout: Duration::from_secs(2),
+        }
+    }
+
+    fn drop_stream(&mut self) {
+        self.stream = None;
+        self.rbuf = FrameBuffer::new();
+    }
+}
+
+impl Transport for TcpTransport {
+    fn connect(&mut self, _now_ms: u64) -> bool {
+        if self.stream.is_some() {
+            return true;
+        }
+        match &self.mode {
+            TcpMode::Dial(addr) => {
+                match TcpStream::connect_timeout(addr, self.connect_timeout) {
+                    Ok(s) => {
+                        // Federation traffic is latency-sensitive
+                        // control traffic; batching is done above.
+                        let _ = s.set_nodelay(true);
+                        if s.set_nonblocking(true).is_err() {
+                            return false;
+                        }
+                        self.stream = Some(s);
+                        true
+                    }
+                    Err(_) => false,
+                }
+            }
+            TcpMode::Passive(slot) => {
+                let mut st = slot.lock().unwrap_or_else(|e| e.into_inner());
+                if let Some(s) = st.stream.take() {
+                    if s.set_nonblocking(true).is_err() {
+                        return false;
+                    }
+                    let preread = std::mem::take(&mut st.preread);
+                    drop(st);
+                    self.rbuf = FrameBuffer::new();
+                    self.rbuf.extend(&preread);
+                    self.stream = Some(s);
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    fn is_connected(&self) -> bool {
+        self.stream.is_some()
+    }
+
+    fn send(&mut self, payload: &[u8]) -> Result<(), TransportError> {
+        let Some(stream) = self.stream.as_mut() else {
+            return Err(TransportError::Disconnected);
+        };
+        let bytes = frame(payload);
+        let mut off = 0;
+        let deadline = Instant::now() + self.send_timeout;
+        while off < bytes.len() {
+            match stream.write(&bytes[off..]) {
+                Ok(0) => {
+                    self.drop_stream();
+                    return Err(TransportError::Disconnected);
+                }
+                Ok(n) => off += n,
+                Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                    if Instant::now() >= deadline {
+                        // A peer that cannot drain a frame within the
+                        // send budget is indistinguishable from a dead
+                        // one; reset rather than block the pump.
+                        self.drop_stream();
+                        return Err(TransportError::Disconnected);
+                    }
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(_) => {
+                    self.drop_stream();
+                    return Err(TransportError::Disconnected);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn recv(&mut self) -> Result<Option<Vec<u8>>, TransportError> {
+        // Serve already-buffered frames first (e.g. adopted preread).
+        match self.rbuf.next_frame() {
+            Ok(Some(p)) => return Ok(Some(p)),
+            Ok(None) => {}
+            Err(e) => {
+                self.drop_stream();
+                return Err(TransportError::Corrupt(e.to_string()));
+            }
+        }
+        let Some(stream) = self.stream.as_mut() else {
+            return Err(TransportError::Disconnected);
+        };
+        let mut chunk = [0u8; 16 * 1024];
+        loop {
+            match stream.read(&mut chunk) {
+                Ok(0) => {
+                    self.drop_stream();
+                    return Err(TransportError::Disconnected);
+                }
+                Ok(n) => {
+                    self.rbuf.extend(&chunk[..n]);
+                    match self.rbuf.next_frame() {
+                        Ok(Some(p)) => return Ok(Some(p)),
+                        Ok(None) => {}
+                        Err(e) => {
+                            self.drop_stream();
+                            return Err(TransportError::Corrupt(e.to_string()));
+                        }
+                    }
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => return Ok(None),
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(_) => {
+                    self.drop_stream();
+                    return Err(TransportError::Disconnected);
+                }
+            }
+        }
+    }
+
+    fn close(&mut self) {
+        self.drop_stream();
+    }
+}
+
+impl fmt::Debug for TcpTransport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mode = match &self.mode {
+            TcpMode::Dial(addr) => format!("dial {addr}"),
+            TcpMode::Passive(_) => "passive".to_string(),
+        };
+        f.debug_struct("TcpTransport")
+            .field("mode", &mode)
+            .field("connected", &self.stream.is_some())
+            .finish()
+    }
+}

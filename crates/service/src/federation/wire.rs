@@ -1,0 +1,437 @@
+//! Binary wire protocol for broker federation.
+//!
+//! Every message travels as one *frame*:
+//!
+//! ```text
+//! [u32 len][u32 crc32(payload)][payload: len bytes]
+//! ```
+//!
+//! both header words little-endian. The payload reuses the checkpoint
+//! codec primitives from [`ens_filter::persist`] ([`ByteWriter`] /
+//! [`ByteReader`]), so the federation layer inherits the same varint,
+//! value and profile encodings the durable state already exercises —
+//! one codec, two consumers.
+//!
+//! Payload tags:
+//!
+//! | tag | message       | body |
+//! |-----|---------------|------|
+//! | 1   | `Hello`       | node, `schema_hash`, epoch, `recv_high` |
+//! | 2   | `Subscribe`   | seq, id, weight, profile |
+//! | 3   | `Unsubscribe` | seq, id |
+//! | 4   | `Batch`       | `first_seq`, count, width, rows (`vu64(idx+1)`, 0 = missing) |
+//! | 5   | `Ack`         | high (cumulative) |
+//! | 6   | `Heartbeat`   | — |
+//!
+//! `Subscribe`/`Unsubscribe` consume one sequence number; a `Batch`
+//! consumes one per row. `Hello`, `Ack` and `Heartbeat` are
+//! unsequenced control traffic.
+
+use ens_filter::persist::{crc32, ByteReader, ByteWriter, PersistError};
+use ens_types::{IndexedEvent, Profile, Schema};
+
+use crate::persist::{decode_profile, encode_profile, schema_fingerprint};
+
+/// Upper bound on a single frame's payload (64 MiB). A header
+/// declaring more than this is treated as corruption, not a request
+/// to allocate.
+pub(crate) const MAX_FRAME: usize = 1 << 26;
+
+/// Frame header size: length word plus CRC word.
+pub(crate) const FRAME_HEADER: usize = 8;
+
+/// FNV-1a 64-bit hash of the schema's canonical byte form. Two brokers
+/// may federate only when their hashes agree — a mismatch is a
+/// configuration error, reported once and not retried.
+#[must_use]
+pub fn schema_hash(schema: &Schema) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in schema_fingerprint(schema) {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Wraps `payload` into one wire frame.
+#[must_use]
+pub(crate) fn frame(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(FRAME_HEADER + payload.len());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&crc32(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Incremental deframer over a byte stream.
+///
+/// Feed raw reads with [`FrameBuffer::extend`]; pull complete,
+/// CRC-verified payloads with [`FrameBuffer::next_frame`]. Torn or
+/// bit-flipped frames surface as [`PersistError`] — the link layer
+/// treats that as a broken connection and resets.
+#[derive(Debug, Default)]
+pub(crate) struct FrameBuffer {
+    buf: Vec<u8>,
+    /// Read cursor into `buf`; consumed bytes are compacted lazily.
+    pos: usize,
+}
+
+impl FrameBuffer {
+    pub(crate) fn new() -> Self {
+        FrameBuffer::default()
+    }
+
+    /// Appends raw bytes read from the transport.
+    pub(crate) fn extend(&mut self, bytes: &[u8]) {
+        // Compact before growing so a long-lived connection does not
+        // accumulate consumed prefixes.
+        if self.pos > 0 && self.pos == self.buf.len() {
+            self.buf.clear();
+            self.pos = 0;
+        } else if self.pos > 4096 {
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes buffered but not yet consumed as frames.
+    pub(crate) fn pending(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Extracts the next complete frame's payload, `None` if more
+    /// bytes are needed.
+    ///
+    /// # Errors
+    ///
+    /// Returns a corruption error for an oversized length word or a
+    /// CRC mismatch; the stream is unrecoverable past that point.
+    pub(crate) fn next_frame(&mut self) -> Result<Option<Vec<u8>>, PersistError> {
+        let avail = &self.buf[self.pos..];
+        if avail.len() < FRAME_HEADER {
+            return Ok(None);
+        }
+        let len = u32::from_le_bytes(avail[0..4].try_into().expect("4 bytes")) as usize;
+        if len > MAX_FRAME {
+            return Err(PersistError::new(format!(
+                "frame length {len} exceeds the {MAX_FRAME}-byte cap"
+            )));
+        }
+        if avail.len() < FRAME_HEADER + len {
+            return Ok(None);
+        }
+        let want = u32::from_le_bytes(avail[4..8].try_into().expect("4 bytes"));
+        let payload = &avail[FRAME_HEADER..FRAME_HEADER + len];
+        if crc32(payload) != want {
+            return Err(PersistError::new("frame CRC mismatch"));
+        }
+        let out = payload.to_vec();
+        self.pos += FRAME_HEADER + len;
+        Ok(Some(out))
+    }
+}
+
+/// A decoded federation message.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum Msg {
+    /// Connection greeting, sent by both sides immediately after the
+    /// transport comes up. `recv_high` doubles as an implicit
+    /// cumulative ack so a reconnecting sender can fast-forward past
+    /// traffic the peer already has.
+    Hello {
+        node: u64,
+        schema_hash: u64,
+        epoch: u64,
+        recv_high: u64,
+    },
+    /// Forwarded local subscription: "send me events matching this".
+    Subscribe {
+        seq: u64,
+        id: u64,
+        weight: f64,
+        profile: Profile,
+    },
+    /// Retraction of a previously forwarded subscription.
+    Unsubscribe { seq: u64, id: u64 },
+    /// A block of matched events as sentinel-encoded index rows
+    /// (schema order, [`IndexedEvent::MISSING`] for absent
+    /// attributes). Row `i` carries sequence `first_seq + i`.
+    Batch {
+        first_seq: u64,
+        width: u32,
+        rows: Vec<Vec<u64>>,
+    },
+    /// Cumulative acknowledgement: every sequence `<= high` is
+    /// received and processed.
+    Ack { high: u64 },
+    /// Liveness probe for otherwise idle links.
+    Heartbeat,
+}
+
+impl Msg {
+    /// Sequence numbers this message consumes (0 for control traffic).
+    pub(crate) fn seq_span(&self) -> u64 {
+        match self {
+            Msg::Subscribe { .. } | Msg::Unsubscribe { .. } => 1,
+            Msg::Batch { rows, .. } => rows.len() as u64,
+            _ => 0,
+        }
+    }
+
+    /// Rewrites the sequence field (used when a queued message is
+    /// assigned its final sequence at send time).
+    pub(crate) fn set_first_seq(&mut self, s: u64) {
+        match self {
+            Msg::Subscribe { seq, .. } | Msg::Unsubscribe { seq, .. } => *seq = s,
+            Msg::Batch { first_seq, .. } => *first_seq = s,
+            _ => {}
+        }
+    }
+
+    /// Encodes the message payload (unframed).
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`ens_filter::PersistErrorKind::Unencodable`] error
+    /// for a profile whose predicates have no wire encoding.
+    pub(crate) fn encode(&self) -> Result<Vec<u8>, PersistError> {
+        let mut w = ByteWriter::new();
+        match self {
+            Msg::Hello {
+                node,
+                schema_hash,
+                epoch,
+                recv_high,
+            } => {
+                w.u8(1);
+                w.vu64(*node);
+                w.u64(*schema_hash);
+                w.vu64(*epoch);
+                w.vu64(*recv_high);
+            }
+            Msg::Subscribe {
+                seq,
+                id,
+                weight,
+                profile,
+            } => {
+                w.u8(2);
+                w.vu64(*seq);
+                w.vu64(*id);
+                w.f64(*weight);
+                encode_profile(&mut w, profile)?;
+            }
+            Msg::Unsubscribe { seq, id } => {
+                w.u8(3);
+                w.vu64(*seq);
+                w.vu64(*id);
+            }
+            Msg::Batch {
+                first_seq,
+                width,
+                rows,
+            } => {
+                w.u8(4);
+                w.vu64(*first_seq);
+                w.vu64(rows.len() as u64);
+                w.vu32(*width);
+                for row in rows {
+                    debug_assert_eq!(row.len(), *width as usize);
+                    for &idx in row {
+                        // Missing → 0, index i → i+1: keeps the varint
+                        // short for the common low indices and gives
+                        // the sentinel the shortest encoding of all.
+                        w.vu64(if idx == IndexedEvent::MISSING {
+                            0
+                        } else {
+                            idx + 1
+                        });
+                    }
+                }
+            }
+            Msg::Ack { high } => {
+                w.u8(5);
+                w.vu64(*high);
+            }
+            Msg::Heartbeat => w.u8(6),
+        }
+        Ok(w.into_bytes())
+    }
+
+    /// Decodes one payload produced by [`Msg::encode`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a corruption error for unknown tags, truncated bodies,
+    /// trailing garbage, or rows wider than sanity allows.
+    pub(crate) fn decode(payload: &[u8], schema: &Schema) -> Result<Msg, PersistError> {
+        let mut r = ByteReader::new(payload);
+        let msg = match r.u8()? {
+            1 => Msg::Hello {
+                node: r.vu64()?,
+                schema_hash: r.u64()?,
+                epoch: r.vu64()?,
+                recv_high: r.vu64()?,
+            },
+            2 => Msg::Subscribe {
+                seq: r.vu64()?,
+                id: r.vu64()?,
+                weight: r.f64()?,
+                profile: decode_profile(&mut r, schema)?,
+            },
+            3 => Msg::Unsubscribe {
+                seq: r.vu64()?,
+                id: r.vu64()?,
+            },
+            4 => {
+                let first_seq = r.vu64()?;
+                let count = r.vu64()?;
+                let width = r.vu32()?;
+                if count > MAX_FRAME as u64 || width as usize > u16::MAX as usize {
+                    return Err(PersistError::new(format!(
+                        "implausible batch shape: {count} rows x {width} columns"
+                    )));
+                }
+                let mut rows = Vec::with_capacity(count as usize);
+                for _ in 0..count {
+                    let mut row = Vec::with_capacity(width as usize);
+                    for _ in 0..width {
+                        let v = r.vu64()?;
+                        row.push(if v == 0 { IndexedEvent::MISSING } else { v - 1 });
+                    }
+                    rows.push(row);
+                }
+                Msg::Batch {
+                    first_seq,
+                    width,
+                    rows,
+                }
+            }
+            5 => Msg::Ack { high: r.vu64()? },
+            6 => Msg::Heartbeat,
+            tag => {
+                return Err(PersistError::new(format!(
+                    "unknown federation message tag {tag}"
+                )));
+            }
+        };
+        r.expect_end()?;
+        Ok(msg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ens_types::{Domain, Event, Predicate};
+
+    fn schema() -> Schema {
+        Schema::builder()
+            .attribute("x", Domain::int(0, 99))
+            .unwrap()
+            .attribute("label", Domain::categorical(["a", "b"]).unwrap())
+            .unwrap()
+            .build()
+    }
+
+    fn round_trip(msg: &Msg, schema: &Schema) -> Msg {
+        Msg::decode(&msg.encode().unwrap(), schema).unwrap()
+    }
+
+    #[test]
+    fn all_message_kinds_round_trip() {
+        let s = schema();
+        let profile = Profile::builder(&s)
+            .predicate("x", Predicate::ge(50))
+            .unwrap()
+            .build(ens_types::ProfileId::new(0));
+        let msgs = [
+            Msg::Hello {
+                node: 7,
+                schema_hash: schema_hash(&s),
+                epoch: 3,
+                recv_high: 12,
+            },
+            Msg::Subscribe {
+                seq: 4,
+                id: 9,
+                weight: 2.5,
+                profile,
+            },
+            Msg::Unsubscribe { seq: 5, id: 9 },
+            Msg::Batch {
+                first_seq: 6,
+                width: 2,
+                rows: vec![vec![3, IndexedEvent::MISSING], vec![99, 1]],
+            },
+            Msg::Ack { high: 11 },
+            Msg::Heartbeat,
+        ];
+        for m in msgs {
+            assert_eq!(round_trip(&m, &s), m, "{m:?}");
+        }
+    }
+
+    #[test]
+    fn batch_rows_reconstruct_events() {
+        let s = schema();
+        let e = Event::builder(&s).value("x", 42).unwrap().build();
+        let ix = IndexedEvent::resolve(&s, &e).unwrap();
+        let m = Msg::Batch {
+            first_seq: 1,
+            width: 2,
+            rows: vec![ix.raw().to_vec()],
+        };
+        let Msg::Batch { rows, .. } = round_trip(&m, &s) else {
+            panic!("wrong kind");
+        };
+        let mut back = IndexedEvent::new();
+        back.copy_from_raw(&rows[0]);
+        assert_eq!(back.to_event(&s).unwrap(), e);
+    }
+
+    #[test]
+    fn frame_buffer_reassembles_split_frames() {
+        let a = frame(&Msg::Heartbeat.encode().unwrap());
+        let b = frame(&Msg::Ack { high: 3 }.encode().unwrap());
+        let stream: Vec<u8> = a.iter().chain(&b).copied().collect();
+        let mut fb = FrameBuffer::new();
+        // Feed one byte at a time: frames must reassemble across
+        // arbitrary read boundaries.
+        let mut got = Vec::new();
+        for byte in stream {
+            fb.extend(&[byte]);
+            while let Some(p) = fb.next_frame().unwrap() {
+                got.push(Msg::decode(&p, &schema()).unwrap());
+            }
+        }
+        assert_eq!(got, vec![Msg::Heartbeat, Msg::Ack { high: 3 }]);
+        assert_eq!(fb.pending(), 0);
+    }
+
+    #[test]
+    fn corrupt_frames_are_detected() {
+        let mut bytes = frame(&Msg::Heartbeat.encode().unwrap());
+        *bytes.last_mut().unwrap() ^= 0xFF;
+        let mut fb = FrameBuffer::new();
+        fb.extend(&bytes);
+        assert!(fb.next_frame().is_err(), "CRC flip must be caught");
+
+        let mut fb = FrameBuffer::new();
+        fb.extend(&(u32::MAX).to_le_bytes());
+        fb.extend(&[0, 0, 0, 0]);
+        assert!(fb.next_frame().is_err(), "oversized length must be caught");
+    }
+
+    #[test]
+    fn schema_hash_discriminates() {
+        let a = schema();
+        let b = Schema::builder()
+            .attribute("x", Domain::int(0, 100))
+            .unwrap()
+            .build();
+        assert_ne!(schema_hash(&a), schema_hash(&b));
+        assert_eq!(schema_hash(&a), schema_hash(&schema()));
+    }
+}

@@ -43,8 +43,10 @@
 #![warn(missing_docs)]
 
 mod broker;
+mod channel;
 mod composite;
 mod error;
+pub mod federation;
 mod metrics;
 mod notify;
 pub mod persist;
@@ -52,8 +54,10 @@ mod quench;
 mod subscription;
 
 pub use broker::{Broker, BrokerConfig, PublishReceipt, Recovered};
+pub use channel::OverflowPolicy;
 pub use composite::{CompositeDetector, CompositeExpr, CompositeId};
 pub use error::ServiceError;
+pub use federation::{Federation, FederationConfig};
 pub use metrics::MetricsSnapshot;
 pub use notify::{Notification, Subscriber};
 pub use persist::{DurabilityConfig, FsyncPolicy};

@@ -18,6 +18,14 @@ pub(crate) struct Metrics {
     /// engine) rather than the single-event path.
     pub batch_events: AtomicU64,
     pub dropped_notifications: AtomicU64,
+    /// Notifications lost to a bounded channel's overflow policy
+    /// (`DropOldest`/`DropNewest` evictions; `Disconnect` overflows
+    /// count under `dropped_notifications` once the subscriber is
+    /// garbage-collected).
+    pub overflow_dropped: AtomicU64,
+    /// Batch shard workers that panicked and were isolated (the
+    /// remaining shards still delivered).
+    pub shard_panics: AtomicU64,
     pub quenched_events: AtomicU64,
     /// Adaptive (drift-triggered) tree rebuilds across all shards.
     pub tree_rebuilds: AtomicU64,
@@ -46,6 +54,8 @@ impl Metrics {
             overlay_ops: self.overlay_ops.load(Ordering::Relaxed),
             batch_events: self.batch_events.load(Ordering::Relaxed),
             dropped_notifications: self.dropped_notifications.load(Ordering::Relaxed),
+            overflow_dropped: self.overflow_dropped.load(Ordering::Relaxed),
+            shard_panics: self.shard_panics.load(Ordering::Relaxed),
             quenched_events: self.quenched_events.load(Ordering::Relaxed),
             tree_rebuilds: self.tree_rebuilds.load(Ordering::Relaxed),
             overlay_compactions: self.overlay_compactions.load(Ordering::Relaxed),
@@ -78,8 +88,19 @@ pub struct MetricsSnapshot {
     /// Events published through `publish_batch` — the block matching
     /// engine — as opposed to the single-event path.
     pub batch_events: u64,
-    /// Notifications dropped because the subscriber hung up.
+    /// Notifications dropped because the subscriber hung up (or was
+    /// disconnected by an `OverflowPolicy::Disconnect` overflow).
     pub dropped_notifications: u64,
+    /// Notifications lost to a bounded subscriber channel's overflow
+    /// policy: `DropOldest` evictions and `DropNewest` refusals. Zero
+    /// with unbounded channels (`notify_capacity: 0`, the default).
+    #[serde(default)]
+    pub overflow_dropped: u64,
+    /// Batch shard workers that panicked and were isolated — the
+    /// panicking shard delivered nothing for its slice of the batch,
+    /// every other shard delivered normally.
+    #[serde(default)]
+    pub shard_panics: u64,
     /// Events rejected by the quenching pre-filter.
     pub quenched_events: u64,
     /// Number of adaptive (drift-triggered) tree rebuilds, including
@@ -158,11 +179,11 @@ impl MetricsSnapshot {
 
 impl fmt::Display for MetricsSnapshot {
     /// One-line operational summary, e.g.
-    /// `events=100 batch=64 notifs=250 (2.50/ev) ops=1200 (12.00/ev) overlay_ops=40 (0.40/ev) quenched=3 dropped=0 rebuilds=1 compactions=4 retunes=1/2 (pred 3.10 ops/ev) subs=42`.
+    /// `events=100 batch=64 notifs=250 (2.50/ev) ops=1200 (12.00/ev) overlay_ops=40 (0.40/ev) quenched=3 dropped=0 overflow=0 panics=0 rebuilds=1 compactions=4 retunes=1/2 (pred 3.10 ops/ev) subs=42`.
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "events={} batch={} notifs={} ({:.2}/ev) ops={} ({:.2}/ev) overlay_ops={} ({:.2}/ev) quenched={} dropped={} rebuilds={} compactions={} retunes={}/{} (pred {:.2} ops/ev) subs={}",
+            "events={} batch={} notifs={} ({:.2}/ev) ops={} ({:.2}/ev) overlay_ops={} ({:.2}/ev) quenched={} dropped={} overflow={} panics={} rebuilds={} compactions={} retunes={}/{} (pred {:.2} ops/ev) subs={}",
             self.events_published,
             self.batch_events,
             self.notifications_sent,
@@ -173,6 +194,8 @@ impl fmt::Display for MetricsSnapshot {
             self.overlay_ops_per_event(),
             self.quenched_events,
             self.dropped_notifications,
+            self.overflow_dropped,
+            self.shard_panics,
             self.tree_rebuilds,
             self.overlay_compactions,
             self.retunes,

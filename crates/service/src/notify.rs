@@ -1,9 +1,9 @@
 use std::sync::Arc;
 use std::time::Duration;
 
-use crossbeam::channel::Receiver;
 use ens_types::Event;
 
+use crate::channel::Receiver;
 use crate::subscription::SubscriptionId;
 
 /// A delivered event notification.
@@ -26,7 +26,13 @@ pub struct Notification {
 /// channel.
 ///
 /// Dropping the subscriber closes the channel; the broker detects this
-/// and garbage-collects the subscription on the next publish.
+/// and garbage-collects the subscription on the next publish. The
+/// channel is bounded by [`BrokerConfig::notify_capacity`]
+/// (unbounded by default), with overflow resolved by the configured
+/// [`OverflowPolicy`](crate::OverflowPolicy); [`Subscriber::dropped`]
+/// reports how many notifications this channel has lost to it.
+///
+/// [`BrokerConfig::notify_capacity`]: crate::BrokerConfig::notify_capacity
 #[derive(Debug)]
 pub struct Subscriber {
     id: SubscriptionId,
@@ -53,7 +59,7 @@ impl Subscriber {
     /// Blocking receive with a timeout.
     #[must_use]
     pub fn recv_timeout(&self, timeout: Duration) -> Option<Notification> {
-        self.rx.recv_timeout(timeout).ok()
+        self.rx.recv_timeout(timeout)
     }
 
     /// Drains everything currently queued.
@@ -70,5 +76,21 @@ impl Subscriber {
     #[must_use]
     pub fn pending(&self) -> usize {
         self.rx.len()
+    }
+
+    /// Notifications this subscription's channel has lost to its
+    /// overflow policy (0 on unbounded channels).
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.rx.dropped()
+    }
+
+    /// Whether the channel has been severed: the broker dropped its
+    /// sender (subscription cancelled) or an
+    /// [`OverflowPolicy::Disconnect`](crate::OverflowPolicy::Disconnect)
+    /// overflow closed it. Queued notifications may still be pending.
+    #[must_use]
+    pub fn is_disconnected(&self) -> bool {
+        self.rx.is_disconnected()
     }
 }

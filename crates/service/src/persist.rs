@@ -258,8 +258,9 @@ pub struct Checkpoint {
 
 /// Appends one attribute value in the compact tagged form. Entry
 /// profiles dominate the non-filter checkpoint payload at scale, so
-/// they bypass the generic string-keyed serde codec.
-fn encode_value(w: &mut ByteWriter, v: &Value) {
+/// they bypass the generic string-keyed serde codec. (Also the wire
+/// form of forwarded subscriptions — see [`crate::federation::wire`].)
+pub(crate) fn encode_value(w: &mut ByteWriter, v: &Value) {
     match v {
         Value::Bool(false) => w.u8(0),
         Value::Bool(true) => w.u8(1),
@@ -278,7 +279,7 @@ fn encode_value(w: &mut ByteWriter, v: &Value) {
     }
 }
 
-fn decode_value(r: &mut ByteReader<'_>) -> Result<Value, PersistError> {
+pub(crate) fn decode_value(r: &mut ByteReader<'_>) -> Result<Value, PersistError> {
     match r.u8()? {
         0 => Ok(Value::Bool(false)),
         1 => Ok(Value::Bool(true)),
@@ -308,9 +309,33 @@ fn decode_value_seq(r: &mut ByteReader<'_>) -> Result<Vec<Value>, PersistError> 
     Ok(out)
 }
 
+// Test seam: forces [`encode_profile`] down its unencodable-predicate
+// arm, which is otherwise unreachable from safe code (`Predicate` is
+// `#[non_exhaustive]`, but every *current* variant has a tag). Lets
+// the degradation path — serialization returns a typed error instead
+// of panicking the broker — be exercised end to end.
+#[cfg(test)]
+thread_local! {
+    pub(crate) static FORCE_UNENCODABLE: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
 /// Appends a profile as `(id, specified count, [attr, predicate]...)`;
 /// don't-care attributes are omitted entirely.
-fn encode_profile(w: &mut ByteWriter, p: &Profile) {
+///
+/// # Errors
+///
+/// Returns a [`PersistErrorKind::Unencodable`] error for a predicate
+/// variant with no assigned tag (a variant added upstream before this
+/// codec learned it) — the caller degrades instead of crashing.
+///
+/// [`PersistErrorKind::Unencodable`]: ens_filter::PersistErrorKind::Unencodable
+pub(crate) fn encode_profile(w: &mut ByteWriter, p: &Profile) -> Result<(), PersistError> {
+    #[cfg(test)]
+    if FORCE_UNENCODABLE.with(std::cell::Cell::get) {
+        return Err(PersistError::unencodable(
+            "predicate has no checkpoint encoding (forced by test seam)",
+        ));
+    }
     w.vu32(p.id().index() as u32);
     w.vu32(p.specified_len() as u32);
     for (attr, pred) in p.predicates().iter().enumerate() {
@@ -332,8 +357,13 @@ fn encode_profile(w: &mut ByteWriter, p: &Profile) {
             Predicate::In(vs) => (8, vs.as_slice()),
             Predicate::NotIn(vs) => (9, vs.as_slice()),
             // `Predicate` is non-exhaustive; a variant added upstream
-            // must get a tag here before it can be checkpointed.
-            other => panic!("predicate {other:?} has no checkpoint encoding"),
+            // must get a tag here before it can be persisted. Until
+            // then the state is unencodable — an error, not a panic.
+            other => {
+                return Err(PersistError::unencodable(format!(
+                    "predicate {other:?} has no checkpoint encoding"
+                )));
+            }
         };
         w.vu32(attr as u32);
         w.u8(tag);
@@ -342,9 +372,13 @@ fn encode_profile(w: &mut ByteWriter, p: &Profile) {
             _ => encode_value(w, &values[0]),
         }
     }
+    Ok(())
 }
 
-fn decode_profile(r: &mut ByteReader<'_>, schema: &Schema) -> Result<Profile, PersistError> {
+pub(crate) fn decode_profile(
+    r: &mut ByteReader<'_>,
+    schema: &Schema,
+) -> Result<Profile, PersistError> {
     let id = ProfileId::new(r.vu32()?);
     let specified = r.vu32()? as usize;
     let mut predicates = vec![Predicate::DontCare; schema.len()];
@@ -380,14 +414,15 @@ fn decode_profile(r: &mut ByteReader<'_>, schema: &Schema) -> Result<Profile, Pe
     Profile::from_predicates(schema, id, predicates).map_err(|e| PersistError::new(e.to_string()))
 }
 
-fn encode_entries(w: &mut ByteWriter, entries: &[CheckpointEntry]) {
+fn encode_entries(w: &mut ByteWriter, entries: &[CheckpointEntry]) -> Result<(), PersistError> {
     w.seq_len(entries.len());
     for e in entries {
         w.vu64(e.id);
         w.f64(e.weight);
         w.bool(e.tombstoned);
-        encode_profile(w, &e.profile);
+        encode_profile(w, &e.profile)?;
     }
+    Ok(())
 }
 
 fn decode_entries(
@@ -409,8 +444,16 @@ fn decode_entries(
 
 impl Checkpoint {
     /// Serializes the checkpoint, sealed with a CRC-32.
-    #[must_use]
-    pub fn to_bytes(&self) -> Vec<u8> {
+    ///
+    /// # Errors
+    ///
+    /// Returns a
+    /// [`PersistErrorKind::Unencodable`](ens_filter::PersistErrorKind::Unencodable)
+    /// error when a subscription profile has no byte encoding (a
+    /// predicate variant added upstream before this codec learned
+    /// its tag). The broker degrades — the checkpoint is skipped, the
+    /// previous one stays intact — instead of crashing.
+    pub fn to_bytes(&self) -> Result<Vec<u8>, PersistError> {
         let mut w = ByteWriter::new();
         w.u32(CHECKPOINT_MAGIC);
         w.u32(CHECKPOINT_VERSION);
@@ -422,10 +465,10 @@ impl Checkpoint {
         for shard in &self.shards {
             w.serde(&shard.tree);
             w.bytes(&shard.filter);
-            encode_entries(&mut w, &shard.base);
-            encode_entries(&mut w, &shard.overlay);
+            encode_entries(&mut w, &shard.base)?;
+            encode_entries(&mut w, &shard.overlay)?;
         }
-        w.into_bytes_crc()
+        Ok(w.into_bytes_crc())
     }
 
     /// Restores a checkpoint written by [`Checkpoint::to_bytes`].
@@ -587,7 +630,7 @@ mod tests {
                 }],
             }],
         };
-        let bytes = cp.to_bytes();
+        let bytes = cp.to_bytes().unwrap();
         let back = Checkpoint::from_bytes(&bytes).unwrap();
         assert_eq!(back.last_lsn, 17);
         assert_eq!(back.next_sub, 5);
@@ -610,5 +653,44 @@ mod tests {
             assert!(Checkpoint::from_bytes(&corrupt).is_err(), "flip at {at}");
         }
         assert!(Checkpoint::from_bytes(&bytes[..bytes.len() - 2]).is_err());
+    }
+
+    #[test]
+    fn unencodable_profile_degrades_to_a_typed_error() {
+        use ens_filter::PersistErrorKind;
+
+        let s = schema();
+        let cp = Checkpoint {
+            schema: s.clone(),
+            last_lsn: 1,
+            next_sub: 1,
+            sequence: 0,
+            shards: vec![CheckpointShard {
+                tree: TreeConfig::default(),
+                filter: Vec::new(),
+                base: vec![CheckpointEntry {
+                    id: 0,
+                    weight: 1.0,
+                    tombstoned: false,
+                    profile: profile(&s, 10),
+                }],
+                overlay: Vec::new(),
+            }],
+        };
+        // Sanity: encodable without the seam.
+        assert!(cp.to_bytes().is_ok());
+
+        FORCE_UNENCODABLE.with(|f| f.set(true));
+        let err = cp.to_bytes().expect_err("unencodable must fail, not panic");
+        FORCE_UNENCODABLE.with(|f| f.set(false));
+        assert_eq!(err.kind(), PersistErrorKind::Unencodable);
+        assert!(
+            err.message().contains("no checkpoint encoding"),
+            "{}",
+            err.message()
+        );
+        // The byte-level failure class is distinct from corruption.
+        let corrupt = Checkpoint::from_bytes(&[1, 2, 3]).expect_err("corrupt");
+        assert!(matches!(corrupt, crate::ServiceError::Persist(_)));
     }
 }

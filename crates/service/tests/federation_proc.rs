@@ -1,0 +1,239 @@
+//! Multi-process federation harness: real TCP, real processes, a real
+//! `kill -9`.
+//!
+//! Three `ens-fed-node` processes form a mesh. Node 3 publishes 400
+//! events; nodes 1 and 2 subscribe to everything and keep durable
+//! delivery logs. Mid-stream, node 1 is SIGKILLed and restarted with
+//! `--resume`, which restores its receive floors and bumps its epoch.
+//! The oracle check: both subscribers' logs must contain exactly the
+//! published sequence — every event once, in publish order — with the
+//! crash seam invisible.
+//!
+//! Node ids are chosen so the crashed node is a *dialer* on all of
+//! its links (lower id dials): its restart needs no listener rebind,
+//! and the surviving listeners simply adopt its new connection.
+
+use std::io::{BufRead, BufReader};
+use std::net::TcpListener;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+const BIN: &str = env!("CARGO_BIN_EXE_ens-fed-node");
+const EVENTS: i64 = 400;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "ens-fed-proc-{tag}-{}-{}",
+        std::process::id(),
+        std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .unwrap()
+            .as_nanos()
+    ));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Grabs a free loopback port (raceable in principle; fine in CI).
+fn free_addr() -> String {
+    let l = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = l.local_addr().unwrap().to_string();
+    drop(l);
+    addr
+}
+
+fn spawn(args: &[&str]) -> Child {
+    Command::new(BIN)
+        .args(args)
+        .stdout(Stdio::null())
+        .stderr(Stdio::inherit())
+        .spawn()
+        .expect("spawn ens-fed-node")
+}
+
+/// `D peer seq x` lines of a node's state log, in file order.
+fn deliveries(state: &Path) -> Vec<(u64, u64, i64)> {
+    let Ok(file) = std::fs::File::open(state) else {
+        return Vec::new();
+    };
+    BufReader::new(file)
+        .lines()
+        .map_while(Result::ok)
+        .filter_map(|line| {
+            let mut f = line.split_whitespace();
+            if f.next() != Some("D") {
+                return None;
+            }
+            Some((
+                f.next()?.parse().ok()?,
+                f.next()?.parse().ok()?,
+                f.next()?.parse().ok()?,
+            ))
+        })
+        .collect()
+}
+
+fn wait_for_deliveries(state: &Path, n: usize, deadline: Instant) {
+    while Instant::now() < deadline {
+        if deliveries(state).len() >= n {
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    panic!(
+        "timed out waiting for {n} deliveries in {} (have {})",
+        state.display(),
+        deliveries(state).len()
+    );
+}
+
+fn wait_exit(mut child: Child, name: &str, deadline: Instant) {
+    loop {
+        match child.try_wait().expect("try_wait") {
+            Some(status) => {
+                assert!(status.success(), "{name} exited with {status}");
+                return;
+            }
+            None if Instant::now() >= deadline => {
+                let _ = child.kill();
+                panic!("{name} did not exit in time");
+            }
+            None => std::thread::sleep(Duration::from_millis(25)),
+        }
+    }
+}
+
+/// The oracle: published events in publish order, delivered exactly
+/// once, all from the publisher.
+fn assert_oracle(state: &Path, publisher: u64) {
+    let got = deliveries(state);
+    let xs: Vec<i64> = got.iter().map(|&(_, _, x)| x).collect();
+    assert_eq!(
+        xs,
+        (0..EVENTS).collect::<Vec<_>>(),
+        "{}: delivered stream must equal the oracle",
+        state.display()
+    );
+    assert!(
+        got.iter().all(|&(p, _, _)| p == publisher),
+        "all deliveries must originate at the publisher"
+    );
+    let seqs: Vec<u64> = got.iter().map(|&(_, s, _)| s).collect();
+    assert!(
+        seqs.windows(2).all(|w| w[0] < w[1]),
+        "{}: per-peer sequences must be strictly increasing",
+        state.display()
+    );
+}
+
+#[test]
+fn kill_dash_nine_mid_stream_loses_nothing() {
+    let dir = temp_dir("kill9");
+    let addr2 = free_addr(); // node 2 listens (for node 1)
+    let addr3 = free_addr(); // node 3 listens (for nodes 1 and 2)
+    let state1 = dir.join("node1.log");
+    let state2 = dir.join("node2.log");
+    let state3 = dir.join("node3.log");
+    let expect = EVENTS.to_string();
+
+    let node1_args = |resume: bool| {
+        let mut v = vec![
+            "--node".into(),
+            "1".into(),
+            "--state".into(),
+            state1.display().to_string(),
+            "--peer".into(),
+            format!("2={addr2}"),
+            "--peer".into(),
+            format!("3={addr3}"),
+            "--subscribe".into(),
+            "profile(x >= 0)".into(),
+            "--expect".into(),
+            expect.clone(),
+            "--run-ms".into(),
+            "60000".into(),
+        ];
+        if resume {
+            v.push("--resume".into());
+        }
+        v
+    };
+    fn to_refs(v: &[String]) -> Vec<&str> {
+        v.iter().map(String::as_str).collect()
+    }
+
+    let args1 = node1_args(false);
+    let node1 = spawn(&to_refs(&args1));
+    let node2 = spawn(&[
+        "--node",
+        "2",
+        "--state",
+        &state2.display().to_string(),
+        "--listen",
+        &addr2,
+        "--peer",
+        &format!("1={addr2}"),
+        "--peer",
+        &format!("3={addr3}"),
+        "--subscribe",
+        "profile(x >= 0)",
+        "--expect",
+        &expect,
+        "--run-ms",
+        "60000",
+    ]);
+    // The publisher waits for both subscribers' interest before its
+    // first event, so the oracle has no warm-up hole.
+    let node3 = spawn(&[
+        "--node",
+        "3",
+        "--state",
+        &state3.display().to_string(),
+        "--listen",
+        &addr3,
+        "--peer",
+        &format!("1={addr3}"),
+        "--peer",
+        &format!("2={addr3}"),
+        "--publish",
+        &format!("0..{EVENTS}"),
+        "--per-pump",
+        "3",
+        "--wait-interest",
+        "2",
+        "--run-ms",
+        "60000",
+    ]);
+
+    // Let node 1 get well into the stream, then kill it dead.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    wait_for_deliveries(&state1, 80, deadline);
+    let mut node1 = node1;
+    node1.kill().expect("SIGKILL node 1"); // SIGKILL on unix
+    node1.wait().expect("reap node 1");
+    let killed_at = deliveries(&state1).len();
+    assert!(
+        killed_at < EVENTS as usize,
+        "node 1 must die mid-stream, not after the fact (got {killed_at})"
+    );
+
+    // Restart from the durable log: floors restored, epoch bumped.
+    let args1b = node1_args(true);
+    let node1b = spawn(&to_refs(&args1b));
+
+    let deadline = Instant::now() + Duration::from_secs(60);
+    wait_exit(node1b, "node1 (resumed)", deadline);
+    wait_exit(node2, "node2", deadline);
+    wait_exit(node3, "node3 (publisher)", deadline);
+
+    assert_oracle(&state1, 3);
+    assert_oracle(&state2, 3);
+
+    // The resumed incarnation really did log a second epoch.
+    let log = std::fs::read_to_string(&state1).unwrap();
+    let epochs: Vec<&str> = log.lines().filter(|l| l.starts_with("N 1 ")).collect();
+    assert_eq!(epochs, vec!["N 1 1", "N 1 2"]);
+
+    std::fs::remove_dir_all(&dir).ok();
+}

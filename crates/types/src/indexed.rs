@@ -99,6 +99,48 @@ impl IndexedEvent {
         }
     }
 
+    /// Reconstructs the [`Event`] this indexed form encodes under
+    /// `schema` — the inverse of [`IndexedEvent::resolve`], used when
+    /// indexed rows cross a trust boundary (e.g. arrive from a
+    /// federation peer) and must become a first-class event again.
+    ///
+    /// Exact for integer, boolean and categorical domains; float
+    /// values come back snapped to their grid point (which is the
+    /// identity for values that were resolved from this schema in the
+    /// first place).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TypesError::UnknownAttribute`] if the index width
+    /// differs from the schema width, and [`TypesError::OutOfDomain`]
+    /// if any index is outside its attribute's domain — both of which
+    /// only arise for rows that were never produced by resolving
+    /// against `schema` (a corrupt or foreign wire row).
+    pub fn to_event(&self, schema: &Schema) -> Result<Event, TypesError> {
+        if self.indices.len() != schema.len() {
+            return Err(TypesError::UnknownAttribute(format!(
+                "indexed row has {} slots, schema has {}",
+                self.indices.len(),
+                schema.len()
+            )));
+        }
+        let mut values: Vec<Option<Value>> = Vec::with_capacity(schema.len());
+        for (i, (&idx, domain)) in self.indices.iter().zip(schema.domains()).enumerate() {
+            if idx == Self::MISSING {
+                values.push(None);
+            } else if idx < domain.size() {
+                values.push(Some(domain.value_at(idx)));
+            } else {
+                let a = schema.attribute(AttrId::new(i as u32));
+                return Err(TypesError::OutOfDomain {
+                    attribute: a.name().to_string(),
+                    value: format!("index {idx}"),
+                });
+            }
+        }
+        Event::from_values(schema, values)
+    }
+
     /// The resolved grid index for `attr`, or `None` if the event does
     /// not carry that attribute (or `attr` is out of range).
     #[must_use]
@@ -380,6 +422,41 @@ mod tests {
             .build();
         let err = IndexedEvent::resolve(&s, &e).unwrap_err();
         assert!(err.to_string().contains("temperature"), "{err}");
+    }
+
+    #[test]
+    fn to_event_round_trips_resolution() {
+        let s = schema();
+        let cases = [
+            Event::builder(&s)
+                .value("temperature", -30)
+                .unwrap()
+                .value("sky", "cloudy")
+                .unwrap()
+                .build(),
+            Event::builder(&s).value("sky", "clear").unwrap().build(),
+            Event::builder(&s).build(),
+        ];
+        for e in cases {
+            let ix = IndexedEvent::resolve(&s, &e).unwrap();
+            assert_eq!(ix.to_event(&s).unwrap(), e);
+        }
+    }
+
+    #[test]
+    fn to_event_rejects_foreign_rows() {
+        let s = schema();
+        let mut ix = IndexedEvent::new();
+        ix.copy_from_raw(&[0]);
+        let err = ix.to_event(&s).unwrap_err();
+        assert!(matches!(err, TypesError::UnknownAttribute(_)), "{err}");
+        // temperature domain has 81 points; index 81 is one past the end.
+        ix.copy_from_raw(&[81, IndexedEvent::MISSING]);
+        let err = ix.to_event(&s).unwrap_err();
+        match err {
+            TypesError::OutOfDomain { attribute, .. } => assert_eq!(attribute, "temperature"),
+            other => panic!("expected OutOfDomain, got {other:?}"),
+        }
     }
 
     #[test]

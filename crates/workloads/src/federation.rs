@@ -1,0 +1,166 @@
+//! Federation fault workloads: deterministic partition/flap schedules.
+//!
+//! The paper's distributed perspective (§5, GENAS) assumes brokers
+//! exchanging profiles and events over unreliable links. This module
+//! generates the *fault schedule* side of that regime — when each
+//! broker pair partitions and when it heals — as plain data, so the
+//! service layer's fault-injection network can replay it
+//! deterministically and the robustness suite can assert recovery
+//! behaviour (no loss, no duplicates, capped reconnect backoff)
+//! against a virtual clock.
+//!
+//! The workloads layer deliberately knows nothing about transports:
+//! a plan is just a sorted list of [`FlapOp`]s with virtual
+//! timestamps. Tests walk it with [`FlapPlan::due`] as their clock
+//! advances and apply each op to whatever network they drive.
+
+/// One network fault operation on a broker pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlapOp {
+    /// Sever the pair: connections break, in-flight traffic is lost,
+    /// reconnects fail until the matching heal.
+    Partition(u64, u64),
+    /// Heal the pair: reconnects may succeed again.
+    Heal(u64, u64),
+}
+
+/// A timestamped fault operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlapEvent {
+    /// Virtual time at which the op fires, milliseconds.
+    pub at_ms: u64,
+    /// The operation.
+    pub op: FlapOp,
+}
+
+/// A deterministic partition/heal schedule over broker pairs.
+#[derive(Debug, Clone, Default)]
+pub struct FlapPlan {
+    /// All ops, sorted by [`FlapEvent::at_ms`].
+    pub events: Vec<FlapEvent>,
+}
+
+impl FlapPlan {
+    /// Ops due at or before `now_ms` that a previous call has not yet
+    /// returned. `cursor` tracks progress; start it at 0 and pass the
+    /// same variable on every call.
+    pub fn due(&self, cursor: &mut usize, now_ms: u64) -> &[FlapEvent] {
+        let start = *cursor;
+        while *cursor < self.events.len() && self.events[*cursor].at_ms <= now_ms {
+            *cursor += 1;
+        }
+        &self.events[start..*cursor]
+    }
+
+    /// Total virtual milliseconds the pair `(a, b)` spends partitioned
+    /// up to `until_ms` — the denominator for recovery-time metrics.
+    #[must_use]
+    pub fn partitioned_ms(&self, a: u64, b: u64, until_ms: u64) -> u64 {
+        let key = |x: u64, y: u64| (x.min(y), x.max(y));
+        let mut total = 0;
+        let mut down_since: Option<u64> = None;
+        for ev in &self.events {
+            if ev.at_ms > until_ms {
+                break;
+            }
+            match ev.op {
+                FlapOp::Partition(x, y) if key(x, y) == key(a, b) => {
+                    down_since.get_or_insert(ev.at_ms);
+                }
+                FlapOp::Heal(x, y) if key(x, y) == key(a, b) => {
+                    if let Some(since) = down_since.take() {
+                        total += ev.at_ms - since;
+                    }
+                }
+                _ => {}
+            }
+        }
+        if let Some(since) = down_since {
+            total += until_ms.saturating_sub(since);
+        }
+        total
+    }
+}
+
+/// Builds a link-flap schedule: every `period_ms`, the pair whose turn
+/// it is partitions for `down_ms`, round-robin over `pairs`, until
+/// `until_ms`. A heal always fires before the next partition of the
+/// same pair (`down_ms` < `period_ms * pairs.len()` is the caller's
+/// responsibility; the builder clamps heals to `until_ms`).
+#[must_use]
+pub fn flap_plan(pairs: &[(u64, u64)], period_ms: u64, down_ms: u64, until_ms: u64) -> FlapPlan {
+    let mut events = Vec::new();
+    if pairs.is_empty() || period_ms == 0 {
+        return FlapPlan { events };
+    }
+    let mut t = period_ms;
+    let mut turn = 0usize;
+    while t < until_ms {
+        let (a, b) = pairs[turn % pairs.len()];
+        events.push(FlapEvent {
+            at_ms: t,
+            op: FlapOp::Partition(a, b),
+        });
+        events.push(FlapEvent {
+            at_ms: (t + down_ms).min(until_ms),
+            op: FlapOp::Heal(a, b),
+        });
+        t += period_ms;
+        turn += 1;
+    }
+    events.sort_by_key(|e| e.at_ms);
+    FlapPlan { events }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_alternates_partition_and_heal_per_pair() {
+        let plan = flap_plan(&[(1, 2)], 100, 40, 500);
+        let ops: Vec<_> = plan.events.iter().map(|e| (e.at_ms, e.op)).collect();
+        assert_eq!(
+            ops,
+            vec![
+                (100, FlapOp::Partition(1, 2)),
+                (140, FlapOp::Heal(1, 2)),
+                (200, FlapOp::Partition(1, 2)),
+                (240, FlapOp::Heal(1, 2)),
+                (300, FlapOp::Partition(1, 2)),
+                (340, FlapOp::Heal(1, 2)),
+                (400, FlapOp::Partition(1, 2)),
+                (440, FlapOp::Heal(1, 2)),
+            ]
+        );
+    }
+
+    #[test]
+    fn due_walks_the_schedule_incrementally() {
+        let plan = flap_plan(&[(1, 2), (1, 3)], 100, 30, 400);
+        let mut cursor = 0;
+        assert!(plan.due(&mut cursor, 50).is_empty());
+        let first: Vec<_> = plan.due(&mut cursor, 130).to_vec();
+        assert_eq!(
+            first.iter().map(|e| e.op).collect::<Vec<_>>(),
+            vec![FlapOp::Partition(1, 2), FlapOp::Heal(1, 2)]
+        );
+        // Already-returned ops never repeat.
+        assert!(plan.due(&mut cursor, 130).is_empty());
+        let rest = plan.due(&mut cursor, 10_000);
+        assert_eq!(rest.first().map(|e| e.op), Some(FlapOp::Partition(1, 3)));
+    }
+
+    #[test]
+    fn partitioned_ms_sums_down_windows() {
+        let plan = flap_plan(&[(1, 2)], 100, 40, 500);
+        // Four full 40 ms windows.
+        assert_eq!(plan.partitioned_ms(1, 2, 500), 160);
+        // Mid-window cut-off counts the elapsed part.
+        assert_eq!(plan.partitioned_ms(1, 2, 120), 20);
+        // Order of the pair does not matter.
+        assert_eq!(plan.partitioned_ms(2, 1, 500), 160);
+        // Unrelated pairs are zero.
+        assert_eq!(plan.partitioned_ms(3, 4, 500), 0);
+    }
+}

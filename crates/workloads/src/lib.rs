@@ -10,6 +10,9 @@
 //!   broker (subscriptions arriving and leaving while bursts publish);
 //! * [`drift`] — two-phase distribution-shift workloads (the hot value
 //!   band migrates mid-run) exercising the self-tuning loop;
+//! * [`federation`] — deterministic partition/flap schedules replayed
+//!   against the service layer's fault-injection network by the broker
+//!   federation robustness suite;
 //! * [`experiments`] — the TV1–TV4 and TA1–TA2 protocols and one driver
 //!   per figure ([`figure_4a`], [`figure_4b`], [`figure_5`],
 //!   [`figure_6`]);
@@ -33,6 +36,7 @@ pub mod churn;
 pub mod drift;
 mod error;
 pub mod experiments;
+pub mod federation;
 mod figures;
 mod generator;
 pub mod scenario;
@@ -46,6 +50,7 @@ pub use experiments::{
     single_attribute_setup, AdaptiveSweepRow, MeasuredRun, TaExperiment, TvReport, FIG4A_COMBOS,
     FIG4B_COMBOS, FIG5_COMBOS,
 };
+pub use federation::{flap_plan, FlapEvent, FlapOp, FlapPlan};
 pub use figures::{FigureTable, Series};
 pub use generator::{EventGenerator, ProfileGenConfig, ProfileGenerator};
 
