@@ -10,9 +10,16 @@
 //! pump appends its remote deliveries (`D peer seq x`) and receive
 //! floors (`F peer floor`) in a single `write` + fsync before the
 //! next pump can acknowledge the traffic — the same log-before-ack
-//! contract the library documents. On `--resume` the log's floors are
-//! replayed into [`Federation::add_peer`] (and the stored epoch is
-//! bumped) so redelivered overlap deduplicates instead of duplicating.
+//! contract the library documents. The publish watermark (`P next`)
+//! is the mirror image: it is written and fsynced *before* the slice
+//! it covers is published, so a publisher crash mid-slice replays
+//! nothing on `--resume` (replaying under a bumped epoch would mint
+//! fresh sequence numbers that receivers' reset floors cannot dedupe
+//! — silent duplicates; the unforwarded tail of a crashed slice is
+//! lost instead: at-most-once per slice). On `--resume` the log's
+//! floors are replayed into [`Federation::add_peer`] (and the stored
+//! epoch is bumped) so redelivered overlap deduplicates instead of
+//! duplicating.
 //!
 //! Flags (hand-parsed; all times are wall-clock milliseconds):
 //!
@@ -274,6 +281,18 @@ fn run() -> Result<(), String> {
                 && next_publish < hi
             {
                 let end = hi.min(next_publish + opts.per_pump as i64);
+                // Log-before-publish: the watermark is a durable
+                // *intent* record, fsynced before any event of the
+                // slice is forwarded. A crash mid-slice then replays
+                // nothing on --resume — re-publishing under the new
+                // epoch would hand the rows fresh sequence numbers
+                // that receivers' (epoch-reset) floors cannot dedupe,
+                // i.e. undetectable duplicates. The trade is that the
+                // crashed slice's unforwarded tail is lost: publisher
+                // crash semantics are at-most-once per slice, never
+                // duplicating.
+                writeln!(log, "P {end}").map_err(|e| format!("{e}"))?;
+                log.sync_data().map_err(|e| format!("{e}"))?;
                 for x in next_publish..end {
                     let event = Event::builder(&schema)
                         .value("x", x)
@@ -282,7 +301,6 @@ fn run() -> Result<(), String> {
                     fed.publish(&event).map_err(|e| format!("publish: {e}"))?;
                 }
                 next_publish = end;
-                writeln!(entry, "P {next_publish}").expect("string write");
             }
             if next_publish >= hi && done_publishing_at.is_none() && fed.backlog() == 0 {
                 done_publishing_at = Some(Instant::now());

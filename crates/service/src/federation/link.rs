@@ -317,6 +317,10 @@ impl PeerLink {
             schema_hash: self.schema_hash,
             epoch: self.epoch,
             recv_high: self.recv_high,
+            // The incarnation our floor was accumulated against, so
+            // the peer can tell whether the floor doubles as an ack
+            // for *its current* sequence space.
+            your_epoch: self.remote_epoch,
         }
     }
 
@@ -371,6 +375,7 @@ impl PeerLink {
                 schema_hash,
                 epoch,
                 recv_high,
+                your_epoch,
                 ..
             } => {
                 if schema_hash != self.schema_hash {
@@ -389,8 +394,19 @@ impl PeerLink {
                     return;
                 }
                 // The peer's receive floor doubles as a cumulative
-                // ack: fast-forward past anything it already has.
-                self.ack_up_to(recv_high);
+                // ack — but only when it was accumulated against
+                // *this* incarnation. After a restart a surviving
+                // peer's first Hello still carries the previous
+                // incarnation's floor (it has not seen our new epoch
+                // yet); honoring it would trim fresh unacked traffic
+                // the peer has never received, and once the peer
+                // resets its floor to 0 for the new epoch those
+                // messages would be waited on forever. A stale floor
+                // is simply ignored: retransmission plus the peer's
+                // (soon reset) dedup floor cover the overlap.
+                if your_epoch == Some(self.epoch) {
+                    self.ack_up_to(recv_high);
+                }
                 let epoch_changed = self.remote_epoch.is_some_and(|e| e != epoch);
                 if epoch_changed {
                     // A new incarnation numbers its outbound traffic
@@ -459,12 +475,18 @@ impl PeerLink {
     /// duplicates and gaps.
     fn accept_span(&mut self, first: u64, span: u64) -> Option<usize> {
         self.ack_due = true;
-        let end = first + span - 1;
+        // Callers guarantee span >= 1; the checked add guards a
+        // hostile `first_seq` near u64::MAX from wrapping (debug
+        // panic) — such a span can only be garbage, so gap-drop it.
+        let Some(end) = first.checked_add(span - 1) else {
+            self.stats.gap_drops += span;
+            return None;
+        };
         if end <= self.recv_high {
             self.stats.duplicates += span;
             return None;
         }
-        if first > self.recv_high + 1 {
+        if first > self.recv_high.saturating_add(1) {
             self.stats.gap_drops += span;
             return None;
         }
@@ -626,7 +648,8 @@ impl PeerLink {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::federation::sim::{FaultPlan, SimNet};
+    use crate::federation::sim::{FaultPlan, SimNet, SimTransport};
+    use crate::federation::transport::TransportError;
     use ens_types::{Domain, Event, IndexedEvent, Predicate, ProfileId};
 
     fn schema() -> Arc<Schema> {
@@ -907,6 +930,89 @@ mod tests {
                 }
             )),
             "sender must observe the epoch change: {all2:?}"
+        );
+    }
+
+    /// Delegates to a [`SimTransport`] but swallows the first
+    /// `drops` sends — used to lose specific frames (the reconnect
+    /// `Hello`s) deterministically.
+    struct DropFirstSends {
+        inner: SimTransport,
+        drops: usize,
+    }
+
+    impl Transport for DropFirstSends {
+        fn connect(&mut self, now_ms: u64) -> bool {
+            self.inner.connect(now_ms)
+        }
+        fn is_connected(&self) -> bool {
+            self.inner.is_connected()
+        }
+        fn send(&mut self, payload: &[u8]) -> Result<(), TransportError> {
+            if self.drops > 0 {
+                self.drops -= 1;
+                return Ok(());
+            }
+            self.inner.send(payload)
+        }
+        fn recv(&mut self) -> Result<Option<Vec<u8>>, TransportError> {
+            self.inner.recv()
+        }
+        fn close(&mut self) {
+            self.inner.close();
+        }
+    }
+
+    #[test]
+    fn stale_hello_floor_from_previous_incarnation_is_not_an_ack() {
+        let s = schema();
+        let net = SimNet::new(61);
+        let (mut a, mut b) = link_pair(&net, &s);
+        let mut all = pump(&net, &mut [&mut a, &mut b], 3);
+        a.enqueue(Msg::Batch {
+            first_seq: 0,
+            width: 1,
+            rows: vec![row(&s, 1), row(&s, 2), row(&s, 3)],
+        });
+        all.extend(pump(&net, &mut [&mut a, &mut b], 5));
+        assert_eq!(b.recv_high(), 3);
+
+        // Node 1 crashes and restarts with a new epoch and fresh
+        // link state (sequences start over at 1); its first TWO
+        // Hellos are lost. The survivor times out, reconnects, and
+        // its Hello — still carrying the OLD incarnation's floor (3)
+        // and epoch — brings the restarted link Up, which flushes
+        // new seq 1..=3 into the unacked window. The survivor, still
+        // greeting (it never saw a Hello), stays silent until the
+        // restarted side times out and both reconnect; the
+        // survivor's NEXT Hello repeats the stale floor while those
+        // messages sit unacked. Treating that floor as an ack would
+        // trim them, and once the survivor resets its own floor to 0
+        // for the new epoch the link would wait on seq 1 forever.
+        drop(a);
+        net.drop_link(1, 2);
+        let mut a2 = PeerLink::new(
+            1,
+            2,
+            Arc::clone(&s),
+            2, // restarted process announces a new epoch
+            0,
+            Box::new(DropFirstSends {
+                inner: net.transport(1, 2),
+                drops: 2,
+            }),
+            fast_config(),
+        );
+        a2.enqueue(Msg::Batch {
+            first_seq: 0,
+            width: 1,
+            rows: vec![row(&s, 7), row(&s, 8), row(&s, 9)],
+        });
+        let all2 = pump(&net, &mut [&mut a2, &mut b], 300);
+        assert_eq!(
+            delivered_xs(&all2),
+            vec![7, 8, 9],
+            "the new incarnation's traffic must survive the stale floor"
         );
     }
 

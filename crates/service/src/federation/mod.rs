@@ -145,6 +145,11 @@ pub struct FederationMetrics {
     /// Rows from peers that failed validation (corrupt indices or
     /// width) and were discarded.
     pub rejected_rows: u64,
+    /// Rows from peers that decoded fine but whose local publish
+    /// failed (e.g. a durable broker's checkpoint IO error). They are
+    /// counted — never silently absorbed — because the link has
+    /// already advanced past them, so they will not be redelivered.
+    pub publish_failures: u64,
     /// Peer links currently up.
     pub peers_up: usize,
     /// Peer links permanently failed (schema mismatch or
@@ -220,6 +225,7 @@ struct FedState {
     delivered_rows: u64,
     rejected_rows: u64,
     forwarded_rows: u64,
+    publish_failures: u64,
 }
 
 /// A federated broker endpoint: wraps an [`Broker`] (shared, so the
@@ -257,6 +263,7 @@ impl Federation {
                 delivered_rows: 0,
                 rejected_rows: 0,
                 forwarded_rows: 0,
+                publish_failures: 0,
             }),
         }
     }
@@ -570,9 +577,12 @@ impl Federation {
     ///
     /// # Errors
     ///
-    /// Propagates local publish errors for remote events (the broker
-    /// rejecting a structurally valid event is a local fault, not a
-    /// network one).
+    /// Propagates interest-filter compilation errors for forwarded
+    /// subscriptions. Local publish failures for remote events are
+    /// *not* propagated — the link has already advanced past those
+    /// rows, so aborting would silently drop the rest of the batch;
+    /// they are counted in [`FederationMetrics::publish_failures`]
+    /// instead.
     pub fn pump(&self, now_ms: u64) -> Result<PumpReport, ServiceError> {
         let mut report = PumpReport::default();
         let st = &mut *self.lock();
@@ -670,7 +680,19 @@ impl Federation {
                         };
                         // Local publish only — remote events are never
                         // re-forwarded, which is the mesh's loop guard.
-                        self.broker.publish_shared(Arc::clone(&event))?;
+                        //
+                        // A publish failure must NOT abort the pump:
+                        // the link already advanced its floor past
+                        // this whole batch, so the next lazy ack will
+                        // tell the sender to forget these rows either
+                        // way. Bailing out here would additionally
+                        // drop the batch's remaining rows and every
+                        // later link event on the floor. Count the
+                        // failure and keep going.
+                        if self.broker.publish_shared(Arc::clone(&event)).is_err() {
+                            st.publish_failures += 1;
+                            continue;
+                        }
                         st.delivered_rows += 1;
                         report.delivered.push(RemoteDelivery {
                             peer,
@@ -735,6 +757,7 @@ impl Federation {
             delivered_rows: st.delivered_rows,
             rejected_rows: st.rejected_rows,
             forwarded_rows: st.forwarded_rows,
+            publish_failures: st.publish_failures,
             ..FederationMetrics::default()
         };
         for link in &st.links {

@@ -18,9 +18,15 @@ use std::fmt;
 use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::sync::{Arc, Mutex};
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use super::wire::{frame, FrameBuffer};
+
+/// Ceiling on bytes buffered for an unwritable socket. A peer that
+/// falls this far behind is indistinguishable from a dead one: the
+/// connection is reset and Go-Back-N retransmission covers the
+/// buffered traffic on the next connection.
+const MAX_WRITE_BUFFER: usize = 16 << 20;
 
 /// Why a transport operation failed.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -112,12 +118,21 @@ enum TcpMode {
 }
 
 /// [`Transport`] over a real TCP socket (`std::net`, non-blocking).
+///
+/// Sends never block or sleep: bytes the socket will not take
+/// immediately are buffered (`wbuf`) and flushed opportunistically on
+/// later sends and receives, so a slow peer costs the caller — which
+/// typically holds the federation state lock — nothing but memory, up
+/// to [`MAX_WRITE_BUFFER`].
 pub struct TcpTransport {
     mode: TcpMode,
     stream: Option<TcpStream>,
     rbuf: FrameBuffer,
+    /// Outbound bytes the socket has not accepted yet.
+    wbuf: Vec<u8>,
+    /// Flushed prefix of `wbuf`; consumed bytes are compacted lazily.
+    wpos: usize,
     connect_timeout: Duration,
-    send_timeout: Duration,
 }
 
 impl TcpTransport {
@@ -129,8 +144,9 @@ impl TcpTransport {
             mode: TcpMode::Dial(addr),
             stream: None,
             rbuf: FrameBuffer::new(),
+            wbuf: Vec::new(),
+            wpos: 0,
             connect_timeout: Duration::from_millis(250),
-            send_timeout: Duration::from_secs(2),
         }
     }
 
@@ -142,14 +158,48 @@ impl TcpTransport {
             mode: TcpMode::Passive(slot),
             stream: None,
             rbuf: FrameBuffer::new(),
+            wbuf: Vec::new(),
+            wpos: 0,
             connect_timeout: Duration::from_millis(250),
-            send_timeout: Duration::from_secs(2),
         }
     }
 
     fn drop_stream(&mut self) {
         self.stream = None;
         self.rbuf = FrameBuffer::new();
+        self.wbuf.clear();
+        self.wpos = 0;
+    }
+
+    /// Writes as much buffered outbound data as the socket will take
+    /// right now, without blocking or sleeping.
+    fn flush_wbuf(&mut self) -> Result<(), TransportError> {
+        let Some(stream) = self.stream.as_mut() else {
+            return Err(TransportError::Disconnected);
+        };
+        while self.wpos < self.wbuf.len() {
+            match stream.write(&self.wbuf[self.wpos..]) {
+                Ok(0) => {
+                    self.drop_stream();
+                    return Err(TransportError::Disconnected);
+                }
+                Ok(n) => self.wpos += n,
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(_) => {
+                    self.drop_stream();
+                    return Err(TransportError::Disconnected);
+                }
+            }
+        }
+        if self.wpos == self.wbuf.len() {
+            self.wbuf.clear();
+            self.wpos = 0;
+        } else if self.wpos > 64 * 1024 {
+            self.wbuf.drain(..self.wpos);
+            self.wpos = 0;
+        }
+        Ok(())
     }
 }
 
@@ -198,40 +248,27 @@ impl Transport for TcpTransport {
     }
 
     fn send(&mut self, payload: &[u8]) -> Result<(), TransportError> {
-        let Some(stream) = self.stream.as_mut() else {
+        if self.stream.is_none() {
             return Err(TransportError::Disconnected);
-        };
-        let bytes = frame(payload);
-        let mut off = 0;
-        let deadline = Instant::now() + self.send_timeout;
-        while off < bytes.len() {
-            match stream.write(&bytes[off..]) {
-                Ok(0) => {
-                    self.drop_stream();
-                    return Err(TransportError::Disconnected);
-                }
-                Ok(n) => off += n,
-                Err(e) if e.kind() == ErrorKind::WouldBlock => {
-                    if Instant::now() >= deadline {
-                        // A peer that cannot drain a frame within the
-                        // send budget is indistinguishable from a dead
-                        // one; reset rather than block the pump.
-                        self.drop_stream();
-                        return Err(TransportError::Disconnected);
-                    }
-                    std::thread::sleep(Duration::from_millis(1));
-                }
-                Err(e) if e.kind() == ErrorKind::Interrupted => {}
-                Err(_) => {
-                    self.drop_stream();
-                    return Err(TransportError::Disconnected);
-                }
-            }
         }
-        Ok(())
+        if self.wbuf.len() - self.wpos + payload.len() > MAX_WRITE_BUFFER {
+            // The peer has not drained in so long that buffering more
+            // would be unbounded; treat it as dead. The link keeps
+            // the unacked copies and retransmits after reconnecting.
+            self.drop_stream();
+            return Err(TransportError::Disconnected);
+        }
+        self.wbuf.extend_from_slice(&frame(payload));
+        self.flush_wbuf()
     }
 
     fn recv(&mut self) -> Result<Option<Vec<u8>>, TransportError> {
+        // Push any backlog the socket refused during sends — receive
+        // polls happen every pump, so a temporarily full socket
+        // drains without anyone sleeping on it.
+        if self.stream.is_some() && self.wpos < self.wbuf.len() {
+            self.flush_wbuf()?;
+        }
         // Serve already-buffered frames first (e.g. adopted preread).
         match self.rbuf.next_frame() {
             Ok(Some(p)) => return Ok(Some(p)),

@@ -16,7 +16,7 @@
 //!
 //! | tag | message       | body |
 //! |-----|---------------|------|
-//! | 1   | `Hello`       | node, `schema_hash`, epoch, `recv_high` |
+//! | 1   | `Hello`       | node, `schema_hash`, epoch, `recv_high`, `your_epoch` |
 //! | 2   | `Subscribe`   | seq, id, weight, profile |
 //! | 3   | `Unsubscribe` | seq, id |
 //! | 4   | `Batch`       | `first_seq`, count, width, rows (`vu64(idx+1)`, 0 = missing) |
@@ -138,12 +138,19 @@ pub(crate) enum Msg {
     /// Connection greeting, sent by both sides immediately after the
     /// transport comes up. `recv_high` doubles as an implicit
     /// cumulative ack so a reconnecting sender can fast-forward past
-    /// traffic the peer already has.
+    /// traffic the peer already has — but only when `your_epoch` (the
+    /// sender's last-known epoch of the *recipient*, `None` when it
+    /// has never greeted the recipient) matches the recipient's
+    /// current epoch. A floor accumulated against a previous
+    /// incarnation numbers a dead sequence space; acking the new
+    /// incarnation's traffic with it would discard messages the
+    /// sender never saw.
     Hello {
         node: u64,
         schema_hash: u64,
         epoch: u64,
         recv_high: u64,
+        your_epoch: Option<u64>,
     },
     /// Forwarded local subscription: "send me events matching this".
     Subscribe {
@@ -203,12 +210,20 @@ impl Msg {
                 schema_hash,
                 epoch,
                 recv_high,
+                your_epoch,
             } => {
                 w.u8(1);
                 w.vu64(*node);
                 w.u64(*schema_hash);
                 w.vu64(*epoch);
                 w.vu64(*recv_high);
+                match your_epoch {
+                    Some(e) => {
+                        w.u8(1);
+                        w.vu64(*e);
+                    }
+                    None => w.u8(0),
+                }
             }
             Msg::Subscribe {
                 seq,
@@ -273,6 +288,15 @@ impl Msg {
                 schema_hash: r.u64()?,
                 epoch: r.vu64()?,
                 recv_high: r.vu64()?,
+                your_epoch: match r.u8()? {
+                    0 => None,
+                    1 => Some(r.vu64()?),
+                    flag => {
+                        return Err(PersistError::new(format!(
+                            "bad hello epoch-presence flag {flag}"
+                        )));
+                    }
+                },
             },
             2 => Msg::Subscribe {
                 seq: r.vu64()?,
@@ -288,9 +312,20 @@ impl Msg {
                 let first_seq = r.vu64()?;
                 let count = r.vu64()?;
                 let width = r.vu32()?;
-                if count > MAX_FRAME as u64 || width as usize > u16::MAX as usize {
+                // Every cell costs at least one varint byte on the
+                // wire, so a genuine batch can never declare more
+                // cells (or, for width 0, rows) than payload bytes
+                // remain. Checking before the allocation means a
+                // hostile CRC-valid 20-byte frame cannot demand
+                // gigabytes; allocations stay proportional to the
+                // bytes actually received.
+                let cells = count.checked_mul(u64::from(width.max(1)));
+                if width as usize > u16::MAX as usize
+                    || cells.is_none_or(|c| c > r.remaining() as u64)
+                {
                     return Err(PersistError::new(format!(
-                        "implausible batch shape: {count} rows x {width} columns"
+                        "implausible batch shape: {count} rows x {width} columns in {} payload bytes",
+                        r.remaining()
                     )));
                 }
                 let mut rows = Vec::with_capacity(count as usize);
@@ -352,6 +387,14 @@ mod tests {
                 schema_hash: schema_hash(&s),
                 epoch: 3,
                 recv_high: 12,
+                your_epoch: Some(2),
+            },
+            Msg::Hello {
+                node: 8,
+                schema_hash: schema_hash(&s),
+                epoch: 1,
+                recv_high: 0,
+                your_epoch: None,
             },
             Msg::Subscribe {
                 seq: 4,
@@ -422,6 +465,27 @@ mod tests {
         fb.extend(&(u32::MAX).to_le_bytes());
         fb.extend(&[0, 0, 0, 0]);
         assert!(fb.next_frame().is_err(), "oversized length must be caught");
+    }
+
+    #[test]
+    fn hostile_batch_shapes_are_rejected_before_allocation() {
+        let s = schema();
+        // A ~16-byte frame claiming 67M rows of 2 columns: more
+        // cells than payload bytes, so it must fail before any
+        // row allocation happens.
+        let mut w = ByteWriter::new();
+        w.u8(4);
+        w.vu64(1); // first_seq
+        w.vu64(1 << 26); // count
+        w.vu32(2); // width
+        assert!(Msg::decode(&w.into_bytes(), &s).is_err());
+        // Width 0 must not make rows free either.
+        let mut w = ByteWriter::new();
+        w.u8(4);
+        w.vu64(1);
+        w.vu64(1 << 20);
+        w.vu32(0);
+        assert!(Msg::decode(&w.into_bytes(), &s).is_err());
     }
 
     #[test]
