@@ -25,8 +25,9 @@ use std::sync::Arc;
 use ens_bench::BenchWorkload;
 use ens_filter::baseline::{CountingMatcher, NaiveMatcher, NestedDfsa};
 use ens_filter::{
-    BlockScratch, Dfsa, Direction, MatchScratch, Matcher, OverlayIndex, ProfileTree, RebuildPolicy,
-    SearchStrategy, TreeConfig, TuningPolicy, ValueOrder,
+    BlockScratch, Dfsa, Direction, FilterSnapshot, MatchScratch, Matcher, OverlayIndex,
+    ProfileTree, RebuildPolicy, SearchStrategy, SnapshotScratch, TreeConfig, TuningPolicy,
+    ValueOrder,
 };
 use ens_service::{Broker, BrokerConfig, DurabilityConfig, FsyncPolicy, Subscriber};
 use ens_types::{Event, IndexedBatch, IndexedEvent, Schema};
@@ -42,24 +43,33 @@ use serde::Serialize;
 struct CountingAlloc;
 
 static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+/// Live heap bytes (allocated minus freed): deltas around a compile
+/// give the retained size of the compiled structures, the probe behind
+/// the `profile_scale` bytes/profile numbers.
+static BYTES_LIVE: AtomicU64 = AtomicU64::new(0);
 
 unsafe impl GlobalAlloc for CountingAlloc {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        BYTES_LIVE.fetch_add(layout.size() as u64, Ordering::Relaxed);
         System.alloc(layout)
     }
 
     unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
         ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        BYTES_LIVE.fetch_add(layout.size() as u64, Ordering::Relaxed);
         System.alloc_zeroed(layout)
     }
 
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        BYTES_LIVE.fetch_add(new_size as u64, Ordering::Relaxed);
+        BYTES_LIVE.fetch_sub(layout.size() as u64, Ordering::Relaxed);
         System.realloc(ptr, layout, new_size)
     }
 
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        BYTES_LIVE.fetch_sub(layout.size() as u64, Ordering::Relaxed);
         System.dealloc(ptr, layout)
     }
 }
@@ -69,6 +79,10 @@ static GLOBAL: CountingAlloc = CountingAlloc;
 
 fn allocations() -> u64 {
     ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+fn live_bytes() -> u64 {
+    BYTES_LIVE.load(Ordering::Relaxed)
 }
 
 #[derive(Debug, Serialize)]
@@ -290,6 +304,50 @@ struct RecoveryReport {
     rows: Vec<RecoveryRow>,
 }
 
+/// One (population, size) cell of the covering scale study: the same
+/// coverage-heavy profiles compiled with covering off (plain compile)
+/// and on (covering-pruned), matched over the same events.
+#[derive(Debug, Serialize)]
+struct ProfileScaleRow {
+    /// `duplicate_heavy` (uniform roots, mostly exact duplicates) or
+    /// `zipf` (skewed root popularity, mostly narrowings).
+    population: String,
+    profiles: u64,
+    /// Representatives actually compiled on the covering path — the
+    /// antichain the containment analysis reduced the population to.
+    compiled_profiles: u64,
+    build_ms_off: f64,
+    /// Containment analysis plus rep-only compilation.
+    build_ms_on: f64,
+    /// off/on build time (> 1 means covering pays for its own
+    /// containment analysis).
+    build_speedup: f64,
+    /// Retained heap bytes of the compiled snapshot, per profile
+    /// (live-heap delta around the compile, counting allocator).
+    bytes_per_profile_off: f64,
+    bytes_per_profile_on: f64,
+    /// off/on bytes per profile.
+    bytes_ratio: f64,
+    /// CSR fast path (`match_into`, reused scratch) on each snapshot.
+    events_per_sec_off: f64,
+    events_per_sec_on: f64,
+    /// on/off match throughput.
+    match_speedup: f64,
+    /// FNV-1a over every (event, matched-slot) pair — asserted equal
+    /// on both paths before the row is emitted.
+    checksum: u64,
+}
+
+/// Covering-pruned compilation at growing population sizes — the
+/// million-profile story: build time, compiled bytes/profile and match
+/// throughput, covering on vs off, on duplicate-heavy and Zipf-skewed
+/// populations at 90% coverage density.
+#[derive(Debug, Serialize)]
+struct ProfileScaleReport {
+    events: u64,
+    rows: Vec<ProfileScaleRow>,
+}
+
 /// Broker federation: fan-out latency over real TCP loopback,
 /// interest-filter selectivity on a three-broker sim mesh, and
 /// partition-recovery time on the virtual clock.
@@ -327,6 +385,7 @@ struct Report {
     broker_scaling: BrokerScaling,
     tuning: TuningReport,
     recovery: RecoveryReport,
+    profile_scale: ProfileScaleReport,
     federation: FederationReport,
 }
 
@@ -340,6 +399,15 @@ struct MatchersReport {
     summary: Summary,
 }
 
+/// The reduced report of `--sections profile_scale`: just the covering
+/// scale study (used by the CI covering regression guard, typically
+/// with `--scale-cap` to stay at smoke sizes).
+#[derive(Debug, Serialize)]
+struct ProfileScaleOnlyReport {
+    config: Config,
+    profile_scale: ProfileScaleReport,
+}
+
 #[derive(Debug, Serialize)]
 struct Config {
     events: u64,
@@ -348,15 +416,29 @@ struct Config {
     min_ms: u64,
 }
 
+/// Which report shape to emit (the reduced shapes exist for the CI
+/// regression guards, which need one section without paying for the
+/// rest).
+#[derive(Clone, Copy, PartialEq)]
+enum Sections {
+    All,
+    /// Config + per-matcher workload tables + summary only.
+    Matchers,
+    /// Config + the covering scale study only.
+    ProfileScale,
+}
+
 struct Options {
     events: usize,
     profiles: Option<usize>,
     min_ms: u64,
     out: String,
     quiet: bool,
-    /// `false` = `--sections matchers`: emit only config + per-matcher
-    /// workload tables + summary (fast, for the CI regression guard).
-    all_sections: bool,
+    sections: Sections,
+    /// Largest population the `profile_scale` section runs
+    /// (`--scale-cap`); the committed run uses the full 1M, CI smoke
+    /// caps it.
+    scale_cap: usize,
 }
 
 fn main() -> ExitCode {
@@ -366,7 +448,8 @@ fn main() -> ExitCode {
         min_ms: 500,
         out: "BENCH_throughput.json".to_owned(),
         quiet: false,
-        all_sections: true,
+        sections: Sections::All,
+        scale_cap: 1_000_000,
     };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -391,9 +474,14 @@ fn main() -> ExitCode {
                 None => return usage(),
             },
             "--sections" => match args.next().as_deref() {
-                Some("all") => opts.all_sections = true,
-                Some("matchers") => opts.all_sections = false,
+                Some("all") => opts.sections = Sections::All,
+                Some("matchers") => opts.sections = Sections::Matchers,
+                Some("profile_scale") => opts.sections = Sections::ProfileScale,
                 _ => return usage(),
+            },
+            "--scale-cap" => match num(&mut args) {
+                Some(n) => opts.scale_cap = n,
+                None => return usage(),
             },
             "--quiet" => opts.quiet = true,
             _ => return usage(),
@@ -411,12 +499,30 @@ fn main() -> ExitCode {
 fn usage() -> ExitCode {
     eprintln!(
         "usage: throughput [--events N] [--profiles N] [--min-ms MS] [--out PATH] \
-         [--sections all|matchers] [--quiet]"
+         [--sections all|matchers|profile_scale] [--scale-cap N] [--quiet]"
     );
     ExitCode::from(2)
 }
 
 fn run(opts: &Options) -> Result<(), Box<dyn std::error::Error>> {
+    if opts.sections == Sections::ProfileScale {
+        let report = ProfileScaleOnlyReport {
+            config: Config {
+                events: opts.events as u64,
+                environmental_profiles: opts.profiles.unwrap_or(1000) as u64,
+                stock_profiles: opts.profiles.unwrap_or(1000) as u64,
+                min_ms: opts.min_ms,
+            },
+            profile_scale: bench_profile_scale(opts)?,
+        };
+        let json = serde_json::to_string_pretty(&report)?;
+        std::fs::write(&opts.out, &json)?;
+        if !opts.quiet {
+            println!("{json}");
+        }
+        eprintln!("wrote {} (profile_scale section only)", opts.out);
+        return Ok(());
+    }
     // Default to 1000 subscriptions per workload: the paper (and the
     // ROADMAP north star) target large subscription populations, where
     // index layout dominates; `--profiles` scales it up or down.
@@ -444,7 +550,7 @@ fn run(opts: &Options) -> Result<(), Box<dyn std::error::Error>> {
             workload: report.name.clone(),
             value: seed.allocs_per_event - fast.allocs_per_event,
         });
-        if opts.all_sections {
+        if opts.sections == Sections::All {
             batch.push(bench_batch(w, opts, fast.events_per_sec, fast.matches)?);
         }
         reports.push(report);
@@ -459,7 +565,7 @@ fn run(opts: &Options) -> Result<(), Box<dyn std::error::Error>> {
         dfsa_csr_scratch_vs_seed_speedup: speedups,
         allocs_eliminated_per_event: allocs_saved,
     };
-    if !opts.all_sections {
+    if opts.sections == Sections::Matchers {
         let report = MatchersReport {
             config,
             workloads: reports,
@@ -492,6 +598,7 @@ fn run(opts: &Options) -> Result<(), Box<dyn std::error::Error>> {
         broker_scaling,
         tuning: bench_tuning(opts)?,
         recovery: bench_recovery(opts)?,
+        profile_scale: bench_profile_scale(opts)?,
         federation: bench_federation(opts)?,
     };
     let json = serde_json::to_string_pretty(&report)?;
@@ -1233,6 +1340,163 @@ fn bench_recovery(opts: &Options) -> Result<RecoveryReport, Box<dyn std::error::
         workload: "environmental".to_owned(),
         rows,
     })
+}
+
+/// Covering-pruned compilation at scale: the same coverage-heavy
+/// population (90% coverage density — duplicate-heavy or Zipf-skewed
+/// single-attribute narrowings of a small root set) compiled with
+/// covering off (plain compile over every profile) and on (containment
+/// analysis + rep-only compile + residual expansion map), at growing
+/// population sizes. Reports build time, retained compiled bytes per
+/// profile (live-heap delta under the counting allocator) and CSR
+/// match throughput; the (event, matched-slot) checksum is asserted
+/// equal between the two paths at every cell.
+fn bench_profile_scale(opts: &Options) -> Result<ProfileScaleReport, Box<dyn std::error::Error>> {
+    use ens_workloads::CoveredPopulationConfig;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    let schema = ens_workloads::scenario::environmental_schema();
+    let generator = ens_workloads::EventGenerator::new(
+        &schema,
+        ens_workloads::scenario::environmental_event_model()?,
+    )?;
+    // Expanded match sets grow with the population (duplicates all
+    // match together), so cap the event count to keep the 1M cells'
+    // verification pass bounded.
+    let n_events = opts.events.clamp(1, 1024);
+    let mut rng = StdRng::seed_from_u64(8081);
+    let indexed: Vec<IndexedEvent> = (0..n_events)
+        .map(|_| IndexedEvent::resolve(&schema, &generator.sample(&mut rng)))
+        .collect::<Result<_, _>>()?;
+
+    let sizes: Vec<usize> = [10_000, 100_000, 1_000_000]
+        .into_iter()
+        .filter(|&n| n <= opts.scale_cap)
+        .collect();
+    // Selective roots (few `(*)`s, narrow ranges): root count grows
+    // with the population (10% at 90% density), so permissive roots
+    // would blow the covering-off leaf lists past this container's
+    // memory at 1M. Selectivity shrinks both sides of the comparison
+    // alike; the covering ratios are structural.
+    let roots = ens_workloads::ProfileGenConfig {
+        dont_care_prob: 0.1,
+        eq_prob: 0.6,
+        range_width_frac: 0.05,
+    };
+    let populations = [
+        (
+            "duplicate_heavy",
+            CoveredPopulationConfig {
+                coverage_density: 0.9,
+                duplicate_frac: 0.9,
+                zipf_exponent: 0.0,
+                roots,
+            },
+        ),
+        (
+            "zipf",
+            CoveredPopulationConfig {
+                coverage_density: 0.9,
+                duplicate_frac: 0.4,
+                zipf_exponent: 1.2,
+                roots,
+            },
+        ),
+    ];
+
+    let mut rows = Vec::new();
+    for (name, pop_cfg) in &populations {
+        for (k, &n) in sizes.iter().enumerate() {
+            let mut rng = StdRng::seed_from_u64(4242 + k as u64);
+            let profiles = ens_workloads::covered_profiles(&schema, n, pop_cfg, &mut rng)?;
+            let tree_config = TreeConfig::default();
+
+            let live0 = live_bytes();
+            let t0 = Instant::now();
+            let plain = FilterSnapshot::compile(&profiles, &tree_config)?;
+            let build_ms_off = t0.elapsed().as_secs_f64() * 1e3;
+            let bytes_off = live_bytes().saturating_sub(live0);
+
+            let live0 = live_bytes();
+            let t0 = Instant::now();
+            let (covered, cover) = FilterSnapshot::compile_covered(&profiles, &tree_config)?;
+            let build_ms_on = t0.elapsed().as_secs_f64() * 1e3;
+            // The broker keeps the CoverSet for subscribe-time probes,
+            // but it is not part of the compiled snapshot; drop it so
+            // bytes_on is the retained snapshot alone, symmetric with
+            // bytes_off.
+            let compiled_profiles = covered.compiled_len() as u64;
+            drop(cover);
+            let bytes_on = live_bytes().saturating_sub(live0);
+
+            let (events_per_sec_off, sum_off) = profile_scale_pass(&plain, &indexed, opts.min_ms);
+            drop(plain);
+            let (events_per_sec_on, sum_on) = profile_scale_pass(&covered, &indexed, opts.min_ms);
+            assert_eq!(
+                sum_off, sum_on,
+                "{name}/{n}: covering changed the match results"
+            );
+
+            let per = |b: u64| b as f64 / n as f64;
+            rows.push(ProfileScaleRow {
+                population: (*name).to_owned(),
+                profiles: n as u64,
+                compiled_profiles,
+                build_ms_off,
+                build_ms_on,
+                build_speedup: build_ms_off / build_ms_on,
+                bytes_per_profile_off: per(bytes_off),
+                bytes_per_profile_on: per(bytes_on),
+                bytes_ratio: bytes_off as f64 / bytes_on.max(1) as f64,
+                events_per_sec_off,
+                events_per_sec_on,
+                match_speedup: events_per_sec_on / events_per_sec_off,
+                checksum: sum_on,
+            });
+            if !opts.quiet {
+                eprintln!(
+                    "profile_scale {name}/{n}: {} reps, build {:.0}ms -> {:.0}ms",
+                    compiled_profiles, build_ms_off, build_ms_on
+                );
+            }
+        }
+    }
+    Ok(ProfileScaleReport {
+        events: n_events as u64,
+        rows,
+    })
+}
+
+/// One verification pass (FNV-1a checksum over every (event,
+/// matched-slot) pair) then timed CSR `match_into` passes until
+/// `min_ms`, best-of, on a compiled snapshot.
+fn profile_scale_pass(snap: &FilterSnapshot, indexed: &[IndexedEvent], min_ms: u64) -> (f64, u64) {
+    let mut scratch = SnapshotScratch::new();
+    let mut checksum = 0xcbf2_9ce4_8422_2325u64;
+    for (i, ie) in indexed.iter().enumerate() {
+        snap.match_into(ie, &mut scratch, true);
+        for v in std::iter::once(i as u64).chain(scratch.matched().iter().map(|&m| u64::from(m))) {
+            checksum ^= v;
+            checksum = checksum.wrapping_mul(0x100_0000_01b3);
+        }
+    }
+    let start = Instant::now();
+    let mut best = std::time::Duration::MAX;
+    loop {
+        let t0 = Instant::now();
+        let mut n = 0u64;
+        for ie in indexed {
+            snap.match_into(ie, &mut scratch, true);
+            n += scratch.matched().len() as u64;
+        }
+        std::hint::black_box(n);
+        best = best.min(t0.elapsed());
+        if start.elapsed().as_millis() >= u128::from(min_ms) {
+            break;
+        }
+    }
+    (indexed.len() as f64 / best.as_secs_f64(), checksum)
 }
 
 /// Federated broker fan-out, forwarding selectivity and partition

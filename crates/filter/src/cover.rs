@@ -1,0 +1,251 @@
+//! The compiled form of a covering analysis: which base slots were
+//! compiled as representatives and how matches expand back to the
+//! covered profiles.
+//!
+//! A [`CoverPlan`] is derived from an
+//! [`ens_types::CoverSet`] at compile time and travels with the
+//! [`FilterSnapshot`](crate::FilterSnapshot) it prunes — including
+//! through the checkpoint codec, so crash recovery restores the
+//! expansion map verbatim instead of re-deriving containment over the
+//! whole population.
+//!
+//! Matching with a plan works on two id spaces: the tree/DFSA emit
+//! **compiled** ids `0..rep_count` (dense over the representatives,
+//! ascending in original slot order), which the snapshot expands to
+//! **original** base slots — the representative itself plus every
+//! covered profile whose [`Residual`] the event passes.
+
+use ens_types::{AttrId, IndexInterval, IntervalSet, Residual};
+
+use crate::persist::{ByteReader, ByteWriter, PersistError};
+
+/// One covered profile hanging off a compiled representative.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlanChild {
+    /// Original base slot of the covered profile.
+    pub slot: u32,
+    /// Residual checks gating delivery (empty for exact duplicates).
+    pub residual: Vec<Residual>,
+}
+
+/// Expansion map of a covering-pruned compilation: compiled id →
+/// original slot, plus each representative's covered children.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct CoverPlan {
+    /// Compiled id → original base slot; strictly ascending.
+    rep_of: Vec<u32>,
+    /// Children of each compiled id, ascending by child slot.
+    children: Vec<Vec<PlanChild>>,
+}
+
+impl CoverPlan {
+    /// Builds a plan from its raw parts. `rep_of` must be strictly
+    /// ascending; `children` must be parallel to it.
+    #[must_use]
+    pub fn from_parts(rep_of: Vec<u32>, children: Vec<Vec<PlanChild>>) -> Self {
+        debug_assert_eq!(rep_of.len(), children.len());
+        debug_assert!(rep_of.windows(2).all(|w| w[0] < w[1]));
+        CoverPlan { rep_of, children }
+    }
+
+    /// Number of compiled representatives.
+    #[must_use]
+    pub fn rep_count(&self) -> usize {
+        self.rep_of.len()
+    }
+
+    /// Number of covered (expansion-delivered) profiles.
+    #[must_use]
+    pub fn covered_count(&self) -> usize {
+        self.children.iter().map(Vec::len).sum()
+    }
+
+    /// Original base slot of compiled id `c`.
+    #[must_use]
+    pub fn rep_of(&self, c: u32) -> u32 {
+        self.rep_of[c as usize]
+    }
+
+    /// Compiled id → original slot mapping, strictly ascending.
+    #[must_use]
+    pub fn rep_slots(&self) -> &[u32] {
+        &self.rep_of
+    }
+
+    /// Covered children of compiled id `c`.
+    #[must_use]
+    pub fn children_of(&self, c: u32) -> &[PlanChild] {
+        &self.children[c as usize]
+    }
+
+    /// All `(child slot, representative slot, residual)` triples —
+    /// the form [`ens_types::CoverSet::from_parts`] replays at
+    /// recovery.
+    pub fn child_triples(&self) -> impl Iterator<Item = (u32, u32, Vec<Residual>)> + '_ {
+        self.rep_of
+            .iter()
+            .zip(&self.children)
+            .flat_map(|(&rep, ch)| ch.iter().map(move |c| (c.slot, rep, c.residual.clone())))
+    }
+
+    pub(crate) fn encode(&self, w: &mut ByteWriter) {
+        w.packed_u32(&self.rep_of);
+        for ch in &self.children {
+            w.seq_len(ch.len());
+            for c in ch {
+                w.u32(c.slot);
+                encode_residual(w, &c.residual);
+            }
+        }
+    }
+
+    pub(crate) fn decode(r: &mut ByteReader<'_>, base_len: usize) -> Result<Self, PersistError> {
+        let rep_of = r.vec_u32_packed()?;
+        if !rep_of.windows(2).all(|w| w[0] < w[1]) {
+            return Err(PersistError::new("cover plan reps not ascending"));
+        }
+        if rep_of.last().is_some_and(|&s| s as usize >= base_len) {
+            return Err(PersistError::new("cover plan rep slot out of range"));
+        }
+        let mut children = Vec::with_capacity(rep_of.len());
+        for _ in 0..rep_of.len() {
+            let n = r.seq_len(5)?;
+            let mut ch = Vec::with_capacity(n);
+            for _ in 0..n {
+                let slot = r.u32()?;
+                if slot as usize >= base_len {
+                    return Err(PersistError::new("cover plan child slot out of range"));
+                }
+                ch.push(PlanChild {
+                    slot,
+                    residual: decode_residual(r)?,
+                });
+            }
+            children.push(ch);
+        }
+        Ok(CoverPlan { rep_of, children })
+    }
+}
+
+/// Whether the event (raw sentinel-encoded index row) passes every
+/// residual check: the attribute is present and its domain index lies
+/// in the covered profile's allowed set.
+#[inline]
+#[must_use]
+pub fn residual_ok(residual: &[Residual], raw: &[u64]) -> bool {
+    residual.iter().all(|r| {
+        raw.get(r.attr.index())
+            .is_some_and(|&idx| r.allowed.contains(idx))
+    })
+}
+
+pub(crate) fn encode_residual(w: &mut ByteWriter, residual: &[Residual]) {
+    w.seq_len(residual.len());
+    for res in residual {
+        w.u32(res.attr.index() as u32);
+        let ivs = res.allowed.as_slice();
+        w.seq_len(ivs.len());
+        for iv in ivs {
+            w.vu64(iv.lo());
+            w.vu64(iv.hi());
+        }
+    }
+}
+
+pub(crate) fn decode_residual(r: &mut ByteReader<'_>) -> Result<Vec<Residual>, PersistError> {
+    let n = r.seq_len(6)?;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        let attr = AttrId::new(r.u32()?);
+        let n_iv = r.seq_len(2)?;
+        let mut ivs = Vec::with_capacity(n_iv);
+        for _ in 0..n_iv {
+            let lo = r.vu64()?;
+            let hi = r.vu64()?;
+            if lo > hi {
+                return Err(PersistError::new("residual interval inverted"));
+            }
+            ivs.push(IndexInterval::new(lo, hi));
+        }
+        let allowed = IntervalSet::from_intervals(ivs);
+        out.push(Residual { attr, allowed });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ens_types::IndexedEvent;
+
+    fn residual(attr: u32, ivs: &[(u64, u64)]) -> Residual {
+        Residual {
+            attr: AttrId::new(attr),
+            allowed: IntervalSet::from_intervals(
+                ivs.iter()
+                    .map(|&(lo, hi)| IndexInterval::new(lo, hi))
+                    .collect(),
+            ),
+        }
+    }
+
+    #[test]
+    fn residual_ok_requires_presence_and_membership() {
+        let res = vec![residual(1, &[(2, 5)])];
+        let present = IndexedEvent::from_indices(vec![Some(0), Some(3)]);
+        assert!(residual_ok(&res, present.raw()));
+        let outside = IndexedEvent::from_indices(vec![Some(0), Some(7)]);
+        assert!(!residual_ok(&res, outside.raw()));
+        // Missing attribute fails a residual: the covered profile
+        // specifies it, so the `(*)` path must not deliver.
+        let missing = IndexedEvent::from_indices(vec![Some(0), None]);
+        assert!(!residual_ok(&res, missing.raw()));
+        // An empty residual (exact duplicate) always passes.
+        assert!(residual_ok(&[], missing.raw()));
+        // An empty allowed set (unsatisfiable child) never passes.
+        let unsat = vec![residual(0, &[])];
+        assert!(!residual_ok(&unsat, present.raw()));
+    }
+
+    #[test]
+    fn plan_round_trips_through_bytes() {
+        let plan = CoverPlan::from_parts(
+            vec![0, 3, 7],
+            vec![
+                vec![
+                    PlanChild {
+                        slot: 1,
+                        residual: vec![],
+                    },
+                    PlanChild {
+                        slot: 2,
+                        residual: vec![residual(0, &[(5, 9)]), residual(2, &[(0, 1), (4, 6)])],
+                    },
+                ],
+                vec![],
+                vec![PlanChild {
+                    slot: 8,
+                    residual: vec![residual(1, &[(2, 3)])],
+                }],
+            ],
+        );
+        let mut w = ByteWriter::new();
+        plan.encode(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        let back = CoverPlan::decode(&mut r, 9).unwrap();
+        r.expect_end().unwrap();
+        assert_eq!(back, plan);
+        assert_eq!(back.rep_count(), 3);
+        assert_eq!(back.covered_count(), 3);
+        assert_eq!(back.rep_of(1), 3);
+        assert_eq!(back.children_of(0).len(), 2);
+        let triples: Vec<_> = back.child_triples().collect();
+        assert_eq!(triples[0].0, 1);
+        assert_eq!(triples[0].1, 0);
+        assert_eq!(triples[2], (8, 7, vec![residual(1, &[(2, 3)])]));
+        // Out-of-range slots are rejected.
+        let mut r = ByteReader::new(&bytes);
+        assert!(CoverPlan::decode(&mut r, 8).is_err());
+    }
+}

@@ -81,7 +81,7 @@ const SEARCH_ACCEL_MIN_BOUNDS: usize = 8;
 const NO_ACCEL: u32 = u32::MAX;
 
 /// Transition target of a DFSA state (build/minimise-time form).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 enum Target {
     State(u32),
     Leaf(u32),
@@ -219,6 +219,7 @@ impl Dfsa {
             states: Vec::new(),
             leaves: Vec::new(),
             leaf_canon: std::collections::HashMap::new(),
+            state_canon: std::collections::HashMap::new(),
         };
         let root = lowering.lower(tree.root());
         freeze(
@@ -587,11 +588,26 @@ impl Matcher for Dfsa {
     }
 }
 
-/// Tree-to-build-state lowering with leaf hash-consing.
+/// Tree-to-build-state lowering with leaf *and* interior-state
+/// hash-consing: structurally identical states (same tested attribute,
+/// edge list and star target) are emitted once and shared. Don't-care
+/// profiles duplicate whole subtrees along sibling edges of the tree;
+/// because children are lowered before their parent is keyed, equal
+/// subtrees collapse bottom-up into one state chain — on duplicate-heavy
+/// populations the automaton is much smaller than the tree even when
+/// containment analysis misses the duplicates.
+/// Structural key of an interior state: tested attribute, `(lo, hi,
+/// target)` edge list, star target.
+type StateKey = (AttrId, Vec<(u64, u64, Target)>, Target);
+
 struct Lowering {
     states: Vec<BuildState>,
     leaves: Vec<Vec<ProfileId>>,
     leaf_canon: std::collections::HashMap<Vec<ProfileId>, u32>,
+    /// `(attr, edges, star)` -> existing state. Exact structural
+    /// equality: leaves below are already consed, so equal keys imply
+    /// equal languages.
+    state_canon: std::collections::HashMap<StateKey, u32>,
 }
 
 impl Lowering {
@@ -613,14 +629,11 @@ impl Lowering {
                 }
             }
             NodeRef::Inner(n) => {
-                // Reserve the slot first so the layout is depth-first
-                // with parents before children.
-                let slot = self.states.len();
-                self.states.push(BuildState {
-                    attr: n.attr,
-                    edges: Vec::new(),
-                    star: Target::Reject,
-                });
+                // Children first, so the parent's structural key is over
+                // already-canonical targets. The automaton references
+                // its root through an explicit target (no slot-0
+                // assumption anywhere), so the children-before-parents
+                // layout is safe.
                 let mut edges = Vec::with_capacity(n.edges.len());
                 for e in &n.edges {
                     let target = self.lower(&e.child);
@@ -630,10 +643,17 @@ impl Lowering {
                     Star::None => Target::Reject,
                     Star::All(child) | Star::Else(child) => self.lower(child),
                 };
-                let s = &mut self.states[slot];
-                s.edges = edges;
-                s.star = star;
-                Target::State(slot as u32)
+                if let Some(&s) = self.state_canon.get(&(n.attr, edges.clone(), star)) {
+                    return Target::State(s);
+                }
+                let slot = self.states.len() as u32;
+                self.state_canon.insert((n.attr, edges.clone(), star), slot);
+                self.states.push(BuildState {
+                    attr: n.attr,
+                    edges,
+                    star,
+                });
+                Target::State(slot)
             }
         }
     }
@@ -1138,8 +1158,53 @@ mod tests {
         let (_, ps) = random_profiles(3, 30);
         let tree = ProfileTree::build(&ps, &TreeConfig::default()).unwrap();
         let dfsa = Dfsa::from_tree(&tree);
-        assert_eq!(dfsa.state_count(), tree.node_count());
+        assert!(dfsa.state_count() <= tree.node_count());
         assert!(dfsa.leaf_count() <= tree.leaf_count());
+    }
+
+    #[test]
+    fn interior_hash_consing_shares_duplicate_subtrees() {
+        // Exact duplicate profiles are distinct tree paths ending in
+        // distinct leaves, but pairs of duplicated *suffix* structure
+        // (don't-care duplication along sibling edges) must collapse.
+        let schema = Schema::builder()
+            .attribute("x", Domain::int(0, 49))
+            .unwrap()
+            .attribute("y", Domain::int(0, 49))
+            .unwrap()
+            .build();
+        let mut ps = ProfileSet::new(&schema);
+        // Multi-interval x-predicates: every x-interval of a profile
+        // leads to the *same* leaf set, so the y-subtree below each of
+        // its edges is structurally identical and must be emitted once.
+        for k in 0..4i64 {
+            ps.insert_with(|b| {
+                b.predicate("x", Predicate::in_set([k, k + 10, k + 20, k + 30]))?
+                    .predicate("y", Predicate::le(10 + k))
+            })
+            .unwrap();
+        }
+        ps.insert_with(|b| b.predicate("y", Predicate::le(10)))
+            .unwrap();
+        let tree = ProfileTree::build(&ps, &TreeConfig::default()).unwrap();
+        let dfsa = Dfsa::from_tree(&tree);
+        assert!(
+            dfsa.state_count() < tree.node_count(),
+            "consing must share states: {} states for {} tree nodes",
+            dfsa.state_count(),
+            tree.node_count()
+        );
+        for x in 0..50 {
+            for y in [0, 5, 10, 11, 49] {
+                let e = ens_types::Event::builder(&schema)
+                    .value("x", x)
+                    .unwrap()
+                    .value("y", y)
+                    .unwrap()
+                    .build();
+                assert_eq!(dfsa.match_event(&e).unwrap(), ps.matches(&e).unwrap());
+            }
+        }
     }
 
     #[test]
@@ -1165,9 +1230,19 @@ mod tests {
             .unwrap();
         let tree = ProfileTree::build(&ps, &TreeConfig::default()).unwrap();
         let dfsa = Dfsa::from_tree(&tree);
+        // Lowering-time interior consing already shares the duplicated
+        // subtrees, so minimisation can only tighten further (edge
+        // normalisation: dropping edges that lead where star leads,
+        // merging adjacent equal-target intervals).
+        assert!(
+            dfsa.state_count() < tree.node_count(),
+            "{} vs {}",
+            dfsa.state_count(),
+            tree.node_count()
+        );
         let min = dfsa.minimize();
         assert!(
-            min.state_count() < dfsa.state_count(),
+            min.state_count() <= dfsa.state_count(),
             "{} vs {}",
             min.state_count(),
             dfsa.state_count()

@@ -68,6 +68,7 @@
 mod adaptive;
 pub mod baseline;
 mod cost;
+mod cover;
 mod dfsa;
 mod error;
 mod order;
@@ -84,6 +85,7 @@ mod tuning;
 
 pub use adaptive::{AdaptiveFilter, AdaptivePolicy};
 pub use cost::{expected_ops, CostBreakdown, CostModel, LevelCost, ProfileCost};
+pub use cover::{residual_ok, CoverPlan, PlanChild};
 pub use dfsa::{Dfsa, BLOCK_LANES, JUMP_TABLE_MAX_DOMAIN};
 pub use error::FilterError;
 pub use order::{

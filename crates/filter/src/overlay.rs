@@ -120,10 +120,38 @@ impl OverlayIndex {
     ///
     /// Propagates predicate lowering errors.
     pub fn new(overlay: &ProfileSet) -> Result<Self, FilterError> {
+        Self::build(overlay, &[])
+    }
+
+    /// Like [`OverlayIndex::new`], but positions with `skip[k]` set are
+    /// excluded from matching entirely: they contribute no postings, are
+    /// never unconditional, and their `required` count is an
+    /// unreachable sentinel. Dense ids still span the *full* overlay
+    /// (`0..overlay.len()`), so unskipped positions keep their ids.
+    ///
+    /// Used by covering-aware snapshots: overlay subscriptions covered
+    /// by a compiled representative are delivered through the expansion
+    /// map instead and must not also match through the counting index.
+    ///
+    /// # Errors
+    ///
+    /// Propagates predicate lowering errors.
+    pub fn new_filtered(overlay: &ProfileSet, skip: &[bool]) -> Result<Self, FilterError> {
+        debug_assert_eq!(skip.len(), overlay.len());
+        Self::build(overlay, skip)
+    }
+
+    fn build(overlay: &ProfileSet, skip: &[bool]) -> Result<Self, FilterError> {
+        let skipped = |k: usize| skip.get(k).copied().unwrap_or(false);
         let schema = overlay.schema();
         let mut required = Vec::with_capacity(overlay.len());
         let mut unconditional = Vec::new();
         for (k, p) in overlay.iter().enumerate() {
+            if skipped(k) {
+                // Unsatisfiable sentinel: counters never reach it.
+                required.push(u32::MAX);
+                continue;
+            }
             let r = p.specified_len() as u32;
             if r == 0 {
                 unconditional.push(ProfileId::new(k as u32));
@@ -137,6 +165,9 @@ impl OverlayIndex {
         for (id, a) in schema.iter() {
             spans.clear();
             for (k, p) in overlay.iter().enumerate() {
+                if skipped(k) {
+                    continue;
+                }
                 let pred = p.predicate(id);
                 if pred.is_dont_care() {
                     continue;

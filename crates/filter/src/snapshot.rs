@@ -28,10 +28,12 @@
 //! (e.g. the `ens-service` broker) maps those ids onto its dispatch
 //! table, which is versioned together with the snapshot.
 
+use std::collections::HashMap;
 use std::sync::Arc;
 
-use ens_types::{IndexedBatch, IndexedEvent, ProfileSet};
+use ens_types::{CoverSet, IndexedBatch, IndexedEvent, ProfileId, ProfileSet, Residual};
 
+use crate::cover::{decode_residual, encode_residual, residual_ok, CoverPlan, PlanChild};
 use crate::dfsa::Dfsa;
 use crate::overlay::OverlayIndex;
 use crate::persist::{ByteReader, ByteWriter, PersistError};
@@ -43,7 +45,13 @@ use crate::FilterError;
 /// Leading magic of a serialized snapshot (`"ENSF"`).
 const SNAPSHOT_MAGIC: u32 = 0x454E_5346;
 /// Bumped whenever the binary layout changes incompatibly.
-const SNAPSHOT_VERSION: u32 = 2;
+/// Version 3 added the covering sections (expansion plan + overlay
+/// cover entries).
+const SNAPSHOT_VERSION: u32 = 3;
+
+/// Overlay positions delivered through the expansion map: compiled
+/// representative id → `(overlay position, residual)` entries.
+type OverlayChildren = HashMap<u32, Vec<(u32, Vec<Residual>)>>;
 
 /// Reusable buffers for one [`FilterSnapshot::match_into`] call.
 ///
@@ -222,6 +230,14 @@ pub struct FilterSnapshot {
     removed_count: usize,
     overlay: Option<Arc<OverlayIndex>>,
     overlay_len: usize,
+    /// Covering-pruned compilations only: the tree/DFSA hold the
+    /// antichain representatives (compiled ids `0..plan.rep_count()`)
+    /// and matches expand to original base slots through this plan.
+    /// `None` means compiled ids *are* base slots.
+    cover: Option<Arc<CoverPlan>>,
+    /// Overlay positions covered by a compiled representative: skipped
+    /// by the counting index, delivered by expansion instead.
+    overlay_children: Arc<OverlayChildren>,
 }
 
 impl FilterSnapshot {
@@ -242,6 +258,85 @@ impl FilterSnapshot {
             removed_count: 0,
             overlay: None,
             overlay_len: 0,
+            cover: None,
+            overlay_children: Arc::new(OverlayChildren::new()),
+        })
+    }
+
+    /// Covering-pruned compilation: runs one bulk containment pass over
+    /// `profiles`, compiles only the antichain representatives into the
+    /// tree/DFSA, and attaches the expansion plan so matches still
+    /// report *original* base slots. Returns the [`CoverSet`] so the
+    /// caller can probe future subscriptions against it.
+    ///
+    /// Match semantics are identical to [`FilterSnapshot::compile`];
+    /// on duplicate-heavy populations build time and compiled bytes
+    /// drop with the representative count instead of the population
+    /// size (the `profile_scale` section of `BENCH_throughput.json`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates lowering and tree construction errors.
+    pub fn compile_covered(
+        profiles: &ProfileSet,
+        config: &TreeConfig,
+    ) -> Result<(Self, CoverSet), FilterError> {
+        let cover = CoverSet::build_bulk(
+            profiles.schema(),
+            profiles.iter().map(|p| (p.id().index() as u32, p)),
+        )?;
+        let snap = Self::compile_with_cover(profiles, &cover, config)?;
+        Ok((snap, cover))
+    }
+
+    /// Compiles `profiles` pruned by an already-built covering
+    /// analysis: only `cover`'s representatives enter the tree/DFSA
+    /// (in ascending slot order, so compiled id `c` is the rank of its
+    /// slot), and the snapshot carries the expansion plan derived from
+    /// `cover`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates tree construction errors.
+    pub fn compile_with_cover(
+        profiles: &ProfileSet,
+        cover: &CoverSet,
+        config: &TreeConfig,
+    ) -> Result<Self, FilterError> {
+        let mut reps = ProfileSet::new(profiles.schema());
+        for &slot in cover.rep_slots() {
+            let p = profiles
+                .get(ProfileId::new(slot))
+                .ok_or_else(|| FilterError::Persist {
+                    message: format!("cover rep slot {slot} outside population"),
+                })?;
+            reps.insert(p.clone());
+        }
+        let tree = ProfileTree::build(&reps, config)?;
+        let dfsa = Dfsa::from_tree(&tree);
+        let mut children: Vec<Vec<PlanChild>> = vec![Vec::new(); cover.rep_count()];
+        for (child, rep, residual) in cover.children_sorted() {
+            let c = cover
+                .compiled_index_of(rep)
+                .ok_or_else(|| FilterError::Persist {
+                    message: format!("cover child {child} references non-rep slot {rep}"),
+                })?;
+            children[c as usize].push(PlanChild {
+                slot: child,
+                residual: residual.to_vec(),
+            });
+        }
+        let plan = CoverPlan::from_parts(cover.rep_slots().to_vec(), children);
+        Ok(FilterSnapshot {
+            tree: Arc::new(tree),
+            dfsa: Arc::new(dfsa),
+            base_len: profiles.len(),
+            removed: Arc::from(Vec::new()),
+            removed_count: 0,
+            overlay: None,
+            overlay_len: 0,
+            cover: Some(Arc::new(plan)),
+            overlay_children: Arc::new(OverlayChildren::new()),
         })
     }
 
@@ -264,6 +359,47 @@ impl FilterSnapshot {
         } else {
             Some(Arc::new(OverlayIndex::new(overlay)?))
         };
+        next.overlay_children = Arc::new(OverlayChildren::new());
+        Ok(next)
+    }
+
+    /// Like [`FilterSnapshot::with_overlay`], but overlay positions
+    /// covered by a compiled representative (`cover_of[k]` gives the
+    /// representative's *compiled* id and the residual) are excluded
+    /// from the counting index and delivered through the expansion map
+    /// instead — so a covered subscribe does not grow effective
+    /// matching cost at all.
+    ///
+    /// `cover_of` must be parallel to `overlay`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates predicate lowering errors.
+    pub fn with_overlay_covered(
+        &self,
+        overlay: &ProfileSet,
+        cover_of: &[Option<(u32, Vec<Residual>)>],
+    ) -> Result<Self, FilterError> {
+        debug_assert_eq!(cover_of.len(), overlay.len());
+        let mut next = self.clone();
+        next.overlay_len = overlay.len();
+        let mut children = OverlayChildren::new();
+        let mut skip = vec![false; overlay.len()];
+        for (k, c) in cover_of.iter().enumerate() {
+            if let Some((rep, residual)) = c {
+                skip[k] = true;
+                children
+                    .entry(*rep)
+                    .or_default()
+                    .push((k as u32, residual.clone()));
+            }
+        }
+        next.overlay = if overlay.is_empty() {
+            None
+        } else {
+            Some(Arc::new(OverlayIndex::new_filtered(overlay, &skip)?))
+        };
+        next.overlay_children = Arc::new(children);
         Ok(next)
     }
 
@@ -316,6 +452,30 @@ impl FilterSnapshot {
                 w.u64(self.overlay_len as u64);
                 overlay.encode(&mut w);
             }
+        }
+        // Covering sections (v3): the expansion plan and the covered
+        // overlay entries, so recovery reproduces the covering analysis
+        // without re-deriving containment.
+        match &self.cover {
+            None => w.bool(false),
+            Some(plan) => {
+                w.bool(true);
+                plan.encode(&mut w);
+            }
+        }
+        // Deterministic order (rep, pos): the in-memory map never
+        // reaches the encoder, keeping checkpoints byte-stable.
+        let mut entries: Vec<(u32, u32, &Vec<Residual>)> = self
+            .overlay_children
+            .iter()
+            .flat_map(|(&rep, ch)| ch.iter().map(move |(pos, res)| (rep, *pos, res)))
+            .collect();
+        entries.sort_unstable_by_key(|&(rep, pos, _)| (rep, pos));
+        w.seq_len(entries.len());
+        for (rep, pos, residual) in entries {
+            w.u32(rep);
+            w.u32(pos);
+            encode_residual(&mut w, residual);
         }
         w.into_bytes_crc()
     }
@@ -376,7 +536,31 @@ impl FilterSnapshot {
             }
             None
         };
-        if tree.profile_count() != base_len {
+        let cover = if r.bool()? {
+            Some(Arc::new(CoverPlan::decode(r, base_len)?))
+        } else {
+            None
+        };
+        let n_children = r.seq_len(9)?;
+        let mut overlay_children = OverlayChildren::new();
+        for _ in 0..n_children {
+            let rep = r.u32()?;
+            let pos = r.u32()?;
+            let compiled_len = cover.as_ref().map_or(base_len, |plan| plan.rep_count());
+            if rep as usize >= compiled_len {
+                return Err(PersistError::new("overlay cover rep out of range"));
+            }
+            if pos as usize >= overlay_len {
+                return Err(PersistError::new("overlay cover position out of range"));
+            }
+            let residual = decode_residual(r)?;
+            overlay_children
+                .entry(rep)
+                .or_default()
+                .push((pos, residual));
+        }
+        let compiled_len = cover.as_ref().map_or(base_len, |plan| plan.rep_count());
+        if tree.profile_count() != compiled_len {
             return Err(PersistError::new("tree profile count mismatch"));
         }
         Ok(FilterSnapshot {
@@ -387,6 +571,8 @@ impl FilterSnapshot {
             removed_count,
             overlay,
             overlay_len,
+            cover,
+            overlay_children: Arc::new(overlay_children),
         })
     }
 
@@ -408,21 +594,48 @@ impl FilterSnapshot {
             self.tree.match_into(event, &mut scratch.base);
         }
         scratch.ops += scratch.base.ops();
-        if self.removed.is_empty() {
-            scratch
-                .matched
-                .extend(scratch.base.profiles().iter().map(|p| p.index() as u32));
-        } else {
-            scratch.matched.extend(
-                scratch
-                    .base
-                    .profiles()
-                    .iter()
-                    .map(|p| p.index())
-                    .filter(|k| !self.removed[*k])
-                    .map(|k| k as u32),
-            );
+        match &self.cover {
+            None => {
+                if self.removed.is_empty() {
+                    scratch
+                        .matched
+                        .extend(scratch.base.profiles().iter().map(|p| p.index() as u32));
+                } else {
+                    scratch.matched.extend(
+                        scratch
+                            .base
+                            .profiles()
+                            .iter()
+                            .map(|p| p.index())
+                            .filter(|k| !self.removed[*k])
+                            .map(|k| k as u32),
+                    );
+                }
+            }
+            Some(plan) => {
+                // Expansion iterates the *raw* compiled hits: a
+                // tombstoned representative stays compiled and its live
+                // children must still be delivered.
+                let raw = event.raw();
+                for p in scratch.base.profiles() {
+                    let c = p.index() as u32;
+                    let orig = plan.rep_of(c);
+                    if self.live(orig as usize) {
+                        scratch.matched.push(orig);
+                    }
+                    for child in plan.children_of(c) {
+                        if self.live(child.slot as usize) && residual_ok(&child.residual, raw) {
+                            scratch.matched.push(child.slot);
+                        }
+                    }
+                }
+                // Children of different reps interleave in slot order;
+                // each slot appears at most once, so a sort restores
+                // the contract without dedup.
+                scratch.matched.sort_unstable();
+            }
         }
+        let overlay_start = scratch.matched.len();
         if let Some(overlay) = &self.overlay {
             overlay.match_into(event, &mut scratch.overlay);
             scratch.ops += scratch.overlay.ops();
@@ -436,6 +649,29 @@ impl FilterSnapshot {
                     .map(|p| off + p.index() as u32),
             );
         }
+        if !self.overlay_children.is_empty() {
+            let off = self.base_len as u32;
+            let raw = event.raw();
+            for p in scratch.base.profiles() {
+                let Some(ch) = self.overlay_children.get(&(p.index() as u32)) else {
+                    continue;
+                };
+                for (pos, residual) in ch {
+                    if residual_ok(residual, raw) {
+                        scratch.matched.push(off + pos);
+                    }
+                }
+            }
+            // Covered positions have no postings, so the overlay region
+            // is also duplicate-free; one regional sort restores order.
+            scratch.matched[overlay_start..].sort_unstable();
+        }
+    }
+
+    /// Whether base slot `k` has not been tombstoned.
+    #[inline]
+    fn live(&self, k: usize) -> bool {
+        self.removed.is_empty() || !self.removed[k]
     }
 
     /// Matches a whole pre-resolved block against base and overlay,
@@ -468,21 +704,43 @@ impl FilterSnapshot {
         scratch.event_overlay_ops.resize(batch.len(), 0);
         let off = self.base_len as u32;
         for i in 0..batch.len() {
-            if self.removed.is_empty() {
-                scratch
-                    .matched
-                    .extend(scratch.base.profiles_of(i).iter().map(|p| p.index() as u32));
-            } else {
-                scratch.matched.extend(
-                    scratch
-                        .base
-                        .profiles_of(i)
-                        .iter()
-                        .map(|p| p.index())
-                        .filter(|k| !self.removed[*k])
-                        .map(|k| k as u32),
-                );
+            match &self.cover {
+                None => {
+                    if self.removed.is_empty() {
+                        scratch
+                            .matched
+                            .extend(scratch.base.profiles_of(i).iter().map(|p| p.index() as u32));
+                    } else {
+                        scratch.matched.extend(
+                            scratch
+                                .base
+                                .profiles_of(i)
+                                .iter()
+                                .map(|p| p.index())
+                                .filter(|k| !self.removed[*k])
+                                .map(|k| k as u32),
+                        );
+                    }
+                }
+                Some(plan) => {
+                    let row_start = scratch.matched.len();
+                    let raw = batch.row(i);
+                    for p in scratch.base.profiles_of(i) {
+                        let c = p.index() as u32;
+                        let orig = plan.rep_of(c);
+                        if self.live(orig as usize) {
+                            scratch.matched.push(orig);
+                        }
+                        for child in plan.children_of(c) {
+                            if self.live(child.slot as usize) && residual_ok(&child.residual, raw) {
+                                scratch.matched.push(child.slot);
+                            }
+                        }
+                    }
+                    scratch.matched[row_start..].sort_unstable();
+                }
             }
+            let overlay_start = scratch.matched.len();
             let mut event_ops = scratch.base.ops_of(i);
             if let Some(overlay) = &self.overlay {
                 scratch.base.row.copy_from_raw(batch.row(i));
@@ -498,6 +756,20 @@ impl FilterSnapshot {
                         .iter()
                         .map(|p| off + p.index() as u32),
                 );
+            }
+            if !self.overlay_children.is_empty() {
+                let raw = batch.row(i);
+                for p in scratch.base.profiles_of(i) {
+                    let Some(ch) = self.overlay_children.get(&(p.index() as u32)) else {
+                        continue;
+                    };
+                    for (pos, residual) in ch {
+                        if residual_ok(residual, raw) {
+                            scratch.matched.push(off + pos);
+                        }
+                    }
+                }
+                scratch.matched[overlay_start..].sort_unstable();
             }
             scratch.event_ops.push(event_ops);
             scratch.off.push(scratch.matched.len() as u32);
@@ -551,9 +823,48 @@ impl FilterSnapshot {
     /// Whether the snapshot is exactly its compiled base (no overlay, no
     /// tombstones) — the only state in which the base partitions
     /// describe the full live profile set (e.g. for quenching).
+    ///
+    /// With a covering plan the partitions describe the representative
+    /// set only, but quench advice derived from them is exactly as
+    /// strong: every covered profile's match region is contained in its
+    /// representative's, so a zero-subdomain of the representatives is
+    /// a zero-subdomain of the full population.
     #[must_use]
     pub fn is_pure_base(&self) -> bool {
         self.overlay_len == 0 && self.removed_count == 0
+    }
+
+    /// The covering expansion plan, when this snapshot was compiled
+    /// covering-pruned.
+    #[must_use]
+    pub fn cover_plan(&self) -> Option<&Arc<CoverPlan>> {
+        self.cover.as_ref()
+    }
+
+    /// Number of profiles actually compiled into the tree/DFSA — the
+    /// representative count under a covering plan, otherwise
+    /// [`FilterSnapshot::base_len`].
+    #[must_use]
+    pub fn compiled_len(&self) -> usize {
+        self.cover
+            .as_ref()
+            .map_or(self.base_len, |plan| plan.rep_count())
+    }
+
+    /// Per overlay position: the compiled representative id and
+    /// residual it is delivered through, or `None` for positions
+    /// matched by the counting index — the inverse of the argument to
+    /// [`FilterSnapshot::with_overlay_covered`], used to rebuild writer
+    /// state at recovery.
+    #[must_use]
+    pub fn overlay_cover_entries(&self) -> Vec<Option<(u32, Vec<Residual>)>> {
+        let mut out = vec![None; self.overlay_len];
+        for (&rep, ch) in self.overlay_children.iter() {
+            for (pos, residual) in ch {
+                out[*pos as usize] = Some((rep, residual.clone()));
+            }
+        }
+        out
     }
 }
 

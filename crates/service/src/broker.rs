@@ -40,8 +40,8 @@ use ens_filter::{
     SnapshotBlockScratch, SnapshotScratch, TreeConfig, TuningPolicy,
 };
 use ens_types::{
-    Event, IndexedBatch, IndexedEvent, Profile, ProfileBuilder, ProfileId, ProfileSet, Schema,
-    TypesError,
+    CoverOutcome, CoverSet, Event, IndexedBatch, IndexedEvent, Profile, ProfileBuilder, ProfileId,
+    ProfileSet, Residual, Schema, TypesError,
 };
 use parking_lot::{Mutex, RwLock};
 
@@ -103,6 +103,17 @@ pub struct BrokerConfig {
     /// keeps the pre-tuning behaviour: drift rebuilds reuse the
     /// configured tree shape with a refreshed event model.
     pub tuning: TuningPolicy,
+    /// Covering-pruned compilation: every compaction runs one bulk
+    /// containment pass over the live population and compiles only the
+    /// representative antichain into the tree/DFSA; covered
+    /// subscriptions are delivered through the snapshot's expansion
+    /// map instead. A subscribe whose profile is covered by a compiled
+    /// representative joins the expansion map in O(schema) hash probes
+    /// and adds **zero** matching cost. On duplicate-heavy populations
+    /// this shrinks build time and compiled bytes by the coverage
+    /// factor; on antichain populations (nothing covers anything) the
+    /// pass degrades to one lowering sweep. Default on.
+    pub covering: bool,
     /// Capacity of each subscriber's notification channel; `0` means
     /// unbounded (the default, matching the seed behaviour). With a
     /// bound, a consumer that stops draining can hold at most this
@@ -126,6 +137,7 @@ impl Default for BrokerConfig {
             dfsa_dispatch: false,
             stats_sample: 1,
             tuning: TuningPolicy::default(),
+            covering: true,
             notify_capacity: 0,
             overflow: OverflowPolicy::default(),
         }
@@ -203,6 +215,24 @@ struct ShardWriter {
     overlay: Vec<SubEntry>,
     removed: Vec<bool>,
     removed_count: usize,
+    /// Containment index over the compiled base, rebuilt by every
+    /// compaction when [`BrokerConfig::covering`] is on. Slot `s` is
+    /// the index into `base`: compaction rebuilds both in the same
+    /// order and `base` is append-free between compactions, so the
+    /// alignment holds until the next rebuild.
+    cover: Option<CoverSet>,
+    /// Covering outcome per overlay position, parallel to `overlay`:
+    /// `Some((compiled representative id, residual))` for entries the
+    /// probe found covered, `None` for uncovered (index-matched) ones.
+    /// Maintained in lock-step with `overlay` on every push/remove,
+    /// covering on or off.
+    overlay_cover: Vec<Option<(u32, Vec<Residual>)>>,
+    /// Compaction pressure from antichain inversions: uncovered
+    /// subscribes that themselves cover already-compiled
+    /// representatives. Folding them in would shrink the compiled
+    /// tree, so each dominated representative counts toward the
+    /// overlay-full threshold on top of the overlay length.
+    antichain_dirty: usize,
     tracker: DriftTracker,
     /// The shard's *active* tree configuration. Starts as
     /// [`BrokerConfig::tree`]; an accepted retune replaces its
@@ -299,7 +329,13 @@ impl ShardWriter {
         schema: &Schema,
         quench_inbound: bool,
     ) -> Result<ShardSnapshot, ServiceError> {
-        let filter = prev.filter.with_overlay(&self.overlay_profiles(schema))?;
+        let overlay = self.overlay_profiles(schema);
+        let filter = if self.cover.is_some() {
+            prev.filter
+                .with_overlay_covered(&overlay, &self.overlay_cover)?
+        } else {
+            prev.filter.with_overlay(&overlay)?
+        };
         let quench = self.delta_quench(prev, &filter, schema, quench_inbound);
         Ok(ShardSnapshot {
             filter,
@@ -336,6 +372,7 @@ impl ShardWriter {
         &mut self,
         schema: &Schema,
         quench_inbound: bool,
+        covering: bool,
         reason: CompactReason,
     ) -> Result<ShardSnapshot, ServiceError> {
         let pure_drift =
@@ -356,14 +393,54 @@ impl ShardWriter {
             profiles.insert(e.profile.clone());
             weights.push(e.weight);
         }
-        let weights = if weights.iter().all(|w| (*w - 1.0).abs() < f64::EPSILON) {
+        let uniform = weights.iter().all(|w| (*w - 1.0).abs() < f64::EPSILON);
+
+        // One bulk containment pass over the whole live population
+        // (general-first sweep, not per-profile probes): only the
+        // representative antichain is compiled, everything else joins
+        // the expansion map.
+        let cover = if covering {
+            Some(CoverSet::build_bulk(
+                schema,
+                profiles.iter().map(|p| (p.id().index() as u32, p)),
+            )?)
+        } else {
+            None
+        };
+        // Statistics geometry and profile weights follow the set that
+        // is actually compiled — the representatives under covering.
+        // A representative keeps its own weight: its covered
+        // subscriptions ride the same compiled states for free, so
+        // boosting it further would distort the V2/V3 orderings.
+        let rep_set = match &cover {
+            Some(cs) => {
+                let mut reps = ProfileSet::new(schema);
+                for &s in cs.rep_slots() {
+                    let p = profiles
+                        .get(ProfileId::new(s))
+                        .expect("representative slots come from this population");
+                    reps.insert(p.clone());
+                }
+                Some(reps)
+            }
+            None => None,
+        };
+        let compiled_set = rep_set.as_ref().unwrap_or(&profiles);
+        let weights = if uniform {
             None
         } else {
-            Some(weights)
+            Some(match &cover {
+                Some(cs) => cs
+                    .rep_slots()
+                    .iter()
+                    .map(|&s| weights[s as usize])
+                    .collect(),
+                None => weights,
+            })
         };
 
         let mut config = self.tree.clone();
-        let empirical = self.tracker.prepare_model(&profiles, pure_drift)?;
+        let empirical = self.tracker.prepare_model(compiled_set, pure_drift)?;
         // A configured event model is the active prior: it wins until
         // real observations exist for the geometry being compiled, then
         // the empirical estimate takes over. Only a pure drift rebuild
@@ -376,7 +453,10 @@ impl ShardWriter {
             config.event_model = Some(empirical);
         }
         config.profile_weights = weights;
-        let filter = FilterSnapshot::compile(&profiles, &config)?;
+        let filter = match &cover {
+            Some(cs) => FilterSnapshot::compile_with_cover(&profiles, cs, &config)?,
+            None => FilterSnapshot::compile(&profiles, &config)?,
+        };
         self.tracker.finish_rebuild(pure_drift)?;
         let base_dispatch = Arc::new(
             live_entries
@@ -398,6 +478,9 @@ impl ShardWriter {
         self.removed = vec![false; live.len()];
         self.removed_count = 0;
         self.base = live;
+        self.cover = cover;
+        self.overlay_cover.clear();
+        self.antichain_dirty = 0;
         let quench = quench_inbound
             .then(|| Arc::new(QuenchAdvice::from_partitions(schema, filter.partitions())));
         Ok(ShardSnapshot {
@@ -571,6 +654,9 @@ impl Broker {
                     overlay: Vec::new(),
                     removed: Vec::new(),
                     removed_count: 0,
+                    cover: None,
+                    overlay_cover: Vec::new(),
+                    antichain_dirty: 0,
                     tracker,
                     tree: config.tree.clone(),
                 }),
@@ -793,11 +879,34 @@ impl Broker {
                     sender: tx,
                 });
             }
+            // The containment index is replayed verbatim from the
+            // snapshot's expansion plan — representatives are
+            // re-hashed, but no pairwise containment is re-derived.
+            let cover = match (config.covering, filter.cover_plan()) {
+                (true, Some(plan)) => {
+                    let reps = plan
+                        .rep_slots()
+                        .iter()
+                        .map(|&s| (s, &base[s as usize].profile));
+                    Some(CoverSet::from_parts(schema, reps, plan.child_triples())?)
+                }
+                // A checkpoint written with covering off (or vice
+                // versa): the next compaction switches the shard over.
+                _ => None,
+            };
+            let overlay_cover = if cover.is_some() {
+                filter.overlay_cover_entries()
+            } else {
+                vec![None; overlay.len()]
+            };
             let writer = ShardWriter {
                 base,
                 overlay,
                 removed,
                 removed_count,
+                cover,
+                overlay_cover,
+                antichain_dirty: 0,
                 // Drift statistics are not persisted: the tracker
                 // restarts over the recovered live set, so the first
                 // post-recovery rebuild decision waits for fresh
@@ -867,6 +976,7 @@ impl Broker {
         let snapshot = w.compact(
             &self.schema,
             self.config.quench_inbound,
+            self.config.covering,
             CompactReason::Churn,
         )?;
         *shard.snapshot.write() = Arc::new(snapshot);
@@ -1115,16 +1225,37 @@ impl Broker {
         let (tx, rx) = notify_channel(&self.config);
         let shard = self.shard_of(id);
         let mut w = shard.writer.lock();
+        // Probe the containment index before committing: a covered
+        // subscribe rides its representative's compiled states through
+        // the expansion map (zero added matching cost); an uncovered
+        // one that dominates compiled representatives inverts the
+        // antichain and adds compaction pressure instead.
+        let (entry_cover, dirty) = match (self.config.covering, &w.cover) {
+            (true, Some(cs)) => match cs.probe(&profile)? {
+                CoverOutcome::Covered { rep, residual } => {
+                    let compiled = cs
+                        .compiled_index_of(rep)
+                        .expect("probe only returns representative slots");
+                    (Some((compiled, residual)), 0)
+                }
+                CoverOutcome::Rep => (None, cs.dominated_reps(&profile)?.len()),
+            },
+            _ => (None, 0),
+        };
         w.overlay.push(SubEntry {
             id,
             profile,
             weight,
             sender: tx,
         });
-        let result = if w.base.is_empty() || self.config.rebuild.overlay_full(w.overlay.len()) {
+        w.overlay_cover.push(entry_cover);
+        w.antichain_dirty += dirty;
+        let pressure = w.overlay.len() + w.antichain_dirty;
+        let result = if w.base.is_empty() || self.config.rebuild.overlay_full(pressure) {
             w.compact(
                 &self.schema,
                 self.config.quench_inbound,
+                self.config.covering,
                 CompactReason::Churn,
             )
             .inspect(|_| {
@@ -1143,13 +1274,19 @@ impl Broker {
             }
             Err(e) => {
                 w.overlay.pop();
+                w.overlay_cover.pop();
+                w.antichain_dirty -= dirty;
                 Err(e)
             }
         }
     }
 
     /// Bulk-registers many subscriptions with a single compaction per
-    /// shard — the cheap way to load a large initial population.
+    /// shard — the cheap way to load a large initial population. With
+    /// [`BrokerConfig::covering`] on, each shard's compaction runs
+    /// **one** containment pass over its whole batch (the bulk
+    /// general-first sweep), not a per-profile probe, before anything
+    /// is compiled.
     ///
     /// # Errors
     ///
@@ -1183,7 +1320,11 @@ impl Broker {
             .collect();
         for (shard, entries) in self.shards.iter().zip(&mut pending) {
             if !entries.is_empty() {
-                shard.writer.lock().overlay.append(entries);
+                let mut w = shard.writer.lock();
+                // No per-profile probes here: the compaction below runs
+                // the bulk containment pass over the whole shard batch.
+                w.overlay_cover.extend(entries.iter().map(|_| None));
+                w.overlay.append(entries);
             }
         }
         let mut failure = None;
@@ -1195,6 +1336,7 @@ impl Broker {
             match w.compact(
                 &self.schema,
                 self.config.quench_inbound,
+                self.config.covering,
                 CompactReason::Churn,
             ) {
                 Ok(snapshot) => {
@@ -1224,7 +1366,11 @@ impl Broker {
                 }
                 let shard = &self.shards[s];
                 let mut w = shard.writer.lock();
-                w.overlay.retain(|entry| !ids.contains(&entry.id));
+                let keep: Vec<bool> = w.overlay.iter().map(|e| !ids.contains(&e.id)).collect();
+                let mut it = keep.iter();
+                w.overlay.retain(|_| *it.next().unwrap());
+                let mut it = keep.iter();
+                w.overlay_cover.retain(|_| *it.next().unwrap());
                 for k in 0..w.base.len() {
                     if !w.removed[k] && ids.contains(&w.base[k].id) {
                         w.removed[k] = true;
@@ -1280,11 +1426,13 @@ impl Broker {
             // failed rebuild leaves writer state and published snapshot
             // in agreement.
             let entry = w.overlay.remove(k);
+            let entry_cover = w.overlay_cover.remove(k);
             let prev = shard.snapshot.read().clone();
             match w.delta_snapshot(&prev, &self.schema, self.config.quench_inbound) {
                 Ok(snapshot) => snapshot,
                 Err(e) => {
                     w.overlay.insert(k, entry);
+                    w.overlay_cover.insert(k, entry_cover);
                     return Err(e);
                 }
             }
@@ -1300,6 +1448,7 @@ impl Broker {
                 match w.compact(
                     &self.schema,
                     self.config.quench_inbound,
+                    self.config.covering,
                     CompactReason::Churn,
                 ) {
                     Ok(snapshot) => {
@@ -1724,6 +1873,7 @@ impl Broker {
             let snapshot = w.compact(
                 &self.schema,
                 self.config.quench_inbound,
+                self.config.covering,
                 CompactReason::Drift,
             )?;
             self.metrics.tree_rebuilds.fetch_add(1, Ordering::Relaxed);
@@ -1770,7 +1920,23 @@ impl Broker {
     fn retune_shard(&self, shard: &Shard, w: &mut ShardWriter) -> Result<bool, ServiceError> {
         let t0 = std::time::Instant::now();
         let est = w.tracker.statistics().empirical_model()?;
-        let profiles = w.live_profiles(&self.schema);
+        // Candidates are priced over the population that would actually
+        // be compiled: the representative antichain under covering
+        // (tombstoned representatives included — they are still in the
+        // current tree), the full live set otherwise.
+        let profiles = match &w.cover {
+            Some(cs) => {
+                let mut ps = ProfileSet::new(&self.schema);
+                for &s in cs.rep_slots() {
+                    ps.insert(w.base[s as usize].profile.clone());
+                }
+                ps
+            }
+            None => w.live_profiles(&self.schema),
+        };
+        // Covered overlay entries cost nothing at match time, so only
+        // uncovered ones carry the per-profile overlay floor.
+        let overlay_uncovered = w.overlay_cover.iter().filter(|c| c.is_none()).count();
         // The stale baseline is the compiled base tree plus a one-op
         // floor per overlay profile (accounted inside `evaluate`) —
         // still an under-estimate of the side-matcher's true cost, so
@@ -1778,7 +1944,7 @@ impl Broker {
         let snap = shard.snapshot.read().clone();
         let decision = self.config.tuning.evaluate(
             snap.filter.tree(),
-            w.overlay.len(),
+            overlay_uncovered,
             &profiles,
             &w.tree,
             &est,

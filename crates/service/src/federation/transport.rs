@@ -123,7 +123,7 @@ enum TcpMode {
 /// immediately are buffered (`wbuf`) and flushed opportunistically on
 /// later sends and receives, so a slow peer costs the caller — which
 /// typically holds the federation state lock — nothing but memory, up
-/// to [`MAX_WRITE_BUFFER`].
+/// to `MAX_WRITE_BUFFER`.
 pub struct TcpTransport {
     mode: TcpMode,
     stream: Option<TcpStream>,

@@ -1,0 +1,774 @@
+//! Profile containment (covering) analysis.
+//!
+//! In the classic ENS literature (SIENA's covering relations, REBECA's
+//! subscription merging) a profile `a` **covers** `b` when every event
+//! matching `b` also matches `a` — e.g. `AAPL > 100` covers
+//! `AAPL > 150`. A production service with millions of subscribers has
+//! huge populations of near-duplicate and mutually-covering profiles,
+//! and exploiting containment is what makes compiled broker state
+//! sublinear in subscribers: only the **minimal antichain** of covering
+//! representatives needs to be compiled; covered profiles are delivered
+//! through a cheap expansion map at match time.
+//!
+//! Two pieces live here:
+//!
+//! * [`covers`] — the exact containment relation on profiles, decided
+//!   attribute-wise on the lowered [`IntervalSet`]s: `a` covers `b` iff
+//!   for every attribute either `a` is don't-care, or `b` is specified
+//!   with `intervals(b) ⊆ intervals(a)` (a missing event attribute
+//!   satisfies only don't-care, so a specified `a` over a don't-care
+//!   `b` never covers). An unsatisfiable `b` is vacuously covered.
+//! * [`CoverSet`] — antichain maintenance with an **attribute-keyed
+//!   signature index**: exact duplicates resolve through one hash of
+//!   the full lowered signature, and single-attribute weakenings (the
+//!   REBECA "perfect merge" class — identical on all attributes but
+//!   one, weaker on that one) resolve through one hash per attribute of
+//!   the signature with that attribute wildcarded. Both are O(1)
+//!   expected per probe — no O(n) pairwise scan — at the price of not
+//!   detecting covers that weaken several attributes at once; missing a
+//!   cover is always safe (the profile is simply compiled as its own
+//!   representative).
+//!
+//! Every covered profile carries a [`Residual`]: the attributes on
+//! which it is *strictly stronger* than its representative, lowered to
+//! index sets. At delivery time a match of the representative expands
+//! to the covered profile only if the event also passes the residual —
+//! so expansion is exact, and exact duplicates (empty residual) are
+//! delivered for free.
+
+use std::collections::HashMap;
+
+use crate::{AttrId, IntervalSet, Profile, Schema, TypesError};
+
+/// Returns whether `a` covers `b`: every event matching `b` matches `a`.
+///
+/// Decided attribute-wise on the lowered interval sets (see the module
+/// docs for the exact rule, including the `(*)`/missing-attribute and
+/// unsatisfiability cases). This is the reference relation the
+/// [`CoverSet`] detection classes are tested against.
+///
+/// # Errors
+///
+/// Propagates predicate lowering errors.
+pub fn covers(schema: &Schema, a: &Profile, b: &Profile) -> Result<bool, TypesError> {
+    let sa = lower(schema, a)?;
+    let sb = lower(schema, b)?;
+    // An unsatisfiable `b` matches no event: vacuously covered.
+    if sb.iter().flatten().any(IntervalSet::is_empty) {
+        return Ok(true);
+    }
+    for (x, y) in sa.iter().zip(sb.iter()) {
+        match (x, y) {
+            (None, _) => {}
+            // An event missing this attribute matches `b` but not `a`.
+            (Some(_), None) => return Ok(false),
+            (Some(x), Some(y)) => {
+                if !x.contains_set(y) {
+                    return Ok(false);
+                }
+            }
+        }
+    }
+    Ok(true)
+}
+
+/// Lowers a profile to its per-attribute index sets in schema order
+/// (`None` = don't-care).
+fn lower(schema: &Schema, p: &Profile) -> Result<Vec<Option<IntervalSet>>, TypesError> {
+    let mut out = Vec::with_capacity(schema.len());
+    for (id, attr) in schema.iter() {
+        let pred = p.predicate(id);
+        out.push(if pred.is_dont_care() {
+            None
+        } else {
+            Some(pred.to_intervals(attr.domain())?)
+        });
+    }
+    Ok(out)
+}
+
+/// One delivery-time residual check of a covered profile: the event
+/// must carry `attr` with an index inside `allowed` (the covered
+/// profile's own lowered predicate on that attribute).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Residual {
+    /// The attribute the covered profile is strictly stronger on.
+    pub attr: AttrId,
+    /// The covered profile's lowered index set on that attribute.
+    pub allowed: IntervalSet,
+}
+
+/// Outcome of probing a [`CoverSet`] with a new profile.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoverOutcome {
+    /// Not covered by any known representative: compile it.
+    Rep,
+    /// Covered by the representative at slot `rep`; deliver through the
+    /// expansion map, gated by `residual`.
+    Covered {
+        /// Slot of the covering representative.
+        rep: u32,
+        /// Residual checks (empty for an exact duplicate).
+        residual: Vec<Residual>,
+    },
+}
+
+/// Marker bytes structuring the canonical signature of a lowered
+/// profile: per attribute either `SIG_DONT_CARE`, or `SIG_SPECIFIED`
+/// followed by the interval endpoints; `SIG_ANY` wildcards one
+/// attribute in the reduced signatures of the attribute-keyed index.
+const SIG_DONT_CARE: u8 = 0;
+const SIG_SPECIFIED: u8 = 1;
+const SIG_ANY: u8 = 2;
+
+/// The minimal-antichain tracker: which profiles of a population are
+/// covering representatives, which are covered by whom, and the
+/// residual each covered profile carries.
+///
+/// Slots are caller-assigned dense `u32` positions (base indices in the
+/// broker, [`crate::ProfileSet`] ids in a bulk compile). Construction is
+/// either a bulk [`CoverSet::build_bulk`] pass (profiles sorted
+/// general-first so representatives are seen before the profiles they
+/// cover) or [`CoverSet::from_parts`] (crash recovery: representatives
+/// and the expansion map are replayed verbatim — signatures are
+/// re-hashed but containment is never re-derived). Between compactions
+/// the set is probed read-only via [`CoverSet::probe`] /
+/// [`CoverSet::dominated_reps`].
+///
+/// # Example
+///
+/// ```
+/// use ens_types::{CoverOutcome, CoverSet, Domain, Predicate, ProfileSet, Schema};
+/// # fn main() -> Result<(), ens_types::TypesError> {
+/// let schema = Schema::builder()
+///     .attribute("price", Domain::int(0, 1000))?
+///     .build();
+/// let mut ps = ProfileSet::new(&schema);
+/// ps.insert_with(|b| b.predicate("price", Predicate::gt(100)))?;
+/// ps.insert_with(|b| b.predicate("price", Predicate::gt(150)))?; // covered
+/// ps.insert_with(|b| b.predicate("price", Predicate::gt(100)))?; // duplicate
+/// let cover = CoverSet::build_bulk(
+///     &schema,
+///     ps.iter().map(|p| (p.id().index() as u32, p)),
+/// )?;
+/// assert_eq!(cover.rep_count(), 1);
+/// assert_eq!(cover.covered_count(), 2);
+/// assert_eq!(cover.cover_of(2).unwrap().0, 0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct CoverSet {
+    schema: Schema,
+    /// Full canonical signature → representative slot (exact
+    /// duplicates).
+    full: HashMap<Vec<u8>, u32>,
+    /// `(attr, signature with that attribute wildcarded)` → candidate
+    /// representative slots (single-attribute weakenings).
+    by_attr: HashMap<(u32, Vec<u8>), Vec<u32>>,
+    /// Representative slot → its lowered per-attribute sets.
+    reps: HashMap<u32, Vec<Option<IntervalSet>>>,
+    /// Representative slots, ascending — position in this list is the
+    /// dense compiled id a covering-pruned compilation assigns.
+    rep_sorted: Vec<u32>,
+    /// Covered slot → (representative slot, residual).
+    children: HashMap<u32, (u32, Vec<Residual>)>,
+}
+
+impl CoverSet {
+    /// Creates an empty cover set over `schema`.
+    #[must_use]
+    pub fn new(schema: &Schema) -> Self {
+        CoverSet {
+            schema: schema.clone(),
+            full: HashMap::new(),
+            by_attr: HashMap::new(),
+            reps: HashMap::new(),
+            rep_sorted: Vec::new(),
+            children: HashMap::new(),
+        }
+    }
+
+    /// Builds the antichain over a whole population in one containment
+    /// pass: profiles are lowered once, sorted general-first (fewer
+    /// specified attributes, then wider index sets), and inserted in
+    /// that order so every detectable cover finds its representative
+    /// already indexed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates predicate lowering errors.
+    pub fn build_bulk<'a, I>(schema: &Schema, profiles: I) -> Result<Self, TypesError>
+    where
+        I: IntoIterator<Item = (u32, &'a Profile)>,
+    {
+        let mut lowered: Vec<(u32, Vec<Option<IntervalSet>>)> = Vec::new();
+        for (slot, p) in profiles {
+            lowered.push((slot, lower(schema, p)?));
+        }
+        // General-first: ascending count of specified attributes, then
+        // descending total covered length (wider = weaker), then slot
+        // for determinism. If `a` covers `b` then `a` specifies a
+        // subset of `b`'s attributes with supersets per attribute, so
+        // `a` sorts at or before `b`; ties are exact duplicates, where
+        // either order yields a valid antichain.
+        lowered.sort_by(|(sa, xa), (sb, xb)| {
+            let ka = xa.iter().flatten().count();
+            let kb = xb.iter().flatten().count();
+            let la: u64 = xa.iter().flatten().map(IntervalSet::covered_len).sum();
+            let lb: u64 = xb.iter().flatten().map(IntervalSet::covered_len).sum();
+            ka.cmp(&kb).then(lb.cmp(&la)).then(sa.cmp(sb))
+        });
+        let mut out = CoverSet::new(schema);
+        for (slot, sets) in lowered {
+            out.insert_lowered(slot, sets);
+        }
+        out.rep_sorted.sort_unstable();
+        Ok(out)
+    }
+
+    /// Rebuilds a cover set from persisted parts — the representative
+    /// profiles and the expansion map — without re-deriving any
+    /// containment: representatives are re-indexed (pure hashing) and
+    /// the `(child, rep, residual)` triples are replayed verbatim. This
+    /// is the crash-recovery path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates predicate lowering errors; fails if a child references
+    /// an unknown representative.
+    pub fn from_parts<'a, R, C>(schema: &Schema, reps: R, children: C) -> Result<Self, TypesError>
+    where
+        R: IntoIterator<Item = (u32, &'a Profile)>,
+        C: IntoIterator<Item = (u32, u32, Vec<Residual>)>,
+    {
+        let mut out = CoverSet::new(schema);
+        for (slot, p) in reps {
+            let sets = lower(schema, p)?;
+            out.index_rep(slot, sets);
+        }
+        out.rep_sorted.sort_unstable();
+        for (child, rep, residual) in children {
+            if !out.reps.contains_key(&rep) {
+                return Err(TypesError::UnknownAttribute(format!(
+                    "cover child {child} references unknown representative {rep}"
+                )));
+            }
+            out.children.insert(child, (rep, residual));
+        }
+        Ok(out)
+    }
+
+    /// Probes whether `profile` is covered by a known representative,
+    /// without mutating the set — the incremental (overlay) subscribe
+    /// path. Detection classes: exact duplicate (one hash of the full
+    /// signature) and single-attribute weakening (one hash per
+    /// specified attribute); O(1) expected per probe.
+    ///
+    /// # Errors
+    ///
+    /// Propagates predicate lowering errors.
+    pub fn probe(&self, profile: &Profile) -> Result<CoverOutcome, TypesError> {
+        let sets = lower(&self.schema, profile)?;
+        Ok(match self.find_cover(&sets) {
+            Some((rep, residual)) => CoverOutcome::Covered { rep, residual },
+            None => CoverOutcome::Rep,
+        })
+    }
+
+    /// Representative slots that `profile` covers (the reverse
+    /// direction: the new profile is *weaker* than existing entries),
+    /// through the same attribute-keyed index. Used to detect antichain
+    /// inversions — a new subscription dominating compiled
+    /// representatives — so the caller can schedule a compaction that
+    /// restores minimality.
+    ///
+    /// # Errors
+    ///
+    /// Propagates predicate lowering errors.
+    pub fn dominated_reps(&self, profile: &Profile) -> Result<Vec<u32>, TypesError> {
+        let sets = lower(&self.schema, profile)?;
+        let mut out = Vec::new();
+        if let Some(&rep) = self.full.get(&signature(&sets)) {
+            out.push(rep);
+        }
+        for j in 0..sets.len() {
+            let Some(cands) = self.by_attr.get(&(j as u32, signature_without(&sets, j))) else {
+                continue;
+            };
+            for &cand in cands {
+                // `cand` agrees with `profile` on every attribute but
+                // `j`; `profile` covers it iff `profile` is don't-care
+                // or a superset there.
+                let covered = match (&sets[j], &self.reps[&cand][j]) {
+                    (None, Some(_)) => true,
+                    (Some(p), Some(r)) => p != r && p.contains_set(r),
+                    _ => false,
+                };
+                if covered {
+                    out.push(cand);
+                }
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        Ok(out)
+    }
+
+    /// Number of covering representatives.
+    #[must_use]
+    pub fn rep_count(&self) -> usize {
+        self.rep_sorted.len()
+    }
+
+    /// Number of covered (non-compiled) profiles.
+    #[must_use]
+    pub fn covered_count(&self) -> usize {
+        self.children.len()
+    }
+
+    /// Representative slots in ascending order. Position in this slice
+    /// is the dense compiled id a covering-pruned compilation assigns.
+    #[must_use]
+    pub fn rep_slots(&self) -> &[u32] {
+        &self.rep_sorted
+    }
+
+    /// The dense compiled id of representative `slot`, if it is one.
+    #[must_use]
+    pub fn compiled_index_of(&self, slot: u32) -> Option<u32> {
+        let k = self.rep_sorted.partition_point(|&s| s < slot);
+        (self.rep_sorted.get(k) == Some(&slot)).then_some(k as u32)
+    }
+
+    /// The representative covering `slot` and its residual, if `slot`
+    /// is covered.
+    #[must_use]
+    pub fn cover_of(&self, slot: u32) -> Option<(u32, &[Residual])> {
+        self.children
+            .get(&slot)
+            .map(|(rep, residual)| (*rep, residual.as_slice()))
+    }
+
+    /// Covered slots with their `(representative, residual)` entries,
+    /// ascending by covered slot — the expansion map in serialisable
+    /// form.
+    #[must_use]
+    pub fn children_sorted(&self) -> Vec<(u32, u32, &[Residual])> {
+        let mut out: Vec<(u32, u32, &[Residual])> = self
+            .children
+            .iter()
+            .map(|(child, (rep, residual))| (*child, *rep, residual.as_slice()))
+            .collect();
+        out.sort_unstable_by_key(|&(child, _, _)| child);
+        out
+    }
+
+    fn insert_lowered(&mut self, slot: u32, sets: Vec<Option<IntervalSet>>) {
+        if let Some((rep, residual)) = self.find_cover(&sets) {
+            self.children.insert(slot, (rep, residual));
+        } else {
+            self.index_rep(slot, sets);
+        }
+    }
+
+    fn find_cover(&self, sets: &[Option<IntervalSet>]) -> Option<(u32, Vec<Residual>)> {
+        if let Some(&rep) = self.full.get(&signature(sets)) {
+            return Some((rep, Vec::new()));
+        }
+        for (j, set) in sets.iter().enumerate() {
+            // A representative strictly weaker on a don't-care
+            // attribute would have to be don't-care too — and then the
+            // full signatures would have matched already.
+            let Some(set) = set else { continue };
+            let Some(cands) = self.by_attr.get(&(j as u32, signature_without(sets, j))) else {
+                continue;
+            };
+            for &cand in cands {
+                let covers_j = match &self.reps[&cand][j] {
+                    None => true,
+                    Some(r) => r.contains_set(set),
+                };
+                if covers_j {
+                    let residual = vec![Residual {
+                        attr: AttrId::new(j as u32),
+                        allowed: set.clone(),
+                    }];
+                    return Some((cand, residual));
+                }
+            }
+        }
+        None
+    }
+
+    fn index_rep(&mut self, slot: u32, sets: Vec<Option<IntervalSet>>) {
+        self.full.entry(signature(&sets)).or_insert(slot);
+        for j in 0..sets.len() {
+            self.by_attr
+                .entry((j as u32, signature_without(&sets, j)))
+                .or_default()
+                .push(slot);
+        }
+        self.rep_sorted.push(slot);
+        self.reps.insert(slot, sets);
+    }
+}
+
+/// Canonical byte signature of a lowered profile.
+fn signature(sets: &[Option<IntervalSet>]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(sets.len() * 8);
+    for set in sets {
+        push_section(&mut out, set.as_ref());
+    }
+    out
+}
+
+/// The signature with attribute `j` wildcarded.
+fn signature_without(sets: &[Option<IntervalSet>], j: usize) -> Vec<u8> {
+    let mut out = Vec::with_capacity(sets.len() * 8);
+    for (k, set) in sets.iter().enumerate() {
+        if k == j {
+            out.push(SIG_ANY);
+        } else {
+            push_section(&mut out, set.as_ref());
+        }
+    }
+    out
+}
+
+fn push_section(out: &mut Vec<u8>, set: Option<&IntervalSet>) {
+    match set {
+        None => out.push(SIG_DONT_CARE),
+        Some(set) => {
+            out.push(SIG_SPECIFIED);
+            let ivs = set.as_slice();
+            out.extend_from_slice(&(ivs.len() as u32).to_le_bytes());
+            for iv in ivs {
+                out.extend_from_slice(&iv.lo().to_le_bytes());
+                out.extend_from_slice(&iv.hi().to_le_bytes());
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Domain, Event, Predicate, ProfileId, ProfileSet, Value};
+
+    fn schema() -> Schema {
+        Schema::builder()
+            .attribute("x", Domain::int(0, 9))
+            .unwrap()
+            .attribute("y", Domain::int(0, 4))
+            .unwrap()
+            .attribute("kind", Domain::categorical(["a", "b", "c"]).unwrap())
+            .unwrap()
+            .build()
+    }
+
+    fn profile(schema: &Schema, preds: Vec<Predicate>) -> Profile {
+        Profile::from_predicates(schema, ProfileId::new(0), preds).unwrap()
+    }
+
+    /// Brute-force implication oracle: every event (including partial
+    /// ones) matching `b` matches `a`.
+    fn implies(schema: &Schema, a: &Profile, b: &Profile) -> bool {
+        let sizes: Vec<u64> = schema.iter().map(|(_, at)| at.domain().size()).collect();
+        let mut stack = vec![Vec::<Option<u64>>::new()];
+        while let Some(prefix) = stack.pop() {
+            if prefix.len() < sizes.len() {
+                let j = prefix.len();
+                for choice in std::iter::once(None).chain((0..sizes[j]).map(Some)) {
+                    let mut next = prefix.clone();
+                    next.push(choice);
+                    stack.push(next);
+                }
+                continue;
+            }
+            let mut b_ev = Event::builder(schema);
+            for (j, choice) in prefix.iter().enumerate() {
+                if let Some(i) = choice {
+                    let id = AttrId::new(j as u32);
+                    let v: Value = schema.attribute(id).domain().value_at(*i);
+                    b_ev = b_ev.value_by_id(id, v).unwrap();
+                }
+            }
+            let e = b_ev.build();
+            if b.matches(schema, &e).unwrap() && !a.matches(schema, &e).unwrap() {
+                return false;
+            }
+        }
+        true
+    }
+
+    #[test]
+    fn covers_basic_directions() {
+        let s = schema();
+        let wide = profile(
+            &s,
+            vec![Predicate::ge(2), Predicate::DontCare, Predicate::DontCare],
+        );
+        let narrow = profile(
+            &s,
+            vec![Predicate::ge(5), Predicate::DontCare, Predicate::DontCare],
+        );
+        assert!(covers(&s, &wide, &narrow).unwrap());
+        assert!(!covers(&s, &narrow, &wide).unwrap());
+        assert!(covers(&s, &wide, &wide).unwrap());
+        // Specified over don't-care never covers: the missing-attribute
+        // event matches the don't-care profile only.
+        let dc = profile(
+            &s,
+            vec![
+                Predicate::DontCare,
+                Predicate::DontCare,
+                Predicate::DontCare,
+            ],
+        );
+        assert!(covers(&s, &dc, &wide).unwrap());
+        assert!(!covers(&s, &wide, &dc).unwrap());
+    }
+
+    #[test]
+    fn covers_extra_attribute_is_stronger() {
+        let s = schema();
+        let a = profile(
+            &s,
+            vec![Predicate::ge(2), Predicate::DontCare, Predicate::DontCare],
+        );
+        let b = profile(
+            &s,
+            vec![Predicate::ge(2), Predicate::le(3), Predicate::DontCare],
+        );
+        assert!(covers(&s, &a, &b).unwrap());
+        assert!(!covers(&s, &b, &a).unwrap());
+    }
+
+    #[test]
+    fn covers_unsatisfiable_is_vacuous() {
+        let s = schema();
+        let unsat = profile(
+            &s,
+            vec![
+                Predicate::In(vec![]),
+                Predicate::DontCare,
+                Predicate::DontCare,
+            ],
+        );
+        let any = profile(
+            &s,
+            vec![Predicate::eq(3), Predicate::DontCare, Predicate::DontCare],
+        );
+        assert!(covers(&s, &any, &unsat).unwrap());
+        assert!(!covers(&s, &unsat, &any).unwrap());
+    }
+
+    #[test]
+    fn covers_agrees_with_brute_force_oracle() {
+        // Deterministic sweep over a predicate menu covering don't-care,
+        // points, ranges, sets and complements on all three domain
+        // kinds; the oracle enumerates every (partial) event.
+        let s = schema();
+        let xs = [
+            Predicate::DontCare,
+            Predicate::eq(3),
+            Predicate::ge(2),
+            Predicate::ge(5),
+            Predicate::between(2, 7),
+            Predicate::in_set([1i64, 3, 5]),
+            Predicate::ne(3),
+        ];
+        let ys = [Predicate::DontCare, Predicate::le(2), Predicate::eq(1)];
+        let ks = [
+            Predicate::DontCare,
+            Predicate::eq("a"),
+            Predicate::in_set(["a", "b"]),
+        ];
+        let mut profiles = Vec::new();
+        for x in &xs {
+            for y in &ys {
+                for k in &ks {
+                    profiles.push(profile(&s, vec![x.clone(), y.clone(), k.clone()]));
+                }
+            }
+        }
+        let mut checked = 0;
+        for a in &profiles {
+            for b in &profiles {
+                let got = covers(&s, a, b).unwrap();
+                let want = implies(&s, a, b);
+                assert_eq!(got, want, "covers({}, {})", a.display(&s), b.display(&s));
+                checked += 1;
+            }
+        }
+        assert!(checked >= 63 * 63);
+    }
+
+    #[test]
+    fn bulk_build_finds_duplicates_and_single_attr_weakenings() {
+        let s = schema();
+        let mut ps = ProfileSet::new(&s);
+        // 0: the general representative.
+        ps.insert_with(|b| b.predicate("x", Predicate::ge(2)))
+            .unwrap();
+        // 1: exact duplicate.
+        ps.insert_with(|b| b.predicate("x", Predicate::ge(2)))
+            .unwrap();
+        // 2: strictly narrower on x.
+        ps.insert_with(|b| b.predicate("x", Predicate::ge(7)))
+            .unwrap();
+        // 3: extra attribute specified.
+        ps.insert_with(|b| {
+            b.predicate("x", Predicate::ge(2))?
+                .predicate("y", Predicate::le(1))
+        })
+        .unwrap();
+        // 4: unrelated representative.
+        ps.insert_with(|b| b.predicate("kind", Predicate::eq("b")))
+            .unwrap();
+        let cover =
+            CoverSet::build_bulk(&s, ps.iter().map(|p| (p.id().index() as u32, p))).unwrap();
+        assert_eq!(cover.rep_slots(), &[0, 4]);
+        assert_eq!(cover.covered_count(), 3);
+        let (rep, residual) = cover.cover_of(1).unwrap();
+        assert_eq!((rep, residual.len()), (0, 0), "duplicate: free delivery");
+        let (rep, residual) = cover.cover_of(2).unwrap();
+        assert_eq!(rep, 0);
+        assert_eq!(residual.len(), 1);
+        assert_eq!(residual[0].attr, AttrId::new(0));
+        let (rep, residual) = cover.cover_of(3).unwrap();
+        assert_eq!(rep, 0);
+        assert_eq!(residual[0].attr, AttrId::new(1));
+        assert_eq!(cover.compiled_index_of(0), Some(0));
+        assert_eq!(cover.compiled_index_of(4), Some(1));
+        assert_eq!(cover.compiled_index_of(2), None);
+    }
+
+    #[test]
+    fn bulk_build_is_order_independent_for_detected_classes() {
+        let s = schema();
+        let wide = profile(
+            &s,
+            vec![Predicate::ge(2), Predicate::DontCare, Predicate::DontCare],
+        );
+        let narrow = profile(
+            &s,
+            vec![Predicate::ge(7), Predicate::DontCare, Predicate::DontCare],
+        );
+        // Narrow first: the general-first sort must still make `wide`
+        // the representative.
+        let cover = CoverSet::build_bulk(&s, [(5u32, &narrow), (9u32, &wide)]).unwrap();
+        assert_eq!(cover.rep_slots(), &[9]);
+        assert_eq!(cover.cover_of(5).unwrap().0, 9);
+    }
+
+    #[test]
+    fn probe_and_dominated_reps() {
+        let s = schema();
+        let mut ps = ProfileSet::new(&s);
+        ps.insert_with(|b| b.predicate("x", Predicate::ge(5)))
+            .unwrap();
+        let cover =
+            CoverSet::build_bulk(&s, ps.iter().map(|p| (p.id().index() as u32, p))).unwrap();
+        // Covered probe.
+        let narrower = profile(
+            &s,
+            vec![Predicate::ge(8), Predicate::DontCare, Predicate::DontCare],
+        );
+        match cover.probe(&narrower).unwrap() {
+            CoverOutcome::Covered { rep, residual } => {
+                assert_eq!(rep, 0);
+                assert_eq!(residual.len(), 1);
+            }
+            CoverOutcome::Rep => panic!("expected cover"),
+        }
+        // Duplicate probe.
+        let dup = profile(
+            &s,
+            vec![Predicate::ge(5), Predicate::DontCare, Predicate::DontCare],
+        );
+        assert_eq!(
+            cover.probe(&dup).unwrap(),
+            CoverOutcome::Covered {
+                rep: 0,
+                residual: vec![]
+            }
+        );
+        // Uncovered probe leaves the set unchanged.
+        let other = profile(
+            &s,
+            vec![Predicate::DontCare, Predicate::eq(1), Predicate::DontCare],
+        );
+        assert_eq!(cover.probe(&other).unwrap(), CoverOutcome::Rep);
+        // Reverse direction: a weaker profile dominates the rep.
+        let weaker = profile(
+            &s,
+            vec![Predicate::ge(2), Predicate::DontCare, Predicate::DontCare],
+        );
+        assert_eq!(cover.dominated_reps(&weaker).unwrap(), vec![0]);
+        assert!(cover.dominated_reps(&narrower).unwrap().is_empty());
+        // Full don't-care dominates via the wildcard bucket.
+        let dc = profile(
+            &s,
+            vec![
+                Predicate::DontCare,
+                Predicate::DontCare,
+                Predicate::DontCare,
+            ],
+        );
+        assert_eq!(cover.dominated_reps(&dc).unwrap(), vec![0]);
+    }
+
+    #[test]
+    fn from_parts_replays_expansion_map_verbatim() {
+        let s = schema();
+        let rep = profile(
+            &s,
+            vec![Predicate::ge(2), Predicate::DontCare, Predicate::DontCare],
+        );
+        let residual = vec![Residual {
+            attr: AttrId::new(0),
+            allowed: rep
+                .predicate(AttrId::new(0))
+                .to_intervals(s.attribute(AttrId::new(0)).domain())
+                .unwrap(),
+        }];
+        let cover =
+            CoverSet::from_parts(&s, [(3u32, &rep)], [(7u32, 3u32, residual.clone())]).unwrap();
+        assert_eq!(cover.rep_slots(), &[3]);
+        assert_eq!(cover.cover_of(7), Some((3, residual.as_slice())));
+        // Probing still works against the replayed index.
+        let dup = rep.clone();
+        assert!(matches!(
+            cover.probe(&dup).unwrap(),
+            CoverOutcome::Covered { rep: 3, .. }
+        ));
+        // Unknown representative is rejected.
+        assert!(CoverSet::from_parts(&s, [(3u32, &rep)], [(7u32, 9u32, vec![])]).is_err());
+    }
+
+    #[test]
+    fn covered_probes_match_reference_covers() {
+        // Whatever the detection classes find must agree with the exact
+        // relation — a detected cover is always a true cover.
+        let s = schema();
+        let mut ps = ProfileSet::new(&s);
+        ps.insert_with(|b| b.predicate("x", Predicate::between(2, 8)))
+            .unwrap();
+        ps.insert_with(|b| {
+            b.predicate("x", Predicate::between(2, 8))?
+                .predicate("kind", Predicate::in_set(["a", "b"]))
+        })
+        .unwrap();
+        ps.insert_with(|b| b.predicate("y", Predicate::le(3)))
+            .unwrap();
+        let cover =
+            CoverSet::build_bulk(&s, ps.iter().map(|p| (p.id().index() as u32, p))).unwrap();
+        for (child, rep, _) in cover.children_sorted() {
+            let child_p = ps.get(ProfileId::new(child)).unwrap();
+            let rep_p = ps.get(ProfileId::new(rep)).unwrap();
+            assert!(covers(&s, rep_p, child_p).unwrap());
+        }
+    }
+}

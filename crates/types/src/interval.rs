@@ -168,6 +168,35 @@ impl IntervalSet {
         }
     }
 
+    /// Whether every index of `other` is also covered by `self`
+    /// (set inclusion `other ⊆ self`), by a single merge walk over the
+    /// two sorted interval lists.
+    ///
+    /// This is the per-attribute core of the profile covering relation
+    /// ([`covers`](crate::covers)): predicate `b` implies predicate `a`
+    /// exactly when `b`'s lowered index set is contained in `a`'s.
+    #[must_use]
+    pub fn contains_set(&self, other: &IntervalSet) -> bool {
+        let mut i = 0;
+        'outer: for o in &other.intervals {
+            while i < self.intervals.len() {
+                let s = self.intervals[i];
+                if s.hi() <= o.lo() {
+                    // Entirely left of `o` — and of every later `o` too.
+                    i += 1;
+                    continue;
+                }
+                if s.lo() <= o.lo() && o.hi() <= s.hi() {
+                    // `o` contained; the same `s` may contain later `o`s.
+                    continue 'outer;
+                }
+                return false;
+            }
+            return false;
+        }
+        true
+    }
+
     /// Iterates over the disjoint intervals in ascending order.
     pub fn iter(&self) -> impl Iterator<Item = &IndexInterval> {
         self.intervals.iter()
@@ -367,6 +396,33 @@ mod tests {
     fn complement_clips_beyond_domain() {
         let s = IntervalSet::from_intervals(vec![IndexInterval::new(2, 100)]);
         assert_eq!(s.complement(5).as_slice(), &[IndexInterval::new(0, 2)]);
+    }
+
+    #[test]
+    fn contains_set_agrees_with_pointwise_inclusion() {
+        let cases = [
+            (vec![(0, 10)], vec![(2, 5)], true),
+            (vec![(0, 10)], vec![(2, 5), (7, 10)], true),
+            (vec![(0, 10), (20, 30)], vec![(5, 12)], false),
+            (vec![(0, 10), (20, 30)], vec![(2, 4), (25, 26)], true),
+            (vec![(0, 10), (20, 30)], vec![(2, 4), (15, 16)], false),
+            (vec![(5, 6)], vec![(5, 6)], true),
+            (vec![(5, 6)], vec![], true),
+            (vec![], vec![(0, 1)], false),
+            (vec![], vec![], true),
+        ];
+        for (a, b, want) in cases {
+            let a = IntervalSet::from_intervals(
+                a.iter().map(|&(l, h)| IndexInterval::new(l, h)).collect(),
+            );
+            let b = IntervalSet::from_intervals(
+                b.iter().map(|&(l, h)| IndexInterval::new(l, h)).collect(),
+            );
+            assert_eq!(a.contains_set(&b), want, "{a} ⊇ {b}");
+            // Cross-check against a pointwise scan.
+            let scan = (0..40).all(|i| !b.contains(i) || a.contains(i));
+            assert_eq!(scan, want, "pointwise {a} ⊇ {b}");
+        }
     }
 
     #[test]

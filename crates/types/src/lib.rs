@@ -48,6 +48,7 @@
 #![warn(missing_docs)]
 
 mod attribute;
+mod covering;
 mod domain;
 mod error;
 mod event;
@@ -59,6 +60,7 @@ mod profile;
 mod value;
 
 pub use attribute::{AttrId, Attribute, Schema, SchemaBuilder};
+pub use covering::{covers, CoverOutcome, CoverSet, Residual};
 pub use domain::{Categories, Domain};
 pub use error::TypesError;
 pub use event::{Event, EventBuilder};

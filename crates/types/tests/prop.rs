@@ -1,6 +1,9 @@
 //! Property-based tests for the `ens-types` data model invariants.
 
-use ens_types::{Domain, IndexInterval, IntervalSet, Predicate, Profile, ProfileId, Schema, Value};
+use ens_types::{
+    covers, CoverOutcome, CoverSet, Domain, Event, IndexInterval, IntervalSet, Predicate, Profile,
+    ProfileId, Schema, Value,
+};
 use proptest::prelude::*;
 
 fn arb_interval(max: u64) -> impl Strategy<Value = IndexInterval> {
@@ -129,6 +132,142 @@ proptest! {
         };
         for i in 0..d.size() {
             prop_assert_eq!(d.try_index_of(&d.value_at(i)), Some(i));
+        }
+    }
+}
+
+/// Mixed-kind schema for the covering oracle: int, float, categorical.
+fn cov_schema() -> Schema {
+    Schema::builder()
+        .attribute("x", Domain::int(-4, 4))
+        .unwrap()
+        .attribute("f", Domain::float(0.0, 1.5, 0.5).unwrap())
+        .unwrap()
+        .attribute("k", Domain::categorical(["a", "b", "c"]).unwrap())
+        .unwrap()
+        .build()
+}
+
+fn arb_cov_pred_int() -> impl Strategy<Value = Predicate> {
+    let v = -4i64..=4;
+    prop_oneof![
+        Just(Predicate::DontCare),
+        v.clone().prop_map(Predicate::eq),
+        v.clone().prop_map(Predicate::ne),
+        v.clone().prop_map(Predicate::ge),
+        v.clone().prop_map(Predicate::le),
+        (v.clone(), v.clone()).prop_map(|(a, b)| Predicate::between(a.min(b), a.max(b))),
+        prop::collection::vec(v, 0..4).prop_map(Predicate::in_set),
+    ]
+}
+
+fn arb_cov_pred_float() -> impl Strategy<Value = Predicate> {
+    let v = (0u64..4).prop_map(|i| ens_types::FiniteF64::new(0.5 * i as f64).unwrap());
+    prop_oneof![
+        Just(Predicate::DontCare),
+        v.clone().prop_map(Predicate::eq),
+        v.clone().prop_map(Predicate::ge),
+        v.clone().prop_map(Predicate::lt),
+    ]
+}
+
+fn arb_cov_pred_cat() -> impl Strategy<Value = Predicate> {
+    const CATS: [&str; 3] = ["a", "b", "c"];
+    let v = (0usize..3).prop_map(|i| CATS[i]);
+    prop_oneof![
+        Just(Predicate::DontCare),
+        v.clone().prop_map(Predicate::eq),
+        prop::collection::vec(v, 1..3).prop_map(Predicate::in_set),
+    ]
+}
+
+fn arb_cov_profile() -> impl Strategy<Value = Profile> {
+    (arb_cov_pred_int(), arb_cov_pred_float(), arb_cov_pred_cat()).prop_map(|(x, f, k)| {
+        Profile::from_predicates(&cov_schema(), ProfileId::new(0), vec![x, f, k]).unwrap()
+    })
+}
+
+/// Every event — including partial ones exercising the `(*)` /
+/// missing-attribute fallthrough — in the (size+1)^n assignment grid.
+fn all_events(schema: &Schema) -> Vec<Event> {
+    let sizes: Vec<u64> = schema.iter().map(|(_, a)| a.domain().size()).collect();
+    let mut out = Vec::new();
+    let mut assignment: Vec<Option<u64>> = vec![None; sizes.len()];
+    loop {
+        let ie = ens_types::IndexedEvent::from_indices(assignment.clone());
+        out.push(ie.to_event(schema).unwrap());
+        // Odometer increment over {None, Some(0..size)} per position.
+        let mut j = 0;
+        loop {
+            if j == sizes.len() {
+                return out;
+            }
+            assignment[j] = match assignment[j] {
+                None => Some(0),
+                Some(i) if i + 1 < sizes[j] => Some(i + 1),
+                Some(_) => {
+                    assignment[j] = None;
+                    j += 1;
+                    continue;
+                }
+            };
+            break;
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// `covers(a, b)` agrees with the brute-force implication oracle
+    /// (every event matching `b` matches `a`) across int/float/
+    /// categorical domains, missing attributes, and `(*)` fallthrough.
+    #[test]
+    fn covers_agrees_with_implication_oracle(a in arb_cov_profile(), b in arb_cov_profile()) {
+        let schema = cov_schema();
+        let implied = all_events(&schema).iter().all(|e| {
+            !b.matches(&schema, e).unwrap() || a.matches(&schema, e).unwrap()
+        });
+        prop_assert_eq!(covers(&schema, &a, &b).unwrap(), implied);
+    }
+
+    /// `CoverSet` detection is sound: every cover it reports — bulk or
+    /// probed — is a true cover, and the residual is delivery-exact
+    /// (child matches ⟺ rep matches ∧ residual passes).
+    #[test]
+    fn cover_set_detection_is_sound_and_residuals_exact(
+        pop in prop::collection::vec(arb_cov_profile(), 1..12),
+        probe in arb_cov_profile(),
+    ) {
+        let schema = cov_schema();
+        let slots: Vec<(u32, &Profile)> =
+            pop.iter().enumerate().map(|(i, p)| (i as u32, p)).collect();
+        let cover = CoverSet::build_bulk(&schema, slots).unwrap();
+        prop_assert_eq!(cover.rep_count() + cover.covered_count(), pop.len());
+        let events = all_events(&schema);
+        let check = |rep: u32, child: &Profile, residual: &[ens_types::Residual]| {
+            let rep_p = &pop[rep as usize];
+            assert!(covers(&schema, rep_p, child).unwrap());
+            for e in &events {
+                let ie = ens_types::IndexedEvent::resolve(&schema, e).unwrap();
+                let residual_ok = residual.iter().all(|r| {
+                    ie.get(r.attr).is_some_and(|i| r.allowed.contains(i))
+                });
+                assert_eq!(
+                    child.matches(&schema, e).unwrap(),
+                    rep_p.matches(&schema, e).unwrap() && residual_ok,
+                );
+            }
+        };
+        for (child, rep, residual) in cover.children_sorted() {
+            check(rep, &pop[child as usize], residual);
+        }
+        if let CoverOutcome::Covered { rep, residual } = cover.probe(&probe).unwrap() {
+            check(rep, &probe, &residual);
+        }
+        // Reverse direction: every dominated rep is truly covered by the probe.
+        for rep in cover.dominated_reps(&probe).unwrap() {
+            prop_assert!(covers(&schema, &probe, &pop[rep as usize]).unwrap());
         }
     }
 }

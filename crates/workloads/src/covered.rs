@@ -1,0 +1,263 @@
+//! Coverage-heavy subscription populations for the covering machinery.
+//!
+//! Real subscriber populations are nothing like independent random
+//! draws: popular queries are subscribed thousands of times, and most
+//! variations are a popular query with one attribute tightened. This
+//! generator reproduces that shape — a small set of *root* profiles
+//! plus a long tail of exact duplicates and single-attribute
+//! narrowings, with root popularity following a Zipf law — so
+//! covering-pruned compilation has realistic structure to bite on.
+
+use ens_types::{IntervalSet, Predicate, Profile, ProfileId, ProfileSet, Schema};
+use rand::Rng;
+
+use crate::{ProfileGenConfig, ProfileGenerator, WorkloadError};
+
+/// Shape of a [`covered_profiles`] population.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CoveredPopulationConfig {
+    /// Fraction of the population that is covered by a root — `0.9`
+    /// means one root per ten profiles. `0.0` degenerates to an
+    /// antichain of independent roots.
+    pub coverage_density: f64,
+    /// Of the covered profiles, the fraction that are exact duplicates
+    /// of their root; the rest narrow exactly one attribute.
+    pub duplicate_frac: f64,
+    /// Zipf exponent for root popularity: covered profiles attach to
+    /// root `r` with weight `1 / (r + 1)^s`. `0.0` spreads them
+    /// uniformly; `1.0` is the classic heavy skew.
+    pub zipf_exponent: f64,
+    /// Shape of the root profiles themselves.
+    pub roots: ProfileGenConfig,
+}
+
+impl Default for CoveredPopulationConfig {
+    fn default() -> Self {
+        CoveredPopulationConfig {
+            coverage_density: 0.9,
+            duplicate_frac: 0.5,
+            zipf_exponent: 1.0,
+            roots: ProfileGenConfig::default(),
+        }
+    }
+}
+
+/// Generates `n` profiles: roots drawn uniformly over the schema's
+/// domains, covered profiles attached to Zipf-sampled roots as exact
+/// duplicates or single-attribute narrowings, the whole population
+/// shuffled deterministically under `rng`.
+///
+/// # Errors
+///
+/// Propagates data-model errors from profile construction.
+pub fn covered_profiles<R: Rng + ?Sized>(
+    schema: &Schema,
+    n: usize,
+    config: &CoveredPopulationConfig,
+    rng: &mut R,
+) -> Result<ProfileSet, WorkloadError> {
+    if n == 0 {
+        return Ok(ProfileSet::new(schema));
+    }
+    let density = config.coverage_density.clamp(0.0, 1.0);
+    let n_roots = (((n as f64) * (1.0 - density)).round() as usize).clamp(1, n);
+    let uniform = schema
+        .iter()
+        .map(|(_, a)| ens_dist::DistOverDomain::new(ens_dist::Density::Uniform, a.domain().size()))
+        .collect();
+    let roots: Vec<Profile> = ProfileGenerator::new(schema, uniform, config.roots)?
+        .generate(n_roots, rng)?
+        .iter()
+        .cloned()
+        .collect();
+
+    // Zipf popularity over the roots, via the cumulative weights and a
+    // binary search per draw.
+    let mut cumulative = Vec::with_capacity(n_roots);
+    let mut total = 0.0;
+    for r in 0..n_roots {
+        total += 1.0 / ((r + 1) as f64).powf(config.zipf_exponent);
+        cumulative.push(total);
+    }
+
+    let mut population = roots.clone();
+    for _ in n_roots..n {
+        let u = rng.gen::<f64>() * total;
+        let r = cumulative.partition_point(|&c| c < u).min(n_roots - 1);
+        let root = &roots[r];
+        if rng.gen::<f64>() < config.duplicate_frac {
+            population.push(root.clone());
+        } else {
+            population.push(narrow_one_attribute(schema, root, rng)?);
+        }
+    }
+
+    // Deterministic Fisher–Yates shuffle so covering detection cannot
+    // rely on roots arriving first.
+    for i in (1..population.len()).rev() {
+        population.swap(i, rng.gen_range(0..=i));
+    }
+    let mut out = ProfileSet::new(schema);
+    for p in population {
+        out.insert(p);
+    }
+    Ok(out)
+}
+
+/// A copy of `root` with exactly one attribute strictly tightened — a
+/// random sub-range (or point) of whatever the root allows there.
+/// Falls back to an exact duplicate when every attribute is already a
+/// single point.
+fn narrow_one_attribute<R: Rng + ?Sized>(
+    schema: &Schema,
+    root: &Profile,
+    rng: &mut R,
+) -> Result<Profile, WorkloadError> {
+    let width = schema.len();
+    let start = rng.gen_range(0..width);
+    for k in 0..width {
+        let j = (start + k) % width;
+        let (_, attr) = schema.iter().nth(j).expect("attribute index within schema");
+        let domain = attr.domain();
+        let allowed = match &root.predicates()[j] {
+            Predicate::DontCare => IntervalSet::full(domain.size()),
+            p => p.to_intervals(domain)?,
+        };
+        if allowed.covered_len() < 2 {
+            continue;
+        }
+        // Pick the sub-range inside one of the (half-open) allowed
+        // intervals: first-fit from a random offset into the covered
+        // length, then a random inclusive upper index within the same
+        // interval.
+        let mut offset = rng.gen_range(0..allowed.covered_len());
+        let mut narrowed = None;
+        for iv in allowed.iter() {
+            if offset < iv.len() {
+                let lo = iv.lo() + offset;
+                let hi = rng.gen_range(lo..iv.hi());
+                // Never reproduce the full allowed set: shrink from
+                // whichever end still can.
+                let full = lo == iv.lo() && hi + 1 == iv.hi() && allowed.as_slice().len() == 1;
+                let (lo, hi) = if full {
+                    if hi > lo && rng.gen::<bool>() {
+                        (lo + 1, hi)
+                    } else {
+                        (lo, hi.saturating_sub(1).max(lo))
+                    }
+                } else {
+                    (lo, hi)
+                };
+                narrowed = Some(if lo == hi {
+                    Predicate::Eq(domain.value_at(lo))
+                } else {
+                    Predicate::Between(domain.value_at(lo), domain.value_at(hi))
+                });
+                break;
+            }
+            offset -= iv.len();
+        }
+        let mut preds = root.predicates().to_vec();
+        preds[j] = narrowed.expect("offset lies inside the covered length");
+        return Ok(Profile::from_predicates(schema, ProfileId::new(0), preds)?);
+    }
+    Ok(root.clone())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ens_types::{covers, CoverSet, Domain};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn schema() -> Schema {
+        Schema::builder()
+            .attribute("x", Domain::int(0, 199))
+            .unwrap()
+            .attribute("y", Domain::int(0, 19))
+            .unwrap()
+            .attribute("k", Domain::categorical(["a", "b", "c", "d"]).unwrap())
+            .unwrap()
+            .build()
+    }
+
+    #[test]
+    fn population_has_the_requested_coverage_density() {
+        let s = schema();
+        let mut rng = StdRng::seed_from_u64(11);
+        let config = CoveredPopulationConfig::default();
+        let pop = covered_profiles(&s, 400, &config, &mut rng).unwrap();
+        assert_eq!(pop.len(), 400);
+        let cover =
+            CoverSet::build_bulk(&s, pop.iter().map(|p| (p.id().index() as u32, p))).unwrap();
+        // 90% density → ~40 roots. Detection is best-effort, so allow
+        // slack, but the bulk of the population must be covered.
+        assert!(
+            cover.covered_count() >= 300,
+            "covered {} of 400",
+            cover.covered_count()
+        );
+        assert!(cover.rep_count() <= 100, "reps {}", cover.rep_count());
+    }
+
+    #[test]
+    fn children_are_genuinely_covered_by_some_root() {
+        let s = schema();
+        let mut rng = StdRng::seed_from_u64(13);
+        let config = CoveredPopulationConfig {
+            coverage_density: 0.8,
+            duplicate_frac: 0.0, // all narrowings
+            ..CoveredPopulationConfig::default()
+        };
+        let pop = covered_profiles(&s, 100, &config, &mut rng).unwrap();
+        let profiles: Vec<Profile> = pop.iter().cloned().collect();
+        let mut covered = 0;
+        for (i, child) in profiles.iter().enumerate() {
+            for (j, root) in profiles.iter().enumerate() {
+                if i != j && covers(&s, root, child).unwrap() {
+                    covered += 1;
+                    break;
+                }
+            }
+        }
+        assert!(covered >= 75, "only {covered} of 100 covered");
+    }
+
+    #[test]
+    fn zipf_skew_concentrates_on_early_roots() {
+        let s = schema();
+        let config = CoveredPopulationConfig {
+            coverage_density: 0.95,
+            duplicate_frac: 1.0, // pure duplicates: countable per root
+            zipf_exponent: 1.3,
+            ..CoveredPopulationConfig::default()
+        };
+        let mut rng = StdRng::seed_from_u64(17);
+        let pop = covered_profiles(&s, 500, &config, &mut rng).unwrap();
+        let cover =
+            CoverSet::build_bulk(&s, pop.iter().map(|p| (p.id().index() as u32, p))).unwrap();
+        // With duplicates only, every equivalence class maps to one
+        // representative; skew means the largest class dwarfs the mean.
+        let mut class_sizes = std::collections::HashMap::new();
+        for p in pop.iter() {
+            let slot = p.id().index() as u32;
+            let rep = cover.cover_of(slot).map_or(slot, |(r, _)| r);
+            *class_sizes.entry(rep).or_insert(0usize) += 1;
+        }
+        let max = class_sizes.values().copied().max().unwrap();
+        let mean = 500.0 / class_sizes.len() as f64;
+        assert!(max as f64 > 3.0 * mean, "max class {max} vs mean {mean:.1}");
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let s = schema();
+        let config = CoveredPopulationConfig::default();
+        let a = covered_profiles(&s, 50, &config, &mut StdRng::seed_from_u64(23)).unwrap();
+        let b = covered_profiles(&s, 50, &config, &mut StdRng::seed_from_u64(23)).unwrap();
+        let pa: Vec<Profile> = a.iter().cloned().collect();
+        let pb: Vec<Profile> = b.iter().cloned().collect();
+        assert_eq!(pa, pb);
+    }
+}

@@ -8,6 +8,9 @@
 //!   random workloads;
 //! * [`churn`] — deterministic churn-and-burst plans for the concurrent
 //!   broker (subscriptions arriving and leaving while bursts publish);
+//! * [`covered_profiles`] — coverage-heavy populations (Zipf-skewed
+//!   duplicates and single-attribute narrowings of root profiles) for
+//!   the covering-pruned compilation path;
 //! * [`drift`] — two-phase distribution-shift workloads (the hot value
 //!   band migrates mid-run) exercising the self-tuning loop;
 //! * [`federation`] — deterministic partition/flap schedules replayed
@@ -33,6 +36,7 @@
 #![warn(missing_docs)]
 
 pub mod churn;
+mod covered;
 pub mod drift;
 mod error;
 pub mod experiments;
@@ -42,6 +46,7 @@ mod generator;
 pub mod scenario;
 
 pub use churn::{alert_churn_profiles, churn_burst_plan, ChurnOp, ChurnPlan};
+pub use covered::{covered_profiles, CoveredPopulationConfig};
 pub use drift::{hot_band_migration, DriftWorkload};
 pub use error::WorkloadError;
 pub use experiments::{
