@@ -373,6 +373,40 @@ struct FederationReport {
     /// sequence numbers shed by the overflow policy (DropOldest), as
     /// reported by the federation metrics.
     bounded_overflow_dropped: u64,
+    /// Covering-based interest aggregation on a duplicate-heavy
+    /// covered population, measured with the analysis on and off.
+    aggregation: Vec<AggregationRow>,
+    /// Multi-hop routing on a 3-broker line under per-origin
+    /// duplicate suppression: the relay must deliver exactly once.
+    line_topology: LineTopologyRow,
+}
+
+/// One row of the interest-aggregation comparison: the same
+/// subscription population forwarded with covering analysis
+/// (`mode: "aggregated"`) or without (`mode: "individual"`).
+#[derive(Debug, Serialize)]
+struct AggregationRow {
+    mode: String,
+    /// Local subscriptions registered on the subscribing broker.
+    local_subs: u64,
+    /// Interest rows actually forwarded to the publishing peer —
+    /// with aggregation, the minimal covering antichain.
+    forwarded_interest: u64,
+    /// Event rows the publisher forwarded over the sweep.
+    forwarded_rows: u64,
+    /// `forwarded_rows / events_published`.
+    forwarded_event_ratio: f64,
+}
+
+/// Exactly-once delivery across a 1—2—3 broker line (subscriber at
+/// the far end, publisher at the near end, broker 2 relaying).
+#[derive(Debug, Serialize)]
+struct LineTopologyRow {
+    brokers: u64,
+    events: u64,
+    delivered: u64,
+    duplicates: u64,
+    exactly_once: bool,
 }
 
 #[derive(Debug, Serialize)]
@@ -1521,6 +1555,7 @@ fn bench_federation(opts: &Options) -> Result<FederationReport, Box<dyn std::err
                 node,
                 epoch: 1,
                 link,
+                ..FederationConfig::default()
             },
         ))
     };
@@ -1666,6 +1701,106 @@ fn bench_federation(opts: &Options) -> Result<FederationReport, Box<dyn std::err
     pump_sim(&net, &[&a, &b], 30)?;
     let bounded_overflow_dropped = a.metrics().overflow_dropped;
 
+    // --- Interest aggregation on a duplicate-heavy population -------
+    // Subscriber A holds 8 disjoint wide bands (together covering
+    // half the domain) plus 24 distinct narrowings inside each band
+    // (every narrowing has its own signature, so nothing collapses by
+    // exact dedup — only the covering analysis can shrink the
+    // forwarded set, and the minimal antichain is exactly the 8
+    // bands). Publisher B sweeps the domain; forwarded interest and
+    // forwarded events are measured per mode.
+    let mk_cfg = |node: u64,
+                  aggregate: bool,
+                  max_hops: u8,
+                  link: LinkConfig|
+     -> Result<Federation, Box<dyn std::error::Error>> {
+        Ok(Federation::new(
+            Arc::new(Broker::new(&schema, BrokerConfig::default())?),
+            FederationConfig {
+                node,
+                epoch: 1,
+                aggregate_interest: aggregate,
+                max_hops,
+                link,
+            },
+        ))
+    };
+    let agg_events = opts.events.clamp(256, 2048) as u64;
+    let mut aggregation = Vec::new();
+    for (mode, aggregate) in [("aggregated", true), ("individual", false)] {
+        let net = SimNet::new(9004);
+        let a = mk_cfg(1, aggregate, 0, sim_link)?;
+        let b = mk_cfg(2, aggregate, 0, sim_link)?;
+        a.add_peer(2, Box::new(net.transport(1, 2)), 0);
+        b.add_peer(1, Box::new(net.transport(2, 1)), 0);
+        let mut local_subs = 0u64;
+        for rep in 0..8i64 {
+            let lo = rep * 1250;
+            let hi = lo + 624;
+            let _ = a.subscribe_parsed(&format!("profile(x in [{lo}, {hi}])"))?;
+            local_subs += 1;
+            for i in 0..24i64 {
+                let nlo = lo + i * 20;
+                let nhi = nlo + 100;
+                let _ = a.subscribe_parsed(&format!("profile(x in [{nlo}, {nhi}])"))?;
+                local_subs += 1;
+            }
+        }
+        while b.interested_peers() != 1 {
+            pump_sim(&net, &[&a, &b], 1)?;
+        }
+        pump_sim(&net, &[&a, &b], 10)?;
+        for i in 0..agg_events {
+            b.publish(&event(((i * 9973) % 10_000) as i64)?)?;
+        }
+        let mut drained = 0;
+        while b.backlog() > 0 {
+            drained += pump_sim(&net, &[&a, &b], 10)?;
+        }
+        drained += pump_sim(&net, &[&a, &b], 20)?;
+        std::hint::black_box(drained);
+        let forwarded = b.metrics().forwarded_rows;
+        aggregation.push(AggregationRow {
+            mode: mode.to_string(),
+            local_subs,
+            forwarded_interest: a.forwarded_interest(2) as u64,
+            forwarded_rows: forwarded,
+            forwarded_event_ratio: forwarded as f64 / agg_events as f64,
+        });
+    }
+
+    // --- Exactly-once relay on a 3-broker line ----------------------
+    let net = SimNet::new(9005);
+    let line_events = opts.events.clamp(256, 2048) as u64;
+    let f1 = mk_cfg(1, true, 2, sim_link)?;
+    let f2 = mk_cfg(2, true, 2, sim_link)?;
+    let f3 = mk_cfg(3, true, 2, sim_link)?;
+    f1.add_peer(2, Box::new(net.transport(1, 2)), 0);
+    f2.add_peer(1, Box::new(net.transport(2, 1)), 0);
+    f2.add_peer(3, Box::new(net.transport(2, 3)), 0);
+    f3.add_peer(2, Box::new(net.transport(3, 2)), 0);
+    let sub = f3.subscribe_parsed("profile(x >= 0)")?;
+    // Interest must relay 3 -> 2 -> 1 before publishing starts.
+    while f1.interested_peers() != 1 {
+        pump_sim(&net, &[&f1, &f2, &f3], 1)?;
+    }
+    pump_sim(&net, &[&f1, &f2, &f3], 10)?;
+    for i in 0..line_events {
+        f1.publish(&event((i % 10_000) as i64)?)?;
+    }
+    while f1.backlog() > 0 || f2.backlog() > 0 {
+        pump_sim(&net, &[&f1, &f2, &f3], 10)?;
+    }
+    pump_sim(&net, &[&f1, &f2, &f3], 20)?;
+    let delivered = sub.drain().len() as u64;
+    let line_topology = LineTopologyRow {
+        brokers: 3,
+        events: line_events,
+        delivered,
+        duplicates: f3.metrics().origin_duplicates + f3.metrics().duplicates,
+        exactly_once: delivered == line_events,
+    };
+
     Ok(FederationReport {
         tcp_events,
         tcp_fanout_p50_us: pct(0.50),
@@ -1676,6 +1811,8 @@ fn bench_federation(opts: &Options) -> Result<FederationReport, Box<dyn std::err
         partition_backlog_events: backlog_events,
         recovery_after_partition_virtual_ms: recovery_ms,
         bounded_overflow_dropped,
+        aggregation,
+        line_topology,
     })
 }
 

@@ -1572,6 +1572,44 @@ impl Broker {
         // the event in every shard.
         let mut indexed = IndexedBatch::new();
         indexed.resolve_into(&self.schema, events.iter().map(Arc::as_ref))?;
+        self.publish_batch_prepared(events, &indexed)
+    }
+
+    /// Like [`Broker::publish_batch`], but takes the batch's resolved
+    /// [`IndexedBatch`] from the caller instead of resolving it here —
+    /// the path for rows that arrive *already indexed* (federation
+    /// ingress decodes wire rows straight into a batch) or that the
+    /// caller resolved once for its own matching and wants to share.
+    ///
+    /// `indexed.row(i)` must be `events[i]`'s resolved form under this
+    /// broker's schema; the shape is checked, the cell values are
+    /// trusted (a mismatched cell only misroutes that event's own
+    /// notifications, exactly as a foreign row would).
+    ///
+    /// # Errors
+    ///
+    /// Rejects the whole batch (before any delivery) on a shape
+    /// mismatch between `events` and `indexed`; propagates rebuild
+    /// errors.
+    pub fn publish_batch_prepared(
+        &self,
+        events: &[Arc<Event>],
+        indexed: &IndexedBatch,
+    ) -> Result<Vec<PublishReceipt>, ServiceError> {
+        if events.is_empty() {
+            return Ok(Vec::new());
+        }
+        if indexed.len() != events.len() || indexed.width() != self.schema.len().max(1) {
+            return Err(ServiceError::Types(
+                ens_types::TypesError::UnknownAttribute(format!(
+                    "indexed batch shape {}x{} does not match {} events of schema width {}",
+                    indexed.len(),
+                    indexed.width(),
+                    events.len(),
+                    self.schema.len()
+                )),
+            ));
+        }
         self.metrics
             .batch_events
             .fetch_add(events.len() as u64, Ordering::Relaxed);
@@ -1603,7 +1641,7 @@ impl Broker {
         // only touched later, in `finish_publish`).
         let run_worker = |shard_idx: usize, snap: &ShardSnapshot| -> Vec<Delivery> {
             std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                self.batch_worker(shard_idx, snap, &indexed, events, base_seq)
+                self.batch_worker(shard_idx, snap, indexed, events, base_seq)
             }))
             .unwrap_or_else(|_| {
                 self.metrics.shard_panics.fetch_add(1, Ordering::Relaxed);

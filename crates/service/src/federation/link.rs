@@ -121,7 +121,6 @@ pub(crate) enum LinkEvent {
     Subscribe {
         peer: u64,
         id: u64,
-        weight: f64,
         profile: Profile,
         epoch: u64,
     },
@@ -130,10 +129,15 @@ pub(crate) enum LinkEvent {
     /// A batch of event rows arrived. The first `skip` rows were
     /// already delivered on a previous connection (overlap with the
     /// receive floor) and must not be re-delivered; row `i` carries
-    /// sequence `first_seq + i`.
+    /// link sequence `first_seq + i`. `origin`, `ttl` and the per-row
+    /// `origin_seqs` carry the multi-hop routing metadata through
+    /// unchanged.
     Rows {
         peer: u64,
         first_seq: u64,
+        origin: u64,
+        ttl: u32,
+        origin_seqs: Vec<u64>,
         rows: Vec<Vec<u64>>,
         skip: usize,
     },
@@ -427,17 +431,11 @@ impl PeerLink {
             }
             Msg::Ack { high } => self.ack_up_to(high),
             Msg::Heartbeat => {}
-            Msg::Subscribe {
-                seq,
-                id,
-                weight,
-                profile,
-            } => {
+            Msg::Subscribe { seq, id, profile } => {
                 if self.accept_span(seq, 1) == Some(0) {
                     events.push(LinkEvent::Subscribe {
                         peer: self.peer,
                         id,
-                        weight,
                         profile,
                         epoch: self.remote_epoch.unwrap_or(0),
                     });
@@ -452,16 +450,24 @@ impl PeerLink {
                 }
             }
             Msg::Batch {
-                first_seq, rows, ..
+                first_seq,
+                origin,
+                ttl,
+                origin_seqs,
+                rows,
+                ..
             } => {
                 let span = rows.len() as u64;
-                if span == 0 {
+                if span == 0 || origin_seqs.len() != rows.len() {
                     return;
                 }
                 if let Some(skip) = self.accept_span(first_seq, span) {
                     events.push(LinkEvent::Rows {
                         peer: self.peer,
                         first_seq,
+                        origin,
+                        ttl,
+                        origin_seqs,
                         rows,
                         skip,
                     });
@@ -713,6 +719,20 @@ mod tests {
         IndexedEvent::resolve(s, &e).unwrap().raw().to_vec()
     }
 
+    /// A single-hop batch as the federation layer would emit it (the
+    /// origin-sequence values are immaterial to link-level tests).
+    fn batch(rows: Vec<Vec<u64>>) -> Msg {
+        let origin_seqs = (1..=rows.len() as u64).collect();
+        Msg::Batch {
+            first_seq: 0,
+            origin: 1,
+            ttl: 0,
+            width: 1,
+            origin_seqs,
+            rows,
+        }
+    }
+
     fn delivered_xs(events: &[LinkEvent]) -> Vec<u64> {
         events
             .iter()
@@ -737,11 +757,7 @@ mod tests {
             .iter()
             .any(|e| matches!(e, LinkEvent::Established { peer: 1, .. })));
 
-        a.enqueue(Msg::Batch {
-            first_seq: 0,
-            width: 1,
-            rows: vec![row(&s, 5), row(&s, 6)],
-        });
+        a.enqueue(batch(vec![row(&s, 5), row(&s, 6)]));
         let events = pump(&net, &mut [&mut a, &mut b], 3);
         assert_eq!(delivered_xs(&events), vec![5, 6]);
         assert_eq!(b.recv_high(), 2);
@@ -761,12 +777,8 @@ mod tests {
         });
         let (mut a, mut b) = link_pair(&net, &s);
         let mut all = pump(&net, &mut [&mut a, &mut b], 10);
-        for batch in 0..20 {
-            a.enqueue(Msg::Batch {
-                first_seq: 0,
-                width: 1,
-                rows: (0..5).map(|i| row(&s, batch * 5 + i)).collect(),
-            });
+        for group in 0..20 {
+            a.enqueue(batch((0..5).map(|i| row(&s, group * 5 + i)).collect()));
             all.extend(pump(&net, &mut [&mut a, &mut b], 5));
         }
         all.extend(pump(&net, &mut [&mut a, &mut b], 100));
@@ -794,7 +806,6 @@ mod tests {
         a.enqueue(Msg::Subscribe {
             seq: 0,
             id: 42,
-            weight: 1.0,
             profile: profile.clone(),
         });
         a.enqueue(Msg::Unsubscribe { seq: 0, id: 42 });
@@ -862,19 +873,11 @@ mod tests {
         let net = SimNet::new(21);
         let (mut a, mut b) = link_pair(&net, &s);
         let mut all = pump(&net, &mut [&mut a, &mut b], 5);
-        a.enqueue(Msg::Batch {
-            first_seq: 0,
-            width: 1,
-            rows: vec![row(&s, 1), row(&s, 2)],
-        });
+        a.enqueue(batch(vec![row(&s, 1), row(&s, 2)]));
         all.extend(pump(&net, &mut [&mut a, &mut b], 5));
         net.partition(1, 2);
         // Traffic queued during the partition waits in pending.
-        a.enqueue(Msg::Batch {
-            first_seq: 0,
-            width: 1,
-            rows: vec![row(&s, 3)],
-        });
+        a.enqueue(batch(vec![row(&s, 3)]));
         all.extend(pump(&net, &mut [&mut a, &mut b], 60));
         assert!(!a.is_up() && !b.is_up(), "timeout must drop both sides");
         net.heal(1, 2);
@@ -893,11 +896,7 @@ mod tests {
         let net = SimNet::new(31);
         let (mut a, mut b) = link_pair(&net, &s);
         let mut all = pump(&net, &mut [&mut a, &mut b], 3);
-        a.enqueue(Msg::Batch {
-            first_seq: 0,
-            width: 1,
-            rows: vec![row(&s, 1), row(&s, 2), row(&s, 3)],
-        });
+        a.enqueue(batch(vec![row(&s, 1), row(&s, 2), row(&s, 3)]));
         all.extend(pump(&net, &mut [&mut a, &mut b], 5));
         assert_eq!(b.recv_high(), 3);
         // "Crash" b and restart it with its persisted floor; the
@@ -914,11 +913,7 @@ mod tests {
             Box::new(net.transport(2, 1)),
             fast_config(),
         );
-        a.enqueue(Msg::Batch {
-            first_seq: 0,
-            width: 1,
-            rows: vec![row(&s, 4)],
-        });
+        a.enqueue(batch(vec![row(&s, 4)]));
         let all2 = pump(&net, &mut [&mut a, &mut b2], 120);
         assert_eq!(delivered_xs(&all2), vec![4], "floor must absorb 1..=3");
         assert!(
@@ -969,11 +964,7 @@ mod tests {
         let net = SimNet::new(61);
         let (mut a, mut b) = link_pair(&net, &s);
         let mut all = pump(&net, &mut [&mut a, &mut b], 3);
-        a.enqueue(Msg::Batch {
-            first_seq: 0,
-            width: 1,
-            rows: vec![row(&s, 1), row(&s, 2), row(&s, 3)],
-        });
+        a.enqueue(batch(vec![row(&s, 1), row(&s, 2), row(&s, 3)]));
         all.extend(pump(&net, &mut [&mut a, &mut b], 5));
         assert_eq!(b.recv_high(), 3);
 
@@ -1003,11 +994,7 @@ mod tests {
             }),
             fast_config(),
         );
-        a2.enqueue(Msg::Batch {
-            first_seq: 0,
-            width: 1,
-            rows: vec![row(&s, 7), row(&s, 8), row(&s, 9)],
-        });
+        a2.enqueue(batch(vec![row(&s, 7), row(&s, 8), row(&s, 9)]));
         let all2 = pump(&net, &mut [&mut a2, &mut b], 300);
         assert_eq!(
             delivered_xs(&all2),

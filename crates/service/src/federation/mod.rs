@@ -11,12 +11,44 @@
 //! published at the receiving broker as ordinary events, notifying
 //! its local subscribers.
 //!
-//! Loop freedom is structural: a broker only ever forwards events its
-//! *own* application published ([`Federation::publish`] /
-//! [`Federation::publish_batch`]); events that arrived from a peer
-//! are injected straight into the local [`Broker`] and never
-//! re-forwarded. In a full mesh every broker hears every matched
-//! event exactly once.
+//! ## Routing efficiency
+//!
+//! Two mechanisms keep the network as selective as the matcher:
+//!
+//! * **Covering-based interest aggregation**
+//!   ([`FederationConfig::aggregate_interest`], on by default): each
+//!   link carries a [`ens_types::CoverSet`]-backed ledger of every
+//!   interest contribution bound for that peer, and only the minimal
+//!   covering antichain is actually forwarded — a subscription covered
+//!   by an already-forwarded representative costs zero wire traffic,
+//!   and retracting a representative promotes its covered children
+//!   (subscribes are enqueued before unsubscribes so the transition
+//!   can only over-forward, never lose). Forwarded entries are keyed
+//!   by the profile's canonical lowered signature, so re-learning the
+//!   same interest through another path converges instead of echoing.
+//!
+//! * **Multi-hop forwarding** ([`FederationConfig::max_hops`], 0 by
+//!   default): with a hop budget, remote interest is re-forwarded to
+//!   other peers and remote event rows are routed onward along the
+//!   overlay. Loop freedom then comes from per-origin routing state
+//!   instead of structure: every locally published row is stamped
+//!   with its origin broker id and a per-origin sequence, receivers
+//!   keep a highest-seen floor per origin (exact on acyclic
+//!   topologies, because links are FIFO-exactly-once and transit
+//!   forwarding preserves order), rows are never forwarded back to
+//!   the link they arrived on or to their origin, and the TTL bounds
+//!   any residual path. Line/star/tree overlays get exactly-once,
+//!   per-origin-ordered delivery without a full mesh.
+//!
+//! With `max_hops == 0` loop freedom is structural, as before: a
+//! broker only ever forwards events its *own* application published
+//! ([`Federation::publish`] / [`Federation::publish_batch`]); events
+//! that arrived from a peer are injected straight into the local
+//! [`Broker`] and never re-forwarded. In a full mesh every broker
+//! hears every matched event exactly once. Multi-hop mode requires
+//! the origin sequence state to be as durable as the link floors —
+//! see [`Federation::origin_floors`] / [`Federation::set_origin_floor`]
+//! and [`Federation::set_last_origin_seq`].
 //!
 //! Everything rides on the private `link::PeerLink`'s reliability
 //! machinery — sequence numbers, cumulative acks, Go-Back-N
@@ -57,7 +89,10 @@ use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
 use ens_filter::{FilterSnapshot, SnapshotScratch, TreeConfig};
-use ens_types::{Event, IndexedEvent, Profile, ProfileSet, Schema};
+use ens_types::{
+    profile_signature, CoverOutcome, CoverSet, Event, IndexedBatch, IndexedEvent, Profile,
+    ProfileSet, Schema,
+};
 
 use crate::broker::{Broker, PublishReceipt};
 use crate::error::ServiceError;
@@ -79,6 +114,18 @@ pub struct FederationConfig {
     /// Process incarnation, announced in greetings. Bump it on
     /// restart so surviving peers re-forward their interest state.
     pub epoch: u64,
+    /// Forward only the minimal covering antichain of interest per
+    /// peer (on by default). Off forwards every distinct interest
+    /// profile individually — the baseline the BENCH aggregation
+    /// rows compare against.
+    pub aggregate_interest: bool,
+    /// Hop budget for re-forwarding remote event rows and remote
+    /// interest. 0 (the default) is classic single-hop full-mesh
+    /// federation: remote rows are never re-forwarded. A positive
+    /// budget enables multi-hop routing over acyclic overlays
+    /// (line/star/tree); see the module docs for the durability
+    /// contract it adds.
+    pub max_hops: u8,
     /// Per-peer link tuning.
     pub link: LinkConfig,
 }
@@ -88,6 +135,8 @@ impl Default for FederationConfig {
         FederationConfig {
             node: 0,
             epoch: 1,
+            aggregate_interest: true,
+            max_hops: 0,
             link: LinkConfig::default(),
         }
     }
@@ -96,10 +145,16 @@ impl Default for FederationConfig {
 /// One event delivered from a peer during a pump.
 #[derive(Debug, Clone)]
 pub struct RemoteDelivery {
-    /// Originating peer node id.
+    /// The directly connected peer the row arrived from (the last
+    /// hop, not necessarily the publisher).
     pub peer: u64,
     /// The event's sequence on that peer's link (monotone per peer).
     pub seq: u64,
+    /// The broker that originally published the event.
+    pub origin: u64,
+    /// The event's position in the origin's publish order (monotone
+    /// per origin; gaps mean interest filtering along the path).
+    pub origin_seq: u64,
     /// The reconstructed event, already published to the local
     /// broker.
     pub event: Arc<Event>,
@@ -150,6 +205,10 @@ pub struct FederationMetrics {
     /// counted — never silently absorbed — because the link has
     /// already advanced past them, so they will not be redelivered.
     pub publish_failures: u64,
+    /// Rows suppressed by per-origin routing state: redundant copies
+    /// of an origin sequence already seen (or of this broker's own
+    /// traffic echoed back), dropped before local publish.
+    pub origin_duplicates: u64,
     /// Peer links currently up.
     pub peers_up: usize,
     /// Peer links permanently failed (schema mismatch or
@@ -158,11 +217,11 @@ pub struct FederationMetrics {
 }
 
 /// One forwarded subscription in a peer's interest set, tagged with
-/// the peer incarnation that forwarded it.
+/// the peer incarnation that forwarded it. Weights deliberately do
+/// not cross the wire: they parameterise the *subscribing* broker's
+/// local cost model, and routing treats all interest alike.
 struct InterestEntry {
     epoch: u64,
-    #[allow(dead_code)] // forwarded for future weighted routing
-    weight: f64,
     profile: Profile,
 }
 
@@ -200,6 +259,280 @@ impl PeerInterest {
     }
 }
 
+/// Where an outbound interest contribution came from: a local
+/// subscription, or (multi-hop mode) interest learned from another
+/// peer that this link must carry onward.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum SourceKey {
+    Local(u64),
+    Remote { peer: u64, id: u64 },
+}
+
+/// Wire traffic a ledger mutation requires. Subscribes are applied
+/// before unsubscribes, so an antichain transition can only
+/// transiently over-forward (harmless — the extra events match no
+/// local subscriber) and never under-forward (loss).
+#[derive(Debug, Default)]
+struct InterestDelta {
+    subscribe: Vec<(u64, Profile)>,
+    unsubscribe: Vec<u64>,
+}
+
+impl InterestDelta {
+    fn merge(&mut self, mut other: InterestDelta) {
+        self.subscribe.append(&mut other.subscribe);
+        self.unsubscribe.append(&mut other.unsubscribe);
+    }
+
+    fn apply(self, link: &mut PeerLink) {
+        for (id, profile) in self.subscribe {
+            link.enqueue(Msg::Subscribe {
+                seq: 0,
+                id,
+                profile,
+            });
+        }
+        for id in self.unsubscribe {
+            link.enqueue(Msg::Unsubscribe { seq: 0, id });
+        }
+    }
+}
+
+/// One distinct interest signature bound for a peer.
+struct SigEntry {
+    /// Dense slot used as the [`CoverSet`] key.
+    slot: u32,
+    /// How many sources currently contribute this signature.
+    refs: u32,
+    /// A representative profile carrying the signature.
+    profile: Profile,
+    /// Whether the profile lowers (participates in covering
+    /// analysis); profiles that do not are always forwarded
+    /// individually — missing a merge is safe, losing interest is
+    /// not.
+    lowers: bool,
+}
+
+/// The per-link outbound interest ledger: every contribution bound
+/// for one peer, reduced to the set of `Subscribe`s actually on the
+/// wire.
+///
+/// Contributions are keyed by their profile's canonical lowered
+/// signature, so exact duplicates — including a broker's own interest
+/// echoed back around a cycle — are absorbed with zero wire traffic
+/// in *any* mode. With aggregation on, a [`CoverSet`] additionally
+/// reduces the forwarded set to the minimal covering antichain: a
+/// probe landing on `Covered` is the O(1) fast path (record only),
+/// and only a new representative (or a representative's departure)
+/// pays a full antichain recompute and emits deltas.
+struct OutboundInterest {
+    aggregate: bool,
+    /// Contribution source → the signature it currently carries.
+    sources: HashMap<SourceKey, Vec<u8>>,
+    /// Signature → its refcounted entry.
+    by_sig: HashMap<Vec<u8>, SigEntry>,
+    /// Covering state over the lowerable entries, rebuilt on
+    /// antichain changes (empty when aggregation is off).
+    cover: CoverSet,
+    /// Signature → wire id of the `Subscribe` currently forwarded.
+    /// Invariant: keys are exactly the antichain representatives plus
+    /// every non-lowerable entry (or all entries, aggregation off).
+    forwarded: HashMap<Vec<u8>, u64>,
+    next_slot: u32,
+}
+
+impl OutboundInterest {
+    fn new(schema: &Schema, aggregate: bool) -> Self {
+        OutboundInterest {
+            aggregate,
+            sources: HashMap::new(),
+            by_sig: HashMap::new(),
+            cover: CoverSet::new(schema),
+            forwarded: HashMap::new(),
+            next_slot: 0,
+        }
+    }
+
+    /// Signature key for `profile`: `0x01 ++ canonical signature` for
+    /// lowerable profiles, a unique `0xFF`-prefixed key otherwise
+    /// (the profile then never merges with anything).
+    fn sig_key(&self, schema: &Schema, profile: &Profile) -> (Vec<u8>, bool) {
+        match profile_signature(schema, profile) {
+            Ok(sig) => {
+                let mut key = Vec::with_capacity(sig.len() + 1);
+                key.push(1);
+                key.extend_from_slice(&sig);
+                (key, true)
+            }
+            Err(_) => {
+                let mut key = vec![0xFF];
+                key.extend_from_slice(&self.next_slot.to_le_bytes());
+                (key, false)
+            }
+        }
+    }
+
+    fn insert(
+        &mut self,
+        schema: &Schema,
+        source: SourceKey,
+        profile: &Profile,
+        next_id: &mut u64,
+    ) -> InterestDelta {
+        let mut delta = InterestDelta::default();
+        let (sig, lowers) = self.sig_key(schema, profile);
+        if let Some(old) = self.sources.get(&source) {
+            if *old == sig {
+                return delta; // same interest re-announced
+            }
+            delta.merge(self.remove(schema, source, next_id));
+        }
+        self.sources.insert(source, sig.clone());
+        if let Some(entry) = self.by_sig.get_mut(&sig) {
+            entry.refs += 1;
+            return delta; // duplicate of a tracked signature
+        }
+        let slot = self.next_slot;
+        self.next_slot += 1;
+        self.by_sig.insert(
+            sig.clone(),
+            SigEntry {
+                slot,
+                refs: 1,
+                profile: profile.clone(),
+                lowers,
+            },
+        );
+        if !self.aggregate || !lowers {
+            let id = *next_id;
+            *next_id += 1;
+            self.forwarded.insert(sig, id);
+            delta.subscribe.push((id, profile.clone()));
+            return delta;
+        }
+        match self.cover.probe(profile) {
+            // Covered by a representative already on the wire: the
+            // O(1) duplicate-heavy fast path — no recompute, no
+            // traffic.
+            Ok(CoverOutcome::Covered { .. }) => delta,
+            // A new representative (or a profile dominating existing
+            // ones): rebuild the antichain and diff the wire set.
+            _ => {
+                delta.merge(self.recompute(schema, next_id));
+                delta
+            }
+        }
+    }
+
+    fn remove(&mut self, schema: &Schema, source: SourceKey, next_id: &mut u64) -> InterestDelta {
+        let mut delta = InterestDelta::default();
+        let Some(sig) = self.sources.remove(&source) else {
+            return delta;
+        };
+        let entry = self
+            .by_sig
+            .get_mut(&sig)
+            .expect("sourced signature tracked");
+        entry.refs -= 1;
+        if entry.refs > 0 {
+            return delta;
+        }
+        let entry = self.by_sig.remove(&sig).expect("entry present");
+        if self.forwarded.contains_key(&sig) {
+            if self.aggregate && entry.lowers && self.cover.compiled_index_of(entry.slot).is_some()
+            {
+                // A representative left: rebuild so its covered
+                // children are promoted onto the wire (no false
+                // negatives after unsubscribing a representative).
+                return self.recompute(schema, next_id);
+            }
+            let id = self.forwarded.remove(&sig).expect("checked present");
+            delta.unsubscribe.push(id);
+            return delta;
+        }
+        // Covered contribution: nothing was on the wire for it.
+        delta
+    }
+
+    /// Rebuilds the covering antichain over every lowerable entry and
+    /// diffs the desired wire set against what is forwarded.
+    fn recompute(&mut self, schema: &Schema, next_id: &mut u64) -> InterestDelta {
+        let mut delta = InterestDelta::default();
+        let mut slot_to_sig: HashMap<u32, &Vec<u8>> = HashMap::new();
+        for (sig, e) in &self.by_sig {
+            slot_to_sig.insert(e.slot, sig);
+        }
+        let mut desired: Vec<Vec<u8>> = Vec::new();
+        match CoverSet::build_bulk(
+            schema,
+            self.by_sig
+                .values()
+                .filter(|e| e.lowers)
+                .map(|e| (e.slot, &e.profile)),
+        ) {
+            Ok(cover) => {
+                for &slot in cover.rep_slots() {
+                    desired.push((*slot_to_sig[&slot]).clone());
+                }
+                self.cover = cover;
+            }
+            Err(_) => {
+                // Lowering failed mid-rebuild (cannot normally happen
+                // for profiles whose signature lowered before): fall
+                // back to forwarding everything individually — over-
+                // forwarding is safe, losing interest is not.
+                self.cover = CoverSet::new(schema);
+                desired.extend(self.by_sig.keys().filter(|s| s[0] == 1).cloned());
+            }
+        }
+        desired.extend(
+            self.by_sig
+                .iter()
+                .filter(|(_, e)| !e.lowers)
+                .map(|(sig, _)| sig.clone()),
+        );
+        desired.sort_unstable();
+        for sig in &desired {
+            if !self.forwarded.contains_key(sig) {
+                let id = *next_id;
+                *next_id += 1;
+                self.forwarded.insert(sig.clone(), id);
+                delta.subscribe.push((id, self.by_sig[sig].profile.clone()));
+            }
+        }
+        let mut stale: Vec<Vec<u8>> = self
+            .forwarded
+            .keys()
+            .filter(|sig| desired.binary_search(sig).is_err())
+            .cloned()
+            .collect();
+        stale.sort_unstable();
+        for sig in stale {
+            let id = self.forwarded.remove(&sig).expect("stale key present");
+            delta.unsubscribe.push(id);
+        }
+        delta
+    }
+
+    /// The `Subscribe`s currently on the wire, ascending by id — what
+    /// a reconnecting peer with a new epoch must be re-offered.
+    fn forwarded_entries(&self) -> Vec<(u64, Profile)> {
+        let mut out: Vec<(u64, Profile)> = self
+            .forwarded
+            .iter()
+            .map(|(sig, &id)| (id, self.by_sig[sig].profile.clone()))
+            .collect();
+        out.sort_unstable_by_key(|(id, _)| *id);
+        out
+    }
+
+    /// Number of interest rows currently forwarded (the antichain
+    /// size with aggregation on; the distinct-signature count off).
+    fn forwarded_count(&self) -> usize {
+        self.forwarded.len()
+    }
+}
+
 /// An accepted TCP connection whose first frame (the identifying
 /// `Hello`) has not fully arrived yet.
 struct PendingAccept {
@@ -213,11 +546,24 @@ struct PendingAccept {
 struct FedState {
     links: Vec<PeerLink>,
     interest: HashMap<u64, PeerInterest>,
-    /// Local subscriptions forwarded to peers: id → (weight, profile).
-    local_subs: HashMap<u64, (f64, Profile)>,
+    /// Per-peer outbound interest ledgers (what *we* forward).
+    outbound: HashMap<u64, OutboundInterest>,
+    /// Local subscriptions contributing interest: id → profile.
+    local_subs: HashMap<u64, Profile>,
     epoch: u64,
+    /// Allocator for forwarded-interest wire ids (unique across all
+    /// links so covering representatives never collide).
+    next_interest_id: u64,
+    /// Per-origin sequence stamped on the next locally published row.
+    next_origin_seq: u64,
+    /// Highest origin sequence seen per origin broker (multi-hop
+    /// duplicate suppression; exact on acyclic overlays).
+    origin_floors: HashMap<u64, u64>,
     scratch: SnapshotScratch,
     ix_scratch: IndexedEvent,
+    /// Reusable arena for batched egress resolution and ingress
+    /// assembly.
+    batch_scratch: IndexedBatch,
     listener: Option<TcpListener>,
     pending_accepts: Vec<PendingAccept>,
     /// Passive-side adoption slots, by peer node id.
@@ -226,6 +572,7 @@ struct FedState {
     rejected_rows: u64,
     forwarded_rows: u64,
     publish_failures: u64,
+    origin_duplicates: u64,
 }
 
 /// A federated broker endpoint: wraps an [`Broker`] (shared, so the
@@ -235,6 +582,8 @@ pub struct Federation {
     broker: Arc<Broker>,
     schema: Arc<Schema>,
     node: u64,
+    aggregate_interest: bool,
+    max_hops: u8,
     link_config: LinkConfig,
     state: Mutex<FedState>,
 }
@@ -249,14 +598,21 @@ impl Federation {
             broker,
             schema,
             node: config.node,
+            aggregate_interest: config.aggregate_interest,
+            max_hops: config.max_hops,
             link_config: config.link,
             state: Mutex::new(FedState {
                 links: Vec::new(),
                 interest: HashMap::new(),
+                outbound: HashMap::new(),
                 local_subs: HashMap::new(),
                 epoch: config.epoch,
+                next_interest_id: 1,
+                next_origin_seq: 1,
+                origin_floors: HashMap::new(),
                 scratch: SnapshotScratch::new(),
                 ix_scratch: IndexedEvent::new(),
+                batch_scratch: IndexedBatch::new(),
                 listener: None,
                 pending_accepts: Vec::new(),
                 slots: HashMap::new(),
@@ -264,6 +620,7 @@ impl Federation {
                 rejected_rows: 0,
                 forwarded_rows: 0,
                 publish_failures: 0,
+                origin_duplicates: 0,
             }),
         }
     }
@@ -288,7 +645,7 @@ impl Federation {
     /// fault-injection network here). `recv_floor` is the persisted
     /// receive floor from a previous incarnation, 0 for a fresh pairing.
     pub fn add_peer(&self, peer: u64, transport: Box<dyn Transport>, recv_floor: u64) {
-        let mut st = self.lock();
+        let st = &mut *self.lock();
         let mut link = PeerLink::new(
             self.node,
             peer,
@@ -298,19 +655,42 @@ impl Federation {
             transport,
             self.link_config,
         );
-        // Forward the subscriptions that already exist; later ones
-        // are forwarded as they arrive.
+        // Build the link's outbound ledger from the interest that
+        // already exists — local subscriptions, plus (multi-hop)
+        // interest learned from other peers — and forward its
+        // covering antichain; later contributions arrive as deltas.
+        let mut ledger = OutboundInterest::new(&self.schema, self.aggregate_interest);
+        let mut delta = InterestDelta::default();
         let mut ids: Vec<u64> = st.local_subs.keys().copied().collect();
         ids.sort_unstable();
         for id in ids {
-            let (weight, profile) = st.local_subs[&id].clone();
-            link.enqueue(Msg::Subscribe {
-                seq: 0,
-                id,
-                weight,
-                profile,
-            });
+            let profile = st.local_subs[&id].clone();
+            delta.merge(ledger.insert(
+                &self.schema,
+                SourceKey::Local(id),
+                &profile,
+                &mut st.next_interest_id,
+            ));
         }
+        if self.max_hops > 0 {
+            let mut peers: Vec<u64> = st.interest.keys().copied().filter(|p| *p != peer).collect();
+            peers.sort_unstable();
+            for p in peers {
+                let mut sids: Vec<u64> = st.interest[&p].subs.keys().copied().collect();
+                sids.sort_unstable();
+                for sid in sids {
+                    let profile = st.interest[&p].subs[&sid].profile.clone();
+                    delta.merge(ledger.insert(
+                        &self.schema,
+                        SourceKey::Remote { peer: p, id: sid },
+                        &profile,
+                        &mut st.next_interest_id,
+                    ));
+                }
+            }
+        }
+        delta.apply(&mut link);
+        st.outbound.insert(peer, ledger);
         st.links.retain(|l| l.peer() != peer);
         st.links.push(link);
     }
@@ -343,9 +723,12 @@ impl Federation {
         Ok(bound)
     }
 
-    /// Registers a weighted subscription locally and forwards its
-    /// profile to every peer, so remote events matching it reach this
-    /// broker.
+    /// Registers a weighted subscription locally and offers its
+    /// profile to every peer's outbound ledger, so remote events
+    /// matching it reach this broker. The weight only shapes the
+    /// *local* broker's cost model; it never crosses the wire. With
+    /// interest aggregation the profile is forwarded only when no
+    /// already-forwarded profile covers it.
     ///
     /// # Errors
     ///
@@ -360,15 +743,19 @@ impl Federation {
             .broker
             .subscribe_profile_weighted(profile.clone(), weight)?;
         let id = sub.id().get();
-        let mut st = self.lock();
-        st.local_subs.insert(id, (weight, profile.clone()));
+        let st = &mut *self.lock();
+        st.local_subs.insert(id, profile.clone());
         for link in &mut st.links {
-            link.enqueue(Msg::Subscribe {
-                seq: 0,
-                id,
-                weight,
-                profile: profile.clone(),
-            });
+            if let Some(ledger) = st.outbound.get_mut(&link.peer()) {
+                ledger
+                    .insert(
+                        &self.schema,
+                        SourceKey::Local(id),
+                        &profile,
+                        &mut st.next_interest_id,
+                    )
+                    .apply(link);
+            }
         }
         Ok(sub)
     }
@@ -402,13 +789,18 @@ impl Federation {
     /// Propagates [`Broker::unsubscribe`] errors.
     pub fn unsubscribe(&self, id: SubscriptionId) -> Result<(), ServiceError> {
         self.broker.unsubscribe(id)?;
-        let mut st = self.lock();
+        let st = &mut *self.lock();
         if st.local_subs.remove(&id.get()).is_some() {
             for link in &mut st.links {
-                link.enqueue(Msg::Unsubscribe {
-                    seq: 0,
-                    id: id.get(),
-                });
+                if let Some(ledger) = st.outbound.get_mut(&link.peer()) {
+                    ledger
+                        .remove(
+                            &self.schema,
+                            SourceKey::Local(id.get()),
+                            &mut st.next_interest_id,
+                        )
+                        .apply(link);
+                }
             }
         }
         Ok(())
@@ -423,12 +815,22 @@ impl Federation {
     /// Propagates local publish errors.
     pub fn publish(&self, event: &Event) -> Result<PublishReceipt, ServiceError> {
         let receipt = self.broker.publish(event)?;
-        self.forward(std::slice::from_ref(event))?;
+        let st = &mut *self.lock();
+        let mut batch = std::mem::take(&mut st.batch_scratch);
+        let resolved = batch.resolve_into(&self.schema, std::iter::once(event));
+        if let Err(e) = resolved {
+            st.batch_scratch = batch;
+            return Err(ServiceError::Types(e));
+        }
+        self.forward_indexed(st, &batch);
+        st.batch_scratch = batch;
         Ok(receipt)
     }
 
-    /// Publishes a locally originated batch (block matching locally,
-    /// one forwarded `Batch` frame per interested peer).
+    /// Publishes a locally originated batch: the events are resolved
+    /// to index rows once, block-matched locally through
+    /// [`Broker::publish_batch_prepared`], and the *same* rows are
+    /// forwarded as one `Batch` frame per interested peer.
     ///
     /// # Errors
     ///
@@ -437,31 +839,44 @@ impl Federation {
         &self,
         events: &[Arc<Event>],
     ) -> Result<Vec<PublishReceipt>, ServiceError> {
-        let receipts = self.broker.publish_batch(events)?;
-        let plain: Vec<&Event> = events.iter().map(Arc::as_ref).collect();
-        self.forward_refs(&plain)?;
+        if events.is_empty() {
+            return Ok(Vec::new());
+        }
+        let st = &mut *self.lock();
+        let mut batch = std::mem::take(&mut st.batch_scratch);
+        let resolved = batch.resolve_into(&self.schema, events.iter().map(Arc::as_ref));
+        if let Err(e) = resolved {
+            st.batch_scratch = batch;
+            return Err(ServiceError::Types(e));
+        }
+        let receipts = match self.broker.publish_batch_prepared(events, &batch) {
+            Ok(r) => r,
+            Err(e) => {
+                st.batch_scratch = batch;
+                return Err(e);
+            }
+        };
+        self.forward_indexed(st, &batch);
+        st.batch_scratch = batch;
         Ok(receipts)
     }
 
-    fn forward(&self, events: &[Event]) -> Result<(), ServiceError> {
-        let refs: Vec<&Event> = events.iter().collect();
-        self.forward_refs(&refs)
-    }
-
-    /// Matches each event against every peer's interest filter and
-    /// enqueues one `Batch` per interested peer. Events arriving from
-    /// peers never pass through here — that is the loop guard.
-    fn forward_refs(&self, events: &[&Event]) -> Result<(), ServiceError> {
-        let st = &mut *self.lock();
+    /// Matches each resolved row against every peer's interest filter
+    /// and enqueues one `Batch` per interested peer, stamping each row
+    /// with this broker's origin id and a fresh origin sequence.
+    /// Origin sequences are consumed even when no link is up so that
+    /// they stay unique per published event across link churn.
+    fn forward_indexed(&self, st: &mut FedState, batch: &IndexedBatch) {
+        let first = st.next_origin_seq;
+        st.next_origin_seq += batch.len() as u64;
         if st.links.is_empty() {
-            return Ok(());
+            return;
         }
-        let width = self.schema.len() as u32;
-        let mut per_peer: HashMap<u64, Vec<Vec<u64>>> = HashMap::new();
-        for event in events {
-            st.ix_scratch
-                .resolve_into(&self.schema, event)
-                .map_err(ServiceError::Types)?;
+        let width = batch.width() as u32;
+        let mut per_peer: HashMap<u64, (Vec<u64>, Vec<Vec<u64>>)> = HashMap::new();
+        for i in 0..batch.len() {
+            let row = batch.row(i);
+            st.ix_scratch.copy_from_raw(row);
             for link in &st.links {
                 let peer = link.peer();
                 let Some(interest) = st.interest.get(&peer) else {
@@ -472,24 +887,25 @@ impl Federation {
                 };
                 snapshot.match_into(&st.ix_scratch, &mut st.scratch, false);
                 if st.scratch.is_match() {
-                    per_peer
-                        .entry(peer)
-                        .or_default()
-                        .push(st.ix_scratch.raw().to_vec());
+                    let (seqs, rows) = per_peer.entry(peer).or_default();
+                    seqs.push(first + i as u64);
+                    rows.push(row.to_vec());
                 }
             }
         }
         for link in &mut st.links {
-            if let Some(rows) = per_peer.remove(&link.peer()) {
+            if let Some((origin_seqs, rows)) = per_peer.remove(&link.peer()) {
                 st.forwarded_rows += rows.len() as u64;
                 link.enqueue(Msg::Batch {
                     first_seq: 0,
+                    origin: self.node,
+                    ttl: u32::from(self.max_hops),
                     width,
+                    origin_seqs,
                     rows,
                 });
             }
         }
-        Ok(())
     }
 
     /// Accepts pending inbound TCP connections and routes each to its
@@ -599,26 +1015,22 @@ impl Federation {
                 } => {
                     if epoch_changed {
                         // The peer restarted: our previously forwarded
-                        // subscriptions died with it. Re-offer all of
-                        // them (its receive floor dedupes any that
-                        // survived in flight).
-                        let mut ids: Vec<u64> = st.local_subs.keys().copied().collect();
-                        ids.sort_unstable();
-                        let resend: Vec<Msg> = ids
-                            .iter()
-                            .map(|id| {
-                                let (weight, profile) = st.local_subs[id].clone();
-                                Msg::Subscribe {
-                                    seq: 0,
-                                    id: *id,
-                                    weight,
-                                    profile,
-                                }
-                            })
-                            .collect();
+                        // subscriptions died with it. Re-offer the
+                        // ledger's covering set — exactly what the old
+                        // incarnation knew (its receive floor dedupes
+                        // any that survived in flight).
+                        let resend: Vec<(u64, Profile)> = st
+                            .outbound
+                            .get(&peer)
+                            .map(OutboundInterest::forwarded_entries)
+                            .unwrap_or_default();
                         if let Some(link) = st.links.iter_mut().find(|l| l.peer() == peer) {
-                            for msg in resend {
-                                link.enqueue(msg);
+                            for (id, profile) in resend {
+                                link.enqueue(Msg::Subscribe {
+                                    seq: 0,
+                                    id,
+                                    profile,
+                                });
                             }
                         }
                         // The peer's forwarded interest is *kept*: the
@@ -635,40 +1047,120 @@ impl Federation {
                 LinkEvent::Subscribe {
                     peer,
                     id,
-                    weight,
                     profile,
                     epoch,
                 } => {
                     let interest = st.interest.entry(peer).or_default();
                     // First word from a newer incarnation retires
                     // everything inherited from older ones.
+                    let mut stale: Vec<u64> = interest
+                        .subs
+                        .iter()
+                        .filter(|(_, e)| e.epoch < epoch)
+                        .map(|(sid, _)| *sid)
+                        .collect();
+                    stale.sort_unstable();
                     interest.subs.retain(|_, e| e.epoch >= epoch);
                     interest.subs.insert(
                         id,
                         InterestEntry {
                             epoch,
-                            weight,
-                            profile,
+                            profile: profile.clone(),
                         },
                     );
                     interest.recompile(&self.schema)?;
+                    if self.max_hops > 0 {
+                        // Mirror the remote interest into every *other*
+                        // peer's ledger so events from elsewhere can
+                        // route through this broker toward `peer`.
+                        for link in &mut st.links {
+                            let out = link.peer();
+                            if out == peer {
+                                continue;
+                            }
+                            let Some(ledger) = st.outbound.get_mut(&out) else {
+                                continue;
+                            };
+                            let mut delta = InterestDelta::default();
+                            for sid in &stale {
+                                delta.merge(ledger.remove(
+                                    &self.schema,
+                                    SourceKey::Remote { peer, id: *sid },
+                                    &mut st.next_interest_id,
+                                ));
+                            }
+                            delta.merge(ledger.insert(
+                                &self.schema,
+                                SourceKey::Remote { peer, id },
+                                &profile,
+                                &mut st.next_interest_id,
+                            ));
+                            delta.apply(link);
+                        }
+                    }
                 }
                 LinkEvent::Unsubscribe { peer, id } => {
                     if let Some(interest) = st.interest.get_mut(&peer) {
                         interest.subs.remove(&id);
                         interest.recompile(&self.schema)?;
                     }
+                    if self.max_hops > 0 {
+                        for link in &mut st.links {
+                            let out = link.peer();
+                            if out == peer {
+                                continue;
+                            }
+                            let Some(ledger) = st.outbound.get_mut(&out) else {
+                                continue;
+                            };
+                            ledger
+                                .remove(
+                                    &self.schema,
+                                    SourceKey::Remote { peer, id },
+                                    &mut st.next_interest_id,
+                                )
+                                .apply(link);
+                        }
+                    }
                 }
                 LinkEvent::Rows {
                     peer,
                     first_seq,
+                    origin,
+                    ttl,
+                    origin_seqs,
                     rows,
                     skip,
                 } => {
+                    // Batched ingress: validate and dedupe each row,
+                    // collect the survivors into one IndexedBatch, and
+                    // resolve + block-match them through the broker in
+                    // a single pass.
+                    let mut batch = std::mem::take(&mut st.batch_scratch);
+                    batch.reset(self.schema.len().max(1));
+                    let mut accepted: Vec<(Arc<Event>, u64, u64)> = Vec::new();
                     for (offset, row) in rows.iter().enumerate().skip(skip) {
                         if row.len() != self.schema.len() {
                             st.rejected_rows += 1;
                             continue;
+                        }
+                        let oseq = origin_seqs[offset];
+                        if origin == self.node {
+                            // Our own event echoed around a cycle.
+                            st.origin_duplicates += 1;
+                            continue;
+                        }
+                        if self.max_hops > 0 {
+                            // Per-origin floor: exact duplicate
+                            // suppression on acyclic overlays, where
+                            // each origin's rows arrive along a single
+                            // FIFO path and thus in seq order.
+                            let floor = st.origin_floors.entry(origin).or_insert(0);
+                            if oseq <= *floor {
+                                st.origin_duplicates += 1;
+                                continue;
+                            }
+                            *floor = oseq;
                         }
                         st.ix_scratch.copy_from_raw(row);
                         let event = match st.ix_scratch.to_event(&self.schema) {
@@ -678,28 +1170,83 @@ impl Federation {
                                 continue;
                             }
                         };
-                        // Local publish only — remote events are never
-                        // re-forwarded, which is the mesh's loop guard.
-                        //
+                        batch.push_raw(row);
+                        accepted.push((event, first_seq + offset as u64, oseq));
+                    }
+                    if !accepted.is_empty() {
+                        let events: Vec<Arc<Event>> =
+                            accepted.iter().map(|(e, _, _)| Arc::clone(e)).collect();
                         // A publish failure must NOT abort the pump:
                         // the link already advanced its floor past
                         // this whole batch, so the next lazy ack will
                         // tell the sender to forget these rows either
                         // way. Bailing out here would additionally
-                        // drop the batch's remaining rows and every
-                        // later link event on the floor. Count the
-                        // failure and keep going.
-                        if self.broker.publish_shared(Arc::clone(&event)).is_err() {
-                            st.publish_failures += 1;
-                            continue;
+                        // drop every later link event on the floor.
+                        // Count the failed rows and keep going.
+                        if self.broker.publish_batch_prepared(&events, &batch).is_ok() {
+                            st.delivered_rows += accepted.len() as u64;
+                            for (event, seq, origin_seq) in &accepted {
+                                report.delivered.push(RemoteDelivery {
+                                    peer,
+                                    seq: *seq,
+                                    origin,
+                                    origin_seq: *origin_seq,
+                                    event: Arc::clone(event),
+                                });
+                            }
+                        } else {
+                            st.publish_failures += accepted.len() as u64;
                         }
-                        st.delivered_rows += 1;
-                        report.delivered.push(RemoteDelivery {
-                            peer,
-                            seq: first_seq + offset as u64,
-                            event,
-                        });
+                        // Transit: re-forward the accepted rows along
+                        // the overlay while the hop budget lasts —
+                        // never back to the ingress link, never back
+                        // to the origin itself. Forwarding happens
+                        // even when local publish failed: routing is
+                        // this broker's duty to the overlay, delivery
+                        // only to its own subscribers.
+                        if self.max_hops > 0 && ttl > 0 {
+                            let ttl_out = (ttl - 1).min(u32::from(self.max_hops));
+                            let width = batch.width() as u32;
+                            let mut per_peer: HashMap<u64, (Vec<u64>, Vec<Vec<u64>>)> =
+                                HashMap::new();
+                            for (i, (_, _, oseq)) in accepted.iter().enumerate() {
+                                let row = batch.row(i);
+                                st.ix_scratch.copy_from_raw(row);
+                                for link in &st.links {
+                                    let out = link.peer();
+                                    if out == peer || out == origin {
+                                        continue;
+                                    }
+                                    let Some(interest) = st.interest.get(&out) else {
+                                        continue;
+                                    };
+                                    let Some(snapshot) = interest.snapshot.as_ref() else {
+                                        continue;
+                                    };
+                                    snapshot.match_into(&st.ix_scratch, &mut st.scratch, false);
+                                    if st.scratch.is_match() {
+                                        let (seqs, out_rows) = per_peer.entry(out).or_default();
+                                        seqs.push(*oseq);
+                                        out_rows.push(row.to_vec());
+                                    }
+                                }
+                            }
+                            for link in &mut st.links {
+                                if let Some((oseqs, out_rows)) = per_peer.remove(&link.peer()) {
+                                    st.forwarded_rows += out_rows.len() as u64;
+                                    link.enqueue(Msg::Batch {
+                                        first_seq: 0,
+                                        origin,
+                                        ttl: ttl_out,
+                                        width,
+                                        origin_seqs: oseqs,
+                                        rows: out_rows,
+                                    });
+                                }
+                            }
+                        }
                     }
+                    st.batch_scratch = batch;
                 }
                 LinkEvent::Down { .. } => {}
             }
@@ -740,6 +1287,56 @@ impl Federation {
         self.lock().links.iter().map(PeerLink::backlog).sum()
     }
 
+    /// Number of interest rows currently forwarded to `peer` — with
+    /// aggregation this is the size of the minimal covering antichain
+    /// (plus any profiles the covering analysis could not lower),
+    /// which is what the routing-efficiency benchmark measures.
+    #[must_use]
+    pub fn forwarded_interest(&self, peer: u64) -> usize {
+        self.lock()
+            .outbound
+            .get(&peer)
+            .map_or(0, OutboundInterest::forwarded_count)
+    }
+
+    /// Snapshot of the per-origin duplicate-suppression floors
+    /// (origin broker id, highest accepted origin sequence). Persist
+    /// these alongside the broker checkpoint and restore them with
+    /// [`Federation::set_origin_floor`] to keep multi-hop
+    /// exactly-once across a restart.
+    #[must_use]
+    pub fn origin_floors(&self) -> Vec<(u64, u64)> {
+        let st = self.lock();
+        let mut floors: Vec<(u64, u64)> = st.origin_floors.iter().map(|(o, f)| (*o, *f)).collect();
+        floors.sort_unstable();
+        floors
+    }
+
+    /// Restores a per-origin duplicate-suppression floor (see
+    /// [`Federation::origin_floors`]). Only raises the floor — a
+    /// stale snapshot can never re-open a window for duplicates.
+    pub fn set_origin_floor(&self, origin: u64, floor: u64) {
+        let mut st = self.lock();
+        let f = st.origin_floors.entry(origin).or_insert(0);
+        *f = (*f).max(floor);
+    }
+
+    /// Highest origin sequence this broker has stamped on its own
+    /// published events (0 if none). Persist with the checkpoint and
+    /// restore via [`Federation::set_last_origin_seq`] so a restarted
+    /// broker never reuses a sequence its peers have already seen.
+    #[must_use]
+    pub fn last_origin_seq(&self) -> u64 {
+        self.lock().next_origin_seq - 1
+    }
+
+    /// Restores the origin-sequence counter (see
+    /// [`Federation::last_origin_seq`]). Only moves forward.
+    pub fn set_last_origin_seq(&self, last: u64) {
+        let mut st = self.lock();
+        st.next_origin_seq = st.next_origin_seq.max(last + 1);
+    }
+
     /// Updates the announced epoch (affects future greetings).
     pub fn set_epoch(&self, epoch: u64) {
         let mut st = self.lock();
@@ -758,6 +1355,7 @@ impl Federation {
             rejected_rows: st.rejected_rows,
             forwarded_rows: st.forwarded_rows,
             publish_failures: st.publish_failures,
+            origin_duplicates: st.origin_duplicates,
             ..FederationMetrics::default()
         };
         for link in &st.links {
@@ -822,6 +1420,8 @@ mod tests {
             FederationConfig {
                 node,
                 epoch: 1,
+                aggregate_interest: true,
+                max_hops: 0,
                 link: link::LinkConfig {
                     heartbeat_ms: 50,
                     timeout_ms: 300,

@@ -17,9 +17,9 @@
 //! | tag | message       | body |
 //! |-----|---------------|------|
 //! | 1   | `Hello`       | node, `schema_hash`, epoch, `recv_high`, `your_epoch` |
-//! | 2   | `Subscribe`   | seq, id, weight, profile |
+//! | 2   | `Subscribe`   | seq, id, profile |
 //! | 3   | `Unsubscribe` | seq, id |
-//! | 4   | `Batch`       | `first_seq`, count, width, rows (`vu64(idx+1)`, 0 = missing) |
+//! | 4   | `Batch`       | `first_seq`, origin, ttl, count, width, rows (`origin_seq`, then cells as `vu64(idx+1)`, 0 = missing) |
 //! | 5   | `Ack`         | high (cumulative) |
 //! | 6   | `Heartbeat`   | — |
 //!
@@ -152,21 +152,29 @@ pub(crate) enum Msg {
         recv_high: u64,
         your_epoch: Option<u64>,
     },
-    /// Forwarded local subscription: "send me events matching this".
-    Subscribe {
-        seq: u64,
-        id: u64,
-        weight: f64,
-        profile: Profile,
-    },
+    /// Forwarded interest: "send me events matching this". With
+    /// covering aggregation the profile is a covering representative of
+    /// possibly many local subscriptions; weights stay local to the
+    /// subscribing broker's cost model and never cross the wire.
+    Subscribe { seq: u64, id: u64, profile: Profile },
     /// Retraction of a previously forwarded subscription.
     Unsubscribe { seq: u64, id: u64 },
     /// A block of matched events as sentinel-encoded index rows
     /// (schema order, [`IndexedEvent::MISSING`] for absent
-    /// attributes). Row `i` carries sequence `first_seq + i`.
+    /// attributes). Row `i` carries link sequence `first_seq + i`.
+    ///
+    /// Multi-hop routing metadata rides alongside: `origin` is the
+    /// broker that first published the rows, `ttl` the remaining hop
+    /// budget, and `origin_seqs[i]` the row's position in the origin's
+    /// publish order (per-row, because a transit broker forwards only
+    /// the subset matching each peer's interest — origin sequences are
+    /// not contiguous past the first hop).
     Batch {
         first_seq: u64,
+        origin: u64,
+        ttl: u32,
         width: u32,
+        origin_seqs: Vec<u64>,
         rows: Vec<Vec<u64>>,
     },
     /// Cumulative acknowledgement: every sequence `<= high` is
@@ -225,16 +233,10 @@ impl Msg {
                     None => w.u8(0),
                 }
             }
-            Msg::Subscribe {
-                seq,
-                id,
-                weight,
-                profile,
-            } => {
+            Msg::Subscribe { seq, id, profile } => {
                 w.u8(2);
                 w.vu64(*seq);
                 w.vu64(*id);
-                w.f64(*weight);
                 encode_profile(&mut w, profile)?;
             }
             Msg::Unsubscribe { seq, id } => {
@@ -244,15 +246,22 @@ impl Msg {
             }
             Msg::Batch {
                 first_seq,
+                origin,
+                ttl,
                 width,
+                origin_seqs,
                 rows,
             } => {
                 w.u8(4);
                 w.vu64(*first_seq);
+                w.vu64(*origin);
+                w.vu32(*ttl);
                 w.vu64(rows.len() as u64);
                 w.vu32(*width);
-                for row in rows {
+                debug_assert_eq!(origin_seqs.len(), rows.len());
+                for (row, &oseq) in rows.iter().zip(origin_seqs) {
                     debug_assert_eq!(row.len(), *width as usize);
+                    w.vu64(oseq);
                     for &idx in row {
                         // Missing → 0, index i → i+1: keeps the varint
                         // short for the common low indices and gives
@@ -301,7 +310,6 @@ impl Msg {
             2 => Msg::Subscribe {
                 seq: r.vu64()?,
                 id: r.vu64()?,
-                weight: r.f64()?,
                 profile: decode_profile(&mut r, schema)?,
             },
             3 => Msg::Unsubscribe {
@@ -310,16 +318,18 @@ impl Msg {
             },
             4 => {
                 let first_seq = r.vu64()?;
+                let origin = r.vu64()?;
+                let ttl = r.vu32()?;
                 let count = r.vu64()?;
                 let width = r.vu32()?;
-                // Every cell costs at least one varint byte on the
-                // wire, so a genuine batch can never declare more
-                // cells (or, for width 0, rows) than payload bytes
-                // remain. Checking before the allocation means a
-                // hostile CRC-valid 20-byte frame cannot demand
-                // gigabytes; allocations stay proportional to the
-                // bytes actually received.
-                let cells = count.checked_mul(u64::from(width.max(1)));
+                // Every cell (and each row's origin-sequence prefix)
+                // costs at least one varint byte on the wire, so a
+                // genuine batch can never declare more of them than
+                // payload bytes remain. Checking before the allocation
+                // means a hostile CRC-valid 20-byte frame cannot
+                // demand gigabytes; allocations stay proportional to
+                // the bytes actually received.
+                let cells = count.checked_mul(u64::from(width) + 1);
                 if width as usize > u16::MAX as usize
                     || cells.is_none_or(|c| c > r.remaining() as u64)
                 {
@@ -328,8 +338,10 @@ impl Msg {
                         r.remaining()
                     )));
                 }
+                let mut origin_seqs = Vec::with_capacity(count as usize);
                 let mut rows = Vec::with_capacity(count as usize);
                 for _ in 0..count {
+                    origin_seqs.push(r.vu64()?);
                     let mut row = Vec::with_capacity(width as usize);
                     for _ in 0..width {
                         let v = r.vu64()?;
@@ -339,7 +351,10 @@ impl Msg {
                 }
                 Msg::Batch {
                     first_seq,
+                    origin,
+                    ttl,
                     width,
+                    origin_seqs,
                     rows,
                 }
             }
@@ -399,13 +414,15 @@ mod tests {
             Msg::Subscribe {
                 seq: 4,
                 id: 9,
-                weight: 2.5,
                 profile,
             },
             Msg::Unsubscribe { seq: 5, id: 9 },
             Msg::Batch {
                 first_seq: 6,
+                origin: 3,
+                ttl: 2,
                 width: 2,
+                origin_seqs: vec![10, 14],
                 rows: vec![vec![3, IndexedEvent::MISSING], vec![99, 1]],
             },
             Msg::Ack { high: 11 },
@@ -423,7 +440,10 @@ mod tests {
         let ix = IndexedEvent::resolve(&s, &e).unwrap();
         let m = Msg::Batch {
             first_seq: 1,
+            origin: 1,
+            ttl: 0,
             width: 2,
+            origin_seqs: vec![1],
             rows: vec![ix.raw().to_vec()],
         };
         let Msg::Batch { rows, .. } = round_trip(&m, &s) else {
@@ -476,13 +496,18 @@ mod tests {
         let mut w = ByteWriter::new();
         w.u8(4);
         w.vu64(1); // first_seq
+        w.vu64(0); // origin
+        w.vu32(4); // ttl
         w.vu64(1 << 26); // count
         w.vu32(2); // width
         assert!(Msg::decode(&w.into_bytes(), &s).is_err());
-        // Width 0 must not make rows free either.
+        // Width 0 must not make rows free either: the per-row
+        // origin-sequence prefix still costs a byte each.
         let mut w = ByteWriter::new();
         w.u8(4);
         w.vu64(1);
+        w.vu64(0);
+        w.vu32(4);
         w.vu64(1 << 20);
         w.vu32(0);
         assert!(Msg::decode(&w.into_bytes(), &s).is_err());

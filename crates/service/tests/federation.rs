@@ -42,7 +42,15 @@ fn fast_link() -> LinkConfig {
 
 fn fed(net: &SimNet, node: u64, epoch: u64, peers: &[(u64, u64)], link: LinkConfig) -> Federation {
     let broker = Arc::new(Broker::new(&schema(), BrokerConfig::default()).expect("broker"));
-    let f = Federation::new(broker, FederationConfig { node, epoch, link });
+    let f = Federation::new(
+        broker,
+        FederationConfig {
+            node,
+            epoch,
+            link,
+            ..FederationConfig::default()
+        },
+    );
     for &(peer, floor) in peers {
         f.add_peer(peer, Box::new(net.transport(node, peer)), floor);
     }

@@ -1,0 +1,286 @@
+//! Covering-based interest aggregation: equivalence and minimality.
+//!
+//! A federated broker forwards its subscription population to each
+//! peer as a *covering antichain*: the minimal set of profiles such
+//! that every local subscription is covered by some forwarded
+//! profile. These tests assert the two directions of that contract
+//! under randomized subscribe/unsubscribe churn:
+//!
+//! * **No false negatives** — every event matching a live local
+//!   subscription matches the forwarded set, so the peer still
+//!   forwards it (checked end-to-end: each subscriber receives
+//!   exactly the matching remote events, even right after the
+//!   covering representative of its profile was unsubscribed).
+//! * **Minimality** — the forwarded set never exceeds the size of
+//!   the true minimal covering antichain of the live population,
+//!   recomputed from scratch by the `ens-types` covering oracle.
+
+use std::collections::HashSet;
+use std::sync::Arc;
+
+use ens_service::federation::link::LinkConfig;
+use ens_service::federation::sim::SimNet;
+use ens_service::{Broker, BrokerConfig, Federation, FederationConfig, OverflowPolicy, Subscriber};
+use ens_types::{
+    profile_signature, CoverSet, Domain, Event, Predicate, Profile, ProfileId, Schema, Value,
+};
+use proptest::prelude::*;
+
+fn schema() -> Schema {
+    Schema::builder()
+        .attribute("x", Domain::int(0, 99))
+        .expect("static schema")
+        .build()
+}
+
+fn event(s: &Schema, x: i64) -> Event {
+    Event::builder(s).value("x", x).expect("in domain").build()
+}
+
+fn range_profile(s: &Schema, lo: i64, hi: i64) -> Profile {
+    Profile::builder(s)
+        .predicate("x", Predicate::between(lo, hi))
+        .expect("in domain")
+        .build(ProfileId::new(0))
+}
+
+fn fast_link() -> LinkConfig {
+    LinkConfig {
+        heartbeat_ms: 50,
+        timeout_ms: 300,
+        backoff_base_ms: 20,
+        backoff_max_ms: 200,
+        rto_ms: 40,
+        send_window: 32,
+        pending_cap: 0,
+        overflow: OverflowPolicy::DropOldest,
+    }
+}
+
+fn pair(net: &SimNet, aggregate: bool) -> (Federation, Federation) {
+    let s = schema();
+    let mk = |node: u64| {
+        Federation::new(
+            Arc::new(Broker::new(&s, BrokerConfig::default()).expect("broker")),
+            FederationConfig {
+                node,
+                epoch: 1,
+                aggregate_interest: aggregate,
+                max_hops: 0,
+                link: fast_link(),
+            },
+        )
+    };
+    let a = mk(1);
+    let b = mk(2);
+    a.add_peer(2, Box::new(net.transport(1, 2)), 0);
+    b.add_peer(1, Box::new(net.transport(2, 1)), 0);
+    (a, b)
+}
+
+fn pump_both(net: &SimNet, a: &Federation, b: &Federation, steps: u32) {
+    for _ in 0..steps {
+        let now = net.now_ms();
+        a.pump(now).expect("pump a");
+        b.pump(now).expect("pump b");
+        net.advance(10);
+    }
+}
+
+/// The size of the true minimal covering antichain of `live`:
+/// distinct signatures, bulk-analysed by the covering oracle.
+fn oracle_antichain(s: &Schema, live: &[Profile]) -> usize {
+    let mut seen = HashSet::new();
+    let mut distinct = Vec::new();
+    for p in live {
+        if seen.insert(profile_signature(s, p).expect("lowerable")) {
+            distinct.push(p.clone());
+        }
+    }
+    let slots: Vec<(u32, &Profile)> = distinct
+        .iter()
+        .enumerate()
+        .map(|(i, p)| (u32::try_from(i).expect("small"), p))
+        .collect();
+    CoverSet::build_bulk(s, slots)
+        .expect("lowerable")
+        .rep_count()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random subscribe/unsubscribe churn on interval profiles. After
+    /// every converged step, the forwarded set must stay minimal, and
+    /// probe events published at the peer must reach exactly the
+    /// subscribers whose profiles match — i.e. the covering set never
+    /// under-approximates the live population.
+    #[test]
+    fn churn_preserves_equivalence_and_minimality(
+        ops in prop::collection::vec(
+            // (subscribe?, lo, len): subscribe [lo, lo+len] or drop
+            // the (lo % live)-th live subscription.
+            (0u8..2, 0i64..90, 0i64..40),
+            1..14,
+        ),
+    ) {
+        let s = schema();
+        let net = SimNet::new(99);
+        let (a, b) = pair(&net, true);
+        pump_both(&net, &a, &b, 6);
+
+        let mut live: Vec<(Subscriber, Profile)> = Vec::new();
+        for (subscribe, lo, len) in ops {
+            if subscribe == 1 || live.is_empty() {
+                let profile = range_profile(&s, lo, (lo + len).min(99));
+                let sub = a.subscribe_profile(profile.clone()).expect("subscribe");
+                live.push((sub, profile));
+            } else {
+                let idx = usize::try_from(lo).expect("positive") % live.len();
+                let (sub, _) = live.swap_remove(idx);
+                a.unsubscribe(sub.id()).expect("unsubscribe");
+            }
+            pump_both(&net, &a, &b, 4);
+
+            // Minimality: never more forwarded rows than the true
+            // minimal covering antichain of what is live right now.
+            let profiles: Vec<Profile> = live.iter().map(|(_, p)| p.clone()).collect();
+            let want = oracle_antichain(&s, &profiles);
+            let got = a.forwarded_interest(2);
+            prop_assert_eq!(
+                got, want,
+                "forwarded set must be the minimal covering antichain",
+            );
+        }
+
+        // Equivalence: probe the domain from the peer; each live
+        // subscriber must see exactly its matching events. A false
+        // negative in the covering set would starve some subscriber.
+        for (sub, _) in &live {
+            let _ = sub.drain();
+        }
+        let probes: Vec<i64> = (0..100).step_by(7).collect();
+        for &x in &probes {
+            b.publish(&event(&s, x)).expect("publish");
+        }
+        pump_both(&net, &a, &b, 30);
+        let attr = s.require("x").expect("x");
+        for (sub, profile) in &live {
+            let got: Vec<i64> = sub
+                .drain()
+                .iter()
+                .map(|n| match n.event.value(attr) {
+                    Some(Value::Int(i)) => *i,
+                    other => panic!("unexpected value {other:?}"),
+                })
+                .collect();
+            let want: Vec<i64> = probes
+                .iter()
+                .copied()
+                .filter(|&x| profile.matches(&s, &event(&s, x)).expect("matches"))
+                .collect();
+            prop_assert_eq!(got, want, "subscriber must see exactly its matches");
+        }
+    }
+}
+
+#[test]
+fn covered_subscription_causes_no_wire_traffic() {
+    // A wide profile is forwarded; a narrower one arrives. With
+    // aggregation the narrow profile is absorbed silently — the
+    // forwarded count stays 1 and no further Subscribe crosses the
+    // wire (measured by the link's sent-frame counter staying flat
+    // modulo heartbeats/acks: the forwarded-interest ledger is what
+    // we assert on).
+    let s = schema();
+    let net = SimNet::new(7);
+    let (a, b) = pair(&net, true);
+    pump_both(&net, &a, &b, 6);
+
+    let _wide = a
+        .subscribe_profile(range_profile(&s, 0, 99))
+        .expect("subscribe");
+    pump_both(&net, &a, &b, 4);
+    assert_eq!(a.forwarded_interest(2), 1);
+
+    let narrow = a
+        .subscribe_profile(range_profile(&s, 40, 60))
+        .expect("subscribe");
+    pump_both(&net, &a, &b, 4);
+    assert_eq!(
+        a.forwarded_interest(2),
+        1,
+        "covered profile must not be forwarded"
+    );
+
+    // Events in the narrow range still arrive (forwarded via the
+    // wide representative, dispatched locally to the narrow sub).
+    b.publish(&event(&s, 50)).expect("publish");
+    pump_both(&net, &a, &b, 10);
+    assert_eq!(narrow.drain().len(), 1);
+}
+
+#[test]
+fn unsubscribing_the_representative_promotes_the_covered() {
+    // The wide representative goes away; the covering set must
+    // promote the narrow profile it was standing in for — without a
+    // gap (no false negatives) and without leaving the wide filter
+    // in place (no stale over-forwarding).
+    let s = schema();
+    let net = SimNet::new(8);
+    let (a, b) = pair(&net, true);
+    pump_both(&net, &a, &b, 6);
+
+    let wide = a
+        .subscribe_profile(range_profile(&s, 0, 99))
+        .expect("subscribe");
+    let narrow = a
+        .subscribe_profile(range_profile(&s, 40, 60))
+        .expect("subscribe");
+    pump_both(&net, &a, &b, 4);
+    assert_eq!(a.forwarded_interest(2), 1);
+
+    a.unsubscribe(wide.id()).expect("unsubscribe");
+    pump_both(&net, &a, &b, 10);
+    assert_eq!(a.forwarded_interest(2), 1, "narrow must be promoted");
+
+    // In range: still delivered. Out of range: no longer forwarded
+    // at all — the peer's filter now rejects it at the source.
+    b.publish(&event(&s, 50)).expect("publish");
+    b.publish(&event(&s, 10)).expect("publish");
+    pump_both(&net, &a, &b, 20);
+    assert_eq!(narrow.drain().len(), 1, "promoted profile keeps matching");
+    assert_eq!(
+        b.metrics().forwarded_rows,
+        1,
+        "the out-of-range event must not have crossed the wire"
+    );
+}
+
+#[test]
+fn aggregation_off_forwards_every_distinct_profile() {
+    // Control: with aggregation disabled every distinct profile is
+    // forwarded individually, duplicates still collapse by signature
+    // (the echo-damping invariant that keeps cyclic meshes quiet).
+    let s = schema();
+    let net = SimNet::new(9);
+    let (a, b) = pair(&net, false);
+    pump_both(&net, &a, &b, 6);
+
+    let _w = a
+        .subscribe_profile(range_profile(&s, 0, 99))
+        .expect("subscribe");
+    let _n1 = a
+        .subscribe_profile(range_profile(&s, 40, 60))
+        .expect("subscribe");
+    let _n2 = a
+        .subscribe_profile(range_profile(&s, 40, 60))
+        .expect("subscribe");
+    pump_both(&net, &a, &b, 4);
+    assert_eq!(
+        a.forwarded_interest(2),
+        2,
+        "no covering analysis, but exact duplicates still collapse"
+    );
+    let _ = b;
+}

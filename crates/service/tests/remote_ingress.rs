@@ -1,0 +1,184 @@
+//! Batched remote ingress composed with bounded subscriber channels.
+//!
+//! Remote `Batch` rows are resolved once at ingress and delivered
+//! through the broker's block-matching path
+//! (`publish_batch_prepared`). These tests pin down that the batched
+//! path is observationally equivalent to the per-row path it
+//! replaced, including its interaction with bounded notification
+//! channels and every [`OverflowPolicy`]: the same rows arrive, the
+//! same rows are shed, and the shed count is reported.
+
+use std::sync::Arc;
+
+use ens_service::federation::link::LinkConfig;
+use ens_service::federation::sim::SimNet;
+use ens_service::{Broker, BrokerConfig, Federation, FederationConfig, OverflowPolicy};
+use ens_types::{Domain, Event, Schema, Value};
+
+fn schema() -> Schema {
+    Schema::builder()
+        .attribute("x", Domain::int(0, 9_999))
+        .expect("static schema")
+        .build()
+}
+
+fn event(x: i64) -> Event {
+    Event::builder(&schema())
+        .value("x", x)
+        .expect("in domain")
+        .build()
+}
+
+fn fast_link() -> LinkConfig {
+    LinkConfig {
+        heartbeat_ms: 50,
+        timeout_ms: 300,
+        backoff_base_ms: 20,
+        backoff_max_ms: 200,
+        rto_ms: 40,
+        send_window: 64,
+        pending_cap: 0,
+        overflow: OverflowPolicy::DropOldest,
+    }
+}
+
+/// Publisher `a` (unbounded) and subscriber `b` whose local broker
+/// bounds each notification channel at `capacity` under `policy`.
+fn pair(net: &SimNet, capacity: usize, policy: OverflowPolicy) -> (Federation, Federation) {
+    let s = schema();
+    let a = Federation::new(
+        Arc::new(Broker::new(&s, BrokerConfig::default()).expect("broker")),
+        FederationConfig {
+            node: 1,
+            epoch: 1,
+            link: fast_link(),
+            ..FederationConfig::default()
+        },
+    );
+    let b = Federation::new(
+        Arc::new(
+            Broker::new(
+                &s,
+                BrokerConfig {
+                    notify_capacity: capacity,
+                    overflow: policy,
+                    ..BrokerConfig::default()
+                },
+            )
+            .expect("broker"),
+        ),
+        FederationConfig {
+            node: 2,
+            epoch: 1,
+            link: fast_link(),
+            ..FederationConfig::default()
+        },
+    );
+    a.add_peer(2, Box::new(net.transport(1, 2)), 0);
+    b.add_peer(1, Box::new(net.transport(2, 1)), 0);
+    (a, b)
+}
+
+fn pump_both(net: &SimNet, a: &Federation, b: &Federation, steps: u32) {
+    for _ in 0..steps {
+        let now = net.now_ms();
+        a.pump(now).expect("pump a");
+        b.pump(now).expect("pump b");
+        net.advance(10);
+    }
+}
+
+fn xs(notifications: &[ens_service::Notification]) -> Vec<i64> {
+    let s = schema();
+    let attr = s.require("x").expect("x");
+    notifications
+        .iter()
+        .map(|n| match n.event.value(attr) {
+            Some(Value::Int(i)) => *i,
+            other => panic!("unexpected value {other:?}"),
+        })
+        .collect()
+}
+
+#[test]
+fn remote_batch_delivery_matches_the_per_row_oracle() {
+    // One forwarded batch, an unbounded subscriber: the delivered
+    // stream equals the matching rows in publish order — exactly
+    // what N single publishes produced before batched ingress.
+    let net = SimNet::new(3);
+    let (a, b) = pair(&net, 0, OverflowPolicy::DropOldest);
+    let sub = b.subscribe_parsed("profile(x >= 100)").expect("subscribe");
+    pump_both(&net, &a, &b, 6);
+
+    let events: Vec<Arc<Event>> = (0..60).map(|i| Arc::new(event(90 + i))).collect();
+    a.publish_batch(&events).expect("publish");
+    pump_both(&net, &a, &b, 40);
+
+    let want: Vec<i64> = (0..60).map(|i| 90 + i).filter(|&x| x >= 100).collect();
+    assert_eq!(xs(&sub.drain()), want);
+    assert_eq!(b.metrics().delivered_rows, want.len() as u64);
+    // The non-matching prefix never crossed the wire.
+    assert_eq!(a.metrics().forwarded_rows, want.len() as u64);
+}
+
+#[test]
+fn drop_oldest_keeps_the_newest_suffix_and_reports_shedding() {
+    // The remote batch overruns a capacity-8 channel: DropOldest
+    // keeps the *last* 8 matching rows, sheds the rest, and the shed
+    // count is visible on the subscriber.
+    let net = SimNet::new(5);
+    let (a, b) = pair(&net, 8, OverflowPolicy::DropOldest);
+    let sub = b.subscribe_parsed("profile(x >= 0)").expect("subscribe");
+    pump_both(&net, &a, &b, 6);
+
+    let events: Vec<Arc<Event>> = (0..50).map(|i| Arc::new(event(i))).collect();
+    a.publish_batch(&events).expect("publish");
+    pump_both(&net, &a, &b, 40);
+
+    // Delivery into the channel happened for every row (the broker
+    // matched them all)...
+    assert_eq!(b.metrics().delivered_rows, 50);
+    // ...but the bounded channel kept only the newest 8.
+    let got = xs(&sub.drain());
+    assert_eq!(got, (42..50).collect::<Vec<i64>>());
+    assert_eq!(sub.dropped(), 42, "shed rows must be counted, not silent");
+}
+
+#[test]
+fn drop_newest_keeps_the_oldest_prefix() {
+    let net = SimNet::new(6);
+    let (a, b) = pair(&net, 8, OverflowPolicy::DropNewest);
+    let sub = b.subscribe_parsed("profile(x >= 0)").expect("subscribe");
+    pump_both(&net, &a, &b, 6);
+
+    let events: Vec<Arc<Event>> = (0..50).map(|i| Arc::new(event(i))).collect();
+    a.publish_batch(&events).expect("publish");
+    pump_both(&net, &a, &b, 40);
+
+    let got = xs(&sub.drain());
+    assert_eq!(got, (0..8).collect::<Vec<i64>>());
+    assert_eq!(sub.dropped(), 42);
+}
+
+#[test]
+fn disconnect_policy_severs_the_laggard_but_not_the_federation() {
+    // Disconnect kills the overflowing subscriber's channel; the
+    // federation link itself keeps flowing and a healthy subscriber
+    // added afterwards sees later batches.
+    let net = SimNet::new(7);
+    let (a, b) = pair(&net, 4, OverflowPolicy::Disconnect);
+    let laggard = b.subscribe_parsed("profile(x >= 0)").expect("subscribe");
+    pump_both(&net, &a, &b, 6);
+
+    let events: Vec<Arc<Event>> = (0..30).map(|i| Arc::new(event(i))).collect();
+    a.publish_batch(&events).expect("publish");
+    pump_both(&net, &a, &b, 40);
+    assert!(laggard.is_disconnected(), "overflow must disconnect");
+
+    let healthy = b.subscribe_parsed("profile(x >= 0)").expect("subscribe");
+    pump_both(&net, &a, &b, 6);
+    let more: Vec<Arc<Event>> = (100..103).map(|i| Arc::new(event(i))).collect();
+    a.publish_batch(&more).expect("publish");
+    pump_both(&net, &a, &b, 40);
+    assert_eq!(xs(&healthy.drain()), vec![100, 101, 102]);
+}

@@ -72,6 +72,20 @@ pub fn covers(schema: &Schema, a: &Profile, b: &Profile) -> Result<bool, TypesEr
     Ok(true)
 }
 
+/// The canonical byte signature of `profile` under `schema`: the lowered
+/// per-attribute interval sets serialised in schema order. Two profiles
+/// share a signature iff they lower to the same index sets — i.e. they
+/// match exactly the same events — which makes the signature a stable
+/// identity key for forwarded-interest ledgers (a re-learned profile
+/// maps to the same key regardless of predicate spelling).
+///
+/// # Errors
+///
+/// Propagates predicate lowering errors.
+pub fn profile_signature(schema: &Schema, profile: &Profile) -> Result<Vec<u8>, TypesError> {
+    Ok(signature(&lower(schema, profile)?))
+}
+
 /// Lowers a profile to its per-attribute index sets in schema order
 /// (`None` = don't-care).
 fn lower(schema: &Schema, p: &Profile) -> Result<Vec<Option<IntervalSet>>, TypesError> {

@@ -322,6 +322,29 @@ impl IndexedBatch {
         Ok(())
     }
 
+    /// Clears the batch and fixes the row width for subsequent
+    /// [`IndexedBatch::push_raw`] calls, applying the same `max(1)`
+    /// padding as [`IndexedBatch::resolve_into`] so an empty schema
+    /// still yields addressable rows. The arena capacity is retained.
+    pub fn reset(&mut self, width: usize) {
+        self.width = width.max(1);
+        self.indices.clear();
+    }
+
+    /// Appends one raw sentinel-encoded row (the same form as
+    /// [`IndexedEvent::raw`]) — the ingress path for rows that arrive
+    /// already resolved, e.g. from a federation peer. No validation is
+    /// performed; out-of-domain indices simply never match.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row.len()` differs from the width set by
+    /// [`IndexedBatch::reset`] (or the last resolution).
+    pub fn push_raw(&mut self, row: &[u64]) {
+        assert_eq!(row.len(), self.width, "raw row width mismatch");
+        self.indices.extend_from_slice(row);
+    }
+
     /// Number of events in the batch (0 before the first resolution).
     #[must_use]
     pub fn len(&self) -> usize {

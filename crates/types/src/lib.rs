@@ -60,7 +60,7 @@ mod profile;
 mod value;
 
 pub use attribute::{AttrId, Attribute, Schema, SchemaBuilder};
-pub use covering::{covers, CoverOutcome, CoverSet, Residual};
+pub use covering::{covers, profile_signature, CoverOutcome, CoverSet, Residual};
 pub use domain::{Categories, Domain};
 pub use error::TypesError;
 pub use event::{Event, EventBuilder};

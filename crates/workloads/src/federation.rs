@@ -82,6 +82,108 @@ impl FlapPlan {
     }
 }
 
+/// An acyclic broker overlay as an undirected edge list, the shape
+/// multi-hop federation routing operates on. Node ids are the broker
+/// ids the caller will hand to the federation layer; every edge
+/// `(a, b)` means `a` and `b` hold a direct link and forward for each
+/// other. The builders below produce the canonical spanning-tree
+/// shapes used by the topology oracle suite and the routing
+/// benchmarks: a chain, a hub-and-spoke, and a balanced binary tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Topology {
+    /// Broker ids, ascending.
+    pub nodes: Vec<u64>,
+    /// Undirected edges `(a, b)` with `a < b`, sorted.
+    pub edges: Vec<(u64, u64)>,
+}
+
+impl Topology {
+    /// The direct neighbours of `node`, ascending.
+    #[must_use]
+    pub fn neighbors(&self, node: u64) -> Vec<u64> {
+        let mut out: Vec<u64> = self
+            .edges
+            .iter()
+            .filter_map(|&(a, b)| {
+                if a == node {
+                    Some(b)
+                } else if b == node {
+                    Some(a)
+                } else {
+                    None
+                }
+            })
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// The longest hop distance between any two brokers — the minimum
+    /// `max_hops` (TTL) under which every event can reach every
+    /// subscriber. On a tree this is exact, not a bound.
+    #[must_use]
+    pub fn diameter(&self) -> u32 {
+        let mut best = 0;
+        for &start in &self.nodes {
+            let mut dist: Vec<(u64, u32)> = vec![(start, 0)];
+            let mut frontier = vec![start];
+            while let Some(n) = frontier.pop() {
+                let d = dist.iter().find(|(x, _)| *x == n).map_or(0, |(_, d)| *d);
+                for nb in self.neighbors(n) {
+                    if !dist.iter().any(|(x, _)| *x == nb) {
+                        dist.push((nb, d + 1));
+                        frontier.push(nb);
+                    }
+                }
+            }
+            best = best.max(dist.iter().map(|(_, d)| *d).max().unwrap_or(0));
+        }
+        best
+    }
+}
+
+/// A chain `1 — 2 — … — n`: the worst-case path length for a given
+/// broker count, so the sharpest test of TTL budgets and per-origin
+/// ordering across relays.
+#[must_use]
+pub fn line_topology(n: u64) -> Topology {
+    Topology {
+        nodes: (1..=n).collect(),
+        edges: (1..n).map(|i| (i, i + 1)).collect(),
+    }
+}
+
+/// A hub-and-spoke: broker 1 at the centre, brokers `2..=n` as
+/// leaves. Every leaf pair communicates in exactly two hops through
+/// the hub, which therefore carries all transit traffic.
+#[must_use]
+pub fn star_topology(n: u64) -> Topology {
+    Topology {
+        nodes: (1..=n).collect(),
+        edges: (2..=n).map(|i| (1, i)).collect(),
+    }
+}
+
+/// A balanced binary tree in heap order: broker `i` links to `2i` and
+/// `2i + 1` while those ids are `<= n`. Mixes relay depths — leaves
+/// at the bottom are `2 * depth` hops apart through the root.
+#[must_use]
+pub fn tree_topology(n: u64) -> Topology {
+    let mut edges = Vec::new();
+    for i in 1..=n {
+        for child in [2 * i, 2 * i + 1] {
+            if child <= n {
+                edges.push((i, child));
+            }
+        }
+    }
+    edges.sort_unstable();
+    Topology {
+        nodes: (1..=n).collect(),
+        edges,
+    }
+}
+
 /// Builds a link-flap schedule: every `period_ms`, the pair whose turn
 /// it is partitions for `down_ms`, round-robin over `pairs`, until
 /// `until_ms`. A heal always fires before the next partition of the
@@ -115,6 +217,26 @@ pub fn flap_plan(pairs: &[(u64, u64)], period_ms: u64, down_ms: u64, until_ms: u
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn topology_builders_produce_expected_shapes() {
+        let line = line_topology(4);
+        assert_eq!(line.edges, vec![(1, 2), (2, 3), (3, 4)]);
+        assert_eq!(line.neighbors(2), vec![1, 3]);
+        assert_eq!(line.diameter(), 3);
+
+        let star = star_topology(5);
+        assert_eq!(star.edges, vec![(1, 2), (1, 3), (1, 4), (1, 5)]);
+        assert_eq!(star.neighbors(1), vec![2, 3, 4, 5]);
+        assert_eq!(star.diameter(), 2);
+
+        let tree = tree_topology(7);
+        assert_eq!(
+            tree.edges,
+            vec![(1, 2), (1, 3), (2, 4), (2, 5), (3, 6), (3, 7)]
+        );
+        assert_eq!(tree.diameter(), 4);
+    }
 
     #[test]
     fn plan_alternates_partition_and_heal_per_pair() {

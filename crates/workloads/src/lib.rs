@@ -55,7 +55,9 @@ pub use experiments::{
     single_attribute_setup, AdaptiveSweepRow, MeasuredRun, TaExperiment, TvReport, FIG4A_COMBOS,
     FIG4B_COMBOS, FIG5_COMBOS,
 };
-pub use federation::{flap_plan, FlapEvent, FlapOp, FlapPlan};
+pub use federation::{
+    flap_plan, line_topology, star_topology, tree_topology, FlapEvent, FlapOp, FlapPlan, Topology,
+};
 pub use figures::{FigureTable, Series};
 pub use generator::{EventGenerator, ProfileGenConfig, ProfileGenerator};
 
