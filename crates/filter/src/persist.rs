@@ -179,6 +179,27 @@ pub fn crc32(bytes: &[u8]) -> u32 {
     !crc
 }
 
+/// Validates a `[u32 len][u32 crc][payload]` frame starting at byte
+/// `pos` of `bytes`: the header must be complete, the declared payload
+/// in bounds, and the checksum hold. Returns the payload slice and the
+/// offset just past the frame.
+///
+/// This is the unit of WAL framing *and* of WAL salvage: a scanner
+/// that lost synchronization (a corrupt frame mid-log) probes
+/// successive byte offsets with `frame_at` until a checksummed frame
+/// boundary re-emerges.
+#[must_use]
+pub fn frame_at(bytes: &[u8], pos: usize) -> Option<(&[u8], usize)> {
+    let rest = bytes.get(pos..)?;
+    if rest.len() < 8 {
+        return None;
+    }
+    let len = u32::from_le_bytes([rest[0], rest[1], rest[2], rest[3]]) as usize;
+    let stored = u32::from_le_bytes([rest[4], rest[5], rest[6], rest[7]]);
+    let payload = rest.get(8..8 + len)?;
+    (crc32(payload) == stored).then_some((payload, pos + 8 + len))
+}
+
 /// Writes a sorted profile-id list as its symmetric difference against
 /// the previously written list, then advances `prev` to `cur`.
 ///

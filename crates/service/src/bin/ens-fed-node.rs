@@ -40,14 +40,13 @@
 //! ```
 
 use std::fmt::Write as _;
-use std::fs::OpenOptions;
-use std::io::Write as _;
 use std::net::SocketAddr;
+use std::path::Path;
 use std::process::ExitCode;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use ens_service::{Broker, BrokerConfig, Federation, FederationConfig};
+use ens_service::{Broker, BrokerConfig, Federation, FederationConfig, OsFs, Vfs};
 use ens_types::{Domain, Event, Schema};
 
 /// The fixed harness schema: one int attribute `x` in [0, 9999].
@@ -151,11 +150,12 @@ struct Restored {
     delivered: usize,
 }
 
-fn restore(path: &str) -> Restored {
+fn restore(vfs: &dyn Vfs, path: &str) -> Restored {
     let mut r = Restored::default();
-    let Ok(text) = std::fs::read_to_string(path) else {
+    let Ok(bytes) = vfs.read(Path::new(path)) else {
         return r;
     };
+    let text = String::from_utf8_lossy(&bytes);
     let mut floors: Vec<(u64, u64)> = Vec::new();
     for line in text.lines() {
         let mut f = line.split_whitespace();
@@ -189,18 +189,30 @@ fn restore(path: &str) -> Restored {
 
 fn run() -> Result<(), String> {
     let opts = parse_args()?;
+    let vfs = OsFs;
     let restored = if opts.resume {
-        restore(&opts.state)
+        restore(&vfs, &opts.state)
     } else {
         Restored::default()
     };
     let epoch = restored.epoch + 1;
 
-    let mut log = OpenOptions::new()
-        .create(true)
-        .append(true)
-        .open(&opts.state)
+    let state_path = Path::new(&opts.state);
+    let created = !vfs.exists(state_path);
+    let mut log = vfs
+        .open_append(state_path)
         .map_err(|e| format!("open {}: {e}", opts.state))?;
+    if created {
+        // The log's directory entry must be durable before anything
+        // the log acknowledges: a crash that forgets the whole file
+        // would silently reset the epoch and every receive floor.
+        let dir = state_path
+            .parent()
+            .filter(|p| !p.as_os_str().is_empty())
+            .unwrap_or(Path::new("."));
+        vfs.sync_dir(dir)
+            .map_err(|e| format!("sync {}: {e}", dir.display()))?;
+    }
 
     let schema = schema();
     let broker = Arc::new(
@@ -236,7 +248,8 @@ fn run() -> Result<(), String> {
         None => None,
     };
 
-    writeln!(log, "N {} {epoch}", opts.node).map_err(|e| format!("{e}"))?;
+    log.append(format!("N {} {epoch}\n", opts.node).as_bytes())
+        .map_err(|e| format!("{e}"))?;
     log.sync_data().map_err(|e| format!("{e}"))?;
 
     let mut next_publish = if opts.resume {
@@ -291,7 +304,8 @@ fn run() -> Result<(), String> {
                 // crashed slice's unforwarded tail is lost: publisher
                 // crash semantics are at-most-once per slice, never
                 // duplicating.
-                writeln!(log, "P {end}").map_err(|e| format!("{e}"))?;
+                log.append(format!("P {end}\n").as_bytes())
+                    .map_err(|e| format!("{e}"))?;
                 log.sync_data().map_err(|e| format!("{e}"))?;
                 for x in next_publish..end {
                     let event = Event::builder(&schema)
@@ -312,8 +326,7 @@ fn run() -> Result<(), String> {
         if !entry.is_empty() {
             // One write + fsync per pump: the log is durable before
             // the next pump's lazy ack lets the peer forget.
-            log.write_all(entry.as_bytes())
-                .map_err(|e| format!("{e}"))?;
+            log.append(entry.as_bytes()).map_err(|e| format!("{e}"))?;
             log.sync_data().map_err(|e| format!("{e}"))?;
         }
 

@@ -30,8 +30,7 @@
 
 use std::cell::RefCell;
 use std::collections::{BTreeMap, VecDeque};
-use std::io::Write;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use ens_dist::JointDist;
@@ -48,16 +47,15 @@ use parking_lot::{Mutex, RwLock};
 use crate::channel::{self, OverflowPolicy, SendOutcome, Sender};
 use crate::metrics::{Metrics, MetricsSnapshot};
 use crate::notify::{Notification, Subscriber};
-use crate::persist::{
-    self, Checkpoint, CheckpointEntry, CheckpointShard, DurabilityConfig, FsyncPolicy, WalRecord,
-};
+use crate::persist::{self, Checkpoint, WalRecord};
 use crate::quench::QuenchAdvice;
 use crate::subscription::SubscriptionId;
 use crate::ServiceError;
 
-fn io_persist(e: std::io::Error) -> ServiceError {
-    ServiceError::Persist(e.to_string())
-}
+#[path = "durability.rs"]
+mod durability;
+
+use durability::Durability;
 
 /// Broker configuration.
 #[derive(Debug, Clone)]
@@ -497,32 +495,6 @@ struct Shard {
     writer: Mutex<ShardWriter>,
 }
 
-/// Mutable write-ahead-log state, guarded by [`Durability::wal`].
-struct WalState {
-    file: std::fs::File,
-    /// LSN the next appended record will carry (LSNs start at 1).
-    next_lsn: u64,
-    /// Records appended since the last checkpoint (drives the
-    /// automatic checkpoint trigger).
-    since_checkpoint: u64,
-}
-
-/// The broker's durability layer (present only on brokers opened with
-/// [`Broker::open`]).
-///
-/// Lock order: a shard's `writer` mutex may be held while taking the
-/// WAL mutex, never the reverse; [`Broker::write_checkpoint`] takes
-/// every writer lock in shard-index order and then the WAL lock.
-struct Durability {
-    config: DurabilityConfig,
-    wal: Mutex<WalState>,
-    /// Set when `since_checkpoint` crosses the configured interval;
-    /// consumed by [`Broker::maybe_checkpoint`] once all writer locks
-    /// are released (a WAL append happens under a writer lock, and the
-    /// checkpoint needs them all).
-    checkpoint_due: AtomicBool,
-}
-
 /// The result of opening a durable broker: the recovered state plus a
 /// fresh consumer handle for every live subscription.
 ///
@@ -672,132 +644,6 @@ impl Broker {
             metrics: Arc::new(Metrics::default()),
             durability: None,
             batch_fault: AtomicU64::new(0),
-        })
-    }
-
-    /// Opens (or creates) a durable broker rooted at
-    /// [`DurabilityConfig::dir`].
-    ///
-    /// Recovery order: the checkpoint (if any) is loaded first — every
-    /// shard's compiled filter arenas, its active [`TreeConfig`]
-    /// (accepted retunes included) and its subscription entries are
-    /// restored exactly as serialized, without recompiling — then the
-    /// WAL is scanned and every record with an LSN above the
-    /// checkpoint's is replayed. A torn or corrupt log tail (the
-    /// artifact of a crash mid-append) is detected by the per-record
-    /// checksum, truncated, and logging resumes from the surviving
-    /// prefix; a checkpoint followed by a crash *before* the log was
-    /// truncated replays idempotently (records at or below the
-    /// checkpoint LSN are skipped, and a subscribe for an id that is
-    /// already live is a no-op).
-    ///
-    /// # Errors
-    ///
-    /// Returns [`ServiceError::Persist`] for I/O failures, a corrupt
-    /// checkpoint, or durable state that does not belong to `schema` /
-    /// the configured shard count; propagates filter errors from
-    /// replayed operations.
-    pub fn open(
-        schema: &Schema,
-        config: BrokerConfig,
-        durability: DurabilityConfig,
-    ) -> Result<Recovered, ServiceError> {
-        std::fs::create_dir_all(&durability.dir).map_err(io_persist)?;
-        let cp_path = durability.dir.join(persist::CHECKPOINT_FILE);
-        let wal_path = durability.dir.join(persist::WAL_FILE);
-
-        let checkpoint = match std::fs::read(&cp_path) {
-            Ok(bytes) => Some(Checkpoint::from_bytes(&bytes)?),
-            Err(e) if e.kind() == std::io::ErrorKind::NotFound => None,
-            Err(e) => return Err(io_persist(e)),
-        };
-        let mut subscribers: BTreeMap<u64, Subscriber> = BTreeMap::new();
-        let last_lsn = checkpoint.as_ref().map_or(0, |c| c.last_lsn);
-        let mut broker = match checkpoint {
-            Some(cp) => Self::from_checkpoint(schema, config, cp, &mut subscribers)?,
-            None => Self::new(schema, config)?,
-        };
-
-        let wal_bytes = match std::fs::read(&wal_path) {
-            Ok(bytes) => bytes,
-            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
-            Err(e) => return Err(io_persist(e)),
-        };
-        let scan = persist::decode_wal(&wal_bytes);
-        let mut max_lsn = last_lsn;
-        let mut max_sub = None;
-        for record in scan.records {
-            max_lsn = max_lsn.max(record.lsn());
-            if record.lsn() <= last_lsn {
-                continue;
-            }
-            match record {
-                WalRecord::Subscribe {
-                    id,
-                    weight,
-                    profile,
-                    ..
-                } => {
-                    max_sub = max_sub.max(Some(id));
-                    let sid = SubscriptionId::new(id);
-                    if broker.is_live(sid) {
-                        continue;
-                    }
-                    let sub = broker.commit_subscribe(sid, profile, weight)?;
-                    subscribers.insert(id, sub);
-                }
-                WalRecord::Unsubscribe { id, .. } => {
-                    max_sub = max_sub.max(Some(id));
-                    match broker.remove_subscription(SubscriptionId::new(id)) {
-                        Ok(()) => {
-                            subscribers.remove(&id);
-                        }
-                        // A lost in-memory state change (its record was
-                        // torn off) or a replay of the checkpoint
-                        // window: already gone, nothing to undo.
-                        Err(ServiceError::UnknownSubscription(_)) => {}
-                        Err(e) => return Err(e),
-                    }
-                }
-                WalRecord::Retune {
-                    shard,
-                    attribute_order,
-                    search,
-                    event_model,
-                    ..
-                } => {
-                    broker.apply_retune(shard as usize, attribute_order, search, event_model)?;
-                }
-            }
-        }
-        // Never re-issue an id that was durably handed out.
-        let floor = max_sub.map_or(0, |id| id + 1);
-        if broker.next_sub.load(Ordering::Relaxed) < floor {
-            broker.next_sub.store(floor, Ordering::Relaxed);
-        }
-
-        let file = std::fs::OpenOptions::new()
-            .create(true)
-            .append(true)
-            .open(&wal_path)
-            .map_err(io_persist)?;
-        if scan.torn {
-            // Drop the torn tail so resumed appends extend the valid
-            // prefix instead of burying garbage mid-log.
-            file.set_len(scan.consumed as u64).map_err(io_persist)?;
-        }
-        broker.durability = Some(Durability {
-            config: durability,
-            wal: Mutex::new(WalState {
-                file,
-                next_lsn: max_lsn + 1,
-                since_checkpoint: scan.offsets.len() as u64,
-            }),
-            checkpoint_due: AtomicBool::new(false),
-        });
-        Ok(Recovered {
-            broker,
-            subscribers: subscribers.into_values().collect(),
         })
     }
 
@@ -983,128 +829,6 @@ impl Broker {
         Ok(())
     }
 
-    /// Appends one record to the WAL (no-op on in-memory brokers).
-    /// May be called with a shard writer lock held — the WAL lock
-    /// nests inside writer locks, never the other way around.
-    fn wal_log(&self, make: impl FnOnce(u64) -> WalRecord) -> Result<(), ServiceError> {
-        let Some(d) = &self.durability else {
-            return Ok(());
-        };
-        let mut wal = d.wal.lock();
-        let frame = persist::encode_frame(&make(wal.next_lsn));
-        wal.file.write_all(&frame).map_err(io_persist)?;
-        if d.config.fsync == FsyncPolicy::Always {
-            wal.file.sync_data().map_err(io_persist)?;
-        }
-        wal.next_lsn += 1;
-        wal.since_checkpoint += 1;
-        if d.config.checkpoint_every > 0 && wal.since_checkpoint >= d.config.checkpoint_every {
-            // Only flag it: the caller may hold a shard writer lock,
-            // and the checkpoint needs all of them.
-            d.checkpoint_due.store(true, Ordering::Relaxed);
-        }
-        Ok(())
-    }
-
-    /// Runs the automatic checkpoint if one is due. Must be called
-    /// with no shard writer lock held.
-    fn maybe_checkpoint(&self) -> Result<(), ServiceError> {
-        if let Some(d) = &self.durability {
-            if d.checkpoint_due.swap(false, Ordering::Relaxed) {
-                self.write_checkpoint(true)?;
-            }
-        }
-        Ok(())
-    }
-
-    /// Writes a checkpoint of the full broker state and truncates the
-    /// WAL. Returns `false` (doing nothing) on in-memory brokers.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`ServiceError::Persist`] on I/O failure. The
-    /// checkpoint file is staged under a temporary name and renamed
-    /// into place, so a crash mid-write leaves the previous
-    /// checkpoint intact.
-    pub fn checkpoint(&self) -> Result<bool, ServiceError> {
-        self.write_checkpoint(true)
-    }
-
-    /// Like [`Broker::checkpoint`], but leaves the WAL untruncated —
-    /// this widens the checkpoint-then-crash-before-truncate window
-    /// on purpose, for crash-recovery testing. Replay after recovery
-    /// skips the records the checkpoint already covers.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`ServiceError::Persist`] on I/O failure.
-    pub fn checkpoint_keep_wal(&self) -> Result<bool, ServiceError> {
-        self.write_checkpoint(false)
-    }
-
-    fn write_checkpoint(&self, truncate_wal: bool) -> Result<bool, ServiceError> {
-        let Some(d) = &self.durability else {
-            return Ok(false);
-        };
-        // Freeze every shard (writer locks in index order), then the
-        // log: everything at or below the captured LSN is in the
-        // image, everything after it will replay on top.
-        let writers: Vec<_> = self.shards.iter().map(|s| s.writer.lock()).collect();
-        let mut wal = d.wal.lock();
-        let entry = |e: &SubEntry, tombstoned: bool| CheckpointEntry {
-            id: e.id.get(),
-            weight: e.weight,
-            tombstoned,
-            profile: e.profile.clone(),
-        };
-        let shards = self
-            .shards
-            .iter()
-            .zip(&writers)
-            .map(|(shard, w)| CheckpointShard {
-                tree: w.tree.clone(),
-                filter: shard.snapshot.read().filter.to_bytes(),
-                base: w
-                    .base
-                    .iter()
-                    .zip(&w.removed)
-                    .map(|(e, r)| entry(e, *r))
-                    .collect(),
-                overlay: w.overlay.iter().map(|e| entry(e, false)).collect(),
-            })
-            .collect();
-        let cp = Checkpoint {
-            schema: (*self.schema).clone(),
-            last_lsn: wal.next_lsn - 1,
-            next_sub: self.next_sub.load(Ordering::Relaxed),
-            sequence: self.sequence.load(Ordering::Relaxed),
-            shards,
-        };
-        // An unencodable profile degrades to an error (the previous
-        // checkpoint stays intact and the WAL keeps growing) instead
-        // of panicking with every writer lock held.
-        let bytes = cp
-            .to_bytes()
-            .map_err(|e| ServiceError::Persist(e.message().to_string()))?;
-        drop(writers);
-
-        let tmp = d.config.dir.join(persist::CHECKPOINT_TMP_FILE);
-        {
-            let mut f = std::fs::File::create(&tmp).map_err(io_persist)?;
-            f.write_all(&bytes).map_err(io_persist)?;
-            if d.config.fsync != FsyncPolicy::Never {
-                f.sync_all().map_err(io_persist)?;
-            }
-        }
-        std::fs::rename(&tmp, d.config.dir.join(persist::CHECKPOINT_FILE)).map_err(io_persist)?;
-        if truncate_wal {
-            wal.file.set_len(0).map_err(io_persist)?;
-            wal.since_checkpoint = 0;
-        }
-        d.checkpoint_due.store(false, Ordering::Relaxed);
-        Ok(true)
-    }
-
     /// The broker's schema.
     #[must_use]
     pub fn schema(&self) -> &Schema {
@@ -1209,7 +933,7 @@ impl Broker {
                 profile,
             })?;
         }
-        self.maybe_checkpoint()?;
+        self.maybe_checkpoint();
         Ok(sub)
     }
 
@@ -1403,7 +1127,7 @@ impl Broker {
                 profile,
             })?;
         }
-        self.maybe_checkpoint()?;
+        self.maybe_checkpoint();
         Ok(subscribers)
     }
 
@@ -1415,7 +1139,8 @@ impl Broker {
     /// live, and propagates rebuild errors.
     pub fn unsubscribe(&self, id: SubscriptionId) -> Result<(), ServiceError> {
         self.remove_subscription(id)?;
-        self.maybe_checkpoint()
+        self.maybe_checkpoint();
+        Ok(())
     }
 
     fn remove_subscription(&self, id: SubscriptionId) -> Result<(), ServiceError> {
@@ -1530,7 +1255,7 @@ impl Broker {
         })?;
         let quenched = delivery.rejecting_shards == self.shards.len();
         self.finish_publish(&event, sequence, &mut delivery)?;
-        self.maybe_checkpoint()?;
+        self.maybe_checkpoint();
         delivery.matched.sort_unstable();
         Ok(PublishReceipt {
             sequence,
@@ -1690,7 +1415,7 @@ impl Broker {
                 quenched,
             });
         }
-        self.maybe_checkpoint()?;
+        self.maybe_checkpoint();
         Ok(receipts)
     }
 
@@ -1878,6 +1603,11 @@ impl Broker {
             for id in delivery.dead.drain(..) {
                 match self.remove_subscription(id) {
                     Ok(()) | Err(ServiceError::UnknownSubscription(_)) => {}
+                    // The in-memory removal committed and only the WAL
+                    // append failed: the broker is already flagged
+                    // degraded, and the publish that noticed the dead
+                    // consumer must keep serving the match path.
+                    Err(ServiceError::Persist(_)) => {}
                     Err(e) => return Err(e),
                 }
             }
@@ -1928,13 +1658,21 @@ impl Broker {
                     .event_model
                     .clone()
                     .expect("accepted retune sets the event model");
-                self.wal_log(|lsn| WalRecord::Retune {
+                match self.wal_log(|lsn| WalRecord::Retune {
                     lsn,
                     shard: s as u32,
                     attribute_order,
                     search,
                     event_model,
-                })?;
+                }) {
+                    Ok(()) => {}
+                    // The retuned tree is live in memory either way; a
+                    // failed append only means the new shape may not
+                    // survive a restart. Publishing continues degraded
+                    // rather than failing on a background concern.
+                    Err(ServiceError::Persist(_)) => {}
+                    Err(e) => return Err(e),
+                }
             }
         }
         Ok(())

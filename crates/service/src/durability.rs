@@ -1,0 +1,631 @@
+//! The broker's durability engine: WAL appends, generational
+//! checkpoints, and the corruption-tolerant recovery chain.
+//!
+//! A child module of `broker` so it can reach the broker's private
+//! state; it owns every byte that crosses the [`Vfs`] boundary. Three
+//! properties the code below maintains, in order of importance:
+//!
+//! 1. **Acknowledged state survives any crash** (under
+//!    [`FsyncPolicy::Always`]): a record is acknowledged only after
+//!    its frame is fsynced into a WAL whose directory entry was
+//!    fsynced at creation, and a checkpoint exists only after its
+//!    rename was fsynced in the parent directory. The crash-point
+//!    oracle in `tests/storage_faults.rs` enumerates every journal
+//!    boundary under seeded fault plans to enforce this.
+//! 2. **Recovery degrades gracefully, never silently**: a corrupt
+//!    newest checkpoint falls back one generation (counted in
+//!    [`MetricsSnapshot::checkpoint_fallbacks`]); a corrupt interior
+//!    WAL frame is skipped by salvage (counted in
+//!    `wal_salvaged_frames` / `wal_quarantined_bytes`); and if *no*
+//!    consistent state can be assembled, recovery fails loudly rather
+//!    than returning a partial broker.
+//! 3. **A sick disk does not poison the match path**: a WAL append
+//!    failure (ENOSPC, EIO) flips `durability_degraded`, fails the
+//!    *mutating* call, and leaves the broker serving reads and
+//!    publishes; a later successful checkpoint (which captures the
+//!    full in-memory state, un-logged changes included) clears the
+//!    flag.
+//!
+//! Lock order: shard writer mutexes (index order) → WAL mutex →
+//! generation-table mutex.
+//!
+//! [`MetricsSnapshot::checkpoint_fallbacks`]: crate::MetricsSnapshot::checkpoint_fallbacks
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::notify::Subscriber;
+use crate::persist::{
+    self, Checkpoint, CheckpointEntry, CheckpointShard, DurabilityConfig, FsyncPolicy, WalRecord,
+    WalScan,
+};
+use crate::subscription::SubscriptionId;
+use crate::vfs::VfsFile;
+use crate::ServiceError;
+
+use super::{Broker, Recovered, SubEntry};
+
+pub(super) fn io_persist(e: std::io::Error) -> ServiceError {
+    ServiceError::Persist(e.to_string())
+}
+
+fn persist_err(e: ens_filter::persist::PersistError) -> ServiceError {
+    ServiceError::Persist(e.message().to_string())
+}
+
+/// Mutable write-ahead-log state, guarded by [`Durability::wal`].
+pub(super) struct WalState {
+    file: Box<dyn VfsFile>,
+    /// LSN the next appended record will carry (LSNs start at 1).
+    next_lsn: u64,
+    /// Records appended since the last checkpoint (drives the
+    /// automatic checkpoint trigger).
+    since_checkpoint: u64,
+    /// The log's length in fully-appended bytes — the rollback target
+    /// when an append tears mid-frame.
+    len: u64,
+}
+
+/// The checkpoint generations currently on disk, ascending. The
+/// covered LSN is known only for generations written (or recovered
+/// from) in this process; `None` marks a generation that merely
+/// exists, which the WAL-trim floor treats conservatively (trim
+/// nothing).
+#[derive(Default)]
+pub(super) struct GenTable {
+    entries: Vec<(u64, Option<u64>)>,
+}
+
+impl GenTable {
+    fn newest(&self) -> u64 {
+        self.entries.last().map_or(0, |e| e.0)
+    }
+
+    fn insert(&mut self, gen: u64, last_lsn: Option<u64>) {
+        self.entries.retain(|(g, _)| *g != gen);
+        self.entries.push((gen, last_lsn));
+        self.entries.sort_unstable_by_key(|(g, _)| *g);
+    }
+
+    /// Removes and returns the generations outside the retention
+    /// window `(newest - keep, newest]`.
+    fn retire(&mut self, keep: u64) -> Vec<u64> {
+        let newest = self.newest();
+        if newest < keep {
+            return Vec::new();
+        }
+        let cut = newest - keep;
+        let retired = self
+            .entries
+            .iter()
+            .filter(|(g, _)| *g <= cut)
+            .map(|(g, _)| *g)
+            .collect();
+        self.entries.retain(|(g, _)| *g > cut);
+        retired
+    }
+
+    /// The highest LSN the WAL may be trimmed past: the minimum LSN
+    /// covered by the generations in the retention window. `0` (trim
+    /// nothing) when the window reaches the empty-state origin or
+    /// contains a generation whose coverage is unknown — conservative
+    /// in both cases, so a fallback recovery can always replay
+    /// forward from the oldest retained generation.
+    fn floor(&self, keep: u64) -> u64 {
+        let newest = self.newest();
+        if newest < keep {
+            return 0;
+        }
+        let mut floor = u64::MAX;
+        for gen in (newest - keep + 1)..=newest {
+            match self.entries.iter().find(|(g, _)| *g == gen) {
+                Some((_, Some(lsn))) => floor = floor.min(*lsn),
+                _ => return 0,
+            }
+        }
+        floor
+    }
+}
+
+/// The broker's durability layer (present only on brokers opened with
+/// [`Broker::open`]).
+pub(super) struct Durability {
+    pub(super) config: DurabilityConfig,
+    wal: Mutex<WalState>,
+    /// Set when `since_checkpoint` crosses the configured interval;
+    /// consumed by [`Broker::maybe_checkpoint`] once all writer locks
+    /// are released (a WAL append happens under a writer lock, and the
+    /// checkpoint needs them all).
+    checkpoint_due: AtomicBool,
+    gens: Mutex<GenTable>,
+}
+
+impl Broker {
+    /// Opens (or creates) a durable broker rooted at
+    /// [`DurabilityConfig::dir`].
+    ///
+    /// Recovery chain: stale staging files (`checkpoint.tmp`,
+    /// `wal.tmp`) are removed; the checkpoint generations on disk are
+    /// tried newest-first and the first CRC-valid one is loaded —
+    /// every shard's compiled filter arenas, its active
+    /// [`TreeConfig`](ens_filter::TreeConfig) (accepted retunes
+    /// included) and its subscription entries restored exactly as
+    /// serialized, without recompiling — while corrupt newer
+    /// generations are counted as fallbacks and deleted. Generations
+    /// older than the retention window are cleaned up. Then the WAL is
+    /// scanned ([`persist::salvage_wal`] when
+    /// [`DurabilityConfig::salvage`] is on, [`persist::decode_wal`]
+    /// otherwise) and every record with an LSN above the checkpoint's
+    /// is replayed. A torn tail is truncated and logging resumes from
+    /// the surviving prefix; a checkpoint followed by a crash *before*
+    /// the log was trimmed replays idempotently (records at or below
+    /// the checkpoint LSN are skipped, and a subscribe for an id that
+    /// is already live is a no-op).
+    ///
+    /// If every generation on disk is corrupt, recovery proceeds from
+    /// the empty state only when the WAL reaches back to LSN 1 —
+    /// otherwise it fails loudly instead of resurrecting a partial
+    /// history.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServiceError::Persist`] for I/O failures, durable
+    /// state that cannot be assembled into a consistent broker, or
+    /// state that does not belong to `schema` / the configured shard
+    /// count; propagates filter errors from replayed operations.
+    pub fn open(
+        schema: &ens_types::Schema,
+        config: super::BrokerConfig,
+        durability: DurabilityConfig,
+    ) -> Result<Recovered, ServiceError> {
+        let vfs = Arc::clone(&durability.vfs);
+        let dir = durability.dir.clone();
+        let strict_sync = durability.fsync != FsyncPolicy::Never;
+        vfs.create_dir_all(&dir).map_err(io_persist)?;
+
+        // Crash leftovers from an interrupted checkpoint or WAL trim.
+        // Best-effort: a failed removal only leaves clutter behind.
+        let mut dirty_dir = false;
+        for stale in [persist::CHECKPOINT_TMP_FILE, persist::WAL_TMP_FILE] {
+            let path = dir.join(stale);
+            if vfs.exists(&path) && vfs.remove_file(&path).is_ok() {
+                dirty_dir = true;
+            }
+        }
+
+        // Try the generations newest-first.
+        let mut gens: Vec<u64> = vfs
+            .list(&dir)
+            .map_err(io_persist)?
+            .iter()
+            .filter_map(|name| persist::parse_checkpoint_gen(name))
+            .collect();
+        gens.sort_unstable_by(|a, b| b.cmp(a));
+        let mut fallbacks = 0u64;
+        let mut removed: Vec<u64> = Vec::new();
+        let mut chosen: Option<(u64, Checkpoint)> = None;
+        for &gen in &gens {
+            let path = dir.join(persist::checkpoint_gen_file(gen));
+            match vfs.read(&path) {
+                Ok(bytes) => match Checkpoint::from_bytes(&bytes) {
+                    Ok(cp) => {
+                        chosen = Some((gen, cp));
+                        break;
+                    }
+                    Err(_) => {
+                        // Bit rot or a torn staging write that still
+                        // got renamed: fall back a generation and
+                        // clear the damaged file out of the chain.
+                        fallbacks += 1;
+                        if vfs.remove_file(&path).is_ok() {
+                            removed.push(gen);
+                            dirty_dir = true;
+                        }
+                    }
+                },
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+                // A transient read error (EIO) is not corruption:
+                // fall back without destroying the file.
+                Err(_) => fallbacks += 1,
+            }
+        }
+        let all_generations_corrupt = chosen.is_none() && fallbacks > 0;
+
+        // Orphaned generations below the retention window.
+        let keep = durability.checkpoint_generations.max(1) as u64;
+        if let Some((chosen_gen, _)) = &chosen {
+            for &old in gens.iter().filter(|&&g| g + keep <= *chosen_gen) {
+                if vfs
+                    .remove_file(&dir.join(persist::checkpoint_gen_file(old)))
+                    .is_ok()
+                {
+                    removed.push(old);
+                    dirty_dir = true;
+                }
+            }
+        }
+        if dirty_dir && strict_sync {
+            let _ = vfs.sync_dir(&dir);
+        }
+
+        let chosen_gen = chosen.as_ref().map(|(g, _)| *g);
+        let last_lsn = chosen.as_ref().map_or(0, |(_, cp)| cp.last_lsn);
+        let mut subscribers: BTreeMap<u64, Subscriber> = BTreeMap::new();
+        let mut broker = match chosen {
+            Some((_, cp)) => Self::from_checkpoint(schema, config, cp, &mut subscribers)?,
+            None => Self::new(schema, config)?,
+        };
+
+        let wal_path = dir.join(persist::WAL_FILE);
+        let wal_bytes = match vfs.read(&wal_path) {
+            Ok(bytes) => bytes,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
+            Err(e) => return Err(io_persist(e)),
+        };
+        let scan = if durability.salvage {
+            persist::salvage_wal(&wal_bytes)
+        } else {
+            persist::decode_wal(&wal_bytes)
+        };
+        if all_generations_corrupt && scan.records.first().map(WalRecord::lsn) != Some(1) {
+            return Err(ServiceError::Persist(
+                "every checkpoint generation is corrupt and the WAL does not reach \
+                 back to LSN 1; refusing to recover a partial state"
+                    .into(),
+            ));
+        }
+        let WalScan {
+            records,
+            offsets,
+            consumed,
+            torn,
+            salvaged,
+            quarantined,
+        } = scan;
+        let mut max_lsn = last_lsn;
+        let mut max_sub = None;
+        for record in records {
+            max_lsn = max_lsn.max(record.lsn());
+            if record.lsn() <= last_lsn {
+                continue;
+            }
+            match record {
+                WalRecord::Subscribe {
+                    id,
+                    weight,
+                    profile,
+                    ..
+                } => {
+                    max_sub = max_sub.max(Some(id));
+                    let sid = SubscriptionId::new(id);
+                    if broker.is_live(sid) {
+                        continue;
+                    }
+                    let sub = broker.commit_subscribe(sid, profile, weight)?;
+                    subscribers.insert(id, sub);
+                }
+                WalRecord::Unsubscribe { id, .. } => {
+                    max_sub = max_sub.max(Some(id));
+                    match broker.remove_subscription(SubscriptionId::new(id)) {
+                        Ok(()) => {
+                            subscribers.remove(&id);
+                        }
+                        // A lost in-memory state change (its record was
+                        // torn off) or a replay of the checkpoint
+                        // window: already gone, nothing to undo.
+                        Err(ServiceError::UnknownSubscription(_)) => {}
+                        Err(e) => return Err(e),
+                    }
+                }
+                WalRecord::Retune {
+                    shard,
+                    attribute_order,
+                    search,
+                    event_model,
+                    ..
+                } => {
+                    broker.apply_retune(shard as usize, attribute_order, search, event_model)?;
+                }
+            }
+        }
+        // Never re-issue an id that was durably handed out.
+        let floor = max_sub.map_or(0, |id| id + 1);
+        if broker.next_sub.load(Ordering::Relaxed) < floor {
+            broker.next_sub.store(floor, Ordering::Relaxed);
+        }
+
+        let creating = !vfs.exists(&wal_path);
+        let mut file = vfs.open_append(&wal_path).map_err(io_persist)?;
+        if creating && strict_sync {
+            // The WAL's *name* is durable only once the directory
+            // entry is synced; without this, a crash after the first
+            // acknowledged append could forget the whole log file.
+            vfs.sync_dir(&dir).map_err(io_persist)?;
+        }
+        if torn {
+            // Drop the torn tail so resumed appends extend the valid
+            // prefix instead of burying garbage mid-log.
+            file.set_len(consumed as u64).map_err(io_persist)?;
+        }
+        broker
+            .metrics
+            .wal_salvaged_frames
+            .store(salvaged, Ordering::Relaxed);
+        broker
+            .metrics
+            .wal_quarantined_bytes
+            .store(quarantined, Ordering::Relaxed);
+        broker
+            .metrics
+            .checkpoint_fallbacks
+            .store(fallbacks, Ordering::Relaxed);
+
+        let mut table = GenTable::default();
+        for &gen in gens.iter().rev() {
+            if removed.contains(&gen) {
+                continue;
+            }
+            let lsn = (Some(gen) == chosen_gen).then_some(last_lsn);
+            table.insert(gen, lsn);
+        }
+        broker.durability = Some(Durability {
+            config: durability,
+            wal: Mutex::new(WalState {
+                file,
+                next_lsn: max_lsn + 1,
+                since_checkpoint: offsets.len() as u64,
+                len: consumed as u64,
+            }),
+            checkpoint_due: AtomicBool::new(false),
+            gens: Mutex::new(table),
+        });
+        Ok(Recovered {
+            broker,
+            subscribers: subscribers.into_values().collect(),
+        })
+    }
+
+    /// Appends one record to the WAL (no-op on in-memory brokers).
+    /// May be called with a shard writer lock held — the WAL lock
+    /// nests inside writer locks, never the other way around.
+    ///
+    /// A failed append flips
+    /// [`MetricsSnapshot::durability_degraded`](crate::MetricsSnapshot::durability_degraded)
+    /// and rolls the partial frame back; the caller decides whether
+    /// its operation must fail (subscribe/unsubscribe acks) or can
+    /// proceed degraded (publish-path bookkeeping).
+    pub(super) fn wal_log(&self, make: impl FnOnce(u64) -> WalRecord) -> Result<(), ServiceError> {
+        let Some(d) = &self.durability else {
+            return Ok(());
+        };
+        let mut wal = d.wal.lock();
+        let frame = match persist::encode_frame(&make(wal.next_lsn)) {
+            Ok(frame) => frame,
+            Err(e) => {
+                self.metrics.durability_degraded.store(1, Ordering::Relaxed);
+                return Err(persist_err(e));
+            }
+        };
+        if let Err(e) = wal.file.append(&frame) {
+            // The append may have torn mid-frame (a real ENOSPC does):
+            // drop the partial bytes so a later successful append
+            // extends a clean frame boundary. Salvage covers the case
+            // where even the rollback fails.
+            self.metrics.durability_degraded.store(1, Ordering::Relaxed);
+            let len = wal.len;
+            let _ = wal.file.set_len(len);
+            return Err(io_persist(e));
+        }
+        wal.len += frame.len() as u64;
+        wal.next_lsn += 1;
+        wal.since_checkpoint += 1;
+        if d.config.fsync == FsyncPolicy::Always {
+            if let Err(e) = wal.file.sync_data() {
+                // The frame is written but its durability is unknown;
+                // the LSN stays consumed (recovery may legitimately
+                // surface the record) and the ack fails.
+                self.metrics.durability_degraded.store(1, Ordering::Relaxed);
+                return Err(io_persist(e));
+            }
+        }
+        if d.config.checkpoint_every > 0 && wal.since_checkpoint >= d.config.checkpoint_every {
+            // Only flag it: the caller may hold a shard writer lock,
+            // and the checkpoint needs all of them.
+            d.checkpoint_due.store(true, Ordering::Relaxed);
+        }
+        Ok(())
+    }
+
+    /// Runs the automatic checkpoint if one is due. Must be called
+    /// with no shard writer lock held. Infallible by design: an
+    /// automatic checkpoint failure must not poison the publish or
+    /// subscribe call that happened to trigger it — the broker keeps
+    /// serving with `durability_degraded` set, and the next interval
+    /// (or an explicit [`Broker::checkpoint`]) retries.
+    pub(super) fn maybe_checkpoint(&self) {
+        let Some(d) = &self.durability else {
+            return;
+        };
+        if d.checkpoint_due.swap(false, Ordering::Relaxed) && self.write_checkpoint(true).is_err() {
+            self.metrics.durability_degraded.store(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Writes a checkpoint of the full broker state into a fresh
+    /// generation and trims the WAL to what the retained generations
+    /// still need. Returns `false` (doing nothing) on in-memory
+    /// brokers. On success the `durability_degraded` flag clears: the
+    /// image captured the complete in-memory state, including changes
+    /// whose WAL appends had failed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServiceError::Persist`] on I/O failure. The
+    /// checkpoint is staged under a temporary name, renamed into
+    /// place and made durable with a parent-directory fsync, so a
+    /// crash mid-write leaves the previous generations intact.
+    pub fn checkpoint(&self) -> Result<bool, ServiceError> {
+        self.write_checkpoint(true)
+    }
+
+    /// Like [`Broker::checkpoint`], but leaves the WAL untrimmed —
+    /// this widens the checkpoint-then-crash-before-truncate window
+    /// on purpose, for crash-recovery testing. Replay after recovery
+    /// skips the records the checkpoint already covers.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServiceError::Persist`] on I/O failure.
+    pub fn checkpoint_keep_wal(&self) -> Result<bool, ServiceError> {
+        self.write_checkpoint(false)
+    }
+
+    fn write_checkpoint(&self, trim_wal: bool) -> Result<bool, ServiceError> {
+        let Some(d) = &self.durability else {
+            return Ok(false);
+        };
+        let vfs = &d.config.vfs;
+        let dir = &d.config.dir;
+        let strict_sync = d.config.fsync != FsyncPolicy::Never;
+        // Freeze every shard (writer locks in index order), then the
+        // log: everything at or below the captured LSN is in the
+        // image, everything after it will replay on top.
+        let writers: Vec<_> = self.shards.iter().map(|s| s.writer.lock()).collect();
+        let mut wal = d.wal.lock();
+        let entry = |e: &SubEntry, tombstoned: bool| CheckpointEntry {
+            id: e.id.get(),
+            weight: e.weight,
+            tombstoned,
+            profile: e.profile.clone(),
+        };
+        let shards = self
+            .shards
+            .iter()
+            .zip(&writers)
+            .map(|(shard, w)| CheckpointShard {
+                tree: w.tree.clone(),
+                filter: shard.snapshot.read().filter.to_bytes(),
+                base: w
+                    .base
+                    .iter()
+                    .zip(&w.removed)
+                    .map(|(e, r)| entry(e, *r))
+                    .collect(),
+                overlay: w.overlay.iter().map(|e| entry(e, false)).collect(),
+            })
+            .collect();
+        let last_lsn = wal.next_lsn - 1;
+        let cp = Checkpoint {
+            schema: (*self.schema).clone(),
+            last_lsn,
+            next_sub: self.next_sub.load(Ordering::Relaxed),
+            sequence: self.sequence.load(Ordering::Relaxed),
+            shards,
+        };
+        // An unencodable profile degrades to an error (the previous
+        // generations stay intact and the WAL keeps growing) instead
+        // of panicking with every writer lock held.
+        let bytes = cp.to_bytes().map_err(persist_err)?;
+        drop(writers);
+
+        let mut gens = d.gens.lock();
+        let gen = gens.newest() + 1;
+        let tmp = dir.join(persist::CHECKPOINT_TMP_FILE);
+        {
+            let mut f = vfs.create(&tmp).map_err(io_persist)?;
+            f.append(&bytes).map_err(io_persist)?;
+            if strict_sync {
+                f.sync_data().map_err(io_persist)?;
+            }
+        }
+        vfs.rename(&tmp, &dir.join(persist::checkpoint_gen_file(gen)))
+            .map_err(io_persist)?;
+        if strict_sync {
+            // The rename is durable only once the directory entry is
+            // synced; until then a crash can resurrect the previous
+            // generation under this name — which recovery tolerates,
+            // but the *acknowledged* checkpoint must stick.
+            vfs.sync_dir(dir).map_err(io_persist)?;
+        }
+        gens.insert(gen, Some(last_lsn));
+
+        // Retire generations that fell out of the retention window,
+        // then trim the WAL to what the remaining window still needs.
+        let keep = d.config.checkpoint_generations.max(1) as u64;
+        let mut dirty_dir = false;
+        for old in gens.retire(keep) {
+            if vfs
+                .remove_file(&dir.join(persist::checkpoint_gen_file(old)))
+                .is_ok()
+            {
+                dirty_dir = true;
+            }
+        }
+        if trim_wal {
+            self.rewrite_wal(d, &mut wal, gens.floor(keep))?;
+            wal.since_checkpoint = 0;
+        }
+        if dirty_dir && strict_sync {
+            vfs.sync_dir(dir).map_err(io_persist)?;
+        }
+        d.checkpoint_due.store(false, Ordering::Relaxed);
+        self.metrics.durability_degraded.store(0, Ordering::Relaxed);
+        Ok(true)
+    }
+
+    /// Rewrites the WAL keeping only records with LSN above `floor`
+    /// (what the oldest retained checkpoint generation still needs
+    /// for replay), via temp file + rename + directory fsync. With a
+    /// single retained generation this empties the log, matching the
+    /// pre-generational truncate-on-checkpoint behaviour.
+    fn rewrite_wal(
+        &self,
+        d: &Durability,
+        wal: &mut WalState,
+        floor: u64,
+    ) -> Result<(), ServiceError> {
+        let vfs = &d.config.vfs;
+        let dir = &d.config.dir;
+        let strict_sync = d.config.fsync != FsyncPolicy::Never;
+        let wal_path = dir.join(persist::WAL_FILE);
+        let bytes = match vfs.read(&wal_path) {
+            Ok(bytes) => bytes,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
+            Err(e) => return Err(io_persist(e)),
+        };
+        let scan = if d.config.salvage {
+            persist::salvage_wal(&bytes)
+        } else {
+            persist::decode_wal(&bytes)
+        };
+        let kept: Vec<&WalRecord> = scan.records.iter().filter(|r| r.lsn() > floor).collect();
+        if kept.len() == scan.records.len() && scan.consumed == bytes.len() {
+            // Nothing to drop and no garbage to clear out.
+            return Ok(());
+        }
+        let mut out = Vec::new();
+        for record in &kept {
+            out.extend_from_slice(&persist::encode_frame(record).map_err(persist_err)?);
+        }
+        let tmp = dir.join(persist::WAL_TMP_FILE);
+        {
+            let mut f = vfs.create(&tmp).map_err(io_persist)?;
+            if !out.is_empty() {
+                f.append(&out).map_err(io_persist)?;
+            }
+            if strict_sync {
+                f.sync_data().map_err(io_persist)?;
+            }
+        }
+        vfs.rename(&tmp, &wal_path).map_err(io_persist)?;
+        if strict_sync {
+            vfs.sync_dir(dir).map_err(io_persist)?;
+        }
+        wal.file = vfs.open_append(&wal_path).map_err(io_persist)?;
+        wal.len = out.len() as u64;
+        Ok(())
+    }
+}

@@ -52,6 +52,7 @@ mod notify;
 pub mod persist;
 mod quench;
 mod subscription;
+pub mod vfs;
 
 pub use broker::{Broker, BrokerConfig, PublishReceipt, Recovered};
 pub use channel::OverflowPolicy;
@@ -63,6 +64,7 @@ pub use notify::{Notification, Subscriber};
 pub use persist::{DurabilityConfig, FsyncPolicy};
 pub use quench::QuenchAdvice;
 pub use subscription::SubscriptionId;
+pub use vfs::{FaultFs, FaultPlan, OsFs, Vfs, VfsFile};
 
 /// Convenience result alias used across this crate.
 pub type Result<T> = std::result::Result<T, ServiceError>;

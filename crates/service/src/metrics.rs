@@ -43,6 +43,18 @@ pub(crate) struct Metrics {
     /// `f64::to_bits` of the last accepted retune's predicted expected
     /// comparison operations per event (cost model Eq. 2).
     pub predicted_ops_bits: AtomicU64,
+    /// WAL frames recovered by salvage after skipping corruption
+    /// (set once at `Broker::open`).
+    pub wal_salvaged_frames: AtomicU64,
+    /// WAL bytes quarantined (skipped as unreadable) by salvage
+    /// (set once at `Broker::open`).
+    pub wal_quarantined_bytes: AtomicU64,
+    /// Checkpoint generations that could not be loaded during recovery
+    /// (corrupt or unreadable), forcing a fall-back to an older one.
+    pub checkpoint_fallbacks: AtomicU64,
+    /// 1 while the broker is serving with durability degraded (a WAL
+    /// append failed); cleared by the next successful checkpoint.
+    pub durability_degraded: AtomicU64,
 }
 
 impl Metrics {
@@ -65,6 +77,10 @@ impl Metrics {
             predicted_ops_per_event: f64::from_bits(
                 self.predicted_ops_bits.load(Ordering::Relaxed),
             ),
+            wal_salvaged_frames: self.wal_salvaged_frames.load(Ordering::Relaxed),
+            wal_quarantined_bytes: self.wal_quarantined_bytes.load(Ordering::Relaxed),
+            checkpoint_fallbacks: self.checkpoint_fallbacks.load(Ordering::Relaxed),
+            durability_degraded: self.durability_degraded.load(Ordering::Relaxed) != 0,
             subscriptions: broker.subscription_count(),
         }
     }
@@ -124,6 +140,28 @@ pub struct MetricsSnapshot {
     /// retune). Compare against [`MetricsSnapshot::avg_ops_per_event`]
     /// measured *after* the retune to judge estimate quality.
     pub predicted_ops_per_event: f64,
+    /// WAL frames recovered by salvage mode at the last `Broker::open`:
+    /// valid frames found *after* skipping at least one corrupt region.
+    /// Zero on a clean log.
+    #[serde(default)]
+    pub wal_salvaged_frames: u64,
+    /// WAL bytes quarantined at the last `Broker::open` — interior
+    /// regions salvage skipped as unreadable (CRC-corrupt or
+    /// unparsable) on its way to the next valid frame boundary.
+    #[serde(default)]
+    pub wal_quarantined_bytes: u64,
+    /// Checkpoint generations recovery had to skip (corrupt or
+    /// unreadable) before finding a loadable one at the last
+    /// `Broker::open`. Zero when the newest generation loaded cleanly.
+    #[serde(default)]
+    pub checkpoint_fallbacks: u64,
+    /// Whether the broker is currently serving with durability
+    /// degraded: a WAL append failed (ENOSPC, EIO) after the last
+    /// successful checkpoint, so recent acknowledged-in-memory changes
+    /// may not survive a crash. Cleared by the next successful
+    /// checkpoint, which captures the full in-memory state.
+    #[serde(default)]
+    pub durability_degraded: bool,
     /// Live subscriptions at snapshot time.
     pub subscriptions: usize,
 }
@@ -179,11 +217,11 @@ impl MetricsSnapshot {
 
 impl fmt::Display for MetricsSnapshot {
     /// One-line operational summary, e.g.
-    /// `events=100 batch=64 notifs=250 (2.50/ev) ops=1200 (12.00/ev) overlay_ops=40 (0.40/ev) quenched=3 dropped=0 overflow=0 panics=0 rebuilds=1 compactions=4 retunes=1/2 (pred 3.10 ops/ev) subs=42`.
+    /// `events=100 batch=64 notifs=250 (2.50/ev) ops=1200 (12.00/ev) overlay_ops=40 (0.40/ev) quenched=3 dropped=0 overflow=0 panics=0 rebuilds=1 compactions=4 retunes=1/2 (pred 3.10 ops/ev) wal_salvaged=0 wal_quarantined=0 cp_fallbacks=0 degraded=false subs=42`.
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "events={} batch={} notifs={} ({:.2}/ev) ops={} ({:.2}/ev) overlay_ops={} ({:.2}/ev) quenched={} dropped={} overflow={} panics={} rebuilds={} compactions={} retunes={}/{} (pred {:.2} ops/ev) subs={}",
+            "events={} batch={} notifs={} ({:.2}/ev) ops={} ({:.2}/ev) overlay_ops={} ({:.2}/ev) quenched={} dropped={} overflow={} panics={} rebuilds={} compactions={} retunes={}/{} (pred {:.2} ops/ev) wal_salvaged={} wal_quarantined={} cp_fallbacks={} degraded={} subs={}",
             self.events_published,
             self.batch_events,
             self.notifications_sent,
@@ -201,6 +239,10 @@ impl fmt::Display for MetricsSnapshot {
             self.retunes,
             self.retunes + self.retunes_declined,
             self.predicted_ops_per_event,
+            self.wal_salvaged_frames,
+            self.wal_quarantined_bytes,
+            self.checkpoint_fallbacks,
+            self.durability_degraded,
             self.subscriptions,
         )
     }

@@ -1,43 +1,85 @@
 //! Durability: write-ahead subscription log and checkpoint files.
 //!
-//! The broker's durable state is the pair `(checkpoint, WAL)` inside a
-//! single directory:
+//! The broker's durable state lives inside a single directory:
 //!
-//! * **`checkpoint.bin`** — a full serialized image of every shard:
-//!   the active [`TreeConfig`] (including accepted retunes), the
-//!   compiled [`FilterSnapshot`](ens_filter::FilterSnapshot) arenas,
-//!   and the subscription entries (id, weight, profile, tombstone
-//!   flag) aligned with the snapshot's dispatch ids. Sealed with a
-//!   CRC-32 and written atomically (temp file + rename).
+//! * **`checkpoint.<gen>.ens`** — generational full images of every
+//!   shard: the active [`TreeConfig`] (including accepted retunes),
+//!   the compiled [`FilterSnapshot`](ens_filter::FilterSnapshot)
+//!   arenas, and the subscription entries (id, weight, profile,
+//!   tombstone flag) aligned with the snapshot's dispatch ids. Each is
+//!   sealed with a CRC-32 and written atomically (temp file + rename +
+//!   parent-directory fsync). The newest
+//!   [`DurabilityConfig::checkpoint_generations`] generations are
+//!   retained; recovery loads the newest CRC-valid one and falls back
+//!   a generation when bit rot took the newest out. (The pre-
+//!   generational name `checkpoint.bin` is read as generation 0.)
 //! * **`wal.log`** — append-only [`WalRecord`] frames for everything
-//!   that changed *since* the checkpoint: subscribes, unsubscribes and
-//!   accepted retunes. Each frame is `[u32 len][u32 crc][payload]`;
-//!   recovery stops at the first frame whose length or checksum does
-//!   not hold, which makes a torn final record (the classic
-//!   power-loss artifact) indistinguishable from a clean end of log.
+//!   that changed *since* the oldest retained checkpoint: subscribes,
+//!   unsubscribes and accepted retunes. Each frame is
+//!   `[u32 len][u32 crc][payload]`. [`decode_wal`] stops at the first
+//!   frame whose length or checksum does not hold (a torn final record
+//!   is indistinguishable from a clean end of log); [`salvage_wal`]
+//!   additionally rescans past a corrupt *interior* frame to the next
+//!   checksummed frame boundary, counting salvaged frames and
+//!   quarantined bytes instead of discarding the rest of the log.
 //!
 //! Records carry a monotonically increasing log sequence number
 //! (LSN, starting at 1). A checkpoint stores the highest LSN it
 //! covers; replay applies only records with a higher LSN, so recovery
 //! from a checkpoint plus an *un-truncated* WAL (the
-//! checkpoint-then-crash-before-truncate window) is idempotent.
+//! checkpoint-then-crash-before-truncate window) is idempotent, and a
+//! fallback to an older generation simply replays a longer WAL
+//! suffix.
 
 use std::path::PathBuf;
+use std::sync::Arc;
 
 use ens_dist::JointDist;
-use ens_filter::persist::{crc32, ByteReader, ByteWriter, PersistError};
+use ens_filter::persist::{crc32, frame_at, ByteReader, ByteWriter, PersistError};
 use ens_filter::{AttributeOrder, SearchStrategy, TreeConfig};
 use ens_types::{Predicate, Profile, ProfileId, Schema, Value};
 use serde::{Deserialize, Serialize};
 
 use crate::error::ServiceError;
+use crate::vfs::{OsFs, Vfs};
 
 /// File name of the write-ahead log inside the durability directory.
 pub const WAL_FILE: &str = "wal.log";
-/// File name of the checkpoint inside the durability directory.
+/// Temp name the WAL is staged under while it is rewritten (trimmed
+/// after a checkpoint retires old generations).
+pub const WAL_TMP_FILE: &str = "wal.tmp";
+/// Legacy (pre-generational) checkpoint file name, read as
+/// generation 0.
 pub const CHECKPOINT_FILE: &str = "checkpoint.bin";
-/// Temp name the checkpoint is staged under before the atomic rename.
+/// Temp name a checkpoint is staged under before the atomic rename.
 pub const CHECKPOINT_TMP_FILE: &str = "checkpoint.tmp";
+
+/// The file name of checkpoint generation `gen`
+/// (`checkpoint.<gen>.ens`; generation 0 is the legacy
+/// [`CHECKPOINT_FILE`]).
+#[must_use]
+pub fn checkpoint_gen_file(gen: u64) -> String {
+    if gen == 0 {
+        CHECKPOINT_FILE.to_string()
+    } else {
+        format!("checkpoint.{gen}.ens")
+    }
+}
+
+/// Parses a checkpoint generation number back out of a file name
+/// produced by [`checkpoint_gen_file`]; `None` for any other name.
+#[must_use]
+pub fn parse_checkpoint_gen(name: &str) -> Option<u64> {
+    if name == CHECKPOINT_FILE {
+        return Some(0);
+    }
+    let gen: u64 = name
+        .strip_prefix("checkpoint.")?
+        .strip_suffix(".ens")?
+        .parse()
+        .ok()?;
+    (gen > 0).then_some(gen)
+}
 
 /// Leading magic of a checkpoint file (`"ENSC"`).
 const CHECKPOINT_MAGIC: u32 = 0x454E_5343;
@@ -62,8 +104,8 @@ pub enum FsyncPolicy {
 /// Configuration of the broker's durability layer.
 #[derive(Debug, Clone)]
 pub struct DurabilityConfig {
-    /// Directory holding `wal.log` and `checkpoint.bin` (created if
-    /// missing).
+    /// Directory holding `wal.log` and the checkpoint generations
+    /// (created if missing).
     pub dir: PathBuf,
     /// Automatic checkpoint interval, counted in WAL records appended
     /// since the last checkpoint; `0` disables automatic checkpoints
@@ -72,17 +114,37 @@ pub struct DurabilityConfig {
     pub checkpoint_every: u64,
     /// WAL flush policy.
     pub fsync: FsyncPolicy,
+    /// Storage backend every WAL/checkpoint byte goes through
+    /// ([`OsFs`] in production, [`crate::vfs::FaultFs`] under fault
+    /// injection).
+    pub vfs: Arc<dyn Vfs>,
+    /// Checkpoint generations to retain (minimum 1). With `N > 1`,
+    /// recovery survives bit rot in the newest checkpoint by falling
+    /// back to an older generation; the WAL is only trimmed past what
+    /// the *oldest retained* generation covers, so the fallback can
+    /// replay forward to the present.
+    pub checkpoint_generations: usize,
+    /// WAL salvage mode: recovery scans past a CRC-corrupt interior
+    /// frame to the next valid frame boundary (counting salvaged
+    /// frames and quarantined bytes) instead of discarding everything
+    /// after the first bad byte. Off, a corrupt frame ends the replay
+    /// there, exactly like a torn tail.
+    pub salvage: bool,
 }
 
 impl DurabilityConfig {
-    /// A configuration with the default knobs (checkpoint every 4096
-    /// records, fsync on checkpoint) in `dir`.
+    /// A configuration with the default knobs in `dir`: checkpoint
+    /// every 4096 records, fsync on checkpoint, the real filesystem,
+    /// two retained checkpoint generations, salvage on.
     #[must_use]
     pub fn new(dir: impl Into<PathBuf>) -> Self {
         DurabilityConfig {
             dir: dir.into(),
             checkpoint_every: 4096,
             fsync: FsyncPolicy::default(),
+            vfs: Arc::new(OsFs),
+            checkpoint_generations: 2,
+            salvage: true,
         }
     }
 }
@@ -140,20 +202,29 @@ impl WalRecord {
 }
 
 /// Encodes one record as a WAL frame: `[u32 len][u32 crc][payload]`.
-#[must_use]
-pub fn encode_frame(record: &WalRecord) -> Vec<u8> {
+///
+/// # Errors
+///
+/// Returns a [`PersistErrorKind::Unencodable`] error if the payload
+/// exceeds the `u32` length prefix — the caller degrades instead of
+/// panicking on the durability path.
+///
+/// [`PersistErrorKind::Unencodable`]: ens_filter::PersistErrorKind::Unencodable
+pub fn encode_frame(record: &WalRecord) -> Result<Vec<u8>, PersistError> {
     let mut payload = ByteWriter::new();
     payload.serde(record);
     let payload = payload.into_bytes();
+    let len = u32::try_from(payload.len()).map_err(|_| {
+        PersistError::unencodable(format!(
+            "WAL frame payload of {} bytes exceeds the u32 length prefix",
+            payload.len()
+        ))
+    })?;
     let mut out = Vec::with_capacity(payload.len() + 8);
-    out.extend_from_slice(
-        &u32::try_from(payload.len())
-            .expect("WAL frame too large")
-            .to_le_bytes(),
-    );
+    out.extend_from_slice(&len.to_le_bytes());
     out.extend_from_slice(&crc32(&payload).to_le_bytes());
     out.extend_from_slice(&payload);
-    out
+    Ok(out)
 }
 
 /// The result of scanning a WAL byte stream.
@@ -164,11 +235,28 @@ pub struct WalScan {
     /// Byte offset just past each decoded frame: truncating the log at
     /// `offsets[i]` durably keeps exactly `records[..=i]`.
     pub offsets: Vec<usize>,
-    /// Total bytes consumed by valid frames.
+    /// Bytes up to the end of the last accepted frame (quarantined
+    /// gaps included under salvage).
     pub consumed: usize,
     /// Whether trailing bytes past `consumed` were discarded as a torn
     /// or corrupt tail.
     pub torn: bool,
+    /// Frames recovered *after* a corrupt region ([`salvage_wal`]
+    /// only; [`decode_wal`] never resynchronizes, so always 0 there).
+    pub salvaged: u64,
+    /// Bytes of corrupt interior regions that were skipped to reach a
+    /// later valid frame ([`salvage_wal`] only). A torn tail counts
+    /// via `consumed < len`, not here.
+    pub quarantined: u64,
+}
+
+/// Decodes the checksummed frame at `pos`, if its payload is exactly
+/// one well-formed record.
+fn record_at(bytes: &[u8], pos: usize) -> Option<(WalRecord, usize)> {
+    let (payload, next) = frame_at(bytes, pos)?;
+    let mut r = ByteReader::new(payload);
+    let record = r.serde::<WalRecord>().ok()?;
+    r.is_empty().then_some((record, next))
 }
 
 /// Scans a WAL byte stream, stopping cleanly at the first frame that
@@ -179,29 +267,9 @@ pub fn decode_wal(bytes: &[u8]) -> WalScan {
     let mut records = Vec::new();
     let mut offsets = Vec::new();
     let mut pos = 0usize;
-    loop {
-        let rest = &bytes[pos..];
-        if rest.len() < 8 {
-            break;
-        }
-        let len = u32::from_le_bytes([rest[0], rest[1], rest[2], rest[3]]) as usize;
-        let stored = u32::from_le_bytes([rest[4], rest[5], rest[6], rest[7]]);
-        if rest.len() - 8 < len {
-            break;
-        }
-        let payload = &rest[8..8 + len];
-        if crc32(payload) != stored {
-            break;
-        }
-        let mut r = ByteReader::new(payload);
-        let Ok(record) = r.serde::<WalRecord>() else {
-            break;
-        };
-        if !r.is_empty() {
-            break;
-        }
+    while let Some((record, next)) = record_at(bytes, pos) {
         records.push(record);
-        pos += 8 + len;
+        pos = next;
         offsets.push(pos);
     }
     WalScan {
@@ -209,6 +277,69 @@ pub fn decode_wal(bytes: &[u8]) -> WalScan {
         offsets,
         consumed: pos,
         torn: pos < bytes.len(),
+        salvaged: 0,
+        quarantined: 0,
+    }
+}
+
+/// Scans a WAL byte stream in salvage mode: where [`decode_wal`]
+/// stops, this scanner probes forward byte by byte for the next
+/// checksummed frame boundary, quarantines the skipped region, and
+/// keeps going.
+///
+/// Two guards keep salvage from resurrecting state the log never
+/// promised:
+///
+/// * **Checksum** — only a frame whose CRC-32 holds is ever accepted,
+///   so a flipped bit can hide a frame but cannot fabricate one.
+/// * **Monotone LSNs** — an accepted frame's LSN must be strictly
+///   greater than its predecessor's, so a stale sector that still
+///   holds a bit-exact *older* frame (dropped/reordered unsynced
+///   writes) is quarantined instead of replayed out of order.
+///
+/// An un-resynchronizable tail is reported as torn, exactly like
+/// [`decode_wal`].
+#[must_use]
+pub fn salvage_wal(bytes: &[u8]) -> WalScan {
+    let mut records: Vec<WalRecord> = Vec::new();
+    let mut offsets = Vec::new();
+    let mut pos = 0usize;
+    let mut salvaged = 0u64;
+    let mut quarantined = 0u64;
+    let mut skip_from: Option<usize> = None;
+    while pos + 8 <= bytes.len() {
+        let accept = record_at(bytes, pos)
+            .filter(|(record, _)| records.last().is_none_or(|prev| record.lsn() > prev.lsn()));
+        match accept {
+            Some((record, next)) => {
+                if let Some(from) = skip_from.take() {
+                    quarantined += (pos - from) as u64;
+                    salvaged += 1;
+                } else if salvaged > 0 {
+                    // Past the first resync, every later frame was
+                    // recovered by salvage too.
+                    salvaged += 1;
+                }
+                records.push(record);
+                pos = next;
+                offsets.push(pos);
+            }
+            None => {
+                if skip_from.is_none() {
+                    skip_from = Some(pos);
+                }
+                pos += 1;
+            }
+        }
+    }
+    let consumed = offsets.last().copied().unwrap_or(0);
+    WalScan {
+        records,
+        offsets,
+        consumed,
+        torn: consumed < bytes.len(),
+        salvaged,
+        quarantined,
     }
 }
 
@@ -572,7 +703,7 @@ mod tests {
         ];
         let mut bytes = Vec::new();
         for rec in &records {
-            bytes.extend_from_slice(&encode_frame(rec));
+            bytes.extend_from_slice(&encode_frame(rec).unwrap());
         }
         let scan = decode_wal(&bytes);
         assert_eq!(scan.records, records);

@@ -6,7 +6,7 @@
 use std::path::{Path, PathBuf};
 
 use ens_filter::{FilterSnapshot, RebuildPolicy};
-use ens_service::persist::{Checkpoint, CHECKPOINT_FILE};
+use ens_service::persist::{checkpoint_gen_file, Checkpoint};
 use ens_service::{Broker, BrokerConfig, DurabilityConfig, FsyncPolicy};
 use ens_types::{Domain, Event, Predicate, Profile, ProfileId, Schema};
 
@@ -75,9 +75,10 @@ fn scratch_dir(tag: &str) -> PathBuf {
 
 fn durability(dir: &Path) -> DurabilityConfig {
     DurabilityConfig {
-        dir: dir.to_path_buf(),
         checkpoint_every: 0,
         fsync: FsyncPolicy::Never,
+        checkpoint_generations: 1,
+        ..DurabilityConfig::new(dir)
     }
 }
 
@@ -118,7 +119,7 @@ fn checkpoint_round_trip_preserves_expansion_map_byte_exactly() {
     broker.unsubscribe(subs[5].id()).unwrap();
     assert!(broker.checkpoint().unwrap());
 
-    let cp_bytes = std::fs::read(dir.join(CHECKPOINT_FILE)).unwrap();
+    let cp_bytes = std::fs::read(dir.join(checkpoint_gen_file(1))).unwrap();
     let cp = Checkpoint::from_bytes(&cp_bytes).unwrap();
     let mut pruned = false;
     for shard in &cp.shards {
@@ -137,7 +138,8 @@ fn checkpoint_round_trip_preserves_expansion_map_byte_exactly() {
     // exact bytes the first checkpoint wrote.
     let recovered = Broker::open(&schema, config(true), durability(&dir)).unwrap();
     assert!(recovered.broker.checkpoint().unwrap());
-    let cp2 = Checkpoint::from_bytes(&std::fs::read(dir.join(CHECKPOINT_FILE)).unwrap()).unwrap();
+    let cp2 =
+        Checkpoint::from_bytes(&std::fs::read(dir.join(checkpoint_gen_file(2))).unwrap()).unwrap();
     assert_eq!(cp.shards.len(), cp2.shards.len());
     for (a, b) in cp.shards.iter().zip(&cp2.shards) {
         assert_eq!(a.filter, b.filter, "filter snapshot bytes must round-trip");

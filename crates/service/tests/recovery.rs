@@ -16,7 +16,9 @@ use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 use ens_filter::{Direction, RebuildPolicy, SearchStrategy, TreeConfig, TuningPolicy, ValueOrder};
-use ens_service::persist::{decode_wal, WalRecord, CHECKPOINT_FILE, WAL_FILE};
+use ens_service::persist::{
+    checkpoint_gen_file, decode_wal, parse_checkpoint_gen, WalRecord, CHECKPOINT_FILE, WAL_FILE,
+};
 use ens_service::{
     Broker, BrokerConfig, DurabilityConfig, FsyncPolicy, Subscriber, SubscriptionId,
 };
@@ -35,10 +37,13 @@ fn scratch_dir(tag: &str) -> PathBuf {
 
 fn durability(dir: &Path) -> DurabilityConfig {
     DurabilityConfig {
-        dir: dir.to_path_buf(),
         // Manual checkpoints only: the tests place them deliberately.
         checkpoint_every: 0,
         fsync: FsyncPolicy::Never,
+        // A single retained generation: a truncating checkpoint
+        // empties the WAL, the behaviour these oracles are built on.
+        checkpoint_generations: 1,
+        ..DurabilityConfig::new(dir)
     }
 }
 
@@ -185,7 +190,8 @@ fn record_churn(
         if checkpoint_midway && i == midpoint {
             assert!(broker.checkpoint_keep_wal().unwrap());
             let wal_len = std::fs::metadata(dir.join(WAL_FILE)).unwrap().len() as usize;
-            let cp = std::fs::read(dir.join(CHECKPOINT_FILE)).unwrap();
+            // The first checkpoint on a fresh directory is generation 1.
+            let cp = std::fs::read(dir.join(checkpoint_gen_file(1))).unwrap();
             checkpointed = Some((cp, wal_len));
         }
         match op {
@@ -424,15 +430,23 @@ fn automatic_checkpoints_truncate_the_wal() {
         for p in &profiles {
             r.broker.subscribe_profile(p.clone()).unwrap();
         }
+        let generations = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| parse_checkpoint_gen(&e.file_name().to_string_lossy()).is_some())
+            .count();
         assert!(
-            dir.join(CHECKPOINT_FILE).exists(),
+            generations >= 1,
             "30 records at checkpoint_every=8 must auto-checkpoint"
         );
         let wal_len = std::fs::metadata(dir.join(WAL_FILE)).unwrap().len();
         let full = decode_wal(&std::fs::read(dir.join(WAL_FILE)).unwrap());
+        // With the default two retained generations, the trimmed WAL
+        // still carries the previous generation's window (< 2 × 8)
+        // — never the full 30-record history.
         assert!(
-            full.offsets.len() < 8,
-            "the WAL holds only the post-checkpoint tail ({} records, {wal_len} bytes)",
+            full.offsets.len() < 16,
+            "the WAL holds only the retained-window tail ({} records, {wal_len} bytes)",
             full.offsets.len()
         );
     }
